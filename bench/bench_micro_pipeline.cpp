@@ -1,0 +1,98 @@
+// Microbenchmarks of the per-frame pipeline stages (google-benchmark):
+// layered encode, reconstruction, SSIM, quality-model inference, and the
+// Eq. 1 optimizer — the budget items behind the paper's claim that the
+// optimization stage "takes a few milliseconds".
+#include "common.h"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace w4k;
+
+const video::Frame& frame_512() {
+  static const video::Frame f = [] {
+    video::VideoSpec spec;
+    spec.width = 512;
+    spec.height = 288;
+    spec.frames = 1;
+    spec.richness = video::Richness::kHigh;
+    return video::SyntheticVideo(spec).frame(0);
+  }();
+  return f;
+}
+
+void BM_LayeredEncode(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(video::encode(frame_512()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(frame_512().total_bytes()));
+}
+BENCHMARK(BM_LayeredEncode)->Unit(benchmark::kMillisecond);
+
+void BM_Reconstruct(benchmark::State& state) {
+  const auto enc = video::encode(frame_512());
+  const auto partial = video::PartialFrame::full(enc);
+  for (auto _ : state) benchmark::DoNotOptimize(video::reconstruct(partial));
+}
+BENCHMARK(BM_Reconstruct)->Unit(benchmark::kMillisecond);
+
+void BM_Ssim(benchmark::State& state) {
+  const video::Frame& a = frame_512();
+  const video::Frame b = video::reconstruct(
+      video::PartialFrame::up_to_layer(video::encode(a), 2));
+  for (auto _ : state) benchmark::DoNotOptimize(quality::ssim(a, b));
+}
+BENCHMARK(BM_Ssim)->Unit(benchmark::kMillisecond);
+
+void BM_QualityModelPredict(benchmark::State& state) {
+  auto& model = bench::quality_model();
+  model::Features f;
+  f.fraction = {1.0, 1.0, 0.6, 0.2};
+  f.up_to_layer = {0.8, 0.9, 0.95, 1.0};
+  f.blank = 0.7;
+  for (auto _ : state) benchmark::DoNotOptimize(model.predict(f));
+}
+BENCHMARK(BM_QualityModelPredict)->Unit(benchmark::kMicrosecond);
+
+void BM_ScheduleOptimizer(benchmark::State& state) {
+  // N users at 8-16 m: enumerate groups once, then time Eq. 1.
+  const auto n_users = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  channel::PropagationConfig prop;
+  const auto users = core::place_users_random(n_users, 8.0, 16.0, 2.09, rng);
+  const auto channels = core::channels_for(prop, users);
+  auto groups = sched::enumerate_groups(
+      beamforming::Scheme::kOptimizedMulticast, channels,
+      beamforming::Codebook{}, rng, {});
+  const double scale = core::rate_scale_for(bench::kWidth, bench::kHeight);
+  for (auto& g : groups) g.beam.rate = Mbps{g.beam.rate.value * scale};
+
+  sched::AllocProblem p;
+  p.groups = groups;
+  p.n_users = n_users;
+  p.content = bench::hr_contexts()[0].content;
+  auto& model = bench::quality_model();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sched::optimize_allocation(p, model));
+  state.counters["groups"] = static_cast<double>(groups.size());
+}
+BENCHMARK(BM_ScheduleOptimizer)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MulticastBeamSvd(benchmark::State& state) {
+  const auto n_users = static_cast<std::size_t>(state.range(0));
+  Rng rng(8);
+  channel::PropagationConfig prop;
+  const auto users = core::place_users_random(n_users, 8.0, 16.0, 2.09, rng);
+  const auto channels = core::channels_for(prop, users);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(beamforming::group_beam(
+        beamforming::Scheme::kOptimizedMulticast, channels,
+        beamforming::Codebook{}, rng));
+}
+BENCHMARK(BM_MulticastBeamSvd)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

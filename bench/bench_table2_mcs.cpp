@@ -1,0 +1,41 @@
+// Table 2: the QCA6320 MCS / sensitivity / UDP-throughput table, plus the
+// RSS-to-rate mapping the whole resource optimizer is driven by.
+#include "common.h"
+
+#include "channel/mcs.h"
+#include "channel/propagation.h"
+
+int main() {
+  using namespace w4k;
+  bench::print_header("Table 2: MCS, receiver sensitivity, UDP throughput",
+                      "10 supported rows (MCS 0/5/9/9.1 unusable for data)");
+
+  std::printf("%-6s %-18s %-18s\n", "MCS", "sensitivity (dBm)",
+              "Iperf3-UDP (Mbps)");
+  for (const auto& e : channel::mcs_table())
+    std::printf("%-6d %-18.1f %-18.0f\n", e.mcs, e.sensitivity.value,
+                e.udp_throughput.value);
+
+  std::printf("\nRSS -> selected MCS over the emulated link "
+              "(optimized unicast beam):\n");
+  std::printf("%-12s %-12s %-8s %-12s\n", "distance(m)", "RSS(dBm)", "MCS",
+              "rate(Mbps)");
+  channel::PropagationConfig prop;
+  bool monotone = true;
+  double prev_rate = 1e18;
+  for (double d : {2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 20.0, 28.0}) {
+    const auto h =
+        channel::make_channel(prop, channel::Position::from_polar(d, 0.1));
+    const Dbm rss = Dbm::from_milliwatts(h.norm_sq());
+    const auto mcs = channel::select_mcs(rss);
+    std::printf("%-12.1f %-12.1f %-8s %-12.0f\n", d, rss.value,
+                mcs ? std::to_string(mcs->mcs).c_str() : "-",
+                mcs ? mcs->udp_throughput.value : 0.0);
+    const double rate = mcs ? mcs->udp_throughput.value : 0.0;
+    monotone &= rate <= prev_rate + 1e-9;
+    prev_rate = rate;
+  }
+  std::printf("\nshape check (rate non-increasing with distance): %s\n",
+              monotone ? "PASS" : "FAIL");
+  return monotone ? 0 : 1;
+}

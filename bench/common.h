@@ -1,0 +1,162 @@
+// Shared infrastructure for the experiment-reproduction harnesses.
+//
+// Every bench binary prints the rows/series of one of the paper's tables
+// or figures. Absolute numbers come from the emulated substrate; the
+// reproduction target is the *shape* (ordering, rough factors,
+// crossovers), which EXPERIMENTS.md compares against the paper.
+#pragma once
+
+#include "abr/mpc.h"
+#include "channel/array.h"
+#include "common/stats.h"
+#include "core/pretrained.h"
+#include "core/runner.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace w4k::bench {
+
+/// Emulation resolution for the sweeps: 256x144 (1/240 of 4K), with the
+/// link rates, symbol size and queue depth scaled by the same factor so
+/// the operating regime matches the paper's full-4K testbed.
+inline constexpr int kWidth = 256;
+inline constexpr int kHeight = 144;
+
+/// Returns the shared trained quality model (cached on disk after the
+/// first training run in this directory).
+inline model::QualityModel& quality_model() {
+  static model::QualityModel model = [] {
+    model::QualityModel m(42);
+    core::PretrainedOptions opts;
+    opts.cache_path = "w4k_bench_quality_model.cache";
+    const double mse = core::ensure_trained(m, opts);
+    if (mse > 0.0)
+      std::printf("# trained quality model, held-out MSE %.2e\n", mse);
+    return m;
+  }();
+  return model;
+}
+
+/// Frame contexts of one HR and one LR standard clip (the paper evaluates
+/// on 2 HR + 2 LR; one of each keeps the sweeps tractable and preserves
+/// the content diversity that matters).
+inline const std::vector<core::FrameContext>& hr_contexts() {
+  static const auto ctxs = [] {
+    video::VideoSpec spec = video::standard_videos(kWidth, kHeight, 8)[0];
+    return core::make_contexts(video::SyntheticVideo(spec), 6,
+                               core::scaled_symbol_size(kWidth, kHeight));
+  }();
+  return ctxs;
+}
+
+inline const std::vector<core::FrameContext>& lr_contexts() {
+  static const auto ctxs = [] {
+    video::VideoSpec spec = video::standard_videos(kWidth, kHeight, 8)[3];
+    return core::make_contexts(video::SyntheticVideo(spec), 6,
+                               core::scaled_symbol_size(kWidth, kHeight));
+  }();
+  return ctxs;
+}
+
+/// The four beamforming schemes in the paper's comparison order.
+inline const std::vector<beamforming::Scheme>& all_schemes() {
+  static const std::vector<beamforming::Scheme> s{
+      beamforming::Scheme::kOptimizedMulticast,
+      beamforming::Scheme::kPredefinedMulticast,
+      beamforming::Scheme::kOptimizedUnicast,
+      beamforming::Scheme::kPredefinedUnicast,
+  };
+  return s;
+}
+
+/// Codebook shared by the pre-defined schemes: a commodity-style
+/// hierarchical design — 20 fine 32-element sectors for unicast, wide
+/// (8-element) and quasi-omni (4-element) levels, plus 91 dual-lobe
+/// entries (14-direction grid) so a single pre-defined beam can serve two
+/// angularly spread multicast receivers. 123 entries, within the 128-beam
+/// hardware limit.
+inline const beamforming::Codebook& sector_codebook() {
+  static const auto cb = [] {
+    auto book = beamforming::make_multilevel_codebook(
+        channel::kDefaultApAntennas, {{32, 20}, {8, 8}, {4, 4}});
+    beamforming::append_dual_lobe_beams(book, channel::kDefaultApAntennas,
+                                        14, 2, /*max_abs_azimuth=*/1.06);
+    return book;
+  }();
+  return cb;
+}
+
+/// One static experiment: place users, build channels, stream, summarize.
+struct StaticRunSpec {
+  beamforming::Scheme scheme = beamforming::Scheme::kOptimizedMulticast;
+  std::size_t n_users = 2;
+  double distance = 3.0;       ///< fixed-distance placement when > 0
+  double min_distance = 0.0;   ///< random annulus placement when distance == 0
+  double max_distance = 0.0;
+  double mas_rad = 1.047;      ///< 60 degrees
+  int n_runs = 10;
+  int frames_per_run = 8;
+  bool optimized_schedule = true;
+  bool rate_control = true;
+  bool source_coding = true;
+  bool high_richness = true;
+  std::uint64_t seed = 1;
+};
+
+struct StaticRunResult {
+  Summary ssim;
+  Summary psnr;
+};
+
+/// Runs the spec: `n_runs` independent placements, aggregated like the
+/// paper's box plots.
+inline StaticRunResult run_static_experiment(const StaticRunSpec& spec) {
+  std::vector<double> all_ssim, all_psnr;
+  Rng placement_rng(spec.seed);
+  const auto& contexts =
+      spec.high_richness ? hr_contexts() : lr_contexts();
+
+  for (int run = 0; run < spec.n_runs; ++run) {
+    channel::PropagationConfig prop;
+    const auto users =
+        spec.distance > 0.0
+            ? core::place_users_fixed(spec.n_users, spec.distance,
+                                      spec.mas_rad, placement_rng)
+            : core::place_users_random(spec.n_users, spec.min_distance,
+                                       spec.max_distance, spec.mas_rad,
+                                       placement_rng);
+    const auto channels = core::channels_for(prop, users);
+
+    core::SessionConfig cfg = core::SessionConfig::scaled(kWidth, kHeight);
+    cfg.scheme = spec.scheme;
+    cfg.optimized_schedule = spec.optimized_schedule;
+    cfg.engine.rate_control = spec.rate_control;
+    cfg.engine.source_coding = spec.source_coding;
+    cfg.seed = spec.seed * 1000 + static_cast<std::uint64_t>(run);
+    core::MulticastSession session(cfg, quality_model(), sector_codebook());
+
+    const core::RunResult r =
+        core::run_static(session, channels, contexts, spec.frames_per_run);
+    all_ssim.insert(all_ssim.end(), r.ssim.begin(), r.ssim.end());
+    all_psnr.insert(all_psnr.end(), r.psnr.begin(), r.psnr.end());
+  }
+  return StaticRunResult{summarize(all_ssim), summarize(all_psnr)};
+}
+
+inline void print_header(const char* title, const char* paper_note) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("paper: %s\n", paper_note);
+  std::printf("==============================================================\n");
+}
+
+inline void print_row(const std::string& label, const Summary& ssim,
+                      const Summary* psnr = nullptr) {
+  std::printf("%-28s SSIM %s\n", label.c_str(), to_string(ssim).c_str());
+  if (psnr != nullptr)
+    std::printf("%-28s PSNR %s\n", "", to_string(*psnr).c_str());
+}
+
+}  // namespace w4k::bench

@@ -1,0 +1,80 @@
+// VR arcade scenario — the paper's motivating use case: one WiGig AP
+// streams live 4K content to several headsets in the same room.
+//
+// Six users sit 4-10 m from the AP across a 100-degree spread. The example
+// compares all four beamforming schemes and the round-robin scheduler on
+// identical placements, printing the per-user quality a player would see.
+#include "common/stats.h"
+#include "channel/array.h"
+#include "core/pretrained.h"
+#include "core/runner.h"
+
+#include <cstdio>
+
+int main() {
+  using namespace w4k;
+
+  constexpr int kW = 256;
+  constexpr int kH = 144;  // 1/240-scale stand-in for 4K (rates scaled too)
+
+  // Content: a high-richness clip, the hard case for the codec.
+  video::VideoSpec spec = video::standard_videos(kW, kH, 8)[0];
+  const auto contexts = core::make_contexts(
+      video::SyntheticVideo(spec), 6, core::scaled_symbol_size(kW, kH));
+
+  model::QualityModel quality;
+  core::ensure_trained(quality);
+
+  // Headset placement: 6 seats, 4-10 m, 100-degree fan.
+  Rng rng(2026);
+  channel::PropagationConfig prop;
+  const auto seats = core::place_users_random(6, 4.0, 10.0, 1.745, rng);
+  const auto channels = core::channels_for(prop, seats);
+  std::printf("seats:\n");
+  for (std::size_t u = 0; u < seats.size(); ++u)
+    std::printf("  headset %zu: %.1f m at %+.0f deg\n", u,
+                seats[u].distance(), seats[u].azimuth() * 57.2958);
+
+  // Commodity codebook for the pre-defined schemes.
+  auto codebook = beamforming::make_multilevel_codebook(
+      channel::kDefaultApAntennas, {{32, 20}, {8, 8}, {4, 4}});
+  beamforming::append_dual_lobe_beams(codebook, channel::kDefaultApAntennas,
+                                      14, 2, 1.06);
+
+  std::printf("\n%-26s %-9s %-9s  per-headset SSIM\n", "configuration",
+              "SSIM", "PSNR");
+  const auto run_one = [&](const char* label, beamforming::Scheme scheme,
+                           bool optimized) {
+    core::SessionConfig cfg = core::SessionConfig::scaled(kW, kH);
+    cfg.scheme = scheme;
+    cfg.optimized_schedule = optimized;
+    cfg.seed = 7;
+    core::MulticastSession session(cfg, quality, codebook);
+    const auto run = core::run_static(session, channels, contexts, 10);
+    // Per-user means: samples interleave users within each frame.
+    std::vector<double> per_user(6, 0.0);
+    for (std::size_t i = 0; i < run.ssim.size(); ++i)
+      per_user[i % 6] += run.ssim[i];
+    std::printf("%-26s %-9.4f %-9.2f ", label, mean(run.ssim),
+                mean(run.psnr));
+    for (double s : per_user)
+      std::printf(" %.3f", s / (static_cast<double>(run.ssim.size()) / 6.0));
+    std::printf("\n");
+  };
+
+  run_one("opt-multicast + opt-sched", beamforming::Scheme::kOptimizedMulticast,
+          true);
+  run_one("opt-multicast + roundrobin",
+          beamforming::Scheme::kOptimizedMulticast, false);
+  run_one("pre-defined multicast", beamforming::Scheme::kPredefinedMulticast,
+          true);
+  run_one("optimized unicast", beamforming::Scheme::kOptimizedUnicast, true);
+  run_one("pre-defined unicast", beamforming::Scheme::kPredefinedUnicast,
+          true);
+
+  std::printf("\nthe full system (first row) should lead on both the mean\n"
+              "and the worst headset - multicast beams serve shared layers\n"
+              "to everyone at once, and the Eq. 1 optimizer spends airtime\n"
+              "where the quality model says it buys the most SSIM.\n");
+  return 0;
+}

@@ -1,0 +1,211 @@
+// w4k_sim — command-line front end to the whole system.
+//
+// Streams a clip (synthetic or Y4M) to N emulated WiGig receivers and
+// reports quality; covers static placements and recorded/generated mobile
+// CSI traces. The Swiss-army binary of the release.
+//
+//   w4k_sim                                 # 3 users at 3 m, defaults
+//   w4k_sim --users 6 --min-dist 8 --max-dist 16 --mas-deg 120
+//   w4k_sim --scheme pre-multicast --schedule roundrobin
+//   w4k_sim --trace walk.csitrace --no-adapt
+//   w4k_sim --record-trace walk.csitrace --duration 30 --mobile low
+//   w4k_sim --y4m clip.y4m --frames 120 --csv out.csv
+//
+// Options (defaults in brackets):
+//   --users N            receiver count [3]
+//   --distance M         fixed distance placement [3.0; 0 = random annulus]
+//   --min-dist/--max-dist  annulus when --distance 0 [8/16]
+//   --mas-deg D          maximum angular spacing [60]
+//   --scheme S           opt-multicast | pre-multicast | opt-unicast |
+//                        pre-unicast [opt-multicast]
+//   --schedule S         optimized | roundrobin [optimized]
+//   --no-rate-control    disable the leaky bucket
+//   --no-source-coding   disable the rateless code
+//   --no-adapt           freeze the initial decision (No Update)
+//   --estimated-csi      run ACO estimation instead of perfect CSI
+//   --mobile high|low|env  generate a mobile trace instead of static
+//   --trace PATH         replay a recorded .csitrace file
+//   --record-trace PATH  save the generated trace before streaming
+//   --duration S         trace length in seconds [20]
+//   --frames N           frames to stream in static mode [60]
+//   --y4m PATH           stream a real Y4M clip instead of synthetic
+//   --width/--height     synthetic resolution [256x144]
+//   --csv PATH           write the per-frame report as CSV
+//   --seed N             master seed [1]
+#include "channel/array.h"
+#include "channel/trace_io.h"
+#include "common/args.h"
+#include "core/pretrained.h"
+#include "core/report.h"
+#include "core/runner.h"
+#include "video/io.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace {
+
+using namespace w4k;
+
+beamforming::Scheme parse_scheme(const std::string& s) {
+  if (s == "opt-multicast") return beamforming::Scheme::kOptimizedMulticast;
+  if (s == "pre-multicast") return beamforming::Scheme::kPredefinedMulticast;
+  if (s == "opt-unicast") return beamforming::Scheme::kOptimizedUnicast;
+  if (s == "pre-unicast") return beamforming::Scheme::kPredefinedUnicast;
+  throw std::invalid_argument("--scheme: unknown scheme '" + s + "'");
+}
+
+std::vector<core::FrameContext> load_contexts(const Args& args, int width,
+                                              int height) {
+  const std::string y4m = args.get("y4m", std::string{});
+  if (!y4m.empty()) {
+    video::Y4mReader reader(y4m);
+    const auto& hdr = reader.header();
+    std::printf("content: %s (%dx%d)\n", y4m.c_str(), hdr.width, hdr.height);
+    std::vector<core::FrameContext> ctxs;
+    video::Frame prev;
+    const std::size_t symbol =
+        core::scaled_symbol_size(hdr.width, hdr.height);
+    // A handful of contexts is enough — they are cycled during streaming.
+    for (int i = 0; i < 8; ++i) {
+      auto frame = reader.next();
+      if (!frame) break;
+      ctxs.push_back(core::make_frame_context(
+          *frame, ctxs.empty() ? nullptr : &prev, symbol));
+      prev = std::move(*frame);
+    }
+    if (ctxs.empty())
+      throw std::runtime_error("y4m clip contains no frames");
+    return ctxs;
+  }
+  video::VideoSpec spec = video::standard_videos(width, height, 10)[0];
+  std::printf("content: synthetic %s (%dx%d)\n", spec.name.c_str(), width,
+              height);
+  return core::make_contexts(video::SyntheticVideo(spec), 8,
+                             core::scaled_symbol_size(width, height));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args(argc, argv);
+
+    const int width = args.get("width", 256);
+    const int height = args.get("height", 144);
+    const auto n_users = static_cast<std::size_t>(args.get("users", 3));
+    const auto seed = static_cast<std::uint64_t>(args.get("seed", 1));
+
+    // --- Content -----------------------------------------------------------
+    const auto contexts = load_contexts(args, width, height);
+    const int ctx_w = contexts.front().original.width();
+    const int ctx_h = contexts.front().original.height();
+
+    // --- Quality model -----------------------------------------------------
+    model::QualityModel quality;
+    core::ensure_trained(quality);
+
+    // --- Session config ----------------------------------------------------
+    core::SessionConfig cfg = core::SessionConfig::scaled(ctx_w, ctx_h);
+    cfg.scheme = parse_scheme(args.get("scheme", std::string("opt-multicast")));
+    cfg.optimized_schedule =
+        args.get("schedule", std::string("optimized")) != "roundrobin";
+    cfg.engine.rate_control = !args.has("no-rate-control");
+    cfg.engine.source_coding = !args.has("no-source-coding");
+    cfg.adapt = !args.has("no-adapt");
+    cfg.use_estimated_csi = args.has("estimated-csi");
+    cfg.seed = seed;
+
+    // --- Channel: trace or static placement --------------------------------
+    const std::string trace_path = args.get("trace", std::string{});
+    const std::string mobile = args.get("mobile", std::string{});
+    if (!trace_path.empty() || !mobile.empty())
+      cfg.mcs_margin_db = 1.5;  // stale-CSI headroom under mobility
+
+    auto codebook = beamforming::make_multilevel_codebook(
+        channel::kDefaultApAntennas, {{32, 20}, {8, 8}, {4, 4}});
+    beamforming::append_dual_lobe_beams(codebook,
+                                        channel::kDefaultApAntennas, 14, 2,
+                                        1.06);
+    core::MulticastSession session(cfg, quality, codebook);
+
+    core::RunResult run;
+    if (!trace_path.empty() || !mobile.empty()) {
+      channel::CsiTrace trace;
+      if (!trace_path.empty()) {
+        trace = channel::load_trace(trace_path);
+        std::printf("trace: %s (%zu steps, %zu users)\n", trace_path.c_str(),
+                    trace.steps(), trace.users());
+      } else {
+        const Seconds duration = args.get("duration", 20.0);
+        if (mobile == "env") {
+          channel::MovingEnvironmentConfig mcfg;
+          Rng prng(seed);
+          for (std::size_t u = 0; u < n_users; ++u)
+            mcfg.users.push_back(channel::Position::from_polar(
+                prng.uniform(4.0, 7.0), prng.uniform(-0.8, 0.8)));
+          mcfg.duration = duration;
+          mcfg.seed = seed;
+          trace = channel::moving_environment_trace(mcfg);
+        } else {
+          channel::MovingReceiverConfig mcfg;
+          mcfg.n_users = n_users;
+          mcfg.duration = duration;
+          mcfg.seed = seed;
+          if (mobile == "low") {
+            mcfg.min_distance = 14.0;
+            mcfg.max_distance = 19.0;
+          }
+          trace = channel::moving_receiver_trace(mcfg);
+        }
+        std::printf("generated %s-mobility trace: %zu steps\n",
+                    mobile.c_str(), trace.steps());
+        const std::string record = args.get("record-trace", std::string{});
+        if (!record.empty()) {
+          channel::save_trace(trace, record);
+          std::printf("saved trace to %s\n", record.c_str());
+        }
+      }
+      run = core::run_trace(session, trace, contexts);
+    } else {
+      Rng prng(seed);
+      channel::PropagationConfig prop;
+      const double distance = args.get("distance", 3.0);
+      const double mas = args.get("mas-deg", 60.0) * 0.0174533;
+      const auto users =
+          distance > 0.0
+              ? core::place_users_fixed(n_users, distance, mas, prng)
+              : core::place_users_random(n_users,
+                                         args.get("min-dist", 8.0),
+                                         args.get("max-dist", 16.0), mas,
+                                         prng);
+      std::printf("placement:");
+      for (const auto& u : users)
+        std::printf(" (%.1fm, %+.0fdeg)", u.distance(),
+                    u.azimuth() * 57.2958);
+      std::printf("\n");
+      run = core::run_static(session, core::channels_for(prop, users),
+                             contexts, args.get("frames", 60));
+    }
+
+    // --- Report --------------------------------------------------------------
+    core::SessionReport report;
+    for (const auto& frame : run.frames) report.add(frame);
+    std::printf("\n%s", report.summary_text().c_str());
+
+    const std::string csv = args.get("csv", std::string{});
+    if (!csv.empty()) {
+      report.write_csv_file(csv);
+      std::printf("per-frame CSV written to %s\n", csv.c_str());
+    }
+
+    // Every option has been queried by now: anything left is a typo.
+    for (const auto& unknown : args.unqueried())
+      throw std::invalid_argument("unknown option --" + unknown +
+                                  " (see the header of w4k_sim.cpp)");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "w4k_sim: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,60 @@
+// Pre-defined sector codebook (802.11ad SLS).
+//
+// Commodity WiGig front-ends ship a fixed codebook of at most K = 128
+// sector beams with coarse (2-bit) phase shifters; the paper's
+// "pre-defined" beamforming schemes select from exactly such a codebook,
+// while the "optimized" schemes synthesize beams from estimated CSI.
+#pragma once
+
+#include "linalg/matrix.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace w4k::beamforming {
+
+struct Codebook {
+  std::vector<linalg::CVector> beams;
+
+  std::size_t size() const { return beams.size(); }
+  const linalg::CVector& operator[](std::size_t i) const { return beams[i]; }
+};
+
+struct CodebookConfig {
+  std::size_t n_antennas = 32;
+  std::size_t n_beams = 64;        ///< <= 128 on Sparrow+-class hardware
+  int phase_bits = 2;              ///< commodity phase-shifter resolution
+  double max_abs_azimuth = 1.2;    ///< rad, azimuth fan the sectors cover
+};
+
+/// Sector beams with steering directions uniform in sin(azimuth) — uniform
+/// beam spacing in the array's natural coordinate — each quantized to the
+/// hardware phase resolution and normalized to unit total power.
+Codebook make_sector_codebook(const CodebookConfig& cfg);
+
+/// One beamwidth level of a hierarchical 802.11ad codebook: beams formed
+/// on a leading subarray of `subarray` elements (the rest muted), giving a
+/// lobe ~n_antennas/subarray times wider at 10*log10(subarray) dB gain.
+struct CodebookLevel {
+  std::size_t subarray = 32;
+  std::size_t n_beams = 24;
+};
+
+/// Multi-level codebook, matching commodity 802.11ad designs that stack
+/// quasi-omni, wide, and fine sector levels. Total beams across levels
+/// must stay within the 128-entry hardware limit.
+Codebook make_multilevel_codebook(std::size_t n_antennas,
+                                  const std::vector<CodebookLevel>& levels,
+                                  int phase_bits = 2,
+                                  double max_abs_azimuth = 1.2);
+
+/// Appends dual-lobe beams: every pair from an `n_directions` grid, each
+/// realized by steering the two array halves at the two directions — the
+/// phase-only trick multicast codebook proposals use to serve two spread
+/// receivers with one pre-defined entry (~9 dB per lobe on 32 elements).
+/// Throws if the total would exceed the 128-entry limit.
+void append_dual_lobe_beams(Codebook& cb, std::size_t n_antennas,
+                            std::size_t n_directions, int phase_bits = 2,
+                            double max_abs_azimuth = 1.2);
+
+}  // namespace w4k::beamforming

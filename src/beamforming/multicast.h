@@ -1,0 +1,56 @@
+// Multicast beamforming (Sec. 2.5).
+//
+// For every candidate multicast group the sender derives a transmit beam,
+// evaluates the per-member RSS, and maps the *minimum* member RSS to the
+// group's MCS/UDP rate (the bottleneck member limits a multicast
+// transmission). Four schemes, matching the paper's comparison:
+//
+//   kOptimizedMulticast  max-min via the SVD max-sum heuristic: the beam is
+//                        the dominant right singular vector of the stacked
+//                        channel matrix H = [h_1; ...; h_N] (Eq. 3);
+//   kPredefinedMulticast best single codebook sector by min-member RSS;
+//   kOptimizedUnicast    MRT beam conj(h)/||h|| (CSI-based; groups are
+//                        restricted to singletons by the scheduler);
+//   kPredefinedUnicast   best codebook sector for the single member.
+#pragma once
+
+#include "beamforming/codebook.h"
+#include "channel/mcs.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "linalg/matrix.h"
+
+#include <string>
+#include <vector>
+
+namespace w4k::beamforming {
+
+enum class Scheme {
+  kOptimizedMulticast,
+  kPredefinedMulticast,
+  kOptimizedUnicast,
+  kPredefinedUnicast,
+};
+
+/// True for the two schemes that may serve groups larger than one user.
+bool allows_multicast(Scheme s);
+
+/// Display name used by bench harness output.
+std::string to_string(Scheme s);
+
+struct GroupBeam {
+  linalg::CVector beam;          ///< transmit precoder F (unit norm)
+  std::vector<Dbm> member_rss;   ///< RSS at each group member
+  Dbm min_rss{-300.0};           ///< bottleneck member
+  Mbps rate{0.0};                ///< Table 2 UDP rate at min_rss (0 = unusable)
+};
+
+/// Derives the beam and rate for a group with the given member channels.
+/// Unicast schemes require exactly one member (throws otherwise). `rng`
+/// seeds the SVD power iteration; `codebook` is consulted only by the
+/// pre-defined schemes (may be empty for the optimized ones).
+GroupBeam group_beam(Scheme scheme,
+                     const std::vector<linalg::CVector>& member_channels,
+                     const Codebook& codebook, Rng& rng);
+
+}  // namespace w4k::beamforming

@@ -1,0 +1,28 @@
+#include "beamforming/sls.h"
+
+#include "channel/array.h"
+
+#include <stdexcept>
+
+namespace w4k::beamforming {
+
+SweepResult sector_sweep(const linalg::CVector& h, const Codebook& codebook,
+                         Rng& rng, double rss_noise_db) {
+  if (codebook.size() == 0)
+    throw std::invalid_argument("sector_sweep: empty codebook");
+  SweepResult res;
+  res.rss_dbm.reserve(codebook.size());
+  double best = -1e300;
+  for (std::size_t k = 0; k < codebook.size(); ++k) {
+    const double rss =
+        channel::beam_rss(h, codebook[k]).value + rng.gaussian(0.0, rss_noise_db);
+    res.rss_dbm.push_back(rss);
+    if (rss > best) {
+      best = rss;
+      res.best_beam = k;
+    }
+  }
+  return res;
+}
+
+}  // namespace w4k::beamforming

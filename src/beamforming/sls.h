@@ -1,0 +1,27 @@
+// Sector-level sweep (802.11ad beam training): the AP broadcasts beacons
+// precoded with every codebook beam; the STA measures per-beam RSS and
+// feeds back the best index. The sweep result is also the measurement
+// vector consumed by ACO-style CSI estimation.
+#pragma once
+
+#include "beamforming/codebook.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "linalg/matrix.h"
+
+#include <vector>
+
+namespace w4k::beamforming {
+
+struct SweepResult {
+  std::vector<double> rss_dbm;  ///< per-beam measured RSS
+  std::size_t best_beam = 0;    ///< argmax index the STA feeds back
+};
+
+/// Performs an SLS sweep of `codebook` against the (true) channel `h`.
+/// `rss_noise_db` is the per-measurement Gaussian error of the firmware
+/// RSS readout (the paper's patched firmware is noisy under traffic).
+SweepResult sector_sweep(const linalg::CVector& h, const Codebook& codebook,
+                         Rng& rng, double rss_noise_db = 0.5);
+
+}  // namespace w4k::beamforming

@@ -1,0 +1,49 @@
+#include "channel/array.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace w4k::channel {
+
+linalg::CVector steering_vector(double theta_rad, std::size_t n_antennas) {
+  if (n_antennas == 0)
+    throw std::invalid_argument("steering_vector: zero antennas");
+  linalg::CVector a(n_antennas);
+  const double k = std::numbers::pi * std::sin(theta_rad);  // d = lambda/2
+  for (std::size_t n = 0; n < n_antennas; ++n)
+    a[n] = std::polar(1.0, k * static_cast<double>(n));
+  return a;
+}
+
+linalg::Complex beam_response(const linalg::CVector& channel,
+                              const linalg::CVector& beam) {
+  if (channel.size() != beam.size())
+    throw std::invalid_argument("beam_response: size mismatch");
+  linalg::Complex s = 0.0;
+  for (std::size_t n = 0; n < channel.size(); ++n) s += beam[n] * channel[n];
+  return s;
+}
+
+Dbm beam_rss(const linalg::CVector& channel, const linalg::CVector& beam) {
+  const double p = std::norm(beam_response(channel, beam));
+  if (p <= 0.0) return Dbm{-300.0};  // numerically dead link
+  return Dbm::from_milliwatts(p);
+}
+
+linalg::CVector quantize_phases(const linalg::CVector& beam, int bits) {
+  if (bits <= 0 || bits > 16)
+    throw std::invalid_argument("quantize_phases: bits must be in 1..16");
+  const int levels = 1 << bits;
+  const double step = 2.0 * std::numbers::pi / levels;
+  linalg::CVector out(beam.size());
+  const double mag = 1.0 / std::sqrt(static_cast<double>(beam.size()));
+  for (std::size_t n = 0; n < beam.size(); ++n) {
+    const double phase = std::arg(beam[n]);
+    const double q = std::round(phase / step) * step;
+    out[n] = std::polar(mag, q);
+  }
+  return out;
+}
+
+}  // namespace w4k::channel

@@ -1,0 +1,34 @@
+// Phased-array geometry: steering vectors for the AP's uniform linear
+// array and the RSS of a (channel, beam) pair. The STA side is a single
+// quasi-omnidirectional antenna, matching the paper's SLS description, so
+// a channel is an N_t-dimensional complex vector.
+#pragma once
+
+#include "common/units.h"
+#include "linalg/matrix.h"
+
+namespace w4k::channel {
+
+/// Number of AP antenna elements (Sparrow+/QCA6320-class arrays are 32).
+inline constexpr std::size_t kDefaultApAntennas = 32;
+
+/// Steering vector of a half-wavelength-spaced ULA toward azimuth `theta`
+/// (radians, 0 = boresight, positive toward +y). Unit-magnitude entries.
+linalg::CVector steering_vector(double theta_rad, std::size_t n_antennas);
+
+/// Received power |f . h|^2 expressed in dBm given that the channel vector
+/// h already carries absolute amplitudes calibrated to dBm (see
+/// propagation.h). `f` is the transmit beam (precoder), normally unit-norm.
+Dbm beam_rss(const linalg::CVector& channel, const linalg::CVector& beam);
+
+/// Plain (unconjugated) inner product sum f_n * h_n used by beam_rss;
+/// exposed for the beamforming optimizer.
+linalg::Complex beam_response(const linalg::CVector& channel,
+                              const linalg::CVector& beam);
+
+/// Quantizes each element's phase to `bits` (e.g. 2-bit phase shifters on
+/// commodity WiGig front-ends) and fixes magnitudes to 1/sqrt(N). This is
+/// what turns an ideal codebook beam into a realizable "pre-defined" beam.
+linalg::CVector quantize_phases(const linalg::CVector& beam, int bits);
+
+}  // namespace w4k::channel

@@ -1,0 +1,54 @@
+#include "channel/mcs.h"
+
+#include <array>
+#include <cstdio>
+
+namespace w4k::channel {
+namespace {
+
+// Table 2 of the paper, supported rows only (MCS 0/5/9/9.1/>=12.1 are not
+// usable for data traffic on the QCA6320).
+constexpr std::array<McsEntry, 10> kTable = {{
+    {1, Dbm{-68.0}, Mbps{300.0}},
+    {2, Dbm{-66.0}, Mbps{550.0}},
+    {3, Dbm{-65.0}, Mbps{720.0}},
+    {4, Dbm{-64.0}, Mbps{850.0}},
+    {6, Dbm{-63.0}, Mbps{1050.0}},
+    {7, Dbm{-62.0}, Mbps{1250.0}},
+    {8, Dbm{-61.0}, Mbps{1580.0}},
+    {10, Dbm{-55.0}, Mbps{1850.0}},
+    {11, Dbm{-54.0}, Mbps{2100.0}},
+    {12, Dbm{-53.0}, Mbps{2400.0}},
+}};
+
+}  // namespace
+
+std::span<const McsEntry> mcs_table() { return kTable; }
+
+std::optional<McsEntry> select_mcs(Dbm rss) {
+  std::optional<McsEntry> best;
+  for (const auto& e : kTable) {
+    if (rss.value >= e.sensitivity.value) best = e;
+  }
+  return best;
+}
+
+Mbps rate_for_rss(Dbm rss) {
+  const auto e = select_mcs(rss);
+  return e ? e->udp_throughput : Mbps{0.0};
+}
+
+std::optional<McsEntry> mcs_by_index(int mcs) {
+  for (const auto& e : kTable)
+    if (e.mcs == mcs) return e;
+  return std::nullopt;
+}
+
+std::string to_string(const McsEntry& e) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "MCS %d: sens %.1f dBm, %.0f Mbps", e.mcs,
+                e.sensitivity.value, e.udp_throughput.value);
+  return buf;
+}
+
+}  // namespace w4k::channel

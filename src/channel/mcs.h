@@ -1,0 +1,43 @@
+// 802.11ad modulation-and-coding-scheme table as measured on the paper's
+// QCA6320 testbed (Table 2): per-MCS receiver sensitivity and the *measured
+// Iperf3 UDP throughput*, which already accounts for PHY/MAC overhead. The
+// paper feeds the UDP column (not the PHY rate) into the schedule
+// optimizer; we do the same.
+#pragma once
+
+#include "common/units.h"
+
+#include <optional>
+#include <span>
+#include <string>
+
+namespace w4k::channel {
+
+struct McsEntry {
+  int mcs = 0;             ///< MCS index (QCA6320 supports 1-12 minus 5/9/9.1)
+  Dbm sensitivity{0.0};    ///< minimum RSS to sustain this MCS
+  Mbps udp_throughput{0};  ///< measured Iperf3-UDP goodput
+};
+
+/// The supported rows of Table 2, ascending by MCS.
+std::span<const McsEntry> mcs_table();
+
+/// Highest MCS whose sensitivity is satisfied by `rss`, or std::nullopt if
+/// the link cannot even sustain MCS 1 (-68 dBm).
+std::optional<McsEntry> select_mcs(Dbm rss);
+
+/// UDP throughput for `rss`: the selected MCS's rate, or 0 Mbps when no MCS
+/// is sustainable.
+Mbps rate_for_rss(Dbm rss);
+
+/// Entry for an exact MCS index; std::nullopt for unsupported indices
+/// (0, 5, 9, and anything outside 1..12).
+std::optional<McsEntry> mcs_by_index(int mcs);
+
+/// Human-readable row ("MCS 8: sens -61.0 dBm, 1580 Mbps") for harness output.
+std::string to_string(const McsEntry& e);
+
+/// The paper's high/low-RSS split for mobile experiments: MCS 8 sensitivity.
+inline constexpr Dbm kHighRssThreshold{-61.0};
+
+}  // namespace w4k::channel

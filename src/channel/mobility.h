@@ -1,0 +1,74 @@
+// CSI trace generation for the trace-driven mobile experiments (Sec. 2.8 /
+// 4.3.4). The paper records SLS-derived CSI at the 100 ms ACO beacon
+// interval while (a) receivers walk randomly or (b) people walk between the
+// AP and static receivers; we generate the equivalent traces from the
+// propagation model with a random-waypoint walker and a LoS-blockage
+// process, then replay them through the same streaming stack.
+#pragma once
+
+#include "channel/propagation.h"
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace w4k::channel {
+
+/// ACO beacon interval (802.11ad): one CSI snapshot every 100 ms.
+inline constexpr Seconds kBeaconInterval = 0.1;
+
+/// One trace: snapshots[t][u] is user u's channel vector at time
+/// t * kBeaconInterval. Positions are recorded for diagnostics.
+struct CsiTrace {
+  std::vector<std::vector<linalg::CVector>> snapshots;
+  std::vector<std::vector<Position>> positions;
+  Seconds interval = kBeaconInterval;
+
+  std::size_t steps() const { return snapshots.size(); }
+  std::size_t users() const {
+    return snapshots.empty() ? 0 : snapshots.front().size();
+  }
+};
+
+/// Parameters for a moving-receiver trace.
+struct MovingReceiverConfig {
+  PropagationConfig prop;
+  std::size_t n_users = 1;
+  /// users[i] moves iff moving[i]; must match n_users (empty = all move).
+  std::vector<bool> moving;
+  Seconds duration = 60.0;        ///< paper: "walk randomly for a minute"
+  double walk_speed = 1.0;        ///< m/s
+  double min_distance = 2.5;      ///< annulus the walkers stay inside
+  double max_distance = 6.0;
+  double max_abs_azimuth = 1.0;   ///< rad, keeps users in the array's FoV
+  std::uint64_t seed = 1;
+};
+
+/// Random-waypoint walkers inside a distance annulus. High-RSS traces use
+/// the default 2.5-6 m band; pass 13-18 m for the paper's low-RSS regime.
+CsiTrace moving_receiver_trace(const MovingReceiverConfig& cfg);
+
+/// Parameters for a moving-environment trace (static users, walking
+/// blockers between AP and receivers).
+struct MovingEnvironmentConfig {
+  PropagationConfig prop;
+  std::vector<Position> users;    ///< static receiver placements
+  int n_blockers = 2;             ///< "two people walk randomly"
+  Seconds duration = 60.0;
+  double walk_speed = 1.0;
+  double blockage_loss_db = 18.0; ///< human torso at 60 GHz
+  double blocker_radius = 0.35;   ///< m, how close to the LoS ray counts
+  std::uint64_t seed = 2;
+};
+
+/// Static users; blockers do a random walk in front of the AP and attenuate
+/// the LoS component of any user whose AP ray they intersect. Attenuation
+/// ramps smoothly with blocker-to-ray distance (no step discontinuities).
+CsiTrace moving_environment_trace(const MovingEnvironmentConfig& cfg);
+
+/// Convenience: per-step best-case RSS (optimal unicast beam) for user `u`,
+/// used to classify traces into the paper's high/low RSS regimes.
+std::vector<double> best_case_rss_dbm(const CsiTrace& trace, std::size_t user);
+
+}  // namespace w4k::channel

@@ -1,0 +1,105 @@
+#include "channel/trace_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace w4k::channel {
+namespace {
+
+constexpr char kMagic[8] = {'W', '4', 'K', 'C', 'S', 'I', 'T', '1'};
+
+void write_u32(std::ostream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void write_f64(std::ostream& os, double v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t read_u32(std::istream& is) {
+  std::uint32_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+double read_f64(std::istream& is) {
+  double v = 0.0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+void save_trace(const CsiTrace& trace, const std::string& path) {
+  if (trace.steps() == 0 || trace.users() == 0)
+    throw std::runtime_error("save_trace: empty trace");
+  const std::size_t antennas = trace.snapshots[0][0].size();
+  for (std::size_t t = 0; t < trace.steps(); ++t) {
+    if (trace.snapshots[t].size() != trace.users() ||
+        trace.positions[t].size() != trace.users())
+      throw std::runtime_error("save_trace: ragged trace");
+    for (const auto& h : trace.snapshots[t])
+      if (h.size() != antennas)
+        throw std::runtime_error("save_trace: ragged antenna count");
+  }
+
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("save_trace: cannot create " + path);
+  os.write(kMagic, sizeof(kMagic));
+  write_u32(os, static_cast<std::uint32_t>(trace.steps()));
+  write_u32(os, static_cast<std::uint32_t>(trace.users()));
+  write_u32(os, static_cast<std::uint32_t>(antennas));
+  write_f64(os, trace.interval);
+  for (std::size_t t = 0; t < trace.steps(); ++t) {
+    for (std::size_t u = 0; u < trace.users(); ++u) {
+      write_f64(os, trace.positions[t][u].x);
+      write_f64(os, trace.positions[t][u].y);
+      for (std::size_t n = 0; n < antennas; ++n) {
+        write_f64(os, trace.snapshots[t][u][n].real());
+        write_f64(os, trace.snapshots[t][u][n].imag());
+      }
+    }
+  }
+  if (!os) throw std::runtime_error("save_trace: write failed");
+}
+
+CsiTrace load_trace(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_trace: cannot open " + path);
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error("load_trace: bad magic in " + path);
+
+  const std::uint32_t steps = read_u32(is);
+  const std::uint32_t users = read_u32(is);
+  const std::uint32_t antennas = read_u32(is);
+  CsiTrace trace;
+  trace.interval = read_f64(is);
+  if (!is || steps == 0 || users == 0 || antennas == 0 ||
+      steps > 10'000'000 || users > 1024 || antennas > 4096)
+    throw std::runtime_error("load_trace: implausible header in " + path);
+
+  trace.snapshots.resize(steps);
+  trace.positions.resize(steps);
+  for (std::uint32_t t = 0; t < steps; ++t) {
+    trace.snapshots[t].resize(users);
+    trace.positions[t].resize(users);
+    for (std::uint32_t u = 0; u < users; ++u) {
+      trace.positions[t][u].x = read_f64(is);
+      trace.positions[t][u].y = read_f64(is);
+      linalg::CVector h(antennas);
+      for (std::uint32_t n = 0; n < antennas; ++n) {
+        const double re = read_f64(is);
+        const double im = read_f64(is);
+        h[n] = linalg::Complex(re, im);
+      }
+      trace.snapshots[t][u] = std::move(h);
+    }
+  }
+  if (!is) throw std::runtime_error("load_trace: truncated " + path);
+  return trace;
+}
+
+}  // namespace w4k::channel

@@ -1,0 +1,24 @@
+// CSI trace persistence (Sec. 2.8: "we record the RSS traces measured at
+// each receiver to compute CSI. We then use the CSI trace to drive
+// emulation"). The binary format is versioned and self-describing so
+// recorded traces can be replayed across builds:
+//
+//   magic "W4KCSIT1" | u32 steps | u32 users | u32 antennas | f64 interval
+//   then steps x users x (2 f64 position + antennas x 2 f64 channel).
+#pragma once
+
+#include "channel/mobility.h"
+
+#include <string>
+
+namespace w4k::channel {
+
+/// Writes a trace. Throws std::runtime_error on I/O failure or an empty /
+/// ragged trace (every snapshot must have the same user and antenna count).
+void save_trace(const CsiTrace& trace, const std::string& path);
+
+/// Reads a trace written by save_trace. Throws std::runtime_error on
+/// missing file, bad magic, or truncation.
+CsiTrace load_trace(const std::string& path);
+
+}  // namespace w4k::channel

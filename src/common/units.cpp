@@ -1,0 +1,13 @@
+#include "common/units.h"
+
+#include <cmath>
+
+namespace w4k {
+
+double Dbm::milliwatts() const { return std::pow(10.0, value / 10.0); }
+
+Dbm Dbm::from_milliwatts(double mw) {
+  return Dbm{10.0 * std::log10(mw)};
+}
+
+}  // namespace w4k

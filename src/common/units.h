@@ -1,0 +1,62 @@
+// Physical units used throughout the system.
+//
+// WiGig link budgets mix logarithmic (dBm, dB) and linear (mW, Mbps)
+// quantities; keeping them in distinct strong types prevents the classic
+// bug of adding a dBm value to a linear rate.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace w4k {
+
+/// Received signal strength / transmit power in dBm.
+struct Dbm {
+  double value = 0.0;
+
+  constexpr Dbm() = default;
+  constexpr explicit Dbm(double v) : value(v) {}
+
+  constexpr auto operator<=>(const Dbm&) const = default;
+
+  /// Applies a gain/loss in dB.
+  constexpr Dbm operator+(double db) const { return Dbm{value + db}; }
+  constexpr Dbm operator-(double db) const { return Dbm{value - db}; }
+  /// Difference between two absolute levels is a relative dB figure.
+  constexpr double operator-(Dbm other) const { return value - other.value; }
+
+  /// Linear power in milliwatts.
+  double milliwatts() const;
+  static Dbm from_milliwatts(double mw);
+};
+
+/// Data rate in megabits per second.
+struct Mbps {
+  double value = 0.0;
+
+  constexpr Mbps() = default;
+  constexpr explicit Mbps(double v) : value(v) {}
+
+  constexpr auto operator<=>(const Mbps&) const = default;
+
+  /// Bytes deliverable in `seconds` at this rate.
+  constexpr double bytes_in(double seconds) const {
+    return value * 1e6 / 8.0 * seconds;
+  }
+  /// Seconds needed to deliver `bytes` at this rate.
+  constexpr double seconds_for(double bytes) const {
+    return value <= 0.0 ? 1e18 : bytes * 8.0 / (value * 1e6);
+  }
+};
+
+/// Simulation time in seconds (double — microsecond precision is ample
+/// for 33 ms frame budgets over minutes-long traces).
+using Seconds = double;
+
+/// Frequently used constants.
+inline constexpr double kSpeedOfLight = 299'792'458.0;      // m/s
+inline constexpr double kWigigFreqHz = 60.48e9;             // 802.11ad ch. 2
+inline constexpr double kFrameRate = 30.0;                  // paper: 30 FPS
+inline constexpr Seconds kFrameBudget = 1.0 / kFrameRate;   // 33.3 ms
+
+}  // namespace w4k

@@ -1,0 +1,83 @@
+#include "core/frame_context.h"
+
+#include <algorithm>
+
+namespace w4k::core {
+
+FrameContext make_frame_context(video::Frame frame,
+                                const video::Frame* previous,
+                                std::size_t symbol_size,
+                                std::size_t symbols_per_unit) {
+  FrameContext ctx;
+  ctx.encoded = video::encode(frame);
+  const quality::ContentFeatures f =
+      quality::content_features(frame, ctx.encoded);
+  ctx.units = sched::frame_units(frame.width(), frame.height(), symbol_size,
+                                 symbols_per_unit);
+  // Layer caps are the symbol-padded transmission sizes (sum of whole
+  // symbols over the layer's coding units), not the raw byte sizes —
+  // otherwise an allocation of exactly layer_bytes comes up a few symbols
+  // short of decoding the final unit of each sublayer.
+  for (int l = 0; l < video::kNumLayers; ++l) {
+    const auto ls = static_cast<std::size_t>(l);
+    ctx.content.layer_bytes[ls] = 0.0;
+    ctx.content.up_to_layer_ssim[ls] = f.up_to_layer[ls];
+  }
+  for (const auto& u : ctx.units)
+    ctx.content.layer_bytes[u.id.layer] +=
+        static_cast<double>(u.k_symbols * symbol_size);
+  ctx.content.blank_ssim = f.blank;
+  if (previous != nullptr)
+    ctx.prev_frame_ssim = quality::ssim(frame, *previous);
+  ctx.original = std::move(frame);
+  return ctx;
+}
+
+std::vector<FrameContext> make_contexts(const video::SyntheticVideo& clip,
+                                        int count,
+                                        std::size_t symbol_size) {
+  std::vector<FrameContext> out;
+  out.reserve(static_cast<std::size_t>(count));
+  video::Frame prev;
+  for (int t = 0; t < count && t < clip.frame_count(); ++t) {
+    video::Frame f = clip.frame(t);
+    out.push_back(make_frame_context(f, t > 0 ? &prev : nullptr,
+                                     symbol_size));
+    prev = std::move(f);
+  }
+  return out;
+}
+
+video::Frame reconstruct_from_units(const FrameContext& ctx,
+                                    const std::vector<bool>& unit_decoded) {
+  video::PartialFrame partial = video::PartialFrame::empty(
+      ctx.encoded.width, ctx.encoded.height);
+  for (std::size_t i = 0; i < ctx.units.size() && i < unit_decoded.size();
+       ++i) {
+    if (!unit_decoded[i]) continue;
+    const sched::UnitSpec& u = ctx.units[i];
+    const auto& src = ctx.encoded
+                          .layers[u.id.layer][static_cast<std::size_t>(u.sublayer_k)];
+    video::Segment seg;
+    seg.offset = u.offset;
+    seg.bytes.assign(src.begin() + static_cast<std::ptrdiff_t>(u.offset),
+                     src.begin() + static_cast<std::ptrdiff_t>(
+                                       u.offset + u.source_bytes));
+    partial.layers[u.id.layer][static_cast<std::size_t>(u.sublayer_k)]
+        .segments.push_back(std::move(seg));
+  }
+  return video::reconstruct(partial);
+}
+
+double rate_scale_for(int width, int height) {
+  return (static_cast<double>(width) * height) /
+         (static_cast<double>(video::k4kWidth) * video::k4kHeight);
+}
+
+std::size_t scaled_symbol_size(int width, int height) {
+  const double s = static_cast<double>(fec::kDefaultSymbolSize) *
+                   rate_scale_for(width, height);
+  return std::max<std::size_t>(40, static_cast<std::size_t>(s + 0.5));
+}
+
+}  // namespace w4k::core

@@ -1,0 +1,29 @@
+#include "core/pretrained.h"
+
+#include "model/dataset.h"
+
+namespace w4k::core {
+
+double ensure_trained(model::QualityModel& model,
+                      const PretrainedOptions& opts) {
+  if (!opts.cache_path.empty() && model.load_file(opts.cache_path))
+    return 0.0;
+
+  model::DatasetConfig cfg;
+  cfg.frames_per_video = opts.frames_per_video;
+  cfg.fractions_per_frame = opts.fractions_per_frame;
+  const model::Dataset ds = model::build_dataset(
+      video::standard_videos(opts.width, opts.height,
+                             opts.frames_per_video + 1),
+      cfg);
+
+  model::TrainConfig train;
+  train.epochs = opts.epochs;
+  model.train(ds.train, train);
+  const double test_mse = model.evaluate(ds.test);
+
+  if (!opts.cache_path.empty()) model.save_file(opts.cache_path);
+  return test_mse;
+}
+
+}  // namespace w4k::core

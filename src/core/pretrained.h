@@ -1,0 +1,29 @@
+// Lazily trained, disk-cached quality model shared by examples, tests and
+// benchmark harnesses, so each binary does not pay the dataset-generation
+// + training cost when a cached model is available and compatible.
+#pragma once
+
+#include "model/quality_model.h"
+
+#include <string>
+
+namespace w4k::core {
+
+struct PretrainedOptions {
+  /// Resolution of the synthetic clips the dataset is built from.
+  int width = 512;
+  int height = 288;
+  int frames_per_video = 4;
+  int fractions_per_frame = 60;
+  int epochs = 1500;
+  /// Cache file; empty disables caching.
+  std::string cache_path = "quality_model.cache";
+};
+
+/// Loads the model from `cache_path` if present, otherwise builds the
+/// dataset from the six standard clips, trains, and saves. Returns the
+/// held-out test MSE from training (0.0 when loaded from cache).
+double ensure_trained(model::QualityModel& model,
+                      const PretrainedOptions& opts = {});
+
+}  // namespace w4k::core

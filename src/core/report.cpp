@@ -1,0 +1,106 @@
+#include "core/report.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace w4k::core {
+
+void SessionReport::add(const FrameOutcome& outcome) {
+  frames_.push_back(outcome);
+}
+
+Summary SessionReport::ssim_summary() const {
+  std::vector<double> all;
+  for (const auto& f : frames_)
+    all.insert(all.end(), f.ssim.begin(), f.ssim.end());
+  return summarize(all);
+}
+
+Summary SessionReport::psnr_summary() const {
+  std::vector<double> all;
+  for (const auto& f : frames_)
+    all.insert(all.end(), f.psnr.begin(), f.psnr.end());
+  return summarize(all);
+}
+
+std::vector<double> SessionReport::per_user_mean_ssim() const {
+  if (frames_.empty()) return {};
+  std::vector<double> sums(users(), 0.0);
+  for (const auto& f : frames_)
+    for (std::size_t u = 0; u < sums.size() && u < f.ssim.size(); ++u)
+      sums[u] += f.ssim[u];
+  for (auto& s : sums) s /= static_cast<double>(frames_.size());
+  return sums;
+}
+
+double SessionReport::bad_frame_fraction(double ssim_threshold) const {
+  if (frames_.empty()) return 0.0;
+  std::size_t bad = 0;
+  for (const auto& f : frames_) {
+    bool any_bad = false;
+    for (double s : f.ssim) any_bad |= s < ssim_threshold;
+    bad += any_bad ? 1 : 0;
+  }
+  return static_cast<double>(bad) / static_cast<double>(frames_.size());
+}
+
+SessionReport::Totals SessionReport::totals() const {
+  Totals t;
+  for (const auto& f : frames_) {
+    t.packets_offered += f.stats.packets_offered;
+    t.packets_sent += f.stats.packets_sent;
+    t.packets_dropped_queue += f.stats.packets_dropped_queue;
+    t.makeup_packets += f.stats.makeup_packets;
+    t.airtime += f.stats.airtime;
+  }
+  return t;
+}
+
+std::string SessionReport::summary_text() const {
+  std::ostringstream os;
+  os << "frames: " << frames() << ", users: " << users() << "\n";
+  os << "SSIM " << to_string(ssim_summary()) << "\n";
+  os << "PSNR " << to_string(psnr_summary()) << "\n";
+  os << "per-user mean SSIM:";
+  for (double s : per_user_mean_ssim()) {
+    os.precision(4);
+    os << " " << std::fixed << s;
+  }
+  os << "\nbad-frame rate (<0.9): " << bad_frame_fraction() << "\n";
+  const Totals t = totals();
+  os << "packets sent " << t.packets_sent << " (makeup " << t.makeup_packets
+     << ", queue-dropped " << t.packets_dropped_queue << "), airtime "
+     << t.airtime << " s\n";
+  return os.str();
+}
+
+void SessionReport::write_csv(std::ostream& os) const {
+  const std::size_t n = users();
+  os << "frame";
+  for (std::size_t u = 0; u < n; ++u) os << ",ssim_u" << u;
+  for (std::size_t u = 0; u < n; ++u) os << ",psnr_u" << u;
+  for (std::size_t u = 0; u < n; ++u) os << ",decoded_u" << u;
+  os << ",packets_sent,packets_dropped,makeup,airtime_s\n";
+  for (std::size_t i = 0; i < frames_.size(); ++i) {
+    const auto& f = frames_[i];
+    os << i;
+    for (std::size_t u = 0; u < n; ++u)
+      os << ',' << (u < f.ssim.size() ? f.ssim[u] : 0.0);
+    for (std::size_t u = 0; u < n; ++u)
+      os << ',' << (u < f.psnr.size() ? f.psnr[u] : 0.0);
+    for (std::size_t u = 0; u < n; ++u)
+      os << ',' << (u < f.decoded_fraction.size() ? f.decoded_fraction[u] : 0.0);
+    os << ',' << f.stats.packets_sent << ',' << f.stats.packets_dropped_queue
+       << ',' << f.stats.makeup_packets << ',' << f.stats.airtime << '\n';
+  }
+}
+
+void SessionReport::write_csv_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os)
+    throw std::runtime_error("SessionReport: cannot create " + path);
+  write_csv(os);
+  if (!os) throw std::runtime_error("SessionReport: write failed");
+}
+
+}  // namespace w4k::core

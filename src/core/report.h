@@ -1,0 +1,59 @@
+// Session telemetry: accumulates per-frame outcomes and renders them as a
+// human-readable summary or machine-readable CSV — what an operator of
+// the streaming system (or a researcher plotting results) consumes.
+#pragma once
+
+#include "common/stats.h"
+#include "core/session.h"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace w4k::core {
+
+class SessionReport {
+ public:
+  /// Records one streamed frame's outcome.
+  void add(const FrameOutcome& outcome);
+
+  std::size_t frames() const { return frames_.size(); }
+  std::size_t users() const {
+    return frames_.empty() ? 0 : frames_.front().ssim.size();
+  }
+
+  /// Quality aggregated over all (frame, user) samples.
+  Summary ssim_summary() const;
+  Summary psnr_summary() const;
+
+  /// Per-user mean SSIM (fairness view).
+  std::vector<double> per_user_mean_ssim() const;
+
+  /// Fraction of frames with any user below the SSIM threshold — the
+  /// "bad frame" rate a viewer perceives as glitches.
+  double bad_frame_fraction(double ssim_threshold = 0.9) const;
+
+  /// Transport totals across the session.
+  struct Totals {
+    std::size_t packets_offered = 0;
+    std::size_t packets_sent = 0;
+    std::size_t packets_dropped_queue = 0;
+    std::size_t makeup_packets = 0;
+    Seconds airtime = 0.0;
+  };
+  Totals totals() const;
+
+  /// Multi-line human-readable summary.
+  std::string summary_text() const;
+
+  /// CSV with one row per frame: frame, user columns for SSIM/PSNR,
+  /// decoded fraction, packets sent/dropped, airtime.
+  void write_csv(std::ostream& os) const;
+  /// Convenience file variant; throws std::runtime_error on I/O failure.
+  void write_csv_file(const std::string& path) const;
+
+ private:
+  std::vector<FrameOutcome> frames_;
+};
+
+}  // namespace w4k::core

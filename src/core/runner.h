@@ -1,0 +1,53 @@
+// Experiment runners: user placement helpers and the static / trace-driven
+// streaming loops shared by the benchmark harnesses and tests.
+#pragma once
+
+#include "channel/mobility.h"
+#include "channel/propagation.h"
+#include "core/session.h"
+
+#include <vector>
+
+namespace w4k::core {
+
+/// Places `n` users at a fixed distance with angular positions drawn so the
+/// spread from leftmost to rightmost equals the given maximum angular
+/// spacing (testbed placements, Fig. 4a).
+std::vector<channel::Position> place_users_fixed(std::size_t n,
+                                                 double distance_m,
+                                                 double mas_rad, Rng& rng);
+
+/// Random placements with distance in [min, max] and azimuths inside a
+/// window of width `mas_rad` (emulation placements, Fig. 4b).
+std::vector<channel::Position> place_users_random(std::size_t n,
+                                                  double min_distance_m,
+                                                  double max_distance_m,
+                                                  double mas_rad, Rng& rng);
+
+/// Channels for a static placement.
+std::vector<linalg::CVector> channels_for(
+    const channel::PropagationConfig& prop,
+    const std::vector<channel::Position>& users);
+
+/// Aggregate of one experiment run.
+struct RunResult {
+  std::vector<double> ssim;  ///< one entry per (frame, user)
+  std::vector<double> psnr;
+  std::vector<FrameOutcome> frames;
+};
+
+/// Streams `n_frames` over a static channel, cycling through `contexts`.
+/// Decision CSI equals the true channel (static case: beacons are fresh).
+RunResult run_static(MulticastSession& session,
+                     const std::vector<linalg::CVector>& channels,
+                     const std::vector<FrameContext>& contexts, int n_frames);
+
+/// Streams over a CSI trace at 30 FPS (3 frames per 100 ms beacon): the
+/// sender acts on the previous beacon's CSI while the true channel is the
+/// current snapshot — the one-beacon staleness of real 802.11ad.
+RunResult run_trace(MulticastSession& session,
+                    const channel::CsiTrace& trace,
+                    const std::vector<FrameContext>& contexts,
+                    int frames_per_snapshot = 3);
+
+}  // namespace w4k::core

@@ -1,0 +1,243 @@
+#include "core/session.h"
+
+#include "beamforming/csi.h"
+#include "beamforming/sls.h"
+#include "channel/array.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace w4k::core {
+
+SessionConfig SessionConfig::scaled(int width, int height) {
+  SessionConfig cfg;
+  cfg.rate_scale = rate_scale_for(width, height);
+  cfg.engine.symbol_size = scaled_symbol_size(width, height);
+  cfg.engine.header_bytes = 0;
+  // The kernel/driver queue shrinks with the data volume so the
+  // no-rate-control overflow regime (Fig. 9) is preserved at reduced
+  // resolution.
+  cfg.engine.queue_capacity_bytes = std::max<std::size_t>(
+      cfg.engine.symbol_size * 16,
+      static_cast<std::size_t>(6'000'000 * cfg.rate_scale));
+  return cfg;
+}
+
+MulticastSession::MulticastSession(const SessionConfig& cfg,
+                                   model::QualityModel& quality,
+                                   beamforming::Codebook codebook)
+    : cfg_(cfg),
+      quality_(quality),
+      codebook_(std::move(codebook)),
+      engine_(cfg.engine),
+      rng_(cfg.seed) {
+  if (cfg.rate_scale <= 0.0)
+    throw std::invalid_argument("MulticastSession: rate_scale must be > 0");
+}
+
+void MulticastSession::reset() {
+  frozen_.reset();
+  last_measured_.clear();
+  cached_channels_.clear();
+  cached_groups_.clear();
+  engine_.clear_backlog();
+  rng_.reseed(cfg_.seed);
+}
+
+namespace {
+
+bool same_channels(const std::vector<linalg::CVector>& a,
+                   const std::vector<linalg::CVector>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].size() != b[i].size()) return false;
+    for (std::size_t n = 0; n < a[i].size(); ++n)
+      if (a[i][n] != b[i][n]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+MulticastSession::Decision MulticastSession::decide(
+    const std::vector<linalg::CVector>& channels, const FrameContext& ctx) {
+  Decision d;
+  if (!cached_groups_.empty() && same_channels(channels, cached_channels_)) {
+    d.groups = cached_groups_;
+  } else {
+    d.groups = sched::enumerate_groups(cfg_.scheme, channels, codebook_, rng_,
+                                       cfg_.group_enum);
+    // Scale Table 2 rates to the frame resolution before any byte math.
+    for (auto& g : d.groups)
+      g.beam.rate = Mbps{g.beam.rate.value * cfg_.rate_scale};
+    cached_channels_ = channels;
+    cached_groups_ = d.groups;
+  }
+
+  if (d.groups.empty()) return d;  // deep outage: nothing schedulable
+
+  sched::AllocProblem problem;
+  problem.groups = d.groups;
+  problem.n_users = channels.size();
+  problem.content = ctx.content;
+  problem.time_budget =
+      cfg_.engine.frame_budget * (1.0 - cfg_.makeup_margin);
+  problem.lambda = cfg_.lambda;
+
+  d.allocation = cfg_.optimized_schedule
+                     ? sched::optimize_allocation(problem, quality_,
+                                                  cfg_.optimizer)
+                     : sched::round_robin_allocation(problem, quality_);
+  d.unit_map = sched::map_to_units(d.groups, d.allocation.bytes, ctx.units,
+                                   channels.size(), cfg_.engine.symbol_size);
+  return d;
+}
+
+FrameOutcome MulticastSession::step(
+    const std::vector<linalg::CVector>& decision_channels,
+    const std::vector<linalg::CVector>& true_channels,
+    const FrameContext& ctx) {
+  if (decision_channels.size() != true_channels.size())
+    throw std::invalid_argument("step: channel vector count mismatch");
+  const std::size_t n_users = true_channels.size();
+
+  // Optionally estimate CSI the way the hardware does (SLS sweep + phase
+  // retrieval) instead of taking the beacon channels as ground truth.
+  const std::vector<linalg::CVector>* decision_csi = &decision_channels;
+  std::vector<linalg::CVector> estimated;
+  if (cfg_.use_estimated_csi) {
+    if (codebook_.size() < (decision_channels.empty()
+                                ? 1
+                                : decision_channels.front().size()))
+      throw std::invalid_argument(
+          "step: CSI estimation needs codebook size >= antenna count");
+    estimated.reserve(decision_channels.size());
+    for (const auto& h : decision_channels) {
+      const beamforming::SweepResult sweep =
+          beamforming::sector_sweep(h, codebook_, rng_, cfg_.sls_noise_db);
+      estimated.push_back(beamforming::estimate_csi(sweep, codebook_).h);
+    }
+    decision_csi = &estimated;
+  }
+
+  const Decision* decision = nullptr;
+  Decision fresh;
+  if (!cfg_.adapt) {
+    if (!frozen_) frozen_ = decide(*decision_csi, ctx);
+    decision = &*frozen_;
+  } else {
+    fresh = decide(*decision_csi, ctx);
+    decision = &fresh;
+  }
+
+  // "No Update" freezes the app-level decision (groups, time allocation,
+  // packet schedule), but the 802.11ad firmware keeps training beams and
+  // adapting MCS on its own — the link stays alive on pre-defined sectors
+  // even though the schedule's rate assumptions have gone stale. Without
+  // this, a walking receiver would simply leave the frozen beam, which is
+  // not what happens on real hardware. The firmware's knowledge has the
+  // same one-beacon staleness as everyone else's: it trains on the last
+  // sweep (decision_channels), not on the in-flight channel.
+  std::vector<linalg::CVector> fallback_beams;
+  if (!cfg_.adapt && codebook_.size() > 0) {
+    fallback_beams.reserve(decision->groups.size());
+    for (const auto& spec : decision->groups) {
+      const linalg::CVector* best = nullptr;
+      double best_min = -1e300;
+      for (std::size_t k = 0; k < codebook_.size(); ++k) {
+        double min_rss = 1e300;
+        for (std::size_t u : spec.members)
+          min_rss = std::min(
+              min_rss,
+              channel::beam_rss(decision_channels[u], codebook_[k]).value);
+        if (min_rss > best_min) {
+          best_min = min_rss;
+          best = &codebook_[k];
+        }
+      }
+      fallback_beams.push_back(best != nullptr ? *best : spec.beam.beam);
+    }
+  }
+
+  FrameOutcome out;
+  out.optimizer_objective = decision->allocation.objective;
+
+  if (decision->groups.empty()) {
+    // Outage frame: receivers render the blank frame.
+    const video::Frame blank =
+        video::Frame::blank(ctx.original.width(), ctx.original.height());
+    const double s = quality::ssim(ctx.original, blank);
+    const double p = quality::psnr(ctx.original, blank);
+    out.ssim.assign(n_users, s);
+    out.psnr.assign(n_users, p);
+    out.decoded_fraction.assign(n_users, 0.0);
+    return out;
+  }
+
+  // Assemble the per-group transmission parameters against the *current*
+  // channel (the decision was made on beacon-time CSI). Indices must stay
+  // 1:1 with decision->groups because the assignments reference them; a
+  // group whose MCS lookup fails keeps a zero drain rate and the engine
+  // drops its packets.
+  std::vector<emu::GroupTx> groups_tx;
+  groups_tx.reserve(decision->groups.size());
+  for (std::size_t g = 0; g < decision->groups.size(); ++g) {
+    const auto& spec = decision->groups[g];
+    emu::GroupTx tx;
+    tx.members = spec.members;
+    // Beam actually on the air: the decision's optimized beam, or the
+    // firmware-tracked fallback sector in No-Update mode.
+    const linalg::CVector& air_beam =
+        fallback_beams.empty() ? spec.beam.beam : fallback_beams[g];
+    // MCS from the freshest link knowledge available: in No-Update mode
+    // the firmware's own tracking (current channel, fallback beam);
+    // otherwise the beacon-time decision RSS, minus the mobility margin.
+    Dbm link_rss = spec.beam.min_rss;
+    if (!fallback_beams.empty()) {
+      link_rss = Dbm{1e300};
+      for (std::size_t u : spec.members)
+        link_rss = std::min(
+            link_rss, channel::beam_rss(decision_channels[u], air_beam));
+    }
+    if (const auto mcs =
+            channel::select_mcs(link_rss - cfg_.mcs_margin_db)) {
+      tx.mcs = *mcs;
+      tx.drain_rate = Mbps{mcs->udp_throughput.value * cfg_.rate_scale};
+      tx.bucket_rate = (cfg_.adapt && g < last_measured_.size() &&
+                        last_measured_[g].value > 0.0)
+                           ? last_measured_[g]
+                           : tx.drain_rate;
+      for (std::size_t u : spec.members) {
+        const Dbm rss = channel::beam_rss(true_channels[u], air_beam);
+        tx.member_loss.push_back(
+            u == cfg_.associated_user
+                ? emu::associated_loss(cfg_.loss, rss, *mcs)
+                : emu::monitor_loss(cfg_.loss, rss, *mcs));
+      }
+    }
+    groups_tx.push_back(std::move(tx));
+  }
+
+  const emu::FrameTxResult tx_result =
+      engine_.run_frame(ctx.units, decision->unit_map.assignments, groups_tx,
+                        n_users, rng_);
+
+  if (cfg_.adapt) last_measured_ = tx_result.measured_rate;
+
+  out.stats = tx_result.stats;
+  for (std::size_t u = 0; u < n_users; ++u) {
+    const video::Frame rec =
+        reconstruct_from_units(ctx, tx_result.user_decoded[u]);
+    out.ssim.push_back(quality::ssim(ctx.original, rec));
+    out.psnr.push_back(quality::psnr(ctx.original, rec));
+    std::size_t decoded = 0;
+    for (bool b : tx_result.user_decoded[u]) decoded += b ? 1 : 0;
+    out.decoded_fraction.push_back(
+        ctx.units.empty() ? 0.0
+                          : static_cast<double>(decoded) /
+                                static_cast<double>(ctx.units.size()));
+  }
+  return out;
+}
+
+}  // namespace w4k::core

@@ -1,0 +1,116 @@
+// End-to-end multicast streaming session — the Fig. 3 workflow.
+//
+// Per frame: (CSI) -> multicast beamforming for every candidate group ->
+// group UDP rates -> time-allocation optimization (Eq. 1) -> coding-unit
+// mapping (Eq. 4) -> leaky-bucket-paced transmission with feedback/makeup
+// rounds -> per-user reconstruction and SSIM/PSNR measurement.
+//
+// The session supports the paper's ablations through its config:
+//   * beamforming scheme (4 variants, Sec. 4.2.1),
+//   * optimized vs round-robin scheduling (Sec. 4.2.2),
+//   * rate control on/off (Sec. 4.2.3),
+//   * source coding on/off (Sec. 4.2.4),
+//   * Real-time Update vs No Update channel adaptation (Sec. 4.3.4).
+#pragma once
+
+#include "beamforming/multicast.h"
+#include "core/frame_context.h"
+#include "emu/engine.h"
+#include "model/quality_model.h"
+#include "sched/groups.h"
+
+#include <optional>
+#include <vector>
+
+namespace w4k::core {
+
+struct SessionConfig {
+  /// Config pre-wired for a reduced-resolution emulation: rate scale,
+  /// symbol size, and header overhead all scaled to the frame dimensions
+  /// (see frame_context.h). Contexts must be built with the same symbol
+  /// size (make_contexts does this when given scaled_symbol_size(w, h)).
+  static SessionConfig scaled(int width, int height);
+
+  beamforming::Scheme scheme = beamforming::Scheme::kOptimizedMulticast;
+  bool optimized_schedule = true;  ///< false = round-robin baseline
+  bool adapt = true;               ///< false = "No Update"
+  /// dB backed off the measured min-RSS before MCS selection. Mobile runs
+  /// use 1-2 dB: the beacon-time CSI is up to 100 ms stale, and selecting
+  /// at the exact sensitivity makes every fade a burst of losses.
+  double mcs_margin_db = 0.0;
+  /// Run ACO-style CSI estimation (SLS sweep + phase retrieval over the
+  /// codebook) instead of assuming perfect CSI at the sender. Requires a
+  /// codebook with at least as many beams as antennas. This is what the
+  /// real system does (Fig. 3 starts with "fetch CSI using ACO").
+  bool use_estimated_csi = false;
+  /// Per-beam RSS readout noise for the SLS sweeps (dB).
+  double sls_noise_db = 0.5;
+  emu::EngineConfig engine;
+  sched::GroupEnumConfig group_enum;
+  sched::OptimizerConfig optimizer;
+  emu::LossModel loss;
+  /// Scales Table 2 rates to the frame resolution (see rate_scale_for).
+  double rate_scale = 1.0;
+  double lambda = 1e-8;            ///< Eq. 1 traffic penalty (per byte)
+  /// Fraction of the frame budget withheld from the schedule so feedback
+  /// and fountain-coded makeup packets fit inside the same 1/FR deadline
+  /// ("the feedbacks and all retransmissions should finish within 33 ms").
+  double makeup_margin = 0.08;
+  /// Index of the associated (MAC-ARQ) STA; the rest are monitor mode.
+  std::size_t associated_user = 0;
+  std::uint64_t seed = 1;
+};
+
+struct FrameOutcome {
+  std::vector<double> ssim;          ///< measured per user
+  std::vector<double> psnr;          ///< measured per user
+  std::vector<double> decoded_fraction;  ///< decoded units / total units
+  emu::FrameTxStats stats;
+  double optimizer_objective = 0.0;
+};
+
+class MulticastSession {
+ public:
+  /// `quality` must be trained; `codebook` is used by pre-defined schemes
+  /// (pass a default-constructed one only with optimized schemes).
+  MulticastSession(const SessionConfig& cfg, model::QualityModel& quality,
+                   beamforming::Codebook codebook);
+
+  const SessionConfig& config() const { return cfg_; }
+
+  /// Streams one frame. `decision_channels` is the CSI the sender acts on
+  /// (last beacon); `true_channels` is the channel during transmission.
+  /// In No-Update mode the decision made on the first call is reused
+  /// forever (matching the paper's baseline).
+  FrameOutcome step(const std::vector<linalg::CVector>& decision_channels,
+                    const std::vector<linalg::CVector>& true_channels,
+                    const FrameContext& ctx);
+
+  /// Drops cached decisions and backlog (e.g. between independent runs).
+  void reset();
+
+ private:
+  struct Decision {
+    std::vector<sched::GroupSpec> groups;
+    sched::Allocation allocation;
+    sched::UnitMapResult unit_map;
+  };
+
+  Decision decide(const std::vector<linalg::CVector>& channels,
+                  const FrameContext& ctx);
+
+  SessionConfig cfg_;
+  model::QualityModel& quality_;
+  beamforming::Codebook codebook_;
+  emu::TxEngine engine_;
+  Rng rng_;
+  std::optional<Decision> frozen_;            ///< No-Update cache
+  std::vector<Mbps> last_measured_;           ///< per-group rate feedback
+  /// Group-enumeration cache: beamforming depends only on the CSI, so for
+  /// static channels the (expensive) per-subset SVD is reused across
+  /// frames while the allocation still re-optimizes per frame content.
+  std::vector<linalg::CVector> cached_channels_;
+  std::vector<sched::GroupSpec> cached_groups_;
+};
+
+}  // namespace w4k::core

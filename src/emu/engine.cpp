@@ -1,0 +1,269 @@
+#include "emu/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace w4k::emu {
+namespace {
+
+/// Per-user reception state for one coding unit.
+struct UnitRx {
+  std::size_t innovative = 0;          ///< source-coding mode
+  bool decoded = false;
+  /// Set when the decode attempt at exactly k symbols hit the residual
+  /// 1/256 rank deficiency; one more symbol almost surely completes it.
+  bool needs_extra = false;
+  std::vector<bool> have_index;        ///< systematic mode (size k)
+};
+
+struct QueueEntry {
+  Seconds drain_finish = 0.0;
+  std::size_t wire = 0;
+};
+
+}  // namespace
+
+TxEngine::TxEngine(const EngineConfig& cfg) : cfg_(cfg) {
+  if (cfg.symbol_size == 0)
+    throw std::invalid_argument("TxEngine: zero symbol size");
+  if (cfg.queue_capacity_bytes == 0)
+    throw std::invalid_argument("TxEngine: zero queue capacity");
+}
+
+FrameTxResult TxEngine::run_frame(
+    const std::vector<sched::UnitSpec>& units,
+    const std::vector<sched::UnitAssignment>& assignments,
+    const std::vector<GroupTx>& groups, std::size_t n_users, Rng& rng) {
+  const std::size_t wire = cfg_.header_bytes + cfg_.symbol_size;
+
+  FrameTxResult res;
+  res.user_symbols.assign(n_users, std::vector<std::size_t>(units.size(), 0));
+  res.user_decoded.assign(n_users, std::vector<bool>(units.size(), false));
+  res.measured_rate.assign(groups.size(), Mbps{0.0});
+
+  // Reception state: [user][unit].
+  std::vector<std::vector<UnitRx>> rx(n_users,
+                                      std::vector<UnitRx>(units.size()));
+  if (!cfg_.source_coding) {
+    for (auto& user : rx)
+      for (std::size_t i = 0; i < units.size(); ++i)
+        user[i].have_index.assign(units[i].k_symbols, false);
+  }
+
+  // Per-(group,unit) sent counters: ESI sequencing and feedback deficits.
+  std::map<std::pair<std::size_t, std::size_t>, std::size_t> sent_by_group;
+  // Sender-global fresh-symbol counter per unit (source-coding mode).
+  std::vector<std::size_t> unit_next_esi(units.size(), 0);
+
+  // --- Timeline state -----------------------------------------------------
+  Seconds t = 0.0;  // sender-side enqueue clock
+  // Drain stale backlog from previous frames first (rate control off):
+  // those bytes occupy the radio before anything of this frame moves.
+  Seconds drain_free = 0.0;
+  if (backlog_bytes_ > 0.0 && backlog_rate_.value > 0.0) {
+    const Seconds stale_air = backlog_rate_.seconds_for(backlog_bytes_);
+    drain_free = std::min(cfg_.frame_budget, stale_air);
+    backlog_bytes_ = std::max(
+        0.0, backlog_bytes_ - backlog_rate_.bytes_in(cfg_.frame_budget));
+  } else {
+    backlog_bytes_ = 0.0;
+  }
+
+  std::deque<QueueEntry> queue;
+  double queue_bytes = backlog_bytes_;
+
+  std::vector<transport::LeakyBucket> buckets;
+  std::vector<Seconds> bucket_clock(groups.size(), 0.0);
+  buckets.reserve(groups.size());
+  for (const auto& g : groups) {
+    const Mbps fill = g.bucket_rate.value > 0.0 ? g.bucket_rate : g.drain_rate;
+    buckets.emplace_back(fill, std::max<std::size_t>(wire, cfg_.bucket_packets * wire));
+  }
+
+  double new_backlog = 0.0;
+  Mbps last_drain_rate{0.0};
+
+  // Sends one symbol packet of `group` for unit `ui`. Returns false when
+  // the frame budget is exhausted (packet deferred to backlog) and the
+  // caller should stop offering packets.
+  const auto send_packet = [&](std::size_t gi, std::size_t ui,
+                               bool makeup) -> bool {
+    ++res.stats.packets_offered;
+    if (makeup) ++res.stats.makeup_packets;
+    const GroupTx& g = groups[gi];
+    if (g.drain_rate.value <= 0.0) {
+      ++res.stats.packets_dropped_queue;
+      return true;
+    }
+
+    if (cfg_.rate_control) {
+      auto& bucket = buckets[gi];
+      if (t > bucket_clock[gi]) {
+        bucket.advance(t - bucket_clock[gi]);
+        bucket_clock[gi] = t;
+      }
+      const Seconds wait = bucket.time_until(wire);
+      if (wait > 0.0) {
+        t += wait;
+        bucket.advance(wait);
+        bucket_clock[gi] = t;
+      }
+      bucket.on_send(wire);
+      if (t >= cfg_.frame_budget) return false;
+    }
+
+    // Kernel queue admission at enqueue time t (0 when rate control off).
+    const Seconds enq = cfg_.rate_control ? t : 0.0;
+    while (!queue.empty() && queue.front().drain_finish <= enq) {
+      queue_bytes -= static_cast<double>(queue.front().wire);
+      queue.pop_front();
+    }
+    if (queue_bytes + static_cast<double>(wire) >
+        static_cast<double>(cfg_.queue_capacity_bytes)) {
+      ++res.stats.packets_dropped_queue;
+      return true;
+    }
+
+    const Seconds air = g.drain_rate.seconds_for(static_cast<double>(wire));
+    const Seconds start = std::max(drain_free, enq);
+    const Seconds finish = start + air;
+    last_drain_rate = g.drain_rate;
+
+    if (finish > cfg_.frame_budget) {
+      // Misses the frame deadline: rides in the queue into the next frame
+      // as stale data (rate control keeps this path essentially unused).
+      new_backlog += static_cast<double>(wire);
+      queue.push_back(QueueEntry{finish, wire});
+      queue_bytes += static_cast<double>(wire);
+      return !cfg_.rate_control;  // with RC, budget is up - stop offering
+    }
+    drain_free = finish;
+    queue.push_back(QueueEntry{finish, wire});
+    queue_bytes += static_cast<double>(wire);
+
+    ++res.stats.packets_sent;
+    res.stats.airtime += air;
+
+    // Which symbol does this packet carry?
+    const auto key = std::make_pair(gi, ui);
+    const std::size_t seq = sent_by_group[key]++;
+    std::size_t index = 0;
+    bool innovative_symbol = true;
+    if (cfg_.source_coding) {
+      index = unit_next_esi[ui]++;
+    } else {
+      // Systematic-only: each group cycles its unit's source symbols from
+      // the beginning — overlapping groups duplicate prefixes.
+      index = seq % units[ui].k_symbols;
+      innovative_symbol = false;
+    }
+
+    for (std::size_t m = 0; m < g.members.size(); ++m) {
+      const std::size_t u = g.members[m];
+      const double loss = m < g.member_loss.size() ? g.member_loss[m] : 0.0;
+      if (rng.chance(loss)) continue;
+      UnitRx& state = rx[u][ui];
+      if (cfg_.source_coding) {
+        (void)innovative_symbol;
+        ++state.innovative;
+        // Incremental decode attempt: succeeds for sure past k+1, and
+        // with probability 255/256 at exactly k (dense GF(256) rank).
+        // A failure at k is visible to the receiver, so its feedback
+        // asks for one more symbol.
+        if (!state.decoded && state.innovative >= units[ui].k_symbols) {
+          const std::size_t h = state.innovative - units[ui].k_symbols;
+          if (h == 0) {
+            if (rng.chance(1.0 / 256.0)) state.needs_extra = true;
+            else state.decoded = true;
+          } else {
+            state.decoded = true;
+          }
+        }
+      } else if (!state.have_index[index]) {
+        state.have_index[index] = true;
+        ++state.innovative;
+        state.decoded = state.innovative >= units[ui].k_symbols;
+      }
+    }
+    return true;
+  };
+
+  // --- Initial pass: the optimizer's schedule ----------------------------
+  bool budget_left = true;
+  for (const auto& a : assignments) {
+    if (a.group >= groups.size())
+      throw std::invalid_argument("run_frame: assignment references "
+                                  "unknown group");
+    for (std::size_t s = 0; s < a.symbols && budget_left; ++s)
+      budget_left = send_packet(a.group, a.unit_index, /*makeup=*/false);
+    if (!budget_left) break;
+  }
+
+  // --- Feedback + makeup rounds (Sec. 2.6) --------------------------------
+  for (int round = 0; round < cfg_.feedback_rounds && budget_left; ++round) {
+    t = std::max(t, drain_free) + cfg_.feedback_latency;
+    if (t >= cfg_.frame_budget) break;
+    if (!cfg_.rate_control) drain_free = std::max(drain_free, t);
+
+    bool any = false;
+    for (std::size_t ui = 0; ui < units.size() && budget_left; ++ui) {
+      for (std::size_t gi = 0; gi < groups.size() && budget_left; ++gi) {
+        const auto key = std::make_pair(gi, ui);
+        const auto it = sent_by_group.find(key);
+        if (it == sent_by_group.end()) continue;  // group doesn't own unit
+        // Deficit P: worst member's shortfall toward decoding this unit
+        // (a rank-deficient decode at exactly k asks for one extra).
+        std::size_t deficit = 0;
+        for (std::size_t u : groups[gi].members) {
+          const UnitRx& state = rx[u][ui];
+          if (state.decoded) continue;
+          const std::size_t k = units[ui].k_symbols;
+          const std::size_t need =
+              state.innovative < k ? k - state.innovative : 1;
+          deficit = std::max(deficit, need);
+        }
+        for (std::size_t s = 0; s < deficit && budget_left; ++s) {
+          any = true;
+          budget_left = send_packet(gi, ui, /*makeup=*/true);
+        }
+      }
+    }
+    if (!any) break;
+  }
+
+  // --- Decode + measurement ----------------------------------------------
+  for (std::size_t u = 0; u < n_users; ++u) {
+    for (std::size_t ui = 0; ui < units.size(); ++ui) {
+      res.user_symbols[u][ui] = rx[u][ui].innovative;
+      res.user_decoded[u][ui] = rx[u][ui].decoded;
+    }
+  }
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    // Probe packets arrive back-to-back at the drain rate; lost probes
+    // stretch the measured spacing, so the estimate reflects the worst
+    // member's goodput (which is what the bucket must not exceed), with
+    // small measurement jitter.
+    if (groups[gi].drain_rate.value > 0.0) {
+      double worst_loss = 0.0;
+      for (double p : groups[gi].member_loss)
+        worst_loss = std::max(worst_loss, p);
+      const double goodput =
+          groups[gi].drain_rate.value * (1.0 - worst_loss);
+      res.measured_rate[gi] =
+          Mbps{std::max(0.0, goodput * (1.0 + rng.gaussian(0.0, 0.02)))};
+    }
+  }
+
+  // Whatever still sits in the queue past the deadline is next frame's
+  // stale backlog.
+  backlog_bytes_ = std::min(new_backlog,
+                            static_cast<double>(cfg_.queue_capacity_bytes));
+  backlog_rate_ = last_drain_rate;
+  res.stats.backlog_packets_after =
+      static_cast<std::size_t>(backlog_bytes_ / static_cast<double>(wire));
+  return res;
+}
+
+}  // namespace w4k::emu

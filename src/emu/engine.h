@@ -1,0 +1,109 @@
+// Per-frame transmission engine.
+//
+// Simulates one video frame's air transmissions for the pseudo-multicast
+// setup: the sender drains a kernel packet queue serialized over one radio,
+// pacing either through per-group leaky buckets (rate control on) or by
+// dumping the whole frame burst into the queue (rate control off — the
+// Fig. 9 baseline, where queue overflow drops packets and leftovers bleed
+// into the next frame). Each delivered packet reaches every group member
+// independently per the loss model; reception is tracked per coding unit,
+// either as innovative-symbol counts (source coding on) or as bitmaps of
+// specific systematic symbol indices (source coding off — the Fig. 10/14
+// baseline, where overlapping groups duplicate data and retransmissions
+// help only receivers missing that exact index).
+//
+// Feedback rounds implement Sec. 2.6's makeup scheme: receivers report
+// per-unit per-group reception counts, the sender computes the deficit
+// P = sent - received and transmits P additional (fresh) symbols, all
+// within the same 1/FR frame budget.
+#pragma once
+
+#include "common/rng.h"
+#include "emu/loss.h"
+#include "sched/unitmap.h"
+#include "transport/leaky_bucket.h"
+#include "transport/packet.h"
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace w4k::emu {
+
+/// Transmission parameters of one multicast group for this frame.
+struct GroupTx {
+  std::vector<std::size_t> members;
+  channel::McsEntry mcs;             ///< MCS forced by the sender
+  /// Air rate the queue drains at for this group's packets. The caller may
+  /// scale Table 2 rates (e.g. for reduced-resolution frames).
+  Mbps drain_rate{0.0};
+  /// Rate the leaky bucket fills at (receiver's bandwidth feedback from
+  /// the previous frame; defaults to drain_rate when there is none).
+  Mbps bucket_rate{0.0};
+  /// Per-member packet loss probability at the current (true) channel.
+  std::vector<double> member_loss;
+};
+
+struct EngineConfig {
+  std::size_t symbol_size = fec::kDefaultSymbolSize;
+  /// Per-packet header overhead on the air. Scaled emulations set this to
+  /// 0: at 4K the real 16 B amounts to 0.27% and scaling the symbol size
+  /// down would otherwise inflate it to a distorting ~15%.
+  std::size_t header_bytes = transport::Packet::kHeaderBytes;
+  Seconds frame_budget = kFrameBudget;
+  bool rate_control = true;
+  bool source_coding = true;
+  std::size_t bucket_packets = 10;    ///< leaky bucket depth (Sec. 2.7)
+  std::size_t queue_capacity_bytes = 6'000'000;  ///< kernel/driver queue
+  int feedback_rounds = 2;
+  Seconds feedback_latency = 0.8e-3;  ///< per round, deducted from budget
+};
+
+struct FrameTxStats {
+  std::size_t packets_offered = 0;   ///< schedule + makeup packets
+  std::size_t packets_sent = 0;      ///< actually transmitted over the air
+  std::size_t packets_dropped_queue = 0;
+  std::size_t makeup_packets = 0;
+  Seconds airtime = 0.0;
+  std::size_t backlog_packets_after = 0;
+};
+
+struct FrameTxResult {
+  /// user_symbols[u][i]: innovative symbols user u holds for frame unit i.
+  std::vector<std::vector<std::size_t>> user_symbols;
+  /// user_decoded[u][i]: unit decodable (includes the rateless-code
+  /// residual failure probability when exactly k symbols arrived).
+  std::vector<std::vector<bool>> user_decoded;
+  /// Per-group bandwidth the receivers measured this frame (probe packets
+  /// arrive back-to-back at the drain rate); feeds next frame's buckets.
+  std::vector<Mbps> measured_rate;
+  FrameTxStats stats;
+};
+
+/// Stateful across frames only through the kernel-queue backlog (rate
+/// control off) — everything else is per-frame.
+class TxEngine {
+ public:
+  explicit TxEngine(const EngineConfig& cfg);
+
+  const EngineConfig& config() const { return cfg_; }
+
+  /// Simulates one frame. `units` and `assignments` come from
+  /// sched::frame_units / sched::map_to_units; `groups` must cover every
+  /// group index referenced by the assignments.
+  FrameTxResult run_frame(const std::vector<sched::UnitSpec>& units,
+                          const std::vector<sched::UnitAssignment>& assignments,
+                          const std::vector<GroupTx>& groups,
+                          std::size_t n_users, Rng& rng);
+
+  /// Stale bytes still queued from previous frames.
+  double backlog_bytes() const { return backlog_bytes_; }
+  void clear_backlog() { backlog_bytes_ = 0.0; backlog_rate_ = Mbps{0.0}; }
+
+ private:
+  EngineConfig cfg_;
+  double backlog_bytes_ = 0.0;
+  Mbps backlog_rate_{0.0};  ///< drain rate of the stale backlog
+};
+
+}  // namespace w4k::emu

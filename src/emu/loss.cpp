@@ -1,0 +1,26 @@
+#include "emu/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace w4k::emu {
+
+double monitor_loss(const LossModel& m, Dbm rss,
+                    const channel::McsEntry& mcs) {
+  const double margin = rss.value - mcs.sensitivity.value;
+  double p;
+  if (margin >= 0.0) {
+    p = m.floor + m.at_zero_margin * std::exp(-m.decay_per_db * margin);
+  } else {
+    p = m.at_zero_margin * std::exp(-m.growth_per_db * margin);
+  }
+  return std::clamp(p, 0.0, 1.0);
+}
+
+double associated_loss(const LossModel& m, Dbm rss,
+                       const channel::McsEntry& mcs) {
+  const double p = monitor_loss(m, rss, mcs);
+  return std::clamp(std::pow(p, m.mac_retries), 0.0, 1.0);
+}
+
+}  // namespace w4k::emu

@@ -1,0 +1,39 @@
+// Packet-loss model for WiGig links under pseudo multicast (Sec. 3.2).
+//
+// The paper associates one STA normally (it enjoys MAC-layer ARQ and CSMA
+// backoff) and puts the rest in monitor mode (they sniff the same frames
+// with no link-layer recovery). Loss probability is driven by the margin
+// between the instantaneous RSS and the sensitivity of the MCS in use:
+// at the moment of MCS selection the margin is >= 0, but the channel moves
+// between beacon updates, so margins can go negative mid-frame in mobile
+// traces — exactly the regime where fountain-coded makeup packets matter.
+#pragma once
+
+#include "channel/mcs.h"
+#include "common/units.h"
+
+namespace w4k::emu {
+
+struct LossModel {
+  /// Residual loss floor even with ample margin (interference, CRC).
+  double floor = 0.001;
+  /// Loss at exactly 0 dB margin for a monitor-mode receiver.
+  double at_zero_margin = 0.08;
+  /// Exponential decay of loss per dB of positive margin.
+  double decay_per_db = 1.2;
+  /// Growth of loss per dB of negative margin.
+  double growth_per_db = 1.0;
+  /// MAC retry factor for the associated STA: its effective loss is the
+  /// monitor-mode loss raised to this power (independent retries).
+  double mac_retries = 2.0;
+};
+
+/// Per-packet loss probability for a monitor-mode receiver at the given
+/// RSS under the given MCS.
+double monitor_loss(const LossModel& m, Dbm rss, const channel::McsEntry& mcs);
+
+/// Per-packet loss probability for the associated (MAC-ARQ) receiver.
+double associated_loss(const LossModel& m, Dbm rss,
+                       const channel::McsEntry& mcs);
+
+}  // namespace w4k::emu

@@ -1,0 +1,28 @@
+#include "fec/coding_unit.h"
+
+namespace w4k::fec {
+
+std::uint64_t unit_seed(std::uint64_t frame_seed, UnitId id) {
+  // SplitMix-style mixing of the (layer, sublayer) pair into the seed.
+  std::uint64_t x = frame_seed ^ (static_cast<std::uint64_t>(id.layer) << 32) ^
+                    (static_cast<std::uint64_t>(id.sublayer) + 1);
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+UnitEncoder::UnitEncoder(UnitId id, std::vector<std::uint8_t> payload,
+                         std::size_t symbol_size, std::uint64_t frame_seed)
+    : id_(id),
+      encoder_(payload, symbol_size, unit_seed(frame_seed, id)) {}
+
+Symbol UnitEncoder::emit() { return encoder_.encode(next_esi_++); }
+
+UnitDecoder::UnitDecoder(UnitId id, std::size_t k, std::size_t symbol_size,
+                         std::size_t source_size, std::uint64_t frame_seed)
+    : id_(id), decoder_(k, symbol_size, source_size, unit_seed(frame_seed, id)) {}
+
+}  // namespace w4k::fec

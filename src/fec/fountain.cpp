@@ -1,0 +1,148 @@
+#include "fec/fountain.h"
+
+#include "gf256/gf256.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace w4k::fec {
+
+std::vector<std::uint8_t> coefficient_row(std::uint64_t block_seed, Esi esi,
+                                          std::size_t k) {
+  std::vector<std::uint8_t> row(k, 0);
+  if (esi < k) {
+    row[esi] = 1;
+    return row;
+  }
+  // Dense random row seeded by (block_seed, esi). Mixing the ESI through
+  // the seed keeps rows independent across symbols of the same block.
+  Rng rng(block_seed ^ (0x9E3779B97F4A7C15ULL * (esi + 1)));
+  bool any = false;
+  for (auto& c : row) {
+    c = static_cast<std::uint8_t>(rng.below(256));
+    any |= (c != 0);
+  }
+  if (!any) row[esi % k] = 1;  // astronomically rare; keep the row usable
+  return row;
+}
+
+FountainEncoder::FountainEncoder(std::span<const std::uint8_t> data,
+                                 std::size_t symbol_size,
+                                 std::uint64_t block_seed)
+    : symbol_size_(symbol_size),
+      block_seed_(block_seed),
+      source_size_(data.size()) {
+  if (symbol_size == 0)
+    throw std::invalid_argument("FountainEncoder: symbol_size must be > 0");
+  if (data.empty())
+    throw std::invalid_argument("FountainEncoder: data must be non-empty");
+  k_ = (data.size() + symbol_size - 1) / symbol_size;
+  padded_.assign(k_ * symbol_size_, 0);
+  std::copy(data.begin(), data.end(), padded_.begin());
+}
+
+Symbol FountainEncoder::encode(Esi esi) const {
+  Symbol s;
+  s.esi = esi;
+  s.data.assign(symbol_size_, 0);
+  if (esi < k_) {
+    const auto* src = padded_.data() + static_cast<std::size_t>(esi) * symbol_size_;
+    std::copy(src, src + symbol_size_, s.data.begin());
+    return s;
+  }
+  const auto coeffs = coefficient_row(block_seed_, esi, k_);
+  for (std::size_t i = 0; i < k_; ++i) {
+    if (coeffs[i] == 0) continue;
+    gf256::mul_add_row(
+        s.data,
+        std::span<const std::uint8_t>(padded_.data() + i * symbol_size_,
+                                      symbol_size_),
+        coeffs[i]);
+  }
+  return s;
+}
+
+Symbol FountainEncoder::next() { return encode(next_esi_++); }
+
+FountainDecoder::FountainDecoder(std::size_t k, std::size_t symbol_size,
+                                 std::size_t source_size,
+                                 std::uint64_t block_seed)
+    : k_(k),
+      symbol_size_(symbol_size),
+      source_size_(source_size),
+      block_seed_(block_seed),
+      rows_(k) {
+  if (k == 0 || symbol_size == 0)
+    throw std::invalid_argument("FountainDecoder: k and symbol_size > 0");
+  if (source_size > k * symbol_size)
+    throw std::invalid_argument("FountainDecoder: source_size too large");
+}
+
+bool FountainDecoder::add_symbol(const Symbol& s) {
+  ++symbols_seen_;
+  if (s.data.size() != symbol_size_) return false;
+  if (can_decode()) return false;
+
+  std::vector<std::uint8_t> coeffs = coefficient_row(block_seed_, s.esi, k_);
+  std::vector<std::uint8_t> data = s.data;
+
+  // Reduce against the existing echelon basis.
+  for (std::size_t p = 0; p < k_; ++p) {
+    if (coeffs[p] == 0 || !rows_[p].present) continue;
+    const std::uint8_t f = coeffs[p];
+    gf256::mul_add_row(coeffs, rows_[p].coeffs, f);
+    gf256::mul_add_row(data, rows_[p].data, f);
+  }
+  // Find the leading nonzero; none -> redundant symbol.
+  std::size_t lead = k_;
+  for (std::size_t p = 0; p < k_; ++p) {
+    if (coeffs[p] != 0) {
+      lead = p;
+      break;
+    }
+  }
+  if (lead == k_) return false;
+
+  // Normalize so the pivot is 1; the reduction loop above then only needs
+  // a single mul_add per pivot.
+  const std::uint8_t pivot_inv = gf256::inv(coeffs[lead]);
+  gf256::scale_row(coeffs, pivot_inv);
+  gf256::scale_row(data, pivot_inv);
+
+  rows_[lead].coeffs = std::move(coeffs);
+  rows_[lead].data = std::move(data);
+  rows_[lead].present = true;
+  ++pivots_filled_;
+  return true;
+}
+
+std::optional<std::vector<std::uint8_t>> FountainDecoder::decode() const {
+  if (!can_decode()) return std::nullopt;
+
+  // Back substitution over a copy of the echelon rows.
+  std::vector<std::vector<std::uint8_t>> coeffs(k_);
+  std::vector<std::vector<std::uint8_t>> data(k_);
+  for (std::size_t p = 0; p < k_; ++p) {
+    coeffs[p] = rows_[p].coeffs;
+    data[p] = rows_[p].data;
+  }
+  for (std::size_t p = k_; p-- > 0;) {
+    for (std::size_t r = 0; r < p; ++r) {
+      const std::uint8_t f = coeffs[r][p];
+      if (f == 0) continue;
+      gf256::mul_add_row(coeffs[r], coeffs[p], f);
+      gf256::mul_add_row(data[r], data[p], f);
+    }
+  }
+  std::vector<std::uint8_t> out(source_size_);
+  for (std::size_t p = 0; p < k_; ++p) {
+    const std::size_t offset = p * symbol_size_;
+    if (offset >= source_size_) break;
+    const std::size_t n = std::min(symbol_size_, source_size_ - offset);
+    std::copy(data[p].begin(), data[p].begin() + static_cast<std::ptrdiff_t>(n),
+              out.begin() + static_cast<std::ptrdiff_t>(offset));
+  }
+  return out;
+}
+
+}  // namespace w4k::fec

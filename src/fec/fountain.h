@@ -1,0 +1,120 @@
+// Systematic rateless (fountain) code over GF(256).
+//
+// Stands in for the paper's RaptorQ port (Sec. 2.6). A source block of K
+// symbols is expanded into an unbounded stream: encoding symbol id (ESI)
+// 0..K-1 are the source symbols verbatim (systematic part); ESI >= K are
+// dense random linear combinations over GF(256) whose coefficients are
+// derived deterministically from (block seed, ESI), so sender and receiver
+// never exchange coefficient vectors.
+//
+// Properties this shares with RaptorQ, which are the ones the paper's
+// design relies on:
+//   * rateless: the sender can generate fresh symbols forever ("the sender
+//     continuously generates data stream until the receivers can decode");
+//   * any-K-ish decodability: receiving K + h symbols decodes with
+//     probability ~ 1 - 1/256^(h+1) (dense random matrices over GF(q) are
+//     full rank with probability prod_{i>h}(1 - q^-i));
+//   * symbols are interchangeable within a block: two distinct coded
+//     symbols always carry different information, so multicast groups can
+//     be assigned disjoint ESI ranges with zero redundancy.
+//
+// The decoder performs incremental Gaussian elimination: each arriving
+// symbol is reduced against the current echelon basis, so rank is tracked
+// online and decode() is a back-substitution once rank == K.
+#pragma once
+
+#include "common/rng.h"
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace w4k::fec {
+
+/// Encoding symbol id. ESI < K: systematic; ESI >= K: repair.
+using Esi = std::uint32_t;
+
+/// Derives the GF(256) coefficient row for an encoding symbol.
+/// Systematic ESIs produce unit rows; repair ESIs produce dense rows with
+/// a guaranteed nonzero element. Deterministic in (block_seed, esi, k).
+std::vector<std::uint8_t> coefficient_row(std::uint64_t block_seed, Esi esi,
+                                          std::size_t k);
+
+/// One coded symbol as it travels in a packet payload.
+struct Symbol {
+  Esi esi = 0;
+  std::vector<std::uint8_t> data;
+};
+
+/// Encoder for one source block.
+class FountainEncoder {
+ public:
+  /// Splits `data` into ceil(|data| / symbol_size) symbols, zero-padding
+  /// the last. symbol_size must be > 0 and data must be non-empty
+  /// (throws std::invalid_argument otherwise).
+  FountainEncoder(std::span<const std::uint8_t> data, std::size_t symbol_size,
+                  std::uint64_t block_seed);
+
+  std::size_t k() const { return k_; }
+  std::size_t symbol_size() const { return symbol_size_; }
+  std::uint64_t block_seed() const { return block_seed_; }
+  std::size_t source_size() const { return source_size_; }
+
+  /// Produces the encoding symbol with the given ESI. O(K * symbol_size)
+  /// for repair symbols, O(symbol_size) for systematic ones.
+  Symbol encode(Esi esi) const;
+
+  /// Convenience: the next symbol in sequence (0, 1, 2, ...).
+  Symbol next();
+
+ private:
+  std::size_t symbol_size_;
+  std::uint64_t block_seed_;
+  std::size_t source_size_;
+  std::size_t k_;
+  std::vector<std::uint8_t> padded_;  // k_ * symbol_size_ bytes
+  Esi next_esi_ = 0;
+};
+
+/// Decoder for one source block.
+class FountainDecoder {
+ public:
+  /// `source_size` is the exact byte length of the original data (needed to
+  /// strip padding); k and symbol_size must match the encoder's.
+  FountainDecoder(std::size_t k, std::size_t symbol_size,
+                  std::size_t source_size, std::uint64_t block_seed);
+
+  /// Feeds one received symbol. Returns true if it increased the rank
+  /// (i.e., was innovative), false if it was redundant or malformed.
+  bool add_symbol(const Symbol& s);
+
+  /// Number of innovative symbols absorbed so far (== current rank).
+  std::size_t rank() const { return pivots_filled_; }
+  std::size_t k() const { return k_; }
+  bool can_decode() const { return pivots_filled_ == k_; }
+
+  /// Recovers the source block once can_decode(). Returns std::nullopt if
+  /// the rank is still deficient.
+  std::optional<std::vector<std::uint8_t>> decode() const;
+
+  /// Symbols received (innovative or not); used for loss accounting.
+  std::size_t symbols_seen() const { return symbols_seen_; }
+
+ private:
+  std::size_t k_;
+  std::size_t symbol_size_;
+  std::size_t source_size_;
+  std::uint64_t block_seed_;
+  std::size_t symbols_seen_ = 0;
+  std::size_t pivots_filled_ = 0;
+  // Row-echelon storage: rows_[p] has its leading nonzero at column p.
+  struct Row {
+    std::vector<std::uint8_t> coeffs;
+    std::vector<std::uint8_t> data;
+    bool present = false;
+  };
+  std::vector<Row> rows_;
+};
+
+}  // namespace w4k::fec

@@ -1,0 +1,185 @@
+#include "fec/lt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace w4k::fec {
+namespace {
+
+void xor_into(std::span<std::uint8_t> dst, std::span<const std::uint8_t> src) {
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+}
+
+}  // namespace
+
+RobustSoliton::RobustSoliton(std::size_t k, double c, double delta) : k_(k) {
+  if (k == 0) throw std::invalid_argument("RobustSoliton: k must be > 0");
+  if (c <= 0.0 || delta <= 0.0 || delta >= 1.0)
+    throw std::invalid_argument("RobustSoliton: bad (c, delta)");
+
+  // Ideal soliton rho(d) + Luby's spike tau(d).
+  const double kd = static_cast<double>(k);
+  const double r = c * std::log(kd / delta) * std::sqrt(kd);
+  const auto spike = static_cast<std::size_t>(
+      std::clamp(kd / r, 1.0, kd));
+
+  pmf_.assign(k, 0.0);
+  pmf_[0] = 1.0 / kd;  // rho(1)
+  for (std::size_t d = 2; d <= k; ++d)
+    pmf_[d - 1] = 1.0 / (static_cast<double>(d) * (d - 1.0));
+  for (std::size_t d = 1; d < spike; ++d)
+    pmf_[d - 1] += r / (static_cast<double>(d) * kd);
+  if (spike >= 1 && spike <= k)
+    pmf_[spike - 1] += r * std::log(r / delta) / kd;
+
+  double total = 0.0;
+  for (double p : pmf_) total += p;
+  cdf_.resize(k);
+  double acc = 0.0;
+  for (std::size_t d = 0; d < k; ++d) {
+    pmf_[d] /= total;
+    acc += pmf_[d];
+    cdf_[d] = acc;
+  }
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t RobustSoliton::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin()) + 1;
+}
+
+std::vector<std::uint32_t> lt_neighbors(const RobustSoliton& dist,
+                                        std::uint64_t block_seed,
+                                        std::uint32_t esi) {
+  Rng rng(block_seed ^ (0xD1B54A32D192ED03ULL * (esi + 1)));
+  const std::size_t degree = dist.sample(rng);
+  const std::size_t k = dist.k();
+  // Floyd's algorithm: `degree` distinct values from [0, k) without
+  // building the full permutation.
+  std::vector<std::uint32_t> out;
+  out.reserve(degree);
+  for (std::size_t j = k - degree; j < k; ++j) {
+    const auto t = static_cast<std::uint32_t>(rng.below(j + 1));
+    if (std::find(out.begin(), out.end(), t) == out.end())
+      out.push_back(t);
+    else
+      out.push_back(static_cast<std::uint32_t>(j));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+LtEncoder::LtEncoder(std::span<const std::uint8_t> data,
+                     std::size_t symbol_size, std::uint64_t block_seed,
+                     double c, double delta)
+    : symbol_size_(symbol_size),
+      block_seed_(block_seed),
+      source_size_(data.size()),
+      padded_(),
+      dist_((data.size() + symbol_size - 1) / std::max<std::size_t>(1, symbol_size),
+            c, delta) {
+  if (symbol_size == 0)
+    throw std::invalid_argument("LtEncoder: symbol_size must be > 0");
+  if (data.empty()) throw std::invalid_argument("LtEncoder: empty data");
+  padded_.assign(dist_.k() * symbol_size_, 0);
+  std::copy(data.begin(), data.end(), padded_.begin());
+}
+
+std::vector<std::uint8_t> LtEncoder::encode(std::uint32_t esi) const {
+  std::vector<std::uint8_t> out(symbol_size_, 0);
+  for (const std::uint32_t n : lt_neighbors(dist_, block_seed_, esi))
+    xor_into(out, std::span<const std::uint8_t>(
+                      padded_.data() + static_cast<std::size_t>(n) * symbol_size_,
+                      symbol_size_));
+  return out;
+}
+
+LtDecoder::LtDecoder(std::size_t k, std::size_t symbol_size,
+                     std::size_t source_size, std::uint64_t block_seed,
+                     double c, double delta)
+    : k_(k),
+      symbol_size_(symbol_size),
+      source_size_(source_size),
+      block_seed_(block_seed),
+      dist_(k, c, delta),
+      source_(k) {
+  if (k == 0 || symbol_size == 0)
+    throw std::invalid_argument("LtDecoder: k and symbol_size > 0");
+  if (source_size > k * symbol_size)
+    throw std::invalid_argument("LtDecoder: source_size too large");
+}
+
+bool LtDecoder::add_symbol(std::uint32_t esi,
+                           std::span<const std::uint8_t> data) {
+  ++symbols_seen_;
+  if (data.size() != symbol_size_ || can_decode()) return false;
+
+  Pending p;
+  p.data.assign(data.begin(), data.end());
+  for (const std::uint32_t n : lt_neighbors(dist_, block_seed_, esi)) {
+    if (!source_[n].empty())
+      xor_into(p.data, source_[n]);  // already-recovered neighbor folds in
+    else
+      p.neighbors.push_back(n);
+  }
+  if (p.neighbors.empty()) return false;  // pure redundancy
+
+  pending_.push_back(std::move(p));
+  peel();
+  return true;
+}
+
+void LtDecoder::peel() {
+  // Belief propagation: a degree-1 pending symbol reveals its source;
+  // substitute it everywhere and repeat until no degree-1 remains.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      if (pending_[i].neighbors.size() != 1) continue;
+      const std::uint32_t n = pending_[i].neighbors.front();
+      if (source_[n].empty()) {
+        source_[n] = std::move(pending_[i].data);
+        ++recovered_count_;
+      }
+      pending_[i] = std::move(pending_.back());
+      pending_.pop_back();
+      progressed = true;
+
+      // Substitute the newly recovered source into every pending symbol.
+      for (auto& p : pending_) {
+        const auto it =
+            std::find(p.neighbors.begin(), p.neighbors.end(), n);
+        if (it == p.neighbors.end()) continue;
+        p.neighbors.erase(it);
+        xor_into(p.data, source_[n]);
+      }
+      break;  // restart the scan: indices shifted
+    }
+  }
+  // Drop pending symbols that lost all neighbors (became redundant).
+  pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                [](const Pending& p) {
+                                  return p.neighbors.empty();
+                                }),
+                 pending_.end());
+}
+
+std::optional<std::vector<std::uint8_t>> LtDecoder::decode() const {
+  if (!can_decode()) return std::nullopt;
+  std::vector<std::uint8_t> out(source_size_);
+  for (std::size_t n = 0; n < k_; ++n) {
+    const std::size_t offset = n * symbol_size_;
+    if (offset >= source_size_) break;
+    const std::size_t len = std::min(symbol_size_, source_size_ - offset);
+    std::copy(source_[n].begin(),
+              source_[n].begin() + static_cast<std::ptrdiff_t>(len),
+              out.begin() + static_cast<std::ptrdiff_t>(offset));
+  }
+  return out;
+}
+
+}  // namespace w4k::fec

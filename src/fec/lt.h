@@ -1,0 +1,107 @@
+// LT (Luby Transform) rateless code — the classic sparse fountain.
+//
+// An alternative coder to the dense GF(256) fountain in fountain.h, with
+// the textbook trade-off: encoding a symbol costs O(avg degree) XORs
+// instead of O(K) GF multiplications, but decoding needs a few percent
+// symbol overhead (peeling + GE cleanup) rather than the dense code's
+// ~1/256 failure at exactly K. Degrees are drawn from the robust soliton
+// distribution (Luby '02) with parameters (c, delta).
+//
+// Useful when symbols are large and CPU-bound senders matter; the bench
+// bench_ablation_fountain_comparison quantifies both sides.
+#pragma once
+
+#include "common/rng.h"
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace w4k::fec {
+
+/// Robust soliton distribution over degrees 1..k.
+class RobustSoliton {
+ public:
+  /// c and delta per Luby: c trades overhead for variance, delta is the
+  /// target failure probability. Throws std::invalid_argument for k == 0
+  /// or parameters outside (0, inf) x (0, 1).
+  RobustSoliton(std::size_t k, double c = 0.1, double delta = 0.05);
+
+  std::size_t k() const { return k_; }
+
+  /// Samples a degree in [1, k].
+  std::size_t sample(Rng& rng) const;
+
+  /// The distribution's PMF (exposed for statistical tests).
+  const std::vector<double>& pmf() const { return pmf_; }
+
+ private:
+  std::size_t k_;
+  std::vector<double> pmf_;  // pmf_[d-1] = P(degree = d)
+  std::vector<double> cdf_;
+};
+
+/// Deterministically derives an LT symbol's neighbor set from
+/// (block_seed, esi): a degree from the robust soliton, then that many
+/// distinct source indices. Sender and receiver derive identical sets.
+std::vector<std::uint32_t> lt_neighbors(const RobustSoliton& dist,
+                                        std::uint64_t block_seed,
+                                        std::uint32_t esi);
+
+/// Encoder for one source block (non-systematic: every symbol is a XOR of
+/// its neighbor set).
+class LtEncoder {
+ public:
+  LtEncoder(std::span<const std::uint8_t> data, std::size_t symbol_size,
+            std::uint64_t block_seed, double c = 0.1, double delta = 0.05);
+
+  std::size_t k() const { return dist_.k(); }
+  std::size_t symbol_size() const { return symbol_size_; }
+
+  /// Encodes the symbol with the given id.
+  std::vector<std::uint8_t> encode(std::uint32_t esi) const;
+
+ private:
+  std::size_t symbol_size_;
+  std::uint64_t block_seed_;
+  std::size_t source_size_;
+  std::vector<std::uint8_t> padded_;
+  RobustSoliton dist_;
+};
+
+/// Decoder: belief-propagation peeling with a Gaussian-elimination
+/// fallback once peeling stalls and enough symbols are buffered.
+class LtDecoder {
+ public:
+  LtDecoder(std::size_t k, std::size_t symbol_size, std::size_t source_size,
+            std::uint64_t block_seed, double c = 0.1, double delta = 0.05);
+
+  /// Feeds one received symbol; returns true if it was new information.
+  bool add_symbol(std::uint32_t esi, std::span<const std::uint8_t> data);
+
+  bool can_decode() const { return recovered_count_ == k_; }
+  std::size_t recovered() const { return recovered_count_; }
+  std::size_t symbols_seen() const { return symbols_seen_; }
+
+  std::optional<std::vector<std::uint8_t>> decode() const;
+
+ private:
+  void peel();
+
+  std::size_t k_;
+  std::size_t symbol_size_;
+  std::size_t source_size_;
+  std::uint64_t block_seed_;
+  RobustSoliton dist_;
+  std::size_t symbols_seen_ = 0;
+  std::size_t recovered_count_ = 0;
+  std::vector<std::vector<std::uint8_t>> source_;  // empty until recovered
+  struct Pending {
+    std::vector<std::uint32_t> neighbors;  // still-unresolved sources
+    std::vector<std::uint8_t> data;        // running XOR
+  };
+  std::vector<Pending> pending_;
+};
+
+}  // namespace w4k::fec

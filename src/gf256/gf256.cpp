@@ -1,0 +1,106 @@
+#include "gf256/gf256.h"
+
+#include <array>
+#include <cassert>
+
+namespace w4k::gf256 {
+namespace {
+
+struct Tables {
+  // exp_[i] = g^i for generator g = 2; period 255, extended to 510 entries
+  // so mul can skip the mod-255 reduction.
+  std::array<std::uint8_t, 512> exp_{};
+  std::array<std::uint8_t, 256> log_{};
+  // mul_table_[a][b] = a * b, used by the row kernels: a 64 KiB table that
+  // stays hot in L2 during Gaussian elimination.
+  std::array<std::array<std::uint8_t, 256>, 256> mul_{};
+
+  Tables() {
+    unsigned x = 1;
+    for (unsigned i = 0; i < 255; ++i) {
+      exp_[i] = static_cast<std::uint8_t>(x);
+      log_[x] = static_cast<std::uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= 0x11D;
+    }
+    for (unsigned i = 255; i < 512; ++i) exp_[i] = exp_[i - 255];
+    log_[0] = 0;  // undefined; callers must not use it
+    for (unsigned a = 0; a < 256; ++a) {
+      for (unsigned b = 0; b < 256; ++b) {
+        mul_[a][b] = (a == 0 || b == 0)
+                         ? 0
+                         : exp_[log_[a] + log_[b]];
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+  return tables().mul_[a][b];
+}
+
+std::uint8_t div(std::uint8_t a, std::uint8_t b) {
+  assert(b != 0 && "division by zero in GF(256)");
+  if (b == 0) return 0;
+  if (a == 0) return 0;
+  const auto& t = tables();
+  return t.exp_[t.log_[a] + 255 - t.log_[b]];
+}
+
+std::uint8_t inv(std::uint8_t a) {
+  assert(a != 0 && "inverse of zero in GF(256)");
+  if (a == 0) return 0;
+  const auto& t = tables();
+  return t.exp_[255 - t.log_[a]];
+}
+
+std::uint8_t pow(std::uint8_t a, unsigned power) {
+  if (power == 0) return 1;
+  if (a == 0) return 0;
+  const auto& t = tables();
+  const unsigned e = (static_cast<unsigned>(t.log_[a]) * power) % 255;
+  return t.exp_[e];
+}
+
+void mul_add_row(std::span<std::uint8_t> dst,
+                 std::span<const std::uint8_t> src, std::uint8_t coeff) {
+  assert(dst.size() == src.size());
+  if (coeff == 0) return;
+  if (coeff == 1) {
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+    return;
+  }
+  const auto& row = tables().mul_[coeff];
+  std::size_t i = 0;
+  const std::size_t n = dst.size();
+  for (; i + 4 <= n; i += 4) {
+    dst[i] ^= row[src[i]];
+    dst[i + 1] ^= row[src[i + 1]];
+    dst[i + 2] ^= row[src[i + 2]];
+    dst[i + 3] ^= row[src[i + 3]];
+  }
+  for (; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+void scale_row(std::span<std::uint8_t> dst, std::uint8_t coeff) {
+  if (coeff == 1) return;
+  const auto& row = tables().mul_[coeff];
+  for (auto& x : dst) x = row[x];
+}
+
+std::span<const std::uint8_t, 256> log_table() {
+  return std::span<const std::uint8_t, 256>(tables().log_);
+}
+
+std::span<const std::uint8_t, 256> exp_table() {
+  return std::span<const std::uint8_t, 256>(tables().exp_.data(), 256);
+}
+
+}  // namespace w4k::gf256

@@ -1,0 +1,40 @@
+// Arithmetic over GF(2^8) with the RaptorQ/AES polynomial x^8+x^4+x^3+x^2+1
+// (0x11D), implemented with log/exp tables. This is the field underlying
+// the rateless source code in src/fec; the 1 - 1/256^(h+1) decode-failure
+// bound the paper quotes for RaptorQ is a property of dense random linear
+// combinations over this field.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace w4k::gf256 {
+
+/// Multiplies two field elements.
+std::uint8_t mul(std::uint8_t a, std::uint8_t b);
+
+/// Divides a by b. Precondition: b != 0 (asserted; returns 0 in release
+/// builds on violation so fuzzed inputs cannot UB).
+std::uint8_t div(std::uint8_t a, std::uint8_t b);
+
+/// Multiplicative inverse. Precondition: a != 0.
+std::uint8_t inv(std::uint8_t a);
+
+/// a^power with a in GF(256), power >= 0.
+std::uint8_t pow(std::uint8_t a, unsigned power);
+
+/// dst[i] += coeff * src[i] over GF(256) (addition is XOR).
+/// The hot loop of fountain encoding/decoding; unrolled over a per-
+/// coefficient multiplication row for speed.
+void mul_add_row(std::span<std::uint8_t> dst, std::span<const std::uint8_t> src,
+                 std::uint8_t coeff);
+
+/// dst[i] *= coeff over GF(256).
+void scale_row(std::span<std::uint8_t> dst, std::uint8_t coeff);
+
+/// Access to the raw tables, exposed for tests validating field axioms.
+std::span<const std::uint8_t, 256> log_table();
+std::span<const std::uint8_t, 256> exp_table();
+
+}  // namespace w4k::gf256

@@ -1,0 +1,158 @@
+#include "linalg/decompose.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace w4k::linalg {
+
+DominantSVD dominant_right_singular(const CMatrix& a, Rng& rng,
+                                    int max_iters, double tol) {
+  DominantSVD out;
+  if (a.rows() == 0 || a.cols() == 0) return out;
+
+  // Gram matrix G = A^H A (cols x cols), Hermitian PSD.
+  const CMatrix ah = a.hermitian();
+  const CMatrix g = ah * a;
+
+  CVector v(a.cols());
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = Complex(rng.gaussian(), rng.gaussian());
+  if (v.norm() == 0.0) v[0] = 1.0;
+  v = v.normalized();
+
+  double prev_lambda = 0.0;
+  for (int it = 0; it < max_iters; ++it) {
+    CVector w = g * v;
+    const double wn = w.norm();
+    if (wn == 0.0) {
+      // A is (numerically) zero: any unit vector is a valid v1, sigma = 0.
+      out.right_singular = v;
+      out.singular_value = 0.0;
+      out.iterations = it + 1;
+      return out;
+    }
+    v = w * Complex(1.0 / wn, 0.0);
+    const double lambda = std::real(dot(v, g * v));
+    out.iterations = it + 1;
+    if (it > 0 && std::abs(lambda - prev_lambda) <=
+                      tol * std::max(1.0, std::abs(lambda))) {
+      prev_lambda = lambda;
+      break;
+    }
+    prev_lambda = lambda;
+  }
+  out.right_singular = v;
+  out.singular_value = std::sqrt(std::max(0.0, prev_lambda));
+  return out;
+}
+
+std::vector<EigenPair> hermitian_eigen(const CMatrix& h, int sweeps,
+                                       double tol) {
+  if (h.rows() != h.cols())
+    throw std::invalid_argument("hermitian_eigen: matrix must be square");
+  const std::size_t n = h.rows();
+  CMatrix a = h;
+  CMatrix v = CMatrix::identity(n);
+
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p)
+      for (std::size_t q = p + 1; q < n; ++q) off += std::norm(a(p, q));
+    if (std::sqrt(off) <= tol * std::max(1.0, a.frobenius_norm())) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const Complex apq = a(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        // Complex Jacobi rotation zeroing a(p, q).
+        const double app = std::real(a(p, p));
+        const double aqq = std::real(a(q, q));
+        const double absapq = std::abs(apq);
+        const Complex phase = apq / absapq;
+        const double tau = (aqq - app) / (2.0 * absapq);
+        const double t = (tau >= 0 ? 1.0 : -1.0) /
+                         (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const Complex s = phase * Complex(t * c, 0.0);
+
+        // Apply rotation R(p,q,c,s) on both sides: A <- R^H A R, V <- V R.
+        for (std::size_t k = 0; k < n; ++k) {
+          const Complex akp = a(k, p);
+          const Complex akq = a(k, q);
+          a(k, p) = c * akp - std::conj(s) * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const Complex apk = a(p, k);
+          const Complex aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = std::conj(s) * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const Complex vkp = v(k, p);
+          const Complex vkq = v(k, q);
+          v(k, p) = c * vkp - std::conj(s) * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  std::vector<EigenPair> pairs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pairs[i].value = std::real(a(i, i));
+    pairs[i].vector = v.col(i);
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const EigenPair& x, const EigenPair& y) {
+              return x.value > y.value;
+            });
+  return pairs;
+}
+
+CVector solve_least_squares(const CMatrix& a, const CVector& b,
+                            double ridge) {
+  if (a.rows() != b.size())
+    throw std::invalid_argument("solve_least_squares: dimension mismatch");
+  const std::size_t n = a.cols();
+  const CMatrix ah = a.hermitian();
+  CMatrix g = ah * a;                 // n x n
+  for (std::size_t i = 0; i < n; ++i) g(i, i) += ridge;
+  CVector rhs = ah * b;
+
+  // Gaussian elimination with partial pivoting on the (small) normal system.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t piv = col;
+    double best = std::abs(g(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double mag = std::abs(g(r, col));
+      if (mag > best) {
+        best = mag;
+        piv = r;
+      }
+    }
+    if (best == 0.0)
+      throw std::domain_error("solve_least_squares: singular system");
+    if (piv != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(g(piv, c), g(col, c));
+      std::swap(rhs[piv], rhs[col]);
+    }
+    const Complex d = g(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const Complex f = g(r, col) / d;
+      if (f == Complex{}) continue;
+      for (std::size_t c = col; c < n; ++c) g(r, c) -= f * g(col, c);
+      rhs[r] -= f * rhs[col];
+    }
+  }
+  CVector x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    Complex s = rhs[i];
+    for (std::size_t c = i + 1; c < n; ++c) s -= g(i, c) * x[c];
+    x[i] = s / g(i, i);
+  }
+  return x;
+}
+
+}  // namespace w4k::linalg

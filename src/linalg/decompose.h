@@ -1,0 +1,49 @@
+// Matrix decompositions needed by multicast beamforming.
+//
+// The paper's max-sum RSS heuristic (Sec. 2.5) needs only the *dominant*
+// right singular vector of the stacked channel matrix H, which we obtain by
+// power iteration on the Hermitian positive-semidefinite Gram matrix H^H H.
+// For unit tests and ablations we also expose a full Hermitian
+// eigendecomposition via the complex Jacobi method.
+#pragma once
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+#include <vector>
+
+namespace w4k::linalg {
+
+/// Result of the dominant-singular-vector computation.
+struct DominantSVD {
+  CVector right_singular;  ///< v1: first right singular vector (unit norm)
+  double singular_value = 0.0;  ///< sigma1 >= 0
+  int iterations = 0;           ///< power iterations actually used
+};
+
+/// Computes the dominant right singular vector of A (rows x cols) by power
+/// iteration on A^H A. Deterministic: the starting vector is derived from
+/// `rng`. Converges to |lambda2/lambda1|^k; `tol` bounds the relative change
+/// of the Rayleigh quotient between iterations.
+DominantSVD dominant_right_singular(const CMatrix& a, Rng& rng,
+                                    int max_iters = 500, double tol = 1e-12);
+
+/// One eigenpair of a Hermitian matrix.
+struct EigenPair {
+  double value = 0.0;
+  CVector vector;
+};
+
+/// Full eigendecomposition of a Hermitian matrix by the cyclic complex
+/// Jacobi method. Eigenpairs are returned sorted descending by eigenvalue.
+/// Throws std::invalid_argument if the matrix is not square.
+std::vector<EigenPair> hermitian_eigen(const CMatrix& h, int sweeps = 64,
+                                       double tol = 1e-13);
+
+/// Solves the least-squares problem min ||A x - b||_2 via normal equations
+/// with Tikhonov damping `ridge` (used by ACO-style CSI estimation where A
+/// holds per-beam measurement weights). Throws on dimension mismatch.
+CVector solve_least_squares(const CMatrix& a, const CVector& b,
+                            double ridge = 1e-9);
+
+}  // namespace w4k::linalg

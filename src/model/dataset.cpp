@@ -1,0 +1,111 @@
+#include "model/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace w4k::model {
+
+Vec Features::to_input() const {
+  Vec x;
+  x.reserve(kFeatureCount);
+  for (double f : fraction) x.push_back(f);
+  for (double s : up_to_layer) x.push_back(s);
+  x.push_back(blank);
+  return x;
+}
+
+video::PartialFrame partial_from_fractions(
+    const video::EncodedFrame& enc,
+    const std::array<double, video::kNumLayers>& fraction) {
+  video::PartialFrame p = video::PartialFrame::empty(enc.width, enc.height);
+  for (int l = 0; l < video::kNumLayers; ++l) {
+    const std::size_t per_sub =
+        video::sublayer_bytes(l, enc.width, enc.height);
+    const double frac = std::clamp(fraction[static_cast<std::size_t>(l)], 0.0, 1.0);
+    std::size_t remaining = static_cast<std::size_t>(
+        frac * static_cast<double>(video::layer_bytes(l, enc.width, enc.height)));
+    for (int k = 0; k < video::sublayer_count(l) && remaining > 0; ++k) {
+      const std::size_t take = std::min(remaining, per_sub);
+      const auto& src = enc.layers[l][static_cast<std::size_t>(k)];
+      video::Segment seg;
+      seg.offset = 0;
+      seg.bytes.assign(src.begin(), src.begin() + static_cast<std::ptrdiff_t>(take));
+      p.layers[l][static_cast<std::size_t>(k)].segments.push_back(std::move(seg));
+      remaining -= take;
+    }
+  }
+  return p;
+}
+
+Dataset build_dataset(const std::vector<video::VideoSpec>& specs,
+                      const DatasetConfig& cfg) {
+  Rng rng(cfg.seed);
+  std::vector<Example> all;
+
+  // Measures the configured metric, normalized to ~[0, 1].
+  const auto measure = [&cfg](const video::Frame& ref,
+                              const video::Frame& dist) {
+    return cfg.metric == TargetMetric::kSsim
+               ? quality::ssim(ref, dist)
+               : std::min(1.0, quality::psnr(ref, dist) / kPsnrScale);
+  };
+
+  for (const auto& spec : specs) {
+    const video::SyntheticVideo clip(spec);
+    for (int s = 0; s < cfg.frames_per_video; ++s) {
+      const int t = spec.frames <= 1
+                        ? 0
+                        : s * (spec.frames - 1) / std::max(1, cfg.frames_per_video - 1);
+      const video::Frame original = clip.frame(t);
+      const video::EncodedFrame enc = video::encode(original);
+      quality::ContentFeatures content =
+          quality::content_features(original, enc);
+      if (cfg.metric == TargetMetric::kPsnr) {
+        // PSNR-valued anchor features, per the paper's generalization.
+        content.blank = measure(
+            original, video::Frame::blank(enc.width, enc.height));
+        for (int l = 0; l < video::kNumLayers; ++l)
+          content.up_to_layer[static_cast<std::size_t>(l)] = measure(
+              original, video::reconstruct(
+                            video::PartialFrame::up_to_layer(enc, l)));
+      }
+
+      for (int i = 0; i < cfg.fractions_per_frame; ++i) {
+        Features f;
+        f.up_to_layer = content.up_to_layer;
+        f.blank = content.blank;
+        // Bias toward "lower layers mostly complete" which is where the
+        // system actually operates (the scheduler fills lower layers
+        // first), plus uniform coverage of the rest of the cube.
+        for (int l = 0; l < video::kNumLayers; ++l) {
+          double frac = rng.uniform();
+          if (i % 2 == 0) {
+            // Prefix-style sample: lower layers complete, upper truncated.
+            frac = l < static_cast<int>(rng.below(video::kNumLayers + 1))
+                       ? 1.0
+                       : rng.uniform();
+          }
+          f.fraction[static_cast<std::size_t>(l)] = frac;
+        }
+        const video::Frame rec =
+            video::reconstruct(partial_from_fractions(enc, f.fraction));
+        Example ex;
+        ex.x = f.to_input();
+        ex.y = measure(original, rec);
+        all.push_back(std::move(ex));
+      }
+    }
+  }
+
+  // 7:3 random split with no overlap.
+  for (std::size_t i = all.size(); i > 1; --i)
+    std::swap(all[i - 1], all[rng.below(i)]);
+  const auto cut = static_cast<std::size_t>(
+      cfg.train_split * static_cast<double>(all.size()));
+  Dataset ds;
+  ds.train.assign(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(cut));
+  ds.test.assign(all.begin() + static_cast<std::ptrdiff_t>(cut), all.end());
+  return ds;
+}
+
+}  // namespace w4k::model

@@ -1,0 +1,52 @@
+#include "model/quality_model.h"
+
+#include <algorithm>
+#include <fstream>
+
+namespace w4k::model {
+
+QualityModel::QualityModel(std::uint64_t seed)
+    : net_(Network::quality_topology(kFeatureCount, 5, seed)) {}
+
+double QualityModel::train(const std::vector<Example>& data,
+                           const TrainConfig& cfg) {
+  return train_mse(net_, data, cfg);
+}
+
+double QualityModel::evaluate(const std::vector<Example>& data) {
+  return evaluate_mse(net_, data);
+}
+
+double QualityModel::predict(const Features& f) {
+  const Vec out = net_.forward(f.to_input());
+  return std::clamp(out[0], 0.0, 1.0);
+}
+
+std::array<double, video::kNumLayers> QualityModel::fraction_gradient(
+    const Features& f) {
+  const Vec g = net_.input_gradient(f.to_input());
+  // The first kNumLayers inputs are the reception fractions (see
+  // Features::to_input); the rest are content features, constant during
+  // schedule optimization.
+  std::array<double, video::kNumLayers> out{};
+  for (std::size_t l = 0; l < out.size(); ++l) out[l] = g[l];
+  return out;
+}
+
+bool QualityModel::load_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return false;
+  try {
+    net_.load(is);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+void QualityModel::save_file(const std::string& path) const {
+  std::ofstream os(path);
+  net_.save(os);
+}
+
+}  // namespace w4k::model

@@ -1,0 +1,49 @@
+// The DNN video quality model Q(.) of Sec. 2.3.
+//
+// Maps the per-layer reception state of one frame to its SSIM. The exact
+// paper topology: five fully connected 9->9 layers, each followed by a
+// sigmoid, then a linear 9->1 head; Adam + MSE, 500 epochs, batch 128.
+// Besides prediction, the model exposes the analytic gradient of predicted
+// SSIM w.r.t. the per-layer reception fractions, which drives the
+// projected-gradient time-allocation optimizer of Sec. 2.4.
+#pragma once
+
+#include "model/dataset.h"
+#include "model/nn.h"
+
+#include <array>
+#include <iosfwd>
+#include <string>
+
+namespace w4k::model {
+
+class QualityModel {
+ public:
+  /// Freshly initialized (untrained) model with the paper topology.
+  explicit QualityModel(std::uint64_t seed = 42);
+
+  /// Trains on the given examples; returns final training MSE.
+  double train(const std::vector<Example>& data, const TrainConfig& cfg = {});
+
+  /// Test-set MSE.
+  double evaluate(const std::vector<Example>& data);
+
+  /// Predicted SSIM for a feature vector, clamped to [0, 1].
+  double predict(const Features& f);
+
+  /// d(predicted SSIM) / d(fraction[l]) for each layer l.
+  std::array<double, video::kNumLayers> fraction_gradient(const Features& f);
+
+  void save(std::ostream& os) const { net_.save(os); }
+  void load(std::istream& is) { net_.load(is); }
+
+  /// Convenience file round-trip; returns false if the file is absent or
+  /// malformed (caller then retrains).
+  bool load_file(const std::string& path);
+  void save_file(const std::string& path) const;
+
+ private:
+  Network net_;
+};
+
+}  // namespace w4k::model

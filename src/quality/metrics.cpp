@@ -1,0 +1,199 @@
+#include "quality/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace w4k::quality {
+namespace {
+
+constexpr double kC1 = (0.01 * 255.0) * (0.01 * 255.0);
+constexpr double kC2 = (0.03 * 255.0) * (0.03 * 255.0);
+constexpr int kWindow = 8;
+constexpr int kStride = 4;
+
+void check_same(const video::Plane& a, const video::Plane& b) {
+  if (a.width != b.width || a.height != b.height)
+    throw std::invalid_argument("quality metric: plane dimension mismatch");
+  if (a.width < kWindow || a.height < kWindow)
+    throw std::invalid_argument("quality metric: plane smaller than window");
+}
+
+}  // namespace
+
+double ssim(const video::Plane& reference, const video::Plane& distorted) {
+  check_same(reference, distorted);
+  double total = 0.0;
+  long windows = 0;
+  for (int wy = 0; wy + kWindow <= reference.height; wy += kStride) {
+    for (int wx = 0; wx + kWindow <= reference.width; wx += kStride) {
+      long sa = 0, sb = 0, saa = 0, sbb = 0, sab = 0;
+      for (int y = 0; y < kWindow; ++y) {
+        const std::uint8_t* ra =
+            reference.pix.data() +
+            static_cast<std::size_t>(wy + y) * reference.width + wx;
+        const std::uint8_t* rb =
+            distorted.pix.data() +
+            static_cast<std::size_t>(wy + y) * distorted.width + wx;
+        for (int x = 0; x < kWindow; ++x) {
+          const int a = ra[x];
+          const int b = rb[x];
+          sa += a;
+          sb += b;
+          saa += a * a;
+          sbb += b * b;
+          sab += a * b;
+        }
+      }
+      constexpr double n = kWindow * kWindow;
+      const double ma = sa / n;
+      const double mb = sb / n;
+      const double va = saa / n - ma * ma;
+      const double vb = sbb / n - mb * mb;
+      const double cov = sab / n - ma * mb;
+      const double s = ((2.0 * ma * mb + kC1) * (2.0 * cov + kC2)) /
+                       ((ma * ma + mb * mb + kC1) * (va + vb + kC2));
+      total += s;
+      ++windows;
+    }
+  }
+  return windows ? total / static_cast<double>(windows) : 1.0;
+}
+
+double ssim(const video::Frame& reference, const video::Frame& distorted) {
+  return ssim(reference.y, distorted.y);
+}
+
+namespace {
+
+/// One scale's mean SSIM and mean contrast-structure term.
+struct ScaleStats {
+  double ssim = 1.0;
+  double cs = 1.0;
+};
+
+ScaleStats scale_stats(const video::Plane& a, const video::Plane& b) {
+  ScaleStats out;
+  double total_ssim = 0.0, total_cs = 0.0;
+  long windows = 0;
+  for (int wy = 0; wy + kWindow <= a.height; wy += kStride) {
+    for (int wx = 0; wx + kWindow <= a.width; wx += kStride) {
+      long sa = 0, sb = 0, saa = 0, sbb = 0, sab = 0;
+      for (int y = 0; y < kWindow; ++y) {
+        const std::uint8_t* ra =
+            a.pix.data() + static_cast<std::size_t>(wy + y) * a.width + wx;
+        const std::uint8_t* rb =
+            b.pix.data() + static_cast<std::size_t>(wy + y) * b.width + wx;
+        for (int x = 0; x < kWindow; ++x) {
+          const int va = ra[x];
+          const int vb = rb[x];
+          sa += va;
+          sb += vb;
+          saa += va * va;
+          sbb += vb * vb;
+          sab += va * vb;
+        }
+      }
+      constexpr double n = kWindow * kWindow;
+      const double ma = sa / n;
+      const double mb = sb / n;
+      const double va = saa / n - ma * ma;
+      const double vb = sbb / n - mb * mb;
+      const double cov = sab / n - ma * mb;
+      const double cs = (2.0 * cov + kC2) / (va + vb + kC2);
+      const double l =
+          (2.0 * ma * mb + kC1) / (ma * ma + mb * mb + kC1);
+      total_cs += cs;
+      total_ssim += l * cs;
+      ++windows;
+    }
+  }
+  if (windows > 0) {
+    out.ssim = total_ssim / static_cast<double>(windows);
+    out.cs = total_cs / static_cast<double>(windows);
+  }
+  return out;
+}
+
+/// 2x2 box downsampling (the MS-SSIM pyramid step).
+video::Plane downsample(const video::Plane& p) {
+  video::Plane out(p.width / 2, p.height / 2);
+  for (int y = 0; y < out.height; ++y)
+    for (int x = 0; x < out.width; ++x) {
+      const int sum = p.at(2 * x, 2 * y) + p.at(2 * x + 1, 2 * y) +
+                      p.at(2 * x, 2 * y + 1) + p.at(2 * x + 1, 2 * y + 1);
+      out.at(x, y) = static_cast<std::uint8_t>((sum + 2) / 4);
+    }
+  return out;
+}
+
+// Standard MS-SSIM per-scale weights (Wang et al. 2003).
+constexpr double kMsWeights[5] = {0.0448, 0.2856, 0.3001, 0.2363, 0.1333};
+
+}  // namespace
+
+double ms_ssim(const video::Plane& reference, const video::Plane& distorted,
+               int scales) {
+  check_same(reference, distorted);
+  if (scales < 1 || scales > 5)
+    throw std::invalid_argument("ms_ssim: scales must be in 1..5");
+  const int min_dim = kWindow << (scales - 1);
+  if (reference.width < min_dim || reference.height < min_dim)
+    throw std::invalid_argument("ms_ssim: plane too small for scale count");
+
+  video::Plane a = reference;
+  video::Plane b = distorted;
+  double result = 1.0;
+  for (int s = 0; s < scales; ++s) {
+    const ScaleStats stats = scale_stats(a, b);
+    // cs term at every scale; the full SSIM (with luminance) only at the
+    // coarsest. Negative terms (possible in pathological windows) are
+    // clamped so the weighted geometric mean stays defined.
+    const double term =
+        s + 1 == scales ? std::max(stats.ssim, 0.0) : std::max(stats.cs, 0.0);
+    result *= std::pow(term, kMsWeights[s]);
+    if (s + 1 < scales) {
+      a = downsample(a);
+      b = downsample(b);
+    }
+  }
+  return result;
+}
+
+double ms_ssim(const video::Frame& reference, const video::Frame& distorted,
+               int scales) {
+  return ms_ssim(reference.y, distorted.y, scales);
+}
+
+double psnr(const video::Plane& reference, const video::Plane& distorted) {
+  check_same(reference, distorted);
+  double se = 0.0;
+  for (std::size_t i = 0; i < reference.pix.size(); ++i) {
+    const double d =
+        static_cast<double>(reference.pix[i]) - distorted.pix[i];
+    se += d * d;
+  }
+  const double mse = se / static_cast<double>(reference.pix.size());
+  if (mse <= 0.0) return 100.0;
+  return std::min(100.0, 10.0 * std::log10(255.0 * 255.0 / mse));
+}
+
+double psnr(const video::Frame& reference, const video::Frame& distorted) {
+  return psnr(reference.y, distorted.y);
+}
+
+ContentFeatures content_features(const video::Frame& original,
+                                 const video::EncodedFrame& encoded) {
+  ContentFeatures f;
+  const video::Frame blank =
+      video::Frame::blank(original.width(), original.height());
+  f.blank = ssim(original, blank);
+  for (int l = 0; l < video::kNumLayers; ++l) {
+    const video::Frame rec =
+        video::reconstruct(video::PartialFrame::up_to_layer(encoded, l));
+    f.up_to_layer[static_cast<std::size_t>(l)] = ssim(original, rec);
+  }
+  return f;
+}
+
+}  // namespace w4k::quality

@@ -1,0 +1,527 @@
+#include "sched/allocate.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+
+namespace w4k::sched {
+namespace {
+
+struct Eval {
+  double objective = 0.0;
+  std::vector<LayerArray> user_bytes;
+  std::vector<double> ssim;
+};
+
+/// Effective D_{i,j} for a flattened allocation t (g-major, layer-minor).
+///
+/// Eq. 1 writes D as the *sum* over a user's groups, but the Eq. 4 greedy
+/// makes every group spend its layer budget walking the same coding-unit
+/// prefix (each tops up its own deficient members), so a user belonging
+/// to several groups decodes the *longest* prefix any of them paid for —
+/// the max, not the sum. Using the sum would let the optimizer buy
+/// quality with phantom redundant bytes; the max matches what the packet
+/// scheduler actually delivers. `binding` (optional) receives, per
+/// (user, layer), the group whose budget is the binding one.
+using BindingGroups = std::vector<std::array<std::size_t, video::kNumLayers>>;
+
+/// Residual worth of non-binding (overlapping) bytes: they mostly repeat
+/// the binding group's prefix, but the extras do recover losses and top up
+/// units, so they are not worthless. effective = (1-k)*max + k*sum.
+inline constexpr double kOverlapValue = 0.25;
+
+std::vector<LayerArray> user_bytes_for(const AllocProblem& p,
+                                       const std::vector<double>& t,
+                                       BindingGroups* binding = nullptr) {
+  std::vector<LayerArray> max_d(p.n_users, LayerArray{});
+  std::vector<LayerArray> sum_d(p.n_users, LayerArray{});
+  if (binding != nullptr)
+    binding->assign(p.n_users, {~std::size_t{0}, ~std::size_t{0},
+                                ~std::size_t{0}, ~std::size_t{0}});
+  for (std::size_t g = 0; g < p.groups.size(); ++g) {
+    const double rate_bytes_per_s = p.groups[g].beam.rate.value * 1e6 / 8.0;
+    for (int j = 0; j < video::kNumLayers; ++j) {
+      const auto js = static_cast<std::size_t>(j);
+      const double bytes = t[g * video::kNumLayers + js] * rate_bytes_per_s;
+      if (bytes <= 0.0) continue;
+      for (std::size_t u : p.groups[g].members) {
+        sum_d[u][js] += bytes;
+        if (bytes > max_d[u][js]) {
+          max_d[u][js] = bytes;
+          if (binding != nullptr) (*binding)[u][js] = g;
+        }
+      }
+    }
+  }
+  std::vector<LayerArray> d(p.n_users, LayerArray{});
+  for (std::size_t u = 0; u < p.n_users; ++u)
+    for (int j = 0; j < video::kNumLayers; ++j) {
+      const auto js = static_cast<std::size_t>(j);
+      d[u][js] = (1.0 - kOverlapValue) * max_d[u][js] +
+                 kOverlapValue * sum_d[u][js];
+    }
+  return d;
+}
+
+model::Features features_for(const AllocProblem& p, const LayerArray& d) {
+  model::Features f;
+  for (int j = 0; j < video::kNumLayers; ++j) {
+    const auto js = static_cast<std::size_t>(j);
+    const double cap = std::max(1.0, p.content.layer_bytes[js]);
+    f.fraction[js] = std::min(1.0, d[js] / cap);
+  }
+  f.up_to_layer = p.content.up_to_layer_ssim;
+  f.blank = p.content.blank_ssim;
+  return f;
+}
+
+Eval evaluate(const AllocProblem& p, model::QualityModel& q,
+              const std::vector<double>& t) {
+  Eval e;
+  e.user_bytes = user_bytes_for(p, t);
+  // Penalize *transmitted* traffic: with max-based effective reception,
+  // penalizing received bytes would make redundant transmissions free.
+  double traffic = 0.0;
+  for (std::size_t g = 0; g < p.groups.size(); ++g) {
+    const double rate_bytes_per_s = p.groups[g].beam.rate.value * 1e6 / 8.0;
+    for (int j = 0; j < video::kNumLayers; ++j)
+      traffic +=
+          t[g * video::kNumLayers + static_cast<std::size_t>(j)] *
+          rate_bytes_per_s;
+  }
+  for (std::size_t u = 0; u < p.n_users; ++u)
+    e.ssim.push_back(q.predict(features_for(p, e.user_bytes[u])));
+  e.objective = std::accumulate(e.ssim.begin(), e.ssim.end(), 0.0) -
+                p.lambda * traffic;
+  return e;
+}
+
+std::vector<double> gradient(const AllocProblem& p, model::QualityModel& q,
+                             const std::vector<double>& t) {
+  BindingGroups binding;
+  const std::vector<LayerArray> d = user_bytes_for(p, t, &binding);
+  // Per-user quality gradients w.r.t. reception fraction.
+  std::vector<LayerArray> gfrac(p.n_users);
+  for (std::size_t u = 0; u < p.n_users; ++u)
+    gfrac[u] = q.fraction_gradient(features_for(p, d[u]));
+
+  std::vector<double> grad(t.size(), 0.0);
+  for (std::size_t g = 0; g < p.groups.size(); ++g) {
+    const double rate_bytes_per_s = p.groups[g].beam.rate.value * 1e6 / 8.0;
+    for (int j = 0; j < video::kNumLayers; ++j) {
+      const auto js = static_cast<std::size_t>(j);
+      const double cap = std::max(1.0, p.content.layer_bytes[js]);
+      double dq = -p.lambda;  // traffic penalty applies to every sent byte
+      for (std::size_t u : p.groups[g].members) {
+        if (d[u][js] >= cap) continue;  // saturated: extra bytes are waste
+        // d_eff = (1-k) max + k sum: the binding group carries the full
+        // marginal; overlapping groups keep the residual k.
+        const double weight =
+            binding[u][js] == g ? 1.0 : kOverlapValue;
+        dq += weight * gfrac[u][js] / cap;
+      }
+      grad[g * video::kNumLayers + js] = dq * rate_bytes_per_s;
+    }
+  }
+  return grad;
+}
+
+}  // namespace
+
+void project_to_simplex(std::vector<double>& t, double budget) {
+  for (auto& x : t) x = std::max(0.0, x);
+  const double sum = std::accumulate(t.begin(), t.end(), 0.0);
+  if (sum <= budget) return;
+  // Euclidean projection onto {x >= 0, sum x = budget} (Held et al.):
+  // find tau such that sum max(0, x - tau) = budget.
+  std::vector<double> sorted = t;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  double cumulative = 0.0;
+  double tau = 0.0;
+  for (std::size_t k = 0; k < sorted.size(); ++k) {
+    cumulative += sorted[k];
+    const double candidate =
+        (cumulative - budget) / static_cast<double>(k + 1);
+    if (k + 1 == sorted.size() || sorted[k + 1] <= candidate) {
+      tau = candidate;
+      break;
+    }
+  }
+  for (auto& x : t) x = std::max(0.0, x - tau);
+}
+
+namespace {
+
+/// Defined with round_robin_allocation below; also used as an optimizer
+/// starting point.
+std::vector<double> round_robin_times(
+    const AllocProblem& p, Seconds slot,
+    const std::vector<std::size_t>* subset = nullptr);
+
+/// Greedy set cover: repeatedly the group covering the most uncovered
+/// users (ties by rate). Low-redundancy multicast-leaning start.
+std::vector<std::size_t> set_cover_groups(const AllocProblem& p) {
+  std::vector<bool> covered(p.n_users, false);
+  std::vector<std::size_t> chosen;
+  std::size_t n_covered = 0;
+  while (n_covered < p.n_users) {
+    std::size_t best_g = p.groups.size();
+    std::size_t best_new = 0;
+    double best_rate = -1.0;
+    for (std::size_t g = 0; g < p.groups.size(); ++g) {
+      std::size_t fresh = 0;
+      for (std::size_t u : p.groups[g].members) fresh += covered[u] ? 0 : 1;
+      if (fresh > best_new ||
+          (fresh == best_new && fresh > 0 &&
+           p.groups[g].beam.rate.value > best_rate)) {
+        best_g = g;
+        best_new = fresh;
+        best_rate = p.groups[g].beam.rate.value;
+      }
+    }
+    if (best_g == p.groups.size() || best_new == 0) break;  // uncoverable
+    chosen.push_back(best_g);
+    for (std::size_t u : p.groups[best_g].members) {
+      if (!covered[u]) {
+        covered[u] = true;
+        ++n_covered;
+      }
+    }
+  }
+  if (chosen.empty()) chosen.push_back(0);
+  return chosen;
+}
+
+/// Per-user best dedicated group (fewest members, ties by rate): a
+/// unicast-leaning start. Escapes the local optimum where a weak shared
+/// beam looks unavoidable to the exchange steps.
+std::vector<std::size_t> per_user_groups(const AllocProblem& p) {
+  std::vector<std::size_t> chosen;
+  for (std::size_t u = 0; u < p.n_users; ++u) {
+    std::size_t best_g = p.groups.size();
+    std::size_t best_size = ~std::size_t{0};
+    double best_rate = -1.0;
+    for (std::size_t g = 0; g < p.groups.size(); ++g) {
+      if (!p.groups[g].contains(u)) continue;
+      const std::size_t size = p.groups[g].members.size();
+      const double rate = p.groups[g].beam.rate.value;
+      if (size < best_size || (size == best_size && rate > best_rate)) {
+        best_g = g;
+        best_size = size;
+        best_rate = rate;
+      }
+    }
+    if (best_g != p.groups.size()) chosen.push_back(best_g);
+  }
+  if (chosen.empty()) chosen.push_back(0);
+  return chosen;
+}
+
+/// Efficiency cover: repeatedly the group maximizing
+/// rate x newly-covered-members — airtime efficiency, the quantity that
+/// makes a shared beam worth it. Seeds genuine multicast pairs/triples the
+/// exchange steps cannot reach from a singleton optimum (crossing the
+/// valley where a shared group is loaded but not yet binding).
+std::vector<std::size_t> efficiency_cover_groups(const AllocProblem& p) {
+  std::vector<bool> covered(p.n_users, false);
+  std::vector<std::size_t> chosen;
+  std::size_t n_covered = 0;
+  while (n_covered < p.n_users) {
+    std::size_t best_g = p.groups.size();
+    double best_score = 0.0;
+    for (std::size_t g = 0; g < p.groups.size(); ++g) {
+      std::size_t fresh = 0;
+      for (std::size_t u : p.groups[g].members) fresh += covered[u] ? 0 : 1;
+      const double score =
+          p.groups[g].beam.rate.value * static_cast<double>(fresh);
+      if (score > best_score) {
+        best_g = g;
+        best_score = score;
+      }
+    }
+    if (best_g == p.groups.size()) break;  // uncoverable remainder
+    chosen.push_back(best_g);
+    for (std::size_t u : p.groups[best_g].members) {
+      if (!covered[u]) {
+        covered[u] = true;
+        ++n_covered;
+      }
+    }
+  }
+  if (chosen.empty()) chosen.push_back(0);
+  return chosen;
+}
+
+/// One local refinement pass (pairwise Frank-Wolfe style exchange): each
+/// iteration moves up to `step` seconds from a drainable coordinate to a
+/// high-marginal one, or claims unused budget. When `allowed` is non-null
+/// only flagged coordinates may receive budget — used to converge cleanly
+/// inside a start's own support before opening the full space.
+struct RefineResult {
+  std::vector<double> t;
+  Eval eval;
+  int iters = 0;
+};
+
+RefineResult refine(const AllocProblem& p, model::QualityModel& quality,
+                    const OptimizerConfig& cfg, std::vector<double> t,
+                    const std::vector<bool>* allowed) {
+  const std::size_t dims = p.groups.size() * video::kNumLayers;
+  Eval best = evaluate(p, quality, t);
+  double step = cfg.initial_step;
+  int iters = 0;
+  double total = 0.0;
+  for (double x : t) total += x;
+  // One exchange touches two coordinates; large group sets need a
+  // proportionally larger budget to redistribute across them.
+  const int max_iters =
+      std::max(cfg.max_iterations, static_cast<int>(2 * dims));
+  for (; iters < max_iters && step >= cfg.min_step; ++iters) {
+    const std::vector<double> grad = gradient(p, quality, t);
+    const std::vector<LayerArray> d = user_bytes_for(p, t);
+
+    // Top gradient coordinates, best first. Trying several before
+    // backtracking matters in large group sets: the single argmax can
+    // sit on a model kink where no step size improves, and halving the
+    // step on it alone would abandon genuinely good moves elsewhere.
+    constexpr std::size_t kTargets = 6;
+    std::array<std::size_t, kTargets> targets;
+    targets.fill(dims);
+    for (std::size_t i = 0; i < dims; ++i) {
+      if (allowed != nullptr && !(*allowed)[i]) continue;
+      for (std::size_t k = 0; k < kTargets; ++k) {
+        if (targets[k] == dims || grad[i] > grad[targets[k]]) {
+          for (std::size_t m = kTargets - 1; m > k; --m)
+            targets[m] = targets[m - 1];
+          targets[k] = i;
+          break;
+        }
+      }
+    }
+
+    // Drain source for a given target: prefer a coordinate with strict
+    // byte *excess* — every member already holds more than the layer
+    // cap, so reducing it by up to the excess costs zero quality (the
+    // objective has a kink at fraction == 1; the upward gradient is not
+    // the downward one there). Fall back to the worst-gradient loaded
+    // coordinate.
+    const auto pick_drain = [&](std::size_t imax) {
+      std::pair<std::size_t, double> out{dims, 0.0};
+      for (std::size_t g = 0; g < p.groups.size(); ++g) {
+        const double rate_bytes_per_s =
+            p.groups[g].beam.rate.value * 1e6 / 8.0;
+        if (rate_bytes_per_s <= 0.0) continue;
+        for (int j = 0; j < video::kNumLayers; ++j) {
+          const auto js = static_cast<std::size_t>(j);
+          const std::size_t i = g * video::kNumLayers + js;
+          if (t[i] <= 1e-12 || i == imax) continue;
+          const double cap = std::max(1.0, p.content.layer_bytes[js]);
+          double excess = 1e300;
+          for (std::size_t u : p.groups[g].members)
+            excess = std::min(excess, d[u][js] - cap);
+          if (excess <= 0.0) continue;
+          const double dr = std::min(t[i], excess / rate_bytes_per_s);
+          if (dr > out.second) out = {i, dr};
+        }
+      }
+      if (out.first == dims) {
+        for (std::size_t i = 0; i < dims; ++i)
+          if (t[i] > 1e-12 && i != imax &&
+              (out.first == dims || grad[i] < grad[out.first]))
+            out.first = i;
+        if (out.first != dims) out.second = t[out.first];
+      }
+      return out;
+    };
+
+    bool improved = false;
+    const double slack = p.time_budget - total;
+    for (std::size_t k = 0; k < kTargets && !improved; ++k) {
+      const std::size_t imax = targets[k];
+      if (imax == dims) break;
+      std::vector<double> cand = t;
+      double cand_total = total;
+      if (slack > 1e-9 && grad[imax] > 0.0) {
+        const double add = std::min(step, slack);
+        cand[imax] += add;
+        cand_total += add;
+      } else {
+        const auto [imin, drainable] = pick_drain(imax);
+        if (imin == dims || grad[imax] <= grad[imin] || drainable <= 0.0)
+          continue;
+        const double move = std::min(step, drainable);
+        cand[imin] -= move;
+        cand[imax] += move;
+      }
+      const Eval e = evaluate(p, quality, cand);
+      if (e.objective > best.objective + 1e-12) {
+        t = std::move(cand);
+        total = cand_total;
+        best = e;
+        step *= 1.3;
+        improved = true;
+      }
+    }
+    if (!improved) step *= 0.5;  // all targets failed at this step size
+  }
+  return RefineResult{std::move(t), std::move(best), iters};
+}
+
+/// Coordinates belonging to groups the init actually loaded (all layers).
+std::vector<bool> support_mask(const AllocProblem& p,
+                               const std::vector<double>& init) {
+  std::vector<bool> allowed(init.size(), false);
+  for (std::size_t g = 0; g < p.groups.size(); ++g) {
+    bool loaded = false;
+    for (int j = 0; j < video::kNumLayers; ++j)
+      loaded |= init[g * video::kNumLayers + static_cast<std::size_t>(j)] >
+                1e-12;
+    if (loaded)
+      for (int j = 0; j < video::kNumLayers; ++j)
+        allowed[g * video::kNumLayers + static_cast<std::size_t>(j)] = true;
+  }
+  return allowed;
+}
+
+}  // namespace
+
+Allocation optimize_allocation(const AllocProblem& p,
+                               model::QualityModel& quality,
+                               const OptimizerConfig& cfg) {
+  if (p.groups.empty())
+    throw std::invalid_argument("optimize_allocation: no usable groups");
+  if (p.n_users == 0)
+    throw std::invalid_argument("optimize_allocation: no users");
+
+  // Multi-start local search. Each start is refined in two phases — first
+  // restricted to its own support (so it converges cleanly within its
+  // "strategy": multicast covering, airtime-efficient covering, per-user
+  // unicast, round-robin) and then over the full space. Keeping the best
+  // result makes the optimizer dominate the round-robin baseline by
+  // construction and prevents a greedy path from wandering off a strong
+  // simple solution toward a weak overlapping one.
+  Allocation result;
+  bool have_result = false;
+  const std::vector<std::size_t> cover = set_cover_groups(p);
+  const std::vector<std::size_t> efficient = efficiency_cover_groups(p);
+  const std::vector<std::size_t> dedicated = per_user_groups(p);
+  const std::vector<std::vector<double>> inits = {
+      round_robin_times(p, 1e-3, &cover),
+      round_robin_times(p, 1e-3, &efficient),
+      round_robin_times(p, 1e-3, &dedicated),
+      round_robin_times(p, 1e-3)};
+  for (const auto& init : inits) {
+    const std::vector<bool> allowed = support_mask(p, init);
+    RefineResult phase1 = refine(p, quality, cfg, init, &allowed);
+    RefineResult phase2 =
+        refine(p, quality, cfg, std::move(phase1.t), nullptr);
+#ifdef W4K_OPT_DEBUG
+    std::fprintf(stderr, "start: phase1 obj=%.5f iters=%d phase2 obj=%.5f iters=%d\n",
+                 phase1.eval.objective, phase1.iters, phase2.eval.objective,
+                 phase2.iters);
+#endif
+    const auto& best = phase2.eval;
+    const auto& t = phase2.t;
+
+    if (!have_result || best.objective > result.objective) {
+      result = Allocation{};
+      result.iterations = phase1.iters + phase2.iters;
+      result.objective = best.objective;
+      result.user_bytes = best.user_bytes;
+      result.predicted_ssim = best.ssim;
+      result.time.resize(p.groups.size());
+      result.bytes.resize(p.groups.size());
+      for (std::size_t g = 0; g < p.groups.size(); ++g) {
+        const double rate_bytes_per_s =
+            p.groups[g].beam.rate.value * 1e6 / 8.0;
+        for (int j = 0; j < video::kNumLayers; ++j) {
+          const auto js = static_cast<std::size_t>(j);
+          result.time[g][js] = t[g * video::kNumLayers + js];
+          result.bytes[g][js] = result.time[g][js] * rate_bytes_per_s;
+        }
+      }
+      have_result = true;
+    }
+  }
+  return result;
+}
+
+namespace {
+
+/// Round-robin time vector: 1 ms slots rotate over the groups (all of
+/// them, or an explicit subset); each slot goes to the lowest layer that
+/// group's members still miss.
+std::vector<double> round_robin_times(const AllocProblem& p, Seconds slot,
+                                      const std::vector<std::size_t>* subset) {
+  std::vector<double> t(p.groups.size() * video::kNumLayers, 0.0);
+  std::vector<std::size_t> order;
+  if (subset != nullptr && !subset->empty()) {
+    order = *subset;
+  } else {
+    order.resize(p.groups.size());
+    std::iota(order.begin(), order.end(), 0);
+  }
+  std::vector<LayerArray> delivered(p.n_users, LayerArray{});
+  Seconds used = 0.0;
+  std::size_t idx = 0;
+  while (used + 1e-12 < p.time_budget) {
+    const Seconds this_slot = std::min(slot, p.time_budget - used);
+    const std::size_t g = order[idx];
+    const auto& group = p.groups[g];
+    const double rate_bytes_per_s = group.beam.rate.value * 1e6 / 8.0;
+    const double bytes = this_slot * rate_bytes_per_s;
+
+    // Lowest layer some member of this group still misses.
+    int target = video::kNumLayers - 1;
+    for (int j = 0; j < video::kNumLayers; ++j) {
+      const auto js = static_cast<std::size_t>(j);
+      bool all_have = true;
+      for (std::size_t u : group.members)
+        all_have &= delivered[u][js] >= p.content.layer_bytes[js];
+      if (!all_have) {
+        target = j;
+        break;
+      }
+    }
+    const auto ts = static_cast<std::size_t>(target);
+    t[g * video::kNumLayers + ts] += this_slot;
+    for (std::size_t u : group.members) delivered[u][ts] += bytes;
+
+    used += this_slot;
+    idx = (idx + 1) % order.size();
+  }
+  return t;
+}
+
+}  // namespace
+
+Allocation round_robin_allocation(const AllocProblem& p,
+                                  model::QualityModel& quality,
+                                  Seconds slot) {
+  if (p.groups.empty())
+    throw std::invalid_argument("round_robin_allocation: no usable groups");
+  const std::vector<double> t = round_robin_times(p, slot);
+
+  Allocation out;
+  const Eval e = evaluate(p, quality, t);
+  out.objective = e.objective;
+  out.user_bytes = e.user_bytes;
+  out.predicted_ssim = e.ssim;
+  out.iterations = 0;
+  out.time.resize(p.groups.size());
+  out.bytes.resize(p.groups.size());
+  for (std::size_t gi = 0; gi < p.groups.size(); ++gi) {
+    const double rate_bytes_per_s = p.groups[gi].beam.rate.value * 1e6 / 8.0;
+    for (int j = 0; j < video::kNumLayers; ++j) {
+      const auto js = static_cast<std::size_t>(j);
+      out.time[gi][js] = t[gi * video::kNumLayers + js];
+      out.bytes[gi][js] = out.time[gi][js] * rate_bytes_per_s;
+    }
+  }
+  return out;
+}
+
+}  // namespace w4k::sched

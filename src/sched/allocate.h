@@ -1,0 +1,73 @@
+// Time allocation across multicast groups and layers (Eq. 1, Sec. 2.4).
+//
+//   max_T  sum_i Q(D_i1..D_i4) - lambda * sum_ij D_ij
+//   s.t.   D_ij = sum_{G : i in G} T_Gj * R_G,    sum_Gj T_Gj <= 1/FR
+//
+// Q is the trained DNN quality model; its analytic input gradient turns
+// the problem into projected gradient ascent over the scaled simplex
+// {T >= 0, sum T <= budget}. The round-robin baseline of Sec. 4.2.2 is
+// provided for the Fig. 8/15 comparisons.
+#pragma once
+
+#include "model/quality_model.h"
+#include "sched/groups.h"
+#include "video/layered.h"
+
+#include <array>
+#include <vector>
+
+namespace w4k::sched {
+
+using LayerArray = std::array<double, video::kNumLayers>;
+
+/// Per-frame inputs shared by all users (multicast streams one video).
+struct FrameContent {
+  LayerArray layer_bytes{};     ///< encoded size of each layer
+  LayerArray up_to_layer_ssim{};///< quality-model content features
+  double blank_ssim = 0.0;
+};
+
+struct AllocProblem {
+  std::vector<GroupSpec> groups;
+  std::size_t n_users = 0;
+  FrameContent content;
+  Seconds time_budget = kFrameBudget;
+  double lambda = 1e-8;   ///< traffic penalty per byte (tie-break only)
+};
+
+struct Allocation {
+  /// time[g][j]: seconds allotted to group g for layer j.
+  std::vector<LayerArray> time;
+  /// bytes[g][j] = time[g][j] * R_g — what the packet scheduler consumes.
+  std::vector<LayerArray> bytes;
+  /// Per-user delivered bytes per layer (includes cross-group overlap).
+  std::vector<LayerArray> user_bytes;
+  /// Per-user quality predicted by the model at this allocation.
+  std::vector<double> predicted_ssim;
+  double objective = 0.0;
+  int iterations = 0;
+};
+
+struct OptimizerConfig {
+  int max_iterations = 300;
+  double initial_step = 2e-3;  ///< seconds of reallocation per step
+  double min_step = 1e-6;
+  std::uint64_t seed = 5;
+};
+
+/// Projected-gradient optimizer for Eq. 1.
+Allocation optimize_allocation(const AllocProblem& problem,
+                               model::QualityModel& quality,
+                               const OptimizerConfig& cfg = {});
+
+/// Round-robin baseline: 1 ms slots rotate over all candidate groups; each
+/// slot's bytes go to the lowest layer that group's members still miss.
+Allocation round_robin_allocation(const AllocProblem& problem,
+                                  model::QualityModel& quality,
+                                  Seconds slot = 1e-3);
+
+/// Euclidean projection of `t` onto {t >= 0, sum t <= budget}; exposed for
+/// tests. Operates in place.
+void project_to_simplex(std::vector<double>& t, double budget);
+
+}  // namespace w4k::sched

@@ -1,0 +1,46 @@
+#include "sched/groups.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace w4k::sched {
+
+bool GroupSpec::contains(std::size_t user) const {
+  return std::find(members.begin(), members.end(), user) != members.end();
+}
+
+std::vector<GroupSpec> enumerate_groups(
+    beamforming::Scheme scheme,
+    const std::vector<linalg::CVector>& user_channels,
+    const beamforming::Codebook& codebook, Rng& rng,
+    const GroupEnumConfig& cfg) {
+  const std::size_t n = user_channels.size();
+  if (n == 0) throw std::invalid_argument("enumerate_groups: no users");
+  if (n > 16)
+    throw std::invalid_argument("enumerate_groups: subset enumeration "
+                                "limited to 16 users");
+
+  std::vector<GroupSpec> out;
+  const std::uint32_t limit = 1u << n;
+  for (std::uint32_t mask = 1; mask < limit; ++mask) {
+    const auto size = static_cast<std::size_t>(__builtin_popcount(mask));
+    if (size > cfg.max_group_size) continue;
+    if (!beamforming::allows_multicast(scheme) && size != 1) continue;
+
+    GroupSpec g;
+    std::vector<linalg::CVector> channels;
+    for (std::size_t u = 0; u < n; ++u) {
+      if (mask & (1u << u)) {
+        g.members.push_back(u);
+        channels.push_back(user_channels[u]);
+      }
+    }
+    g.beam = beamforming::group_beam(scheme, channels, codebook, rng);
+    if (g.beam.rate.value <= 0.0) continue;  // cannot sustain any MCS
+    if (g.beam.rate < cfg.rate_threshold) continue;
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+}  // namespace w4k::sched

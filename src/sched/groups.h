@@ -1,0 +1,42 @@
+// Multicast group enumeration (Sec. 2.4).
+//
+// For N clients the sender enumerates every non-empty user subset, beams
+// to it, maps the bottleneck RSS to a UDP rate, and drops groups whose
+// rate falls below a threshold ("we omit the groups whose throughput is
+// below a threshold to speed up computation"). Unicast schemes only admit
+// singleton groups.
+#pragma once
+
+#include "beamforming/multicast.h"
+#include "common/rng.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace w4k::sched {
+
+struct GroupSpec {
+  std::vector<std::size_t> members;   ///< user indices, ascending
+  beamforming::GroupBeam beam;        ///< precoder + per-member RSS + rate
+
+  bool contains(std::size_t user) const;
+};
+
+struct GroupEnumConfig {
+  /// Groups slower than this are pruned (0 keeps everything usable).
+  Mbps rate_threshold{0.0};
+  /// Upper bound on group size (paper uses all subsets; capping is an
+  /// ablation knob for the pruning bench).
+  std::size_t max_group_size = 8;
+};
+
+/// Enumerates candidate groups for the given per-user channels under
+/// `scheme`. Groups are ordered by ascending bitmask of members, which is
+/// the "increasing group id" order the Eq. 4 greedy relies on.
+std::vector<GroupSpec> enumerate_groups(
+    beamforming::Scheme scheme,
+    const std::vector<linalg::CVector>& user_channels,
+    const beamforming::Codebook& codebook, Rng& rng,
+    const GroupEnumConfig& cfg = {});
+
+}  // namespace w4k::sched

@@ -1,0 +1,181 @@
+#include "sched/unitmap.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace w4k::sched {
+
+std::vector<UnitSpec> frame_units(int width, int height,
+                                  std::size_t symbol_size,
+                                  std::size_t symbols_per_unit) {
+  if (symbol_size == 0 || symbols_per_unit == 0)
+    throw std::invalid_argument("frame_units: zero symbol geometry");
+  const std::size_t unit_bytes = symbol_size * symbols_per_unit;
+  std::vector<UnitSpec> units;
+  for (int l = 0; l < video::kNumLayers; ++l) {
+    std::uint16_t index_in_layer = 0;
+    const std::size_t sub_bytes = video::sublayer_bytes(l, width, height);
+    for (int k = 0; k < video::sublayer_count(l); ++k) {
+      std::size_t offset = 0;
+      while (offset < sub_bytes) {
+        UnitSpec u;
+        u.id.layer = static_cast<std::uint16_t>(l);
+        u.id.sublayer = index_in_layer++;
+        u.sublayer_k = k;
+        u.offset = offset;
+        u.source_bytes = std::min(unit_bytes, sub_bytes - offset);
+        u.k_symbols = (u.source_bytes + symbol_size - 1) / symbol_size;
+        offset += u.source_bytes;
+        units.push_back(u);
+      }
+    }
+  }
+  return units;
+}
+
+UnitMapResult map_to_units(const std::vector<GroupSpec>& groups,
+                           const std::vector<LayerArray>& group_layer_bytes,
+                           const std::vector<UnitSpec>& units,
+                           std::size_t n_users, std::size_t symbol_size) {
+  if (groups.size() != group_layer_bytes.size())
+    throw std::invalid_argument("map_to_units: groups/bytes size mismatch");
+
+  // Whole-symbol budgets per (group, layer).
+  std::vector<LayerArray> budget(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g)
+    for (int j = 0; j < video::kNumLayers; ++j) {
+      const auto js = static_cast<std::size_t>(j);
+      budget[g][js] = std::floor(group_layer_bytes[g][js] /
+                                 static_cast<double>(symbol_size));
+    }
+
+  UnitMapResult res;
+  res.user_symbols.assign(n_users, std::vector<std::size_t>(units.size(), 0));
+  res.user_decodes.assign(n_users, std::vector<bool>(units.size(), false));
+
+  // Units are already ordered layer-asc then unit-asc by construction.
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    const UnitSpec& unit = units[i];
+    const auto layer = static_cast<std::size_t>(unit.id.layer);
+
+    // Completability pre-check (an addition over the paper's plain
+    // ordering): if no receiver could reach k symbols for this unit even
+    // with every involved group's entire remaining layer budget, sending
+    // anything here strands symbols that a later (e.g. smaller) unit
+    // could still use. Skip the unit and keep the budget.
+    bool completable = false;
+    for (std::size_t u = 0; u < n_users && !completable; ++u) {
+      std::size_t potential = res.user_symbols[u][i];
+      for (std::size_t g = 0; g < groups.size(); ++g)
+        if (groups[g].contains(u))
+          potential += static_cast<std::size_t>(budget[g][layer]);
+      completable = potential >= unit.k_symbols;
+    }
+    if (!completable) continue;
+
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      auto remaining = static_cast<std::size_t>(budget[g][layer]);
+      if (remaining == 0) continue;
+      // Symbols needed to complete this unit for *every* member: the
+      // largest member deficit (a transmitted symbol reaches all members).
+      std::size_t need = 0;
+      for (std::size_t u : groups[g].members) {
+        const std::size_t have = res.user_symbols[u][i];
+        if (have < unit.k_symbols)
+          need = std::max(need, unit.k_symbols - have);
+      }
+      if (need == 0) continue;
+      const std::size_t send = std::min(need, remaining);
+      budget[g][layer] -= static_cast<double>(send);
+      for (std::size_t u : groups[g].members) res.user_symbols[u][i] += send;
+      res.assignments.push_back(UnitAssignment{g, i, send});
+    }
+    for (std::size_t u = 0; u < n_users; ++u)
+      res.user_decodes[u][i] = res.user_symbols[u][i] >= unit.k_symbols;
+  }
+
+  double leftover = 0.0;
+  for (const auto& b : budget)
+    for (double v : b) leftover += v;
+  res.leftover_symbols = static_cast<std::size_t>(leftover);
+  return res;
+}
+
+std::size_t decoded_bytes_objective(const UnitMapResult& result,
+                                    const std::vector<UnitSpec>& units) {
+  std::size_t total = 0;
+  for (const auto& user : result.user_decodes)
+    for (std::size_t i = 0; i < units.size() && i < user.size(); ++i)
+      if (user[i]) total += units[i].source_bytes;
+  return total;
+}
+
+namespace {
+
+/// Recursive exhaustive search over sss(G, i): for each (group, unit)
+/// cell in order, try every symbol count up to the remaining layer budget
+/// and the unit's need, tracking per-user receptions.
+struct ExactSearch {
+  const std::vector<GroupSpec>& groups;
+  const std::vector<UnitSpec>& units;
+  std::size_t n_users;
+  std::vector<std::array<std::size_t, video::kNumLayers>> budget;  // symbols
+  std::vector<std::vector<std::size_t>> user_symbols;  // [user][unit]
+  std::size_t best = 0;
+  std::size_t states = 0;
+
+  void run(std::size_t cell) {
+    if (++states > 10'000'000)
+      throw std::invalid_argument(
+          "exact_unit_objective: instance too large for exhaustive search");
+    const std::size_t n_cells = groups.size() * units.size();
+    if (cell == n_cells) {
+      std::size_t total = 0;
+      for (std::size_t u = 0; u < n_users; ++u)
+        for (std::size_t i = 0; i < units.size(); ++i)
+          if (user_symbols[u][i] >= units[i].k_symbols)
+            total += units[i].source_bytes;
+      best = std::max(best, total);
+      return;
+    }
+    const std::size_t g = cell / units.size();
+    const std::size_t i = cell % units.size();
+    const auto layer = static_cast<std::size_t>(units[i].id.layer);
+    // A cell never usefully exceeds the unit's k (extras are pure waste
+    // for every member), so cap the branch factor at k.
+    const std::size_t cap =
+        std::min(budget[g][layer], units[i].k_symbols);
+    for (std::size_t send = 0; send <= cap; ++send) {
+      budget[g][layer] -= send;
+      for (std::size_t u : groups[g].members) user_symbols[u][i] += send;
+      run(cell + 1);
+      for (std::size_t u : groups[g].members) user_symbols[u][i] -= send;
+      budget[g][layer] += send;
+    }
+  }
+};
+
+}  // namespace
+
+std::size_t exact_unit_objective(
+    const std::vector<GroupSpec>& groups,
+    const std::vector<LayerArray>& group_layer_bytes,
+    const std::vector<UnitSpec>& units, std::size_t n_users,
+    std::size_t symbol_size) {
+  if (groups.size() != group_layer_bytes.size())
+    throw std::invalid_argument("exact_unit_objective: size mismatch");
+  ExactSearch search{groups, units, n_users, {}, {}, 0, 0};
+  search.budget.resize(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g)
+    for (int j = 0; j < video::kNumLayers; ++j)
+      search.budget[g][static_cast<std::size_t>(j)] =
+          static_cast<std::size_t>(
+              group_layer_bytes[g][static_cast<std::size_t>(j)] /
+              static_cast<double>(symbol_size));
+  search.user_symbols.assign(n_users,
+                             std::vector<std::size_t>(units.size(), 0));
+  search.run(0);
+  return search.best;
+}
+
+}  // namespace w4k::sched

@@ -1,0 +1,39 @@
+#include "transport/feedback.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace w4k::transport {
+
+BandwidthEstimator::BandwidthEstimator(std::size_t window_packets)
+    : window_(window_packets) {
+  if (window_packets < 2)
+    throw std::invalid_argument("BandwidthEstimator: window must be >= 2");
+}
+
+void BandwidthEstimator::on_probe(Seconds arrival_time, std::size_t bytes) {
+  times_.push_back(arrival_time);
+  bytes_.push_back(bytes);
+  if (times_.size() > window_) {
+    times_.erase(times_.begin());
+    bytes_.erase(bytes_.begin());
+  }
+}
+
+std::optional<Mbps> BandwidthEstimator::estimate() const {
+  if (times_.size() < window_) return std::nullopt;
+  const Seconds span = times_.back() - times_.front();
+  if (span <= 0.0) return std::nullopt;
+  // Bytes delivered *between* the first and last arrival: the first
+  // packet's bytes were in flight before the window opened.
+  const auto total = std::accumulate(bytes_.begin() + 1, bytes_.end(),
+                                     std::size_t{0});
+  return Mbps{static_cast<double>(total) * 8.0 / (span * 1e6)};
+}
+
+void BandwidthEstimator::reset() {
+  times_.clear();
+  bytes_.clear();
+}
+
+}  // namespace w4k::transport

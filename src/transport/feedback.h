@@ -1,0 +1,53 @@
+// Receiver feedback (Sec. 2.6/2.7): per-coding-unit reception reports used
+// for fountain-coded retransmission, and arrival-spacing bandwidth
+// estimation used to drive the leaky bucket.
+#pragma once
+
+#include "common/units.h"
+#include "fec/coding_unit.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace w4k::transport {
+
+/// One receiver's per-frame report: for each coding unit, how many symbols
+/// arrived. The sender subtracts this from what it transmitted and sends
+/// that many *fresh* symbols as makeup (Sec. 2.6's "additional P packets").
+struct ReceptionReport {
+  std::uint32_t frame_id = 0;
+  std::size_t user = 0;
+  /// symbols_received[i] for frame unit i (indexing matches the sender's
+  /// sched::frame_units order).
+  std::vector<std::size_t> symbols_received;
+  /// Measured link bandwidth, if the estimator had enough probe packets.
+  std::optional<Mbps> measured_bandwidth;
+};
+
+/// Estimates link bandwidth from the arrival spacing of back-to-back probe
+/// packets: bw = bytes_between / (t_last - t_first) over a window of 100
+/// packets (Sec. 2.7). Probes come from the highest layer so congestion
+/// losses hit expendable data.
+class BandwidthEstimator {
+ public:
+  explicit BandwidthEstimator(std::size_t window_packets = 100);
+
+  /// Records one probe arrival.
+  void on_probe(Seconds arrival_time, std::size_t bytes);
+
+  /// Current estimate; std::nullopt until a full window has been seen.
+  std::optional<Mbps> estimate() const;
+
+  /// Clears the window (e.g., at a large time gap between frames).
+  void reset();
+
+  std::size_t samples() const { return times_.size(); }
+
+ private:
+  std::size_t window_;
+  std::vector<Seconds> times_;
+  std::vector<std::size_t> bytes_;
+};
+
+}  // namespace w4k::transport

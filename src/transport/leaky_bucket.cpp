@@ -1,0 +1,38 @@
+#include "transport/leaky_bucket.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace w4k::transport {
+
+LeakyBucket::LeakyBucket(Mbps fill_rate, std::size_t max_credit_bytes)
+    : rate_(fill_rate), cap_(max_credit_bytes),
+      credit_(static_cast<double>(max_credit_bytes)) {
+  if (max_credit_bytes == 0)
+    throw std::invalid_argument("LeakyBucket: zero capacity");
+}
+
+void LeakyBucket::advance(Seconds dt) {
+  if (dt <= 0.0) return;
+  credit_ = std::min(static_cast<double>(cap_),
+                     credit_ + rate_.bytes_in(dt));
+}
+
+bool LeakyBucket::can_send(std::size_t bytes) const {
+  return credit_ >= static_cast<double>(bytes);
+}
+
+void LeakyBucket::on_send(std::size_t bytes) {
+  assert(can_send(bytes) && "LeakyBucket::on_send without credit");
+  credit_ -= static_cast<double>(bytes);
+}
+
+Seconds LeakyBucket::time_until(std::size_t bytes) const {
+  const double deficit = static_cast<double>(bytes) - credit_;
+  if (deficit <= 0.0) return 0.0;
+  if (rate_.value <= 0.0) return 1e18;
+  return deficit * 8.0 / (rate_.value * 1e6);
+}
+
+}  // namespace w4k::transport

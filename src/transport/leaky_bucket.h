@@ -1,0 +1,48 @@
+// Leaky-bucket rate control (Sec. 2.7).
+//
+// Per multicast group the sender holds a byte credit that refills at the
+// expected link throughput and is capped at a small depth (default: 10
+// packets' worth) to bound queueing delay at the driver. A packet may be
+// sent only when the bucket holds enough credit; without this, the kernel
+// queue overflows and drops whole bursts (the paper's Fig. 9 ablation).
+#pragma once
+
+#include "common/units.h"
+
+#include <cstddef>
+
+namespace w4k::transport {
+
+class LeakyBucket {
+ public:
+  /// `fill_rate`: expected link throughput. `max_credit_bytes`: bucket
+  /// depth (paper: "a small value (e.g., 10 packets)").
+  LeakyBucket(Mbps fill_rate, std::size_t max_credit_bytes);
+
+  /// Advances time, accruing credit (clamped at the cap).
+  void advance(Seconds dt);
+
+  /// Whether a packet of `bytes` may be sent now.
+  bool can_send(std::size_t bytes) const;
+
+  /// Deducts a sent packet. Call only when can_send() is true (asserted).
+  void on_send(std::size_t bytes);
+
+  /// Time until credit suffices for `bytes` at the current rate (0 when
+  /// sendable now; +inf when the rate is 0).
+  Seconds time_until(std::size_t bytes) const;
+
+  /// Applies the receiver's bandwidth feedback for the next frame.
+  void set_rate(Mbps rate) { rate_ = rate; }
+
+  Mbps rate() const { return rate_; }
+  double credit_bytes() const { return credit_; }
+  std::size_t capacity() const { return cap_; }
+
+ private:
+  Mbps rate_;
+  std::size_t cap_;
+  double credit_;
+};
+
+}  // namespace w4k::transport

@@ -1,0 +1,39 @@
+// UDP-style packet framing for the multicast data plane.
+//
+// The system runs over UDP (Sec. 2.7): loss recovery is fountain-coded
+// retransmission, not ARQ, so a packet is just a header identifying which
+// coding unit and encoding symbol it carries plus the symbol payload. The
+// emulator may strip the payload and track symbol counts only — the header
+// carries everything the receiver's bookkeeping needs.
+#pragma once
+
+#include "fec/coding_unit.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace w4k::transport {
+
+struct PacketHeader {
+  std::uint32_t frame_id = 0;
+  std::uint16_t group_id = 0;     ///< multicast group the packet targets
+  fec::UnitId unit;               ///< coding unit (layer, unit index)
+  fec::Esi esi = 0;               ///< encoding symbol id
+  /// Measurement packets bypass rate control and are sent back-to-back
+  /// for the receiver's bandwidth estimator (Sec. 2.7).
+  bool bandwidth_probe = false;
+};
+
+struct Packet {
+  PacketHeader header;
+  std::vector<std::uint8_t> payload;  ///< empty in accounting-mode emulation
+
+  /// On-air size in bytes (header overhead + symbol payload).
+  std::size_t wire_size(std::size_t symbol_size) const {
+    return kHeaderBytes + (payload.empty() ? symbol_size : payload.size());
+  }
+
+  static constexpr std::size_t kHeaderBytes = 16;
+};
+
+}  // namespace w4k::transport

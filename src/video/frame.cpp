@@ -1,0 +1,26 @@
+#include "video/frame.h"
+
+#include <stdexcept>
+
+namespace w4k::video {
+
+Frame::Frame(int width, int height) {
+  if (width <= 0 || height <= 0 || width % 16 != 0 || height % 16 != 0)
+    throw std::invalid_argument(
+        "Frame: dimensions must be positive multiples of 16");
+  y = Plane(width, height);
+  u = Plane(width / 2, height / 2);
+  v = Plane(width / 2, height / 2);
+}
+
+Frame Frame::blank(int width, int height) {
+  Frame f(width, height);
+  // Mid-gray in YUV: Y=128 (not 0 — black would bias the SSIM feature),
+  // chroma neutral at 128.
+  for (auto& p : f.y.pix) p = 128;
+  for (auto& p : f.u.pix) p = 128;
+  for (auto& p : f.v.pix) p = 128;
+  return f;
+}
+
+}  // namespace w4k::video

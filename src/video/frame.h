@@ -1,0 +1,57 @@
+// Raw video frames in planar YUV420 — the input/output format of the
+// layered codec, matching the paper's uncompressed Derf/Xiph sources.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace w4k::video {
+
+/// One image plane of 8-bit samples.
+struct Plane {
+  int width = 0;
+  int height = 0;
+  std::vector<std::uint8_t> pix;
+
+  Plane() = default;
+  Plane(int w, int h, std::uint8_t fill = 0)
+      : width(w), height(h),
+        pix(static_cast<std::size_t>(w) * static_cast<std::size_t>(h), fill) {}
+
+  std::uint8_t at(int x, int y) const {
+    return pix[static_cast<std::size_t>(y) * width + x];
+  }
+  std::uint8_t& at(int x, int y) {
+    return pix[static_cast<std::size_t>(y) * width + x];
+  }
+  std::size_t size() const { return pix.size(); }
+};
+
+/// Planar YUV420 frame. Luma is width x height; chroma planes are
+/// half-resolution in both dimensions. The layered codec requires width
+/// and height divisible by 16 (so chroma is divisible by 8).
+struct Frame {
+  Plane y;
+  Plane u;
+  Plane v;
+
+  Frame() = default;
+  /// Allocates a frame of the given luma dimensions.
+  /// Throws std::invalid_argument unless both are positive multiples of 16.
+  Frame(int width, int height);
+
+  int width() const { return y.width; }
+  int height() const { return y.height; }
+  /// Total bytes across all three planes.
+  std::size_t total_bytes() const { return y.size() + u.size() + v.size(); }
+
+  /// Mid-gray frame (what a receiver renders with zero data) — the paper's
+  /// "blank frame" reference used as a quality-model feature.
+  static Frame blank(int width, int height);
+};
+
+/// The paper's 4K dimensions (Derf collection, 4096x2160).
+inline constexpr int k4kWidth = 4096;
+inline constexpr int k4kHeight = 2160;
+
+}  // namespace w4k::video

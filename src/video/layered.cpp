@@ -1,0 +1,292 @@
+#include "video/layered.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace w4k::video {
+namespace {
+
+/// Per-plane element count of one sublayer of `layer`.
+std::size_t plane_elems(int layer, int w, int h) {
+  switch (layer) {
+    case 0: return static_cast<std::size_t>(w / 8) * (h / 8);
+    case 1: return static_cast<std::size_t>(w / 8) * (h / 8);
+    case 2: return static_cast<std::size_t>(w / 4) * (h / 4);
+    case 3: return static_cast<std::size_t>(w / 2) * (h / 2);
+    default: throw std::invalid_argument("bad layer index");
+  }
+}
+
+int clamp_byte(int v) { return std::clamp(v, 0, 255); }
+
+/// Quantizes a difference to the byte representation (d + 128, clamped).
+std::uint8_t quantize_diff(int d) {
+  return static_cast<std::uint8_t>(std::clamp(d + 128, 0, 255));
+}
+
+/// Recovers a difference from its byte representation.
+int dequantize_diff(std::uint8_t b) { return static_cast<int>(b) - 128; }
+
+/// Rounded integer mean of the s x s block at (bx*s, by*s).
+int block_mean(const Plane& p, int bx, int by, int s) {
+  int sum = 0;
+  const int x0 = bx * s;
+  const int y0 = by * s;
+  for (int dy = 0; dy < s; ++dy)
+    for (int dx = 0; dx < s; ++dx) sum += p.at(x0 + dx, y0 + dy);
+  return (sum + s * s / 2) / (s * s);
+}
+
+/// Encodes one plane, writing into the plane's slice of each sublayer
+/// buffer. `base[l][k]` is the byte offset of this plane inside sublayer
+/// buffer (l, k).
+struct PlaneEncoder {
+  const Plane& plane;
+  EncodedFrame& out;
+  const std::array<std::array<std::size_t, 4>, kNumLayers>& base;
+
+  void run() const {
+    const int w8 = plane.width / 8;
+    const int h8 = plane.height / 8;
+    // Reconstructed means of the previous stage, kept so differences chain
+    // against what the decoder will actually have (no drift).
+    std::vector<int> m4rec(static_cast<std::size_t>(w8 * 2) * (h8 * 2));
+    std::vector<int> m2rec(static_cast<std::size_t>(w8 * 4) * (h8 * 4));
+
+    // Layer 0: 8x8 means.
+    for (int by = 0; by < h8; ++by) {
+      for (int bx = 0; bx < w8; ++bx) {
+        const int m8 = block_mean(plane, bx, by, 8);
+        out.layers[0][0][base[0][0] + static_cast<std::size_t>(by) * w8 + bx] =
+            static_cast<std::uint8_t>(m8);
+      }
+    }
+    // Layer 1: 4x4 means relative to parent 8x8.
+    const int w4 = w8 * 2;
+    for (int by = 0; by < h8 * 2; ++by) {
+      for (int bx = 0; bx < w4; ++bx) {
+        const int parent =
+            out.layers[0][0][base[0][0] +
+                             static_cast<std::size_t>(by / 2) * w8 + bx / 2];
+        const int m4 = block_mean(plane, bx, by, 4);
+        const int d = std::clamp(m4 - parent, -128, 127);
+        const int k = (by % 2) * 2 + (bx % 2);
+        out.layers[1][k][base[1][k] +
+                         static_cast<std::size_t>(by / 2) * w8 + bx / 2] =
+            quantize_diff(d);
+        m4rec[static_cast<std::size_t>(by) * w4 + bx] = parent + d;
+      }
+    }
+    // Layer 2: 2x2 means relative to parent 4x4.
+    const int w2 = w8 * 4;
+    for (int by = 0; by < h8 * 4; ++by) {
+      for (int bx = 0; bx < w2; ++bx) {
+        const int parent = m4rec[static_cast<std::size_t>(by / 2) * w4 + bx / 2];
+        const int m2 = block_mean(plane, bx, by, 2);
+        const int d = std::clamp(m2 - parent, -128, 127);
+        const int k = (by % 2) * 2 + (bx % 2);
+        out.layers[2][k][base[2][k] +
+                         static_cast<std::size_t>(by / 2) * w4 + bx / 2] =
+            quantize_diff(d);
+        m2rec[static_cast<std::size_t>(by) * w2 + bx] = parent + d;
+      }
+    }
+    // Layer 3: pixels relative to parent 2x2.
+    const int w1 = plane.width;
+    for (int y = 0; y < plane.height; ++y) {
+      for (int x = 0; x < w1; ++x) {
+        const int parent = m2rec[static_cast<std::size_t>(y / 2) * w2 + x / 2];
+        const int d = std::clamp(plane.at(x, y) - parent, -128, 127);
+        const int k = (y % 2) * 2 + (x % 2);
+        out.layers[3][k][base[3][k] +
+                         static_cast<std::size_t>(y / 2) * w2 + x / 2] =
+            quantize_diff(d);
+      }
+    }
+  }
+};
+
+/// Reconstructs one plane from assembled sublayer buffers (missing bytes
+/// already defaulted to "no information": 128).
+struct PlaneDecoder {
+  Plane& plane;
+  const std::array<std::vector<std::vector<std::uint8_t>>, kNumLayers>& bufs;
+  const std::array<std::array<std::size_t, 4>, kNumLayers>& base;
+
+  void run() const {
+    const int w8 = plane.width / 8;
+    const int h8 = plane.height / 8;
+    const int w4 = w8 * 2;
+    const int w2 = w8 * 4;
+    std::vector<int> m4(static_cast<std::size_t>(w4) * (h8 * 2));
+    std::vector<int> m2(static_cast<std::size_t>(w2) * (h8 * 4));
+
+    for (int by = 0; by < h8 * 2; ++by) {
+      for (int bx = 0; bx < w4; ++bx) {
+        const int parent =
+            bufs[0][0][base[0][0] + static_cast<std::size_t>(by / 2) * w8 +
+                       bx / 2];
+        const int k = (by % 2) * 2 + (bx % 2);
+        const int d = dequantize_diff(
+            bufs[1][k][base[1][k] + static_cast<std::size_t>(by / 2) * w8 +
+                       bx / 2]);
+        m4[static_cast<std::size_t>(by) * w4 + bx] = parent + d;
+      }
+    }
+    for (int by = 0; by < h8 * 4; ++by) {
+      for (int bx = 0; bx < w2; ++bx) {
+        const int parent = m4[static_cast<std::size_t>(by / 2) * w4 + bx / 2];
+        const int k = (by % 2) * 2 + (bx % 2);
+        const int d = dequantize_diff(
+            bufs[2][k][base[2][k] + static_cast<std::size_t>(by / 2) * w4 +
+                       bx / 2]);
+        m2[static_cast<std::size_t>(by) * w2 + bx] = parent + d;
+      }
+    }
+    for (int y = 0; y < plane.height; ++y) {
+      for (int x = 0; x < plane.width; ++x) {
+        const int parent = m2[static_cast<std::size_t>(y / 2) * w2 + x / 2];
+        const int k = (y % 2) * 2 + (x % 2);
+        const int d = dequantize_diff(
+            bufs[3][k][base[3][k] + static_cast<std::size_t>(y / 2) * w2 +
+                       x / 2]);
+        plane.at(x, y) = static_cast<std::uint8_t>(clamp_byte(parent + d));
+      }
+    }
+  }
+};
+
+/// Byte offsets of the Y/U/V plane slices inside each sublayer buffer.
+struct PlaneBases {
+  std::array<std::array<std::size_t, 4>, kNumLayers> y{};
+  std::array<std::array<std::size_t, 4>, kNumLayers> u{};
+  std::array<std::array<std::size_t, 4>, kNumLayers> v{};
+};
+
+PlaneBases plane_bases(int width, int height) {
+  PlaneBases b;
+  for (int l = 0; l < kNumLayers; ++l) {
+    const std::size_t ye = plane_elems(l, width, height);
+    const std::size_t ce = plane_elems(l, width / 2, height / 2);
+    for (int k = 0; k < sublayer_count(l); ++k) {
+      b.y[l][static_cast<std::size_t>(k)] = 0;
+      b.u[l][static_cast<std::size_t>(k)] = ye;
+      b.v[l][static_cast<std::size_t>(k)] = ye + ce;
+    }
+  }
+  return b;
+}
+
+void check_dims(int width, int height) {
+  if (width <= 0 || height <= 0 || width % 16 != 0 || height % 16 != 0)
+    throw std::invalid_argument(
+        "layered codec: dimensions must be positive multiples of 16");
+}
+
+}  // namespace
+
+std::size_t sublayer_bytes(int layer, int width, int height) {
+  check_dims(width, height);
+  return plane_elems(layer, width, height) +
+         2 * plane_elems(layer, width / 2, height / 2);
+}
+
+std::size_t layer_bytes(int layer, int width, int height) {
+  return sublayer_bytes(layer, width, height) *
+         static_cast<std::size_t>(sublayer_count(layer));
+}
+
+std::size_t EncodedFrame::total_bytes() const {
+  std::size_t n = 0;
+  for (const auto& layer : layers)
+    for (const auto& sub : layer) n += sub.size();
+  return n;
+}
+
+PartialFrame PartialFrame::empty(int width, int height) {
+  check_dims(width, height);
+  PartialFrame p;
+  p.width = width;
+  p.height = height;
+  for (int l = 0; l < kNumLayers; ++l)
+    p.layers[l].resize(static_cast<std::size_t>(sublayer_count(l)));
+  return p;
+}
+
+PartialFrame PartialFrame::full(const EncodedFrame& enc) {
+  PartialFrame p = empty(enc.width, enc.height);
+  for (int l = 0; l < kNumLayers; ++l)
+    for (int k = 0; k < sublayer_count(l); ++k)
+      p.layers[l][static_cast<std::size_t>(k)].segments.push_back(
+          Segment{0, enc.layers[l][static_cast<std::size_t>(k)]});
+  return p;
+}
+
+PartialFrame PartialFrame::up_to_layer(const EncodedFrame& enc, int layer) {
+  PartialFrame p = empty(enc.width, enc.height);
+  for (int l = 0; l <= layer && l < kNumLayers; ++l)
+    for (int k = 0; k < sublayer_count(l); ++k)
+      p.layers[l][static_cast<std::size_t>(k)].segments.push_back(
+          Segment{0, enc.layers[l][static_cast<std::size_t>(k)]});
+  return p;
+}
+
+std::size_t PartialFrame::layer_received(int layer) const {
+  std::size_t n = 0;
+  for (const auto& sub : layers[layer])
+    for (const auto& seg : sub.segments) n += seg.bytes.size();
+  return n;
+}
+
+EncodedFrame encode(const Frame& frame) {
+  check_dims(frame.width(), frame.height());
+  EncodedFrame out;
+  out.width = frame.width();
+  out.height = frame.height();
+  for (int l = 0; l < kNumLayers; ++l) {
+    out.layers[l].assign(
+        static_cast<std::size_t>(sublayer_count(l)),
+        std::vector<std::uint8_t>(
+            sublayer_bytes(l, frame.width(), frame.height())));
+  }
+  const PlaneBases bases = plane_bases(frame.width(), frame.height());
+  PlaneEncoder{frame.y, out, bases.y}.run();
+  PlaneEncoder{frame.u, out, bases.u}.run();
+  PlaneEncoder{frame.v, out, bases.v}.run();
+  return out;
+}
+
+Frame reconstruct(const PartialFrame& partial) {
+  check_dims(partial.width, partial.height);
+  // Assemble full-size buffers with the "no information" default.
+  // 128 decodes as mid-gray for layer 0 and as a zero difference for 1-3.
+  std::array<std::vector<std::vector<std::uint8_t>>, kNumLayers> bufs;
+  for (int l = 0; l < kNumLayers; ++l) {
+    const std::size_t sz = sublayer_bytes(l, partial.width, partial.height);
+    bufs[l].assign(static_cast<std::size_t>(sublayer_count(l)),
+                   std::vector<std::uint8_t>(sz, 128));
+    for (int k = 0; k < sublayer_count(l); ++k) {
+      for (const Segment& seg :
+           partial.layers[l][static_cast<std::size_t>(k)].segments) {
+        if (seg.offset > sz) continue;  // malformed; ignore
+        const std::size_t n = std::min(seg.bytes.size(), sz - seg.offset);
+        std::copy(seg.bytes.begin(),
+                  seg.bytes.begin() + static_cast<std::ptrdiff_t>(n),
+                  bufs[l][static_cast<std::size_t>(k)].begin() +
+                      static_cast<std::ptrdiff_t>(seg.offset));
+      }
+    }
+  }
+  Frame out(partial.width, partial.height);
+  const PlaneBases bases = plane_bases(partial.width, partial.height);
+  PlaneDecoder{out.y, bufs, bases.y}.run();
+  PlaneDecoder{out.u, bufs, bases.u}.run();
+  PlaneDecoder{out.v, bufs, bases.v}.run();
+  return out;
+}
+
+Frame reconstruct_full(const EncodedFrame& enc) {
+  return reconstruct(PartialFrame::full(enc));
+}
+
+}  // namespace w4k::video

@@ -1,0 +1,100 @@
+// Jigsaw-style layered video codec (Sec. 2.2).
+//
+// A frame is decomposed into a pixel-domain hierarchy:
+//   layer 0: the mean of every 8x8 block (a 512x270 thumbnail for 4K);
+//   layer 1: per 4x4 block, mean(4x4) - mean(parent 8x8);
+//   layer 2: per 2x2 block, mean(2x2) - mean(parent 4x4);
+//   layer 3: per pixel,     pixel     - mean(parent 2x2).
+// Each of layers 1-3 has four *sublayers*: sublayer k holds the k-th child
+// block of every parent (raster order: 0=top-left, 1=top-right,
+// 2=bottom-left, 3=bottom-right). The decomposition is applied to all
+// three YUV planes; a sublayer buffer is the concatenation Y|U|V.
+//
+// The decoder is progressive: any subset of sublayer bytes reconstructs a
+// frame — missing differences are treated as zero, so the affected region
+// falls back to the coarser layer's mean. This is the property that lets
+// the multicast scheduler trade bytes for quality continuously.
+//
+// Differences are quantized to 8 bits as (diff + 128) clamped to [0, 255];
+// quantization noise is at most 1 LSB per stage except in the rare
+// saturation case, so full reception is visually lossless.
+#pragma once
+
+#include "video/frame.h"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace w4k::video {
+
+inline constexpr int kNumLayers = 4;
+/// Layers 1..3 have 4 sublayers each; layer 0 has a single sublayer.
+inline constexpr int kSublayersPerDiffLayer = 4;
+
+/// Number of sublayers in the given layer (1 for layer 0, else 4).
+constexpr int sublayer_count(int layer) {
+  return layer == 0 ? 1 : kSublayersPerDiffLayer;
+}
+
+/// Byte size of one sublayer buffer of `layer` for a frame of the given
+/// luma dimensions (includes all three planes).
+std::size_t sublayer_bytes(int layer, int width, int height);
+
+/// Total byte size of a layer (all its sublayers).
+std::size_t layer_bytes(int layer, int width, int height);
+
+/// Fully encoded frame: 1 + 4 + 4 + 4 = 13 sublayer buffers.
+struct EncodedFrame {
+  int width = 0;
+  int height = 0;
+  /// layers[l][k] is sublayer k of layer l. layers[0] has one entry.
+  std::array<std::vector<std::vector<std::uint8_t>>, kNumLayers> layers;
+
+  std::size_t total_bytes() const;
+};
+
+/// A contiguous received span of a sublayer buffer.
+struct Segment {
+  std::size_t offset = 0;
+  std::vector<std::uint8_t> bytes;
+};
+
+/// The receiver's view of one sublayer: whatever byte ranges arrived.
+struct PartialSublayer {
+  std::vector<Segment> segments;
+};
+
+/// The receiver's view of a whole frame, indexed like EncodedFrame.
+struct PartialFrame {
+  int width = 0;
+  int height = 0;
+  std::array<std::vector<PartialSublayer>, kNumLayers> layers;
+
+  /// Empty partial frame with the correct sublayer structure.
+  static PartialFrame empty(int width, int height);
+
+  /// Marks an entire encoded frame as received (for lossless round-trip
+  /// tests and for computing the per-layer SSIM features).
+  static PartialFrame full(const EncodedFrame& enc);
+
+  /// Everything up to and including `layer` fully received, nothing above.
+  static PartialFrame up_to_layer(const EncodedFrame& enc, int layer);
+
+  /// Bytes received in the given layer across sublayers.
+  std::size_t layer_received(int layer) const;
+};
+
+/// Encodes a frame into the full layer hierarchy.
+/// Throws std::invalid_argument if dimensions are not multiples of 16.
+EncodedFrame encode(const Frame& frame);
+
+/// Reconstructs a frame from whatever arrived. Missing layer-0 blocks
+/// render as mid-gray (the blank frame); missing difference bytes fall
+/// back to the coarser layer.
+Frame reconstruct(const PartialFrame& partial);
+
+/// Convenience: decode from a complete EncodedFrame.
+Frame reconstruct_full(const EncodedFrame& enc);
+
+}  // namespace w4k::video

@@ -1,0 +1,209 @@
+#include "video/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace w4k::video {
+namespace {
+
+/// Stateless per-pixel hash noise in [-1, 1] (fine film-grain texture).
+double hash_noise(std::uint64_t seed, int x, int y, int t) {
+  std::uint64_t h = seed;
+  h ^= static_cast<std::uint64_t>(x) * 0x9E3779B97F4A7C15ULL;
+  h ^= static_cast<std::uint64_t>(y) * 0xC2B2AE3D27D4EB4FULL;
+  h ^= static_cast<std::uint64_t>(t) * 0x165667B19E3779F9ULL;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return static_cast<double>(h >> 11) * 0x1.0p-53 * 2.0 - 1.0;
+}
+
+int to_byte(double v) {
+  return std::clamp(static_cast<int>(std::lround(v)), 0, 255);
+}
+
+}  // namespace
+
+double SyntheticVideo::Lattice::sample(double x, double y) const {
+  const double gx = x / cell;
+  const double gy = y / cell;
+  // Torus wrap keeps scrolling seamless over arbitrarily long clips.
+  const auto wrap = [this](int i) {
+    const int m = i % size;
+    return m < 0 ? m + size : m;
+  };
+  const int x0 = static_cast<int>(std::floor(gx));
+  const int y0 = static_cast<int>(std::floor(gy));
+  const double fx = gx - std::floor(gx);
+  const double fy = gy - std::floor(gy);
+  // Smoothstep for C1 continuity (avoids visible lattice edges).
+  const double sx = fx * fx * (3.0 - 2.0 * fx);
+  const double sy = fy * fy * (3.0 - 2.0 * fy);
+  const double v00 = values[static_cast<std::size_t>(wrap(y0)) * size + wrap(x0)];
+  const double v10 = values[static_cast<std::size_t>(wrap(y0)) * size + wrap(x0 + 1)];
+  const double v01 = values[static_cast<std::size_t>(wrap(y0 + 1)) * size + wrap(x0)];
+  const double v11 = values[static_cast<std::size_t>(wrap(y0 + 1)) * size + wrap(x0 + 1)];
+  const double a = v00 + (v10 - v00) * sx;
+  const double b = v01 + (v11 - v01) * sx;
+  return (a + (b - a) * sy) * amplitude;
+}
+
+SyntheticVideo::SyntheticVideo(const VideoSpec& spec) : spec_(spec) {
+  if (spec.width <= 0 || spec.height <= 0 || spec.width % 16 != 0 ||
+      spec.height % 16 != 0)
+    throw std::invalid_argument(
+        "SyntheticVideo: dimensions must be positive multiples of 16");
+  Rng rng(spec.seed);
+
+  const bool high = spec.richness == Richness::kHigh;
+  // Two kinds of octaves. Scene structure scales with the frame (cells as
+  // width fractions) so every resolution renders the same composition.
+  // Texture detail lives at *absolute* pixel scales relative to the
+  // codec's 8x8/4x4/2x2 blocks, so the layered quality curve — how much
+  // SSIM each layer contributes — is resolution-invariant and matches
+  // what the paper's 4K clips see. LR clips: smooth gradients only.
+  struct OctaveSpec {
+    double cell_px, amplitude;
+  };
+  std::vector<OctaveSpec> specs;
+  specs.push_back({0.50 * spec.width, high ? 40.0 : 28.0});
+  if (high) {
+    specs.push_back({0.09 * spec.width, 24.0});
+    specs.push_back({24.0, 12.0});
+    specs.push_back({10.0, 7.0});
+  } else {
+    specs.push_back({0.19 * spec.width, 6.0});
+  }
+  for (const auto& os : specs) {
+    const double cell = os.cell_px;
+    if (cell < 2.0) continue;  // below the pixel grid: invisible detail
+    Lattice lat;
+    lat.size = 64;
+    lat.cell = cell;
+    lat.amplitude = os.amplitude;
+    lat.values.resize(static_cast<std::size_t>(lat.size) * lat.size);
+    for (auto& v : lat.values) v = rng.uniform(-1.0, 1.0);
+    octaves_.push_back(std::move(lat));
+  }
+
+  const int num_objects = high ? 6 : 3;
+  for (int i = 0; i < num_objects; ++i) {
+    Object o;
+    o.x = rng.uniform(0.0, spec.width);
+    o.y = rng.uniform(0.0, spec.height);
+    const double speed = spec.motion * rng.uniform(0.5, 1.5);
+    const double dir = rng.uniform(0.0, 2.0 * 3.14159265358979);
+    o.vx = speed * std::cos(dir);
+    o.vy = speed * std::sin(dir);
+    o.rx = rng.uniform(spec.width * 0.04, spec.width * 0.12);
+    o.ry = rng.uniform(spec.height * 0.05, spec.height * 0.15);
+    o.brightness = static_cast<int>(rng.range(-60, 60));
+    o.cb = static_cast<int>(rng.range(-50, 50));
+    o.cr = static_cast<int>(rng.range(-50, 50));
+    objects_.push_back(o);
+  }
+
+  noise_amplitude_ = high ? 3 : 1;
+  pixel_noise_seed_ = rng.next();
+}
+
+Frame SyntheticVideo::frame(int t) const {
+  if (t < 0 || t >= spec_.frames)
+    throw std::out_of_range("SyntheticVideo::frame: index out of range");
+  Frame f(spec_.width, spec_.height);
+
+  const double shift = spec_.motion * t;
+  const int w = spec_.width;
+  const int h = spec_.height;
+
+  // Luma: scrolling noise field + grain.
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      double v = 128.0;
+      for (const auto& oct : octaves_) v += oct.sample(x + shift, y + shift * 0.35);
+      v += noise_amplitude_ * hash_noise(pixel_noise_seed_, x, y, t);
+      f.y.at(x, y) = static_cast<std::uint8_t>(to_byte(v));
+    }
+  }
+  // Chroma: slow large-scale tint from the first octave, half resolution.
+  const auto& broad = octaves_.front();
+  for (int y = 0; y < h / 2; ++y) {
+    for (int x = 0; x < w / 2; ++x) {
+      const double n = broad.sample(x * 2 - shift * 0.5, y * 2 + shift * 0.2);
+      f.u.at(x, y) = static_cast<std::uint8_t>(to_byte(128.0 + n * 0.6));
+      f.v.at(x, y) = static_cast<std::uint8_t>(to_byte(128.0 - n * 0.4));
+    }
+  }
+
+  // Moving elliptic objects (toroidal wrap) drawn over all planes.
+  for (const auto& o : objects_) {
+    double cx = std::fmod(o.x + o.vx * t, static_cast<double>(w));
+    double cy = std::fmod(o.y + o.vy * t, static_cast<double>(h));
+    if (cx < 0) cx += w;
+    if (cy < 0) cy += h;
+    const int x0 = std::max(0, static_cast<int>(cx - o.rx));
+    const int x1 = std::min(w - 1, static_cast<int>(cx + o.rx));
+    const int y0 = std::max(0, static_cast<int>(cy - o.ry));
+    const int y1 = std::min(h - 1, static_cast<int>(cy + o.ry));
+    for (int y = y0; y <= y1; ++y) {
+      for (int x = x0; x <= x1; ++x) {
+        const double dx = (x - cx) / o.rx;
+        const double dy = (y - cy) / o.ry;
+        const double r2 = dx * dx + dy * dy;
+        if (r2 > 1.0) continue;
+        // Soft falloff toward the rim keeps edges codec-friendly.
+        const double wgt = 1.0 - r2;
+        f.y.at(x, y) = static_cast<std::uint8_t>(
+            to_byte(f.y.at(x, y) + o.brightness * wgt));
+        if (x % 2 == 0 && y % 2 == 0) {
+          f.u.at(x / 2, y / 2) = static_cast<std::uint8_t>(
+              to_byte(f.u.at(x / 2, y / 2) + o.cb * wgt));
+          f.v.at(x / 2, y / 2) = static_cast<std::uint8_t>(
+              to_byte(f.v.at(x / 2, y / 2) + o.cr * wgt));
+        }
+      }
+    }
+  }
+  return f;
+}
+
+std::vector<VideoSpec> standard_videos(int width, int height, int frames) {
+  std::vector<VideoSpec> v;
+  const struct {
+    const char* name;
+    Richness rich;
+    double motion;
+    std::uint64_t seed;
+  } defs[] = {
+      {"hr_crowd", Richness::kHigh, 3.0, 11},
+      {"hr_foliage", Richness::kHigh, 1.5, 22},
+      {"hr_sports", Richness::kHigh, 5.0, 33},
+      {"lr_studio", Richness::kLow, 0.5, 44},
+      {"lr_drawing", Richness::kLow, 1.0, 55},
+      {"lr_sunset", Richness::kLow, 2.0, 66},
+  };
+  for (const auto& d : defs) {
+    VideoSpec s;
+    s.name = d.name;
+    s.width = width;
+    s.height = height;
+    s.frames = frames;
+    s.richness = d.rich;
+    s.motion = d.motion;
+    s.seed = d.seed;
+    v.push_back(std::move(s));
+  }
+  return v;
+}
+
+double luma_variance(const Frame& f) {
+  double sum = 0.0;
+  for (auto p : f.y.pix) sum += p;
+  const double m = sum / static_cast<double>(f.y.pix.size());
+  double sq = 0.0;
+  for (auto p : f.y.pix) sq += (p - m) * (p - m);
+  return sq / static_cast<double>(f.y.pix.size());
+}
+
+}  // namespace w4k::video

@@ -1,0 +1,79 @@
+// Procedural uncompressed video source.
+//
+// Substitutes the paper's Derf/Xiph 4K collection (3 high-richness + 3
+// low-richness clips). Richness in the paper is the variance of the luma
+// plane; the generator controls it directly via texture amplitude and
+// octave count, and provides deterministic motion (scene scroll plus
+// independently moving elliptic objects) so consecutive frames are
+// temporally coherent like real video.
+#pragma once
+
+#include "common/rng.h"
+#include "video/frame.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace w4k::video {
+
+enum class Richness { kLow, kHigh };
+
+/// Parameters of one synthetic clip.
+struct VideoSpec {
+  std::string name;
+  int width = 1024;
+  int height = 544;
+  int frames = 60;
+  Richness richness = Richness::kHigh;
+  /// Scene scroll speed in pixels/frame (the paper's clips have "various
+  /// motion").
+  double motion = 2.0;
+  std::uint64_t seed = 1;
+};
+
+/// Deterministic procedural clip; frames are generated on demand.
+class SyntheticVideo {
+ public:
+  explicit SyntheticVideo(const VideoSpec& spec);
+
+  const VideoSpec& spec() const { return spec_; }
+  int frame_count() const { return spec_.frames; }
+
+  /// Renders frame t (0-based). Throws std::out_of_range past the end.
+  Frame frame(int t) const;
+
+ private:
+  struct Object {
+    double x, y;        // center at t = 0, pixels
+    double vx, vy;      // velocity, pixels/frame
+    double rx, ry;      // radii
+    int brightness;     // luma offset
+    int cb, cr;         // chroma of the object
+  };
+
+  VideoSpec spec_;
+  // Value-noise lattice (torus-wrapped) per octave.
+  struct Lattice {
+    int size = 0;
+    double cell = 1.0;
+    double amplitude = 0.0;
+    std::vector<double> values;
+    double sample(double x, double y) const;
+  };
+  std::vector<Lattice> octaves_;
+  std::vector<Object> objects_;
+  int noise_amplitude_ = 0;
+  std::uint64_t pixel_noise_seed_ = 0;
+};
+
+/// The six standard clips used for quality-model training and evaluation
+/// (3 HR + 3 LR, mirroring Sec. 2.3). `width`/`height` default to a
+/// compute-friendly 1024x544; pass 4096x2160 for full 4K.
+std::vector<VideoSpec> standard_videos(int width = 1024, int height = 544,
+                                       int frames = 60);
+
+/// Population variance of the luma plane — the paper's richness measure.
+double luma_variance(const Frame& f);
+
+}  // namespace w4k::video

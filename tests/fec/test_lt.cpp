@@ -1,0 +1,152 @@
+#include "fec/lt.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+namespace w4k::fec {
+namespace {
+
+std::vector<std::uint8_t> make_data(std::size_t n, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> data(n);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(256));
+  return data;
+}
+
+TEST(RobustSoliton, PmfIsAProbabilityDistribution) {
+  const RobustSoliton dist(100);
+  double total = 0.0;
+  for (double p : dist.pmf()) {
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(RobustSoliton, DegreeOneAndTwoDominate) {
+  // The soliton shape: P(2) is the largest mass, P(1) small but nonzero.
+  const RobustSoliton dist(100);
+  const auto& pmf = dist.pmf();
+  EXPECT_GT(pmf[0], 0.0);
+  EXPECT_GT(pmf[1], pmf[0]);
+  for (std::size_t d = 3; d < 50; ++d)
+    EXPECT_GE(pmf[1], pmf[d]) << "degree " << d + 1;
+}
+
+TEST(RobustSoliton, SamplesMatchPmf) {
+  const RobustSoliton dist(50);
+  Rng rng(7);
+  std::vector<int> counts(50, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[dist.sample(rng) - 1];
+  // Spot-check degree 2 frequency against the PMF.
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, dist.pmf()[1], 0.01);
+  // All samples in range.
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0), n);
+}
+
+TEST(RobustSoliton, BadParametersThrow) {
+  EXPECT_THROW(RobustSoliton(0), std::invalid_argument);
+  EXPECT_THROW(RobustSoliton(10, -1.0), std::invalid_argument);
+  EXPECT_THROW(RobustSoliton(10, 0.1, 1.5), std::invalid_argument);
+}
+
+TEST(LtNeighbors, DeterministicAndDistinct) {
+  const RobustSoliton dist(64);
+  const auto a = lt_neighbors(dist, 42, 7);
+  const auto b = lt_neighbors(dist, 42, 7);
+  EXPECT_EQ(a, b);
+  const std::set<std::uint32_t> unique(a.begin(), a.end());
+  EXPECT_EQ(unique.size(), a.size());
+  for (auto n : a) EXPECT_LT(n, 64u);
+  EXPECT_NE(lt_neighbors(dist, 42, 8), a);
+}
+
+TEST(LtRoundTrip, DecodesWithModestOverhead) {
+  const auto data = make_data(6400, 3);
+  LtEncoder enc(data, 64, 99);  // k = 100
+  LtDecoder dec(enc.k(), 64, data.size(), 99);
+  std::uint32_t esi = 0;
+  while (!dec.can_decode()) {
+    dec.add_symbol(esi, enc.encode(esi));
+    ++esi;
+    ASSERT_LT(esi, 300u) << "LT overhead should stay below 3x";
+  }
+  EXPECT_EQ(*dec.decode(), data);
+  // Classic LT overhead for k=100 with peeling only: usually < 80%.
+  EXPECT_LT(esi, 190u);
+}
+
+TEST(LtRoundTrip, SurvivesLosses) {
+  const auto data = make_data(3200, 4);
+  LtEncoder enc(data, 64, 123);
+  LtDecoder dec(enc.k(), 64, data.size(), 123);
+  Rng rng(5);
+  std::uint32_t esi = 0;
+  while (!dec.can_decode()) {
+    const auto sym = enc.encode(esi);
+    if (!rng.chance(0.3)) dec.add_symbol(esi, sym);
+    ++esi;
+    ASSERT_LT(esi, 1000u);
+  }
+  EXPECT_EQ(*dec.decode(), data);
+}
+
+TEST(LtRoundTrip, SingleSymbolBlock) {
+  const auto data = make_data(40, 5);
+  LtEncoder enc(data, 64, 7);
+  EXPECT_EQ(enc.k(), 1u);
+  LtDecoder dec(1, 64, data.size(), 7);
+  std::uint32_t esi = 0;
+  while (!dec.can_decode()) dec.add_symbol(esi, enc.encode(esi)), ++esi;
+  EXPECT_EQ(*dec.decode(), data);
+}
+
+TEST(LtDecoder, RedundantSymbolsNotCounted) {
+  const auto data = make_data(640, 6);
+  LtEncoder enc(data, 64, 55);
+  LtDecoder dec(enc.k(), 64, data.size(), 55);
+  dec.add_symbol(3, enc.encode(3));
+  const std::size_t before = dec.recovered();
+  dec.add_symbol(3, enc.encode(3));  // duplicate
+  EXPECT_EQ(dec.symbols_seen(), 2u);
+  EXPECT_EQ(dec.recovered(), before);
+}
+
+TEST(LtDecoder, WrongSizeRejected) {
+  LtDecoder dec(10, 64, 640, 1);
+  std::vector<std::uint8_t> wrong(32, 0);
+  EXPECT_FALSE(dec.add_symbol(0, wrong));
+}
+
+TEST(LtDecoder, DecodeBeforeCompleteReturnsNothing) {
+  const auto data = make_data(640, 8);
+  LtEncoder enc(data, 64, 77);
+  LtDecoder dec(enc.k(), 64, data.size(), 77);
+  dec.add_symbol(0, enc.encode(0));
+  EXPECT_FALSE(dec.decode().has_value());
+}
+
+TEST(LtVsDense, OverheadComparison) {
+  // The documented trade-off: the dense GF(256) fountain decodes at ~K
+  // symbols, LT needs measurable overhead.
+  const auto data = make_data(6400, 9);
+  double lt_total = 0.0;
+  int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    LtEncoder enc(data, 64, 1000 + static_cast<std::uint64_t>(t));
+    LtDecoder dec(enc.k(), 64, data.size(),
+                  1000 + static_cast<std::uint64_t>(t));
+    std::uint32_t esi = 0;
+    while (!dec.can_decode()) dec.add_symbol(esi, enc.encode(esi)), ++esi;
+    lt_total += static_cast<double>(esi) / static_cast<double>(enc.k());
+  }
+  const double lt_overhead = lt_total / trials;
+  EXPECT_GT(lt_overhead, 1.02);  // LT genuinely pays overhead
+  EXPECT_LT(lt_overhead, 2.0);   // but a bounded one
+}
+
+}  // namespace
+}  // namespace w4k::fec

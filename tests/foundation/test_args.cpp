@@ -1,0 +1,90 @@
+#include "common/args.h"
+
+#include <gtest/gtest.h>
+
+namespace w4k {
+namespace {
+
+Args make(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), argv.begin(), argv.end());
+  return Args(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Args, SpaceSeparatedValues) {
+  const Args a = make({"--users", "6", "--distance", "3.5"});
+  EXPECT_EQ(a.get("users", 0), 6);
+  EXPECT_DOUBLE_EQ(a.get("distance", 0.0), 3.5);
+}
+
+TEST(Args, EqualsSeparatedValues) {
+  const Args a = make({"--scheme=opt-multicast", "--seed=42"});
+  EXPECT_EQ(a.get("scheme", std::string{}), "opt-multicast");
+  EXPECT_EQ(a.get("seed", 0), 42);
+}
+
+TEST(Args, FlagsWithoutValues) {
+  const Args a = make({"--no-adapt", "--users", "2"});
+  EXPECT_TRUE(a.has("no-adapt"));
+  EXPECT_FALSE(a.has("adapt"));
+  EXPECT_EQ(a.get("users", 0), 2);
+}
+
+TEST(Args, FlagFollowedByOption) {
+  // "--verbose --users 3": verbose must not swallow "--users".
+  const Args a = make({"--verbose", "--users", "3"});
+  EXPECT_TRUE(a.has("verbose"));
+  EXPECT_EQ(a.get("users", 0), 3);
+}
+
+TEST(Args, DefaultsWhenAbsent) {
+  const Args a = make({});
+  EXPECT_EQ(a.get("users", 7), 7);
+  EXPECT_DOUBLE_EQ(a.get("x", 1.5), 1.5);
+  EXPECT_EQ(a.get("name", std::string("d")), "d");
+  EXPECT_FALSE(a.get("flag", false));
+  EXPECT_TRUE(a.get("flag", true));
+}
+
+TEST(Args, BooleanValues) {
+  const Args a = make({"--a=true", "--b=0", "--c", "--d=off"});
+  EXPECT_TRUE(a.get("a", false));
+  EXPECT_FALSE(a.get("b", true));
+  EXPECT_TRUE(a.get("c", false));  // bare flag = true
+  EXPECT_FALSE(a.get("d", true));
+}
+
+TEST(Args, MalformedNumbersThrow) {
+  const Args a = make({"--users=abc", "--dist=1.5x"});
+  EXPECT_THROW(a.get("users", 0), std::invalid_argument);
+  EXPECT_THROW(a.get("dist", 0.0), std::invalid_argument);
+}
+
+TEST(Args, MalformedBoolThrows) {
+  const Args a = make({"--flag=maybe"});
+  EXPECT_THROW(a.get("flag", false), std::invalid_argument);
+}
+
+TEST(Args, PositionalArguments) {
+  const Args a = make({"input.y4m", "--users", "2", "output.y4m"});
+  ASSERT_EQ(a.positional().size(), 2u);
+  EXPECT_EQ(a.positional()[0], "input.y4m");
+  EXPECT_EQ(a.positional()[1], "output.y4m");
+}
+
+TEST(Args, UnqueriedDetectsTypos) {
+  const Args a = make({"--users", "2", "--uzers", "3"});
+  (void)a.get("users", 0);
+  const auto unknown = a.unqueried();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "uzers");
+}
+
+TEST(Args, UnqueriedEmptyWhenAllUsed) {
+  const Args a = make({"--x", "1"});
+  (void)a.get("x", 0);
+  EXPECT_TRUE(a.unqueried().empty());
+}
+
+}  // namespace
+}  // namespace w4k

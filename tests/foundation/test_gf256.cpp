@@ -1,0 +1,160 @@
+#include "gf256/gf256.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace w4k::gf256 {
+namespace {
+
+TEST(Gf256, MultiplicativeIdentity) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(mul(static_cast<std::uint8_t>(a), 1), a);
+    EXPECT_EQ(mul(1, static_cast<std::uint8_t>(a)), a);
+  }
+}
+
+TEST(Gf256, ZeroAnnihilates) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(mul(static_cast<std::uint8_t>(a), 0), 0);
+    EXPECT_EQ(mul(0, static_cast<std::uint8_t>(a)), 0);
+  }
+}
+
+TEST(Gf256, MultiplicationCommutative) {
+  for (int a = 1; a < 256; a += 7)
+    for (int b = 1; b < 256; b += 11)
+      EXPECT_EQ(mul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)),
+                mul(static_cast<std::uint8_t>(b), static_cast<std::uint8_t>(a)));
+}
+
+TEST(Gf256, MultiplicationAssociative) {
+  for (int a = 1; a < 256; a += 31)
+    for (int b = 1; b < 256; b += 37)
+      for (int c = 1; c < 256; c += 41) {
+        const auto ua = static_cast<std::uint8_t>(a);
+        const auto ub = static_cast<std::uint8_t>(b);
+        const auto uc = static_cast<std::uint8_t>(c);
+        EXPECT_EQ(mul(mul(ua, ub), uc), mul(ua, mul(ub, uc)));
+      }
+}
+
+TEST(Gf256, DistributesOverXor) {
+  // Addition in GF(2^8) is XOR.
+  for (int a = 1; a < 256; a += 13)
+    for (int b = 0; b < 256; b += 17)
+      for (int c = 0; c < 256; c += 19) {
+        const auto ua = static_cast<std::uint8_t>(a);
+        const auto ub = static_cast<std::uint8_t>(b);
+        const auto uc = static_cast<std::uint8_t>(c);
+        EXPECT_EQ(mul(ua, static_cast<std::uint8_t>(ub ^ uc)),
+                  mul(ua, ub) ^ mul(ua, uc));
+      }
+}
+
+TEST(Gf256, EveryNonzeroElementHasInverse) {
+  for (int a = 1; a < 256; ++a) {
+    const auto ua = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(mul(ua, inv(ua)), 1) << "a=" << a;
+  }
+}
+
+TEST(Gf256, DivisionInvertsMultiplication) {
+  for (int a = 0; a < 256; a += 5)
+    for (int b = 1; b < 256; b += 9) {
+      const auto ua = static_cast<std::uint8_t>(a);
+      const auto ub = static_cast<std::uint8_t>(b);
+      EXPECT_EQ(div(mul(ua, ub), ub), ua);
+    }
+}
+
+TEST(Gf256, KnownProduct) {
+  // With polynomial 0x11D: 2 * 128 = 0x11D & 0xFF ^ ... = 29.
+  EXPECT_EQ(mul(2, 128), 29);
+}
+
+TEST(Gf256, GeneratorHasFullOrder) {
+  // 2 generates the multiplicative group: powers must cycle through all
+  // 255 nonzero elements.
+  std::vector<bool> seen(256, false);
+  std::uint8_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    EXPECT_FALSE(seen[x]) << "cycle shorter than 255 at " << i;
+    seen[x] = true;
+    x = mul(x, 2);
+  }
+  EXPECT_EQ(x, 1);  // full period
+}
+
+TEST(Gf256, PowMatchesRepeatedMul) {
+  for (int a = 1; a < 256; a += 23) {
+    const auto ua = static_cast<std::uint8_t>(a);
+    std::uint8_t expect = 1;
+    for (unsigned p = 0; p < 10; ++p) {
+      EXPECT_EQ(pow(ua, p), expect) << "a=" << a << " p=" << p;
+      expect = mul(expect, ua);
+    }
+  }
+}
+
+TEST(Gf256, PowEdgeCases) {
+  EXPECT_EQ(pow(0, 0), 1);  // convention: x^0 = 1
+  EXPECT_EQ(pow(0, 5), 0);
+  EXPECT_EQ(pow(7, 255), 1);  // Lagrange: order divides 255
+}
+
+TEST(Gf256, MulAddRowCoeffOneIsXor) {
+  std::vector<std::uint8_t> dst{1, 2, 3, 4, 5};
+  const std::vector<std::uint8_t> src{5, 4, 3, 2, 1};
+  mul_add_row(dst, src, 1);
+  EXPECT_EQ(dst, (std::vector<std::uint8_t>{4, 6, 0, 6, 4}));
+}
+
+TEST(Gf256, MulAddRowCoeffZeroIsNoop) {
+  std::vector<std::uint8_t> dst{1, 2, 3};
+  mul_add_row(dst, std::vector<std::uint8_t>{9, 9, 9}, 0);
+  EXPECT_EQ(dst, (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(Gf256, MulAddRowMatchesScalarOps) {
+  std::vector<std::uint8_t> dst(37), src(37);
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst[i] = static_cast<std::uint8_t>(i * 7 + 3);
+    src[i] = static_cast<std::uint8_t>(i * 13 + 1);
+  }
+  auto expect = dst;
+  for (std::size_t i = 0; i < dst.size(); ++i)
+    expect[i] = static_cast<std::uint8_t>(expect[i] ^ mul(0xAB, src[i]));
+  mul_add_row(dst, src, 0xAB);
+  EXPECT_EQ(dst, expect);
+}
+
+TEST(Gf256, MulAddRowSelfInverse) {
+  // Applying the same mul_add twice cancels (characteristic 2).
+  std::vector<std::uint8_t> dst{10, 20, 30, 40};
+  const auto orig = dst;
+  const std::vector<std::uint8_t> src{7, 7, 7, 7};
+  mul_add_row(dst, src, 0x55);
+  EXPECT_NE(dst, orig);
+  mul_add_row(dst, src, 0x55);
+  EXPECT_EQ(dst, orig);
+}
+
+TEST(Gf256, ScaleRowMatchesMul) {
+  std::vector<std::uint8_t> row{0, 1, 2, 128, 255};
+  auto expect = row;
+  for (auto& x : expect) x = mul(x, 0x1D);
+  scale_row(row, 0x1D);
+  EXPECT_EQ(row, expect);
+}
+
+TEST(Gf256, LogExpTablesConsistent) {
+  const auto log = log_table();
+  const auto exp = exp_table();
+  for (int a = 1; a < 256; ++a)
+    EXPECT_EQ(exp[log[static_cast<std::size_t>(a)]], a);
+}
+
+}  // namespace
+}  // namespace w4k::gf256

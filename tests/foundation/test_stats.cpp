@@ -1,0 +1,102 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace w4k {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, StddevKnownValue) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(stddev(v), 2.0, 1e-12);  // classic textbook example
+}
+
+TEST(Stats, StddevDegenerate) {
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, HarmonicMeanKnownValue) {
+  const std::vector<double> v{1.0, 2.0, 4.0};
+  EXPECT_NEAR(harmonic_mean(v), 3.0 / (1.0 + 0.5 + 0.25), 1e-12);
+}
+
+TEST(Stats, HarmonicMeanZeroElementYieldsZero) {
+  const std::vector<double> v{1.0, 0.0, 4.0};
+  EXPECT_DOUBLE_EQ(harmonic_mean(v), 0.0);
+}
+
+TEST(Stats, HarmonicMeanDominatedBySmallValues) {
+  const std::vector<double> v{100.0, 1.0};
+  EXPECT_LT(harmonic_mean(v), 2.0);  // why FastMPC uses it for prediction
+}
+
+TEST(Stats, QuantileSortedEndpoints) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.5), 3.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.25), 2.5);
+}
+
+TEST(Stats, SummarizeFiveNumber) {
+  const std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.q1, 2.0);
+  EXPECT_DOUBLE_EQ(s.q3, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_EQ(s.count, 5u);
+}
+
+TEST(Stats, SummarizeEmpty) {
+  const Summary s = summarize(std::vector<double>{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, SummarizeDoesNotMutateInput) {
+  const std::vector<double> v{3.0, 1.0, 2.0};
+  auto copy = v;
+  (void)summarize(copy);
+  EXPECT_EQ(copy, v);
+}
+
+TEST(Stats, ToStringContainsFields) {
+  const Summary s = summarize(std::vector<double>{1.0, 2.0, 3.0});
+  const std::string str = to_string(s);
+  EXPECT_NE(str.find("mean="), std::string::npos);
+  EXPECT_NE(str.find("med="), std::string::npos);
+  EXPECT_NE(str.find("n=3"), std::string::npos);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats rs;
+  for (double x : v) rs.add(x);
+  EXPECT_EQ(rs.count(), v.size());
+  EXPECT_NEAR(rs.mean(), mean(v), 1e-12);
+  EXPECT_NEAR(rs.stddev(), stddev(v), 1e-12);
+}
+
+TEST(Stats, RunningStatsEmpty) {
+  RunningStats rs;
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace w4k

@@ -1,0 +1,70 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace w4k {
+namespace {
+
+TEST(Dbm, MilliwattsRoundTrip) {
+  const Dbm x{-48.0};
+  EXPECT_NEAR(Dbm::from_milliwatts(x.milliwatts()).value, -48.0, 1e-12);
+}
+
+TEST(Dbm, ZeroDbmIsOneMilliwatt) {
+  EXPECT_NEAR(Dbm{0.0}.milliwatts(), 1.0, 1e-12);
+}
+
+TEST(Dbm, TenDbIsFactorTen) {
+  EXPECT_NEAR(Dbm{10.0}.milliwatts(), 10.0, 1e-9);
+  EXPECT_NEAR(Dbm{-10.0}.milliwatts(), 0.1, 1e-12);
+}
+
+TEST(Dbm, GainAndLossArithmetic) {
+  const Dbm x{-60.0};
+  EXPECT_DOUBLE_EQ((x + 15.0).value, -45.0);
+  EXPECT_DOUBLE_EQ((x - 8.0).value, -68.0);
+}
+
+TEST(Dbm, DifferenceIsRelativeDb) {
+  EXPECT_DOUBLE_EQ(Dbm{-50.0} - Dbm{-60.0}, 10.0);
+}
+
+TEST(Dbm, Ordering) {
+  EXPECT_LT(Dbm{-68.0}, Dbm{-53.0});
+  EXPECT_GT(Dbm{-40.0}, Dbm{-41.0});
+  EXPECT_EQ(Dbm{-55.0}, Dbm{-55.0});
+}
+
+TEST(Mbps, BytesInOneSecond) {
+  // 8 Mbps = 1 MB/s.
+  EXPECT_NEAR(Mbps{8.0}.bytes_in(1.0), 1e6, 1e-6);
+}
+
+TEST(Mbps, BytesInFrameBudget) {
+  // 2400 Mbps over 1/30 s = 10 MB.
+  EXPECT_NEAR(Mbps{2400.0}.bytes_in(kFrameBudget), 1e7, 1.0);
+}
+
+TEST(Mbps, SecondsForInvertsBytesIn) {
+  const Mbps r{1580.0};
+  const double bytes = 123456.0;
+  EXPECT_NEAR(r.bytes_in(r.seconds_for(bytes)), bytes, 1e-6);
+}
+
+TEST(Mbps, ZeroRateNeverFinishes) {
+  EXPECT_GT(Mbps{0.0}.seconds_for(1.0), 1e17);
+}
+
+TEST(Units, FrameBudgetMatchesFrameRate) {
+  EXPECT_NEAR(kFrameBudget * kFrameRate, 1.0, 1e-12);
+}
+
+TEST(Units, WigigWavelengthIsAboutFiveMillimeters) {
+  const double lambda = kSpeedOfLight / kWigigFreqHz;
+  EXPECT_NEAR(lambda, 4.96e-3, 0.05e-3);
+}
+
+}  // namespace
+}  // namespace w4k

@@ -1,0 +1,136 @@
+#include "model/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace w4k::model {
+namespace {
+
+std::vector<video::VideoSpec> tiny_videos() {
+  auto specs = video::standard_videos(64, 64, 4);
+  specs.resize(2);  // one HR + keep it fast
+  return specs;
+}
+
+TEST(Features, ToInputLayout) {
+  Features f;
+  f.fraction = {0.1, 0.2, 0.3, 0.4};
+  f.up_to_layer = {0.5, 0.6, 0.7, 0.8};
+  f.blank = 0.9;
+  const Vec x = f.to_input();
+  ASSERT_EQ(x.size(), kFeatureCount);
+  EXPECT_DOUBLE_EQ(x[0], 0.1);
+  EXPECT_DOUBLE_EQ(x[3], 0.4);
+  EXPECT_DOUBLE_EQ(x[4], 0.5);
+  EXPECT_DOUBLE_EQ(x[7], 0.8);
+  EXPECT_DOUBLE_EQ(x[8], 0.9);
+}
+
+TEST(PartialFromFractions, ZeroGivesNothing) {
+  const video::SyntheticVideo clip(tiny_videos()[0]);
+  const auto enc = video::encode(clip.frame(0));
+  const auto p = partial_from_fractions(enc, {0.0, 0.0, 0.0, 0.0});
+  for (int l = 0; l < video::kNumLayers; ++l)
+    EXPECT_EQ(p.layer_received(l), 0u);
+}
+
+TEST(PartialFromFractions, OneGivesEverything) {
+  const video::SyntheticVideo clip(tiny_videos()[0]);
+  const auto enc = video::encode(clip.frame(0));
+  const auto p = partial_from_fractions(enc, {1.0, 1.0, 1.0, 1.0});
+  for (int l = 0; l < video::kNumLayers; ++l)
+    EXPECT_EQ(p.layer_received(l), video::layer_bytes(l, 64, 64));
+}
+
+TEST(PartialFromFractions, HalfGivesHalfTheBytes) {
+  const video::SyntheticVideo clip(tiny_videos()[0]);
+  const auto enc = video::encode(clip.frame(0));
+  const auto p = partial_from_fractions(enc, {0.5, 0.5, 0.5, 0.5});
+  for (int l = 0; l < video::kNumLayers; ++l)
+    EXPECT_NEAR(static_cast<double>(p.layer_received(l)),
+                0.5 * static_cast<double>(video::layer_bytes(l, 64, 64)), 2.0);
+}
+
+TEST(PartialFromFractions, FillsSublayersInOrder) {
+  const video::SyntheticVideo clip(tiny_videos()[0]);
+  const auto enc = video::encode(clip.frame(0));
+  // A quarter of layer 1 = exactly sublayer 0.
+  const auto p = partial_from_fractions(enc, {0.0, 0.25, 0.0, 0.0});
+  EXPECT_FALSE(p.layers[1][0].segments.empty());
+  EXPECT_TRUE(p.layers[1][1].segments.empty());
+  EXPECT_TRUE(p.layers[1][3].segments.empty());
+}
+
+TEST(PartialFromFractions, OutOfRangeFractionsClamped) {
+  const video::SyntheticVideo clip(tiny_videos()[0]);
+  const auto enc = video::encode(clip.frame(0));
+  EXPECT_NO_THROW(partial_from_fractions(enc, {-0.5, 2.0, 0.5, 0.5}));
+}
+
+TEST(BuildDataset, SplitProportionsAndSizes) {
+  DatasetConfig cfg;
+  cfg.frames_per_video = 2;
+  cfg.fractions_per_frame = 10;
+  const Dataset ds = build_dataset(tiny_videos(), cfg);
+  const std::size_t total = ds.train.size() + ds.test.size();
+  EXPECT_EQ(total, 2u * 2u * 10u);
+  EXPECT_NEAR(static_cast<double>(ds.train.size()) / total, 0.7, 0.05);
+}
+
+TEST(BuildDataset, LabelsAreValidSsim) {
+  DatasetConfig cfg;
+  cfg.frames_per_video = 1;
+  cfg.fractions_per_frame = 8;
+  const Dataset ds = build_dataset(tiny_videos(), cfg);
+  for (const auto& ex : ds.train) {
+    EXPECT_GE(ex.y, -0.2);
+    EXPECT_LE(ex.y, 1.0);
+    ASSERT_EQ(ex.x.size(), kFeatureCount);
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_GE(ex.x[i], 0.0);
+      EXPECT_LE(ex.x[i], 1.0);
+    }
+  }
+}
+
+TEST(BuildDataset, FullReceptionLabelNearPerfect) {
+  // Dataset rows with all-ones fractions must have labels near 1.
+  DatasetConfig cfg;
+  cfg.frames_per_video = 1;
+  cfg.fractions_per_frame = 40;
+  const Dataset ds = build_dataset(tiny_videos(), cfg);
+  for (const auto& set : {ds.train, ds.test}) {
+    for (const auto& ex : set) {
+      if (ex.x[0] == 1.0 && ex.x[1] == 1.0 && ex.x[2] == 1.0 && ex.x[3] == 1.0)
+        EXPECT_GT(ex.y, 0.98);
+    }
+  }
+}
+
+TEST(BuildDataset, Deterministic) {
+  DatasetConfig cfg;
+  cfg.frames_per_video = 1;
+  cfg.fractions_per_frame = 5;
+  const Dataset a = build_dataset(tiny_videos(), cfg);
+  const Dataset b = build_dataset(tiny_videos(), cfg);
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (std::size_t i = 0; i < a.train.size(); ++i) {
+    EXPECT_EQ(a.train[i].x, b.train[i].x);
+    EXPECT_DOUBLE_EQ(a.train[i].y, b.train[i].y);
+  }
+}
+
+TEST(BuildDataset, MoreLayersReceivedHigherLabel) {
+  // Sanity on the monotone relationship the model must learn: compare the
+  // all-zero row against the all-one row for the same frame.
+  const video::SyntheticVideo clip(tiny_videos()[0]);
+  const auto frame = clip.frame(0);
+  const auto enc = video::encode(frame);
+  const auto none = video::reconstruct(
+      partial_from_fractions(enc, {0.0, 0.0, 0.0, 0.0}));
+  const auto all = video::reconstruct(
+      partial_from_fractions(enc, {1.0, 1.0, 1.0, 1.0}));
+  EXPECT_GT(quality::ssim(frame, all), quality::ssim(frame, none));
+}
+
+}  // namespace
+}  // namespace w4k::model

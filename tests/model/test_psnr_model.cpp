@@ -1,0 +1,88 @@
+#include "model/baselines.h"
+#include "model/dataset.h"
+#include "model/quality_model.h"
+
+#include <gtest/gtest.h>
+
+namespace w4k::model {
+namespace {
+
+Dataset psnr_dataset() {
+  auto specs = video::standard_videos(128, 128, 3);
+  specs.resize(3);
+  DatasetConfig cfg;
+  cfg.frames_per_video = 2;
+  cfg.fractions_per_frame = 30;
+  cfg.metric = TargetMetric::kPsnr;
+  return build_dataset(specs, cfg);
+}
+
+TEST(PsnrModel, LabelsAreNormalizedPsnr) {
+  const Dataset ds = psnr_dataset();
+  ASSERT_FALSE(ds.train.empty());
+  for (const auto& ex : ds.train) {
+    EXPECT_GE(ex.y, 0.0);
+    EXPECT_LE(ex.y, 1.0);
+    // PSNR anchors (features 4-8) normalized too.
+    for (std::size_t i = 4; i < kFeatureCount; ++i) {
+      EXPECT_GE(ex.x[i], 0.0);
+      EXPECT_LE(ex.x[i], 1.0);
+    }
+  }
+}
+
+TEST(PsnrModel, AnchorsDifferFromSsim) {
+  auto specs = video::standard_videos(128, 128, 2);
+  specs.resize(1);
+  DatasetConfig ssim_cfg;
+  ssim_cfg.frames_per_video = 1;
+  ssim_cfg.fractions_per_frame = 4;
+  DatasetConfig psnr_cfg = ssim_cfg;
+  psnr_cfg.metric = TargetMetric::kPsnr;
+  const Dataset a = build_dataset(specs, ssim_cfg);
+  const Dataset b = build_dataset(specs, psnr_cfg);
+  // Feature 4 is the layer-0 anchor: SSIM vs normalized PSNR of the same
+  // reconstruction differ.
+  const auto& xa = a.train.empty() ? a.test.front().x : a.train.front().x;
+  const auto& xb = b.train.empty() ? b.test.front().x : b.train.front().x;
+  EXPECT_NE(xa[4], xb[4]);
+}
+
+TEST(PsnrModel, DnnLearnsPsnrTargets) {
+  const Dataset ds = psnr_dataset();
+  QualityModel dnn(42);
+  TrainConfig tc;
+  tc.epochs = 1000;
+  dnn.train(ds.train, tc);
+  const double mse = dnn.evaluate(ds.test);
+  EXPECT_LT(mse, 3e-3);  // ~ <= 2.7 dB RMS at the 50 dB scale
+
+  // And it must beat linear regression, like the SSIM variant does.
+  LinearRegression lr;
+  lr.fit(ds.train);
+  EXPECT_LT(mse, lr.evaluate(ds.test));
+}
+
+TEST(PsnrModel, FullReceptionPredictsNearLossless) {
+  const Dataset ds = psnr_dataset();
+  QualityModel dnn(42);
+  TrainConfig tc;
+  tc.epochs = 1000;
+  dnn.train(ds.train, tc);
+  for (const auto& ex : ds.test) {
+    if (ex.x[0] == 1.0 && ex.x[1] == 1.0 && ex.x[2] == 1.0 &&
+        ex.x[3] == 1.0) {
+      Features f;
+      for (std::size_t l = 0; l < 4; ++l) {
+        f.fraction[l] = ex.x[l];
+        f.up_to_layer[l] = ex.x[l + 4];
+      }
+      f.blank = ex.x[8];
+      // 0.9 normalized = 45 dB: effectively lossless territory.
+      EXPECT_GT(dnn.predict(f), 0.85);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace w4k::model

@@ -1,0 +1,140 @@
+#include "model/quality_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+namespace w4k::model {
+namespace {
+
+/// Shared fixture: train once on a small dataset (still meaningful — the
+/// full-strength training is exercised by bench_table1).
+class QualityModelTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto specs = video::standard_videos(128, 128, 3);
+    DatasetConfig cfg;
+    cfg.frames_per_video = 2;
+    cfg.fractions_per_frame = 40;
+    dataset_ = new Dataset(build_dataset(specs, cfg));
+    model_ = new QualityModel(42);
+    TrainConfig tc;
+    tc.epochs = 1000;
+    model_->train(dataset_->train, tc);
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete model_;
+    dataset_ = nullptr;
+    model_ = nullptr;
+  }
+
+  static Dataset* dataset_;
+  static QualityModel* model_;
+};
+
+Dataset* QualityModelTest::dataset_ = nullptr;
+QualityModel* QualityModelTest::model_ = nullptr;
+
+Features sample_features() {
+  Features f;
+  f.fraction = {1.0, 1.0, 0.5, 0.1};
+  f.up_to_layer = {0.8, 0.88, 0.94, 1.0};
+  f.blank = 0.7;
+  return f;
+}
+
+TEST_F(QualityModelTest, TestMseReasonable) {
+  // Headline Table-1 reproduction happens in the bench at full strength;
+  // here we only require the small training run to beat the baselines'
+  // error regime by a wide margin.
+  EXPECT_LT(model_->evaluate(dataset_->test), 5e-4);
+}
+
+TEST_F(QualityModelTest, PredictionsInUnitRange) {
+  for (const auto& ex : dataset_->test) {
+    Features f;
+    for (int l = 0; l < 4; ++l) {
+      f.fraction[static_cast<std::size_t>(l)] = ex.x[static_cast<std::size_t>(l)];
+      f.up_to_layer[static_cast<std::size_t>(l)] =
+          ex.x[static_cast<std::size_t>(l) + 4];
+    }
+    f.blank = ex.x[8];
+    const double p = model_->predict(f);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST_F(QualityModelTest, MoreDataPredictsMoreQuality) {
+  Features low = sample_features();
+  low.fraction = {1.0, 0.2, 0.0, 0.0};
+  Features high = sample_features();
+  high.fraction = {1.0, 1.0, 1.0, 0.5};
+  EXPECT_GT(model_->predict(high), model_->predict(low));
+}
+
+TEST_F(QualityModelTest, FullReceptionNearTopAnchor) {
+  Features f = sample_features();
+  f.fraction = {1.0, 1.0, 1.0, 1.0};
+  EXPECT_NEAR(model_->predict(f), 1.0, 0.08);
+}
+
+TEST_F(QualityModelTest, GradientMostlyPositive) {
+  // In the interior of the fraction cube quality increases with data.
+  Features f = sample_features();
+  f.fraction = {0.9, 0.7, 0.4, 0.2};
+  const auto g = model_->fraction_gradient(f);
+  int positive = 0;
+  for (double x : g) positive += x > 0.0 ? 1 : 0;
+  EXPECT_GE(positive, 3);
+}
+
+TEST_F(QualityModelTest, GradientMatchesPredictionDifference) {
+  Features f = sample_features();
+  const auto g = model_->fraction_gradient(f);
+  const double eps = 1e-5;
+  for (std::size_t l = 0; l < 4; ++l) {
+    Features fp = f;
+    fp.fraction[l] += eps;
+    // predict() clamps to [0,1]; use raw difference where unclamped.
+    const double diff = (model_->predict(fp) - model_->predict(f)) / eps;
+    EXPECT_NEAR(g[l], diff, 1e-3) << "layer " << l;
+  }
+}
+
+TEST_F(QualityModelTest, SaveLoadPreservesPredictions) {
+  std::stringstream ss;
+  model_->save(ss);
+  QualityModel copy(1);  // different random init
+  const Features f = sample_features();
+  EXPECT_NE(copy.predict(f), model_->predict(f));
+  copy.load(ss);
+  EXPECT_DOUBLE_EQ(copy.predict(f), model_->predict(f));
+}
+
+TEST_F(QualityModelTest, FileRoundTrip) {
+  const std::string path = "test_quality_model.tmp";
+  model_->save_file(path);
+  QualityModel copy(1);
+  ASSERT_TRUE(copy.load_file(path));
+  EXPECT_DOUBLE_EQ(copy.predict(sample_features()),
+                   model_->predict(sample_features()));
+  std::remove(path.c_str());
+}
+
+TEST(QualityModelStandalone, LoadMissingFileReturnsFalse) {
+  QualityModel m(1);
+  EXPECT_FALSE(m.load_file("/nonexistent/path/model.txt"));
+}
+
+TEST(QualityModelStandalone, UntrainedStillPredictsInRange) {
+  QualityModel m(123);
+  const double p = m.predict(sample_features());
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+}  // namespace
+}  // namespace w4k::model

@@ -1,0 +1,220 @@
+#include "sched/allocate.h"
+
+#include "channel/propagation.h"
+#include "core/frame_context.h"
+#include "core/pretrained.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace w4k::sched {
+namespace {
+
+/// Shared trained model + a frame's content features for all tests here.
+class AllocateTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    quality_ = new model::QualityModel(42);
+    core::PretrainedOptions opts;
+    opts.cache_path = "allocate_test_model.cache";
+    core::ensure_trained(*quality_, opts);
+
+    video::VideoSpec spec;
+    spec.width = 512;
+    spec.height = 288;
+    spec.frames = 1;
+    spec.richness = video::Richness::kHigh;
+    spec.seed = 7;
+    const video::SyntheticVideo clip(spec);
+    ctx_ = new core::FrameContext(core::make_frame_context(
+        clip.frame(0), nullptr, core::scaled_symbol_size(512, 288)));
+  }
+  static void TearDownTestSuite() {
+    delete quality_;
+    delete ctx_;
+    quality_ = nullptr;
+    ctx_ = nullptr;
+  }
+
+  /// Builds a problem with groups at the given (members, Mbps) specs.
+  static AllocProblem problem(
+      std::vector<std::pair<std::vector<std::size_t>, double>> groups,
+      std::size_t n_users) {
+    AllocProblem p;
+    for (auto& [members, rate] : groups) {
+      GroupSpec g;
+      g.members = members;
+      g.beam.rate = Mbps{rate};
+      g.beam.min_rss = Dbm{-50.0};
+      p.groups.push_back(std::move(g));
+    }
+    p.n_users = n_users;
+    p.content = ctx_->content;
+    return p;
+  }
+
+  static double total_time(const Allocation& a) {
+    double t = 0.0;
+    for (const auto& row : a.time)
+      for (double x : row) t += x;
+    return t;
+  }
+
+  static model::QualityModel* quality_;
+  static core::FrameContext* ctx_;
+};
+
+model::QualityModel* AllocateTest::quality_ = nullptr;
+core::FrameContext* AllocateTest::ctx_ = nullptr;
+
+TEST_F(AllocateTest, RespectsTimeBudget) {
+  auto p = problem({{{0}, 40.0}, {{1}, 40.0}, {{0, 1}, 40.0}}, 2);
+  const Allocation a = optimize_allocation(p, *quality_);
+  EXPECT_LE(total_time(a), p.time_budget + 1e-9);
+  for (const auto& row : a.time)
+    for (double x : row) EXPECT_GE(x, 0.0);
+}
+
+TEST_F(AllocateTest, PrefersSharedGroupWhenRatesEqual) {
+  // With equal rates, sending to {0,1} serves both users at once; the
+  // optimizer should put (almost) everything there.
+  auto p = problem({{{0}, 40.0}, {{1}, 40.0}, {{0, 1}, 40.0}}, 2);
+  const Allocation a = optimize_allocation(p, *quality_);
+  double shared = 0.0;
+  for (double x : a.time[2]) shared += x;
+  EXPECT_GT(shared, 0.9 * total_time(a));
+}
+
+TEST_F(AllocateTest, FillsLowerLayersFirst) {
+  auto p = problem({{{0}, 40.0}}, 1);
+  const Allocation a = optimize_allocation(p, *quality_);
+  // Lower layers should be complete before upper layers get anything
+  // substantial (capacity 40 Mbps can fill L0..L2 and part of L3).
+  for (int l = 0; l < 3; ++l)
+    EXPECT_GE(a.user_bytes[0][static_cast<std::size_t>(l)],
+              0.95 * p.content.layer_bytes[static_cast<std::size_t>(l)])
+        << "layer " << l;
+  EXPECT_LT(a.user_bytes[0][3], p.content.layer_bytes[3]);
+}
+
+TEST_F(AllocateTest, AvoidsGrossOverAllocation) {
+  auto p = problem({{{0}, 40.0}}, 1);
+  const Allocation a = optimize_allocation(p, *quality_);
+  // No layer should receive more than ~a symbol or two beyond its cap.
+  for (int l = 0; l < video::kNumLayers; ++l) {
+    const auto ls = static_cast<std::size_t>(l);
+    EXPECT_LT(a.user_bytes[0][ls], p.content.layer_bytes[ls] * 1.1 + 2000.0)
+        << "layer " << l;
+  }
+}
+
+TEST_F(AllocateTest, HigherRateHigherQuality) {
+  auto slow = problem({{{0}, 10.0}}, 1);
+  auto fast = problem({{{0}, 40.0}}, 1);
+  const Allocation a_slow = optimize_allocation(slow, *quality_);
+  const Allocation a_fast = optimize_allocation(fast, *quality_);
+  EXPECT_GT(a_fast.predicted_ssim[0], a_slow.predicted_ssim[0] + 0.01);
+}
+
+TEST_F(AllocateTest, AsymmetricRatesFavorBottleneckViaSingletons) {
+  // One strong user, one weak user: the optimizer should still deliver
+  // the base layer to the weak user via some group containing it.
+  auto p = problem({{{0}, 40.0}, {{1}, 8.0}, {{0, 1}, 8.0}}, 2);
+  const Allocation a = optimize_allocation(p, *quality_);
+  EXPECT_GT(a.user_bytes[1][0], 0.9 * p.content.layer_bytes[0]);
+  // And the strong user should end with more total bytes.
+  const double s0 = std::accumulate(a.user_bytes[0].begin(),
+                                    a.user_bytes[0].end(), 0.0);
+  const double s1 = std::accumulate(a.user_bytes[1].begin(),
+                                    a.user_bytes[1].end(), 0.0);
+  EXPECT_GT(s0, s1);
+}
+
+TEST_F(AllocateTest, EmptyProblemsThrow) {
+  AllocProblem p;
+  p.n_users = 1;
+  EXPECT_THROW(optimize_allocation(p, *quality_), std::invalid_argument);
+  auto p2 = problem({{{0}, 40.0}}, 1);
+  p2.n_users = 0;
+  EXPECT_THROW(optimize_allocation(p2, *quality_), std::invalid_argument);
+}
+
+TEST_F(AllocateTest, BytesConsistentWithTimeAndRate) {
+  auto p = problem({{{0}, 37.0}}, 1);
+  const Allocation a = optimize_allocation(p, *quality_);
+  for (int l = 0; l < video::kNumLayers; ++l) {
+    const auto ls = static_cast<std::size_t>(l);
+    EXPECT_NEAR(a.bytes[0][ls], a.time[0][ls] * 37.0 * 1e6 / 8.0, 1e-6);
+  }
+}
+
+TEST_F(AllocateTest, RoundRobinUsesFullBudgetCyclically) {
+  auto p = problem({{{0}, 40.0}, {{1}, 40.0}, {{0, 1}, 40.0}}, 2);
+  const Allocation a = round_robin_allocation(p, *quality_);
+  EXPECT_NEAR(total_time(a), p.time_budget, 1e-9);
+  // Round robin splits time equally across the three groups.
+  for (std::size_t g = 0; g < 3; ++g) {
+    double t = 0.0;
+    for (double x : a.time[g]) t += x;
+    EXPECT_NEAR(t, p.time_budget / 3.0, 1e-3);
+  }
+}
+
+TEST_F(AllocateTest, OptimizedBeatsRoundRobinWithThreeUsers) {
+  // Fig. 8's claim. Three users, heterogeneous rates.
+  auto p = problem({{{0}, 40.0},
+                    {{1}, 30.0},
+                    {{2}, 15.0},
+                    {{0, 1}, 30.0},
+                    {{0, 2}, 15.0},
+                    {{1, 2}, 15.0},
+                    {{0, 1, 2}, 15.0}},
+                   3);
+  const Allocation opt = optimize_allocation(p, *quality_);
+  const Allocation rr = round_robin_allocation(p, *quality_);
+  double opt_sum = 0.0, rr_sum = 0.0;
+  for (double s : opt.predicted_ssim) opt_sum += s;
+  for (double s : rr.predicted_ssim) rr_sum += s;
+  EXPECT_GT(opt_sum, rr_sum);
+}
+
+TEST_F(AllocateTest, TwoUserSharedGroupMatchesRoundRobinClosely) {
+  // Paper: "our scheduling performs the same as the round-robin for 2
+  // users because there is only one multicast group" — when the only
+  // group is {0,1}, both allocators serve it the whole budget.
+  auto p = problem({{{0, 1}, 40.0}}, 2);
+  const Allocation opt = optimize_allocation(p, *quality_);
+  const Allocation rr = round_robin_allocation(p, *quality_);
+  EXPECT_NEAR(opt.predicted_ssim[0], rr.predicted_ssim[0], 0.02);
+}
+
+TEST(ProjectToSimplex, Basics) {
+  std::vector<double> t{0.5, 0.7, -0.1};
+  project_to_simplex(t, 1.0);
+  double sum = 0.0;
+  for (double x : t) {
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_LE(sum, 1.0 + 1e-12);
+}
+
+TEST(ProjectToSimplex, UnderBudgetUntouchedExceptClipping) {
+  std::vector<double> t{0.1, 0.2, -0.3};
+  project_to_simplex(t, 10.0);
+  EXPECT_DOUBLE_EQ(t[0], 0.1);
+  EXPECT_DOUBLE_EQ(t[1], 0.2);
+  EXPECT_DOUBLE_EQ(t[2], 0.0);
+}
+
+TEST(ProjectToSimplex, ExactProjectionKnownCase) {
+  // Projection of (1, 1) onto {x >= 0, sum <= 1} is (0.5, 0.5).
+  std::vector<double> t{1.0, 1.0};
+  project_to_simplex(t, 1.0);
+  EXPECT_NEAR(t[0], 0.5, 1e-12);
+  EXPECT_NEAR(t[1], 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace w4k::sched

@@ -1,0 +1,150 @@
+// Failure injection: the system must degrade gracefully, never crash or
+// hang, under hostile conditions — deep outage mid-trace, pathological
+// queue sizes, total feedback loss, near-total packet loss, and abrupt
+// channel collapse between decision and transmission.
+#include "common/stats.h"
+#include "core/pretrained.h"
+#include "core/runner.h"
+
+#include <gtest/gtest.h>
+
+namespace w4k::core {
+namespace {
+
+constexpr int kW = 256;
+constexpr int kH = 144;
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    quality_ = new model::QualityModel(42);
+    PretrainedOptions opts;
+    opts.cache_path = "session_test_model.cache";
+    ensure_trained(*quality_, opts);
+    video::VideoSpec spec;
+    spec.width = kW;
+    spec.height = kH;
+    spec.frames = 3;
+    spec.seed = 11;
+    contexts_ = new std::vector<FrameContext>(make_contexts(
+        video::SyntheticVideo(spec), 2, scaled_symbol_size(kW, kH)));
+  }
+  static void TearDownTestSuite() {
+    delete quality_;
+    delete contexts_;
+    quality_ = nullptr;
+    contexts_ = nullptr;
+  }
+
+  static std::vector<linalg::CVector> channels_at(double distance) {
+    Rng rng(5);
+    channel::PropagationConfig prop;
+    return channels_for(prop, place_users_fixed(2, distance, 0.6, rng));
+  }
+
+  static model::QualityModel* quality_;
+  static std::vector<FrameContext>* contexts_;
+};
+
+model::QualityModel* FailureInjectionTest::quality_ = nullptr;
+std::vector<FrameContext>* FailureInjectionTest::contexts_ = nullptr;
+
+TEST_F(FailureInjectionTest, ChannelCollapseBetweenBeaconAndFrame) {
+  // Decision made on a 3 m channel; by transmit time the user is at 25 m.
+  // The frame must complete (no hang), deliver almost nothing, and the
+  // next adapted frame must recover.
+  SessionConfig cfg = SessionConfig::scaled(kW, kH);
+  MulticastSession session(cfg, *quality_, beamforming::Codebook{});
+  const auto good = channels_at(3.0);
+  const auto collapsed = channels_at(25.0);
+
+  const FrameOutcome crashed =
+      session.step(good, collapsed, contexts_->front());
+  EXPECT_LT(crashed.ssim[0], 0.9);
+
+  const FrameOutcome recovered =
+      session.step(collapsed, collapsed, contexts_->front());
+  EXPECT_GE(recovered.ssim[0], crashed.ssim[0]);
+}
+
+TEST_F(FailureInjectionTest, DeepOutageMidTraceAndRecovery) {
+  // Splice an outage (users at 40 m: below MCS 1) into an otherwise good
+  // trace. Outage frames render ~blank; recovery is immediate.
+  channel::CsiTrace trace;
+  const auto good = channels_at(3.0);
+  const auto dead = channels_at(40.0);
+  for (int t = 0; t < 9; ++t) {
+    trace.snapshots.push_back(t >= 3 && t < 6 ? dead : good);
+    trace.positions.push_back(
+        {channel::Position{3, 0}, channel::Position{3, 1}});
+  }
+  SessionConfig cfg = SessionConfig::scaled(kW, kH);
+  MulticastSession session(cfg, *quality_, beamforming::Codebook{});
+  const RunResult run = run_trace(session, trace, *contexts_, 1);
+  ASSERT_EQ(run.frames.size(), 9u);
+  const double blank = contexts_->front().content.blank_ssim;
+  EXPECT_NEAR(run.frames[4].ssim[0], blank, 0.05);  // outage ~ blank
+  EXPECT_GT(run.frames[8].ssim[0], 0.9);            // recovered
+}
+
+TEST_F(FailureInjectionTest, NoFeedbackChannel) {
+  SessionConfig cfg = SessionConfig::scaled(kW, kH);
+  cfg.engine.feedback_rounds = 0;
+  cfg.loss.at_zero_margin = 0.2;  // hostile channel, no repair possible
+  MulticastSession session(cfg, *quality_, beamforming::Codebook{});
+  const auto chans = channels_at(6.0);
+  const RunResult run = run_static(session, chans, *contexts_, 5);
+  // Quality suffers but every frame completes with sane outputs.
+  for (double s : run.ssim) {
+    EXPECT_GT(s, 0.3);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST_F(FailureInjectionTest, PathologicalQueueOfOnePacket) {
+  SessionConfig cfg = SessionConfig::scaled(kW, kH);
+  cfg.engine.queue_capacity_bytes = cfg.engine.symbol_size + 1;
+  cfg.engine.rate_control = false;  // dump the burst at the tiny queue
+  MulticastSession session(cfg, *quality_, beamforming::Codebook{});
+  const auto chans = channels_at(3.0);
+  const RunResult run = run_static(session, chans, *contexts_, 4);
+  // Nearly everything drops; the receiver sees ~blank frames. No crash.
+  for (const auto& f : run.frames)
+    EXPECT_GT(f.stats.packets_dropped_queue, 0u);
+}
+
+TEST_F(FailureInjectionTest, NearTotalLoss) {
+  SessionConfig cfg = SessionConfig::scaled(kW, kH);
+  cfg.loss.floor = 0.95;  // 95% of packets vanish
+  MulticastSession session(cfg, *quality_, beamforming::Codebook{});
+  const auto chans = channels_at(3.0);
+  const RunResult run = run_static(session, chans, *contexts_, 3);
+  const double blank = contexts_->front().content.blank_ssim;
+  for (double s : run.ssim) EXPECT_GE(s, blank - 0.05);
+}
+
+TEST_F(FailureInjectionTest, ZeroFrameBudget) {
+  SessionConfig cfg = SessionConfig::scaled(kW, kH);
+  cfg.engine.frame_budget = 1e-9;  // effectively no airtime
+  MulticastSession session(cfg, *quality_, beamforming::Codebook{});
+  const auto chans = channels_at(3.0);
+  const FrameOutcome out = session.step(chans, chans, contexts_->front());
+  EXPECT_LE(out.stats.packets_sent, 1u);
+  EXPECT_NEAR(out.ssim[0], contexts_->front().content.blank_ssim, 0.05);
+}
+
+TEST_F(FailureInjectionTest, BacklogStormWithoutRateControlDrains) {
+  // Several frames of over-subscription must not accumulate unbounded
+  // state: the backlog is capped by the queue capacity.
+  SessionConfig cfg = SessionConfig::scaled(kW, kH);
+  cfg.engine.rate_control = false;
+  MulticastSession session(cfg, *quality_, beamforming::Codebook{});
+  const auto chans = channels_at(16.0);  // slow link, big frames
+  const RunResult run = run_static(session, chans, *contexts_, 8);
+  for (const auto& f : run.frames)
+    EXPECT_LE(f.stats.backlog_packets_after,
+              cfg.engine.queue_capacity_bytes / cfg.engine.symbol_size + 1);
+}
+
+}  // namespace
+}  // namespace w4k::core

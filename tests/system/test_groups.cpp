@@ -1,0 +1,139 @@
+#include "sched/groups.h"
+
+#include "channel/propagation.h"
+
+#include <gtest/gtest.h>
+
+namespace w4k::sched {
+namespace {
+
+std::vector<linalg::CVector> make_users(int n, double distance = 4.0) {
+  channel::PropagationConfig prop;
+  std::vector<linalg::CVector> out;
+  for (int i = 0; i < n; ++i)
+    out.push_back(channel::make_channel(
+        prop,
+        channel::Position::from_polar(distance, -0.4 + 0.8 * i /
+                                                     std::max(1, n - 1))));
+  return out;
+}
+
+TEST(EnumerateGroups, MulticastEnumeratesAllSubsets) {
+  Rng rng(1);
+  const auto groups =
+      enumerate_groups(beamforming::Scheme::kOptimizedMulticast,
+                       make_users(3), beamforming::Codebook{}, rng);
+  // 2^3 - 1 = 7 subsets, all viable at 4 m.
+  EXPECT_EQ(groups.size(), 7u);
+}
+
+TEST(EnumerateGroups, UnicastOnlySingletons) {
+  Rng rng(2);
+  const auto groups =
+      enumerate_groups(beamforming::Scheme::kOptimizedUnicast, make_users(4),
+                       beamforming::Codebook{}, rng);
+  EXPECT_EQ(groups.size(), 4u);
+  for (const auto& g : groups) EXPECT_EQ(g.members.size(), 1u);
+}
+
+TEST(EnumerateGroups, MembersAscendingAndMaskOrdered) {
+  Rng rng(3);
+  const auto groups =
+      enumerate_groups(beamforming::Scheme::kOptimizedMulticast,
+                       make_users(3), beamforming::Codebook{}, rng);
+  // Bitmask order: {0}, {1}, {0,1}, {2}, {0,2}, {1,2}, {0,1,2}.
+  EXPECT_EQ(groups[0].members, (std::vector<std::size_t>{0}));
+  EXPECT_EQ(groups[2].members, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(groups[6].members, (std::vector<std::size_t>{0, 1, 2}));
+  for (const auto& g : groups)
+    for (std::size_t i = 1; i < g.members.size(); ++i)
+      EXPECT_LT(g.members[i - 1], g.members[i]);
+}
+
+TEST(EnumerateGroups, RateThresholdPrunes) {
+  Rng rng(4);
+  GroupEnumConfig cfg;
+  cfg.rate_threshold = Mbps{10000.0};  // nothing is this fast
+  const auto groups =
+      enumerate_groups(beamforming::Scheme::kOptimizedMulticast,
+                       make_users(2), beamforming::Codebook{}, rng, cfg);
+  EXPECT_TRUE(groups.empty());
+}
+
+TEST(EnumerateGroups, MaxGroupSizeCaps) {
+  Rng rng(5);
+  GroupEnumConfig cfg;
+  cfg.max_group_size = 1;
+  const auto groups =
+      enumerate_groups(beamforming::Scheme::kOptimizedMulticast,
+                       make_users(3), beamforming::Codebook{}, rng, cfg);
+  EXPECT_EQ(groups.size(), 3u);
+}
+
+TEST(EnumerateGroups, UnreachableUserDropped) {
+  Rng rng(6);
+  channel::PropagationConfig prop;
+  std::vector<linalg::CVector> users = make_users(2);
+  users.push_back(channel::make_channel(
+      prop, channel::Position::from_polar(500.0, 0.0)));  // far away
+  const auto groups =
+      enumerate_groups(beamforming::Scheme::kOptimizedMulticast, users,
+                       beamforming::Codebook{}, rng);
+  // Any group containing user 2 has zero rate and is pruned.
+  for (const auto& g : groups) EXPECT_FALSE(g.contains(2));
+  EXPECT_EQ(groups.size(), 3u);  // subsets of {0, 1}
+}
+
+TEST(EnumerateGroups, EmptyUsersThrow) {
+  Rng rng(7);
+  EXPECT_THROW(enumerate_groups(beamforming::Scheme::kOptimizedMulticast, {},
+                                beamforming::Codebook{}, rng),
+               std::invalid_argument);
+}
+
+TEST(EnumerateGroups, TooManyUsersThrow) {
+  Rng rng(8);
+  EXPECT_THROW(enumerate_groups(beamforming::Scheme::kOptimizedMulticast,
+                                make_users(17), beamforming::Codebook{}, rng),
+               std::invalid_argument);
+}
+
+TEST(EnumerateGroups, GroupRatesReflectBottleneck) {
+  Rng rng(9);
+  channel::PropagationConfig prop;
+  std::vector<linalg::CVector> users;
+  users.push_back(channel::make_channel(
+      prop, channel::Position::from_polar(3.0, 0.0)));   // strong
+  users.push_back(channel::make_channel(
+      prop, channel::Position::from_polar(16.0, 0.5)));  // weak
+  const auto groups =
+      enumerate_groups(beamforming::Scheme::kOptimizedMulticast, users,
+                       beamforming::Codebook{}, rng);
+  const GroupSpec *solo0 = nullptr, *pair = nullptr;
+  for (const auto& g : groups) {
+    if (g.members == std::vector<std::size_t>{0}) solo0 = &g;
+    if (g.members.size() == 2) pair = &g;
+  }
+  ASSERT_TRUE(solo0 && pair);
+  EXPECT_GT(solo0->beam.rate.value, pair->beam.rate.value);
+}
+
+TEST(GroupSpec, ContainsWorks) {
+  GroupSpec g;
+  g.members = {1, 3, 5};
+  EXPECT_TRUE(g.contains(3));
+  EXPECT_FALSE(g.contains(2));
+}
+
+TEST(EnumerateGroups, EightUsersEnumerationCompletes) {
+  Rng rng(10);
+  const auto groups =
+      enumerate_groups(beamforming::Scheme::kOptimizedMulticast,
+                       make_users(8, 8.0), beamforming::Codebook{}, rng);
+  EXPECT_GT(groups.size(), 120u);  // large subsets split power 8-way and
+                                   // some fall below MCS 1; most survive
+  EXPECT_LE(groups.size(), 255u);
+}
+
+}  // namespace
+}  // namespace w4k::sched

@@ -1,0 +1,65 @@
+#include "emu/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace w4k::emu {
+namespace {
+
+channel::McsEntry mcs8() { return *channel::mcs_by_index(8); }
+
+TEST(LossModel, DecreasesWithMargin) {
+  LossModel m;
+  double prev = 1.0;
+  for (double margin : {-2.0, -1.0, 0.0, 1.0, 3.0, 6.0}) {
+    const double p =
+        monitor_loss(m, Dbm{mcs8().sensitivity.value + margin}, mcs8());
+    EXPECT_LT(p, prev) << margin;
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+}
+
+TEST(LossModel, FloorAtLargeMargin) {
+  LossModel m;
+  const double p = monitor_loss(m, Dbm{-30.0}, mcs8());
+  EXPECT_NEAR(p, m.floor, m.floor * 0.2);
+}
+
+TEST(LossModel, AtZeroMarginMatchesConfig) {
+  LossModel m;
+  const double p = monitor_loss(m, mcs8().sensitivity, mcs8());
+  EXPECT_NEAR(p, m.floor + m.at_zero_margin, 1e-12);
+}
+
+TEST(LossModel, NegativeMarginGrowsTowardOne) {
+  LossModel m;
+  const double p =
+      monitor_loss(m, Dbm{mcs8().sensitivity.value - 10.0}, mcs8());
+  EXPECT_GT(p, 0.5);
+  const double p2 =
+      monitor_loss(m, Dbm{mcs8().sensitivity.value - 30.0}, mcs8());
+  EXPECT_DOUBLE_EQ(p2, 1.0);  // clamped
+}
+
+TEST(LossModel, AssociatedStaBenefitsFromMacRetries) {
+  LossModel m;
+  const Dbm rss{mcs8().sensitivity.value + 0.5};
+  const double mon = monitor_loss(m, rss, mcs8());
+  const double assoc = associated_loss(m, rss, mcs8());
+  EXPECT_LT(assoc, mon);
+  EXPECT_NEAR(assoc, std::pow(mon, m.mac_retries), 1e-12);
+}
+
+TEST(LossModel, HigherMcsMoreFragileAtSameRss) {
+  LossModel m;
+  const Dbm rss{-58.0};
+  const double p8 = monitor_loss(m, rss, *channel::mcs_by_index(8));
+  const double p12 = monitor_loss(m, rss, *channel::mcs_by_index(12));
+  EXPECT_LT(p8, p12);  // MCS 12 needs -53, so -58 is 5 dB short
+}
+
+}  // namespace
+}  // namespace w4k::emu

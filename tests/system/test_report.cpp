@@ -1,0 +1,100 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace w4k::core {
+namespace {
+
+FrameOutcome frame(std::vector<double> ssim, std::vector<double> psnr,
+                   std::size_t sent = 100, std::size_t dropped = 0) {
+  FrameOutcome f;
+  f.ssim = std::move(ssim);
+  f.psnr = std::move(psnr);
+  f.decoded_fraction.assign(f.ssim.size(), 0.5);
+  f.stats.packets_offered = sent + dropped;
+  f.stats.packets_sent = sent;
+  f.stats.packets_dropped_queue = dropped;
+  f.stats.makeup_packets = 3;
+  f.stats.airtime = 0.03;
+  return f;
+}
+
+TEST(SessionReport, EmptyReportIsSane) {
+  SessionReport r;
+  EXPECT_EQ(r.frames(), 0u);
+  EXPECT_EQ(r.users(), 0u);
+  EXPECT_EQ(r.ssim_summary().count, 0u);
+  EXPECT_DOUBLE_EQ(r.bad_frame_fraction(), 0.0);
+  EXPECT_TRUE(r.per_user_mean_ssim().empty());
+}
+
+TEST(SessionReport, AggregatesAcrossFramesAndUsers) {
+  SessionReport r;
+  r.add(frame({0.9, 0.8}, {40.0, 35.0}));
+  r.add(frame({1.0, 0.7}, {45.0, 30.0}));
+  EXPECT_EQ(r.frames(), 2u);
+  EXPECT_EQ(r.users(), 2u);
+  EXPECT_DOUBLE_EQ(r.ssim_summary().mean, (0.9 + 0.8 + 1.0 + 0.7) / 4.0);
+  const auto per_user = r.per_user_mean_ssim();
+  ASSERT_EQ(per_user.size(), 2u);
+  EXPECT_DOUBLE_EQ(per_user[0], 0.95);
+  EXPECT_DOUBLE_EQ(per_user[1], 0.75);
+}
+
+TEST(SessionReport, BadFrameFraction) {
+  SessionReport r;
+  r.add(frame({0.95, 0.95}, {40, 40}));
+  r.add(frame({0.95, 0.85}, {40, 33}));  // one user below 0.9 -> bad frame
+  r.add(frame({0.5, 0.95}, {20, 40}));   // bad
+  r.add(frame({0.99, 0.99}, {45, 45}));
+  EXPECT_DOUBLE_EQ(r.bad_frame_fraction(0.9), 0.5);
+  EXPECT_DOUBLE_EQ(r.bad_frame_fraction(0.4), 0.0);
+}
+
+TEST(SessionReport, TotalsSumStats) {
+  SessionReport r;
+  r.add(frame({0.9}, {40}, 100, 5));
+  r.add(frame({0.9}, {40}, 200, 1));
+  const auto t = r.totals();
+  EXPECT_EQ(t.packets_sent, 300u);
+  EXPECT_EQ(t.packets_dropped_queue, 6u);
+  EXPECT_EQ(t.makeup_packets, 6u);
+  EXPECT_NEAR(t.airtime, 0.06, 1e-12);
+}
+
+TEST(SessionReport, SummaryTextMentionsKeyFields) {
+  SessionReport r;
+  r.add(frame({0.9, 0.8}, {40, 35}));
+  const std::string text = r.summary_text();
+  EXPECT_NE(text.find("frames: 1"), std::string::npos);
+  EXPECT_NE(text.find("SSIM"), std::string::npos);
+  EXPECT_NE(text.find("PSNR"), std::string::npos);
+  EXPECT_NE(text.find("bad-frame"), std::string::npos);
+}
+
+TEST(SessionReport, CsvShapeAndContent) {
+  SessionReport r;
+  r.add(frame({0.9, 0.8}, {40, 35}, 120, 2));
+  std::ostringstream os;
+  r.write_csv(os);
+  const std::string csv = os.str();
+  // Header + one data row.
+  EXPECT_NE(csv.find("frame,ssim_u0,ssim_u1,psnr_u0,psnr_u1"),
+            std::string::npos);
+  EXPECT_NE(csv.find("0,0.9,0.8,40,35"), std::string::npos);
+  EXPECT_NE(csv.find(",120,2,3,0.03"), std::string::npos);
+  // Exactly 2 lines.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+}
+
+TEST(SessionReport, CsvFileErrorsThrow) {
+  SessionReport r;
+  r.add(frame({0.9}, {40}));
+  EXPECT_THROW(r.write_csv_file("/nonexistent/dir/report.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace w4k::core

@@ -1,0 +1,211 @@
+#include "core/session.h"
+
+#include "common/stats.h"
+
+#include "core/pretrained.h"
+#include "core/runner.h"
+
+#include <gtest/gtest.h>
+
+namespace w4k::core {
+namespace {
+
+constexpr int kW = 256;
+constexpr int kH = 144;
+
+/// Shared expensive state: trained model + frame contexts.
+class SessionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    quality_ = new model::QualityModel(42);
+    PretrainedOptions opts;
+    opts.cache_path = "session_test_model.cache";
+    ensure_trained(*quality_, opts);
+
+    video::VideoSpec spec;
+    spec.width = kW;
+    spec.height = kH;
+    spec.frames = 4;
+    spec.richness = video::Richness::kHigh;
+    spec.seed = 11;
+    contexts_ = new std::vector<FrameContext>(make_contexts(
+        video::SyntheticVideo(spec), 3, scaled_symbol_size(kW, kH)));
+  }
+  static void TearDownTestSuite() {
+    delete quality_;
+    delete contexts_;
+    quality_ = nullptr;
+    contexts_ = nullptr;
+  }
+
+  static MulticastSession make_session(SessionConfig cfg = SessionConfig::scaled(kW, kH)) {
+    return MulticastSession(cfg, *quality_, beamforming::Codebook{});
+  }
+
+  static std::vector<linalg::CVector> channels(std::size_t n,
+                                               double distance = 3.0) {
+    Rng rng(5);
+    channel::PropagationConfig prop;
+    return channels_for(prop,
+                        place_users_fixed(n, distance, 1.047, rng));
+  }
+
+  static model::QualityModel* quality_;
+  static std::vector<FrameContext>* contexts_;
+};
+
+model::QualityModel* SessionTest::quality_ = nullptr;
+std::vector<FrameContext>* SessionTest::contexts_ = nullptr;
+
+TEST_F(SessionTest, TwoUsersAtThreeMetersHitPaperQuality) {
+  auto session = make_session();
+  const auto run = run_static(session, channels(2), *contexts_, 10);
+  const w4k::Summary s = summarize(run.ssim);
+  EXPECT_GT(s.mean, 0.94);   // paper: ~0.975 at 3 m / 2 users
+  EXPECT_GT(s.min, 0.85);
+  const w4k::Summary p = summarize(run.psnr);
+  EXPECT_GT(p.mean, 38.0);   // paper: ~43 dB
+}
+
+TEST_F(SessionTest, PerUserOutputsShapedCorrectly) {
+  auto session = make_session();
+  const auto& ctx = contexts_->front();
+  const auto chans = channels(3);
+  const FrameOutcome out = session.step(chans, chans, ctx);
+  EXPECT_EQ(out.ssim.size(), 3u);
+  EXPECT_EQ(out.psnr.size(), 3u);
+  EXPECT_EQ(out.decoded_fraction.size(), 3u);
+  for (double s : out.ssim) {
+    EXPECT_GT(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST_F(SessionTest, QualityDegradesWithDistance) {
+  auto near_session = make_session();
+  auto far_session = make_session();
+  const auto near_run =
+      run_static(near_session, channels(2, 3.0), *contexts_, 6);
+  const auto far_run =
+      run_static(far_session, channels(2, 14.0), *contexts_, 6);
+  EXPECT_GT(summarize(near_run.ssim).mean, summarize(far_run.ssim).mean);
+}
+
+TEST_F(SessionTest, MulticastSchemeBeatsUnicastWithThreeUsers) {
+  SessionConfig multi_cfg = SessionConfig::scaled(kW, kH);
+  SessionConfig uni_cfg = multi_cfg;
+  uni_cfg.scheme = beamforming::Scheme::kOptimizedUnicast;
+  auto multi = make_session(multi_cfg);
+  auto uni = make_session(uni_cfg);
+  const auto chans = channels(3, 6.0);
+  const auto multi_run = run_static(multi, chans, *contexts_, 8);
+  const auto uni_run = run_static(uni, chans, *contexts_, 8);
+  EXPECT_GT(summarize(multi_run.ssim).mean, summarize(uni_run.ssim).mean);
+}
+
+TEST_F(SessionTest, SourceCodingOnBeatsOff) {
+  SessionConfig on_cfg = SessionConfig::scaled(kW, kH);
+  SessionConfig off_cfg = on_cfg;
+  off_cfg.engine.source_coding = false;
+  auto on = make_session(on_cfg);
+  auto off = make_session(off_cfg);
+  const auto chans = channels(3, 6.0);
+  const auto on_run = run_static(on, chans, *contexts_, 8);
+  const auto off_run = run_static(off, chans, *contexts_, 8);
+  EXPECT_GE(summarize(on_run.ssim).mean, summarize(off_run.ssim).mean);
+}
+
+TEST_F(SessionTest, OutageRendersBlankFrame) {
+  auto session = make_session();
+  const auto chans = channels(1, 500.0);  // unreachable
+  const FrameOutcome out =
+      session.step(chans, chans, contexts_->front());
+  EXPECT_NEAR(out.ssim[0], contexts_->front().content.blank_ssim, 1e-9);
+  EXPECT_DOUBLE_EQ(out.decoded_fraction[0], 0.0);
+}
+
+TEST_F(SessionTest, NoUpdateFreezesDecision) {
+  SessionConfig cfg = SessionConfig::scaled(kW, kH);
+  cfg.adapt = false;
+  auto session = make_session(cfg);
+  const auto good = channels(1, 3.0);
+  const auto bad = channels(1, 18.0);
+  // Decide on the good channel, then the true channel degrades: the
+  // frozen decision keeps the old MCS, which the degraded channel cannot
+  // sustain -> severe loss.
+  const FrameOutcome first =
+      session.step(good, good, contexts_->front());
+  const FrameOutcome degraded =
+      session.step(good, bad, contexts_->front());
+  EXPECT_LT(degraded.ssim[0], first.ssim[0] - 0.05);
+
+  // An adapting session re-decides on the (now bad) CSI and does better.
+  SessionConfig adapt_cfg = SessionConfig::scaled(kW, kH);
+  auto adaptive = make_session(adapt_cfg);
+  adaptive.step(good, good, contexts_->front());
+  const FrameOutcome adapted =
+      adaptive.step(bad, bad, contexts_->front());
+  EXPECT_GT(adapted.ssim[0], degraded.ssim[0]);
+}
+
+TEST_F(SessionTest, ResetRestoresDeterminism) {
+  auto session = make_session();
+  const auto chans = channels(2);
+  const auto r1 = run_static(session, chans, *contexts_, 4);
+  session.reset();
+  const auto r2 = run_static(session, chans, *contexts_, 4);
+  ASSERT_EQ(r1.ssim.size(), r2.ssim.size());
+  for (std::size_t i = 0; i < r1.ssim.size(); ++i)
+    EXPECT_DOUBLE_EQ(r1.ssim[i], r2.ssim[i]);
+}
+
+TEST_F(SessionTest, MismatchedChannelVectorsThrow) {
+  auto session = make_session();
+  EXPECT_THROW(session.step(channels(2), channels(3), contexts_->front()),
+               std::invalid_argument);
+}
+
+TEST_F(SessionTest, BadRateScaleThrows) {
+  SessionConfig cfg = SessionConfig::scaled(kW, kH);
+  cfg.rate_scale = 0.0;
+  EXPECT_THROW(make_session(cfg), std::invalid_argument);
+}
+
+TEST_F(SessionTest, RunTraceProducesPerFrameOutcomes) {
+  channel::MovingReceiverConfig mcfg;
+  mcfg.n_users = 1;
+  mcfg.duration = 1.0;  // 10 snapshots
+  const auto trace = channel::moving_receiver_trace(mcfg);
+  auto session = make_session();
+  const auto run = run_trace(session, trace, *contexts_, 3);
+  EXPECT_EQ(run.frames.size(), 30u);  // 10 snapshots x 3 frames
+  EXPECT_EQ(run.ssim.size(), 30u);
+}
+
+TEST_F(SessionTest, PlacementHelpersRespectGeometry) {
+  Rng rng(1);
+  const auto fixed = place_users_fixed(4, 5.0, 0.8, rng);
+  ASSERT_EQ(fixed.size(), 4u);
+  double min_az = 1e9, max_az = -1e9;
+  for (const auto& p : fixed) {
+    EXPECT_NEAR(p.distance(), 5.0, 1e-9);
+    min_az = std::min(min_az, p.azimuth());
+    max_az = std::max(max_az, p.azimuth());
+  }
+  EXPECT_NEAR(max_az - min_az, 0.8, 1e-9);  // exact MAS
+
+  const auto random = place_users_random(6, 8.0, 16.0, 2.1, rng);
+  for (const auto& p : random) {
+    EXPECT_GE(p.distance(), 8.0 - 1e-9);
+    EXPECT_LE(p.distance(), 16.0 + 1e-9);
+  }
+}
+
+TEST_F(SessionTest, SingleUserPlacementWorks) {
+  Rng rng(2);
+  EXPECT_EQ(place_users_fixed(1, 3.0, 0.5, rng).size(), 1u);
+  EXPECT_THROW(place_users_fixed(0, 3.0, 0.5, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace w4k::core

@@ -1,0 +1,147 @@
+#include "transport/feedback.h"
+#include "transport/leaky_bucket.h"
+#include "transport/packet.h"
+
+#include <gtest/gtest.h>
+
+namespace w4k::transport {
+namespace {
+
+TEST(LeakyBucket, StartsFull) {
+  LeakyBucket b(Mbps{100.0}, 10000);
+  EXPECT_TRUE(b.can_send(10000));
+  EXPECT_FALSE(b.can_send(10001));
+}
+
+TEST(LeakyBucket, SendConsumesCredit) {
+  LeakyBucket b(Mbps{100.0}, 10000);
+  b.on_send(6000);
+  EXPECT_DOUBLE_EQ(b.credit_bytes(), 4000.0);
+  EXPECT_TRUE(b.can_send(4000));
+  EXPECT_FALSE(b.can_send(4001));
+}
+
+TEST(LeakyBucket, AdvanceRefillsAtRate) {
+  LeakyBucket b(Mbps{8.0}, 1'000'000);  // 1 MB/s fill
+  b.on_send(1'000'000);
+  b.advance(0.5);
+  EXPECT_NEAR(b.credit_bytes(), 500'000.0, 1.0);
+}
+
+TEST(LeakyBucket, CreditCappedAtDepth) {
+  LeakyBucket b(Mbps{8.0}, 1000);
+  b.advance(100.0);  // would accrue 100 MB
+  EXPECT_DOUBLE_EQ(b.credit_bytes(), 1000.0);
+}
+
+TEST(LeakyBucket, CapBoundsBurstAndThusDelay) {
+  // The paper sets the cap to ~10 packets to bound driver queueing: after
+  // an idle period the largest possible burst is the cap.
+  LeakyBucket b(Mbps{1000.0}, 10 * 6016);
+  b.advance(10.0);  // long idle
+  std::size_t burst = 0;
+  while (b.can_send(6016)) {
+    b.on_send(6016);
+    ++burst;
+  }
+  EXPECT_EQ(burst, 10u);
+}
+
+TEST(LeakyBucket, TimeUntilComputesWait) {
+  LeakyBucket b(Mbps{8.0}, 2000);  // 1 MB/s
+  b.on_send(2000);
+  EXPECT_NEAR(b.time_until(1000), 1e-3, 1e-9);
+  EXPECT_DOUBLE_EQ(b.time_until(0), 0.0);
+}
+
+TEST(LeakyBucket, ZeroRateNeverRefills) {
+  LeakyBucket b(Mbps{0.0}, 1000);
+  b.on_send(1000);
+  EXPECT_GT(b.time_until(1), 1e17);
+  b.advance(100.0);
+  EXPECT_FALSE(b.can_send(1));
+}
+
+TEST(LeakyBucket, SetRateTakesEffect) {
+  LeakyBucket b(Mbps{8.0}, 10000);
+  b.on_send(10000);
+  b.set_rate(Mbps{80.0});
+  b.advance(0.001);  // 10 MB/s * 1 ms = 10 kB
+  EXPECT_NEAR(b.credit_bytes(), 10000.0, 1.0);
+}
+
+TEST(LeakyBucket, NegativeAdvanceIgnored) {
+  LeakyBucket b(Mbps{8.0}, 1000);
+  b.on_send(500);
+  b.advance(-1.0);
+  EXPECT_DOUBLE_EQ(b.credit_bytes(), 500.0);
+}
+
+TEST(LeakyBucket, ZeroCapacityThrows) {
+  EXPECT_THROW(LeakyBucket(Mbps{1.0}, 0), std::invalid_argument);
+}
+
+TEST(BandwidthEstimator, NeedsFullWindow) {
+  BandwidthEstimator est(5);
+  for (int i = 0; i < 4; ++i) est.on_probe(i * 0.001, 6000);
+  EXPECT_FALSE(est.estimate().has_value());
+  est.on_probe(4 * 0.001, 6000);
+  EXPECT_TRUE(est.estimate().has_value());
+}
+
+TEST(BandwidthEstimator, MeasuresBackToBackRate) {
+  // 6000 B every 1 ms -> 48 Mbps.
+  BandwidthEstimator est(5);
+  for (int i = 0; i < 5; ++i) est.on_probe(i * 0.001, 6000);
+  EXPECT_NEAR(est.estimate()->value, 48.0, 1e-9);
+}
+
+TEST(BandwidthEstimator, SlidingWindowTracksChanges) {
+  BandwidthEstimator est(5);
+  // Slow phase: 1 ms spacing.
+  for (int i = 0; i < 5; ++i) est.on_probe(i * 0.001, 6000);
+  // Fast phase: 0.1 ms spacing.
+  double t = 5 * 0.001;
+  for (int i = 0; i < 5; ++i) {
+    t += 0.0001;
+    est.on_probe(t, 6000);
+  }
+  EXPECT_NEAR(est.estimate()->value, 480.0, 1e-6);
+}
+
+TEST(BandwidthEstimator, ZeroSpanYieldsNothing) {
+  BandwidthEstimator est(3);
+  for (int i = 0; i < 3; ++i) est.on_probe(1.0, 6000);  // same timestamp
+  EXPECT_FALSE(est.estimate().has_value());
+}
+
+TEST(BandwidthEstimator, ResetClearsWindow) {
+  BandwidthEstimator est(3);
+  for (int i = 0; i < 3; ++i) est.on_probe(i * 0.001, 6000);
+  ASSERT_TRUE(est.estimate().has_value());
+  est.reset();
+  EXPECT_EQ(est.samples(), 0u);
+  EXPECT_FALSE(est.estimate().has_value());
+}
+
+TEST(BandwidthEstimator, PaperWindowIsHundredPackets) {
+  BandwidthEstimator est;  // default
+  for (int i = 0; i < 99; ++i) est.on_probe(i * 0.0001, 6000);
+  EXPECT_FALSE(est.estimate().has_value());
+  est.on_probe(99 * 0.0001, 6000);
+  EXPECT_TRUE(est.estimate().has_value());
+}
+
+TEST(BandwidthEstimator, TinyWindowThrows) {
+  EXPECT_THROW(BandwidthEstimator(1), std::invalid_argument);
+}
+
+TEST(Packet, WireSizeUsesPayloadOrSymbolSize) {
+  Packet p;
+  EXPECT_EQ(p.wire_size(6000), Packet::kHeaderBytes + 6000);
+  p.payload.assign(100, 0);
+  EXPECT_EQ(p.wire_size(6000), Packet::kHeaderBytes + 100);
+}
+
+}  // namespace
+}  // namespace w4k::transport

@@ -1,0 +1,61 @@
+#include "video/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace w4k::video {
+namespace {
+
+TEST(Frame, AllocatesCorrectPlaneDimensions) {
+  const Frame f(256, 144);
+  EXPECT_EQ(f.y.width, 256);
+  EXPECT_EQ(f.y.height, 144);
+  EXPECT_EQ(f.u.width, 128);
+  EXPECT_EQ(f.u.height, 72);
+  EXPECT_EQ(f.v.width, 128);
+  EXPECT_EQ(f.v.height, 72);
+}
+
+TEST(Frame, TotalBytesIsYuv420) {
+  const Frame f(256, 144);
+  // YUV420: 1.5 bytes per luma pixel.
+  EXPECT_EQ(f.total_bytes(), 256u * 144u * 3u / 2u);
+}
+
+TEST(Frame, RejectsNonMultipleOf16) {
+  EXPECT_THROW(Frame(100, 144), std::invalid_argument);
+  EXPECT_THROW(Frame(256, 100), std::invalid_argument);
+  EXPECT_THROW(Frame(0, 0), std::invalid_argument);
+  EXPECT_THROW(Frame(-16, 16), std::invalid_argument);
+}
+
+TEST(Frame, Accepts4K) {
+  const Frame f(k4kWidth, k4kHeight);
+  EXPECT_EQ(f.width(), 4096);
+  EXPECT_EQ(f.height(), 2160);
+  EXPECT_EQ(f.y.size(), 4096u * 2160u);
+}
+
+TEST(Frame, BlankIsMidGray) {
+  const Frame f = Frame::blank(64, 64);
+  EXPECT_EQ(f.y.at(0, 0), 128);
+  EXPECT_EQ(f.y.at(63, 63), 128);
+  EXPECT_EQ(f.u.at(10, 10), 128);
+  EXPECT_EQ(f.v.at(20, 20), 128);
+}
+
+TEST(Plane, AtIndexing) {
+  Plane p(8, 4);
+  p.at(7, 3) = 200;
+  EXPECT_EQ(p.pix[3 * 8 + 7], 200);
+  EXPECT_EQ(p.at(7, 3), 200);
+}
+
+TEST(Plane, FillConstructor) {
+  const Plane p(4, 4, 77);
+  for (auto v : p.pix) EXPECT_EQ(v, 77);
+}
+
+}  // namespace
+}  // namespace w4k::video

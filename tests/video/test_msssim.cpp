@@ -1,0 +1,89 @@
+#include "quality/metrics.h"
+#include "video/layered.h"
+#include "video/synthetic.h"
+
+#include <gtest/gtest.h>
+
+namespace w4k::quality {
+namespace {
+
+video::Frame test_frame(int w = 256, int h = 144, std::uint64_t seed = 1) {
+  video::VideoSpec spec;
+  spec.width = w;
+  spec.height = h;
+  spec.frames = 1;
+  spec.richness = video::Richness::kHigh;
+  spec.seed = seed;
+  return video::SyntheticVideo(spec).frame(0);
+}
+
+TEST(MsSsim, IdenticalFramesScoreOne) {
+  const auto f = test_frame();
+  EXPECT_NEAR(ms_ssim(f, f), 1.0, 1e-12);
+}
+
+TEST(MsSsim, BoundedAndSymmetric) {
+  const auto a = test_frame(256, 144, 2);
+  const auto b = test_frame(256, 144, 3);
+  const double ab = ms_ssim(a, b);
+  EXPECT_GE(ab, 0.0);
+  EXPECT_LE(ab, 1.0);
+  EXPECT_NEAR(ab, ms_ssim(b, a), 1e-12);
+}
+
+TEST(MsSsim, MonotoneAcrossLayerReceptions) {
+  const auto f = test_frame();
+  const auto enc = video::encode(f);
+  double prev = -1.0;
+  for (int l = 0; l < video::kNumLayers; ++l) {
+    const auto rec =
+        video::reconstruct(video::PartialFrame::up_to_layer(enc, l));
+    const double v = ms_ssim(f, rec);
+    EXPECT_GT(v, prev) << "layer " << l;
+    prev = v;
+  }
+  EXPECT_GT(prev, 0.99);
+}
+
+TEST(MsSsim, MoreForgivingOfFineDetailLossThanSsim) {
+  // Losing only layer 3 (pixel-level detail) hurts single-scale SSIM more
+  // than MS-SSIM, which re-weights toward coarser scales where the
+  // reconstruction is intact.
+  const auto f = test_frame();
+  const auto enc = video::encode(f);
+  const auto rec =
+      video::reconstruct(video::PartialFrame::up_to_layer(enc, 2));
+  EXPECT_GT(ms_ssim(f, rec), ssim(f, rec));
+}
+
+TEST(MsSsim, ScaleCountValidation) {
+  const auto f = test_frame();
+  EXPECT_THROW(ms_ssim(f.y, f.y, 0), std::invalid_argument);
+  EXPECT_THROW(ms_ssim(f.y, f.y, 6), std::invalid_argument);
+  // 144 rows cannot support 5 dyadic scales of an 8-pixel window (needs
+  // 128)... it just can: 8 * 2^4 = 128 <= 144. One more scale would not.
+  EXPECT_NO_THROW(ms_ssim(f.y, f.y, 5));
+  video::Plane small(64, 64);
+  EXPECT_THROW(ms_ssim(small, small, 5), std::invalid_argument);
+  EXPECT_NO_THROW(ms_ssim(small, small, 3));
+}
+
+TEST(MsSsim, DimensionMismatchThrows) {
+  video::Plane a(128, 128), b(128, 64);
+  EXPECT_THROW(ms_ssim(a, b), std::invalid_argument);
+}
+
+TEST(MsSsim, SingleScaleReducesToSsimWeighting) {
+  // With scales = 1 the metric is plain SSIM raised to the first weight's
+  // power over the same windows — so it must rank distortions identically.
+  const auto f = test_frame();
+  const auto enc = video::encode(f);
+  const auto rec1 =
+      video::reconstruct(video::PartialFrame::up_to_layer(enc, 1));
+  const auto rec2 =
+      video::reconstruct(video::PartialFrame::up_to_layer(enc, 2));
+  EXPECT_GT(ms_ssim(f, rec2, 1), ms_ssim(f, rec1, 1));
+}
+
+}  // namespace
+}  // namespace w4k::quality

@@ -1,0 +1,140 @@
+#include "video/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+namespace w4k::video {
+namespace {
+
+TEST(Synthetic, Deterministic) {
+  VideoSpec spec;
+  spec.width = 64;
+  spec.height = 64;
+  spec.frames = 3;
+  spec.seed = 42;
+  const SyntheticVideo a(spec), b(spec);
+  EXPECT_EQ(a.frame(2).y.pix, b.frame(2).y.pix);
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  VideoSpec spec;
+  spec.width = 64;
+  spec.height = 64;
+  spec.frames = 1;
+  spec.seed = 1;
+  const Frame f1 = SyntheticVideo(spec).frame(0);
+  spec.seed = 2;
+  const Frame f2 = SyntheticVideo(spec).frame(0);
+  EXPECT_NE(f1.y.pix, f2.y.pix);
+}
+
+TEST(Synthetic, HighRichnessHasHigherVariance) {
+  VideoSpec hr, lr;
+  hr.width = lr.width = 256;
+  hr.height = lr.height = 144;
+  hr.frames = lr.frames = 1;
+  hr.richness = Richness::kHigh;
+  lr.richness = Richness::kLow;
+  hr.seed = lr.seed = 5;
+  const double vh = luma_variance(SyntheticVideo(hr).frame(0));
+  const double vl = luma_variance(SyntheticVideo(lr).frame(0));
+  EXPECT_GT(vh, 2.0 * vl);  // the paper's HR/LR split is by Y variance
+}
+
+TEST(Synthetic, MotionMovesContent) {
+  VideoSpec spec;
+  spec.width = 128;
+  spec.height = 128;
+  spec.frames = 10;
+  spec.motion = 4.0;
+  spec.seed = 6;
+  const SyntheticVideo clip(spec);
+  const Frame f0 = clip.frame(0);
+  const Frame f5 = clip.frame(5);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < f0.y.pix.size(); ++i)
+    diff += std::abs(static_cast<int>(f0.y.pix[i]) - f5.y.pix[i]);
+  EXPECT_GT(diff / static_cast<double>(f0.y.pix.size()), 1.0);
+}
+
+TEST(Synthetic, ConsecutiveFramesAreCoherent) {
+  VideoSpec spec;
+  spec.width = 128;
+  spec.height = 128;
+  spec.frames = 3;
+  spec.motion = 2.0;
+  spec.seed = 7;
+  const SyntheticVideo clip(spec);
+  const Frame f0 = clip.frame(0);
+  const Frame f1 = clip.frame(1);
+  double mad01 = 0.0;
+  for (std::size_t i = 0; i < f0.y.pix.size(); ++i)
+    mad01 += std::abs(static_cast<int>(f0.y.pix[i]) - f1.y.pix[i]);
+  mad01 /= static_cast<double>(f0.y.pix.size());
+  // Adjacent frames differ, but far less than the dynamic range: video,
+  // not noise.
+  EXPECT_GT(mad01, 0.05);
+  EXPECT_LT(mad01, 25.0);
+}
+
+TEST(Synthetic, FrameIndexOutOfRangeThrows) {
+  VideoSpec spec;
+  spec.width = 64;
+  spec.height = 64;
+  spec.frames = 2;
+  const SyntheticVideo clip(spec);
+  EXPECT_THROW(clip.frame(2), std::out_of_range);
+  EXPECT_THROW(clip.frame(-1), std::out_of_range);
+}
+
+TEST(Synthetic, RejectsBadDimensions) {
+  VideoSpec spec;
+  spec.width = 63;
+  spec.height = 64;
+  EXPECT_THROW(SyntheticVideo{spec}, std::invalid_argument);
+}
+
+TEST(StandardVideos, SixClipsThreeHrThreeLr) {
+  const auto specs = standard_videos(256, 144, 10);
+  ASSERT_EQ(specs.size(), 6u);
+  int hr = 0, lr = 0;
+  for (const auto& s : specs) {
+    (s.richness == Richness::kHigh ? hr : lr)++;
+    EXPECT_EQ(s.width, 256);
+    EXPECT_EQ(s.height, 144);
+    EXPECT_EQ(s.frames, 10);
+  }
+  EXPECT_EQ(hr, 3);
+  EXPECT_EQ(lr, 3);
+}
+
+TEST(StandardVideos, RichnessSplitHoldsEmpirically) {
+  double hr_min = 1e18, lr_max = 0.0;
+  for (const auto& spec : standard_videos(256, 144, 1)) {
+    const double var = luma_variance(SyntheticVideo(spec).frame(0));
+    if (spec.richness == Richness::kHigh)
+      hr_min = std::min(hr_min, var);
+    else
+      lr_max = std::max(lr_max, var);
+  }
+  // Every HR clip must be richer than every LR clip — the paper's split.
+  EXPECT_GT(hr_min, lr_max);
+}
+
+TEST(Synthetic, PixelValuesInRange) {
+  VideoSpec spec;
+  spec.width = 64;
+  spec.height = 64;
+  spec.frames = 1;
+  spec.richness = Richness::kHigh;
+  const Frame f = SyntheticVideo(spec).frame(0);
+  // All bytes valid by type; check the content isn't saturated garbage.
+  int extremes = 0;
+  for (auto p : f.y.pix) extremes += (p == 0 || p == 255) ? 1 : 0;
+  EXPECT_LT(extremes, static_cast<int>(f.y.pix.size() / 10));
+}
+
+}  // namespace
+}  // namespace w4k::video

@@ -1,0 +1,110 @@
+#include "channel/array.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace w4k::channel {
+namespace {
+
+TEST(SteeringVector, UnitMagnitudeEntries) {
+  const auto a = steering_vector(0.5, 16);
+  ASSERT_EQ(a.size(), 16u);
+  for (std::size_t n = 0; n < a.size(); ++n)
+    EXPECT_NEAR(std::abs(a[n]), 1.0, 1e-12);
+}
+
+TEST(SteeringVector, BoresightIsAllOnes) {
+  const auto a = steering_vector(0.0, 8);
+  for (std::size_t n = 0; n < a.size(); ++n) {
+    EXPECT_NEAR(std::real(a[n]), 1.0, 1e-12);
+    EXPECT_NEAR(std::imag(a[n]), 0.0, 1e-12);
+  }
+}
+
+TEST(SteeringVector, PhaseProgressionHalfLambda) {
+  const double theta = 0.3;
+  const auto a = steering_vector(theta, 4);
+  const double expected_step = std::numbers::pi * std::sin(theta);
+  for (std::size_t n = 1; n < 4; ++n) {
+    const double step = std::arg(a[n] / a[n - 1]);
+    EXPECT_NEAR(step, expected_step, 1e-12);
+  }
+}
+
+TEST(SteeringVector, ZeroAntennasThrows) {
+  EXPECT_THROW(steering_vector(0.0, 0), std::invalid_argument);
+}
+
+TEST(BeamRss, MatchedFilterGivesArrayGain) {
+  // Beam = conj(steering)/sqrt(N) on a unit-amplitude channel along the
+  // same direction: response = sqrt(N), power = N -> 10log10(N) dB gain.
+  const std::size_t n = 32;
+  const auto h = steering_vector(0.4, n);
+  const auto f = h.conj().normalized();
+  const Dbm rss = beam_rss(h, f);
+  EXPECT_NEAR(rss.value, 10.0 * std::log10(static_cast<double>(n)), 1e-9);
+}
+
+TEST(BeamRss, MismatchedBeamLosesGain) {
+  const std::size_t n = 32;
+  const auto h = steering_vector(0.4, n);
+  const auto f_good = h.conj().normalized();
+  const auto f_bad = steering_vector(-0.4, n).conj().normalized();
+  EXPECT_GT(beam_rss(h, f_good).value, beam_rss(h, f_bad).value + 10.0);
+}
+
+TEST(BeamRss, ZeroChannelIsFloor) {
+  linalg::CVector h(8);  // all zeros
+  const auto f = steering_vector(0.0, 8).conj().normalized();
+  EXPECT_LE(beam_rss(h, f).value, -250.0);
+}
+
+TEST(BeamResponse, SizeMismatchThrows) {
+  EXPECT_THROW(
+      beam_response(steering_vector(0, 4), steering_vector(0, 8)),
+      std::invalid_argument);
+}
+
+TEST(QuantizePhases, OutputHasUniformMagnitude) {
+  const auto ideal = steering_vector(0.7, 16).conj();
+  const auto q = quantize_phases(ideal, 2);
+  for (std::size_t n = 0; n < q.size(); ++n)
+    EXPECT_NEAR(std::abs(q[n]), 1.0 / 4.0, 1e-12);  // 1/sqrt(16)
+}
+
+TEST(QuantizePhases, PhasesOnGrid) {
+  const auto ideal = steering_vector(0.7, 16).conj();
+  const auto q = quantize_phases(ideal, 2);
+  const double step = std::numbers::pi / 2.0;  // 2 bits -> 4 levels
+  for (std::size_t n = 0; n < q.size(); ++n) {
+    const double phase = std::arg(q[n]);
+    const double snapped = std::round(phase / step) * step;
+    EXPECT_NEAR(phase, snapped, 1e-9);
+  }
+}
+
+TEST(QuantizePhases, MoreBitsLessLoss) {
+  const auto h = steering_vector(0.37, 32);
+  const auto ideal = h.conj().normalized();
+  const double perfect = beam_rss(h, ideal).value;
+  double prev_loss = 1e9;
+  for (int bits : {1, 2, 4, 8}) {
+    const double got = beam_rss(h, quantize_phases(ideal, bits)).value;
+    const double loss = perfect - got;
+    EXPECT_GE(loss, -1e-9);
+    EXPECT_LE(loss, prev_loss + 1e-9) << bits << " bits";
+    prev_loss = loss;
+  }
+  EXPECT_LT(prev_loss, 0.1);  // 8-bit shifters nearly ideal
+}
+
+TEST(QuantizePhases, InvalidBitsThrow) {
+  const auto v = steering_vector(0.0, 4);
+  EXPECT_THROW(quantize_phases(v, 0), std::invalid_argument);
+  EXPECT_THROW(quantize_phases(v, 17), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace w4k::channel

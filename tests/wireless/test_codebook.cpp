@@ -1,0 +1,85 @@
+#include "beamforming/codebook.h"
+
+#include "channel/array.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace w4k::beamforming {
+namespace {
+
+TEST(Codebook, SizeAndNormalization) {
+  CodebookConfig cfg;
+  cfg.n_beams = 32;
+  const Codebook cb = make_sector_codebook(cfg);
+  EXPECT_EQ(cb.size(), 32u);
+  for (std::size_t k = 0; k < cb.size(); ++k)
+    EXPECT_NEAR(cb[k].norm(), 1.0, 1e-12);
+}
+
+TEST(Codebook, RejectsHardwareLimitViolation) {
+  CodebookConfig cfg;
+  cfg.n_beams = 129;  // Sparrow+ caps at 128
+  EXPECT_THROW(make_sector_codebook(cfg), std::invalid_argument);
+  cfg.n_beams = 0;
+  EXPECT_THROW(make_sector_codebook(cfg), std::invalid_argument);
+}
+
+TEST(Codebook, CoversTheAzimuthFan) {
+  // Every direction in the fan should have some beam within a few dB of
+  // the quantization-limited optimum.
+  CodebookConfig cfg;
+  cfg.n_beams = 64;
+  cfg.n_antennas = 32;
+  const Codebook cb = make_sector_codebook(cfg);
+  for (double theta = -1.1; theta <= 1.1; theta += 0.05) {
+    const auto h = channel::steering_vector(theta, cfg.n_antennas);
+    double best = -1e9;
+    for (std::size_t k = 0; k < cb.size(); ++k)
+      best = std::max(best, channel::beam_rss(h, cb[k]).value);
+    const double ideal = 10.0 * std::log10(static_cast<double>(cfg.n_antennas));
+    EXPECT_GT(best, ideal - 5.0) << "theta=" << theta;
+  }
+}
+
+TEST(Codebook, BeamsPointAtDistinctDirections) {
+  CodebookConfig cfg;
+  cfg.n_beams = 16;
+  const Codebook cb = make_sector_codebook(cfg);
+  // The best-responding direction of consecutive beams should advance.
+  double prev_best_theta = -10.0;
+  for (std::size_t k = 0; k < cb.size(); ++k) {
+    double best = -1e9, best_theta = 0.0;
+    for (double theta = -1.3; theta <= 1.3; theta += 0.01) {
+      const auto h = channel::steering_vector(theta, cfg.n_antennas);
+      const double r = channel::beam_rss(h, cb[k]).value;
+      if (r > best) {
+        best = r;
+        best_theta = theta;
+      }
+    }
+    EXPECT_GT(best_theta, prev_best_theta - 0.05) << "beam " << k;
+    prev_best_theta = std::max(prev_best_theta, best_theta);
+  }
+}
+
+TEST(Codebook, QuantizedBeamLosesVersusIdeal) {
+  // Pre-defined (2-bit) beams should be within ~1-2 dB of the unquantized
+  // matched filter but never above it.
+  CodebookConfig cfg;
+  cfg.n_beams = 64;
+  const Codebook cb = make_sector_codebook(cfg);
+  const double theta = 0.33;
+  const auto h = channel::steering_vector(theta, cfg.n_antennas);
+  const double ideal =
+      channel::beam_rss(h, h.conj().normalized()).value;
+  double best = -1e9;
+  for (std::size_t k = 0; k < cb.size(); ++k)
+    best = std::max(best, channel::beam_rss(h, cb[k]).value);
+  EXPECT_LT(best, ideal + 1e-9);
+  EXPECT_GT(best, ideal - 4.0);
+}
+
+}  // namespace
+}  // namespace w4k::beamforming

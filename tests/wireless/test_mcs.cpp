@@ -1,0 +1,88 @@
+#include "channel/mcs.h"
+
+#include <gtest/gtest.h>
+
+namespace w4k::channel {
+namespace {
+
+TEST(McsTable, HasTenSupportedRows) {
+  EXPECT_EQ(mcs_table().size(), 10u);
+}
+
+TEST(McsTable, MonotoneInSensitivityAndRate) {
+  const auto table = mcs_table();
+  for (std::size_t i = 1; i < table.size(); ++i) {
+    EXPECT_GT(table[i].mcs, table[i - 1].mcs);
+    EXPECT_GT(table[i].sensitivity.value, table[i - 1].sensitivity.value);
+    EXPECT_GT(table[i].udp_throughput.value,
+              table[i - 1].udp_throughput.value);
+  }
+}
+
+TEST(McsTable, PaperValuesSpotChecks) {
+  // Table 2 of the paper.
+  auto m1 = mcs_by_index(1);
+  ASSERT_TRUE(m1);
+  EXPECT_DOUBLE_EQ(m1->sensitivity.value, -68.0);
+  EXPECT_DOUBLE_EQ(m1->udp_throughput.value, 300.0);
+  auto m8 = mcs_by_index(8);
+  ASSERT_TRUE(m8);
+  EXPECT_DOUBLE_EQ(m8->sensitivity.value, -61.0);
+  EXPECT_DOUBLE_EQ(m8->udp_throughput.value, 1580.0);
+  auto m12 = mcs_by_index(12);
+  ASSERT_TRUE(m12);
+  EXPECT_DOUBLE_EQ(m12->sensitivity.value, -53.0);
+  EXPECT_DOUBLE_EQ(m12->udp_throughput.value, 2400.0);
+}
+
+TEST(McsTable, UnsupportedIndicesAbsent) {
+  // QCA6320 cannot carry data on MCS 0, 5, 9 (and 9.1 is non-integer).
+  EXPECT_FALSE(mcs_by_index(0));
+  EXPECT_FALSE(mcs_by_index(5));
+  EXPECT_FALSE(mcs_by_index(9));
+  EXPECT_FALSE(mcs_by_index(13));
+  EXPECT_FALSE(mcs_by_index(-1));
+}
+
+TEST(SelectMcs, PicksHighestSustainable) {
+  EXPECT_EQ(select_mcs(Dbm{-53.0})->mcs, 12);
+  EXPECT_EQ(select_mcs(Dbm{-40.0})->mcs, 12);
+  EXPECT_EQ(select_mcs(Dbm{-53.5})->mcs, 11);
+  EXPECT_EQ(select_mcs(Dbm{-61.0})->mcs, 8);
+  // Between MCS 8 (-61) and MCS 10 (-55) there is a gap: -58 -> MCS 8.
+  EXPECT_EQ(select_mcs(Dbm{-58.0})->mcs, 8);
+  EXPECT_EQ(select_mcs(Dbm{-68.0})->mcs, 1);
+}
+
+TEST(SelectMcs, TooWeakIsNothing) {
+  EXPECT_FALSE(select_mcs(Dbm{-68.1}));
+  EXPECT_FALSE(select_mcs(Dbm{-100.0}));
+}
+
+TEST(RateForRss, ZeroWhenUnsupported) {
+  EXPECT_DOUBLE_EQ(rate_for_rss(Dbm{-90.0}).value, 0.0);
+  EXPECT_DOUBLE_EQ(rate_for_rss(Dbm{-60.0}).value, 1580.0);
+}
+
+TEST(RateForRss, BoundaryExactlyAtSensitivity) {
+  for (const auto& e : mcs_table())
+    EXPECT_DOUBLE_EQ(rate_for_rss(e.sensitivity).value,
+                     e.udp_throughput.value)
+        << "MCS " << e.mcs;
+}
+
+TEST(McsTable, HighRssThresholdIsMcs8Sensitivity) {
+  // Sec. 4.3.4 splits mobile traces at the MCS 8 sensitivity.
+  EXPECT_DOUBLE_EQ(kHighRssThreshold.value,
+                   mcs_by_index(8)->sensitivity.value);
+}
+
+TEST(McsTable, ToStringFormatsRow) {
+  const std::string s = to_string(*mcs_by_index(8));
+  EXPECT_NE(s.find("MCS 8"), std::string::npos);
+  EXPECT_NE(s.find("-61.0"), std::string::npos);
+  EXPECT_NE(s.find("1580"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace w4k::channel

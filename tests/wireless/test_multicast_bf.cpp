@@ -1,0 +1,174 @@
+#include "beamforming/multicast.h"
+
+#include "channel/array.h"
+#include "channel/propagation.h"
+
+#include <gtest/gtest.h>
+
+namespace w4k::beamforming {
+namespace {
+
+std::vector<linalg::CVector> channels_at(
+    std::initializer_list<std::pair<double, double>> dist_az) {
+  channel::PropagationConfig prop;
+  std::vector<linalg::CVector> out;
+  for (const auto& [d, az] : dist_az)
+    out.push_back(
+        channel::make_channel(prop, channel::Position::from_polar(d, az)));
+  return out;
+}
+
+Codebook default_codebook() {
+  CodebookConfig cfg;
+  return make_sector_codebook(cfg);
+}
+
+TEST(SchemeTraits, MulticastCapability) {
+  EXPECT_TRUE(allows_multicast(Scheme::kOptimizedMulticast));
+  EXPECT_TRUE(allows_multicast(Scheme::kPredefinedMulticast));
+  EXPECT_FALSE(allows_multicast(Scheme::kOptimizedUnicast));
+  EXPECT_FALSE(allows_multicast(Scheme::kPredefinedUnicast));
+}
+
+TEST(SchemeTraits, Names) {
+  EXPECT_EQ(to_string(Scheme::kOptimizedMulticast), "optimized-multicast");
+  EXPECT_EQ(to_string(Scheme::kPredefinedUnicast), "pre-defined-unicast");
+}
+
+TEST(GroupBeam, EmptyGroupThrows) {
+  Rng rng(1);
+  EXPECT_THROW(group_beam(Scheme::kOptimizedUnicast, {}, Codebook{}, rng),
+               std::invalid_argument);
+}
+
+TEST(GroupBeam, UnicastSchemeRejectsMultiMemberGroups) {
+  Rng rng(2);
+  const auto chans = channels_at({{3.0, 0.1}, {3.0, -0.1}});
+  EXPECT_THROW(group_beam(Scheme::kOptimizedUnicast, chans, Codebook{}, rng),
+               std::invalid_argument);
+}
+
+TEST(GroupBeam, PredefinedSchemesNeedCodebook) {
+  Rng rng(3);
+  const auto chans = channels_at({{3.0, 0.1}});
+  EXPECT_THROW(group_beam(Scheme::kPredefinedUnicast, chans, Codebook{}, rng),
+               std::invalid_argument);
+}
+
+TEST(GroupBeam, OptimizedUnicastIsMrt) {
+  Rng rng(4);
+  const auto chans = channels_at({{3.0, 0.2}});
+  const GroupBeam g =
+      group_beam(Scheme::kOptimizedUnicast, chans, Codebook{}, rng);
+  // MRT achieves ||h||^2 exactly.
+  EXPECT_NEAR(g.min_rss.value,
+              Dbm::from_milliwatts(chans[0].norm_sq()).value, 1e-9);
+  EXPECT_GT(g.rate.value, 0.0);
+  EXPECT_NEAR(g.beam.norm(), 1.0, 1e-12);
+}
+
+TEST(GroupBeam, OptimizedBeatsPredefinedUnicast) {
+  Rng rng(5);
+  const auto cb = default_codebook();
+  const auto chans = channels_at({{3.0, 0.23}});
+  const auto opt = group_beam(Scheme::kOptimizedUnicast, chans, Codebook{}, rng);
+  const auto pre = group_beam(Scheme::kPredefinedUnicast, chans, cb, rng);
+  EXPECT_GE(opt.min_rss.value, pre.min_rss.value);
+}
+
+TEST(GroupBeam, OptimizedMulticastBeatsPredefinedMulticast) {
+  Rng rng(6);
+  const auto cb = default_codebook();
+  const auto chans = channels_at({{3.0, 0.5}, {3.0, -0.5}});
+  const auto opt =
+      group_beam(Scheme::kOptimizedMulticast, chans, Codebook{}, rng);
+  const auto pre = group_beam(Scheme::kPredefinedMulticast, chans, cb, rng);
+  EXPECT_GE(opt.min_rss.value, pre.min_rss.value - 0.5);
+}
+
+TEST(GroupBeam, MulticastBeamReachesBothUsers) {
+  // The headline property: a multi-lobe beam serves angularly separated
+  // users far better than either user's unicast beam serves the other.
+  Rng rng(7);
+  const auto chans = channels_at({{3.0, 0.5}, {3.0, -0.5}});
+  const auto multi =
+      group_beam(Scheme::kOptimizedMulticast, chans, Codebook{}, rng);
+  ASSERT_EQ(multi.member_rss.size(), 2u);
+  // Unicast beam for user 0 evaluated at user 1:
+  const auto f0 = chans[0].conj().normalized();
+  const double cross = channel::beam_rss(chans[1], f0).value;
+  EXPECT_GT(multi.min_rss.value, cross + 6.0);
+}
+
+TEST(GroupBeam, MulticastSplitsPowerVersusUnicast) {
+  // Serving two users with one beam costs roughly 3 dB against a
+  // dedicated beam per user (power split across two lobes).
+  Rng rng(8);
+  const auto chans = channels_at({{3.0, 0.5}, {3.0, -0.5}});
+  const auto multi =
+      group_beam(Scheme::kOptimizedMulticast, chans, Codebook{}, rng);
+  const auto uni =
+      group_beam(Scheme::kOptimizedUnicast, {chans[0]}, Codebook{}, rng);
+  const double split_loss = uni.min_rss.value - multi.min_rss.value;
+  EXPECT_GT(split_loss, 1.0);
+  EXPECT_LT(split_loss, 7.0);
+}
+
+TEST(GroupBeam, SingletonOptimizedMulticastEqualsMrt) {
+  Rng rng(9);
+  const auto chans = channels_at({{4.0, 0.3}});
+  const auto multi =
+      group_beam(Scheme::kOptimizedMulticast, chans, Codebook{}, rng);
+  const auto uni =
+      group_beam(Scheme::kOptimizedUnicast, chans, Codebook{}, rng);
+  EXPECT_NEAR(multi.min_rss.value, uni.min_rss.value, 1e-9);
+}
+
+TEST(GroupBeam, MinRssIsBottleneckMember) {
+  Rng rng(10);
+  const auto chans = channels_at({{3.0, 0.2}, {10.0, -0.4}});
+  const auto g =
+      group_beam(Scheme::kOptimizedMulticast, chans, Codebook{}, rng);
+  double min = 1e9;
+  for (const auto& r : g.member_rss) min = std::min(min, r.value);
+  EXPECT_DOUBLE_EQ(g.min_rss.value, min);
+  // Rate corresponds to the min RSS per Table 2.
+  EXPECT_DOUBLE_EQ(g.rate.value,
+                   channel::rate_for_rss(g.min_rss).value);
+}
+
+TEST(GroupBeam, CloseUsersMulticastNearlyFree) {
+  // Users 3 degrees apart share one lobe: the multicast penalty vs
+  // unicast should be far below the 3 dB split.
+  Rng rng(11);
+  const auto chans = channels_at({{3.0, 0.00}, {3.0, 0.05}});
+  const auto multi =
+      group_beam(Scheme::kOptimizedMulticast, chans, Codebook{}, rng);
+  const auto uni =
+      group_beam(Scheme::kOptimizedUnicast, {chans[0]}, Codebook{}, rng);
+  EXPECT_GT(multi.min_rss.value, uni.min_rss.value - 3.0);
+}
+
+TEST(GroupBeam, FarUserYieldsZeroRate) {
+  Rng rng(12);
+  const auto chans = channels_at({{200.0, 0.0}});
+  const auto g =
+      group_beam(Scheme::kOptimizedUnicast, chans, Codebook{}, rng);
+  EXPECT_DOUBLE_EQ(g.rate.value, 0.0);
+}
+
+TEST(GroupBeam, EightUserGroupStillServed) {
+  Rng rng(13);
+  channel::PropagationConfig prop;
+  std::vector<linalg::CVector> chans;
+  for (int i = 0; i < 8; ++i)
+    chans.push_back(channel::make_channel(
+        prop, channel::Position::from_polar(6.0, -0.6 + 0.17 * i)));
+  const auto g =
+      group_beam(Scheme::kOptimizedMulticast, chans, Codebook{}, rng);
+  EXPECT_EQ(g.member_rss.size(), 8u);
+  EXPECT_GT(g.rate.value, 0.0);
+}
+
+}  // namespace
+}  // namespace w4k::beamforming

@@ -1,0 +1,104 @@
+#include "beamforming/codebook.h"
+
+#include "channel/array.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace w4k::beamforming {
+namespace {
+
+TEST(MultilevelCodebook, SizeIsSumOfLevels) {
+  const Codebook cb =
+      make_multilevel_codebook(32, {{32, 20}, {8, 8}, {4, 4}});
+  EXPECT_EQ(cb.size(), 32u);
+}
+
+TEST(MultilevelCodebook, AllBeamsUnitNorm) {
+  const Codebook cb =
+      make_multilevel_codebook(32, {{32, 10}, {16, 6}, {8, 4}});
+  for (std::size_t k = 0; k < cb.size(); ++k)
+    EXPECT_NEAR(cb[k].norm(), 1.0, 1e-12) << "beam " << k;
+}
+
+TEST(MultilevelCodebook, WiderLevelsTradeGainForCoverage) {
+  // A 4-element quasi beam has less peak gain than a 32-element sector
+  // but holds its gain over a much wider angular span.
+  const Codebook fine = make_multilevel_codebook(32, {{32, 1}}, 8, 1e-6);
+  const Codebook quasi = make_multilevel_codebook(32, {{4, 1}}, 8, 1e-6);
+  const auto gain_at = [&](const Codebook& cb, double theta) {
+    return channel::beam_rss(channel::steering_vector(theta, 32), cb[0])
+        .value;
+  };
+  // Peak (boresight): fine wins by ~9 dB (32 vs 4 elements).
+  EXPECT_GT(gain_at(fine, 0.0), gain_at(quasi, 0.0) + 6.0);
+  // Off-axis at 20 degrees: the fine beam has fallen off a cliff, the
+  // quasi beam is still near its peak.
+  const double off = 0.349;
+  EXPECT_GT(gain_at(quasi, off), gain_at(fine, off) + 6.0);
+}
+
+TEST(MultilevelCodebook, LimitsEnforced) {
+  EXPECT_THROW(make_multilevel_codebook(32, {{32, 129}}),
+               std::invalid_argument);
+  EXPECT_THROW(make_multilevel_codebook(32, {}), std::invalid_argument);
+  EXPECT_THROW(make_multilevel_codebook(32, {{64, 4}}),  // subarray > array
+               std::invalid_argument);
+  EXPECT_THROW(make_multilevel_codebook(32, {{0, 4}}), std::invalid_argument);
+}
+
+TEST(DualLobe, AppendsPairCount) {
+  Codebook cb = make_multilevel_codebook(32, {{32, 4}});
+  append_dual_lobe_beams(cb, 32, 6);
+  EXPECT_EQ(cb.size(), 4u + 15u);  // C(6,2) = 15
+}
+
+TEST(DualLobe, RespectsHardwareLimit) {
+  Codebook cb = make_multilevel_codebook(32, {{32, 120}});
+  EXPECT_THROW(append_dual_lobe_beams(cb, 32, 6), std::invalid_argument);
+  Codebook cb2;
+  EXPECT_THROW(append_dual_lobe_beams(cb2, 32, 1), std::invalid_argument);
+}
+
+TEST(DualLobe, ServesTwoDirectionsAtOnce) {
+  // A dual-lobe beam must deliver useful gain toward BOTH of its target
+  // directions simultaneously — the property that makes pre-defined
+  // multicast to spread users possible at all.
+  Codebook cb;
+  append_dual_lobe_beams(cb, 32, 14, 8, 1.06);
+  // Targets: a widely separated direction pair near two grid points.
+  const double theta_a = -0.6;
+  const double theta_b = 0.6;
+  const auto h_a = channel::steering_vector(theta_a, 32);
+  const auto h_b = channel::steering_vector(theta_b, 32);
+  double best_min = -1e300;
+  for (std::size_t k = 0; k < cb.size(); ++k) {
+    const double min_rss = std::min(channel::beam_rss(h_a, cb[k]).value,
+                                    channel::beam_rss(h_b, cb[k]).value);
+    best_min = std::max(best_min, min_rss);
+  }
+  // Ideal dual lobe: 16 coherent elements at 1/sqrt(32) amplitude each
+  // -> |16/sqrt(32)|^2 = 8 (9 dB); allow pointing + quantization loss.
+  EXPECT_GT(best_min, 10.0 * std::log10(8.0) - 5.0);
+  // And it must beat every single-lobe sector by a wide margin.
+  const Codebook sectors = make_multilevel_codebook(32, {{32, 24}});
+  double sector_best = -1e300;
+  for (std::size_t k = 0; k < sectors.size(); ++k) {
+    const double min_rss =
+        std::min(channel::beam_rss(h_a, sectors[k]).value,
+                 channel::beam_rss(h_b, sectors[k]).value);
+    sector_best = std::max(sector_best, min_rss);
+  }
+  EXPECT_GT(best_min, sector_best + 6.0);
+}
+
+TEST(DualLobe, BeamsAreUnitNorm) {
+  Codebook cb;
+  append_dual_lobe_beams(cb, 32, 5);
+  for (std::size_t k = 0; k < cb.size(); ++k)
+    EXPECT_NEAR(cb[k].norm(), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace w4k::beamforming

@@ -1,0 +1,137 @@
+#include "beamforming/csi.h"
+#include "beamforming/sls.h"
+#include "channel/array.h"
+#include "channel/propagation.h"
+
+#include <gtest/gtest.h>
+
+namespace w4k::beamforming {
+namespace {
+
+Codebook big_codebook(std::size_t n_antennas = 32) {
+  CodebookConfig cfg;
+  cfg.n_antennas = n_antennas;
+  cfg.n_beams = 96;  // >= 2 N_t measurements for phase retrieval
+  return make_sector_codebook(cfg);
+}
+
+TEST(SectorSweep, ReturnsPerBeamRssAndBest) {
+  Rng rng(1);
+  const auto cb = big_codebook();
+  const auto h = channel::steering_vector(0.4, 32);
+  const SweepResult res = sector_sweep(h, cb, rng, 0.0);
+  EXPECT_EQ(res.rss_dbm.size(), cb.size());
+  for (std::size_t k = 0; k < cb.size(); ++k)
+    EXPECT_LE(res.rss_dbm[k], res.rss_dbm[res.best_beam] + 1e-9);
+}
+
+TEST(SectorSweep, BestBeamPointsAtChannel) {
+  Rng rng(2);
+  const auto cb = big_codebook();
+  // Beam index should scale with sin(azimuth) across the fan.
+  std::size_t prev = 0;
+  for (double theta : {-0.8, -0.3, 0.0, 0.3, 0.8}) {
+    const auto h = channel::steering_vector(theta, 32);
+    const auto res = sector_sweep(h, cb, rng, 0.0);
+    EXPECT_GE(res.best_beam + 5, prev);  // non-decreasing with slack
+    prev = res.best_beam;
+  }
+}
+
+TEST(SectorSweep, NoiseChangesMeasurements) {
+  Rng rng(3);
+  const auto cb = big_codebook();
+  const auto h = channel::steering_vector(0.2, 32);
+  const auto clean = sector_sweep(h, cb, rng, 0.0);
+  const auto noisy = sector_sweep(h, cb, rng, 1.0);
+  int diffs = 0;
+  for (std::size_t k = 0; k < cb.size(); ++k)
+    diffs += std::abs(clean.rss_dbm[k] - noisy.rss_dbm[k]) > 1e-9 ? 1 : 0;
+  EXPECT_GT(diffs, static_cast<int>(cb.size() / 2));
+}
+
+TEST(SectorSweep, EmptyCodebookThrows) {
+  Rng rng(4);
+  EXPECT_THROW(sector_sweep(channel::steering_vector(0, 8), Codebook{}, rng),
+               std::invalid_argument);
+}
+
+TEST(EstimateCsi, RecoversSteeringChannel) {
+  Rng rng(5);
+  const auto cb = big_codebook();
+  const auto h = channel::steering_vector(0.37, 32);
+  const auto sweep = sector_sweep(h, cb, rng, 0.0);
+  const CsiEstimate est = estimate_csi(sweep, cb);
+  // Phase retrieval recovers h up to a global phase.
+  EXPECT_GT(csi_alignment(est.h, h), 0.98);
+  EXPECT_LT(est.residual, 0.05);
+}
+
+TEST(EstimateCsi, RecoversMultipathChannel) {
+  Rng rng(6);
+  channel::PropagationConfig prop;
+  const auto h =
+      channel::make_channel(prop, channel::Position::from_polar(5.0, 0.4));
+  const auto cb = big_codebook();
+  const auto sweep = sector_sweep(h, cb, rng, 0.0);
+  const CsiEstimate est = estimate_csi(sweep, cb);
+  EXPECT_GT(csi_alignment(est.h, h), 0.95);
+}
+
+TEST(EstimateCsi, BeamformingOnEstimateNearOptimal) {
+  // What matters downstream: MRT on the estimated CSI should capture
+  // nearly the power of MRT on the true CSI.
+  Rng rng(7);
+  channel::PropagationConfig prop;
+  const auto h =
+      channel::make_channel(prop, channel::Position::from_polar(8.0, -0.3));
+  const auto cb = big_codebook();
+  const auto sweep = sector_sweep(h, cb, rng, 0.3);  // realistic RSS noise
+  const CsiEstimate est = estimate_csi(sweep, cb);
+  const double ideal = channel::beam_rss(h, h.conj().normalized()).value;
+  const double achieved =
+      channel::beam_rss(h, est.h.conj().normalized()).value;
+  EXPECT_GT(achieved, ideal - 1.5);  // within 1.5 dB of perfect CSI
+}
+
+TEST(EstimateCsi, NoisyMeasurementsDegradeGracefully) {
+  Rng rng(8);
+  const auto cb = big_codebook();
+  const auto h = channel::steering_vector(0.1, 32);
+  const auto clean = estimate_csi(sector_sweep(h, cb, rng, 0.0), cb);
+  const auto noisy = estimate_csi(sector_sweep(h, cb, rng, 2.0), cb);
+  EXPECT_GE(csi_alignment(clean.h, h), csi_alignment(noisy.h, h) - 0.02);
+  EXPECT_GT(csi_alignment(noisy.h, h), 0.8);
+}
+
+TEST(EstimateCsi, TooFewBeamsThrows) {
+  CodebookConfig cfg;
+  cfg.n_antennas = 32;
+  cfg.n_beams = 16;  // < N_t
+  const Codebook cb = make_sector_codebook(cfg);
+  Rng rng(9);
+  const auto h = channel::steering_vector(0.0, 32);
+  const auto sweep = sector_sweep(h, cb, rng, 0.0);
+  EXPECT_THROW(estimate_csi(sweep, cb), std::invalid_argument);
+}
+
+TEST(EstimateCsi, MismatchedSweepThrows) {
+  const auto cb = big_codebook();
+  SweepResult sweep;
+  sweep.rss_dbm.assign(10, -50.0);  // wrong size
+  EXPECT_THROW(estimate_csi(sweep, cb), std::invalid_argument);
+}
+
+TEST(CsiAlignment, BoundsAndPhaseInvariance) {
+  const auto h = channel::steering_vector(0.5, 16);
+  EXPECT_NEAR(csi_alignment(h, h), 1.0, 1e-12);
+  // Global phase doesn't matter.
+  auto rotated = h;
+  rotated *= std::polar(1.0, 1.234);
+  EXPECT_NEAR(csi_alignment(rotated, h), 1.0, 1e-12);
+  // Zero vector aligns with nothing.
+  EXPECT_DOUBLE_EQ(csi_alignment(linalg::CVector(16), h), 0.0);
+}
+
+}  // namespace
+}  // namespace w4k::beamforming

@@ -1,0 +1,90 @@
+#include "channel/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace w4k::channel {
+namespace {
+
+struct TempPath {
+  std::string path;
+  explicit TempPath(const char* name)
+      : path(std::string("w4k_trace_test_") + name) {}
+  ~TempPath() { std::remove(path.c_str()); }
+};
+
+CsiTrace small_trace() {
+  MovingReceiverConfig cfg;
+  cfg.n_users = 2;
+  cfg.duration = 1.0;
+  cfg.prop.n_antennas = 8;
+  cfg.seed = 4;
+  return moving_receiver_trace(cfg);
+}
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  TempPath tmp("roundtrip.bin");
+  const CsiTrace original = small_trace();
+  save_trace(original, tmp.path);
+  const CsiTrace loaded = load_trace(tmp.path);
+
+  ASSERT_EQ(loaded.steps(), original.steps());
+  ASSERT_EQ(loaded.users(), original.users());
+  EXPECT_DOUBLE_EQ(loaded.interval, original.interval);
+  for (std::size_t t = 0; t < original.steps(); ++t) {
+    for (std::size_t u = 0; u < original.users(); ++u) {
+      EXPECT_DOUBLE_EQ(loaded.positions[t][u].x, original.positions[t][u].x);
+      EXPECT_DOUBLE_EQ(loaded.positions[t][u].y, original.positions[t][u].y);
+      ASSERT_EQ(loaded.snapshots[t][u].size(), original.snapshots[t][u].size());
+      for (std::size_t n = 0; n < original.snapshots[t][u].size(); ++n)
+        EXPECT_EQ(loaded.snapshots[t][u][n], original.snapshots[t][u][n]);
+    }
+  }
+}
+
+TEST(TraceIo, EmptyTraceRejected) {
+  TempPath tmp("empty.bin");
+  EXPECT_THROW(save_trace(CsiTrace{}, tmp.path), std::runtime_error);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(load_trace("/nonexistent/trace.bin"), std::runtime_error);
+}
+
+TEST(TraceIo, BadMagicRejected) {
+  TempPath tmp("badmagic.bin");
+  std::ofstream(tmp.path, std::ios::binary) << "WRONGMAGICxxxxxxxxxxxx";
+  EXPECT_THROW(load_trace(tmp.path), std::runtime_error);
+}
+
+TEST(TraceIo, TruncationDetected) {
+  TempPath tmp("trunc.bin");
+  const CsiTrace original = small_trace();
+  save_trace(original, tmp.path);
+  // Chop the file in half.
+  std::ifstream in(tmp.path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream(tmp.path, std::ios::binary)
+      << data.substr(0, data.size() / 2);
+  EXPECT_THROW(load_trace(tmp.path), std::runtime_error);
+}
+
+TEST(TraceIo, ReplayedTraceDrivesEmulation) {
+  // Saved traces must be usable exactly like freshly generated ones.
+  TempPath tmp("replay.bin");
+  const CsiTrace original = small_trace();
+  save_trace(original, tmp.path);
+  const CsiTrace loaded = load_trace(tmp.path);
+  const auto rss_orig = best_case_rss_dbm(original, 0);
+  const auto rss_loaded = best_case_rss_dbm(loaded, 0);
+  ASSERT_EQ(rss_orig.size(), rss_loaded.size());
+  for (std::size_t i = 0; i < rss_orig.size(); ++i)
+    EXPECT_DOUBLE_EQ(rss_orig[i], rss_loaded[i]);
+}
+
+}  // namespace
+}  // namespace w4k::channel
