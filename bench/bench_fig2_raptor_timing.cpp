@@ -12,18 +12,26 @@
 // returns past it are flat relative to the factor-12 left branch.
 //
 // Implemented with google-benchmark so the timings are statistically
-// sound.
+// sound. In addition to the Fig. 2 sweep, this binary benchmarks the raw
+// GF(256) row kernels (MB/s per dispatch tier) and ends with a scalar-vs-
+// SIMD A/B of kernels, encode and decode, written to BENCH_kernels.json
+// so the perf trajectory is machine-trackable across PRs.
 #include "fec/fountain.h"
+#include "gf256/gf256.h"
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
-
+#include <functional>
 #include <vector>
 
 namespace {
 
 constexpr std::size_t kUnitBytes = 120'000;  // paper: 20 x 6000 B
+constexpr std::size_t kSymbolBytes = 6'000;  // the paper's operating point
 
 std::vector<std::uint8_t> unit_data() {
   std::vector<std::uint8_t> data(kUnitBytes);
@@ -72,20 +80,199 @@ void BM_Decode(benchmark::State& state) {
                           static_cast<std::int64_t>(kUnitBytes));
 }
 
+// --- Raw row-kernel bandwidth (bytes/second shows as MB/s) ------------------
+
+void BM_MulAddRow(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> dst(n), src(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = static_cast<std::uint8_t>(i * 7 + 3);
+    src[i] = static_cast<std::uint8_t>(i * 13 + 1);
+  }
+  for (auto _ : state) {
+    w4k::gf256::mul_add_row(dst, src, 0xA7);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetLabel(w4k::gf256::tier_name(w4k::gf256::active_tier()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_ScaleRow(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> dst(n);
+  for (std::size_t i = 0; i < n; ++i)
+    dst[i] = static_cast<std::uint8_t>(i * 11 + 5);
+  for (auto _ : state) {
+    w4k::gf256::scale_row(dst, 0x53);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetLabel(w4k::gf256::tier_name(w4k::gf256::active_tier()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
 }  // namespace
 
 BENCHMARK(BM_Encode)->Arg(500)->Arg(1000)->Arg(2000)->Arg(4000)->Arg(6000)
     ->Arg(8000)->Arg(12000)->Arg(16000)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_Decode)->Arg(500)->Arg(1000)->Arg(2000)->Arg(4000)->Arg(6000)
     ->Arg(8000)->Arg(12000)->Arg(16000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MulAddRow)->Arg(64)->Arg(500)->Arg(6000)->Arg(65536)
+    ->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_ScaleRow)->Arg(64)->Arg(500)->Arg(6000)->Arg(65536)
+    ->Unit(benchmark::kNanosecond);
+
+namespace {
+
+// --- Scalar-vs-SIMD A/B written to BENCH_kernels.json -----------------------
+
+/// Calls fn(reps) in growing batches until ~0.25 s of wall time has
+/// accumulated, then returns processed MB per second. fn must process
+/// `bytes_per_rep` bytes per rep.
+double measure_mbps(std::size_t bytes_per_rep,
+                    const std::function<void(std::size_t)>& fn) {
+  using clock = std::chrono::steady_clock;
+  fn(3);  // warm up tables and caches
+  std::size_t reps = 1;
+  for (;;) {
+    const auto t0 = clock::now();
+    fn(reps);
+    const double sec = std::chrono::duration<double>(clock::now() - t0).count();
+    if (sec >= 0.25) {
+      const double bytes =
+          static_cast<double>(reps) * static_cast<double>(bytes_per_rep);
+      return bytes / sec / 1e6;
+    }
+    reps = sec > 0.0
+               ? std::max(reps + 1, static_cast<std::size_t>(
+                                        static_cast<double>(reps) * 0.3 / sec))
+               : reps * 4;
+  }
+}
+
+struct AbResult {
+  double scalar_mbps = 0.0;
+  double simd_mbps = 0.0;
+  double speedup() const {
+    return scalar_mbps > 0.0 ? simd_mbps / scalar_mbps : 0.0;
+  }
+};
+
+/// Runs `fn` under the scalar tier and the best available tier.
+AbResult ab_measure(std::size_t bytes_per_rep,
+                    const std::function<void(std::size_t)>& fn) {
+  using w4k::gf256::Tier;
+  AbResult r;
+  const Tier best = w4k::gf256::refresh_dispatch();
+  w4k::gf256::set_active_tier(Tier::kScalar);
+  r.scalar_mbps = measure_mbps(bytes_per_rep, fn);
+  w4k::gf256::set_active_tier(best);
+  r.simd_mbps = measure_mbps(bytes_per_rep, fn);
+  return r;
+}
+
+void emit_kernel_json(const char* path) {
+  using w4k::gf256::Tier;
+  const Tier best = w4k::gf256::refresh_dispatch();
+
+  std::vector<std::uint8_t> dst(kSymbolBytes), src(kSymbolBytes);
+  for (std::size_t i = 0; i < kSymbolBytes; ++i) {
+    dst[i] = static_cast<std::uint8_t>(i * 7 + 3);
+    src[i] = static_cast<std::uint8_t>(i * 13 + 1);
+  }
+  const AbResult mul_add = ab_measure(kSymbolBytes, [&](std::size_t reps) {
+    for (std::size_t r = 0; r < reps; ++r) {
+      w4k::gf256::mul_add_row(dst, src, 0xA7);
+      benchmark::DoNotOptimize(dst.data());
+    }
+  });
+  const AbResult scale = ab_measure(kSymbolBytes, [&](std::size_t reps) {
+    for (std::size_t r = 0; r < reps; ++r) {
+      w4k::gf256::scale_row(dst, 0x53);
+      benchmark::DoNotOptimize(dst.data());
+    }
+  });
+
+  const auto data = unit_data();
+  const w4k::fec::FountainEncoder enc(data, kSymbolBytes, 42);
+  const std::size_t k = enc.k();
+  const AbResult encode = ab_measure(kUnitBytes, [&](std::size_t reps) {
+    for (std::size_t r = 0; r < reps; ++r)
+      for (std::size_t i = 0; i < k; ++i)
+        benchmark::DoNotOptimize(
+            enc.encode(static_cast<w4k::fec::Esi>(k + i)));
+  });
+
+  std::vector<w4k::fec::Symbol> symbols;
+  for (std::size_t i = 0; i < k + 2; ++i)
+    symbols.push_back(enc.encode(static_cast<w4k::fec::Esi>(k + i)));
+  const AbResult decode = ab_measure(kUnitBytes, [&](std::size_t reps) {
+    for (std::size_t r = 0; r < reps; ++r) {
+      w4k::fec::FountainDecoder dec(k, kSymbolBytes, data.size(), 42);
+      for (const auto& s : symbols) {
+        dec.add_symbol(s);
+        if (dec.can_decode()) break;
+      }
+      benchmark::DoNotOptimize(dec.decode());
+    }
+  });
+
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  const auto entry = [&](const char* name, const AbResult& r,
+                         const char* trailing_comma) {
+    std::fprintf(f,
+                 "    \"%s\": {\"scalar_MBps\": %.1f, \"simd_MBps\": %.1f, "
+                 "\"speedup\": %.2f}%s\n",
+                 name, r.scalar_mbps, r.simd_mbps, r.speedup(),
+                 trailing_comma);
+  };
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"simd_tier\": \"%s\",\n", w4k::gf256::tier_name(best));
+  std::fprintf(f, "  \"symbol_bytes\": %zu,\n", kSymbolBytes);
+  std::fprintf(f, "  \"unit_bytes\": %zu,\n", kUnitBytes);
+  std::fprintf(f, "  \"k\": %zu,\n", k);
+  std::fprintf(f, "  \"kernels\": {\n");
+  entry("mul_add_row", mul_add, ",");
+  entry("scale_row", scale, "");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"fountain\": {\n");
+  entry("encode", encode, ",");
+  entry("decode", decode, "");
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+
+  std::printf("\nScalar vs %s A/B (MB/s, symbol %zu B, unit %zu B, k=%zu):\n",
+              w4k::gf256::tier_name(best), kSymbolBytes, kUnitBytes, k);
+  std::printf("  mul_add_row  %8.1f -> %8.1f  (%.2fx)\n", mul_add.scalar_mbps,
+              mul_add.simd_mbps, mul_add.speedup());
+  std::printf("  scale_row    %8.1f -> %8.1f  (%.2fx)\n", scale.scalar_mbps,
+              scale.simd_mbps, scale.speedup());
+  std::printf("  encode       %8.1f -> %8.1f  (%.2fx)\n", encode.scalar_mbps,
+              encode.simd_mbps, encode.speedup());
+  std::printf("  decode       %8.1f -> %8.1f  (%.2fx)\n", decode.scalar_mbps,
+              decode.simd_mbps, decode.speedup());
+  std::printf("written: %s\n", path);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::printf(
       "Fig 2: encode/decode time vs symbol size (120 kB unit).\n"
       "paper: U-shape, minimum near 6000 B. here: the expensive-small-"
       "symbol branch\nreproduces; see the file comment for why the right "
-      "branch is absent.\n\n");
+      "branch is absent.\n"
+      "row kernels dispatch on tier \"%s\" (W4K_FORCE_SCALAR=1 pins "
+      "scalar).\n\n",
+      w4k::gf256::tier_name(w4k::gf256::active_tier()));
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  emit_kernel_json("BENCH_kernels.json");
   return 0;
 }

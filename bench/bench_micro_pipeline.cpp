@@ -1,8 +1,14 @@
 // Microbenchmarks of the per-frame pipeline stages (google-benchmark):
 // layered encode, reconstruction, SSIM, quality-model inference, and the
 // Eq. 1 optimizer — the budget items behind the paper's claim that the
-// optimization stage "takes a few milliseconds".
+// optimization stage "takes a few milliseconds". The SSIM and GF(256)
+// cases report bytes/second (per-kernel MB/s) and label the active SIMD
+// tier; BENCH_kernels.json (the machine-readable A/B) is emitted by
+// bench_fig2_raptor_timing.
 #include "common.h"
+
+#include "common/thread_pool.h"
+#include "gf256/gf256.h"
 
 #include <benchmark/benchmark.h>
 
@@ -41,8 +47,66 @@ void BM_Ssim(benchmark::State& state) {
   const video::Frame b = video::reconstruct(
       video::PartialFrame::up_to_layer(video::encode(a), 2));
   for (auto _ : state) benchmark::DoNotOptimize(quality::ssim(a, b));
+  state.counters["pool"] = static_cast<double>(ThreadPool::shared().size());
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(a.y.pix.size()));
 }
 BENCHMARK(BM_Ssim)->Unit(benchmark::kMillisecond);
+
+// SSIM at the paper's native 4K: the per-frame budget item that forced
+// the banded-parallel tiling. Reports plane MB/s on the shared pool.
+void BM_Ssim4K(benchmark::State& state) {
+  static const video::Frame a = [] {
+    video::VideoSpec spec;
+    spec.width = 3840;
+    spec.height = 2160;
+    spec.frames = 1;
+    spec.richness = video::Richness::kHigh;
+    return video::SyntheticVideo(spec).frame(0);
+  }();
+  static const video::Frame b = video::reconstruct(
+      video::PartialFrame::up_to_layer(video::encode(a), 2));
+  for (auto _ : state) benchmark::DoNotOptimize(quality::ssim(a, b));
+  state.counters["pool"] = static_cast<double>(ThreadPool::shared().size());
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(a.y.pix.size()));
+}
+BENCHMARK(BM_Ssim4K)->Unit(benchmark::kMillisecond);
+
+// Raw GF(256) row kernel at the paper's 6000 B symbol size; the label
+// names the dispatch tier actually in use.
+void BM_GfMulAddRow6000(benchmark::State& state) {
+  std::vector<std::uint8_t> dst(6000), src(6000);
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst[i] = static_cast<std::uint8_t>(i * 7 + 3);
+    src[i] = static_cast<std::uint8_t>(i * 13 + 1);
+  }
+  for (auto _ : state) {
+    gf256::mul_add_row(dst, src, 0xA7);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetLabel(gf256::tier_name(gf256::active_tier()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dst.size()));
+}
+BENCHMARK(BM_GfMulAddRow6000)->Unit(benchmark::kNanosecond);
+
+// One coding unit's worth of repair symbols, batch-encoded on the pool.
+void BM_FountainEncodeBatch(benchmark::State& state) {
+  std::vector<std::uint8_t> data(120'000);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i * 2654435761u >> 24);
+  const fec::FountainEncoder enc(data, 6000, 42);
+  const auto k = static_cast<fec::Esi>(enc.k());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(enc.encode_batch(k, enc.k()));
+  state.counters["pool"] = static_cast<double>(ThreadPool::shared().size());
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_FountainEncodeBatch)->Unit(benchmark::kMicrosecond);
 
 void BM_QualityModelPredict(benchmark::State& state) {
   auto& model = bench::quality_model();

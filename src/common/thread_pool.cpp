@@ -1,0 +1,173 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace w4k {
+namespace {
+
+// True while the current thread is executing a parallel_for chunk; nested
+// parallel_for calls detect this and run inline instead of re-entering the
+// pool (which would deadlock the waiting outer call).
+thread_local bool t_in_pool_body = false;
+
+std::size_t default_pool_size() {
+  if (const char* env = std::getenv("W4K_THREADS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+// One parallel_for invocation. Each job owns its chunk cursor and completion
+// state, so a worker that wakes late and drains an already-finished job can
+// never touch a newer job's body or counters.
+struct Job {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t grain = 1;
+  std::size_t n_chunks = 0;
+  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> next_chunk{0};
+
+  std::mutex mu;
+  std::condition_variable cv_done;
+  std::size_t chunks_done = 0;
+  std::exception_ptr first_error;
+
+  void run() {
+    std::size_t completed = 0;
+    for (;;) {
+      const std::size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= n_chunks) break;
+      const std::size_t b = begin + c * grain;
+      const std::size_t e = std::min(end, b + grain);
+      t_in_pool_body = true;
+      try {
+        (*body)(b, e);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      t_in_pool_body = false;
+      ++completed;
+    }
+    if (completed > 0) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks_done += completed;
+      if (chunks_done == n_chunks) cv_done.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable cv_work;
+  std::uint64_t job_generation = 0;
+  std::shared_ptr<Job> current;
+  bool shutting_down = false;
+  std::vector<std::thread> workers;
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv_work.wait(lock,
+                     [&] { return shutting_down || job_generation != seen; });
+        if (shutting_down) return;
+        seen = job_generation;
+        job = current;
+      }
+      if (job) job->run();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : impl_(std::make_unique<Impl>()),
+      size_(threads > 0 ? threads : default_pool_size()) {
+  impl_->workers.reserve(size_ - 1);
+  for (std::size_t i = 0; i + 1 < size_; ++i)
+    impl_->workers.emplace_back([impl = impl_.get()] { impl->worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->shutting_down = true;
+  }
+  impl_->cv_work.notify_all();
+  for (auto& w : impl_->workers) w.join();
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  const std::size_t n_chunks = (end - begin + grain - 1) / grain;
+  // Serial fast paths: single-context pool, a one-chunk range, or a nested
+  // call from inside a worker. Chunk boundaries are identical to the
+  // parallel path, so results are too.
+  if (size_ == 1 || n_chunks == 1 || t_in_pool_body) {
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+      const std::size_t b = begin + c * grain;
+      body(b, std::min(end, b + grain));
+    }
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->begin = begin;
+  job->end = end;
+  job->grain = grain;
+  job->n_chunks = n_chunks;
+  job->body = &body;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->current = job;
+    ++impl_->job_generation;
+  }
+  impl_->cv_work.notify_all();
+  job->run();  // the calling thread is one of the pool's execution contexts
+  std::unique_lock<std::mutex> lock(job->mu);
+  job->cv_done.wait(lock, [&] { return job->chunks_done == job->n_chunks; });
+  if (job->first_error) std::rethrow_exception(job->first_error);
+}
+
+namespace {
+
+std::unique_ptr<ThreadPool>& shared_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+std::mutex& shared_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::shared() {
+  std::lock_guard<std::mutex> lock(shared_mu());
+  auto& slot = shared_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>();
+  return *slot;
+}
+
+void ThreadPool::reset_shared(std::size_t threads) {
+  std::lock_guard<std::mutex> lock(shared_mu());
+  shared_slot() = std::make_unique<ThreadPool>(threads);
+}
+
+}  // namespace w4k

@@ -1,0 +1,64 @@
+// Fixed-size shared thread pool with a deterministic parallel_for.
+//
+// The compute substrate for the hot paths (fountain coding, SSIM tiling,
+// per-user emulation): one lazily created process-wide pool, sized to
+// hardware concurrency (overridable via the W4K_THREADS environment
+// variable), with a chunked parallel_for whose chunk boundaries depend
+// only on the range and grain — never on the number of threads or on
+// scheduling order. Callers that accumulate per-chunk partial results
+// into chunk-indexed slots and reduce them in chunk order therefore get
+// bit-identical results for any pool size, including 1 (serial).
+//
+// There is no work stealing and no task queue beyond a single atomic
+// chunk cursor per parallel_for: the design goal is predictable,
+// reproducible bandwidth on large contiguous loops, not general task
+// parallelism. Nested parallel_for calls from inside a worker run the
+// nested body inline on the calling worker (no deadlock, same results).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace w4k {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `threads` execution contexts (including the
+  /// caller of parallel_for, so `threads` == 1 means no worker threads
+  /// and fully serial execution). `threads` == 0 picks the W4K_THREADS
+  /// environment variable if set, else std::thread::hardware_concurrency.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Execution contexts (worker threads + the calling thread).
+  std::size_t size() const { return size_; }
+
+  /// Runs body(chunk_begin, chunk_end) over [begin, end) split into
+  /// ceil((end-begin)/grain) chunks of `grain` indices each (last chunk
+  /// may be short). Chunks are claimed dynamically but their boundaries
+  /// are a pure function of (begin, end, grain), so writes into
+  /// chunk-indexed slots are deterministic. Blocks until every chunk has
+  /// finished. The first exception thrown by any chunk is rethrown here.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// The process-wide shared pool (lazily created on first use).
+  static ThreadPool& shared();
+
+  /// Replaces the shared pool with one of the given size (0 = default
+  /// sizing). Intended for tests and benchmarks that A/B pool sizes; not
+  /// safe while another thread is inside the shared pool.
+  static void reset_shared(std::size_t threads);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::size_t size_ = 1;
+};
+
+}  // namespace w4k

@@ -1,5 +1,7 @@
 #include "emu/engine.h"
 
+#include "common/thread_pool.h"
+
 #include <algorithm>
 #include <cmath>
 #include <map>
@@ -43,13 +45,17 @@ FrameTxResult TxEngine::run_frame(
   res.user_decoded.assign(n_users, std::vector<bool>(units.size(), false));
   res.measured_rate.assign(groups.size(), Mbps{0.0});
 
-  // Reception state: [user][unit].
+  // Reception state: [user][unit]. Users are independent, so state setup
+  // fans out across the shared pool (each chunk owns disjoint users).
   std::vector<std::vector<UnitRx>> rx(n_users,
                                       std::vector<UnitRx>(units.size()));
   if (!cfg_.source_coding) {
-    for (auto& user : rx)
-      for (std::size_t i = 0; i < units.size(); ++i)
-        user[i].have_index.assign(units[i].k_symbols, false);
+    ThreadPool::shared().parallel_for(
+        0, n_users, /*grain=*/4, [&](std::size_t b, std::size_t e) {
+          for (std::size_t u = b; u < e; ++u)
+            for (std::size_t i = 0; i < units.size(); ++i)
+              rx[u][i].have_index.assign(units[i].k_symbols, false);
+        });
   }
 
   // Per-(group,unit) sent counters: ESI sequencing and feedback deficits.
@@ -234,12 +240,17 @@ FrameTxResult TxEngine::run_frame(
   }
 
   // --- Decode + measurement ----------------------------------------------
-  for (std::size_t u = 0; u < n_users; ++u) {
-    for (std::size_t ui = 0; ui < units.size(); ++ui) {
-      res.user_symbols[u][ui] = rx[u][ui].innovative;
-      res.user_decoded[u][ui] = rx[u][ui].decoded;
-    }
-  }
+  // Per-user evaluation is embarrassingly parallel (reads only that user's
+  // reception state, writes only that user's result rows).
+  ThreadPool::shared().parallel_for(
+      0, n_users, /*grain=*/4, [&](std::size_t b, std::size_t e) {
+        for (std::size_t u = b; u < e; ++u) {
+          for (std::size_t ui = 0; ui < units.size(); ++ui) {
+            res.user_symbols[u][ui] = rx[u][ui].innovative;
+            res.user_decoded[u][ui] = rx[u][ui].decoded;
+          }
+        }
+      });
   for (std::size_t gi = 0; gi < groups.size(); ++gi) {
     // Probe packets arrive back-to-back at the drain rate; lost probes
     // stretch the measured spacing, so the estimate reflects the worst

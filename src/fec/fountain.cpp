@@ -1,5 +1,6 @@
 #include "fec/fountain.h"
 
+#include "common/thread_pool.h"
 #include "gf256/gf256.h"
 
 #include <algorithm>
@@ -7,12 +8,13 @@
 
 namespace w4k::fec {
 
-std::vector<std::uint8_t> coefficient_row(std::uint64_t block_seed, Esi esi,
-                                          std::size_t k) {
-  std::vector<std::uint8_t> row(k, 0);
+void coefficient_row_into(std::uint64_t block_seed, Esi esi,
+                          std::span<std::uint8_t> row) {
+  const std::size_t k = row.size();
   if (esi < k) {
+    std::fill(row.begin(), row.end(), 0);
     row[esi] = 1;
-    return row;
+    return;
   }
   // Dense random row seeded by (block_seed, esi). Mixing the ESI through
   // the seed keeps rows independent across symbols of the same block.
@@ -23,6 +25,12 @@ std::vector<std::uint8_t> coefficient_row(std::uint64_t block_seed, Esi esi,
     any |= (c != 0);
   }
   if (!any) row[esi % k] = 1;  // astronomically rare; keep the row usable
+}
+
+std::vector<std::uint8_t> coefficient_row(std::uint64_t block_seed, Esi esi,
+                                          std::size_t k) {
+  std::vector<std::uint8_t> row(k);
+  coefficient_row_into(block_seed, esi, row);
   return row;
 }
 
@@ -44,13 +52,21 @@ FountainEncoder::FountainEncoder(std::span<const std::uint8_t> data,
 Symbol FountainEncoder::encode(Esi esi) const {
   Symbol s;
   s.esi = esi;
-  s.data.assign(symbol_size_, 0);
   if (esi < k_) {
-    const auto* src = padded_.data() + static_cast<std::size_t>(esi) * symbol_size_;
-    std::copy(src, src + symbol_size_, s.data.begin());
+    // Systematic symbol: construct straight from the padded block (no
+    // zero-fill-then-copy).
+    const auto* src =
+        padded_.data() + static_cast<std::size_t>(esi) * symbol_size_;
+    s.data.assign(src, src + symbol_size_);
     return s;
   }
-  const auto coeffs = coefficient_row(block_seed_, esi, k_);
+  s.data.assign(symbol_size_, 0);
+  // Per-thread scratch row: repair encoding is called k times per unit per
+  // receiver deficit, and a fresh allocation per call showed up in the
+  // Fig. 2 profile.
+  thread_local std::vector<std::uint8_t> coeffs;
+  coeffs.resize(k_);
+  coefficient_row_into(block_seed_, esi, coeffs);
   for (std::size_t i = 0; i < k_; ++i) {
     if (coeffs[i] == 0) continue;
     gf256::mul_add_row(
@@ -60,6 +76,20 @@ Symbol FountainEncoder::encode(Esi esi) const {
         coeffs[i]);
   }
   return s;
+}
+
+std::vector<Symbol> FountainEncoder::encode_batch(Esi first,
+                                                  std::size_t count) const {
+  std::vector<Symbol> out(count);
+  // Each slot is written by exactly one chunk, and every symbol depends
+  // only on (padded_, block_seed_, esi), so any pool size produces the
+  // serial result bit for bit.
+  ThreadPool::shared().parallel_for(
+      0, count, /*grain=*/1, [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i)
+          out[i] = encode(first + static_cast<Esi>(i));
+      });
+  return out;
 }
 
 Symbol FountainEncoder::next() { return encode(next_esi_++); }

@@ -41,6 +41,11 @@ using Esi = std::uint32_t;
 std::vector<std::uint8_t> coefficient_row(std::uint64_t block_seed, Esi esi,
                                           std::size_t k);
 
+/// Allocation-free variant: writes the coefficient row into `row`, which
+/// must have size k. Lets hot loops reuse a per-thread scratch buffer.
+void coefficient_row_into(std::uint64_t block_seed, Esi esi,
+                          std::span<std::uint8_t> row);
+
 /// One coded symbol as it travels in a packet payload.
 struct Symbol {
   Esi esi = 0;
@@ -62,8 +67,15 @@ class FountainEncoder {
   std::size_t source_size() const { return source_size_; }
 
   /// Produces the encoding symbol with the given ESI. O(K * symbol_size)
-  /// for repair symbols, O(symbol_size) for systematic ones.
+  /// for repair symbols, O(symbol_size) for systematic ones. Thread-safe:
+  /// encoding only reads the padded source block (per-call scratch is
+  /// thread-local), so batches may encode on the shared ThreadPool.
   Symbol encode(Esi esi) const;
+
+  /// Encodes `count` consecutive symbols starting at `first`, fanned out
+  /// across the shared ThreadPool. Bit-identical to calling encode() in a
+  /// loop (symbols are independent), for any pool size.
+  std::vector<Symbol> encode_batch(Esi first, std::size_t count) const;
 
   /// Convenience: the next symbol in sequence (0, 1, 2, ...).
   Symbol next();

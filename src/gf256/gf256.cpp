@@ -2,6 +2,18 @@
 
 #include <array>
 #include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+#define W4K_GF256_X86 1
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__) && defined(__ARM_NEON)
+#define W4K_GF256_NEON 1
+#include <arm_neon.h>
+#endif
 
 namespace w4k::gf256 {
 namespace {
@@ -11,9 +23,14 @@ struct Tables {
   // so mul can skip the mod-255 reduction.
   std::array<std::uint8_t, 512> exp_{};
   std::array<std::uint8_t, 256> log_{};
-  // mul_table_[a][b] = a * b, used by the row kernels: a 64 KiB table that
-  // stays hot in L2 during Gaussian elimination.
+  // mul_table_[a][b] = a * b, used by the scalar row kernels: a 64 KiB
+  // table that stays hot in L2 during Gaussian elimination.
   std::array<std::array<std::uint8_t, 256>, 256> mul_{};
+  // Split-nibble tables for the SIMD kernels: nib_[c][0..15] = c * i and
+  // nib_[c][16..31] = c * (i << 4), so c * b = nib_[c][b & 15] ^
+  // nib_[c][16 + (b >> 4)]. 8 KiB total; each kernel call touches one
+  // cache-line-aligned 32-byte entry.
+  alignas(64) std::array<std::array<std::uint8_t, 32>, 256> nib_{};
 
   Tables() {
     unsigned x = 1;
@@ -32,12 +49,228 @@ struct Tables {
                          : exp_[log_[a] + log_[b]];
       }
     }
+    for (unsigned c = 0; c < 256; ++c) {
+      for (unsigned i = 0; i < 16; ++i) {
+        nib_[c][i] = mul_[c][i];
+        nib_[c][16 + i] = mul_[c][i << 4];
+      }
+    }
   }
 };
 
 const Tables& tables() {
   static const Tables t;
   return t;
+}
+
+// --- Row kernels -----------------------------------------------------------
+// All kernels share one signature so dispatch is a pair of function
+// pointers. `nib` is the coefficient's 32-byte split-nibble entry.
+
+using MulAddFn = void (*)(std::uint8_t* dst, const std::uint8_t* src,
+                          std::size_t n, std::uint8_t coeff,
+                          const std::uint8_t* nib);
+using ScaleFn = void (*)(std::uint8_t* dst, std::size_t n, std::uint8_t coeff,
+                         const std::uint8_t* nib);
+
+void mul_add_scalar(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                    std::uint8_t coeff, const std::uint8_t* /*nib*/) {
+  const auto& row = tables().mul_[coeff];
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    dst[i] ^= row[src[i]];
+    dst[i + 1] ^= row[src[i + 1]];
+    dst[i + 2] ^= row[src[i + 2]];
+    dst[i + 3] ^= row[src[i + 3]];
+  }
+  for (; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+void scale_scalar(std::uint8_t* dst, std::size_t n, std::uint8_t coeff,
+                  const std::uint8_t* /*nib*/) {
+  const auto& row = tables().mul_[coeff];
+  for (std::size_t i = 0; i < n; ++i) dst[i] = row[dst[i]];
+}
+
+#if defined(W4K_GF256_X86)
+
+__attribute__((target("ssse3"))) void mul_add_ssse3(
+    std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+    std::uint8_t coeff, const std::uint8_t* nib) {
+  const __m128i lo = _mm_load_si128(reinterpret_cast<const __m128i*>(nib));
+  const __m128i hi =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nib + 16));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i d =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i pl = _mm_shuffle_epi8(lo, _mm_and_si128(s, mask));
+    const __m128i ph =
+        _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi16(s, 4), mask));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, _mm_xor_si128(pl, ph)));
+  }
+  if (i < n) mul_add_scalar(dst + i, src + i, n - i, coeff, nib);
+}
+
+__attribute__((target("ssse3"))) void scale_ssse3(std::uint8_t* dst,
+                                                  std::size_t n,
+                                                  std::uint8_t coeff,
+                                                  const std::uint8_t* nib) {
+  const __m128i lo = _mm_load_si128(reinterpret_cast<const __m128i*>(nib));
+  const __m128i hi =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nib + 16));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i d =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i pl = _mm_shuffle_epi8(lo, _mm_and_si128(d, mask));
+    const __m128i ph =
+        _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi16(d, 4), mask));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(pl, ph));
+  }
+  if (i < n) scale_scalar(dst + i, n - i, coeff, nib);
+}
+
+__attribute__((target("avx2"))) void mul_add_avx2(std::uint8_t* dst,
+                                                  const std::uint8_t* src,
+                                                  std::size_t n,
+                                                  std::uint8_t coeff,
+                                                  const std::uint8_t* nib) {
+  const __m256i lo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nib)));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nib + 16)));
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i pl = _mm256_shuffle_epi8(lo, _mm256_and_si256(s, mask));
+    const __m256i ph = _mm256_shuffle_epi8(
+        hi, _mm256_and_si256(_mm256_srli_epi16(s, 4), mask));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, _mm256_xor_si256(pl, ph)));
+  }
+  if (i < n) mul_add_ssse3(dst + i, src + i, n - i, coeff, nib);
+}
+
+__attribute__((target("avx2"))) void scale_avx2(std::uint8_t* dst,
+                                                std::size_t n,
+                                                std::uint8_t coeff,
+                                                const std::uint8_t* nib) {
+  const __m256i lo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nib)));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nib + 16)));
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i pl = _mm256_shuffle_epi8(lo, _mm256_and_si256(d, mask));
+    const __m256i ph = _mm256_shuffle_epi8(
+        hi, _mm256_and_si256(_mm256_srli_epi16(d, 4), mask));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(pl, ph));
+  }
+  if (i < n) scale_ssse3(dst + i, n - i, coeff, nib);
+}
+
+#endif  // W4K_GF256_X86
+
+#if defined(W4K_GF256_NEON)
+
+void mul_add_neon(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                  std::uint8_t coeff, const std::uint8_t* nib) {
+  const uint8x16_t lo = vld1q_u8(nib);
+  const uint8x16_t hi = vld1q_u8(nib + 16);
+  const uint8x16_t mask = vdupq_n_u8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t s = vld1q_u8(src + i);
+    const uint8x16_t d = vld1q_u8(dst + i);
+    const uint8x16_t pl = vqtbl1q_u8(lo, vandq_u8(s, mask));
+    const uint8x16_t ph = vqtbl1q_u8(hi, vshrq_n_u8(s, 4));
+    vst1q_u8(dst + i, veorq_u8(d, veorq_u8(pl, ph)));
+  }
+  if (i < n) mul_add_scalar(dst + i, src + i, n - i, coeff, nib);
+}
+
+void scale_neon(std::uint8_t* dst, std::size_t n, std::uint8_t coeff,
+                const std::uint8_t* nib) {
+  const uint8x16_t lo = vld1q_u8(nib);
+  const uint8x16_t hi = vld1q_u8(nib + 16);
+  const uint8x16_t mask = vdupq_n_u8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t d = vld1q_u8(dst + i);
+    const uint8x16_t pl = vqtbl1q_u8(lo, vandq_u8(d, mask));
+    const uint8x16_t ph = vqtbl1q_u8(hi, vshrq_n_u8(d, 4));
+    vst1q_u8(dst + i, veorq_u8(pl, ph));
+  }
+  if (i < n) scale_scalar(dst + i, n - i, coeff, nib);
+}
+
+#endif  // W4K_GF256_NEON
+
+// --- Dispatch --------------------------------------------------------------
+
+struct Dispatch {
+  Tier tier = Tier::kScalar;
+  MulAddFn mul_add = &mul_add_scalar;
+  ScaleFn scale = &scale_scalar;
+};
+
+bool apply_tier(Dispatch& d, Tier t) {
+  if (!tier_supported(t)) return false;
+  switch (t) {
+    case Tier::kScalar:
+      d = Dispatch{Tier::kScalar, &mul_add_scalar, &scale_scalar};
+      return true;
+#if defined(W4K_GF256_X86)
+    case Tier::kSsse3:
+      d = Dispatch{Tier::kSsse3, &mul_add_ssse3, &scale_ssse3};
+      return true;
+    case Tier::kAvx2:
+      d = Dispatch{Tier::kAvx2, &mul_add_avx2, &scale_avx2};
+      return true;
+#endif
+#if defined(W4K_GF256_NEON)
+    case Tier::kNeon:
+      d = Dispatch{Tier::kNeon, &mul_add_neon, &scale_neon};
+      return true;
+#endif
+    default:
+      return false;
+  }
+}
+
+Tier detect_best_tier() {
+  if (const char* env = std::getenv("W4K_FORCE_SCALAR")) {
+    if (std::strcmp(env, "0") != 0) return Tier::kScalar;
+  }
+  for (Tier t : {Tier::kNeon, Tier::kAvx2, Tier::kSsse3})
+    if (tier_supported(t)) return t;
+  return Tier::kScalar;
+}
+
+Dispatch make_default_dispatch() {
+  Dispatch d;
+  apply_tier(d, detect_best_tier());
+  return d;
+}
+
+Dispatch& dispatch() {
+  static Dispatch d = make_default_dispatch();
+  return d;
 }
 
 }  // namespace
@@ -47,8 +280,7 @@ std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
 }
 
 std::uint8_t div(std::uint8_t a, std::uint8_t b) {
-  assert(b != 0 && "division by zero in GF(256)");
-  if (b == 0) return 0;
+  if (b == 0) throw std::domain_error("gf256::div: division by zero");
   if (a == 0) return 0;
   const auto& t = tables();
   return t.exp_[t.log_[a] + 255 - t.log_[b]];
@@ -74,25 +306,19 @@ void mul_add_row(std::span<std::uint8_t> dst,
   assert(dst.size() == src.size());
   if (coeff == 0) return;
   if (coeff == 1) {
+    // Plain XOR; every tier would produce this, so keep the cheap path.
     for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
     return;
   }
-  const auto& row = tables().mul_[coeff];
-  std::size_t i = 0;
-  const std::size_t n = dst.size();
-  for (; i + 4 <= n; i += 4) {
-    dst[i] ^= row[src[i]];
-    dst[i + 1] ^= row[src[i + 1]];
-    dst[i + 2] ^= row[src[i + 2]];
-    dst[i + 3] ^= row[src[i + 3]];
-  }
-  for (; i < n; ++i) dst[i] ^= row[src[i]];
+  const Dispatch& d = dispatch();
+  d.mul_add(dst.data(), src.data(), dst.size(), coeff,
+            tables().nib_[coeff].data());
 }
 
 void scale_row(std::span<std::uint8_t> dst, std::uint8_t coeff) {
   if (coeff == 1) return;
-  const auto& row = tables().mul_[coeff];
-  for (auto& x : dst) x = row[x];
+  const Dispatch& d = dispatch();
+  d.scale(dst.data(), dst.size(), coeff, tables().nib_[coeff].data());
 }
 
 std::span<const std::uint8_t, 256> log_table() {
@@ -101,6 +327,44 @@ std::span<const std::uint8_t, 256> log_table() {
 
 std::span<const std::uint8_t, 256> exp_table() {
   return std::span<const std::uint8_t, 256>(tables().exp_.data(), 256);
+}
+
+const char* tier_name(Tier t) {
+  switch (t) {
+    case Tier::kScalar: return "scalar";
+    case Tier::kSsse3: return "ssse3";
+    case Tier::kAvx2: return "avx2";
+    case Tier::kNeon: return "neon";
+  }
+  return "unknown";
+}
+
+Tier active_tier() { return dispatch().tier; }
+
+bool tier_supported(Tier t) {
+  switch (t) {
+    case Tier::kScalar:
+      return true;
+#if defined(W4K_GF256_X86)
+    case Tier::kSsse3:
+      return __builtin_cpu_supports("ssse3");
+    case Tier::kAvx2:
+      return __builtin_cpu_supports("avx2");
+#endif
+#if defined(W4K_GF256_NEON)
+    case Tier::kNeon:
+      return true;  // NEON is baseline on AArch64
+#endif
+    default:
+      return false;
+  }
+}
+
+bool set_active_tier(Tier t) { return apply_tier(dispatch(), t); }
+
+Tier refresh_dispatch() {
+  apply_tier(dispatch(), detect_best_tier());
+  return dispatch().tier;
 }
 
 }  // namespace w4k::gf256

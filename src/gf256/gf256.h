@@ -3,6 +3,14 @@
 // the rateless source code in src/fec; the 1 - 1/256^(h+1) decode-failure
 // bound the paper quotes for RaptorQ is a property of dense random linear
 // combinations over this field.
+//
+// The row kernels (mul_add_row / scale_row) are the hot loops of fountain
+// encoding and Gaussian-elimination decoding. They are dispatched at
+// runtime to the widest SIMD tier the CPU supports, using the classic
+// split-nibble PSHUFB technique: per coefficient, two 16-entry tables give
+// the products of the low and high nibble, and one byte-shuffle per 16/32
+// lanes combines them. Setting the W4K_FORCE_SCALAR environment variable
+// (to anything but "0") pins the scalar tier for A/B testing.
 #pragma once
 
 #include <cstddef>
@@ -14,8 +22,8 @@ namespace w4k::gf256 {
 /// Multiplies two field elements.
 std::uint8_t mul(std::uint8_t a, std::uint8_t b);
 
-/// Divides a by b. Precondition: b != 0 (asserted; returns 0 in release
-/// builds on violation so fuzzed inputs cannot UB).
+/// Divides a by b. Throws std::domain_error if b == 0 (in every build
+/// mode: a silent 0 here would let a decoder bug corrupt data unnoticed).
 std::uint8_t div(std::uint8_t a, std::uint8_t b);
 
 /// Multiplicative inverse. Precondition: a != 0.
@@ -25,16 +33,43 @@ std::uint8_t inv(std::uint8_t a);
 std::uint8_t pow(std::uint8_t a, unsigned power);
 
 /// dst[i] += coeff * src[i] over GF(256) (addition is XOR).
-/// The hot loop of fountain encoding/decoding; unrolled over a per-
-/// coefficient multiplication row for speed.
+/// The hot loop of fountain encoding/decoding; SIMD-dispatched.
 void mul_add_row(std::span<std::uint8_t> dst, std::span<const std::uint8_t> src,
                  std::uint8_t coeff);
 
-/// dst[i] *= coeff over GF(256).
+/// dst[i] *= coeff over GF(256). SIMD-dispatched.
 void scale_row(std::span<std::uint8_t> dst, std::uint8_t coeff);
 
 /// Access to the raw tables, exposed for tests validating field axioms.
 std::span<const std::uint8_t, 256> log_table();
 std::span<const std::uint8_t, 256> exp_table();
+
+// --- Runtime kernel dispatch -----------------------------------------------
+
+/// SIMD tiers for the row kernels, ordered from narrowest to widest.
+enum class Tier {
+  kScalar,  ///< byte-at-a-time 64 KiB-table lookups (always available)
+  kSsse3,   ///< 16-byte PSHUFB split-nibble kernel (x86 SSSE3)
+  kAvx2,    ///< 32-byte VPSHUFB split-nibble kernel (x86 AVX2)
+  kNeon,    ///< 16-byte TBL split-nibble kernel (AArch64 NEON)
+};
+
+/// Human-readable tier name ("scalar", "ssse3", "avx2", "neon").
+const char* tier_name(Tier t);
+
+/// The tier the row kernels currently run on.
+Tier active_tier();
+
+/// True if the running CPU supports `t`.
+bool tier_supported(Tier t);
+
+/// Forces the row kernels onto `t`. Returns false (and leaves the dispatch
+/// unchanged) if the CPU does not support it. Not thread-safe against
+/// concurrent kernel calls; intended for tests and benchmarks.
+bool set_active_tier(Tier t);
+
+/// Re-runs CPU detection and the W4K_FORCE_SCALAR environment override,
+/// as performed on first use. Returns the resulting tier.
+Tier refresh_dispatch();
 
 }  // namespace w4k::gf256

@@ -1,8 +1,11 @@
 #include "quality/metrics.h"
 
+#include "common/thread_pool.h"
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 namespace w4k::quality {
 namespace {
@@ -12,6 +15,11 @@ constexpr double kC2 = (0.03 * 255.0) * (0.03 * 255.0);
 constexpr int kWindow = 8;
 constexpr int kStride = 4;
 
+// Window rows per parallel_for chunk. Fixed (never derived from the pool
+// size) so the band boundaries — and therefore the floating-point
+// summation order — are identical for any thread count.
+constexpr std::size_t kBandRows = 32;
+
 void check_same(const video::Plane& a, const video::Plane& b) {
   if (a.width != b.width || a.height != b.height)
     throw std::invalid_argument("quality metric: plane dimension mismatch");
@@ -19,64 +27,23 @@ void check_same(const video::Plane& a, const video::Plane& b) {
     throw std::invalid_argument("quality metric: plane smaller than window");
 }
 
-}  // namespace
-
-double ssim(const video::Plane& reference, const video::Plane& distorted) {
-  check_same(reference, distorted);
-  double total = 0.0;
+/// Partial sums of one horizontal band of SSIM windows. `ssim` accumulates
+/// the full per-window SSIM (luminance * contrast-structure), `cs` the
+/// contrast-structure term alone (needed by MS-SSIM's coarse scales).
+struct BandSums {
+  double ssim = 0.0;
+  double cs = 0.0;
   long windows = 0;
-  for (int wy = 0; wy + kWindow <= reference.height; wy += kStride) {
-    for (int wx = 0; wx + kWindow <= reference.width; wx += kStride) {
-      long sa = 0, sb = 0, saa = 0, sbb = 0, sab = 0;
-      for (int y = 0; y < kWindow; ++y) {
-        const std::uint8_t* ra =
-            reference.pix.data() +
-            static_cast<std::size_t>(wy + y) * reference.width + wx;
-        const std::uint8_t* rb =
-            distorted.pix.data() +
-            static_cast<std::size_t>(wy + y) * distorted.width + wx;
-        for (int x = 0; x < kWindow; ++x) {
-          const int a = ra[x];
-          const int b = rb[x];
-          sa += a;
-          sb += b;
-          saa += a * a;
-          sbb += b * b;
-          sab += a * b;
-        }
-      }
-      constexpr double n = kWindow * kWindow;
-      const double ma = sa / n;
-      const double mb = sb / n;
-      const double va = saa / n - ma * ma;
-      const double vb = sbb / n - mb * mb;
-      const double cov = sab / n - ma * mb;
-      const double s = ((2.0 * ma * mb + kC1) * (2.0 * cov + kC2)) /
-                       ((ma * ma + mb * mb + kC1) * (va + vb + kC2));
-      total += s;
-      ++windows;
-    }
-  }
-  return windows ? total / static_cast<double>(windows) : 1.0;
-}
-
-double ssim(const video::Frame& reference, const video::Frame& distorted) {
-  return ssim(reference.y, distorted.y);
-}
-
-namespace {
-
-/// One scale's mean SSIM and mean contrast-structure term.
-struct ScaleStats {
-  double ssim = 1.0;
-  double cs = 1.0;
 };
 
-ScaleStats scale_stats(const video::Plane& a, const video::Plane& b) {
-  ScaleStats out;
-  double total_ssim = 0.0, total_cs = 0.0;
-  long windows = 0;
-  for (int wy = 0; wy + kWindow <= a.height; wy += kStride) {
+/// Accumulates windows whose top rows are wy = wr * kStride for wr in
+/// [wr_begin, wr_end). The per-window arithmetic is shared by ssim() and
+/// ms_ssim() so the two metrics stay mutually consistent.
+BandSums band_sums(const video::Plane& a, const video::Plane& b,
+                   std::size_t wr_begin, std::size_t wr_end) {
+  BandSums out;
+  for (std::size_t wr = wr_begin; wr < wr_end; ++wr) {
+    const int wy = static_cast<int>(wr) * kStride;
     for (int wx = 0; wx + kWindow <= a.width; wx += kStride) {
       long sa = 0, sb = 0, saa = 0, sbb = 0, sab = 0;
       for (int y = 0; y < kWindow; ++y) {
@@ -101,29 +68,66 @@ ScaleStats scale_stats(const video::Plane& a, const video::Plane& b) {
       const double vb = sbb / n - mb * mb;
       const double cov = sab / n - ma * mb;
       const double cs = (2.0 * cov + kC2) / (va + vb + kC2);
-      const double l =
-          (2.0 * ma * mb + kC1) / (ma * ma + mb * mb + kC1);
-      total_cs += cs;
-      total_ssim += l * cs;
-      ++windows;
+      const double l = (2.0 * ma * mb + kC1) / (ma * ma + mb * mb + kC1);
+      out.cs += cs;
+      out.ssim += l * cs;
+      ++out.windows;
     }
-  }
-  if (windows > 0) {
-    out.ssim = total_ssim / static_cast<double>(windows);
-    out.cs = total_cs / static_cast<double>(windows);
   }
   return out;
 }
 
-/// 2x2 box downsampling (the MS-SSIM pyramid step).
+/// Tiles the window grid into row bands dispatched on the shared pool and
+/// reduces the per-band sums in band order (deterministic for any pool
+/// size; see kBandRows).
+BandSums plane_sums(const video::Plane& a, const video::Plane& b) {
+  const std::size_t n_wrows =
+      static_cast<std::size_t>((a.height - kWindow) / kStride) + 1;
+  const std::size_t n_bands = (n_wrows + kBandRows - 1) / kBandRows;
+  std::vector<BandSums> bands(n_bands);
+  ThreadPool::shared().parallel_for(
+      0, n_wrows, kBandRows, [&](std::size_t wr_begin, std::size_t wr_end) {
+        bands[wr_begin / kBandRows] = band_sums(a, b, wr_begin, wr_end);
+      });
+  BandSums total;
+  for (const BandSums& s : bands) {
+    total.ssim += s.ssim;
+    total.cs += s.cs;
+    total.windows += s.windows;
+  }
+  return total;
+}
+
+}  // namespace
+
+double ssim(const video::Plane& reference, const video::Plane& distorted) {
+  check_same(reference, distorted);
+  const BandSums s = plane_sums(reference, distorted);
+  return s.windows ? s.ssim / static_cast<double>(s.windows) : 1.0;
+}
+
+double ssim(const video::Frame& reference, const video::Frame& distorted) {
+  return ssim(reference.y, distorted.y);
+}
+
+namespace {
+
+/// 2x2 box downsampling (the MS-SSIM pyramid step), parallel over output
+/// rows (each output pixel depends on disjoint inputs: bit-exact).
 video::Plane downsample(const video::Plane& p) {
   video::Plane out(p.width / 2, p.height / 2);
-  for (int y = 0; y < out.height; ++y)
-    for (int x = 0; x < out.width; ++x) {
-      const int sum = p.at(2 * x, 2 * y) + p.at(2 * x + 1, 2 * y) +
-                      p.at(2 * x, 2 * y + 1) + p.at(2 * x + 1, 2 * y + 1);
-      out.at(x, y) = static_cast<std::uint8_t>((sum + 2) / 4);
-    }
+  ThreadPool::shared().parallel_for(
+      0, static_cast<std::size_t>(out.height), 64,
+      [&](std::size_t y_begin, std::size_t y_end) {
+        for (std::size_t yy = y_begin; yy < y_end; ++yy) {
+          const int y = static_cast<int>(yy);
+          for (int x = 0; x < out.width; ++x) {
+            const int sum = p.at(2 * x, 2 * y) + p.at(2 * x + 1, 2 * y) +
+                            p.at(2 * x, 2 * y + 1) + p.at(2 * x + 1, 2 * y + 1);
+            out.at(x, y) = static_cast<std::uint8_t>((sum + 2) / 4);
+          }
+        }
+      });
   return out;
 }
 
@@ -145,12 +149,16 @@ double ms_ssim(const video::Plane& reference, const video::Plane& distorted,
   video::Plane b = distorted;
   double result = 1.0;
   for (int s = 0; s < scales; ++s) {
-    const ScaleStats stats = scale_stats(a, b);
+    const BandSums sums = plane_sums(a, b);
+    const double mean_ssim =
+        sums.windows ? sums.ssim / static_cast<double>(sums.windows) : 1.0;
+    const double mean_cs =
+        sums.windows ? sums.cs / static_cast<double>(sums.windows) : 1.0;
     // cs term at every scale; the full SSIM (with luminance) only at the
     // coarsest. Negative terms (possible in pathological windows) are
     // clamped so the weighted geometric mean stays defined.
     const double term =
-        s + 1 == scales ? std::max(stats.ssim, 0.0) : std::max(stats.cs, 0.0);
+        s + 1 == scales ? std::max(mean_ssim, 0.0) : std::max(mean_cs, 0.0);
     result *= std::pow(term, kMsWeights[s]);
     if (s + 1 < scales) {
       a = downsample(a);
@@ -167,13 +175,25 @@ double ms_ssim(const video::Frame& reference, const video::Frame& distorted,
 
 double psnr(const video::Plane& reference, const video::Plane& distorted) {
   check_same(reference, distorted);
+  // Fixed-size row bands with an in-order reduction, same determinism
+  // argument as plane_sums.
+  const std::size_t n = reference.pix.size();
+  constexpr std::size_t kGrain = 1 << 16;
+  const std::size_t n_bands = (n + kGrain - 1) / kGrain;
+  std::vector<double> partial(n_bands, 0.0);
+  ThreadPool::shared().parallel_for(
+      0, n, kGrain, [&](std::size_t b, std::size_t e) {
+        double se = 0.0;
+        for (std::size_t i = b; i < e; ++i) {
+          const double d =
+              static_cast<double>(reference.pix[i]) - distorted.pix[i];
+          se += d * d;
+        }
+        partial[b / kGrain] = se;
+      });
   double se = 0.0;
-  for (std::size_t i = 0; i < reference.pix.size(); ++i) {
-    const double d =
-        static_cast<double>(reference.pix[i]) - distorted.pix[i];
-    se += d * d;
-  }
-  const double mse = se / static_cast<double>(reference.pix.size());
+  for (double p : partial) se += p;
+  const double mse = se / static_cast<double>(n);
   if (mse <= 0.0) return 100.0;
   return std::min(100.0, 10.0 * std::log10(255.0 * 255.0 / mse));
 }

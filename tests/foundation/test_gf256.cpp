@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 namespace w4k::gf256 {
@@ -67,6 +68,14 @@ TEST(Gf256, DivisionInvertsMultiplication) {
       const auto ub = static_cast<std::uint8_t>(b);
       EXPECT_EQ(div(mul(ua, ub), ub), ua);
     }
+}
+
+TEST(Gf256, DivisionByZeroThrows) {
+  // The contract is an exception in every build mode — a silent 0 would
+  // let a decoder bug corrupt data unnoticed in release builds.
+  EXPECT_THROW(div(0, 0), std::domain_error);
+  EXPECT_THROW(div(1, 0), std::domain_error);
+  EXPECT_THROW(div(255, 0), std::domain_error);
 }
 
 TEST(Gf256, KnownProduct) {

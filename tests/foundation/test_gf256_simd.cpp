@@ -1,0 +1,126 @@
+// Exhaustive scalar-vs-SIMD equivalence for the GF(256) row kernels: every
+// coefficient (0..255) crossed with unaligned spans of every length in
+// 1..131 bytes, run on every dispatch tier the CPU supports, plus the
+// W4K_FORCE_SCALAR environment override path.
+#include "gf256/gf256.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+namespace w4k::gf256 {
+namespace {
+
+constexpr std::size_t kMaxLen = 131;  // covers 4x SIMD width + odd tails
+constexpr std::size_t kMaxOffset = 3;  // misalignment relative to the buffer
+
+std::vector<Tier> supported_tiers() {
+  std::vector<Tier> tiers;
+  for (Tier t : {Tier::kScalar, Tier::kSsse3, Tier::kAvx2, Tier::kNeon})
+    if (tier_supported(t)) tiers.push_back(t);
+  return tiers;
+}
+
+/// Restores the default dispatch however a test exits.
+struct DispatchGuard {
+  ~DispatchGuard() { refresh_dispatch(); }
+};
+
+TEST(Gf256Simd, ScalarTierAlwaysSupported) {
+  EXPECT_TRUE(tier_supported(Tier::kScalar));
+  EXPECT_FALSE(supported_tiers().empty());
+}
+
+TEST(Gf256Simd, SetActiveTierRejectsUnsupported) {
+  DispatchGuard guard;
+  for (Tier t : {Tier::kScalar, Tier::kSsse3, Tier::kAvx2, Tier::kNeon}) {
+    if (tier_supported(t)) {
+      EXPECT_TRUE(set_active_tier(t)) << tier_name(t);
+      EXPECT_EQ(active_tier(), t);
+    } else {
+      const Tier before = active_tier();
+      EXPECT_FALSE(set_active_tier(t)) << tier_name(t);
+      EXPECT_EQ(active_tier(), before);  // unchanged on failure
+    }
+  }
+}
+
+TEST(Gf256Simd, MulAddRowMatchesScalarOnEveryTier) {
+  DispatchGuard guard;
+  // Reference results computed element-wise with mul(), independent of any
+  // row kernel.
+  std::vector<std::uint8_t> buf_src(kMaxOffset + kMaxLen);
+  std::vector<std::uint8_t> buf_init(kMaxOffset + kMaxLen);
+  for (std::size_t i = 0; i < buf_src.size(); ++i) {
+    buf_src[i] = static_cast<std::uint8_t>(i * 151 + 43);
+    buf_init[i] = static_cast<std::uint8_t>(i * 197 + 11);
+  }
+  for (Tier t : supported_tiers()) {
+    ASSERT_TRUE(set_active_tier(t));
+    for (int coeff = 0; coeff < 256; ++coeff) {
+      const auto c = static_cast<std::uint8_t>(coeff);
+      for (std::size_t off = 0; off <= kMaxOffset; ++off) {
+        for (std::size_t len = 1; len + off <= kMaxLen; ++len) {
+          std::vector<std::uint8_t> dst(buf_init.begin(),
+                                        buf_init.begin() + off + len);
+          std::span<std::uint8_t> d(dst.data() + off, len);
+          std::span<const std::uint8_t> s(buf_src.data() + off, len);
+          mul_add_row(d, s, c);
+          for (std::size_t i = 0; i < len; ++i) {
+            const std::uint8_t expect = static_cast<std::uint8_t>(
+                buf_init[off + i] ^ mul(c, buf_src[off + i]));
+            ASSERT_EQ(d[i], expect)
+                << tier_name(t) << " coeff=" << coeff << " off=" << off
+                << " len=" << len << " i=" << i;
+          }
+          // The kernel must not touch bytes before the span.
+          for (std::size_t i = 0; i < off; ++i)
+            ASSERT_EQ(dst[i], buf_init[i]);
+        }
+      }
+    }
+  }
+}
+
+TEST(Gf256Simd, ScaleRowMatchesScalarOnEveryTier) {
+  DispatchGuard guard;
+  std::vector<std::uint8_t> buf_init(kMaxOffset + kMaxLen);
+  for (std::size_t i = 0; i < buf_init.size(); ++i)
+    buf_init[i] = static_cast<std::uint8_t>(i * 89 + 7);
+  for (Tier t : supported_tiers()) {
+    ASSERT_TRUE(set_active_tier(t));
+    for (int coeff = 0; coeff < 256; ++coeff) {
+      const auto c = static_cast<std::uint8_t>(coeff);
+      for (std::size_t off = 0; off <= kMaxOffset; ++off) {
+        for (std::size_t len = 1; len + off <= kMaxLen; ++len) {
+          std::vector<std::uint8_t> dst(buf_init.begin(),
+                                        buf_init.begin() + off + len);
+          scale_row(std::span<std::uint8_t>(dst.data() + off, len), c);
+          for (std::size_t i = 0; i < len; ++i)
+            ASSERT_EQ(dst[off + i], mul(c, buf_init[off + i]))
+                << tier_name(t) << " coeff=" << coeff << " off=" << off
+                << " len=" << len << " i=" << i;
+          for (std::size_t i = 0; i < off; ++i)
+            ASSERT_EQ(dst[i], buf_init[i]);
+        }
+      }
+    }
+  }
+}
+
+TEST(Gf256Simd, ForceScalarEnvPinsScalarTier) {
+  DispatchGuard guard;
+  ASSERT_EQ(setenv("W4K_FORCE_SCALAR", "1", 1), 0);
+  EXPECT_EQ(refresh_dispatch(), Tier::kScalar);
+  EXPECT_EQ(active_tier(), Tier::kScalar);
+  // "0" means no override.
+  ASSERT_EQ(setenv("W4K_FORCE_SCALAR", "0", 1), 0);
+  const Tier best = refresh_dispatch();
+  ASSERT_EQ(unsetenv("W4K_FORCE_SCALAR"), 0);
+  EXPECT_EQ(refresh_dispatch(), best);
+}
+
+}  // namespace
+}  // namespace w4k::gf256

@@ -1,0 +1,166 @@
+// ThreadPool semantics plus the determinism contract the compute substrate
+// promises: parallel SSIM / MS-SSIM and parallel fountain encoding are
+// bit-identical to the serial path for any pool size, because chunk
+// boundaries depend only on the range and per-chunk partials reduce in
+// chunk order.
+#include "common/thread_pool.h"
+
+#include "fec/fountain.h"
+#include "quality/metrics.h"
+#include "video/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace w4k {
+namespace {
+
+/// Restores the default shared pool however a test exits.
+struct SharedPoolGuard {
+  ~SharedPoolGuard() { ThreadPool::reset_shared(0); }
+};
+
+TEST(ThreadPool, CoversRangeExactlyOnce) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.size(), threads);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(0, hits.size(), 7, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i)
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, EmptyRangeAndZeroGrain) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, 4, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+  // grain 0 is promoted to 1.
+  std::atomic<int> n{0};
+  pool.parallel_for(0, 3, 0, [&](std::size_t b, std::size_t e) {
+    n += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(n.load(), 3);
+}
+
+TEST(ThreadPool, PropagatesBodyException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 100, 1,
+                                 [&](std::size_t b, std::size_t) {
+                                   if (b == 57)
+                                     throw std::runtime_error("chunk 57");
+                                 }),
+               std::runtime_error);
+  // The pool survives and runs the next job.
+  std::atomic<int> n{0};
+  pool.parallel_for(0, 10, 2, [&](std::size_t b, std::size_t e) {
+    n += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(n.load(), 10);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(3);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(0, 8, 1, [&](std::size_t, std::size_t) {
+    // Must not deadlock; nested bodies run inline on this worker.
+    ThreadPool::shared().parallel_for(0, 4, 1,
+                                      [&](std::size_t b, std::size_t e) {
+                                        inner_total +=
+                                            static_cast<int>(e - b);
+                                      });
+  });
+  EXPECT_EQ(inner_total.load(), 32);
+}
+
+// --- Determinism across pool sizes -----------------------------------------
+
+video::Frame test_frame(std::uint64_t seed_frame) {
+  video::VideoSpec spec;
+  spec.width = 256;
+  spec.height = 160;
+  spec.frames = 2;
+  spec.richness = video::Richness::kHigh;
+  return video::SyntheticVideo(spec).frame(static_cast<int>(seed_frame));
+}
+
+TEST(ThreadPoolDeterminism, SsimBitIdenticalAcrossPoolSizes) {
+  SharedPoolGuard guard;
+  const video::Frame a = test_frame(0);
+  const video::Frame b = test_frame(1);
+
+  ThreadPool::reset_shared(1);  // serial reference
+  const double ssim_ref = quality::ssim(a, b);
+  const double ms_ref = quality::ms_ssim(a, b, 4);
+  const double psnr_ref = quality::psnr(a, b);
+
+  for (std::size_t threads : {std::size_t{2}, std::size_t{0}}) {
+    ThreadPool::reset_shared(threads);
+    EXPECT_EQ(quality::ssim(a, b), ssim_ref) << "pool=" << threads;
+    EXPECT_EQ(quality::ms_ssim(a, b, 4), ms_ref) << "pool=" << threads;
+    EXPECT_EQ(quality::psnr(a, b), psnr_ref) << "pool=" << threads;
+  }
+}
+
+TEST(ThreadPoolDeterminism, FountainEncodeBitIdenticalAcrossPoolSizes) {
+  SharedPoolGuard guard;
+  std::vector<std::uint8_t> data(12'345);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i * 31 + 5);
+  const fec::FountainEncoder enc(data, 600, /*block_seed=*/99);
+  const auto first = static_cast<fec::Esi>(enc.k());
+  constexpr std::size_t kCount = 40;
+
+  ThreadPool::reset_shared(1);
+  const std::vector<fec::Symbol> ref = enc.encode_batch(first, kCount);
+  ASSERT_EQ(ref.size(), kCount);
+  // The batch must equal one-at-a-time encoding.
+  for (std::size_t i = 0; i < kCount; ++i) {
+    const fec::Symbol one = enc.encode(first + static_cast<fec::Esi>(i));
+    ASSERT_EQ(ref[i].esi, one.esi);
+    ASSERT_EQ(ref[i].data, one.data) << "esi " << one.esi;
+  }
+
+  for (std::size_t threads : {std::size_t{2}, std::size_t{0}}) {
+    ThreadPool::reset_shared(threads);
+    const std::vector<fec::Symbol> got = enc.encode_batch(first, kCount);
+    ASSERT_EQ(got.size(), kCount);
+    for (std::size_t i = 0; i < kCount; ++i) {
+      ASSERT_EQ(got[i].esi, ref[i].esi);
+      ASSERT_EQ(got[i].data, ref[i].data)
+          << "pool=" << threads << " esi=" << got[i].esi;
+    }
+  }
+}
+
+TEST(ThreadPoolDeterminism, BatchRoundTripsThroughDecoder) {
+  SharedPoolGuard guard;
+  ThreadPool::reset_shared(0);
+  std::vector<std::uint8_t> data(9'001);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i * 131 + 17);
+  const fec::FountainEncoder enc(data, 500, /*block_seed=*/7);
+  // Worst case: decode purely from batch-encoded repair symbols.
+  const auto repair =
+      enc.encode_batch(static_cast<fec::Esi>(enc.k()), enc.k() + 3);
+  fec::FountainDecoder dec(enc.k(), enc.symbol_size(), data.size(), 7);
+  for (const auto& s : repair) {
+    dec.add_symbol(s);
+    if (dec.can_decode()) break;
+  }
+  ASSERT_TRUE(dec.can_decode());
+  const auto out = dec.decode();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, data);
+}
+
+}  // namespace
+}  // namespace w4k
