@@ -7,6 +7,7 @@
 
 int main() {
   using namespace w4k;
+  bench::BenchMain bm("bench_ablation_csi");
   bench::print_header(
       "Ablation: perfect vs ACO-estimated CSI (2 users, 3 m, MAS 60)",
       "estimation should cost ~nothing at realistic RSS noise");
@@ -29,19 +30,17 @@ int main() {
                         Arm{"ACO estimate, 2.0 dB noise", true, 2.0}}) {
     std::vector<double> ssim;
     Rng prng(404);
+    core::Experiment exp(bench::quality_model(), bench::hr_contexts());
+    exp.codebook(codebook);
     for (int run = 0; run < 6; ++run) {
-      channel::PropagationConfig prop;
-      const auto users = core::place_users_fixed(2, 3.0, 1.047, prng);
-      const auto channels = core::channels_for(prop, users);
-      core::SessionConfig cfg =
-          core::SessionConfig::scaled(bench::kWidth, bench::kHeight);
+      core::SessionConfig& cfg = exp.config();
       cfg.use_estimated_csi = arm.estimated;
       cfg.sls_noise_db = arm.noise_db;
       cfg.seed = 404 + static_cast<std::uint64_t>(run);
-      core::MulticastSession session(cfg, bench::quality_model(), codebook);
-      const auto r =
-          core::run_static(session, channels, bench::hr_contexts(), 5);
-      ssim.insert(ssim.end(), r.ssim.begin(), r.ssim.end());
+      exp.place_fixed(2, 3.0, 1.047, prng);
+      const auto r = exp.run_static(5);
+      const auto run_ssim = r.all_ssim();
+      ssim.insert(ssim.end(), run_ssim.begin(), run_ssim.end());
     }
     const double m = mean(ssim);
     std::printf("%-28s %-12.4f\n", arm.label, m);

@@ -3,6 +3,8 @@
 // a RaptorQ-class code is the right choice for 20-symbol units: at small
 // K the LT's soliton overhead is punishing, while the dense code decodes
 // at K symbols with ~1/256 residual failure.
+#include "common.h"
+
 #include "fec/fountain.h"
 #include "fec/lt.h"
 
@@ -89,6 +91,7 @@ CodeStats measure_lt(std::size_t k, std::size_t symbol, int trials) {
 }  // namespace
 
 int main() {
+  w4k::bench::BenchMain bm("bench_ablation_fountain_comparison");
   std::printf("==============================================================\n");
   std::printf("Ablation: dense GF(256) fountain vs sparse LT code\n");
   std::printf("unit geometry per the paper: symbol 6000 B; K swept\n");

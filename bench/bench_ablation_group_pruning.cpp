@@ -8,6 +8,7 @@
 
 int main() {
   using namespace w4k;
+  bench::BenchMain bm("bench_ablation_group_pruning");
   bench::print_header(
       "Ablation: group pruning threshold vs optimizer cost and quality",
       "aggressive pruning cuts optimizer time with little quality loss");
@@ -16,7 +17,10 @@ int main() {
   channel::PropagationConfig prop;
   const auto users = core::place_users_random(6, 8.0, 16.0, 2.0944, rng);
   const auto channels = core::channels_for(prop, users);
-  const auto& contexts = bench::hr_contexts();
+
+  core::Experiment exp(bench::quality_model(), bench::hr_contexts());
+  exp.codebook(bench::sector_codebook());
+  exp.channels(channels);
 
   std::printf("%-16s %-10s %-14s %-12s\n", "threshold(Mbps)", "groups",
               "decide(ms)", "mean SSIM");
@@ -24,12 +28,9 @@ int main() {
   bool shape_ok = true;
   double prev_ms = 1e18;
   for (double threshold : {0.0, 300.0, 700.0, 1250.0}) {
-    core::SessionConfig cfg =
-        core::SessionConfig::scaled(bench::kWidth, bench::kHeight);
+    core::SessionConfig& cfg = exp.config();
     cfg.group_enum.rate_threshold = Mbps{threshold};
     cfg.seed = 2025;
-    core::MulticastSession session(cfg, bench::quality_model(),
-                                   bench::sector_codebook());
 
     // Count groups the config admits.
     Rng grng(1);
@@ -37,12 +38,12 @@ int main() {
         cfg.scheme, channels, bench::sector_codebook(), grng, cfg.group_enum);
 
     const auto t0 = std::chrono::steady_clock::now();
-    const auto run = core::run_static(session, channels, contexts, 6);
+    const auto run = exp.run_static(6);
     const double ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - t0)
                           .count() /
                       6.0;
-    const double ssim = mean(run.ssim);
+    const double ssim = run.ssim_summary().mean;
     std::printf("%-16.0f %-10zu %-14.2f %-12.4f\n", threshold, groups.size(),
                 ms, ssim);
     if (threshold == 0.0) unpruned_ssim = ssim;

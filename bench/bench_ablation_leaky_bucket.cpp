@@ -6,6 +6,7 @@
 
 int main() {
   using namespace w4k;
+  bench::BenchMain bm("bench_ablation_leaky_bucket");
   bench::print_header(
       "Ablation: leaky-bucket depth (3 users, 3 m, MAS 60)",
       "very small depth starves; ~10 packets is enough; larger adds "
@@ -13,23 +14,19 @@ int main() {
 
   std::printf("%-14s %-12s\n", "depth(pkts)", "mean SSIM");
   std::vector<std::pair<std::size_t, double>> results;
+  core::Experiment exp(bench::quality_model(), bench::hr_contexts());
+  exp.codebook(bench::sector_codebook());
   for (std::size_t depth : {1u, 2u, 5u, 10u, 40u, 200u}) {
-    bench::StaticRunSpec base;  // reuse seeds/placement defaults
     std::vector<double> ssim;
     Rng placement_rng(99);
     for (int run = 0; run < 8; ++run) {
-      channel::PropagationConfig prop;
-      const auto users = core::place_users_fixed(3, 3.0, 1.047, placement_rng);
-      const auto channels = core::channels_for(prop, users);
-      core::SessionConfig cfg =
-          core::SessionConfig::scaled(bench::kWidth, bench::kHeight);
+      core::SessionConfig& cfg = exp.config();
       cfg.engine.bucket_packets = depth;
       cfg.seed = 99 + static_cast<std::uint64_t>(run);
-      core::MulticastSession session(cfg, bench::quality_model(),
-                                     bench::sector_codebook());
-      const auto r =
-          core::run_static(session, channels, bench::hr_contexts(), 6);
-      ssim.insert(ssim.end(), r.ssim.begin(), r.ssim.end());
+      exp.place_fixed(3, 3.0, 1.047, placement_rng);
+      const auto r = exp.run_static(6);
+      const auto run_ssim = r.all_ssim();
+      ssim.insert(ssim.end(), run_ssim.begin(), run_ssim.end());
     }
     const double m = mean(ssim);
     std::printf("%-14zu %-12.4f\n", depth, m);

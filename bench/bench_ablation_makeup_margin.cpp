@@ -7,33 +7,32 @@
 
 int main() {
   using namespace w4k;
+  bench::BenchMain bm("bench_ablation_makeup_margin");
   bench::print_header(
       "Ablation: makeup-time reserve (3 users, 6 m, MAS 60)",
       "sweet spot near ~8%: enough to repair losses, little airtime waste");
 
   std::printf("%-12s %-12s %-12s\n", "margin", "mean SSIM", "min SSIM");
   std::vector<std::pair<double, Summary>> results;
+  core::Experiment exp(bench::quality_model(), bench::hr_contexts());
   for (double margin : {0.0, 0.04, 0.08, 0.16, 0.30}) {
     std::vector<double> ssim;
     Rng prng(505);
     for (int run = 0; run < 8; ++run) {
-      channel::PropagationConfig prop;
-      const auto users = core::place_users_fixed(3, 6.0, 1.047, prng);
-      const auto channels = core::channels_for(prop, users);
-      core::SessionConfig cfg =
-          core::SessionConfig::scaled(bench::kWidth, bench::kHeight);
+      core::SessionConfig& cfg = exp.config();
       cfg.makeup_margin = margin;
       cfg.seed = 505 + static_cast<std::uint64_t>(run);
-      core::MulticastSession session(cfg, bench::quality_model(),
-                                     beamforming::Codebook{});
-      const auto r =
-          core::run_static(session, channels, bench::hr_contexts(), 6);
-      ssim.insert(ssim.end(), r.ssim.begin(), r.ssim.end());
+      exp.place_fixed(3, 6.0, 1.047, prng);
+      const auto r = exp.run_static(6);
+      const auto run_ssim = r.all_ssim();
+      ssim.insert(ssim.end(), run_ssim.begin(), run_ssim.end());
     }
     const Summary s = summarize(ssim);
     std::printf("%-12.2f %-12.4f %-12.4f\n", margin, s.mean, s.min);
     results.emplace_back(margin, s);
   }
+  bm.set("users", 3);
+  bm.set("runs_per_margin", 8);
 
   // The default (8%) must beat both extremes on the worst frame, and a
   // huge margin must cost mean quality.

@@ -8,6 +8,7 @@
 
 int main() {
   using namespace w4k;
+  bench::BenchMain bm("bench_ablation_model_fidelity");
   bench::print_header(
       "Ablation: quality-model fidelity vs delivered quality "
       "(3 users, 8-16 m)",
@@ -32,17 +33,13 @@ int main() {
 
     std::vector<double> ssim;
     Rng prng(606);
+    core::Experiment exp(model, bench::hr_contexts());
     for (int run = 0; run < 8; ++run) {
-      channel::PropagationConfig prop;
-      const auto users = core::place_users_random(3, 8.0, 16.0, 2.09, prng);
-      const auto channels = core::channels_for(prop, users);
-      core::SessionConfig cfg =
-          core::SessionConfig::scaled(bench::kWidth, bench::kHeight);
-      cfg.seed = 606 + static_cast<std::uint64_t>(run);
-      core::MulticastSession session(cfg, model, beamforming::Codebook{});
-      const auto r =
-          core::run_static(session, channels, bench::hr_contexts(), 5);
-      ssim.insert(ssim.end(), r.ssim.begin(), r.ssim.end());
+      exp.config().seed = 606 + static_cast<std::uint64_t>(run);
+      exp.place_random(3, 8.0, 16.0, 2.09, prng);
+      const auto r = exp.run_static(5);
+      const auto run_ssim = r.all_ssim();
+      ssim.insert(ssim.end(), run_ssim.begin(), run_ssim.end());
     }
     const double m = mean(ssim);
     std::printf("%-18d %-14.3e %-12.4f\n", epochs, mse, m);

@@ -1,6 +1,8 @@
 // Ablation: the rateless decode-failure property the design relies on —
 // receiving K+h symbols decodes with probability ~ 1 - 1/256^(h+1)
 // (Sec. 2.6). Measured over many random reception patterns.
+#include "common.h"
+
 #include "fec/fountain.h"
 
 #include <cmath>
@@ -9,6 +11,7 @@
 #include <vector>
 
 int main() {
+  w4k::bench::BenchMain bm("bench_ablation_symbol_overhead");
   using namespace w4k;
   std::printf("=============================================================\n");
   std::printf("Ablation: decode failure vs extra symbols h\n");

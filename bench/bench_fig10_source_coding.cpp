@@ -6,12 +6,13 @@
 #include "common.h"
 
 int main() {
+  w4k::bench::BenchMain bm("bench_fig10_source_coding");
   using namespace w4k;
   bench::print_header(
       "Fig 10: with vs without source coding (3 users, 3 m)",
       "large gap (paper: 0.32 SSIM / 9.5 dB) and higher variance without");
 
-  bench::StaticRunResult with_sc, without_sc;
+  bench::StaticRunSummary with_sc, without_sc;
   for (const bool sc : {true, false}) {
     bench::StaticRunSpec spec;
     spec.n_users = 3;

@@ -6,6 +6,7 @@
 #include "common.h"
 
 int main() {
+  w4k::bench::BenchMain bm("bench_fig11_emu_users");
   using namespace w4k;
   bench::print_header(
       "Fig 11: emulation SSIM vs #users x scheme (8-16 m, MAS 120)",

@@ -5,6 +5,7 @@
 #include "common.h"
 
 int main() {
+  w4k::bench::BenchMain bm("bench_fig12_emu_distance");
   using namespace w4k;
   bench::print_header(
       "Fig 12: emulation SSIM vs distance x #users (opt-multicast, MAS 120)",

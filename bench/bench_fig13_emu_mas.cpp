@@ -5,6 +5,7 @@
 #include "common.h"
 
 int main() {
+  w4k::bench::BenchMain bm("bench_fig13_emu_mas");
   using namespace w4k;
   bench::print_header("Fig 13: emulation SSIM vs MAS (6 users, 12 m)",
                       "multicast falls with MAS; unicast flat");

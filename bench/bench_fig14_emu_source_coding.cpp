@@ -5,6 +5,7 @@
 #include "common.h"
 
 int main() {
+  w4k::bench::BenchMain bm("bench_fig14_emu_source_coding");
   using namespace w4k;
   bench::print_header(
       "Fig 14: emulation source coding on/off (8-16 m, MAS 120)",

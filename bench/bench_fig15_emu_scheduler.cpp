@@ -6,6 +6,7 @@
 #include "common.h"
 
 int main() {
+  w4k::bench::BenchMain bm("bench_fig15_emu_scheduler");
   using namespace w4k;
   bench::print_header(
       "Fig 15: emulation optimized schedule vs round-robin (8-16 m, MAS 120)",

@@ -7,6 +7,7 @@
 #include "mobile_common.h"
 
 int main() {
+  w4k::bench::BenchMain bm("bench_fig16_mobile_1user");
   using namespace w4k;
   bench::print_header("Fig 16: mobile traces, 1 receiver",
                       "Real-time Update best in all three scenarios; MPC "

@@ -9,6 +9,7 @@
 #include "mobile_common.h"
 
 int main() {
+  w4k::bench::BenchMain bm("bench_fig17_mobile_3users");
   using namespace w4k;
   bench::print_header("Fig 17: mobile traces, 3 receivers (2 moving)",
                       "multicast + adaptation dominate; MPC gaps larger "

@@ -8,6 +8,7 @@
 #include <array>
 
 int main() {
+  w4k::bench::BenchMain bm("bench_fig1b_dnn_accuracy");
   using namespace w4k;
   bench::print_header(
       "Fig 1(b): DNN per-layer estimation accuracy",

@@ -16,6 +16,8 @@
 // GF(256) row kernels (MB/s per dispatch tier) and ends with a scalar-vs-
 // SIMD A/B of kernels, encode and decode, written to BENCH_kernels.json
 // so the perf trajectory is machine-trackable across PRs.
+#include "common.h"
+
 #include "fec/fountain.h"
 #include "gf256/gf256.h"
 
@@ -263,6 +265,9 @@ void emit_kernel_json(const char* path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Telemetry off: this binary times the raw GF(256) kernels and must run
+  // the disabled-path code the figures assume.
+  w4k::bench::BenchMain bm("bench_fig2_raptor_timing", /*telemetry=*/false);
   std::printf(
       "Fig 2: encode/decode time vs symbol size (120 kB unit).\n"
       "paper: U-shape, minimum near 6000 B. here: the expensive-small-"

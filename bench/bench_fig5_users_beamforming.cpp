@@ -6,6 +6,7 @@
 #include "common.h"
 
 int main() {
+  w4k::bench::BenchMain bm("bench_fig5_users_beamforming");
   using namespace w4k;
   bench::print_header(
       "Fig 5: SSIM/PSNR vs #users x beamforming scheme (3 m, MAS 60)",

@@ -5,6 +5,7 @@
 #include "common.h"
 
 int main() {
+  w4k::bench::BenchMain bm("bench_fig6_distance");
   using namespace w4k;
   bench::print_header("Fig 6: SSIM/PSNR vs distance (2 users, MAS 30)",
                       "graceful degradation; opt-multicast stays best");

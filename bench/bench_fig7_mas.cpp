@@ -5,6 +5,7 @@
 #include "common.h"
 
 int main() {
+  w4k::bench::BenchMain bm("bench_fig7_mas");
   using namespace w4k;
   bench::print_header("Fig 7: SSIM/PSNR vs MAS (2 users, 3 m)",
                       "multicast sensitive to MAS, unicast flat; "

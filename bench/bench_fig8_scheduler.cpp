@@ -4,6 +4,7 @@
 #include "common.h"
 
 int main() {
+  w4k::bench::BenchMain bm("bench_fig8_scheduler");
   using namespace w4k;
   bench::print_header(
       "Fig 8: optimized schedule vs round-robin (3 m, MAS 60)",

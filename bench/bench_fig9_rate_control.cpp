@@ -5,12 +5,13 @@
 #include "common.h"
 
 int main() {
+  w4k::bench::BenchMain bm("bench_fig9_rate_control");
   using namespace w4k;
   bench::print_header(
       "Fig 9: with vs without leaky-bucket rate control (3 users, 3 m)",
       "without: ~0.01 SSIM lower, larger variance from queue drops");
 
-  bench::StaticRunResult with_rc, without_rc;
+  bench::StaticRunSummary with_rc, without_rc;
   for (const bool rc : {true, false}) {
     bench::StaticRunSpec spec;
     spec.n_users = 3;

@@ -159,4 +159,15 @@ BENCHMARK(BM_MulticastBeamSvd)->Arg(2)->Arg(4)->Arg(8)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): this binary measures the
+// telemetry-off hot paths, so BenchMain is constructed with telemetry
+// disabled — the manifest still records config and dispatch tier, but no
+// spans are aggregated while the benchmarks run.
+int main(int argc, char** argv) {
+  w4k::bench::BenchMain bm("bench_micro_pipeline", /*telemetry=*/false);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -9,6 +9,7 @@
 #include <chrono>
 
 int main() {
+  w4k::bench::BenchMain bm("bench_table1_quality_model");
   using namespace w4k;
   bench::print_header(
       "Table 1: quality model MSE by method",

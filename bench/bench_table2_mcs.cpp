@@ -6,6 +6,7 @@
 #include "channel/propagation.h"
 
 int main() {
+  w4k::bench::BenchMain bm("bench_table2_mcs");
   using namespace w4k;
   bench::print_header("Table 2: MCS, receiver sensitivity, UDP throughput",
                       "10 supported rows (MCS 0/5/9/9.1 unusable for data)");

@@ -9,14 +9,65 @@
 #include "abr/mpc.h"
 #include "channel/array.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
+#include "core/experiment.h"
 #include "core/pretrained.h"
 #include "core/runner.h"
+#include "gf256/gf256.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 namespace w4k::bench {
+
+/// Per-binary run scaffolding: construct one at the top of main(). Turns
+/// on telemetry aggregation (unless the binary is itself a perf
+/// measurement that must run the disabled path) and, on destruction,
+/// writes `<name>.manifest.json` next to the bench output — config echo,
+/// CPU dispatch tier, pool size, and the per-stage span summary — so
+/// BENCH_*.json trajectories stay comparable across commits. The manifest
+/// directory defaults to the working directory; W4K_MANIFEST_DIR overrides.
+class BenchMain {
+ public:
+  explicit BenchMain(const char* name, bool telemetry = true)
+      : manifest_(name), telemetry_(telemetry) {
+    if (telemetry_) obs::set_enabled(true);
+  }
+
+  /// Config echo into the manifest (key order preserved).
+  template <typename T>
+  void set(std::string_view key, T value) {
+    manifest_.set(key, value);
+  }
+
+  ~BenchMain() {
+    manifest_.set_env("gf256_tier", gf256::tier_name(gf256::active_tier()));
+    manifest_.set_env("pool_threads",
+                      static_cast<std::int64_t>(ThreadPool::shared().size()));
+    const char* threads_env = std::getenv("W4K_THREADS");
+    manifest_.set_env("W4K_THREADS", threads_env ? threads_env : "");
+    const char* scalar_env = std::getenv("W4K_FORCE_SCALAR");
+    manifest_.set_env("W4K_FORCE_SCALAR", scalar_env ? scalar_env : "");
+    manifest_.set_env("telemetry", telemetry_ ? "on" : "off");
+
+    const char* dir = std::getenv("W4K_MANIFEST_DIR");
+    const std::string path = std::string(dir && *dir ? dir : ".") + "/" +
+                             manifest_.name() + ".manifest.json";
+    if (manifest_.write_file(path))
+      std::printf("# manifest: %s\n", path.c_str());
+  }
+
+  BenchMain(const BenchMain&) = delete;
+  BenchMain& operator=(const BenchMain&) = delete;
+
+ private:
+  obs::Manifest manifest_;
+  bool telemetry_;
+};
 
 /// Emulation resolution for the sweeps: 256x144 (1/240 of 4K), with the
 /// link rates, symbol size and queue depth scaled by the same factor so
@@ -105,44 +156,42 @@ struct StaticRunSpec {
   std::uint64_t seed = 1;
 };
 
-struct StaticRunResult {
+struct StaticRunSummary {
   Summary ssim;
   Summary psnr;
 };
 
 /// Runs the spec: `n_runs` independent placements, aggregated like the
 /// paper's box plots.
-inline StaticRunResult run_static_experiment(const StaticRunSpec& spec) {
+inline StaticRunSummary run_static_experiment(const StaticRunSpec& spec) {
   std::vector<double> all_ssim, all_psnr;
   Rng placement_rng(spec.seed);
   const auto& contexts =
       spec.high_richness ? hr_contexts() : lr_contexts();
 
+  core::Experiment exp(quality_model(), contexts);
+  exp.codebook(sector_codebook());
   for (int run = 0; run < spec.n_runs; ++run) {
-    channel::PropagationConfig prop;
-    const auto users =
-        spec.distance > 0.0
-            ? core::place_users_fixed(spec.n_users, spec.distance,
-                                      spec.mas_rad, placement_rng)
-            : core::place_users_random(spec.n_users, spec.min_distance,
-                                       spec.max_distance, spec.mas_rad,
-                                       placement_rng);
-    const auto channels = core::channels_for(prop, users);
-
-    core::SessionConfig cfg = core::SessionConfig::scaled(kWidth, kHeight);
+    core::SessionConfig& cfg = exp.config();
     cfg.scheme = spec.scheme;
     cfg.optimized_schedule = spec.optimized_schedule;
     cfg.engine.rate_control = spec.rate_control;
     cfg.engine.source_coding = spec.source_coding;
     cfg.seed = spec.seed * 1000 + static_cast<std::uint64_t>(run);
-    core::MulticastSession session(cfg, quality_model(), sector_codebook());
+    if (spec.distance > 0.0)
+      exp.place_fixed(spec.n_users, spec.distance, spec.mas_rad,
+                      placement_rng);
+    else
+      exp.place_random(spec.n_users, spec.min_distance, spec.max_distance,
+                       spec.mas_rad, placement_rng);
 
-    const core::RunResult r =
-        core::run_static(session, channels, contexts, spec.frames_per_run);
-    all_ssim.insert(all_ssim.end(), r.ssim.begin(), r.ssim.end());
-    all_psnr.insert(all_psnr.end(), r.psnr.begin(), r.psnr.end());
+    const core::SessionReport r = exp.run_static(spec.frames_per_run);
+    const auto ssim = r.all_ssim();
+    const auto psnr = r.all_psnr();
+    all_ssim.insert(all_ssim.end(), ssim.begin(), ssim.end());
+    all_psnr.insert(all_psnr.end(), psnr.begin(), psnr.end());
   }
-  return StaticRunResult{summarize(all_ssim), summarize(all_psnr)};
+  return StaticRunSummary{summarize(all_ssim), summarize(all_psnr)};
 }
 
 inline void print_header(const char* title, const char* paper_note) {

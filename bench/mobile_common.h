@@ -69,13 +69,13 @@ inline MobileResult run_mobile(MobileScenario scenario, std::size_t n_users,
   const auto& contexts = hr_contexts();
 
   const auto layered = [&](bool adapt) {
-    core::SessionConfig cfg = core::SessionConfig::scaled(kWidth, kHeight);
+    core::Experiment exp(quality_model(), contexts);
+    exp.codebook(sector_codebook());
+    core::SessionConfig& cfg = exp.config();
     cfg.adapt = adapt;
     cfg.mcs_margin_db = 1.5;  // stale-CSI headroom under mobility
     cfg.seed = seed;
-    core::MulticastSession session(cfg, quality_model(), sector_codebook());
-    const core::RunResult run = core::run_trace(session, trace, contexts);
-    return mean(run.ssim);
+    return exp.run_trace(trace).ssim_summary().mean;
   };
 
   const auto mpc = [&](abr::Predictor p) {

@@ -11,8 +11,8 @@
 #include "channel/trace_io.h"
 #include "common/stats.h"
 #include "channel/array.h"
+#include "core/experiment.h"
 #include "core/pretrained.h"
-#include "core/runner.h"
 
 #include <cstdio>
 
@@ -48,33 +48,32 @@ int main() {
   auto codebook = beamforming::make_multilevel_codebook(
       channel::kDefaultApAntennas, {{32, 20}, {8, 8}, {4, 4}});
 
+  core::Experiment exp(quality, contexts);
+  exp.codebook(codebook);
   const auto replay = [&](bool adapt) {
-    core::SessionConfig cfg = core::SessionConfig::scaled(kW, kH);
+    core::SessionConfig& cfg = exp.config();
     cfg.adapt = adapt;
     cfg.mcs_margin_db = 1.5;
     cfg.seed = 11;
-    core::MulticastSession session(cfg, quality, codebook);
-    return core::run_trace(session, trace, contexts);
+    return exp.run_trace(trace);
   };
-  const core::RunResult rt = replay(true);
-  const core::RunResult frozen = replay(false);
+  const std::vector<double> rt = replay(true).all_ssim();
+  const std::vector<double> frozen = replay(false).all_ssim();
 
   std::printf("\n%-10s %-18s %-18s\n", "window", "Real-time Update",
               "No Update");
   const std::size_t frames_per_bucket = 150;  // 5 s at 30 FPS
-  for (std::size_t start = 0; start < rt.ssim.size();
+  for (std::size_t start = 0; start < rt.size();
        start += frames_per_bucket) {
-    const std::size_t end =
-        std::min(start + frames_per_bucket, rt.ssim.size());
-    const std::span<const double> a(rt.ssim.data() + start, end - start);
-    const std::span<const double> b(frozen.ssim.data() + start, end - start);
+    const std::size_t end = std::min(start + frames_per_bucket, rt.size());
+    const std::span<const double> a(rt.data() + start, end - start);
+    const std::span<const double> b(frozen.data() + start, end - start);
     std::printf("%3zu-%3zus  SSIM %-13.4f SSIM %-13.4f\n",
                 start / 30, end / 30, mean(a), mean(b));
   }
   std::printf("\noverall: Real-time Update %.4f, No Update %.4f "
               "(adaptation gap %.4f)\n",
-              mean(rt.ssim), mean(frozen.ssim),
-              mean(rt.ssim) - mean(frozen.ssim));
+              mean(rt), mean(frozen), mean(rt) - mean(frozen));
   std::remove(kTracePath);
   return 0;
 }

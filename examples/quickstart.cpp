@@ -9,8 +9,8 @@
 //   4. run the multicast session: beamforming -> Eq. 1 optimizer ->
 //      Eq. 4 unit mapping -> leaky-bucket transmission -> SSIM/PSNR.
 #include "common/stats.h"
+#include "core/experiment.h"
 #include "core/pretrained.h"
-#include "core/runner.h"
 
 #include <cstdio>
 
@@ -50,20 +50,19 @@ int main() {
                 users[u].distance(), users[u].azimuth() * 57.2958);
 
   // --- 4. Stream ------------------------------------------------------------
-  const core::SessionConfig cfg =
-      core::SessionConfig::scaled(spec.width, spec.height);
-  core::MulticastSession session(cfg, quality, beamforming::Codebook{});
+  core::Experiment exp(quality, contexts);
+  exp.config() = core::SessionConfig::scaled(spec.width, spec.height);
+  exp.channels(channels);
 
-  const core::RunResult run =
-      core::run_static(session, channels, contexts, /*n_frames=*/30);
+  const core::SessionReport report = exp.run_static(/*n_frames=*/30);
 
-  const Summary ssim = summarize(run.ssim);
-  const Summary psnr = summarize(run.psnr);
+  const Summary ssim = report.ssim_summary();
+  const Summary psnr = report.psnr_summary();
   std::printf("\nover 30 frames x %zu users:\n", users.size());
   std::printf("  SSIM %s\n", to_string(ssim).c_str());
   std::printf("  PSNR %s\n", to_string(psnr).c_str());
+  const auto& last = report.frame(report.frames() - 1);
   std::printf("  decoded-unit fraction (last frame): %.2f / %.2f\n",
-              run.frames.back().decoded_fraction[0],
-              run.frames.back().decoded_fraction[1]);
+              last.decoded_fraction[0], last.decoded_fraction[1]);
   return 0;
 }

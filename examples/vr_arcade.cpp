@@ -6,8 +6,8 @@
 // identical placements, printing the per-user quality a player would see.
 #include "common/stats.h"
 #include "channel/array.h"
+#include "core/experiment.h"
 #include "core/pretrained.h"
-#include "core/runner.h"
 
 #include <cstdio>
 
@@ -43,22 +43,21 @@ int main() {
 
   std::printf("\n%-26s %-9s %-9s  per-headset SSIM\n", "configuration",
               "SSIM", "PSNR");
+  core::Experiment exp(quality, contexts);
+  exp.config() = core::SessionConfig::scaled(kW, kH);
+  exp.codebook(codebook);
+  exp.channels(channels);
   const auto run_one = [&](const char* label, beamforming::Scheme scheme,
                            bool optimized) {
-    core::SessionConfig cfg = core::SessionConfig::scaled(kW, kH);
+    core::SessionConfig& cfg = exp.config();
     cfg.scheme = scheme;
     cfg.optimized_schedule = optimized;
     cfg.seed = 7;
-    core::MulticastSession session(cfg, quality, codebook);
-    const auto run = core::run_static(session, channels, contexts, 10);
-    // Per-user means: samples interleave users within each frame.
-    std::vector<double> per_user(6, 0.0);
-    for (std::size_t i = 0; i < run.ssim.size(); ++i)
-      per_user[i % 6] += run.ssim[i];
-    std::printf("%-26s %-9.4f %-9.2f ", label, mean(run.ssim),
-                mean(run.psnr));
-    for (double s : per_user)
-      std::printf(" %.3f", s / (static_cast<double>(run.ssim.size()) / 6.0));
+    const core::SessionReport report = exp.run_static(10);
+    std::printf("%-26s %-9.4f %-9.2f ", label,
+                report.ssim_summary().mean, report.psnr_summary().mean);
+    for (double s : report.per_user_mean_ssim())
+      std::printf(" %.3f", s);
     std::printf("\n");
   };
 

@@ -31,6 +31,10 @@
 //   --y4m PATH           stream a real Y4M clip instead of synthetic
 //   --width/--height     synthetic resolution [256x144]
 //   --csv PATH           write the per-frame report as CSV
+//   --trace-out PATH     write a Chrome trace_event JSON of the per-stage
+//                        spans (open in Perfetto / chrome://tracing)
+//   --metrics-out PATH   write a flat JSON snapshot of all counters,
+//                        gauges, histograms and stage timers
 //   --seed N             master seed [1]
 #include "channel/array.h"
 #include "channel/trace_io.h"
@@ -38,9 +42,13 @@
 #include "core/pretrained.h"
 #include "core/report.h"
 #include "core/runner.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "video/io.h"
 
 #include <cstdio>
+#include <fstream>
 #include <stdexcept>
 
 namespace {
@@ -105,6 +113,15 @@ int main(int argc, char** argv) {
     model::QualityModel quality;
     core::ensure_trained(quality);
 
+    // --- Telemetry ---------------------------------------------------------
+    const std::string trace_out = args.get("trace-out", std::string{});
+    const std::string metrics_out = args.get("metrics-out", std::string{});
+    if (!trace_out.empty() || !metrics_out.empty()) obs::set_enabled(true);
+    if (!trace_out.empty()) {
+      obs::set_trace_enabled(true);
+      obs::reset_trace_epoch();
+    }
+
     // --- Session config ----------------------------------------------------
     core::SessionConfig cfg = core::SessionConfig::scaled(ctx_w, ctx_h);
     cfg.scheme = parse_scheme(args.get("scheme", std::string("opt-multicast")));
@@ -129,7 +146,7 @@ int main(int argc, char** argv) {
                                         1.06);
     core::MulticastSession session(cfg, quality, codebook);
 
-    core::RunResult run;
+    core::SessionReport report;
     if (!trace_path.empty() || !mobile.empty()) {
       channel::CsiTrace trace;
       if (!trace_path.empty()) {
@@ -166,7 +183,7 @@ int main(int argc, char** argv) {
           std::printf("saved trace to %s\n", record.c_str());
         }
       }
-      run = core::run_trace(session, trace, contexts);
+      report = core::run_trace(session, trace, contexts);
     } else {
       Rng prng(seed);
       channel::PropagationConfig prop;
@@ -184,19 +201,29 @@ int main(int argc, char** argv) {
         std::printf(" (%.1fm, %+.0fdeg)", u.distance(),
                     u.azimuth() * 57.2958);
       std::printf("\n");
-      run = core::run_static(session, core::channels_for(prop, users),
-                             contexts, args.get("frames", 60));
+      report = core::run_static(session, core::channels_for(prop, users),
+                                contexts, args.get("frames", 60));
     }
 
     // --- Report --------------------------------------------------------------
-    core::SessionReport report;
-    for (const auto& frame : run.frames) report.add(frame);
     std::printf("\n%s", report.summary_text().c_str());
 
     const std::string csv = args.get("csv", std::string{});
     if (!csv.empty()) {
       report.write_csv_file(csv);
       std::printf("per-frame CSV written to %s\n", csv.c_str());
+    }
+
+    if (!trace_out.empty()) {
+      std::ofstream out(trace_out);
+      obs::write_chrome_trace(out);
+      std::printf("Chrome trace written to %s (open in Perfetto)\n",
+                  trace_out.c_str());
+    }
+    if (!metrics_out.empty()) {
+      std::ofstream out(metrics_out);
+      obs::write_json_snapshot(out, obs::MetricsRegistry::global());
+      std::printf("metrics snapshot written to %s\n", metrics_out.c_str());
     }
 
     // Every option has been queried by now: anything left is a typo.

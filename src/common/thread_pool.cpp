@@ -1,5 +1,7 @@
 #include "common/thread_pool.h"
 
+#include "obs/span.h"
+
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
@@ -115,6 +117,13 @@ void ThreadPool::parallel_for(
   if (begin >= end) return;
   if (grain == 0) grain = 1;
   const std::size_t n_chunks = (end - begin + grain - 1) / grain;
+  if (obs::enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    static obs::Counter& c_calls = reg.counter("pool.parallel_for");
+    static obs::Counter& c_chunks = reg.counter("pool.chunks");
+    c_calls.add(1);
+    c_chunks.add(n_chunks);
+  }
   // Serial fast paths: single-context pool, a one-chunk range, or a nested
   // call from inside a worker. Chunk boundaries are identical to the
   // parallel path, so results are too.
@@ -139,8 +148,19 @@ void ThreadPool::parallel_for(
   }
   impl_->cv_work.notify_all();
   job->run();  // the calling thread is one of the pool's execution contexts
-  std::unique_lock<std::mutex> lock(job->mu);
-  job->cv_done.wait(lock, [&] { return job->chunks_done == job->n_chunks; });
+  // Caller-side wait: how long the issuing thread blocks on stragglers
+  // after finishing its own share of the chunks.
+  const std::uint64_t wait_t0 = obs::enabled() ? obs::now_ns() : 0;
+  {
+    std::unique_lock<std::mutex> lock(job->mu);
+    job->cv_done.wait(lock,
+                      [&] { return job->chunks_done == job->n_chunks; });
+  }
+  if (obs::enabled()) {
+    static obs::Histogram& h_wait = obs::MetricsRegistry::global().histogram(
+        "pool.wait_us", {1.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0});
+    h_wait.observe(static_cast<double>(obs::now_ns() - wait_t0) / 1e3);
+  }
   if (job->first_error) std::rethrow_exception(job->first_error);
 }
 

@@ -1,5 +1,6 @@
 #include "core/report.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -9,27 +10,41 @@ void SessionReport::add(const FrameOutcome& outcome) {
   frames_.push_back(outcome);
 }
 
-Summary SessionReport::ssim_summary() const {
+std::size_t SessionReport::users() const {
+  std::size_t n = 0;
+  for (const auto& f : frames_) n = std::max(n, f.ssim.size());
+  return n;
+}
+
+std::vector<double> SessionReport::all_ssim() const {
   std::vector<double> all;
   for (const auto& f : frames_)
     all.insert(all.end(), f.ssim.begin(), f.ssim.end());
-  return summarize(all);
+  return all;
 }
 
-Summary SessionReport::psnr_summary() const {
+std::vector<double> SessionReport::all_psnr() const {
   std::vector<double> all;
   for (const auto& f : frames_)
     all.insert(all.end(), f.psnr.begin(), f.psnr.end());
-  return summarize(all);
+  return all;
 }
+
+Summary SessionReport::ssim_summary() const { return summarize(all_ssim()); }
+
+Summary SessionReport::psnr_summary() const { return summarize(all_psnr()); }
 
 std::vector<double> SessionReport::per_user_mean_ssim() const {
   if (frames_.empty()) return {};
   std::vector<double> sums(users(), 0.0);
+  std::vector<std::size_t> present(sums.size(), 0);
   for (const auto& f : frames_)
-    for (std::size_t u = 0; u < sums.size() && u < f.ssim.size(); ++u)
+    for (std::size_t u = 0; u < sums.size() && u < f.ssim.size(); ++u) {
       sums[u] += f.ssim[u];
-  for (auto& s : sums) s /= static_cast<double>(frames_.size());
+      ++present[u];
+    }
+  for (std::size_t u = 0; u < sums.size(); ++u)
+    if (present[u] > 0) sums[u] /= static_cast<double>(present[u]);
   return sums;
 }
 

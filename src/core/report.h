@@ -1,6 +1,8 @@
-// Session telemetry: accumulates per-frame outcomes and renders them as a
+// Session results: accumulates per-frame outcomes and renders them as a
 // human-readable summary or machine-readable CSV — what an operator of
-// the streaming system (or a researcher plotting results) consumes.
+// the streaming system (or a researcher plotting results) consumes. This
+// is also the return type of the run_static/run_trace experiment loops
+// (runner.h), so every caller gets the same aggregation helpers.
 #pragma once
 
 #include "common/stats.h"
@@ -18,9 +20,19 @@ class SessionReport {
   void add(const FrameOutcome& outcome);
 
   std::size_t frames() const { return frames_.size(); }
-  std::size_t users() const {
-    return frames_.empty() ? 0 : frames_.front().ssim.size();
-  }
+  /// Maximum user count over all frames (frames may differ, e.g. when a
+  /// user joins mid-session); per-user aggregates and CSV columns cover
+  /// this many users, treating absent (frame, user) samples as missing.
+  std::size_t users() const;
+
+  /// Raw per-frame outcomes, in streaming order.
+  const std::vector<FrameOutcome>& frame_outcomes() const { return frames_; }
+  const FrameOutcome& frame(std::size_t i) const { return frames_.at(i); }
+
+  /// All per-(frame, user) samples flattened in streaming order — the
+  /// shape the plotting benches consume.
+  std::vector<double> all_ssim() const;
+  std::vector<double> all_psnr() const;
 
   /// Quality aggregated over all (frame, user) samples.
   Summary ssim_summary() const;

@@ -52,33 +52,30 @@ std::vector<linalg::CVector> channels_for(
   return out;
 }
 
-RunResult run_static(MulticastSession& session,
-                     const std::vector<linalg::CVector>& channels,
-                     const std::vector<FrameContext>& contexts,
-                     int n_frames) {
+SessionReport run_static(MulticastSession& session,
+                         const std::vector<linalg::CVector>& channels,
+                         const std::vector<FrameContext>& contexts,
+                         int n_frames) {
   if (contexts.empty())
     throw std::invalid_argument("run_static: no frame contexts");
-  RunResult result;
+  SessionReport report;
   for (int f = 0; f < n_frames; ++f) {
     const FrameContext& ctx =
         contexts[static_cast<std::size_t>(f) % contexts.size()];
-    FrameOutcome out = session.step(channels, channels, ctx);
-    result.ssim.insert(result.ssim.end(), out.ssim.begin(), out.ssim.end());
-    result.psnr.insert(result.psnr.end(), out.psnr.begin(), out.psnr.end());
-    result.frames.push_back(std::move(out));
+    report.add(session.step(channels, channels, ctx));
   }
-  return result;
+  return report;
 }
 
-RunResult run_trace(MulticastSession& session,
-                    const channel::CsiTrace& trace,
-                    const std::vector<FrameContext>& contexts,
-                    int frames_per_snapshot) {
+SessionReport run_trace(MulticastSession& session,
+                        const channel::CsiTrace& trace,
+                        const std::vector<FrameContext>& contexts,
+                        int frames_per_snapshot) {
   if (contexts.empty())
     throw std::invalid_argument("run_trace: no frame contexts");
   if (trace.steps() == 0)
     throw std::invalid_argument("run_trace: empty trace");
-  RunResult result;
+  SessionReport report;
   int frame = 0;
   for (std::size_t t = 0; t < trace.steps(); ++t) {
     const auto& truth = trace.snapshots[t];
@@ -86,13 +83,10 @@ RunResult run_trace(MulticastSession& session,
     for (int k = 0; k < frames_per_snapshot; ++k, ++frame) {
       const FrameContext& ctx =
           contexts[static_cast<std::size_t>(frame) % contexts.size()];
-      FrameOutcome out = session.step(decision, truth, ctx);
-      result.ssim.insert(result.ssim.end(), out.ssim.begin(), out.ssim.end());
-      result.psnr.insert(result.psnr.end(), out.psnr.begin(), out.psnr.end());
-      result.frames.push_back(std::move(out));
+      report.add(session.step(decision, truth, ctx));
     }
   }
-  return result;
+  return report;
 }
 
 }  // namespace w4k::core

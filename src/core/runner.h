@@ -4,6 +4,7 @@
 
 #include "channel/mobility.h"
 #include "channel/propagation.h"
+#include "core/report.h"
 #include "core/session.h"
 
 #include <vector>
@@ -29,25 +30,22 @@ std::vector<linalg::CVector> channels_for(
     const channel::PropagationConfig& prop,
     const std::vector<channel::Position>& users);
 
-/// Aggregate of one experiment run.
-struct RunResult {
-  std::vector<double> ssim;  ///< one entry per (frame, user)
-  std::vector<double> psnr;
-  std::vector<FrameOutcome> frames;
-};
-
 /// Streams `n_frames` over a static channel, cycling through `contexts`.
 /// Decision CSI equals the true channel (static case: beacons are fresh).
-RunResult run_static(MulticastSession& session,
-                     const std::vector<linalg::CVector>& channels,
-                     const std::vector<FrameContext>& contexts, int n_frames);
+/// Returns the accumulated per-frame outcomes with all the aggregation
+/// helpers of SessionReport (per-(frame,user) quality via all_ssim(), raw
+/// outcomes via frame_outcomes()).
+SessionReport run_static(MulticastSession& session,
+                         const std::vector<linalg::CVector>& channels,
+                         const std::vector<FrameContext>& contexts,
+                         int n_frames);
 
 /// Streams over a CSI trace at 30 FPS (3 frames per 100 ms beacon): the
 /// sender acts on the previous beacon's CSI while the true channel is the
 /// current snapshot — the one-beacon staleness of real 802.11ad.
-RunResult run_trace(MulticastSession& session,
-                    const channel::CsiTrace& trace,
-                    const std::vector<FrameContext>& contexts,
-                    int frames_per_snapshot = 3);
+SessionReport run_trace(MulticastSession& session,
+                        const channel::CsiTrace& trace,
+                        const std::vector<FrameContext>& contexts,
+                        int frames_per_snapshot = 3);
 
 }  // namespace w4k::core

@@ -3,9 +3,11 @@
 #include "beamforming/csi.h"
 #include "beamforming/sls.h"
 #include "channel/array.h"
+#include "obs/span.h"
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace w4k::core {
 
@@ -23,6 +25,41 @@ SessionConfig SessionConfig::scaled(int width, int height) {
   return cfg;
 }
 
+void SessionConfig::validate(std::size_t codebook_beams,
+                             std::size_t n_users) const {
+  auto bad = [](const std::string& field, const std::string& msg) {
+    throw std::invalid_argument("SessionConfig." + field + ": " + msg);
+  };
+  // `!(x > 0)` style so NaN fails too.
+  if (!(rate_scale > 0.0))
+    bad("rate_scale", "must be > 0 (got " + std::to_string(rate_scale) + ")");
+  if (!(engine.frame_budget > 0.0))
+    bad("engine.frame_budget",
+        "must be > 0 s (got " + std::to_string(engine.frame_budget) + ")");
+  if (!(makeup_margin >= 0.0 && makeup_margin < 1.0))
+    bad("makeup_margin",
+        "must be in [0, 1) (got " + std::to_string(makeup_margin) + ")");
+  if (engine.symbol_size == 0) bad("engine.symbol_size", "must be > 0");
+  if (engine.queue_capacity_bytes == 0)
+    bad("engine.queue_capacity_bytes", "must be > 0");
+  if (!(sls_noise_db >= 0.0))
+    bad("sls_noise_db",
+        "must be >= 0 dB (got " + std::to_string(sls_noise_db) + ")");
+  if (!(lambda >= 0.0))
+    bad("lambda", "must be >= 0 (got " + std::to_string(lambda) + ")");
+  if (use_estimated_csi && codebook_beams != kUnknown &&
+      codebook_beams < channel::kDefaultApAntennas)
+    bad("use_estimated_csi",
+        "CSI estimation needs a codebook with at least one beam per "
+        "antenna (" +
+            std::to_string(codebook_beams) + " beams < " +
+            std::to_string(channel::kDefaultApAntennas) + " antennas)");
+  if (n_users != kUnknown && n_users > 0 && associated_user >= n_users)
+    bad("associated_user",
+        "out of range (" + std::to_string(associated_user) + " >= " +
+            std::to_string(n_users) + " users)");
+}
+
 MulticastSession::MulticastSession(const SessionConfig& cfg,
                                    model::QualityModel& quality,
                                    beamforming::Codebook codebook)
@@ -31,8 +68,7 @@ MulticastSession::MulticastSession(const SessionConfig& cfg,
       codebook_(std::move(codebook)),
       engine_(cfg.engine),
       rng_(cfg.seed) {
-  if (cfg.rate_scale <= 0.0)
-    throw std::invalid_argument("MulticastSession: rate_scale must be > 0");
+  cfg_.validate(codebook_.size());
 }
 
 void MulticastSession::reset() {
@@ -62,16 +98,22 @@ bool same_channels(const std::vector<linalg::CVector>& a,
 MulticastSession::Decision MulticastSession::decide(
     const std::vector<linalg::CVector>& channels, const FrameContext& ctx) {
   Decision d;
-  if (!cached_groups_.empty() && same_channels(channels, cached_channels_)) {
-    d.groups = cached_groups_;
-  } else {
-    d.groups = sched::enumerate_groups(cfg_.scheme, channels, codebook_, rng_,
-                                       cfg_.group_enum);
-    // Scale Table 2 rates to the frame resolution before any byte math.
-    for (auto& g : d.groups)
-      g.beam.rate = Mbps{g.beam.rate.value * cfg_.rate_scale};
-    cached_channels_ = channels;
-    cached_groups_ = d.groups;
+  {
+    // Group beamforming (cached across frames for static CSI; the span
+    // still records so every frame shows the stage, near-zero when cached).
+    static obs::Stage& st = obs::stage("session.beamform");
+    obs::StageSpan span(st);
+    if (!cached_groups_.empty() && same_channels(channels, cached_channels_)) {
+      d.groups = cached_groups_;
+    } else {
+      d.groups = sched::enumerate_groups(cfg_.scheme, channels, codebook_,
+                                         rng_, cfg_.group_enum);
+      // Scale Table 2 rates to the frame resolution before any byte math.
+      for (auto& g : d.groups)
+        g.beam.rate = Mbps{g.beam.rate.value * cfg_.rate_scale};
+      cached_channels_ = channels;
+      cached_groups_ = d.groups;
+    }
   }
 
   if (d.groups.empty()) return d;  // deep outage: nothing schedulable
@@ -84,12 +126,21 @@ MulticastSession::Decision MulticastSession::decide(
       cfg_.engine.frame_budget * (1.0 - cfg_.makeup_margin);
   problem.lambda = cfg_.lambda;
 
-  d.allocation = cfg_.optimized_schedule
-                     ? sched::optimize_allocation(problem, quality_,
-                                                  cfg_.optimizer)
-                     : sched::round_robin_allocation(problem, quality_);
-  d.unit_map = sched::map_to_units(d.groups, d.allocation.bytes, ctx.units,
-                                   channels.size(), cfg_.engine.symbol_size);
+  {
+    static obs::Stage& st = obs::stage("session.allocate");
+    obs::StageSpan span(st);
+    d.allocation = cfg_.optimized_schedule
+                       ? sched::optimize_allocation(problem, quality_,
+                                                    cfg_.optimizer)
+                       : sched::round_robin_allocation(problem, quality_);
+  }
+  {
+    static obs::Stage& st = obs::stage("session.unitmap");
+    obs::StageSpan span(st);
+    d.unit_map = sched::map_to_units(d.groups, d.allocation.bytes, ctx.units,
+                                     channels.size(),
+                                     cfg_.engine.symbol_size);
+  }
   return d;
 }
 
@@ -100,12 +151,18 @@ FrameOutcome MulticastSession::step(
   if (decision_channels.size() != true_channels.size())
     throw std::invalid_argument("step: channel vector count mismatch");
   const std::size_t n_users = true_channels.size();
+  cfg_.validate(SessionConfig::kUnknown, n_users);
+
+  static obs::Stage& st_frame = obs::stage("session.frame");
+  obs::StageSpan frame_span(st_frame);
 
   // Optionally estimate CSI the way the hardware does (SLS sweep + phase
   // retrieval) instead of taking the beacon channels as ground truth.
   const std::vector<linalg::CVector>* decision_csi = &decision_channels;
   std::vector<linalg::CVector> estimated;
   if (cfg_.use_estimated_csi) {
+    static obs::Stage& st = obs::stage("session.csi_estimate");
+    obs::StageSpan span(st);
     if (codebook_.size() < (decision_channels.empty()
                                 ? 1
                                 : decision_channels.front().size()))
@@ -164,6 +221,8 @@ FrameOutcome MulticastSession::step(
 
   if (decision->groups.empty()) {
     // Outage frame: receivers render the blank frame.
+    static obs::Stage& st = obs::stage("session.quality");
+    obs::StageSpan span(st);
     const video::Frame blank =
         video::Frame::blank(ctx.original.width(), ctx.original.height());
     const double s = quality::ssim(ctx.original, blank);
@@ -181,61 +240,73 @@ FrameOutcome MulticastSession::step(
   // drops its packets.
   std::vector<emu::GroupTx> groups_tx;
   groups_tx.reserve(decision->groups.size());
-  for (std::size_t g = 0; g < decision->groups.size(); ++g) {
-    const auto& spec = decision->groups[g];
-    emu::GroupTx tx;
-    tx.members = spec.members;
-    // Beam actually on the air: the decision's optimized beam, or the
-    // firmware-tracked fallback sector in No-Update mode.
-    const linalg::CVector& air_beam =
-        fallback_beams.empty() ? spec.beam.beam : fallback_beams[g];
-    // MCS from the freshest link knowledge available: in No-Update mode
-    // the firmware's own tracking (current channel, fallback beam);
-    // otherwise the beacon-time decision RSS, minus the mobility margin.
-    Dbm link_rss = spec.beam.min_rss;
-    if (!fallback_beams.empty()) {
-      link_rss = Dbm{1e300};
-      for (std::size_t u : spec.members)
-        link_rss = std::min(
-            link_rss, channel::beam_rss(decision_channels[u], air_beam));
-    }
-    if (const auto mcs =
-            channel::select_mcs(link_rss - cfg_.mcs_margin_db)) {
-      tx.mcs = *mcs;
-      tx.drain_rate = Mbps{mcs->udp_throughput.value * cfg_.rate_scale};
-      tx.bucket_rate = (cfg_.adapt && g < last_measured_.size() &&
-                        last_measured_[g].value > 0.0)
-                           ? last_measured_[g]
-                           : tx.drain_rate;
-      for (std::size_t u : spec.members) {
-        const Dbm rss = channel::beam_rss(true_channels[u], air_beam);
-        tx.member_loss.push_back(
-            u == cfg_.associated_user
-                ? emu::associated_loss(cfg_.loss, rss, *mcs)
-                : emu::monitor_loss(cfg_.loss, rss, *mcs));
+  {
+    static obs::Stage& st = obs::stage("session.mcs");
+    obs::StageSpan span(st);
+    for (std::size_t g = 0; g < decision->groups.size(); ++g) {
+      const auto& spec = decision->groups[g];
+      emu::GroupTx tx;
+      tx.members = spec.members;
+      // Beam actually on the air: the decision's optimized beam, or the
+      // firmware-tracked fallback sector in No-Update mode.
+      const linalg::CVector& air_beam =
+          fallback_beams.empty() ? spec.beam.beam : fallback_beams[g];
+      // MCS from the freshest link knowledge available: in No-Update mode
+      // the firmware's own tracking (current channel, fallback beam);
+      // otherwise the beacon-time decision RSS, minus the mobility margin.
+      Dbm link_rss = spec.beam.min_rss;
+      if (!fallback_beams.empty()) {
+        link_rss = Dbm{1e300};
+        for (std::size_t u : spec.members)
+          link_rss = std::min(
+              link_rss, channel::beam_rss(decision_channels[u], air_beam));
       }
+      if (const auto mcs =
+              channel::select_mcs(link_rss - cfg_.mcs_margin_db)) {
+        tx.mcs = *mcs;
+        tx.drain_rate = Mbps{mcs->udp_throughput.value * cfg_.rate_scale};
+        tx.bucket_rate = (cfg_.adapt && g < last_measured_.size() &&
+                          last_measured_[g].value > 0.0)
+                             ? last_measured_[g]
+                             : tx.drain_rate;
+        for (std::size_t u : spec.members) {
+          const Dbm rss = channel::beam_rss(true_channels[u], air_beam);
+          tx.member_loss.push_back(
+              u == cfg_.associated_user
+                  ? emu::associated_loss(cfg_.loss, rss, *mcs)
+                  : emu::monitor_loss(cfg_.loss, rss, *mcs));
+        }
+      }
+      groups_tx.push_back(std::move(tx));
     }
-    groups_tx.push_back(std::move(tx));
   }
 
-  const emu::FrameTxResult tx_result =
-      engine_.run_frame(ctx.units, decision->unit_map.assignments, groups_tx,
-                        n_users, rng_);
+  emu::FrameTxResult tx_result;
+  {
+    static obs::Stage& st = obs::stage("session.transmit");
+    obs::StageSpan span(st);
+    tx_result = engine_.run_frame(ctx.units, decision->unit_map.assignments,
+                                  groups_tx, n_users, rng_);
+  }
 
   if (cfg_.adapt) last_measured_ = tx_result.measured_rate;
 
   out.stats = tx_result.stats;
-  for (std::size_t u = 0; u < n_users; ++u) {
-    const video::Frame rec =
-        reconstruct_from_units(ctx, tx_result.user_decoded[u]);
-    out.ssim.push_back(quality::ssim(ctx.original, rec));
-    out.psnr.push_back(quality::psnr(ctx.original, rec));
-    std::size_t decoded = 0;
-    for (bool b : tx_result.user_decoded[u]) decoded += b ? 1 : 0;
-    out.decoded_fraction.push_back(
-        ctx.units.empty() ? 0.0
-                          : static_cast<double>(decoded) /
-                                static_cast<double>(ctx.units.size()));
+  {
+    static obs::Stage& st = obs::stage("session.quality");
+    obs::StageSpan span(st);
+    for (std::size_t u = 0; u < n_users; ++u) {
+      const video::Frame rec =
+          reconstruct_from_units(ctx, tx_result.user_decoded[u]);
+      out.ssim.push_back(quality::ssim(ctx.original, rec));
+      out.psnr.push_back(quality::psnr(ctx.original, rec));
+      std::size_t decoded = 0;
+      for (bool b : tx_result.user_decoded[u]) decoded += b ? 1 : 0;
+      out.decoded_fraction.push_back(
+          ctx.units.empty() ? 0.0
+                            : static_cast<double>(decoded) /
+                                  static_cast<double>(ctx.units.size()));
+    }
   }
   return out;
 }

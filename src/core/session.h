@@ -59,6 +59,19 @@ struct SessionConfig {
   /// Index of the associated (MAC-ARQ) STA; the rest are monitor mode.
   std::size_t associated_user = 0;
   std::uint64_t seed = 1;
+
+  /// Sentinel for validate() arguments that are not known yet.
+  static constexpr std::size_t kUnknown = static_cast<std::size_t>(-1);
+
+  /// Checks every field range and throws std::invalid_argument naming the
+  /// offending field ("SessionConfig.rate_scale: ..."). `codebook_beams`
+  /// and `n_users` enable the context-dependent checks (undersized
+  /// codebook with use_estimated_csi, associated_user out of range) and
+  /// may be kUnknown to skip them. MulticastSession's constructor calls
+  /// this, so a bad config fails at construction instead of deep inside a
+  /// frame.
+  void validate(std::size_t codebook_beams = kUnknown,
+                std::size_t n_users = kUnknown) const;
 };
 
 struct FrameOutcome {

@@ -1,6 +1,7 @@
 #include "emu/engine.h"
 
 #include "common/thread_pool.h"
+#include "obs/span.h"
 
 #include <algorithm>
 #include <cmath>
@@ -89,6 +90,7 @@ FrameTxResult TxEngine::run_frame(
   }
 
   double new_backlog = 0.0;
+  double max_queue_bytes = queue_bytes;  // high-water mark for telemetry
   Mbps last_drain_rate{0.0};
 
   // Sends one symbol packet of `group` for unit `ui`. Returns false when
@@ -143,11 +145,13 @@ FrameTxResult TxEngine::run_frame(
       new_backlog += static_cast<double>(wire);
       queue.push_back(QueueEntry{finish, wire});
       queue_bytes += static_cast<double>(wire);
+      max_queue_bytes = std::max(max_queue_bytes, queue_bytes);
       return !cfg_.rate_control;  // with RC, budget is up - stop offering
     }
     drain_free = finish;
     queue.push_back(QueueEntry{finish, wire});
     queue_bytes += static_cast<double>(wire);
+    max_queue_bytes = std::max(max_queue_bytes, queue_bytes);
 
     ++res.stats.packets_sent;
     res.stats.airtime += air;
@@ -198,72 +202,87 @@ FrameTxResult TxEngine::run_frame(
 
   // --- Initial pass: the optimizer's schedule ----------------------------
   bool budget_left = true;
-  for (const auto& a : assignments) {
-    if (a.group >= groups.size())
-      throw std::invalid_argument("run_frame: assignment references "
-                                  "unknown group");
-    for (std::size_t s = 0; s < a.symbols && budget_left; ++s)
-      budget_left = send_packet(a.group, a.unit_index, /*makeup=*/false);
-    if (!budget_left) break;
+  {
+    static obs::Stage& st = obs::stage("emu.schedule");
+    obs::StageSpan span(st);
+    for (const auto& a : assignments) {
+      if (a.group >= groups.size())
+        throw std::invalid_argument("run_frame: assignment references "
+                                    "unknown group");
+      for (std::size_t s = 0; s < a.symbols && budget_left; ++s)
+        budget_left = send_packet(a.group, a.unit_index, /*makeup=*/false);
+      if (!budget_left) break;
+    }
   }
 
   // --- Feedback + makeup rounds (Sec. 2.6) --------------------------------
-  for (int round = 0; round < cfg_.feedback_rounds && budget_left; ++round) {
-    t = std::max(t, drain_free) + cfg_.feedback_latency;
-    if (t >= cfg_.frame_budget) break;
-    if (!cfg_.rate_control) drain_free = std::max(drain_free, t);
+  std::size_t makeup_deficit = 0;  // total symbols the receivers asked for
+  {
+    static obs::Stage& st = obs::stage("emu.makeup");
+    obs::StageSpan span(st);
+    for (int round = 0; round < cfg_.feedback_rounds && budget_left;
+         ++round) {
+      t = std::max(t, drain_free) + cfg_.feedback_latency;
+      if (t >= cfg_.frame_budget) break;
+      if (!cfg_.rate_control) drain_free = std::max(drain_free, t);
 
-    bool any = false;
-    for (std::size_t ui = 0; ui < units.size() && budget_left; ++ui) {
-      for (std::size_t gi = 0; gi < groups.size() && budget_left; ++gi) {
-        const auto key = std::make_pair(gi, ui);
-        const auto it = sent_by_group.find(key);
-        if (it == sent_by_group.end()) continue;  // group doesn't own unit
-        // Deficit P: worst member's shortfall toward decoding this unit
-        // (a rank-deficient decode at exactly k asks for one extra).
-        std::size_t deficit = 0;
-        for (std::size_t u : groups[gi].members) {
-          const UnitRx& state = rx[u][ui];
-          if (state.decoded) continue;
-          const std::size_t k = units[ui].k_symbols;
-          const std::size_t need =
-              state.innovative < k ? k - state.innovative : 1;
-          deficit = std::max(deficit, need);
-        }
-        for (std::size_t s = 0; s < deficit && budget_left; ++s) {
-          any = true;
-          budget_left = send_packet(gi, ui, /*makeup=*/true);
+      bool any = false;
+      for (std::size_t ui = 0; ui < units.size() && budget_left; ++ui) {
+        for (std::size_t gi = 0; gi < groups.size() && budget_left; ++gi) {
+          const auto key = std::make_pair(gi, ui);
+          const auto it = sent_by_group.find(key);
+          if (it == sent_by_group.end()) continue;  // group doesn't own unit
+          // Deficit P: worst member's shortfall toward decoding this unit
+          // (a rank-deficient decode at exactly k asks for one extra).
+          std::size_t deficit = 0;
+          for (std::size_t u : groups[gi].members) {
+            const UnitRx& state = rx[u][ui];
+            if (state.decoded) continue;
+            const std::size_t k = units[ui].k_symbols;
+            const std::size_t need =
+                state.innovative < k ? k - state.innovative : 1;
+            deficit = std::max(deficit, need);
+          }
+          makeup_deficit += deficit;
+          for (std::size_t s = 0; s < deficit && budget_left; ++s) {
+            any = true;
+            budget_left = send_packet(gi, ui, /*makeup=*/true);
+          }
         }
       }
+      if (!any) break;
     }
-    if (!any) break;
   }
 
   // --- Decode + measurement ----------------------------------------------
   // Per-user evaluation is embarrassingly parallel (reads only that user's
   // reception state, writes only that user's result rows).
-  ThreadPool::shared().parallel_for(
-      0, n_users, /*grain=*/4, [&](std::size_t b, std::size_t e) {
-        for (std::size_t u = b; u < e; ++u) {
-          for (std::size_t ui = 0; ui < units.size(); ++ui) {
-            res.user_symbols[u][ui] = rx[u][ui].innovative;
-            res.user_decoded[u][ui] = rx[u][ui].decoded;
+  {
+    static obs::Stage& st = obs::stage("emu.evaluate");
+    obs::StageSpan span(st);
+    ThreadPool::shared().parallel_for(
+        0, n_users, /*grain=*/4, [&](std::size_t b, std::size_t e) {
+          for (std::size_t u = b; u < e; ++u) {
+            for (std::size_t ui = 0; ui < units.size(); ++ui) {
+              res.user_symbols[u][ui] = rx[u][ui].innovative;
+              res.user_decoded[u][ui] = rx[u][ui].decoded;
+            }
           }
-        }
-      });
-  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
-    // Probe packets arrive back-to-back at the drain rate; lost probes
-    // stretch the measured spacing, so the estimate reflects the worst
-    // member's goodput (which is what the bucket must not exceed), with
-    // small measurement jitter.
-    if (groups[gi].drain_rate.value > 0.0) {
-      double worst_loss = 0.0;
-      for (double p : groups[gi].member_loss)
-        worst_loss = std::max(worst_loss, p);
-      const double goodput =
-          groups[gi].drain_rate.value * (1.0 - worst_loss);
-      res.measured_rate[gi] =
-          Mbps{std::max(0.0, goodput * (1.0 + rng.gaussian(0.0, 0.02)))};
+        });
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+      // Probe packets arrive back-to-back at the drain rate; lost probes
+      // stretch the measured spacing, so the estimate reflects the worst
+      // member's goodput (which is what the bucket must not exceed), with
+      // small measurement jitter.
+      if (groups[gi].drain_rate.value > 0.0) {
+        double worst_loss = 0.0;
+        for (double p : groups[gi].member_loss)
+          worst_loss = std::max(worst_loss, p);
+        const double goodput =
+            groups[gi].drain_rate.value * (1.0 - worst_loss);
+        res.measured_rate[gi] =
+            Mbps{std::max(0.0, goodput * (1.0 + rng.gaussian(0.0, 0.02)))};
+      }
     }
   }
 
@@ -274,6 +293,28 @@ FrameTxResult TxEngine::run_frame(
   backlog_rate_ = last_drain_rate;
   res.stats.backlog_packets_after =
       static_cast<std::size_t>(backlog_bytes_ / static_cast<double>(wire));
+
+  // One batched telemetry flush per frame (never per packet).
+  if (obs::enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    static obs::Counter& c_frames = reg.counter("emu.frames");
+    static obs::Counter& c_offered = reg.counter("emu.packets_offered");
+    static obs::Counter& c_sent = reg.counter("emu.packets_sent");
+    static obs::Counter& c_dropped = reg.counter("emu.packets_dropped_queue");
+    static obs::Counter& c_makeup = reg.counter("emu.makeup_packets");
+    static obs::Counter& c_deficit = reg.counter("emu.makeup_deficit_symbols");
+    static obs::Gauge& g_backlog = reg.gauge("emu.backlog_packets");
+    static obs::Histogram& h_depth = reg.histogram(
+        "emu.queue_depth_pkts", {0.0, 16.0, 64.0, 256.0, 1024.0, 4096.0});
+    c_frames.add(1);
+    c_offered.add(res.stats.packets_offered);
+    c_sent.add(res.stats.packets_sent);
+    c_dropped.add(res.stats.packets_dropped_queue);
+    c_makeup.add(res.stats.makeup_packets);
+    c_deficit.add(makeup_deficit);
+    g_backlog.set(static_cast<double>(res.stats.backlog_packets_after));
+    h_depth.observe(max_queue_bytes / static_cast<double>(wire));
+  }
   return res;
 }
 

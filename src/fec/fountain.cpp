@@ -2,11 +2,37 @@
 
 #include "common/thread_pool.h"
 #include "gf256/gf256.h"
+#include "obs/metrics.h"
 
 #include <algorithm>
 #include <stdexcept>
 
 namespace w4k::fec {
+namespace {
+
+// Telemetry (guarded by obs::enabled(); one relaxed add per symbol).
+obs::Counter& symbols_encoded() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("fec.symbols_encoded");
+  return c;
+}
+obs::Counter& symbols_received() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("fec.symbols_received");
+  return c;
+}
+obs::Counter& symbols_innovative() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("fec.symbols_innovative");
+  return c;
+}
+obs::Counter& units_decoded() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("fec.units_decoded");
+  return c;
+}
+
+}  // namespace
 
 void coefficient_row_into(std::uint64_t block_seed, Esi esi,
                           std::span<std::uint8_t> row) {
@@ -50,6 +76,7 @@ FountainEncoder::FountainEncoder(std::span<const std::uint8_t> data,
 }
 
 Symbol FountainEncoder::encode(Esi esi) const {
+  if (obs::enabled()) symbols_encoded().add(1);
   Symbol s;
   s.esi = esi;
   if (esi < k_) {
@@ -110,6 +137,7 @@ FountainDecoder::FountainDecoder(std::size_t k, std::size_t symbol_size,
 
 bool FountainDecoder::add_symbol(const Symbol& s) {
   ++symbols_seen_;
+  if (obs::enabled()) symbols_received().add(1);
   if (s.data.size() != symbol_size_) return false;
   if (can_decode()) return false;
 
@@ -143,6 +171,10 @@ bool FountainDecoder::add_symbol(const Symbol& s) {
   rows_[lead].data = std::move(data);
   rows_[lead].present = true;
   ++pivots_filled_;
+  if (obs::enabled()) {
+    symbols_innovative().add(1);
+    if (can_decode()) units_decoded().add(1);
+  }
   return true;
 }
 

@@ -1,0 +1,20 @@
+// Flat JSON snapshot of the registry: counters, gauges, histograms, and
+// stage aggregates, sorted by name. Pairs with write_chrome_trace (span.h)
+// which dumps the per-event timeline.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace w4k::obs {
+
+class MetricsRegistry;
+
+void write_json_snapshot(std::ostream& os, const MetricsRegistry& reg);
+
+// Escapes `s` for inclusion inside a JSON string literal (quotes not
+// included). Shared by the exporters and the bench manifest writer.
+void append_json_escaped(std::string& out, std::string_view s);
+
+}  // namespace w4k::obs

@@ -1,0 +1,252 @@
+#include "obs/jsonlite.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace w4k::obs::json {
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& msg) {
+    if (error.empty())
+      error = msg + " at offset " + std::to_string(pos);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r'))
+      ++pos;
+  }
+
+  bool peek(char& c) {
+    if (pos >= text.size()) return false;
+    c = text[pos];
+    return true;
+  }
+
+  bool consume(char expect) {
+    if (pos < text.size() && text[pos] == expect) {
+      ++pos;
+      return true;
+    }
+    return fail(std::string("expected '") + expect + "'");
+  }
+
+  bool parse_value(Value& out, int depth) {
+    if (depth > 128) return fail("nesting too deep");
+    skip_ws();
+    char c;
+    if (!peek(c)) return fail("unexpected end of input");
+    switch (c) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"':
+        out.type = Value::Type::kString;
+        return parse_string(out.str);
+      case 't':
+        if (text.substr(pos, 4) == "true") {
+          pos += 4;
+          out.type = Value::Type::kBool;
+          out.boolean = true;
+          return true;
+        }
+        return fail("bad literal");
+      case 'f':
+        if (text.substr(pos, 5) == "false") {
+          pos += 5;
+          out.type = Value::Type::kBool;
+          out.boolean = false;
+          return true;
+        }
+        return fail("bad literal");
+      case 'n':
+        if (text.substr(pos, 4) == "null") {
+          pos += 4;
+          out.type = Value::Type::kNull;
+          return true;
+        }
+        return fail("bad literal");
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(Value& out, int depth) {
+    out.type = Value::Type::kObject;
+    if (!consume('{')) return false;
+    skip_ws();
+    char c;
+    if (peek(c) && c == '}') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      Value v;
+      if (!parse_value(v, depth + 1)) return false;
+      out.obj.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (!peek(c)) return fail("unterminated object");
+      if (c == ',') {
+        ++pos;
+        continue;
+      }
+      if (c == '}') {
+        ++pos;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(Value& out, int depth) {
+    out.type = Value::Type::kArray;
+    if (!consume('[')) return false;
+    skip_ws();
+    char c;
+    if (peek(c) && c == ']') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      Value v;
+      if (!parse_value(v, depth + 1)) return false;
+      out.arr.push_back(std::move(v));
+      skip_ws();
+      if (!peek(c)) return fail("unterminated array");
+      if (c == ',') {
+        ++pos;
+        continue;
+      }
+      if (c == ']') {
+        ++pos;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos < text.size()) {
+      char c = text[pos++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= text.size()) return fail("bad escape");
+      char e = text[pos++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos + 4 > text.size()) return fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return fail("bad \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs collapse to
+          // '?'; telemetry output is ASCII so this never triggers there).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else if (code >= 0xD800 && code <= 0xDFFF) {
+            out += '?';
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return fail("bad escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(Value& out) {
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    auto digits = [&] {
+      std::size_t n = 0;
+      while (pos < text.size() && std::isdigit(
+                 static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+        ++n;
+      }
+      return n;
+    };
+    if (digits() == 0) return fail("bad number");
+    if (pos < text.size() && text[pos] == '.') {
+      ++pos;
+      if (digits() == 0) return fail("bad number");
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      if (digits() == 0) return fail("bad number");
+    }
+    out.type = Value::Type::kNumber;
+    out.number = std::strtod(std::string(text.substr(start, pos - start)).c_str(),
+                             nullptr);
+    return true;
+  }
+};
+
+}  // namespace
+
+const Value* Value::find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : obj)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+std::optional<Value> parse(std::string_view text, std::string* err) {
+  Parser p;
+  p.text = text;
+  Value root;
+  if (!p.parse_value(root, 0)) {
+    if (err) *err = p.error;
+    return std::nullopt;
+  }
+  p.skip_ws();
+  if (p.pos != text.size()) {
+    if (err)
+      *err = "trailing garbage at offset " + std::to_string(p.pos);
+    return std::nullopt;
+  }
+  return root;
+}
+
+}  // namespace w4k::obs::json

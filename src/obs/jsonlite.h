@@ -1,0 +1,39 @@
+// Minimal validating JSON parser with a small DOM. Exists so the repo's
+// own tests and tools can check that the telemetry exporters (snapshot,
+// Chrome trace, bench manifests) emit real JSON without pulling in a
+// third-party library. Strict: rejects trailing garbage, bad escapes,
+// unterminated structures. Not a performance path.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace w4k::obs::json {
+
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> arr;
+  std::vector<std::pair<std::string, Value>> obj;  // insertion order
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_number() const { return type == Type::kNumber; }
+
+  // Object member lookup (first match); nullptr when absent or not object.
+  const Value* find(std::string_view key) const;
+};
+
+// Parses a complete JSON document. On failure returns nullopt and, when
+// `err` is non-null, a message with the byte offset.
+std::optional<Value> parse(std::string_view text, std::string* err = nullptr);
+
+}  // namespace w4k::obs::json

@@ -1,0 +1,51 @@
+// Run manifest: the JSON sidecar every bench binary drops next to its
+// output so BENCH_*.json numbers stay comparable across commits — it
+// records what was actually run (config echo), on what (CPU dispatch tier,
+// thread pool size, relevant env vars), and where the time went (per-stage
+// span summary pulled from the global MetricsRegistry at write time).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace w4k::obs {
+
+class Manifest {
+ public:
+  explicit Manifest(std::string run_name) : name_(std::move(run_name)) {}
+
+  // Config echo (insertion order preserved).
+  void set(std::string_view key, std::string_view value);
+  void set(std::string_view key, const char* value);
+  void set(std::string_view key, double value);
+  void set(std::string_view key, std::int64_t value);
+  void set(std::string_view key, int value) {
+    set(key, static_cast<std::int64_t>(value));
+  }
+  void set(std::string_view key, bool value);
+
+  // Environment section (dispatch tier, pool size, env vars...).
+  void set_env(std::string_view key, std::string_view value);
+  void set_env(std::string_view key, std::int64_t value);
+
+  const std::string& name() const { return name_; }
+
+  // Serializes {name, config, environment, stages:{...from global
+  // registry...}}.
+  void write(std::ostream& os) const;
+  // Writes to `path`; returns false (and stays silent) if the file cannot
+  // be opened — manifests must never fail a bench run.
+  bool write_file(const std::string& path) const;
+
+ private:
+  std::string name_;
+  // Values are pre-rendered JSON (quoted/escaped strings, raw numbers).
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<std::pair<std::string, std::string>> env_;
+};
+
+}  // namespace w4k::obs

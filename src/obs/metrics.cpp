@@ -1,0 +1,200 @@
+#include "obs/metrics.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace w4k::obs {
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void set_trace_enabled(bool on) {
+  detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      buckets_(bounds_.size() + 1) {}
+
+void Histogram::observe(double v) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // Relaxed CAS loop: doubles have no fetch_add pre-C++20 on all targets.
+  double old = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(old, old + v, std::memory_order_relaxed))
+    ;
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Stage
+
+void Stage::record_ns(std::uint64_t dur_ns) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_ns_.fetch_add(dur_ns, std::memory_order_relaxed);
+  std::uint64_t prev = max_ns_.load(std::memory_order_relaxed);
+  while (prev < dur_ns &&
+         !max_ns_.compare_exchange_weak(prev, dur_ns,
+                                        std::memory_order_relaxed))
+    ;
+}
+
+void Stage::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  total_ns_.store(0, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+struct MetricsRegistry::Shard {
+  mutable std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  std::map<std::string, std::unique_ptr<Stage>, std::less<>> stages;
+};
+
+MetricsRegistry::MetricsRegistry() : shards_(new Shard[kShards]) {}
+MetricsRegistry::~MetricsRegistry() = default;  // never runs (leaked global)
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked so instrumented code in static destructors stays safe.
+  static MetricsRegistry* r = new MetricsRegistry();
+  return *r;
+}
+
+MetricsRegistry::Shard* MetricsRegistry::shard_for(
+    std::string_view name) const {
+  return &shards_[std::hash<std::string_view>{}(name) % kShards];
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  Shard* s = shard_for(name);
+  std::lock_guard<std::mutex> lk(s->mu);
+  auto it = s->counters.find(name);
+  if (it == s->counters.end())
+    it = s->counters.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  Shard* s = shard_for(name);
+  std::lock_guard<std::mutex> lk(s->mu);
+  auto it = s->gauges.find(name);
+  if (it == s->gauges.end())
+    it = s->gauges.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> upper_bounds) {
+  Shard* s = shard_for(name);
+  std::lock_guard<std::mutex> lk(s->mu);
+  auto it = s->histograms.find(name);
+  if (it == s->histograms.end())
+    it = s->histograms
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(upper_bounds)))
+             .first;
+  return *it->second;
+}
+
+Stage& MetricsRegistry::stage(std::string_view name) {
+  Shard* s = shard_for(name);
+  std::lock_guard<std::mutex> lk(s->mu);
+  auto it = s->stages.find(name);
+  if (it == s->stages.end())
+    it = s->stages
+             .emplace(std::string(name),
+                      std::make_unique<Stage>(std::string(name)))
+             .first;
+  return *it->second;
+}
+
+void MetricsRegistry::reset_values() {
+  for (std::size_t i = 0; i < kShards; ++i) {
+    Shard& s = shards_[i];
+    std::lock_guard<std::mutex> lk(s.mu);
+    for (auto& [_, c] : s.counters) c->reset();
+    for (auto& [_, g] : s.gauges) g->reset();
+    for (auto& [_, h] : s.histograms) h->reset();
+    for (auto& [_, st] : s.stages) st->reset();
+  }
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricsRegistry::counter_values() const {
+  std::map<std::string, std::uint64_t> merged;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    Shard& s = shards_[i];
+    std::lock_guard<std::mutex> lk(s.mu);
+    for (const auto& [name, c] : s.counters) merged[name] = c->value();
+  }
+  return {merged.begin(), merged.end()};
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::gauge_values()
+    const {
+  std::map<std::string, double> merged;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    Shard& s = shards_[i];
+    std::lock_guard<std::mutex> lk(s.mu);
+    for (const auto& [name, g] : s.gauges) merged[name] = g->value();
+  }
+  return {merged.begin(), merged.end()};
+}
+
+std::vector<std::pair<std::string, const Histogram*>>
+MetricsRegistry::histograms() const {
+  std::map<std::string, const Histogram*> merged;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    Shard& s = shards_[i];
+    std::lock_guard<std::mutex> lk(s.mu);
+    for (const auto& [name, h] : s.histograms) merged[name] = h.get();
+  }
+  return {merged.begin(), merged.end()};
+}
+
+std::vector<StageSummary> MetricsRegistry::stage_summaries() const {
+  std::map<std::string, StageSummary> merged;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    Shard& s = shards_[i];
+    std::lock_guard<std::mutex> lk(s.mu);
+    for (const auto& [name, st] : s.stages) {
+      StageSummary sum;
+      sum.name = name;
+      sum.count = st->count();
+      sum.total_ns = st->total_ns();
+      sum.max_ns = st->max_ns();
+      merged[name] = std::move(sum);
+    }
+  }
+  std::vector<StageSummary> out;
+  out.reserve(merged.size());
+  for (auto& [_, v] : merged) out.push_back(std::move(v));
+  return out;
+}
+
+}  // namespace w4k::obs

@@ -1,0 +1,164 @@
+// Zero-dependency telemetry: a process-wide MetricsRegistry holding
+// counters, gauges, fixed-bucket histograms, and per-stage timing
+// aggregates. All value updates are relaxed atomics; only first-use
+// registration takes a (sharded) mutex, so instrumented hot paths on the
+// shared ThreadPool never serialize against each other.
+//
+// The whole subsystem is gated on a single process-wide flag
+// (`obs::enabled()`): when off, every instrumentation site reduces to one
+// relaxed atomic load and a predictable branch, which is the "null sink"
+// path the benches rely on staying free.
+//
+// Naming scheme: `subsystem.metric` (e.g. `session.frame`, `emu.drops`,
+// `fec.symbols_encoded`, `pool.chunks`). Stages use the same convention;
+// nested stages are expressed by the span tree in the Chrome trace, not by
+// the name.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace w4k::obs {
+
+// ---------------------------------------------------------------------------
+// Global on/off switch (aggregation) and trace capture switch (per-event
+// Chrome trace buffering; only meaningful while enabled() is also true).
+
+namespace detail {
+inline std::atomic<bool> g_enabled{false};
+inline std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+void set_enabled(bool on);
+
+inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+void set_trace_enabled(bool on);
+
+// ---------------------------------------------------------------------------
+// Instruments. All are registry-owned (stable addresses for the lifetime of
+// the process); call sites cache the reference in a function-local static.
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+// Fixed-bucket histogram: counts per upper bound plus an overflow bucket,
+// and a running sum/count for the mean. Bounds are fixed at registration;
+// re-registering the same name keeps the original bounds.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+  const std::vector<double>& bounds() const { return bounds_; }
+  // counts().size() == bounds().size() + 1 (last bucket = overflow).
+  std::vector<std::uint64_t> counts() const;
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// Aggregated timing for one named pipeline stage. Individual intervals are
+// additionally captured as Chrome trace events when trace_enabled().
+class Stage {
+ public:
+  explicit Stage(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void record_ns(std::uint64_t dur_ns);
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t total_ns() const {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t max_ns() const {
+    return max_ns_.load(std::memory_order_relaxed);
+  }
+  void reset();
+
+ private:
+  std::string name_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_ns_{0};
+  std::atomic<std::uint64_t> max_ns_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Registry: name -> instrument, sharded by name hash so concurrent
+// first-use registration from pool workers does not serialize.
+
+struct StageSummary {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name,
+                       std::vector<double> upper_bounds);
+  Stage& stage(std::string_view name);
+
+  // Zeroes every instrument's value (registrations and bucket bounds are
+  // kept). Used by tests and by BenchMain between runs.
+  void reset_values();
+
+  // Sorted-by-name snapshots for the exporters.
+  std::vector<std::pair<std::string, std::uint64_t>> counter_values() const;
+  std::vector<std::pair<std::string, double>> gauge_values() const;
+  std::vector<std::pair<std::string, const Histogram*>> histograms() const;
+  std::vector<StageSummary> stage_summaries() const;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  struct Shard;
+  static constexpr std::size_t kShards = 16;
+  Shard* shard_for(std::string_view name) const;
+  Shard* shards_;  // array of kShards; intentionally leaked (process-wide)
+};
+
+// Convenience: the registry-owned stage for `name`, suitable for caching in
+// a function-local static at the instrumentation site.
+inline Stage& stage(std::string_view name) {
+  return MetricsRegistry::global().stage(name);
+}
+
+}  // namespace w4k::obs

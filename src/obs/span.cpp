@@ -1,0 +1,109 @@
+#include "obs/span.h"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+namespace w4k::obs {
+namespace {
+
+std::chrono::steady_clock::time_point& epoch() {
+  static std::chrono::steady_clock::time_point t0 =
+      std::chrono::steady_clock::now();
+  return t0;
+}
+
+struct TraceEvent {
+  const Stage* stage;  // registry-owned, never freed
+  std::uint64_t start_ns;
+  std::uint64_t dur_ns;
+};
+
+// One buffer per thread that ever records an event. The shared_ptr is held
+// both by the thread_local handle and the global list, so events survive
+// thread exit (pool resizes) until the next clear_trace().
+struct ThreadBuffer {
+  int tid;
+  std::vector<TraceEvent> events;
+};
+
+struct TraceStore {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+};
+
+TraceStore& store() {
+  static TraceStore* s = new TraceStore();  // leaked: thread-exit safe
+  return *s;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    TraceStore& s = store();
+    std::lock_guard<std::mutex> lk(s.mu);
+    b->tid = static_cast<int>(s.buffers.size());
+    s.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+}  // namespace
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch())
+          .count());
+}
+
+void reset_trace_epoch() { epoch() = std::chrono::steady_clock::now(); }
+
+void StageSpan::finish() {
+  const std::uint64_t dur = now_ns() - start_ns_;
+  stage_->record_ns(dur);
+  if (trace_enabled()) {
+    ThreadBuffer& b = local_buffer();
+    if (b.events.size() < kMaxTraceEventsPerThread)
+      b.events.push_back({stage_, start_ns_, dur});
+  }
+}
+
+void clear_trace() {
+  TraceStore& s = store();
+  std::lock_guard<std::mutex> lk(s.mu);
+  for (auto& b : s.buffers) b->events.clear();
+}
+
+std::size_t trace_event_count() {
+  TraceStore& s = store();
+  std::lock_guard<std::mutex> lk(s.mu);
+  std::size_t n = 0;
+  for (const auto& b : s.buffers) n += b->events.size();
+  return n;
+}
+
+void write_chrome_trace(std::ostream& os) {
+  TraceStore& s = store();
+  std::lock_guard<std::mutex> lk(s.mu);
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& b : s.buffers) {
+    for (const TraceEvent& e : b->events) {
+      if (!first) os << ",";
+      first = false;
+      // Complete ("X") events; ts/dur in microseconds as Chrome expects.
+      os << "{\"name\":\"" << e.stage->name()
+         << "\",\"cat\":\"w4k\",\"ph\":\"X\",\"ts\":"
+         << static_cast<double>(e.start_ns) / 1e3
+         << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1e3
+         << ",\"pid\":1,\"tid\":" << b->tid << "}";
+    }
+  }
+  os << "]}\n";
+}
+
+}  // namespace w4k::obs

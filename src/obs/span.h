@@ -1,0 +1,62 @@
+// Scoped stage timers. A StageSpan measures one interval of a named
+// pipeline stage: on destruction it folds the duration into the Stage's
+// aggregate (count/total/max) and — when trace capture is on — appends a
+// Chrome `trace_event` "complete" event to a per-thread buffer.
+//
+// Cost model: when obs::enabled() is false the constructor is a relaxed
+// atomic load plus a branch and the destructor a null check; no clock is
+// read. Call sites cache the Stage with a function-local static:
+//
+//   obs::StageSpan span(obs::stage("session.frame"));   // simplest
+//
+//   static obs::Stage& s = obs::stage("session.frame"); // zero lookups
+//   obs::StageSpan span(s);
+#pragma once
+
+#include "obs/metrics.h"
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace w4k::obs {
+
+// Nanoseconds on the steady clock since the process-wide trace epoch (set
+// on first use; reset_trace_epoch() rebases it, e.g. per bench run).
+std::uint64_t now_ns();
+void reset_trace_epoch();
+
+class StageSpan {
+ public:
+  explicit StageSpan(Stage& s) {
+    if (enabled()) {
+      stage_ = &s;
+      start_ns_ = now_ns();
+    }
+  }
+  ~StageSpan() { if (stage_ != nullptr) finish(); }
+
+  StageSpan(const StageSpan&) = delete;
+  StageSpan& operator=(const StageSpan&) = delete;
+
+ private:
+  void finish();
+  Stage* stage_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Trace buffer (filled only while enabled() && trace_enabled()).
+
+// Drops accumulated events from every thread's buffer.
+void clear_trace();
+// Total buffered events across all threads.
+std::size_t trace_event_count();
+// Chrome trace_event JSON ({"traceEvents":[...]}); load via Perfetto /
+// chrome://tracing. Small integer tids (registration order), ts/dur in µs.
+void write_chrome_trace(std::ostream& os);
+
+// Per-thread buffers stop growing past this many events (guards unbounded
+// memory on long traced runs).
+inline constexpr std::size_t kMaxTraceEventsPerThread = 1u << 20;
+
+}  // namespace w4k::obs

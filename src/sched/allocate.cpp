@@ -1,5 +1,7 @@
 #include "sched/allocate.h"
 
+#include "obs/span.h"
+
 #include <algorithm>
 #include <array>
 #include <cmath>
@@ -396,6 +398,9 @@ Allocation optimize_allocation(const AllocProblem& p,
   if (p.n_users == 0)
     throw std::invalid_argument("optimize_allocation: no users");
 
+  static obs::Stage& st = obs::stage("sched.optimize");
+  obs::StageSpan span(st);
+
   // Multi-start local search. Each start is refined in two phases — first
   // restricted to its own support (so it converges cleanly within its
   // "strategy": multicast covering, airtime-efficient covering, per-user
@@ -445,6 +450,18 @@ Allocation optimize_allocation(const AllocProblem& p,
       }
       have_result = true;
     }
+  }
+
+  if (obs::enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    static obs::Counter& c_calls = reg.counter("sched.optimize_calls");
+    static obs::Counter& c_groups = reg.counter("sched.groups_evaluated");
+    static obs::Counter& c_iters = reg.counter("sched.iterations");
+    static obs::Gauge& g_obj = reg.gauge("sched.objective");
+    c_calls.add(1);
+    c_groups.add(p.groups.size());
+    c_iters.add(static_cast<std::uint64_t>(std::max(0, result.iterations)));
+    g_obj.set(result.objective);
   }
   return result;
 }

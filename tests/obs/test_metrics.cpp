@@ -1,0 +1,126 @@
+// MetricsRegistry semantics: identity-stable instruments, deterministic
+// counts under heavy ThreadPool contention, histogram bucketing, and the
+// null-sink behavior of disabled spans.
+#include "obs/metrics.h"
+
+#include "common/thread_pool.h"
+#include "obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace w4k::obs {
+namespace {
+
+class ObsMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    MetricsRegistry::global().reset_values();
+  }
+  void TearDown() override {
+    set_trace_enabled(false);
+    set_enabled(false);
+    MetricsRegistry::global().reset_values();
+    clear_trace();
+  }
+};
+
+TEST_F(ObsMetricsTest, InstrumentsAreIdentityStable) {
+  auto& reg = MetricsRegistry::global();
+  Counter& a = reg.counter("test.identity");
+  Counter& b = reg.counter("test.identity");
+  EXPECT_EQ(&a, &b);
+  Stage& s1 = reg.stage("test.identity_stage");
+  Stage& s2 = stage("test.identity_stage");
+  EXPECT_EQ(&s1, &s2);
+}
+
+TEST_F(ObsMetricsTest, CounterDeterministicUnderPoolContention) {
+  // Force a real pool even on 1-core CI so increments actually race.
+  ThreadPool::reset_shared(4);
+  auto& reg = MetricsRegistry::global();
+  Counter& c = reg.counter("test.contended");
+  constexpr std::size_t kItems = 10000;
+  ThreadPool::shared().parallel_for(
+      0, kItems, /*grain=*/7, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) c.add(1);
+      });
+  EXPECT_EQ(c.value(), kItems);
+  ThreadPool::reset_shared(0);  // restore the default size
+}
+
+TEST_F(ObsMetricsTest, StageAggregatesUnderPoolContention) {
+  ThreadPool::reset_shared(4);
+  Stage& st = stage("test.contended_stage");
+  constexpr std::size_t kItems = 2000;
+  ThreadPool::shared().parallel_for(
+      0, kItems, /*grain=*/3, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) StageSpan span(st);
+      });
+  EXPECT_EQ(st.count(), kItems);
+  EXPECT_GE(st.total_ns(), st.max_ns());
+  ThreadPool::reset_shared(0);
+}
+
+TEST_F(ObsMetricsTest, HistogramBucketsAndOverflow) {
+  auto& reg = MetricsRegistry::global();
+  Histogram& h = reg.histogram("test.hist", {1.0, 10.0, 100.0});
+  h.observe(0.5);    // bucket 0
+  h.observe(1.0);    // bucket 0 (le semantics)
+  h.observe(5.0);    // bucket 1
+  h.observe(1e6);    // overflow
+  const auto counts = h.counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 5.0 + 1e6);
+
+  // Re-registration keeps the original bounds.
+  Histogram& again = reg.histogram("test.hist", {42.0});
+  EXPECT_EQ(&again, &h);
+  EXPECT_EQ(again.bounds().size(), 3u);
+}
+
+TEST_F(ObsMetricsTest, GaugeHoldsLastValue) {
+  Gauge& g = MetricsRegistry::global().gauge("test.gauge");
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+TEST_F(ObsMetricsTest, ResetValuesKeepsRegistrations) {
+  auto& reg = MetricsRegistry::global();
+  Counter& c = reg.counter("test.reset_me");
+  c.add(7);
+  reg.reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(&reg.counter("test.reset_me"), &c);
+}
+
+TEST_F(ObsMetricsTest, DisabledSpansRecordNothing) {
+  set_enabled(false);
+  Stage& st = stage("test.disabled_stage");
+  { StageSpan span(st); }
+  { StageSpan span(st); }
+  EXPECT_EQ(st.count(), 0u);
+  EXPECT_EQ(st.total_ns(), 0u);
+}
+
+TEST_F(ObsMetricsTest, SnapshotsAreSortedByName) {
+  auto& reg = MetricsRegistry::global();
+  reg.counter("test.zz").add(1);
+  reg.counter("test.aa").add(1);
+  const auto values = reg.counter_values();
+  ASSERT_GE(values.size(), 2u);
+  for (std::size_t i = 1; i < values.size(); ++i)
+    EXPECT_LT(values[i - 1].first, values[i].first);
+}
+
+}  // namespace
+}  // namespace w4k::obs

@@ -66,7 +66,7 @@ TEST_F(EstimatedCsiTest, NearPerfectCsiQuality) {
   MulticastSession estimated(est_cfg, *quality_, *codebook_);
   const auto est_run = run_static(estimated, channels, *contexts_, 5);
 
-  EXPECT_GT(w4k::mean(est_run.ssim), mean(perfect_run.ssim) - 0.02);
+  EXPECT_GT(est_run.ssim_summary().mean, perfect_run.ssim_summary().mean - 0.02);
 }
 
 TEST_F(EstimatedCsiTest, TooSmallCodebookThrows) {
@@ -78,10 +78,11 @@ TEST_F(EstimatedCsiTest, TooSmallCodebookThrows) {
   cfg.use_estimated_csi = true;
   beamforming::CodebookConfig small;
   small.n_beams = 8;  // < 32 antennas
-  MulticastSession session(cfg, *quality_,
-                           beamforming::make_sector_codebook(small));
-  EXPECT_THROW(session.step(channels, channels, contexts_->front()),
+  // validate() rejects the undersized codebook at construction time.
+  EXPECT_THROW(MulticastSession(cfg, *quality_,
+                                beamforming::make_sector_codebook(small)),
                std::invalid_argument);
+  (void)channels;
 }
 
 TEST_F(EstimatedCsiTest, NoisySweepsDegradeGracefully) {
@@ -103,8 +104,9 @@ TEST_F(EstimatedCsiTest, NoisySweepsDegradeGracefully) {
 
   // Noise hurts (or at least never helps beyond jitter), but the system
   // keeps working — no outage collapse.
-  EXPECT_GT(w4k::mean(noisy_run.ssim), 0.75);
-  EXPECT_LE(w4k::mean(noisy_run.ssim), w4k::mean(clean_run.ssim) + 0.02);
+  EXPECT_GT(noisy_run.ssim_summary().mean, 0.75);
+  EXPECT_LE(noisy_run.ssim_summary().mean,
+            clean_run.ssim_summary().mean + 0.02);
 }
 
 }  // namespace

@@ -80,11 +80,11 @@ TEST_F(FailureInjectionTest, DeepOutageMidTraceAndRecovery) {
   }
   SessionConfig cfg = SessionConfig::scaled(kW, kH);
   MulticastSession session(cfg, *quality_, beamforming::Codebook{});
-  const RunResult run = run_trace(session, trace, *contexts_, 1);
-  ASSERT_EQ(run.frames.size(), 9u);
+  const SessionReport run = run_trace(session, trace, *contexts_, 1);
+  ASSERT_EQ(run.frames(), 9u);
   const double blank = contexts_->front().content.blank_ssim;
-  EXPECT_NEAR(run.frames[4].ssim[0], blank, 0.05);  // outage ~ blank
-  EXPECT_GT(run.frames[8].ssim[0], 0.9);            // recovered
+  EXPECT_NEAR(run.frame(4).ssim[0], blank, 0.05);   // outage ~ blank
+  EXPECT_GT(run.frame(8).ssim[0], 0.9);             // recovered
 }
 
 TEST_F(FailureInjectionTest, NoFeedbackChannel) {
@@ -93,9 +93,9 @@ TEST_F(FailureInjectionTest, NoFeedbackChannel) {
   cfg.loss.at_zero_margin = 0.2;  // hostile channel, no repair possible
   MulticastSession session(cfg, *quality_, beamforming::Codebook{});
   const auto chans = channels_at(6.0);
-  const RunResult run = run_static(session, chans, *contexts_, 5);
+  const SessionReport run = run_static(session, chans, *contexts_, 5);
   // Quality suffers but every frame completes with sane outputs.
-  for (double s : run.ssim) {
+  for (double s : run.all_ssim()) {
     EXPECT_GT(s, 0.3);
     EXPECT_LE(s, 1.0);
   }
@@ -107,9 +107,9 @@ TEST_F(FailureInjectionTest, PathologicalQueueOfOnePacket) {
   cfg.engine.rate_control = false;  // dump the burst at the tiny queue
   MulticastSession session(cfg, *quality_, beamforming::Codebook{});
   const auto chans = channels_at(3.0);
-  const RunResult run = run_static(session, chans, *contexts_, 4);
+  const SessionReport run = run_static(session, chans, *contexts_, 4);
   // Nearly everything drops; the receiver sees ~blank frames. No crash.
-  for (const auto& f : run.frames)
+  for (const auto& f : run.frame_outcomes())
     EXPECT_GT(f.stats.packets_dropped_queue, 0u);
 }
 
@@ -118,9 +118,9 @@ TEST_F(FailureInjectionTest, NearTotalLoss) {
   cfg.loss.floor = 0.95;  // 95% of packets vanish
   MulticastSession session(cfg, *quality_, beamforming::Codebook{});
   const auto chans = channels_at(3.0);
-  const RunResult run = run_static(session, chans, *contexts_, 3);
+  const SessionReport run = run_static(session, chans, *contexts_, 3);
   const double blank = contexts_->front().content.blank_ssim;
-  for (double s : run.ssim) EXPECT_GE(s, blank - 0.05);
+  for (double s : run.all_ssim()) EXPECT_GE(s, blank - 0.05);
 }
 
 TEST_F(FailureInjectionTest, ZeroFrameBudget) {
@@ -140,8 +140,8 @@ TEST_F(FailureInjectionTest, BacklogStormWithoutRateControlDrains) {
   cfg.engine.rate_control = false;
   MulticastSession session(cfg, *quality_, beamforming::Codebook{});
   const auto chans = channels_at(16.0);  // slow link, big frames
-  const RunResult run = run_static(session, chans, *contexts_, 8);
-  for (const auto& f : run.frames)
+  const SessionReport run = run_static(session, chans, *contexts_, 8);
+  for (const auto& f : run.frame_outcomes())
     EXPECT_LE(f.stats.backlog_packets_after,
               cfg.engine.queue_capacity_bytes / cfg.engine.symbol_size + 1);
 }

@@ -89,6 +89,41 @@ TEST(SessionReport, CsvShapeAndContent) {
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
 }
 
+// Regression: frames with differing user counts (a user joins mid-run)
+// must not break the per-user aggregates or the CSV writer. users() is
+// the maximum over frames, missing samples are treated as absent for the
+// per-user means and zero-filled in the CSV.
+TEST(SessionReport, DifferingUserCountsAcrossFrames) {
+  SessionReport r;
+  r.add(frame({0.9}, {40.0}));              // 1 user
+  r.add(frame({0.8, 0.6}, {35.0, 30.0}));   // 2 users
+  EXPECT_EQ(r.users(), 2u);
+  EXPECT_EQ(r.all_ssim().size(), 3u);
+  EXPECT_DOUBLE_EQ(r.ssim_summary().mean, (0.9 + 0.8 + 0.6) / 3.0);
+
+  const auto per_user = r.per_user_mean_ssim();
+  ASSERT_EQ(per_user.size(), 2u);
+  EXPECT_DOUBLE_EQ(per_user[0], (0.9 + 0.8) / 2.0);  // present both frames
+  EXPECT_DOUBLE_EQ(per_user[1], 0.6);                // present once
+
+  std::ostringstream os;
+  r.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("ssim_u1"), std::string::npos);
+  // Frame 0 has no user 1: the column is zero-filled, not dropped.
+  EXPECT_NE(csv.find("0,0.9,0"), std::string::npos);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+TEST(SessionReport, FrameAccessors) {
+  SessionReport r;
+  r.add(frame({0.9}, {40.0}));
+  r.add(frame({0.8}, {35.0}));
+  EXPECT_EQ(r.frame_outcomes().size(), 2u);
+  EXPECT_DOUBLE_EQ(r.frame(1).ssim[0], 0.8);
+  EXPECT_THROW(r.frame(2), std::out_of_range);
+}
+
 TEST(SessionReport, CsvFileErrorsThrow) {
   SessionReport r;
   r.add(frame({0.9}, {40}));

@@ -46,10 +46,10 @@ TEST_F(RunnerTest, StaticRunShapesAndCycling) {
   const auto channels =
       channels_for(prop, place_users_fixed(2, 3.0, 0.5, rng));
   // 9 frames over 4 contexts: cycles 4,4,1.
-  const RunResult run = run_static(session, channels, *contexts_, 9);
-  EXPECT_EQ(run.frames.size(), 9u);
-  EXPECT_EQ(run.ssim.size(), 18u);  // frames x users
-  EXPECT_EQ(run.psnr.size(), 18u);
+  const SessionReport run = run_static(session, channels, *contexts_, 9);
+  EXPECT_EQ(run.frames(), 9u);
+  EXPECT_EQ(run.all_ssim().size(), 18u);  // frames x users
+  EXPECT_EQ(run.all_psnr().size(), 18u);
 }
 
 TEST_F(RunnerTest, StaticRunRequiresContexts) {
@@ -77,10 +77,10 @@ TEST_F(RunnerTest, TraceRunUsesStaleDecisionCsi) {
 
   SessionConfig cfg = SessionConfig::scaled(kW, kH);
   MulticastSession session(cfg, *quality_, beamforming::Codebook{});
-  const RunResult run = run_trace(session, trace, *contexts_, 1);
-  ASSERT_EQ(run.frames.size(), 2u);
-  EXPECT_GT(run.frames[0].ssim[0], 0.95);
-  EXPECT_LT(run.frames[1].ssim[0], 0.9);
+  const SessionReport run = run_trace(session, trace, *contexts_, 1);
+  ASSERT_EQ(run.frames(), 2u);
+  EXPECT_GT(run.frame(0).ssim[0], 0.95);
+  EXPECT_LT(run.frame(1).ssim[0], 0.9);
 }
 
 TEST_F(RunnerTest, TraceRunFramesPerSnapshot) {
@@ -94,8 +94,8 @@ TEST_F(RunnerTest, TraceRunFramesPerSnapshot) {
   }
   SessionConfig cfg = SessionConfig::scaled(kW, kH);
   MulticastSession session(cfg, *quality_, beamforming::Codebook{});
-  const RunResult run = run_trace(session, trace, *contexts_, 3);
-  EXPECT_EQ(run.frames.size(), 9u);  // 3 snapshots x 3 frames (30 FPS)
+  const SessionReport run = run_trace(session, trace, *contexts_, 3);
+  EXPECT_EQ(run.frames(), 9u);  // 3 snapshots x 3 frames (30 FPS)
 }
 
 TEST_F(RunnerTest, EmptyTraceThrows) {

@@ -60,10 +60,10 @@ std::vector<FrameContext>* SessionTest::contexts_ = nullptr;
 TEST_F(SessionTest, TwoUsersAtThreeMetersHitPaperQuality) {
   auto session = make_session();
   const auto run = run_static(session, channels(2), *contexts_, 10);
-  const w4k::Summary s = summarize(run.ssim);
+  const w4k::Summary s = run.ssim_summary();
   EXPECT_GT(s.mean, 0.94);   // paper: ~0.975 at 3 m / 2 users
   EXPECT_GT(s.min, 0.85);
-  const w4k::Summary p = summarize(run.psnr);
+  const w4k::Summary p = run.psnr_summary();
   EXPECT_GT(p.mean, 38.0);   // paper: ~43 dB
 }
 
@@ -88,7 +88,7 @@ TEST_F(SessionTest, QualityDegradesWithDistance) {
       run_static(near_session, channels(2, 3.0), *contexts_, 6);
   const auto far_run =
       run_static(far_session, channels(2, 14.0), *contexts_, 6);
-  EXPECT_GT(summarize(near_run.ssim).mean, summarize(far_run.ssim).mean);
+  EXPECT_GT(near_run.ssim_summary().mean, far_run.ssim_summary().mean);
 }
 
 TEST_F(SessionTest, MulticastSchemeBeatsUnicastWithThreeUsers) {
@@ -100,7 +100,7 @@ TEST_F(SessionTest, MulticastSchemeBeatsUnicastWithThreeUsers) {
   const auto chans = channels(3, 6.0);
   const auto multi_run = run_static(multi, chans, *contexts_, 8);
   const auto uni_run = run_static(uni, chans, *contexts_, 8);
-  EXPECT_GT(summarize(multi_run.ssim).mean, summarize(uni_run.ssim).mean);
+  EXPECT_GT(multi_run.ssim_summary().mean, uni_run.ssim_summary().mean);
 }
 
 TEST_F(SessionTest, SourceCodingOnBeatsOff) {
@@ -112,7 +112,7 @@ TEST_F(SessionTest, SourceCodingOnBeatsOff) {
   const auto chans = channels(3, 6.0);
   const auto on_run = run_static(on, chans, *contexts_, 8);
   const auto off_run = run_static(off, chans, *contexts_, 8);
-  EXPECT_GE(summarize(on_run.ssim).mean, summarize(off_run.ssim).mean);
+  EXPECT_GE(on_run.ssim_summary().mean, off_run.ssim_summary().mean);
 }
 
 TEST_F(SessionTest, OutageRendersBlankFrame) {
@@ -154,9 +154,11 @@ TEST_F(SessionTest, ResetRestoresDeterminism) {
   const auto r1 = run_static(session, chans, *contexts_, 4);
   session.reset();
   const auto r2 = run_static(session, chans, *contexts_, 4);
-  ASSERT_EQ(r1.ssim.size(), r2.ssim.size());
-  for (std::size_t i = 0; i < r1.ssim.size(); ++i)
-    EXPECT_DOUBLE_EQ(r1.ssim[i], r2.ssim[i]);
+  const auto s1 = r1.all_ssim();
+  const auto s2 = r2.all_ssim();
+  ASSERT_EQ(s1.size(), s2.size());
+  for (std::size_t i = 0; i < s1.size(); ++i)
+    EXPECT_DOUBLE_EQ(s1[i], s2[i]);
 }
 
 TEST_F(SessionTest, MismatchedChannelVectorsThrow) {
@@ -178,8 +180,8 @@ TEST_F(SessionTest, RunTraceProducesPerFrameOutcomes) {
   const auto trace = channel::moving_receiver_trace(mcfg);
   auto session = make_session();
   const auto run = run_trace(session, trace, *contexts_, 3);
-  EXPECT_EQ(run.frames.size(), 30u);  // 10 snapshots x 3 frames
-  EXPECT_EQ(run.ssim.size(), 30u);
+  EXPECT_EQ(run.frames(), 30u);  // 10 snapshots x 3 frames
+  EXPECT_EQ(run.all_ssim().size(), 30u);
 }
 
 TEST_F(SessionTest, PlacementHelpersRespectGeometry) {
