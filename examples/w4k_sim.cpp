@@ -30,6 +30,9 @@
 //   --frames N           frames to stream in static mode [60]
 //   --y4m PATH           stream a real Y4M clip instead of synthetic
 //   --width/--height     synthetic resolution [256x144]
+//   --fault-plan P       inject faults while streaming: a fault-plan file
+//                        (see fault/plan.h for the format) or random:SEED
+//                        for a seeded random plan covering the whole run
 //   --csv PATH           write the per-frame report as CSV
 //   --trace-out PATH     write a Chrome trace_event JSON of the per-stage
 //                        spans (open in Perfetto / chrome://tracing)
@@ -42,6 +45,7 @@
 #include "core/pretrained.h"
 #include "core/report.h"
 #include "core/runner.h"
+#include "fault/plan.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -61,6 +65,30 @@ beamforming::Scheme parse_scheme(const std::string& s) {
   if (s == "opt-unicast") return beamforming::Scheme::kOptimizedUnicast;
   if (s == "pre-unicast") return beamforming::Scheme::kPredefinedUnicast;
   throw std::invalid_argument("--scheme: unknown scheme '" + s + "'");
+}
+
+/// Resolves --fault-plan: a file path, or "random:SEED" for a seeded plan
+/// sized to the run. Returns an empty plan when the flag is absent.
+fault::FaultPlan resolve_fault_plan(const std::string& arg,
+                                    std::uint32_t n_frames,
+                                    std::size_t n_users) {
+  if (arg.empty()) return {};
+  if (arg.rfind("random:", 0) == 0) {
+    std::uint64_t fseed = 0;
+    std::size_t used = 0;
+    const std::string seed_str = arg.substr(7);
+    try {
+      fseed = std::stoull(seed_str, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used == 0 || used != seed_str.size())
+      throw std::invalid_argument("--fault-plan: '" + seed_str +
+                                  "' is not a valid seed (expected "
+                                  "random:<unsigned integer>)");
+    return fault::FaultPlan::random(fseed, n_frames, n_users);
+  }
+  return fault::load_fault_plan(arg);
 }
 
 std::vector<core::FrameContext> load_contexts(const Args& args, int width,
@@ -146,6 +174,18 @@ int main(int argc, char** argv) {
                                         1.06);
     core::MulticastSession session(cfg, quality, codebook);
 
+    const std::string fault_arg = args.get("fault-plan", std::string{});
+    const auto stream_with_faults =
+        [&](const fault::FaultPlan& plan, std::size_t run_users,
+            std::uint32_t run_frames) {
+          std::printf(
+              "fault plan: %zu feedback, %zu csi, %zu blockage, %zu budget, "
+              "%zu churn events over %u frames\n",
+              plan.feedback.size(), plan.csi.size(), plan.blockage.size(),
+              plan.budget.size(), plan.churn.size(), run_frames);
+          return fault::FaultInjector(plan, run_users);
+        };
+
     core::SessionReport report;
     if (!trace_path.empty() || !mobile.empty()) {
       channel::CsiTrace trace;
@@ -183,7 +223,16 @@ int main(int argc, char** argv) {
           std::printf("saved trace to %s\n", record.c_str());
         }
       }
-      report = core::run_trace(session, trace, contexts);
+      if (!fault_arg.empty()) {
+        const auto run_frames = static_cast<std::uint32_t>(trace.steps() * 3);
+        const auto plan =
+            resolve_fault_plan(fault_arg, run_frames, trace.users());
+        report = core::run_trace(
+            session, trace, contexts,
+            stream_with_faults(plan, trace.users(), run_frames));
+      } else {
+        report = core::run_trace(session, trace, contexts);
+      }
     } else {
       Rng prng(seed);
       channel::PropagationConfig prop;
@@ -201,8 +250,18 @@ int main(int argc, char** argv) {
         std::printf(" (%.1fm, %+.0fdeg)", u.distance(),
                     u.azimuth() * 57.2958);
       std::printf("\n");
-      report = core::run_static(session, core::channels_for(prop, users),
-                                contexts, args.get("frames", 60));
+      const int n_frames = args.get("frames", 60);
+      const auto channels = core::channels_for(prop, users);
+      if (!fault_arg.empty()) {
+        const auto plan = resolve_fault_plan(
+            fault_arg, static_cast<std::uint32_t>(n_frames), users.size());
+        report = core::run_static(
+            session, channels, contexts, n_frames,
+            stream_with_faults(plan, users.size(),
+                               static_cast<std::uint32_t>(n_frames)));
+      } else {
+        report = core::run_static(session, channels, contexts, n_frames);
+      }
     }
 
     // --- Report --------------------------------------------------------------

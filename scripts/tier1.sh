@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification.
+#
+# Stage 1: fast (plain Release) build + the full tier-1 suite.
+# Stage 2: rebuild the chaos fault-injection suite under ASan+UBSan
+#          (W4K_SANITIZE=ON) and run just `ctest -L chaos`, so every
+#          injected fault path — blockage bursts, lost feedback, corrupt
+#          CSI, churn — also executes under sanitizers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc)"
+
+cmake -B build -S .
+cmake --build build -j"$jobs"
+ctest --test-dir build --output-on-failure -j"$jobs" -L tier1
+
+cmake -B build-asan -S . -DW4K_SANITIZE=ON
+cmake --build build-asan -j"$jobs" --target tests_chaos
+ctest --test-dir build-asan --output-on-failure -j"$jobs" -L chaos

@@ -4,10 +4,27 @@
 #include "linalg/decompose.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace w4k::beamforming {
 namespace {
+
+// A zeroed channel (corrupt CSI sanitized upstream, or a fully blocked
+// link) has no direction to steer toward: any beam is equally useless, so
+// use a uniform one and let beam_rss report the link as dead (-300 dBm)
+// instead of throwing on normalization.
+linalg::CVector uniform_beam(std::size_t n) {
+  linalg::CVector beam(std::max<std::size_t>(1, n));
+  const double mag = 1.0 / std::sqrt(static_cast<double>(beam.size()));
+  for (std::size_t i = 0; i < beam.size(); ++i)
+    beam[i] = linalg::Complex(mag, 0.0);
+  return beam;
+}
+
+linalg::CVector mrt_beam(const linalg::CVector& h) {
+  return h.norm() > 0.0 ? h.conj().normalized() : uniform_beam(h.size());
+}
 
 GroupBeam evaluate(const linalg::CVector& beam,
                    const std::vector<linalg::CVector>& channels) {
@@ -64,7 +81,7 @@ GroupBeam group_beam(Scheme scheme,
   switch (scheme) {
     case Scheme::kOptimizedUnicast: {
       // MRT: F = conj(h) / ||h|| maximizes |F . h|.
-      return evaluate(channels[0].conj().normalized(), channels);
+      return evaluate(mrt_beam(channels[0]), channels);
     }
     case Scheme::kPredefinedUnicast:
       return best_codebook_beam(channels, codebook);
@@ -72,7 +89,7 @@ GroupBeam group_beam(Scheme scheme,
       return best_codebook_beam(channels, codebook);
     case Scheme::kOptimizedMulticast: {
       if (channels.size() == 1)
-        return evaluate(channels[0].conj().normalized(), channels);
+        return evaluate(mrt_beam(channels[0]), channels);
       // Max-sum SVD heuristic for the NP-hard max-min problem: F is the
       // dominant right singular vector of the stacked channel matrix
       // (Sec. 2.5). The rows are *normalized* channels: with raw rows the
@@ -83,7 +100,10 @@ GroupBeam group_beam(Scheme scheme,
       // same O(N_t^2 N) cost.
       std::vector<linalg::CVector> rows;
       rows.reserve(channels.size());
-      for (const auto& h : channels) rows.push_back(h.normalized());
+      for (const auto& h : channels)
+        if (h.norm() > 0.0) rows.push_back(h.normalized());
+      if (rows.empty()) return evaluate(uniform_beam(channels[0].size()),
+                                        channels);
       const linalg::CMatrix hmat = linalg::CMatrix::from_rows(rows);
       const auto svd = linalg::dominant_right_singular(hmat, rng);
       return evaluate(svd.right_singular, channels);

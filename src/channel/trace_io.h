@@ -3,8 +3,14 @@
 // emulation"). The binary format is versioned and self-describing so
 // recorded traces can be replayed across builds:
 //
-//   magic "W4KCSIT1" | u32 steps | u32 users | u32 antennas | f64 interval
-//   then steps x users x (2 f64 position + antennas x 2 f64 channel).
+//   magic "W4KCSIT2" | u32 steps | u32 users | u32 antennas | f64 interval
+//   then per step: u32 step id, then users x (2 f64 position +
+//   antennas x 2 f64 channel).
+//
+// Version 1 ("W4KCSIT1", no per-step ids) is still read. The loader
+// validates as it goes: truncated rows, non-finite values, and
+// out-of-order step ids all throw std::runtime_error naming the offending
+// step/user record.
 #pragma once
 
 #include "channel/mobility.h"
@@ -17,8 +23,10 @@ namespace w4k::channel {
 /// ragged trace (every snapshot must have the same user and antenna count).
 void save_trace(const CsiTrace& trace, const std::string& path);
 
-/// Reads a trace written by save_trace. Throws std::runtime_error on
-/// missing file, bad magic, or truncation.
+/// Reads a trace written by save_trace (either format version). Throws
+/// std::runtime_error on missing file, bad magic, implausible header,
+/// truncation, non-finite values, or out-of-order step ids — the message
+/// names the offending record.
 CsiTrace load_trace(const std::string& path);
 
 }  // namespace w4k::channel

@@ -55,6 +55,12 @@ Experiment& Experiment::channels(std::vector<linalg::CVector> chans) {
   return *this;
 }
 
+Experiment& Experiment::faults(fault::FaultPlan plan) {
+  fault_plan_ = std::move(plan);
+  session_.reset();  // fault-recovery state must not leak across plans
+  return *this;
+}
+
 MulticastSession& Experiment::session() {
   if (!session_) session_.emplace(cfg_, quality_, codebook_);
   return *session_;
@@ -65,12 +71,20 @@ SessionReport Experiment::run_static(int n_frames) {
     throw std::invalid_argument(
         "Experiment::run_static: no users placed (call place_fixed / "
         "place_random / channels first)");
-  return core::run_static(session(), channels_, contexts_, n_frames);
+  if (fault_plan_.empty())
+    return core::run_static(session(), channels_, contexts_, n_frames);
+  const fault::FaultInjector injector(fault_plan_, channels_.size());
+  return core::run_static(session(), channels_, contexts_, n_frames,
+                          injector);
 }
 
 SessionReport Experiment::run_trace(const channel::CsiTrace& trace,
                                     int frames_per_snapshot) {
-  return core::run_trace(session(), trace, contexts_, frames_per_snapshot);
+  if (fault_plan_.empty())
+    return core::run_trace(session(), trace, contexts_, frames_per_snapshot);
+  const fault::FaultInjector injector(fault_plan_, trace.users());
+  return core::run_trace(session(), trace, contexts_, injector,
+                         frames_per_snapshot);
 }
 
 }  // namespace w4k::core

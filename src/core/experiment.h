@@ -50,6 +50,12 @@ class Experiment {
   /// Explicit channels (skips placement/propagation entirely).
   Experiment& channels(std::vector<linalg::CVector> chans);
 
+  /// Fault plan injected into every subsequent run (validated against the
+  /// user count at run time). Pass an empty plan to clear; an empty plan
+  /// is also bit-identical to never having set one.
+  Experiment& faults(fault::FaultPlan plan);
+  const fault::FaultPlan& fault_plan() const { return fault_plan_; }
+
   const std::vector<channel::Position>& users() const { return users_; }
   const std::vector<linalg::CVector>& channel_vectors() const {
     return channels_;
@@ -73,6 +79,7 @@ class Experiment {
   beamforming::Codebook codebook_;
   std::vector<channel::Position> users_;
   std::vector<linalg::CVector> channels_;
+  fault::FaultPlan fault_plan_;
   std::optional<MulticastSession> session_;
 };
 

@@ -1,13 +1,34 @@
 #include "core/pretrained.h"
 
 #include "model/dataset.h"
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
 
 namespace w4k::core {
 
 double ensure_trained(model::QualityModel& model,
                       const PretrainedOptions& opts) {
-  if (!opts.cache_path.empty() && model.load_file(opts.cache_path))
-    return 0.0;
+  if (!opts.cache_path.empty()) {
+    const bool exists = static_cast<bool>(std::ifstream(opts.cache_path));
+    if (model.load_file(opts.cache_path)) return 0.0;
+    if (exists) {
+      // The cache is present but corrupt (truncated, bit-flipped, wrong
+      // topology). Retraining silently would hide the corruption, and
+      // keeping the file would hit the same failure every run — so warn,
+      // delete, retrain, and re-save below.
+      std::cerr << "w4k: quality-model cache '" << opts.cache_path
+                << "' is corrupt; deleting and retraining\n";
+      if (obs::enabled()) {
+        static obs::Counter& c =
+            obs::MetricsRegistry::global().counter("pretrained.cache_corrupt");
+        c.add(1);
+      }
+      std::remove(opts.cache_path.c_str());
+    }
+  }
 
   model::DatasetConfig cfg;
   cfg.frames_per_video = opts.frames_per_video;

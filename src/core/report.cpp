@@ -5,6 +5,15 @@
 #include <sstream>
 
 namespace w4k::core {
+namespace {
+
+/// user_present is empty on the no-churn fast path (everyone present).
+bool present(const FrameOutcome& f, std::size_t u) {
+  return f.user_present.empty() ||
+         (u < f.user_present.size() && f.user_present[u]);
+}
+
+}  // namespace
 
 void SessionReport::add(const FrameOutcome& outcome) {
   frames_.push_back(outcome);
@@ -19,14 +28,16 @@ std::size_t SessionReport::users() const {
 std::vector<double> SessionReport::all_ssim() const {
   std::vector<double> all;
   for (const auto& f : frames_)
-    all.insert(all.end(), f.ssim.begin(), f.ssim.end());
+    for (std::size_t u = 0; u < f.ssim.size(); ++u)
+      if (present(f, u)) all.push_back(f.ssim[u]);
   return all;
 }
 
 std::vector<double> SessionReport::all_psnr() const {
   std::vector<double> all;
   for (const auto& f : frames_)
-    all.insert(all.end(), f.psnr.begin(), f.psnr.end());
+    for (std::size_t u = 0; u < f.psnr.size(); ++u)
+      if (present(f, u)) all.push_back(f.psnr[u]);
   return all;
 }
 
@@ -40,6 +51,7 @@ std::vector<double> SessionReport::per_user_mean_ssim() const {
   std::vector<std::size_t> present(sums.size(), 0);
   for (const auto& f : frames_)
     for (std::size_t u = 0; u < sums.size() && u < f.ssim.size(); ++u) {
+      if (!core::present(f, u)) continue;  // churned out this frame
       sums[u] += f.ssim[u];
       ++present[u];
     }
@@ -53,7 +65,8 @@ double SessionReport::bad_frame_fraction(double ssim_threshold) const {
   std::size_t bad = 0;
   for (const auto& f : frames_) {
     bool any_bad = false;
-    for (double s : f.ssim) any_bad |= s < ssim_threshold;
+    for (std::size_t u = 0; u < f.ssim.size(); ++u)
+      any_bad |= present(f, u) && f.ssim[u] < ssim_threshold;
     bad += any_bad ? 1 : 0;
   }
   return static_cast<double>(bad) / static_cast<double>(frames_.size());
@@ -67,6 +80,8 @@ SessionReport::Totals SessionReport::totals() const {
     t.packets_dropped_queue += f.stats.packets_dropped_queue;
     t.makeup_packets += f.stats.makeup_packets;
     t.airtime += f.stats.airtime;
+    t.csi_held_frames += f.csi_held ? 1 : 0;
+    t.shed_symbols += f.shed_symbols;
   }
   return t;
 }
@@ -86,6 +101,9 @@ std::string SessionReport::summary_text() const {
   os << "packets sent " << t.packets_sent << " (makeup " << t.makeup_packets
      << ", queue-dropped " << t.packets_dropped_queue << "), airtime "
      << t.airtime << " s\n";
+  if (t.csi_held_frames > 0 || t.shed_symbols > 0)
+    os << "degraded: " << t.csi_held_frames << " frames on held CSI, "
+       << t.shed_symbols << " enhancement symbols shed\n";
   return os.str();
 }
 
@@ -99,12 +117,15 @@ void SessionReport::write_csv(std::ostream& os) const {
   for (std::size_t i = 0; i < frames_.size(); ++i) {
     const auto& f = frames_[i];
     os << i;
-    for (std::size_t u = 0; u < n; ++u)
-      os << ',' << (u < f.ssim.size() ? f.ssim[u] : 0.0);
-    for (std::size_t u = 0; u < n; ++u)
-      os << ',' << (u < f.psnr.size() ? f.psnr[u] : 0.0);
-    for (std::size_t u = 0; u < n; ++u)
-      os << ',' << (u < f.decoded_fraction.size() ? f.decoded_fraction[u] : 0.0);
+    // Users absent from a frame (churn) get an empty cell, not a fake 0;
+    // frames that simply recorded fewer users keep the zero fill.
+    const auto cell = [&](const std::vector<double>& v, std::size_t u) {
+      if (u < v.size() && !present(f, u)) return;  // absent: empty cell
+      os << (u < v.size() ? v[u] : 0.0);
+    };
+    for (std::size_t u = 0; u < n; ++u) { os << ','; cell(f.ssim, u); }
+    for (std::size_t u = 0; u < n; ++u) { os << ','; cell(f.psnr, u); }
+    for (std::size_t u = 0; u < n; ++u) { os << ','; cell(f.decoded_fraction, u); }
     os << ',' << f.stats.packets_sent << ',' << f.stats.packets_dropped_queue
        << ',' << f.stats.makeup_packets << ',' << f.stats.airtime << '\n';
   }

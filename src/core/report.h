@@ -30,7 +30,9 @@ class SessionReport {
   const FrameOutcome& frame(std::size_t i) const { return frames_.at(i); }
 
   /// All per-(frame, user) samples flattened in streaming order — the
-  /// shape the plotting benches consume.
+  /// shape the plotting benches consume. Samples for users absent from a
+  /// frame (churn; FrameOutcome::user_present) are placeholders and are
+  /// skipped, here and in every aggregate below.
   std::vector<double> all_ssim() const;
   std::vector<double> all_psnr() const;
 
@@ -52,6 +54,9 @@ class SessionReport {
     std::size_t packets_dropped_queue = 0;
     std::size_t makeup_packets = 0;
     Seconds airtime = 0.0;
+    /// Fault/degradation visibility (all zero on a fault-free run).
+    std::size_t csi_held_frames = 0;   ///< frames decided on held CSI
+    std::size_t shed_symbols = 0;      ///< enhancement symbols shed
   };
   Totals totals() const;
 

@@ -67,6 +67,28 @@ SessionReport run_static(MulticastSession& session,
   return report;
 }
 
+SessionReport run_static(MulticastSession& session,
+                         const std::vector<linalg::CVector>& channels,
+                         const std::vector<FrameContext>& contexts,
+                         int n_frames, const fault::FaultInjector& injector) {
+  if (contexts.empty())
+    throw std::invalid_argument("run_static: no frame contexts");
+  SessionReport report;
+  for (int f = 0; f < n_frames; ++f) {
+    const FrameContext& ctx =
+        contexts[static_cast<std::size_t>(f) % contexts.size()];
+    const auto frame_id = static_cast<std::uint32_t>(f);
+    const fault::FrameFaults faults = injector.at(frame_id);
+    // Channel-level faults mutate per-frame copies; the placement itself
+    // stays pristine for the frames the burst does not cover.
+    std::vector<linalg::CVector> decision = channels;
+    std::vector<linalg::CVector> truth = channels;
+    injector.apply(frame_id, decision, truth);
+    report.add(session.step(decision, truth, ctx, faults));
+  }
+  return report;
+}
+
 SessionReport run_trace(MulticastSession& session,
                         const channel::CsiTrace& trace,
                         const std::vector<FrameContext>& contexts,
@@ -84,6 +106,32 @@ SessionReport run_trace(MulticastSession& session,
       const FrameContext& ctx =
           contexts[static_cast<std::size_t>(frame) % contexts.size()];
       report.add(session.step(decision, truth, ctx));
+    }
+  }
+  return report;
+}
+
+SessionReport run_trace(MulticastSession& session,
+                        const channel::CsiTrace& trace,
+                        const std::vector<FrameContext>& contexts,
+                        const fault::FaultInjector& injector,
+                        int frames_per_snapshot) {
+  if (contexts.empty())
+    throw std::invalid_argument("run_trace: no frame contexts");
+  if (trace.steps() == 0)
+    throw std::invalid_argument("run_trace: empty trace");
+  SessionReport report;
+  std::uint32_t frame = 0;
+  for (std::size_t t = 0; t < trace.steps(); ++t) {
+    for (int k = 0; k < frames_per_snapshot; ++k, ++frame) {
+      const FrameContext& ctx =
+          contexts[frame % contexts.size()];
+      const fault::FrameFaults faults = injector.at(frame);
+      std::vector<linalg::CVector> truth = trace.snapshots[t];
+      std::vector<linalg::CVector> decision =
+          trace.snapshots[t > 0 ? t - 1 : 0];
+      injector.apply(frame, decision, truth);
+      report.add(session.step(decision, truth, ctx, faults));
     }
   }
   return report;

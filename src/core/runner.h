@@ -6,6 +6,7 @@
 #include "channel/propagation.h"
 #include "core/report.h"
 #include "core/session.h"
+#include "fault/injector.h"
 
 #include <vector>
 
@@ -46,6 +47,22 @@ SessionReport run_static(MulticastSession& session,
 SessionReport run_trace(MulticastSession& session,
                         const channel::CsiTrace& trace,
                         const std::vector<FrameContext>& contexts,
+                        int frames_per_snapshot = 3);
+
+/// Fault-injecting variants: each frame's FrameFaults come from
+/// `injector.at(frame)`, and the injector's channel-level faults (blockage
+/// bursts, CSI corruption) are applied to per-frame copies of the decision
+/// and true channels before stepping. An empty FaultPlan reproduces the
+/// fault-free overload bit-identically — the chaos suite asserts this.
+SessionReport run_static(MulticastSession& session,
+                         const std::vector<linalg::CVector>& channels,
+                         const std::vector<FrameContext>& contexts,
+                         int n_frames, const fault::FaultInjector& injector);
+
+SessionReport run_trace(MulticastSession& session,
+                        const channel::CsiTrace& trace,
+                        const std::vector<FrameContext>& contexts,
+                        const fault::FaultInjector& injector,
                         int frames_per_snapshot = 3);
 
 }  // namespace w4k::core

@@ -3,9 +3,11 @@
 #include "beamforming/csi.h"
 #include "beamforming/sls.h"
 #include "channel/array.h"
+#include "obs/metrics.h"
 #include "obs/span.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <string>
 
@@ -47,6 +49,24 @@ void SessionConfig::validate(std::size_t codebook_beams,
         "must be >= 0 dB (got " + std::to_string(sls_noise_db) + ")");
   if (!(lambda >= 0.0))
     bad("lambda", "must be >= 0 (got " + std::to_string(lambda) + ")");
+  if (!(stale_csi_backoff_db >= 0.0))
+    bad("stale_csi_backoff_db",
+        "must be >= 0 dB (got " + std::to_string(stale_csi_backoff_db) + ")");
+  if (!(blind_makeup_fraction >= 0.0 && blind_makeup_fraction <= 1.0))
+    bad("blind_makeup_fraction",
+        "must be in [0, 1] (got " + std::to_string(blind_makeup_fraction) +
+            ")");
+  if (blind_backoff_cap < 0 || blind_backoff_cap > 30)
+    bad("blind_backoff_cap",
+        "must be in [0, 30] (got " + std::to_string(blind_backoff_cap) + ")");
+  if (quarantine_after < 0)
+    bad("quarantine_after",
+        "must be >= 0 (got " + std::to_string(quarantine_after) + ")");
+  if (quarantine_reprobe_period < 1)
+    bad("quarantine_reprobe_period",
+        "must be >= 1 (got " + std::to_string(quarantine_reprobe_period) +
+            ")");
+  loss.validate();  // throws "LossModel.<field>: ..." on bad parameters
   if (use_estimated_csi && codebook_beams != kUnknown &&
       codebook_beams < channel::kDefaultApAntennas)
     bad("use_estimated_csi",
@@ -76,8 +96,23 @@ void MulticastSession::reset() {
   last_measured_.clear();
   cached_channels_.clear();
   cached_groups_.clear();
+  cached_exclude_.clear();
   engine_.clear_backlog();
   rng_.reseed(cfg_.seed);
+  next_frame_id_ = 0;
+  held_csi_.clear();
+  feedback_silent_streak_.clear();
+  lost_frame_streak_.clear();
+  quarantined_.clear();
+}
+
+void MulticastSession::ensure_user_state(std::size_t n_users) {
+  if (feedback_silent_streak_.size() != n_users) {
+    feedback_silent_streak_.assign(n_users, 0);
+    lost_frame_streak_.assign(n_users, 0);
+    quarantined_.assign(n_users, 0);
+    held_csi_.clear();
+  }
 }
 
 namespace {
@@ -93,26 +128,39 @@ bool same_channels(const std::vector<linalg::CVector>& a,
   return true;
 }
 
+bool all_finite(const std::vector<linalg::CVector>& channels) {
+  for (const auto& h : channels)
+    for (std::size_t n = 0; n < h.size(); ++n)
+      if (!std::isfinite(h[n].real()) || !std::isfinite(h[n].imag()))
+        return false;
+  return true;
+}
+
 }  // namespace
 
 MulticastSession::Decision MulticastSession::decide(
-    const std::vector<linalg::CVector>& channels, const FrameContext& ctx) {
+    const std::vector<linalg::CVector>& channels, const FrameContext& ctx,
+    const std::vector<std::uint8_t>& exclude) {
   Decision d;
   {
     // Group beamforming (cached across frames for static CSI; the span
     // still records so every frame shows the stage, near-zero when cached).
     static obs::Stage& st = obs::stage("session.beamform");
     obs::StageSpan span(st);
-    if (!cached_groups_.empty() && same_channels(channels, cached_channels_)) {
+    if (!cached_groups_.empty() && exclude == cached_exclude_ &&
+        same_channels(channels, cached_channels_)) {
       d.groups = cached_groups_;
     } else {
+      sched::GroupEnumConfig enum_cfg = cfg_.group_enum;
+      enum_cfg.exclude = exclude;
       d.groups = sched::enumerate_groups(cfg_.scheme, channels, codebook_,
-                                         rng_, cfg_.group_enum);
+                                         rng_, enum_cfg);
       // Scale Table 2 rates to the frame resolution before any byte math.
       for (auto& g : d.groups)
         g.beam.rate = Mbps{g.beam.rate.value * cfg_.rate_scale};
       cached_channels_ = channels;
       cached_groups_ = d.groups;
+      cached_exclude_ = exclude;
     }
   }
 
@@ -148,28 +196,125 @@ FrameOutcome MulticastSession::step(
     const std::vector<linalg::CVector>& decision_channels,
     const std::vector<linalg::CVector>& true_channels,
     const FrameContext& ctx) {
+  return step(decision_channels, true_channels, ctx, fault::FrameFaults{});
+}
+
+FrameOutcome MulticastSession::step(
+    const std::vector<linalg::CVector>& decision_channels,
+    const std::vector<linalg::CVector>& true_channels,
+    const FrameContext& ctx, const fault::FrameFaults& faults) {
   if (decision_channels.size() != true_channels.size())
     throw std::invalid_argument("step: channel vector count mismatch");
   const std::size_t n_users = true_channels.size();
   cfg_.validate(SessionConfig::kUnknown, n_users);
+  const auto check_mask = [&](std::size_t got, const char* name) {
+    if (got != 0 && got != n_users)
+      throw std::invalid_argument(std::string("step: faults.") + name +
+                                  " size mismatch");
+  };
+  check_mask(faults.feedback_lost.size(), "feedback_lost");
+  check_mask(faults.user_active.size(), "user_active");
+  if (!(faults.budget_scale > 0.0 && faults.budget_scale <= 1.0))
+    throw std::invalid_argument("step: faults.budget_scale outside (0, 1]");
+  ensure_user_state(n_users);
+  const std::uint32_t frame_id = next_frame_id_++;
 
   static obs::Stage& st_frame = obs::stage("session.frame");
   obs::StageSpan frame_span(st_frame);
 
+  // --- CSI health: hold the last good beamweights over a missed or
+  // corrupt beacon instead of deciding on garbage. ------------------------
+  const bool csi_finite = all_finite(decision_channels);
+  const std::vector<linalg::CVector>* decision_base = &decision_channels;
+  std::vector<linalg::CVector> sanitized;
+  bool csi_held = false;
+  if (faults.csi_stale || !csi_finite) {
+    if (held_csi_.size() == n_users) {
+      decision_base = &held_csi_;
+      csi_held = true;
+    } else if (!csi_finite) {
+      // Nothing to fall back to: zero the poisoned entries. The affected
+      // users enumerate as unreachable (outage) rather than NaN.
+      sanitized = decision_channels;
+      for (auto& h : sanitized)
+        for (std::size_t n = 0; n < h.size(); ++n)
+          if (!std::isfinite(h[n].real()) || !std::isfinite(h[n].imag()))
+            h[n] = linalg::Complex(0.0, 0.0);
+      decision_base = &sanitized;
+    }
+  } else {
+    held_csi_ = decision_channels;  // fresh and finite: new fallback point
+  }
+  // Stale beamweights deserve a conservative MCS.
+  const double mcs_margin_db =
+      cfg_.mcs_margin_db + (csi_held ? cfg_.stale_csi_backoff_db : 0.0);
+
+  // --- Active / quarantine bookkeeping -> group-optimizer exclusions ----
+  const auto active = [&](std::size_t u) {
+    return faults.user_active.empty() || faults.user_active[u] != 0;
+  };
+  const bool reprobe_frame =
+      cfg_.quarantine_after > 0 &&
+      frame_id % static_cast<std::uint32_t>(cfg_.quarantine_reprobe_period) ==
+          0;
+  std::vector<std::uint8_t> exclude(n_users, 0);
+  std::size_t n_included = 0;
+  std::size_t n_active = 0;
+  for (std::size_t u = 0; u < n_users; ++u) {
+    const bool act = active(u);
+    n_active += act ? 1 : 0;
+    const bool inc = act && (quarantined_[u] == 0 || reprobe_frame);
+    exclude[u] = inc ? 0 : 1;
+    n_included += inc ? 1 : 0;
+  }
+  if (n_included == 0 && n_active > 0) {
+    // Every remaining user is quarantined: streaming to nobody serves no
+    // one, so treat the frame as a forced re-probe of all of them.
+    for (std::size_t u = 0; u < n_users; ++u) exclude[u] = active(u) ? 0 : 1;
+    n_included = n_active;
+  }
+
+  FrameOutcome out;
+  out.frame_id = frame_id;
+  out.csi_held = csi_held;
+  const auto fill_presence = [&] {
+    if (n_active < n_users) {
+      out.user_present.assign(n_users, false);
+      for (std::size_t u = 0; u < n_users; ++u) out.user_present[u] = active(u);
+    }
+    bool any_quarantined = false;
+    for (std::size_t u = 0; u < n_users; ++u)
+      any_quarantined |= quarantined_[u] != 0;
+    if (any_quarantined) {
+      out.user_quarantined.assign(n_users, false);
+      for (std::size_t u = 0; u < n_users; ++u)
+        out.user_quarantined[u] = quarantined_[u] != 0;
+    }
+  };
+
+  if (n_active == 0) {
+    // Everyone left: an idle frame, not an error. Frame ids keep counting.
+    out.ssim.assign(n_users, 0.0);
+    out.psnr.assign(n_users, 0.0);
+    out.decoded_fraction.assign(n_users, 0.0);
+    fill_presence();
+    return out;
+  }
+
   // Optionally estimate CSI the way the hardware does (SLS sweep + phase
   // retrieval) instead of taking the beacon channels as ground truth.
-  const std::vector<linalg::CVector>* decision_csi = &decision_channels;
+  const std::vector<linalg::CVector>* decision_csi = decision_base;
   std::vector<linalg::CVector> estimated;
   if (cfg_.use_estimated_csi) {
     static obs::Stage& st = obs::stage("session.csi_estimate");
     obs::StageSpan span(st);
-    if (codebook_.size() < (decision_channels.empty()
+    if (codebook_.size() < (decision_base->empty()
                                 ? 1
-                                : decision_channels.front().size()))
+                                : decision_base->front().size()))
       throw std::invalid_argument(
           "step: CSI estimation needs codebook size >= antenna count");
-    estimated.reserve(decision_channels.size());
-    for (const auto& h : decision_channels) {
+    estimated.reserve(decision_base->size());
+    for (const auto& h : *decision_base) {
       const beamforming::SweepResult sweep =
           beamforming::sector_sweep(h, codebook_, rng_, cfg_.sls_noise_db);
       estimated.push_back(beamforming::estimate_csi(sweep, codebook_).h);
@@ -180,10 +325,10 @@ FrameOutcome MulticastSession::step(
   const Decision* decision = nullptr;
   Decision fresh;
   if (!cfg_.adapt) {
-    if (!frozen_) frozen_ = decide(*decision_csi, ctx);
+    if (!frozen_) frozen_ = decide(*decision_csi, ctx, exclude);
     decision = &*frozen_;
   } else {
-    fresh = decide(*decision_csi, ctx);
+    fresh = decide(*decision_csi, ctx, exclude);
     decision = &fresh;
   }
 
@@ -194,7 +339,7 @@ FrameOutcome MulticastSession::step(
   // this, a walking receiver would simply leave the frozen beam, which is
   // not what happens on real hardware. The firmware's knowledge has the
   // same one-beacon staleness as everyone else's: it trains on the last
-  // sweep (decision_channels), not on the in-flight channel.
+  // sweep (decision channels), not on the in-flight channel.
   std::vector<linalg::CVector> fallback_beams;
   if (!cfg_.adapt && codebook_.size() > 0) {
     fallback_beams.reserve(decision->groups.size());
@@ -206,7 +351,7 @@ FrameOutcome MulticastSession::step(
         for (std::size_t u : spec.members)
           min_rss = std::min(
               min_rss,
-              channel::beam_rss(decision_channels[u], codebook_[k]).value);
+              channel::beam_rss((*decision_base)[u], codebook_[k]).value);
         if (min_rss > best_min) {
           best_min = min_rss;
           best = &codebook_[k];
@@ -216,7 +361,6 @@ FrameOutcome MulticastSession::step(
     }
   }
 
-  FrameOutcome out;
   out.optimizer_objective = decision->allocation.objective;
 
   if (decision->groups.empty()) {
@@ -227,9 +371,15 @@ FrameOutcome MulticastSession::step(
         video::Frame::blank(ctx.original.width(), ctx.original.height());
     const double s = quality::ssim(ctx.original, blank);
     const double p = quality::psnr(ctx.original, blank);
-    out.ssim.assign(n_users, s);
-    out.psnr.assign(n_users, p);
+    out.ssim.assign(n_users, 0.0);
+    out.psnr.assign(n_users, 0.0);
     out.decoded_fraction.assign(n_users, 0.0);
+    for (std::size_t u = 0; u < n_users; ++u) {
+      if (!active(u)) continue;
+      out.ssim[u] = s;
+      out.psnr[u] = p;
+    }
+    fill_presence();
     return out;
   }
 
@@ -259,10 +409,9 @@ FrameOutcome MulticastSession::step(
         link_rss = Dbm{1e300};
         for (std::size_t u : spec.members)
           link_rss = std::min(
-              link_rss, channel::beam_rss(decision_channels[u], air_beam));
+              link_rss, channel::beam_rss((*decision_base)[u], air_beam));
       }
-      if (const auto mcs =
-              channel::select_mcs(link_rss - cfg_.mcs_margin_db)) {
+      if (const auto mcs = channel::select_mcs(link_rss - mcs_margin_db)) {
         tx.mcs = *mcs;
         tx.drain_rate = Mbps{mcs->udp_throughput.value * cfg_.rate_scale};
         tx.bucket_rate = (cfg_.adapt && g < last_measured_.size() &&
@@ -281,32 +430,183 @@ FrameOutcome MulticastSession::step(
     }
   }
 
+  // --- Budget collapse: shed enhancement layers, never the base ----------
+  // Assignments are in transmission-priority order (layer asc), so the
+  // airtime estimate fills the base layer first; everything past the
+  // collapsed budget is shed unless it is base-layer data, which is always
+  // attempted (the layered-coding rationale: a thumbnail beats a freeze).
+  const std::vector<sched::UnitAssignment>* assignments =
+      &decision->unit_map.assignments;
+  std::vector<sched::UnitAssignment> shed_plan;
+  if (faults.budget_scale < 1.0) {
+    static obs::Stage& st = obs::stage("session.shed");
+    obs::StageSpan span(st);
+    const Seconds cap = cfg_.engine.frame_budget * faults.budget_scale;
+    const double wire = static_cast<double>(cfg_.engine.header_bytes +
+                                            cfg_.engine.symbol_size);
+    Seconds est = 0.0;
+    shed_plan.reserve(decision->unit_map.assignments.size());
+    for (const auto& a : decision->unit_map.assignments) {
+      const Mbps rate = groups_tx[a.group].drain_rate;
+      const Seconds air =
+          rate.value > 0.0
+              ? rate.seconds_for(wire * static_cast<double>(a.symbols))
+              : 0.0;
+      const bool base_layer =
+          a.unit_index < ctx.units.size() &&
+          ctx.units[a.unit_index].id.layer == 0;
+      if (base_layer || est + air <= cap) {
+        shed_plan.push_back(a);
+        est += air;
+      } else {
+        out.shed_symbols += a.symbols;
+      }
+    }
+    assignments = &shed_plan;
+  }
+
+  // --- Feedback faults -> engine fault state -----------------------------
+  emu::FrameFaultState efs;
+  efs.frame_id = frame_id;
+  efs.budget_scale = faults.budget_scale;
+  bool any_silent = false;
+  for (std::size_t u = 0; u < n_users; ++u) {
+    const bool lost =
+        (u < faults.feedback_lost.size() && faults.feedback_lost[u] != 0) ||
+        !active(u);  // departed users cannot report either
+    if (lost) any_silent = true;
+  }
+  if (any_silent) {
+    efs.feedback_lost.assign(n_users, 0);
+    efs.blind_fraction.assign(n_users, cfg_.blind_makeup_fraction);
+    for (std::size_t u = 0; u < n_users; ++u) {
+      const bool lost =
+          (u < faults.feedback_lost.size() && faults.feedback_lost[u] != 0) ||
+          !active(u);
+      if (!lost) continue;
+      efs.feedback_lost[u] = 1;
+      // Capped exponential backoff: the first silent frame gets the full
+      // conservative budget, each further consecutive one half of it.
+      const int halvings =
+          std::min(feedback_silent_streak_[u], cfg_.blind_backoff_cap);
+      efs.blind_fraction[u] =
+          cfg_.blind_makeup_fraction / static_cast<double>(1u << halvings);
+    }
+  }
+
   emu::FrameTxResult tx_result;
   {
     static obs::Stage& st = obs::stage("session.transmit");
     obs::StageSpan span(st);
-    tx_result = engine_.run_frame(ctx.units, decision->unit_map.assignments,
-                                  groups_tx, n_users, rng_);
+    tx_result =
+        engine_.run_frame(ctx.units, *assignments, groups_tx, n_users, rng_,
+                          efs);
   }
 
   if (cfg_.adapt) last_measured_ = tx_result.measured_rate;
+
+  // --- Cross-frame recovery bookkeeping ---------------------------------
+  std::size_t quarantine_entered = 0;
+  std::size_t quarantine_exited = 0;
+  for (std::size_t u = 0; u < n_users; ++u) {
+    const bool lost =
+        (u < faults.feedback_lost.size() && faults.feedback_lost[u] != 0) &&
+        active(u);
+    const bool delayed =
+        u < faults.feedback_delayed.size() && faults.feedback_delayed[u] != 0;
+    // A delayed report proves the user alive once it lands, so it does not
+    // feed the persistent-silence streak; an outright loss does.
+    if (lost && !delayed) ++feedback_silent_streak_[u];
+    else feedback_silent_streak_[u] = 0;
+  }
+  if (cfg_.quarantine_after > 0) {
+    std::vector<std::uint8_t> attempted(n_users, 0);
+    for (const auto& g : groups_tx) {
+      if (g.drain_rate.value <= 0.0) continue;
+      for (std::size_t u : g.members) attempted[u] = 1;
+    }
+    for (std::size_t u = 0; u < n_users; ++u) {
+      if (!active(u)) {
+        lost_frame_streak_[u] = 0;  // churn is not blockage
+        continue;
+      }
+      bool decoded_any = false;
+      for (bool b : tx_result.user_decoded[u]) decoded_any |= b;
+      if (decoded_any) {
+        lost_frame_streak_[u] = 0;
+        if (quarantined_[u]) {
+          quarantined_[u] = 0;
+          ++quarantine_exited;
+        }
+      } else if (attempted[u] && faults.budget_scale >= 0.5 &&
+                 !ctx.units.empty()) {
+        // Only count frames where delivery was genuinely attempted over a
+        // healthy budget — a NIC stall must not quarantine the room.
+        if (++lost_frame_streak_[u] >= cfg_.quarantine_after &&
+            quarantined_[u] == 0) {
+          quarantined_[u] = 1;
+          ++quarantine_entered;
+        }
+      }
+    }
+  }
 
   out.stats = tx_result.stats;
   {
     static obs::Stage& st = obs::stage("session.quality");
     obs::StageSpan span(st);
+    out.ssim.assign(n_users, 0.0);
+    out.psnr.assign(n_users, 0.0);
+    out.decoded_fraction.assign(n_users, 0.0);
     for (std::size_t u = 0; u < n_users; ++u) {
+      if (!active(u)) continue;  // departed: placeholder sample
       const video::Frame rec =
           reconstruct_from_units(ctx, tx_result.user_decoded[u]);
-      out.ssim.push_back(quality::ssim(ctx.original, rec));
-      out.psnr.push_back(quality::psnr(ctx.original, rec));
+      out.ssim[u] = quality::ssim(ctx.original, rec);
+      out.psnr[u] = quality::psnr(ctx.original, rec);
       std::size_t decoded = 0;
       for (bool b : tx_result.user_decoded[u]) decoded += b ? 1 : 0;
-      out.decoded_fraction.push_back(
+      out.decoded_fraction[u] =
           ctx.units.empty() ? 0.0
                             : static_cast<double>(decoded) /
-                                  static_cast<double>(ctx.units.size()));
+                                  static_cast<double>(ctx.units.size());
     }
+  }
+  fill_presence();
+
+  // One batched telemetry flush per frame: every fault seen and every
+  // degradation decision taken is visible in the metrics snapshot.
+  if (obs::enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    static obs::Counter& c_held = reg.counter("session.csi_held_frames");
+    static obs::Counter& c_shed = reg.counter("session.shed_symbols");
+    static obs::Counter& c_shed_frames = reg.counter("session.shed_frames");
+    static obs::Counter& c_silent = reg.counter("session.feedback_silent_users");
+    static obs::Counter& c_q_in = reg.counter("session.quarantine_entered");
+    static obs::Counter& c_q_out = reg.counter("session.quarantine_exited");
+    static obs::Counter& c_q_probe = reg.counter("session.quarantine_reprobes");
+    static obs::Gauge& g_quarantined = reg.gauge("session.quarantined_users");
+    static obs::Gauge& g_active = reg.gauge("session.active_users");
+    if (csi_held) c_held.add(1);
+    if (out.shed_symbols > 0) {
+      c_shed.add(out.shed_symbols);
+      c_shed_frames.add(1);
+    }
+    std::uint64_t silent = 0;
+    for (auto v : efs.feedback_lost) silent += v ? 1 : 0;
+    c_silent.add(silent);
+    c_q_in.add(quarantine_entered);
+    c_q_out.add(quarantine_exited);
+    if (reprobe_frame && n_included > 0) {
+      std::uint64_t probed = 0;
+      for (std::size_t u = 0; u < n_users; ++u)
+        probed += (quarantined_[u] != 0 && active(u)) ? 1 : 0;
+      c_q_probe.add(probed + quarantine_exited);
+    }
+    double quarantined = 0.0;
+    for (auto v : quarantined_) quarantined += v ? 1.0 : 0.0;
+    g_quarantined.set(quarantined);
+    g_active.set(static_cast<double>(n_active));
   }
   return out;
 }

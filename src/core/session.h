@@ -16,9 +16,11 @@
 #include "beamforming/multicast.h"
 #include "core/frame_context.h"
 #include "emu/engine.h"
+#include "fault/injector.h"
 #include "model/quality_model.h"
 #include "sched/groups.h"
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -60,6 +62,26 @@ struct SessionConfig {
   std::size_t associated_user = 0;
   std::uint64_t seed = 1;
 
+  // --- Degradation ladder (fault tolerance; see DESIGN.md Sec. 4d) ------
+  /// Extra dB backed off the MCS while running on held (stale/corrupt-
+  /// beacon) CSI: the beamweights are old, so select conservatively.
+  double stale_csi_backoff_db = 2.0;
+  /// Blind worst-case makeup budget for a user whose feedback report was
+  /// lost, as a fraction of each unit's k symbols. Halved for every
+  /// further consecutive silent frame (capped below) so a dead receiver
+  /// cannot permanently eat the makeup budget.
+  double blind_makeup_fraction = 0.5;
+  /// Cap on the number of halvings of blind_makeup_fraction.
+  int blind_backoff_cap = 4;
+  /// Quarantine a user from the group optimizer after this many
+  /// consecutive frames with zero decoded units while transmissions were
+  /// attempted (0 disables quarantine). A persistently blocked user then
+  /// no longer drags every group containing them to the bottleneck MCS.
+  int quarantine_after = 6;
+  /// Re-probe quarantined users every this many frames: they rejoin the
+  /// optimizer for one frame and are released if anything decodes.
+  int quarantine_reprobe_period = 8;
+
   /// Sentinel for validate() arguments that are not known yet.
   static constexpr std::size_t kUnknown = static_cast<std::size_t>(-1);
 
@@ -80,6 +102,20 @@ struct FrameOutcome {
   std::vector<double> decoded_fraction;  ///< decoded units / total units
   emu::FrameTxStats stats;
   double optimizer_objective = 0.0;
+  /// Monotonically increasing per-session frame number (chaos invariant).
+  std::uint32_t frame_id = 0;
+  /// user_present[u]: user u was in the session this frame. Empty = all
+  /// present (the no-churn fast path). Absent users' quality samples are
+  /// placeholders and excluded from every SessionReport aggregate.
+  std::vector<bool> user_present;
+  /// user_quarantined[u]: excluded from the group optimizer this frame
+  /// after persistent outage. Empty = none.
+  std::vector<bool> user_quarantined;
+  /// Enhancement-layer symbols shed before transmission under a collapsed
+  /// budget (the base layer is never shed).
+  std::size_t shed_symbols = 0;
+  /// Decision ran on held beamweights (missed/corrupt CSI beacon).
+  bool csi_held = false;
 };
 
 class MulticastSession {
@@ -99,7 +135,22 @@ class MulticastSession {
                     const std::vector<linalg::CVector>& true_channels,
                     const FrameContext& ctx);
 
-  /// Drops cached decisions and backlog (e.g. between independent runs).
+  /// Fault-aware variant: `faults` is this frame's resolved fault state
+  /// (fault::FaultInjector::at). The session walks the degradation ladder
+  /// instead of assuming the fault never happens: lost feedback → blind
+  /// makeup with capped backoff; stale/corrupt CSI → hold the last good
+  /// beamweights and back the MCS off; persistent per-user outage →
+  /// quarantine from the group optimizer with periodic re-probe; collapsed
+  /// budget → shed enhancement layers, always attempting the base layer;
+  /// churn → departed users drop out of the optimizer and the report.
+  /// A default-constructed FrameFaults reproduces the 3-argument overload
+  /// bit-identically.
+  FrameOutcome step(const std::vector<linalg::CVector>& decision_channels,
+                    const std::vector<linalg::CVector>& true_channels,
+                    const FrameContext& ctx, const fault::FrameFaults& faults);
+
+  /// Drops cached decisions, backlog, and fault-recovery state (e.g.
+  /// between independent runs).
   void reset();
 
  private:
@@ -110,7 +161,12 @@ class MulticastSession {
   };
 
   Decision decide(const std::vector<linalg::CVector>& channels,
-                  const FrameContext& ctx);
+                  const FrameContext& ctx,
+                  const std::vector<std::uint8_t>& exclude);
+
+  /// (Re)sizes the per-user recovery state, resetting it when the user
+  /// count changes between runs.
+  void ensure_user_state(std::size_t n_users);
 
   SessionConfig cfg_;
   model::QualityModel& quality_;
@@ -119,11 +175,24 @@ class MulticastSession {
   Rng rng_;
   std::optional<Decision> frozen_;            ///< No-Update cache
   std::vector<Mbps> last_measured_;           ///< per-group rate feedback
-  /// Group-enumeration cache: beamforming depends only on the CSI, so for
-  /// static channels the (expensive) per-subset SVD is reused across
-  /// frames while the allocation still re-optimizes per frame content.
+  /// Group-enumeration cache: beamforming depends only on the CSI (and the
+  /// exclusion set), so for static channels the (expensive) per-subset SVD
+  /// is reused across frames while the allocation still re-optimizes per
+  /// frame content.
   std::vector<linalg::CVector> cached_channels_;
   std::vector<sched::GroupSpec> cached_groups_;
+  std::vector<std::uint8_t> cached_exclude_;
+
+  // --- Fault-recovery state (all deterministic, no rng) -----------------
+  std::uint32_t next_frame_id_ = 0;
+  /// Last finite, non-stale beacon CSI: the fallback when a beacon is
+  /// missed or corrupt.
+  std::vector<linalg::CVector> held_csi_;
+  /// Consecutive frames each user's feedback has been missing.
+  std::vector<int> feedback_silent_streak_;
+  /// Consecutive attempted frames each user decoded nothing.
+  std::vector<int> lost_frame_streak_;
+  std::vector<std::uint8_t> quarantined_;
 };
 
 }  // namespace w4k::core

@@ -2,6 +2,7 @@
 
 #include "common/thread_pool.h"
 #include "obs/span.h"
+#include "transport/feedback.h"
 
 #include <algorithm>
 #include <cmath>
@@ -38,8 +39,17 @@ TxEngine::TxEngine(const EngineConfig& cfg) : cfg_(cfg) {
 FrameTxResult TxEngine::run_frame(
     const std::vector<sched::UnitSpec>& units,
     const std::vector<sched::UnitAssignment>& assignments,
-    const std::vector<GroupTx>& groups, std::size_t n_users, Rng& rng) {
+    const std::vector<GroupTx>& groups, std::size_t n_users, Rng& rng,
+    const FrameFaultState& faults) {
   const std::size_t wire = cfg_.header_bytes + cfg_.symbol_size;
+  if (!(faults.budget_scale > 0.0 && faults.budget_scale <= 1.0))
+    throw std::invalid_argument("run_frame: budget_scale outside (0, 1]");
+  // A collapsed transmit budget shrinks the whole frame deadline: the
+  // radio simply is not available past this point.
+  const Seconds budget = cfg_.frame_budget * faults.budget_scale;
+  const auto feedback_lost = [&](std::size_t u) {
+    return u < faults.feedback_lost.size() && faults.feedback_lost[u] != 0;
+  };
 
   FrameTxResult res;
   res.user_symbols.assign(n_users, std::vector<std::size_t>(units.size(), 0));
@@ -71,9 +81,9 @@ FrameTxResult TxEngine::run_frame(
   Seconds drain_free = 0.0;
   if (backlog_bytes_ > 0.0 && backlog_rate_.value > 0.0) {
     const Seconds stale_air = backlog_rate_.seconds_for(backlog_bytes_);
-    drain_free = std::min(cfg_.frame_budget, stale_air);
+    drain_free = std::min(budget, stale_air);
     backlog_bytes_ = std::max(
-        0.0, backlog_bytes_ - backlog_rate_.bytes_in(cfg_.frame_budget));
+        0.0, backlog_bytes_ - backlog_rate_.bytes_in(budget));
   } else {
     backlog_bytes_ = 0.0;
   }
@@ -119,7 +129,7 @@ FrameTxResult TxEngine::run_frame(
         bucket_clock[gi] = t;
       }
       bucket.on_send(wire);
-      if (t >= cfg_.frame_budget) return false;
+      if (t >= budget) return false;
     }
 
     // Kernel queue admission at enqueue time t (0 when rate control off).
@@ -139,7 +149,7 @@ FrameTxResult TxEngine::run_frame(
     const Seconds finish = start + air;
     last_drain_rate = g.drain_rate;
 
-    if (finish > cfg_.frame_budget) {
+    if (finish > budget) {
       // Misses the frame deadline: rides in the queue into the next frame
       // as stale data (rate control keeps this path essentially unused).
       new_backlog += static_cast<double>(wire);
@@ -216,6 +226,11 @@ FrameTxResult TxEngine::run_frame(
   }
 
   // --- Feedback + makeup rounds (Sec. 2.6) --------------------------------
+  // Receivers whose feedback arrives file a ReceptionReport; the sender's
+  // ReportCollector dedupes and tracks who is silent. A silent member costs
+  // the group a blind worst-case budget (a fraction of each unit's k, with
+  // the session's backoff already applied) in the first round only —
+  // repeating the blanket every round would starve reporting users.
   std::size_t makeup_deficit = 0;  // total symbols the receivers asked for
   {
     static obs::Stage& st = obs::stage("emu.makeup");
@@ -223,8 +238,25 @@ FrameTxResult TxEngine::run_frame(
     for (int round = 0; round < cfg_.feedback_rounds && budget_left;
          ++round) {
       t = std::max(t, drain_free) + cfg_.feedback_latency;
-      if (t >= cfg_.frame_budget) break;
+      if (t >= budget) break;
       if (!cfg_.rate_control) drain_free = std::max(drain_free, t);
+
+      // Gather this round's reports from the live reception state.
+      transport::ReportCollector collector(faults.frame_id, n_users,
+                                           units.size());
+      for (std::size_t u = 0; u < n_users; ++u) {
+        if (feedback_lost(u)) continue;
+        transport::ReceptionReport r;
+        r.frame_id = faults.frame_id;
+        r.user = u;
+        r.symbols_received.resize(units.size());
+        r.unit_decoded.resize(units.size());
+        for (std::size_t ui = 0; ui < units.size(); ++ui) {
+          r.symbols_received[ui] = rx[u][ui].innovative;
+          r.unit_decoded[ui] = rx[u][ui].decoded ? 1 : 0;
+        }
+        collector.accept(std::move(r));
+      }
 
       bool any = false;
       for (std::size_t ui = 0; ui < units.size() && budget_left; ++ui) {
@@ -234,14 +266,26 @@ FrameTxResult TxEngine::run_frame(
           if (it == sent_by_group.end()) continue;  // group doesn't own unit
           // Deficit P: worst member's shortfall toward decoding this unit
           // (a rank-deficient decode at exactly k asks for one extra).
+          const std::size_t k = units[ui].k_symbols;
           std::size_t deficit = 0;
+          std::size_t blind = 0;
           for (std::size_t u : groups[gi].members) {
-            const UnitRx& state = rx[u][ui];
-            if (state.decoded) continue;
-            const std::size_t k = units[ui].k_symbols;
-            const std::size_t need =
-                state.innovative < k ? k - state.innovative : 1;
-            deficit = std::max(deficit, need);
+            if (const auto need = collector.deficit(u, ui, k)) {
+              deficit = std::max(deficit, *need);
+            } else if (round == 0) {
+              // No report: conservative worst case, backed off per frame.
+              const double frac = u < faults.blind_fraction.size()
+                                      ? faults.blind_fraction[u]
+                                      : 0.5;
+              blind = std::max(
+                  blind, std::max<std::size_t>(
+                             1, static_cast<std::size_t>(std::ceil(
+                                    static_cast<double>(k) * frac))));
+            }
+          }
+          if (blind > deficit) {
+            res.blind_makeup_packets += blind - deficit;
+            deficit = blind;
           }
           makeup_deficit += deficit;
           for (std::size_t s = 0; s < deficit && budget_left; ++s) {
@@ -275,13 +319,25 @@ FrameTxResult TxEngine::run_frame(
       // member's goodput (which is what the bucket must not exceed), with
       // small measurement jitter.
       if (groups[gi].drain_rate.value > 0.0) {
+        // Only members whose feedback arrived contribute a measurement; if
+        // the whole group is silent the estimate stays 0 and next frame's
+        // bucket falls back to the drain rate.
         double worst_loss = 0.0;
-        for (double p : groups[gi].member_loss)
-          worst_loss = std::max(worst_loss, p);
+        bool any_report = false;
+        for (std::size_t m = 0; m < groups[gi].members.size(); ++m) {
+          if (feedback_lost(groups[gi].members[m])) continue;
+          any_report = true;
+          if (m < groups[gi].member_loss.size())
+            worst_loss = std::max(worst_loss, groups[gi].member_loss[m]);
+        }
         const double goodput =
             groups[gi].drain_rate.value * (1.0 - worst_loss);
-        res.measured_rate[gi] =
-            Mbps{std::max(0.0, goodput * (1.0 + rng.gaussian(0.0, 0.02)))};
+        // The jitter draw stays unconditional to keep the rng stream
+        // aligned whether or not reports arrived.
+        const double jitter = rng.gaussian(0.0, 0.02);
+        if (any_report)
+          res.measured_rate[gi] =
+              Mbps{std::max(0.0, goodput * (1.0 + jitter))};
       }
     }
   }
@@ -303,6 +359,8 @@ FrameTxResult TxEngine::run_frame(
     static obs::Counter& c_dropped = reg.counter("emu.packets_dropped_queue");
     static obs::Counter& c_makeup = reg.counter("emu.makeup_packets");
     static obs::Counter& c_deficit = reg.counter("emu.makeup_deficit_symbols");
+    static obs::Counter& c_blind = reg.counter("emu.blind_makeup_packets");
+    static obs::Counter& c_collapsed = reg.counter("emu.budget_collapsed_frames");
     static obs::Gauge& g_backlog = reg.gauge("emu.backlog_packets");
     static obs::Histogram& h_depth = reg.histogram(
         "emu.queue_depth_pkts", {0.0, 16.0, 64.0, 256.0, 1024.0, 4096.0});
@@ -312,6 +370,8 @@ FrameTxResult TxEngine::run_frame(
     c_dropped.add(res.stats.packets_dropped_queue);
     c_makeup.add(res.stats.makeup_packets);
     c_deficit.add(makeup_deficit);
+    c_blind.add(res.blind_makeup_packets);
+    if (faults.budget_scale < 1.0) c_collapsed.add(1);
     g_backlog.set(static_cast<double>(res.stats.backlog_packets_after));
     h_depth.observe(max_queue_bytes / static_cast<double>(wire));
   }

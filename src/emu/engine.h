@@ -77,7 +77,26 @@ struct FrameTxResult {
   /// Per-group bandwidth the receivers measured this frame (probe packets
   /// arrive back-to-back at the drain rate); feeds next frame's buckets.
   std::vector<Mbps> measured_rate;
+  /// Makeup symbols sent blind for users whose feedback never arrived.
+  std::size_t blind_makeup_packets = 0;
   FrameTxStats stats;
+};
+
+/// Per-frame fault state handed to run_frame by the hardened session: a
+/// collapsed transmit budget and the set of users whose feedback report
+/// never reached the sender this frame. Default-constructed = no faults,
+/// and run_frame with the defaults is bit-identical to the pre-fault
+/// engine.
+struct FrameFaultState {
+  std::uint32_t frame_id = 0;
+  /// Fraction of cfg.frame_budget actually available (NIC stall).
+  double budget_scale = 1.0;
+  /// feedback_lost[u] != 0: user u's report is missing; empty = all arrive.
+  std::vector<std::uint8_t> feedback_lost;
+  /// Blind worst-case makeup budget for a silent user, as a fraction of
+  /// each unit's k (the session applies its capped exponential backoff
+  /// here before calling). Empty = 0.5 for every user.
+  std::vector<double> blind_fraction;
 };
 
 /// Stateful across frames only through the kernel-queue backlog (rate
@@ -90,11 +109,13 @@ class TxEngine {
 
   /// Simulates one frame. `units` and `assignments` come from
   /// sched::frame_units / sched::map_to_units; `groups` must cover every
-  /// group index referenced by the assignments.
+  /// group index referenced by the assignments. `faults` (optional)
+  /// collapses the budget and silences per-user feedback for this frame.
   FrameTxResult run_frame(const std::vector<sched::UnitSpec>& units,
                           const std::vector<sched::UnitAssignment>& assignments,
                           const std::vector<GroupTx>& groups,
-                          std::size_t n_users, Rng& rng);
+                          std::size_t n_users, Rng& rng,
+                          const FrameFaultState& faults = {});
 
   /// Stale bytes still queued from previous frames.
   double backlog_bytes() const { return backlog_bytes_; }

@@ -26,13 +26,21 @@ struct LossModel {
   /// MAC retry factor for the associated STA: its effective loss is the
   /// monitor-mode loss raised to this power (independent retries).
   double mac_retries = 2.0;
+
+  /// Throws std::invalid_argument naming the offending field
+  /// ("LossModel.floor: ...") on negative, NaN, or otherwise non-finite
+  /// parameters. SessionConfig::validate() calls this for its loss member.
+  void validate() const;
 };
 
 /// Per-packet loss probability for a monitor-mode receiver at the given
-/// RSS under the given MCS.
+/// RSS under the given MCS. Always in [0, 1]: non-finite inputs (e.g. an
+/// RSS computed from a corrupted CSI beacon) saturate to certain loss
+/// instead of propagating NaN into the reception sampling.
 double monitor_loss(const LossModel& m, Dbm rss, const channel::McsEntry& mcs);
 
 /// Per-packet loss probability for the associated (MAC-ARQ) receiver.
+/// Clamped to [0, 1] with the same non-finite saturation.
 double associated_loss(const LossModel& m, Dbm rss,
                        const channel::McsEntry& mcs);
 

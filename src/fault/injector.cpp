@@ -1,0 +1,104 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace w4k::fault {
+
+bool FrameFaults::any() const {
+  if (csi_stale || csi_corrupt || budget_scale < 1.0) return true;
+  for (auto v : feedback_lost)
+    if (v) return true;
+  for (double db : blockage_db)
+    if (db > 0.0) return true;
+  for (auto v : user_active)
+    if (!v) return true;
+  return false;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, std::size_t n_users)
+    : plan_(std::move(plan)), n_users_(n_users) {
+  plan_.validate(n_users_);
+  // Churn replays by scanning the list in order, so put it in frame order
+  // here (stable: same-frame events keep file order, later entry wins).
+  std::stable_sort(plan_.churn.begin(), plan_.churn.end(),
+                   [](const ChurnEvent& a, const ChurnEvent& b) {
+                     return a.frame < b.frame;
+                   });
+}
+
+double FaultInjector::blockage_at(std::uint32_t frame,
+                                  std::size_t user) const {
+  // Overlapping bursts on the same user stack additively (two people in
+  // the ray block more than one).
+  double db = 0.0;
+  for (const auto& b : plan_.blockage) {
+    if (b.user != user) continue;
+    if (frame >= b.start_frame && frame < b.start_frame + b.n_frames)
+      db += b.extra_loss_db;
+  }
+  return db;
+}
+
+FrameFaults FaultInjector::at(std::uint32_t frame) const {
+  FrameFaults f;
+  f.frame = frame;
+  f.feedback_lost.assign(n_users_, 0);
+  f.feedback_delayed.assign(n_users_, 0);
+  f.blockage_db.assign(n_users_, 0.0);
+  f.user_active.assign(n_users_, 1);
+
+  for (const auto& fb : plan_.feedback) {
+    if (fb.frame != frame || fb.user >= n_users_) continue;
+    f.feedback_lost[fb.user] = 1;
+    if (fb.delay_frames > 0) f.feedback_delayed[fb.user] = 1;
+  }
+  for (const auto& c : plan_.csi) {
+    if (c.frame != frame) continue;
+    if (c.corrupt) f.csi_corrupt = true;
+    else f.csi_stale = true;
+  }
+  for (std::size_t u = 0; u < n_users_; ++u)
+    f.blockage_db[u] = blockage_at(frame, u);
+  for (const auto& b : plan_.budget) {
+    if (frame >= b.start_frame && frame < b.start_frame + b.n_frames)
+      f.budget_scale = std::min(f.budget_scale, b.budget_scale);
+  }
+  // Churn: replay events in frame order (ties: later entry in the plan
+  // wins, matching file order).
+  for (const auto& c : plan_.churn) {
+    if (c.frame <= frame && c.user < n_users_)
+      f.user_active[c.user] = c.join ? 1 : 0;
+  }
+  return f;
+}
+
+void FaultInjector::apply(std::uint32_t frame,
+                          std::vector<linalg::CVector>& decision,
+                          std::vector<linalg::CVector>& truth) const {
+  const auto attenuate = [](linalg::CVector& h, double db) {
+    if (db <= 0.0) return;
+    const double amp = std::pow(10.0, -db / 20.0);
+    for (std::size_t n = 0; n < h.size(); ++n) h[n] *= amp;
+  };
+  for (std::size_t u = 0; u < truth.size() && u < n_users_; ++u)
+    attenuate(truth[u], blockage_at(frame, u));
+  // The sender's CSI is one beacon old: it sees the bursts that were
+  // already active on the previous frame, not one that just started.
+  const std::uint32_t prev = frame > 0 ? frame - 1 : frame;
+  for (std::size_t u = 0; u < decision.size() && u < n_users_; ++u)
+    attenuate(decision[u], frame > 0 ? blockage_at(prev, u) : 0.0);
+
+  bool corrupt = false;
+  for (const auto& c : plan_.csi)
+    if (c.frame == frame && c.corrupt) corrupt = true;
+  if (corrupt) {
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    for (auto& h : decision)
+      for (std::size_t n = 0; n < h.size(); ++n)
+        h[n] = linalg::Complex(nan, nan);
+  }
+}
+
+}  // namespace w4k::fault

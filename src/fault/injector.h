@@ -1,0 +1,56 @@
+// Resolves a FaultPlan into per-frame fault state and applies the
+// physical-layer part (blockage attenuation, beacon corruption) to channel
+// vectors. Purely functional over (plan, frame): identical plans replay
+// bit-identically, which the chaos suite's determinism invariant relies on.
+#pragma once
+
+#include "fault/plan.h"
+#include "linalg/matrix.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace w4k::fault {
+
+/// Everything the control loop must survive on one frame. Vectors are
+/// sized n_users; `user_active` reflects churn (empty plans yield all-true).
+struct FrameFaults {
+  std::uint32_t frame = 0;
+  bool csi_stale = false;    ///< beacon missed: reuse last beamweights
+  bool csi_corrupt = false;  ///< beacon garbage: apply() poisons decision CSI
+  double budget_scale = 1.0; ///< < 1: NIC stall / bucket starvation
+  std::vector<std::uint8_t> feedback_lost;     ///< report never arrives
+  std::vector<std::uint8_t> feedback_delayed;  ///< arrives next beacon(s)
+  std::vector<double> blockage_db;             ///< extra true-channel loss
+  std::vector<std::uint8_t> user_active;       ///< churn state
+
+  bool any() const;
+};
+
+class FaultInjector {
+ public:
+  /// Validates the plan against `n_users` (throws std::invalid_argument).
+  FaultInjector(FaultPlan plan, std::size_t n_users);
+
+  const FaultPlan& plan() const { return plan_; }
+  std::size_t n_users() const { return n_users_; }
+
+  /// The resolved fault state for `frame`.
+  FrameFaults at(std::uint32_t frame) const;
+
+  /// Applies the physical faults of `frame` in place: blockage bursts
+  /// attenuate `truth` with the bursts active *now* and `decision` with the
+  /// bursts active at the previous beacon (the sender's knowledge is one
+  /// beacon stale); a corrupt beacon overwrites `decision` with NaN so the
+  /// session's CSI sanity check must catch it.
+  void apply(std::uint32_t frame, std::vector<linalg::CVector>& decision,
+             std::vector<linalg::CVector>& truth) const;
+
+ private:
+  double blockage_at(std::uint32_t frame, std::size_t user) const;
+
+  FaultPlan plan_;
+  std::size_t n_users_;
+};
+
+}  // namespace w4k::fault

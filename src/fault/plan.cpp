@@ -1,0 +1,211 @@
+#include "fault/plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace w4k::fault {
+namespace {
+
+[[noreturn]] void bad(const std::string& field, const std::string& msg) {
+  throw std::invalid_argument("FaultPlan." + field + ": " + msg);
+}
+
+std::string idx(const char* name, std::size_t i) {
+  return std::string(name) + "[" + std::to_string(i) + "]";
+}
+
+}  // namespace
+
+void FaultPlan::validate(std::size_t n_users) const {
+  const auto check_user = [&](const std::string& field, std::size_t user) {
+    if (n_users > 0 && user >= n_users)
+      bad(field + ".user",
+          "user " + std::to_string(user) + " out of range (" +
+              std::to_string(n_users) + " users)");
+  };
+  for (std::size_t i = 0; i < feedback.size(); ++i) {
+    check_user(idx("feedback", i), feedback[i].user);
+    if (feedback[i].delay_frames == 0)
+      bad(idx("feedback", i) + ".delay_frames",
+          "must be < 0 (lost) or > 0 (delayed), not 0");
+  }
+  for (std::size_t i = 0; i < blockage.size(); ++i) {
+    check_user(idx("blockage", i), blockage[i].user);
+    if (blockage[i].n_frames == 0)
+      bad(idx("blockage", i) + ".n_frames", "must be > 0");
+    if (!std::isfinite(blockage[i].extra_loss_db) ||
+        blockage[i].extra_loss_db < 0.0)
+      bad(idx("blockage", i) + ".extra_loss_db",
+          "must be finite and >= 0 dB (got " +
+              std::to_string(blockage[i].extra_loss_db) + ")");
+  }
+  for (std::size_t i = 0; i < budget.size(); ++i) {
+    if (budget[i].n_frames == 0)
+      bad(idx("budget", i) + ".n_frames", "must be > 0");
+    if (!(budget[i].budget_scale > 0.0 && budget[i].budget_scale <= 1.0))
+      bad(idx("budget", i) + ".budget_scale",
+          "must be in (0, 1] (got " +
+              std::to_string(budget[i].budget_scale) + ")");
+  }
+  for (std::size_t i = 0; i < churn.size(); ++i)
+    check_user(idx("churn", i), churn[i].user);
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, std::uint32_t n_frames,
+                            std::size_t n_users,
+                            const RandomPlanConfig& cfg) {
+  if (n_frames == 0)
+    throw std::invalid_argument("FaultPlan::random: n_frames == 0");
+  if (n_users == 0)
+    throw std::invalid_argument("FaultPlan::random: n_users == 0");
+  Rng rng(seed);
+  FaultPlan plan;
+  const auto frame = [&] {
+    return static_cast<std::uint32_t>(rng.below(n_frames));
+  };
+  const auto user = [&] { return static_cast<std::size_t>(rng.below(n_users)); };
+  const auto burst_len = [&] {
+    return 1 + static_cast<std::uint32_t>(
+                   rng.below(std::max<std::uint32_t>(1, cfg.max_burst_frames)));
+  };
+
+  for (int i = 0; i < cfg.feedback_events; ++i) {
+    FeedbackFault f;
+    f.frame = frame();
+    f.user = user();
+    f.delay_frames = rng.chance(0.3) ? 1 + static_cast<int>(rng.below(3)) : -1;
+    plan.feedback.push_back(f);
+  }
+  for (int i = 0; i < cfg.csi_events; ++i)
+    plan.csi.push_back(CsiFault{frame(), rng.chance(0.4)});
+  for (int i = 0; i < cfg.blockage_bursts; ++i) {
+    BlockageBurst b;
+    b.start_frame = frame();
+    b.n_frames = burst_len();
+    b.user = user();
+    b.extra_loss_db = rng.uniform(cfg.min_blockage_db, cfg.max_blockage_db);
+    plan.blockage.push_back(b);
+  }
+  for (int i = 0; i < cfg.budget_collapses; ++i) {
+    BudgetCollapse b;
+    b.start_frame = frame();
+    b.n_frames = burst_len();
+    b.budget_scale = rng.uniform(cfg.min_budget_scale, 1.0);
+    plan.budget.push_back(b);
+  }
+  // Churn in leave/rejoin pairs so the plan never drains the session of
+  // every user: user 0 is exempt, and each leave schedules a rejoin.
+  for (int i = 0; i < cfg.churn_events && n_users > 1; ++i) {
+    const std::size_t u = 1 + static_cast<std::size_t>(rng.below(n_users - 1));
+    const std::uint32_t leave = frame();
+    const std::uint32_t back =
+        std::min<std::uint32_t>(n_frames, leave + burst_len());
+    plan.churn.push_back(ChurnEvent{leave, u, /*join=*/false});
+    if (back < n_frames) plan.churn.push_back(ChurnEvent{back, u, /*join=*/true});
+  }
+  plan.validate(n_users);
+  return plan;
+}
+
+namespace {
+
+[[noreturn]] void line_err(int line, const std::string& msg) {
+  throw std::runtime_error("fault-plan:" + std::to_string(line) + ": " + msg);
+}
+
+}  // namespace
+
+FaultPlan parse_fault_plan(std::istream& is) {
+  FaultPlan plan;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind)) continue;  // blank / comment-only line
+
+    const auto want = [&](auto& v, const char* what) {
+      if (!(ls >> v)) line_err(lineno, std::string("expected ") + what);
+    };
+    if (kind == "feedback") {
+      FeedbackFault f;
+      std::string mode;
+      want(f.frame, "<frame>");
+      want(f.user, "<user>");
+      want(mode, "lost|delay");
+      if (mode == "lost") {
+        f.delay_frames = -1;
+      } else if (mode == "delay") {
+        want(f.delay_frames, "<frames> after 'delay'");
+        if (f.delay_frames <= 0)
+          line_err(lineno, "feedback delay must be > 0 frames");
+      } else {
+        line_err(lineno, "feedback mode must be 'lost' or 'delay'");
+      }
+      plan.feedback.push_back(f);
+    } else if (kind == "csi") {
+      CsiFault c;
+      std::string mode;
+      want(c.frame, "<frame>");
+      want(mode, "stale|corrupt");
+      if (mode == "corrupt") c.corrupt = true;
+      else if (mode != "stale")
+        line_err(lineno, "csi mode must be 'stale' or 'corrupt'");
+      plan.csi.push_back(c);
+    } else if (kind == "blockage") {
+      BlockageBurst b;
+      want(b.start_frame, "<start_frame>");
+      want(b.n_frames, "<n_frames>");
+      want(b.user, "<user>");
+      want(b.extra_loss_db, "<extra_db>");
+      if (b.n_frames == 0) line_err(lineno, "blockage n_frames must be > 0");
+      if (!std::isfinite(b.extra_loss_db) || b.extra_loss_db < 0.0)
+        line_err(lineno, "blockage extra_db must be finite and >= 0");
+      plan.blockage.push_back(b);
+    } else if (kind == "budget") {
+      BudgetCollapse b;
+      want(b.start_frame, "<start_frame>");
+      want(b.n_frames, "<n_frames>");
+      want(b.budget_scale, "<scale>");
+      if (b.n_frames == 0) line_err(lineno, "budget n_frames must be > 0");
+      if (!(b.budget_scale > 0.0 && b.budget_scale <= 1.0))
+        line_err(lineno, "budget scale must be in (0, 1]");
+      plan.budget.push_back(b);
+    } else if (kind == "churn") {
+      ChurnEvent c;
+      std::string mode;
+      want(c.frame, "<frame>");
+      want(c.user, "<user>");
+      want(mode, "join|leave");
+      if (mode == "join") c.join = true;
+      else if (mode != "leave")
+        line_err(lineno, "churn mode must be 'join' or 'leave'");
+      plan.churn.push_back(c);
+    } else {
+      line_err(lineno, "unknown event kind '" + kind + "'");
+    }
+    std::string extra;
+    if (ls >> extra)
+      line_err(lineno, "trailing tokens starting at '" + extra + "'");
+  }
+  return plan;
+}
+
+FaultPlan load_fault_plan(const std::string& path) {
+  std::ifstream is(path);
+  if (!is)
+    throw std::runtime_error("load_fault_plan: cannot open " + path);
+  try {
+    return parse_fault_plan(is);
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+}  // namespace w4k::fault

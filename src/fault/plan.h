@@ -1,0 +1,123 @@
+// Deterministic fault injection for chaos testing the streaming stack.
+//
+// A FaultPlan is a declarative, seeded schedule of the hostile events a
+// 60 GHz deployment actually sees (Sec. 2.6/3.2 motivate every one of
+// them): per-frame per-user feedback-report loss or bounded delay, missed
+// or corrupted CSI beacons, burst blockage layered on top of whatever the
+// channel model already does, transmit-budget collapse (NIC stall /
+// leaky-bucket starvation), and mid-session user churn. The plan is plain
+// data — it can be parsed from a text file (`w4k_sim --fault-plan`),
+// generated randomly from a seed (FaultPlan::random), or built by hand in
+// a test — and the FaultInjector resolves it into one FrameFaults record
+// per frame, so identical plans replay bit-identically.
+#pragma once
+
+#include "common/rng.h"
+#include "common/units.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace w4k::fault {
+
+/// One receiver's report for one frame never reaches the sender
+/// (delay_frames < 0) or arrives delay_frames beacons late — too late for
+/// makeup, but early enough to prove the user is alive.
+struct FeedbackFault {
+  std::uint32_t frame = 0;
+  std::size_t user = 0;
+  /// < 0: lost outright. > 0: arrives that many frames later.
+  int delay_frames = -1;
+};
+
+/// A missed (stale) or corrupted CSI beacon: the session must fall back to
+/// its last known beamweights instead of acting on garbage.
+struct CsiFault {
+  std::uint32_t frame = 0;
+  bool corrupt = false;  ///< false = beacon missed (stale), true = garbage
+};
+
+/// Extra attenuation on one user's true channel for a run of frames (a
+/// person stepping into the LoS path), invisible to the beacon-time CSI
+/// until the next beacon.
+struct BlockageBurst {
+  std::uint32_t start_frame = 0;
+  std::uint32_t n_frames = 1;
+  std::size_t user = 0;
+  double extra_loss_db = 18.0;  ///< human torso at 60 GHz
+};
+
+/// The transmit budget collapses to `budget_scale` of the frame interval
+/// for a run of frames (driver stall, scan dwell, starved leaky bucket).
+struct BudgetCollapse {
+  std::uint32_t start_frame = 0;
+  std::uint32_t n_frames = 1;
+  double budget_scale = 0.1;  ///< in (0, 1]
+};
+
+/// A user leaves (stops rendering and reporting) or rejoins mid-session.
+struct ChurnEvent {
+  std::uint32_t frame = 0;
+  std::size_t user = 0;
+  bool join = false;  ///< false = leave
+};
+
+/// Knobs for FaultPlan::random — event counts and intensity ranges. The
+/// defaults produce a plan where every fault class occurs at least once in
+/// a few dozen frames.
+struct RandomPlanConfig {
+  int feedback_events = 6;
+  int csi_events = 3;
+  int blockage_bursts = 2;
+  int budget_collapses = 1;
+  int churn_events = 2;
+  std::uint32_t max_burst_frames = 8;
+  double min_blockage_db = 8.0;
+  double max_blockage_db = 25.0;
+  double min_budget_scale = 0.05;
+};
+
+struct FaultPlan {
+  std::vector<FeedbackFault> feedback;
+  std::vector<CsiFault> csi;
+  std::vector<BlockageBurst> blockage;
+  std::vector<BudgetCollapse> budget;
+  std::vector<ChurnEvent> churn;
+
+  bool empty() const {
+    return feedback.empty() && csi.empty() && blockage.empty() &&
+           budget.empty() && churn.empty();
+  }
+
+  /// Throws std::invalid_argument naming the offending event
+  /// ("FaultPlan.blockage[2].extra_loss_db: ...") on out-of-range users,
+  /// non-finite attenuations, zero-length bursts, or budget scales outside
+  /// (0, 1]. `n_users` may be 0 to skip the user-range checks.
+  void validate(std::size_t n_users = 0) const;
+
+  /// Seeded random plan over `n_frames` x `n_users`: same seed, same plan,
+  /// forever. Never churns out every user at once.
+  static FaultPlan random(std::uint64_t seed, std::uint32_t n_frames,
+                          std::size_t n_users,
+                          const RandomPlanConfig& cfg = {});
+};
+
+/// Parses the text fault-plan format (one event per line, '#' comments):
+///
+///   feedback <frame> <user> lost
+///   feedback <frame> <user> delay <frames>
+///   csi <frame> stale|corrupt
+///   blockage <start_frame> <n_frames> <user> <extra_db>
+///   budget <start_frame> <n_frames> <scale>
+///   churn <frame> <user> join|leave
+///
+/// Throws std::runtime_error naming the offending line
+/// ("fault-plan:7: budget scale must be in (0, 1]").
+FaultPlan parse_fault_plan(std::istream& is);
+
+/// File variant; error messages carry the path and line number.
+FaultPlan load_fault_plan(const std::string& path);
+
+}  // namespace w4k::fault

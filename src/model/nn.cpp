@@ -110,6 +110,14 @@ void Dense::load(std::istream& is) {
     if (!(is >> w)) throw std::runtime_error("Dense::load: truncated weights");
   for (auto& b : b_)
     if (!(is >> b)) throw std::runtime_error("Dense::load: truncated biases");
+  // A bit-flipped cache can still parse (e.g. "nan", "1e308"): a non-finite
+  // weight would silently poison every later prediction, so reject it here.
+  for (double w : w_)
+    if (!std::isfinite(w))
+      throw std::runtime_error("Dense::load: non-finite weight");
+  for (double b : b_)
+    if (!std::isfinite(b))
+      throw std::runtime_error("Dense::load: non-finite bias");
 }
 
 Network Network::quality_topology(std::size_t in, std::size_t hidden_layers,

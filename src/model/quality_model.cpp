@@ -36,11 +36,16 @@ std::array<double, video::kNumLayers> QualityModel::fraction_gradient(
 bool QualityModel::load_file(const std::string& path) {
   std::ifstream is(path);
   if (!is) return false;
+  // Load into a scratch copy: a truncated/corrupt cache throws partway
+  // through Network::load, and the half-loaded weights must not leak into
+  // the live model (which may already be trained).
+  Network candidate = net_;
   try {
-    net_.load(is);
+    candidate.load(is);
   } catch (const std::exception&) {
     return false;
   }
+  net_ = std::move(candidate);
   return true;
 }
 

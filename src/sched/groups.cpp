@@ -20,9 +20,14 @@ std::vector<GroupSpec> enumerate_groups(
     throw std::invalid_argument("enumerate_groups: subset enumeration "
                                 "limited to 16 users");
 
+  std::uint32_t excluded_mask = 0;
+  for (std::size_t u = 0; u < cfg.exclude.size() && u < n; ++u)
+    if (cfg.exclude[u]) excluded_mask |= 1u << u;
+
   std::vector<GroupSpec> out;
   const std::uint32_t limit = 1u << n;
   for (std::uint32_t mask = 1; mask < limit; ++mask) {
+    if (mask & excluded_mask) continue;  // contains a quarantined/gone user
     const auto size = static_cast<std::size_t>(__builtin_popcount(mask));
     if (size > cfg.max_group_size) continue;
     if (!beamforming::allows_multicast(scheme) && size != 1) continue;

@@ -28,6 +28,12 @@ struct GroupEnumConfig {
   /// Upper bound on group size (paper uses all subsets; capping is an
   /// ablation knob for the pruning bench).
   std::size_t max_group_size = 8;
+  /// exclude[u] != 0 drops every subset containing user u (empty = none).
+  /// Member indices in the returned groups stay in the *full* user index
+  /// space — excluded users simply appear in no group. The hardened
+  /// session uses this to quarantine persistently blocked users and to
+  /// drop departed ones without re-indexing anything downstream.
+  std::vector<std::uint8_t> exclude;
 };
 
 /// Enumerates candidate groups for the given per-user channels under

@@ -1,9 +1,149 @@
 #include "transport/feedback.h"
 
+#include <cstring>
 #include <numeric>
 #include <stdexcept>
 
 namespace w4k::transport {
+namespace {
+
+constexpr std::uint8_t kReportTag = 0xF1;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back((v >> (8 * i)) & 0xFF);
+}
+
+bool get_u32(const std::uint8_t* data, std::size_t size, std::size_t& off,
+             std::uint32_t& v) {
+  if (off + 4 > size) return false;
+  v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(data[off + i]) << (8 * i);
+  off += 4;
+  return true;
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int i = 0; i < 8; ++i) out.push_back((bits >> (8 * i)) & 0xFF);
+}
+
+bool get_f64(const std::uint8_t* data, std::size_t size, std::size_t& off,
+             double& v) {
+  if (off + 8 > size) return false;
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i)
+    bits |= static_cast<std::uint64_t>(data[off + i]) << (8 * i);
+  std::memcpy(&v, &bits, sizeof(v));
+  off += 8;
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_report(const ReceptionReport& r) {
+  std::vector<std::uint8_t> out;
+  out.push_back(kReportTag);
+  put_u32(out, r.frame_id);
+  put_u32(out, static_cast<std::uint32_t>(r.user));
+  put_u32(out, static_cast<std::uint32_t>(r.symbols_received.size()));
+  for (std::size_t s : r.symbols_received)
+    put_u32(out, static_cast<std::uint32_t>(s));
+  // Decoded flags ride as a bit-packed tail (empty mask = zero flag byte).
+  out.push_back(r.unit_decoded.empty() ? 0 : 1);
+  if (!r.unit_decoded.empty()) {
+    std::uint8_t acc = 0;
+    for (std::size_t i = 0; i < r.unit_decoded.size(); ++i) {
+      if (r.unit_decoded[i]) acc |= static_cast<std::uint8_t>(1u << (i % 8));
+      if (i % 8 == 7) {
+        out.push_back(acc);
+        acc = 0;
+      }
+    }
+    if (r.unit_decoded.size() % 8 != 0) out.push_back(acc);
+  }
+  out.push_back(r.measured_bandwidth ? 1 : 0);
+  if (r.measured_bandwidth) put_f64(out, r.measured_bandwidth->value);
+  return out;
+}
+
+std::optional<ReceptionReport> parse_report(const std::uint8_t* data,
+                                            std::size_t size) {
+  std::size_t off = 0;
+  if (size == 0 || data[off++] != kReportTag) return std::nullopt;
+  ReceptionReport r;
+  std::uint32_t user = 0, n_units = 0;
+  if (!get_u32(data, size, off, r.frame_id)) return std::nullopt;
+  if (!get_u32(data, size, off, user)) return std::nullopt;
+  if (!get_u32(data, size, off, n_units)) return std::nullopt;
+  if (n_units > 1'000'000) return std::nullopt;  // implausible: reject
+  r.user = user;
+  r.symbols_received.resize(n_units);
+  for (std::uint32_t i = 0; i < n_units; ++i) {
+    std::uint32_t s = 0;
+    if (!get_u32(data, size, off, s)) return std::nullopt;
+    r.symbols_received[i] = s;
+  }
+  if (off >= size) return std::nullopt;
+  const bool has_mask = data[off++] != 0;
+  if (has_mask) {
+    const std::size_t mask_bytes = (n_units + 7) / 8;
+    if (off + mask_bytes > size) return std::nullopt;
+    r.unit_decoded.resize(n_units);
+    for (std::uint32_t i = 0; i < n_units; ++i)
+      r.unit_decoded[i] = (data[off + i / 8] >> (i % 8)) & 1;
+    off += mask_bytes;
+  }
+  if (off >= size) return std::nullopt;
+  const bool has_bw = data[off++] != 0;
+  if (has_bw) {
+    double bw = 0.0;
+    if (!get_f64(data, size, off, bw)) return std::nullopt;
+    r.measured_bandwidth = Mbps{bw};
+  }
+  if (off != size) return std::nullopt;  // trailing garbage
+  return r;
+}
+
+ReportCollector::ReportCollector(std::uint32_t frame_id, std::size_t n_users,
+                                 std::size_t n_units)
+    : frame_id_(frame_id), n_units_(n_units), slots_(n_users) {}
+
+bool ReportCollector::accept(const ReceptionReport& r) {
+  if (r.frame_id != frame_id_) return false;
+  if (r.user >= slots_.size()) return false;
+  if (slots_[r.user]) return false;  // duplicate: first report wins
+  if (r.symbols_received.size() != n_units_) return false;
+  if (!r.unit_decoded.empty() && r.unit_decoded.size() != n_units_)
+    return false;
+  slots_[r.user] = r;
+  ++reported_;
+  return true;
+}
+
+const ReceptionReport* ReportCollector::report(std::size_t user) const {
+  if (user >= slots_.size() || !slots_[user]) return nullptr;
+  return &*slots_[user];
+}
+
+std::vector<std::size_t> ReportCollector::missing_users() const {
+  std::vector<std::size_t> out;
+  for (std::size_t u = 0; u < slots_.size(); ++u)
+    if (!slots_[u]) out.push_back(u);
+  return out;
+}
+
+std::optional<std::size_t> ReportCollector::deficit(
+    std::size_t user, std::size_t unit, std::size_t k_symbols) const {
+  const ReceptionReport* r = report(user);
+  if (r == nullptr || unit >= n_units_) return std::nullopt;
+  const bool decoded =
+      !r->unit_decoded.empty() && r->unit_decoded[unit] != 0;
+  if (decoded) return 0;
+  const std::size_t recv = r->symbols_received[unit];
+  return recv < k_symbols ? k_symbols - recv : 1;
+}
 
 BandwidthEstimator::BandwidthEstimator(std::size_t window_packets)
     : window_(window_packets) {

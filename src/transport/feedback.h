@@ -21,8 +21,57 @@ struct ReceptionReport {
   /// symbols_received[i] for frame unit i (indexing matches the sender's
   /// sched::frame_units order).
   std::vector<std::size_t> symbols_received;
+  /// unit_decoded[i]: the receiver decoded unit i. Not derivable from the
+  /// count alone — a decode attempt at exactly k symbols can hit the
+  /// rateless code's residual rank deficiency, in which case the receiver
+  /// holds k symbols but still needs one more.
+  std::vector<std::uint8_t> unit_decoded;
   /// Measured link bandwidth, if the estimator had enough probe packets.
   std::optional<Mbps> measured_bandwidth;
+};
+
+/// Serializes a report to the on-air byte layout (little-endian, versioned
+/// one-byte tag). parse_report returns std::nullopt on truncation, a bad
+/// tag, or an inconsistent payload (decoded mask sized differently from the
+/// symbol counts) — a malformed report is dropped, never trusted.
+std::vector<std::uint8_t> serialize_report(const ReceptionReport& r);
+std::optional<ReceptionReport> parse_report(const std::uint8_t* data,
+                                            std::size_t size);
+
+/// Sender-side mailbox for one frame's reports: deduplicates (first report
+/// per user wins — retransmitted duplicates carry no new information),
+/// rejects reports for other frames or unknown users, tolerates arbitrary
+/// arrival order, and knows which users never reported so the sender can
+/// fall back to a blind worst-case makeup budget for them.
+class ReportCollector {
+ public:
+  ReportCollector(std::uint32_t frame_id, std::size_t n_users,
+                  std::size_t n_units);
+
+  /// Accepts one report. Returns false (and ignores it) when it targets a
+  /// different frame, an out-of-range user, repeats a user already heard
+  /// from, or its per-unit vectors are not exactly n_units long.
+  bool accept(const ReceptionReport& r);
+
+  /// The accepted report for `user`, or nullptr while it is missing.
+  const ReceptionReport* report(std::size_t user) const;
+
+  std::size_t reported() const { return reported_; }
+  bool complete() const { return reported_ == slots_.size(); }
+  std::vector<std::size_t> missing_users() const;
+
+  /// Symbols still needed by `user` toward decoding unit `unit` with
+  /// `k_symbols` source symbols: 0 once decoded, the shortfall below k, or
+  /// 1 for a rank-deficient decode at exactly k. Returns std::nullopt for
+  /// users that have not reported (the caller chooses the blind budget).
+  std::optional<std::size_t> deficit(std::size_t user, std::size_t unit,
+                                     std::size_t k_symbols) const;
+
+ private:
+  std::uint32_t frame_id_;
+  std::size_t n_units_;
+  std::vector<std::optional<ReceptionReport>> slots_;
+  std::size_t reported_ = 0;
 };
 
 /// Estimates link bandwidth from the arrival spacing of back-to-back probe

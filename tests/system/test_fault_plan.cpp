@@ -1,0 +1,246 @@
+// FaultPlan parsing, validation, seeded generation, and FrameFaults
+// resolution — the declarative layer under the chaos suite.
+#include "fault/injector.h"
+#include "fault/plan.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace w4k::fault {
+namespace {
+
+// --- Parser --------------------------------------------------------------
+
+TEST(FaultPlanParse, AllEventKindsAndComments) {
+  std::istringstream is(
+      "# a hostile afternoon\n"
+      "feedback 3 1 lost\n"
+      "feedback 4 0 delay 2   # arrives two beacons late\n"
+      "\n"
+      "csi 5 stale\n"
+      "csi 6 corrupt\n"
+      "blockage 2 4 1 18.5\n"
+      "budget 7 2 0.25\n"
+      "churn 1 2 leave\n"
+      "churn 9 2 join\n");
+  const FaultPlan plan = parse_fault_plan(is);
+  ASSERT_EQ(plan.feedback.size(), 2u);
+  EXPECT_EQ(plan.feedback[0].frame, 3u);
+  EXPECT_EQ(plan.feedback[0].user, 1u);
+  EXPECT_EQ(plan.feedback[0].delay_frames, -1);
+  EXPECT_EQ(plan.feedback[1].delay_frames, 2);
+  ASSERT_EQ(plan.csi.size(), 2u);
+  EXPECT_FALSE(plan.csi[0].corrupt);
+  EXPECT_TRUE(plan.csi[1].corrupt);
+  ASSERT_EQ(plan.blockage.size(), 1u);
+  EXPECT_EQ(plan.blockage[0].n_frames, 4u);
+  EXPECT_DOUBLE_EQ(plan.blockage[0].extra_loss_db, 18.5);
+  ASSERT_EQ(plan.budget.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.budget[0].budget_scale, 0.25);
+  ASSERT_EQ(plan.churn.size(), 2u);
+  EXPECT_FALSE(plan.churn[0].join);
+  EXPECT_TRUE(plan.churn[1].join);
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultPlanParse, ErrorsNameTheLine) {
+  const auto expect_error = [](const char* text, const char* needle) {
+    std::istringstream is(text);
+    try {
+      parse_fault_plan(is);
+      FAIL() << "expected throw for: " << text;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_error("bogus 1 2 3\n", "fault-plan:1");
+  expect_error("csi 5 stale\nfeedback 3 1 maybe\n", "fault-plan:2");
+  expect_error("feedback 3 1 delay 0\n", "delay must be > 0");
+  expect_error("budget 0 1 1.5\n", "scale must be in (0, 1]");
+  expect_error("budget 0 0 0.5\n", "n_frames must be > 0");
+  expect_error("blockage 0 1 0 -3\n", "extra_db");
+  expect_error("churn 1 0 vanish\n", "join");
+  expect_error("csi 5 stale extra\n", "trailing tokens");
+  expect_error("feedback 3\n", "expected");
+}
+
+TEST(FaultPlanParse, LoadFromMissingFileThrowsWithPath) {
+  try {
+    load_fault_plan("/nonexistent/plan.txt");
+    FAIL();
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/plan.txt"),
+              std::string::npos);
+  }
+}
+
+// --- Validation ----------------------------------------------------------
+
+TEST(FaultPlanValidate, NamesTheOffendingEvent) {
+  FaultPlan plan;
+  plan.blockage.push_back({0, 1, 0, 10.0});
+  plan.blockage.push_back({0, 1, 0, -1.0});
+  try {
+    plan.validate();
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("FaultPlan.blockage[1].extra_loss_db"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FaultPlanValidate, RejectsOutOfRangeUsers) {
+  FaultPlan plan;
+  plan.churn.push_back({0, 5, false});
+  EXPECT_NO_THROW(plan.validate(0));  // user range unknown: skipped
+  EXPECT_THROW(plan.validate(3), std::invalid_argument);
+  EXPECT_NO_THROW(plan.validate(6));
+}
+
+TEST(FaultPlanValidate, RejectsBadScalesAndNaN) {
+  FaultPlan plan;
+  plan.budget.push_back({0, 1, 0.0});
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.budget[0].budget_scale = std::nan("");
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.budget[0].budget_scale = 1.0;
+  EXPECT_NO_THROW(plan.validate());
+}
+
+// --- Seeded generation ---------------------------------------------------
+
+TEST(FaultPlanRandom, DeterministicPerSeed) {
+  const FaultPlan a = FaultPlan::random(99, 32, 4);
+  const FaultPlan b = FaultPlan::random(99, 32, 4);
+  ASSERT_EQ(a.feedback.size(), b.feedback.size());
+  for (std::size_t i = 0; i < a.feedback.size(); ++i) {
+    EXPECT_EQ(a.feedback[i].frame, b.feedback[i].frame);
+    EXPECT_EQ(a.feedback[i].user, b.feedback[i].user);
+    EXPECT_EQ(a.feedback[i].delay_frames, b.feedback[i].delay_frames);
+  }
+  ASSERT_EQ(a.blockage.size(), b.blockage.size());
+  for (std::size_t i = 0; i < a.blockage.size(); ++i)
+    EXPECT_EQ(a.blockage[i].extra_loss_db, b.blockage[i].extra_loss_db);
+  const FaultPlan c = FaultPlan::random(100, 32, 4);
+  EXPECT_FALSE(c.empty());
+}
+
+TEST(FaultPlanRandom, GeneratedPlansAlwaysValidate) {
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    const FaultPlan plan = FaultPlan::random(seed, 16, 3);
+    EXPECT_NO_THROW(plan.validate(3)) << "seed " << seed;
+  }
+}
+
+TEST(FaultPlanRandom, NeverChurnsOutUserZero) {
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    const FaultPlan plan = FaultPlan::random(seed, 16, 3);
+    for (const auto& c : plan.churn) EXPECT_NE(c.user, 0u) << "seed " << seed;
+  }
+}
+
+// --- FrameFaults resolution ----------------------------------------------
+
+TEST(FaultInjectorTest, ResolvesPerFrameState) {
+  FaultPlan plan;
+  plan.feedback.push_back({2, 1, -1});
+  plan.feedback.push_back({2, 0, 3});
+  plan.csi.push_back({2, false});
+  plan.budget.push_back({1, 3, 0.4});
+  plan.blockage.push_back({2, 2, 1, 12.0});
+  plan.churn.push_back({1, 2, false});
+  plan.churn.push_back({3, 2, true});
+  const FaultInjector inj(plan, 3);
+
+  const FrameFaults f0 = inj.at(0);
+  EXPECT_FALSE(f0.any());
+  EXPECT_DOUBLE_EQ(f0.budget_scale, 1.0);
+
+  const FrameFaults f2 = inj.at(2);
+  EXPECT_TRUE(f2.any());
+  EXPECT_TRUE(f2.csi_stale);
+  EXPECT_FALSE(f2.csi_corrupt);
+  EXPECT_DOUBLE_EQ(f2.budget_scale, 0.4);
+  EXPECT_EQ(f2.feedback_lost[1], 1);
+  EXPECT_EQ(f2.feedback_lost[0], 1);       // delayed = missing this frame
+  EXPECT_EQ(f2.feedback_delayed[0], 1);    // ...but known-alive
+  EXPECT_EQ(f2.feedback_delayed[1], 0);
+  EXPECT_DOUBLE_EQ(f2.blockage_db[1], 12.0);
+  EXPECT_DOUBLE_EQ(f2.blockage_db[0], 0.0);
+  EXPECT_EQ(f2.user_active[2], 0);         // left at frame 1
+  EXPECT_EQ(f2.user_active[0], 1);
+
+  const FrameFaults f4 = inj.at(4);
+  EXPECT_EQ(f4.user_active[2], 1);         // rejoined at frame 3
+  EXPECT_DOUBLE_EQ(f4.budget_scale, 1.0);  // collapse covered frames 1-3
+  EXPECT_DOUBLE_EQ(f4.blockage_db[1], 0.0);
+}
+
+TEST(FaultInjectorTest, OverlappingBurstsStackAndCollapseTakesMin) {
+  FaultPlan plan;
+  plan.blockage.push_back({0, 4, 0, 10.0});
+  plan.blockage.push_back({2, 4, 0, 5.0});
+  plan.budget.push_back({0, 4, 0.5});
+  plan.budget.push_back({2, 4, 0.2});
+  const FaultInjector inj(plan, 1);
+  EXPECT_DOUBLE_EQ(inj.at(1).blockage_db[0], 10.0);
+  EXPECT_DOUBLE_EQ(inj.at(3).blockage_db[0], 15.0);  // additive overlap
+  EXPECT_DOUBLE_EQ(inj.at(1).budget_scale, 0.5);
+  EXPECT_DOUBLE_EQ(inj.at(3).budget_scale, 0.2);     // worst stall wins
+}
+
+TEST(FaultInjectorTest, ApplyAttenuatesTruthNowAndDecisionLate) {
+  FaultPlan plan;
+  plan.blockage.push_back({/*start=*/5, /*n=*/2, /*user=*/0,
+                           /*db=*/20.0});
+  const FaultInjector inj(plan, 1);
+  const linalg::CVector h{{1.0, 0.0}, {0.0, -2.0}};
+
+  // First burst frame: the truth is attenuated 20 dB (x0.1 amplitude),
+  // the decision CSI still looks clean (beacon predates the burst).
+  std::vector<linalg::CVector> decision{h}, truth{h};
+  inj.apply(5, decision, truth);
+  EXPECT_DOUBLE_EQ(truth[0][0].real(), 0.1);
+  EXPECT_DOUBLE_EQ(truth[0][1].imag(), -0.2);
+  EXPECT_DOUBLE_EQ(decision[0][0].real(), 1.0);
+
+  // Next frame the beacon has caught up: both are attenuated.
+  decision = {h};
+  truth = {h};
+  inj.apply(6, decision, truth);
+  EXPECT_DOUBLE_EQ(truth[0][0].real(), 0.1);
+  EXPECT_DOUBLE_EQ(decision[0][0].real(), 0.1);
+
+  // One frame past the burst: truth is clean again, the decision still
+  // sees the last burst frame.
+  decision = {h};
+  truth = {h};
+  inj.apply(7, decision, truth);
+  EXPECT_DOUBLE_EQ(truth[0][0].real(), 1.0);
+  EXPECT_DOUBLE_EQ(decision[0][0].real(), 0.1);
+}
+
+TEST(FaultInjectorTest, CorruptBeaconPoisonsDecisionOnly) {
+  FaultPlan plan;
+  plan.csi.push_back({3, /*corrupt=*/true});
+  const FaultInjector inj(plan, 1);
+  const linalg::CVector h{{1.0, 0.5}};
+  std::vector<linalg::CVector> decision{h}, truth{h};
+  inj.apply(3, decision, truth);
+  EXPECT_TRUE(std::isnan(decision[0][0].real()));
+  EXPECT_DOUBLE_EQ(truth[0][0].real(), 1.0);
+}
+
+TEST(FaultInjectorTest, ConstructionValidatesAgainstUserCount) {
+  FaultPlan plan;
+  plan.feedback.push_back({0, 7, -1});
+  EXPECT_THROW(FaultInjector(plan, 3), std::invalid_argument);
+  EXPECT_NO_THROW(FaultInjector(plan, 8));
+}
+
+}  // namespace
+}  // namespace w4k::fault

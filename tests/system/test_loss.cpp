@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
 
 namespace w4k::emu {
 namespace {
@@ -59,6 +62,66 @@ TEST(LossModel, HigherMcsMoreFragileAtSameRss) {
   const double p8 = monitor_loss(m, rss, *channel::mcs_by_index(8));
   const double p12 = monitor_loss(m, rss, *channel::mcs_by_index(12));
   EXPECT_LT(p8, p12);  // MCS 12 needs -53, so -58 is 5 dB short
+}
+
+TEST(LossModel, OutputsAlwaysClampedToUnitInterval) {
+  // A pathological (but finite) parameterization must still yield a
+  // probability: the Bernoulli draw downstream cannot handle p > 1.
+  LossModel m;
+  m.at_zero_margin = 50.0;
+  m.floor = 0.9;
+  for (double margin : {-40.0, -5.0, 0.0, 5.0, 40.0}) {
+    const double p =
+        monitor_loss(m, Dbm{mcs8().sensitivity.value + margin}, mcs8());
+    EXPECT_GE(p, 0.0) << margin;
+    EXPECT_LE(p, 1.0) << margin;
+    const double a =
+        associated_loss(m, Dbm{mcs8().sensitivity.value + margin}, mcs8());
+    EXPECT_GE(a, 0.0) << margin;
+    EXPECT_LE(a, 1.0) << margin;
+  }
+}
+
+TEST(LossModel, NonFiniteRssMeansDeadLinkNotNaN) {
+  LossModel m;
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(monitor_loss(m, Dbm{nan}, mcs8()), 1.0);
+  EXPECT_DOUBLE_EQ(monitor_loss(m, Dbm{-inf}, mcs8()), 1.0);
+  EXPECT_DOUBLE_EQ(associated_loss(m, Dbm{nan}, mcs8()), 1.0);
+  // Even +inf is not trusted: any non-finite margin means the CSI is
+  // garbage, and garbage links are treated as dead.
+  EXPECT_DOUBLE_EQ(monitor_loss(m, Dbm{inf}, mcs8()), 1.0);
+}
+
+TEST(LossModelValidate, AcceptsDefaultsRejectsGarbage) {
+  EXPECT_NO_THROW(LossModel{}.validate());
+
+  const auto expect_named = [](LossModel m, const char* field) {
+    try {
+      m.validate();
+      FAIL() << "expected throw naming " << field;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(std::string("LossModel.") + field),
+                std::string::npos)
+          << e.what();
+    }
+  };
+  LossModel bad;
+  bad.floor = -0.1;
+  expect_named(bad, "floor");
+  bad = LossModel{};
+  bad.at_zero_margin = std::nan("");
+  expect_named(bad, "at_zero_margin");
+  bad = LossModel{};
+  bad.decay_per_db = -1.0;
+  expect_named(bad, "decay_per_db");
+  bad = LossModel{};
+  bad.growth_per_db = std::numeric_limits<double>::infinity();
+  expect_named(bad, "growth_per_db");
+  bad = LossModel{};
+  bad.mac_retries = -2.0;
+  expect_named(bad, "mac_retries");
 }
 
 }  // namespace

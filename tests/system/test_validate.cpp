@@ -111,6 +111,49 @@ TEST(SessionConfigValidate, RejectsAssociatedUserOutOfRange) {
   EXPECT_EQ(rejection(cfg), "");
 }
 
+TEST(SessionConfigValidate, RejectsBadDegradationKnobs) {
+  auto cfg = good_config();
+  cfg.stale_csi_backoff_db = -1.0;
+  EXPECT_NE(rejection(cfg).find("stale_csi_backoff_db"), std::string::npos);
+  cfg = good_config();
+  cfg.stale_csi_backoff_db = std::nan("");
+  EXPECT_NE(rejection(cfg).find("stale_csi_backoff_db"), std::string::npos);
+
+  cfg = good_config();
+  cfg.blind_makeup_fraction = 1.5;
+  EXPECT_NE(rejection(cfg).find("blind_makeup_fraction"), std::string::npos);
+  cfg = good_config();
+  cfg.blind_makeup_fraction = -0.1;
+  EXPECT_NE(rejection(cfg).find("blind_makeup_fraction"), std::string::npos);
+  cfg = good_config();
+  cfg.blind_makeup_fraction = 0.0;  // blind makeup disabled: fine
+  EXPECT_EQ(rejection(cfg), "");
+
+  cfg = good_config();
+  cfg.blind_backoff_cap = 31;  // 1 << 31 would overflow the halving shift
+  EXPECT_NE(rejection(cfg).find("blind_backoff_cap"), std::string::npos);
+  cfg = good_config();
+  cfg.blind_backoff_cap = 0;
+  EXPECT_EQ(rejection(cfg), "");
+
+  cfg = good_config();
+  cfg.quarantine_reprobe_period = 0;  // would never re-probe
+  EXPECT_NE(rejection(cfg).find("quarantine_reprobe_period"),
+            std::string::npos);
+  cfg = good_config();
+  cfg.quarantine_after = 0;  // 0 = quarantine disabled: fine
+  EXPECT_EQ(rejection(cfg), "");
+}
+
+TEST(SessionConfigValidate, RejectsBadLossModel) {
+  auto cfg = good_config();
+  cfg.loss.floor = -0.5;
+  EXPECT_NE(rejection(cfg).find("LossModel.floor"), std::string::npos);
+  cfg = good_config();
+  cfg.loss.mac_retries = std::nan("");
+  EXPECT_NE(rejection(cfg).find("mac_retries"), std::string::npos);
+}
+
 TEST(SessionConfigValidate, FirstFailingFieldIsNamed) {
   auto cfg = good_config();
   cfg.rate_scale = 0.0;
