@@ -16,12 +16,10 @@
 // GF(256) row kernels (MB/s per dispatch tier) and ends with a scalar-vs-
 // SIMD A/B of kernels, encode and decode, written to BENCH_kernels.json
 // so the perf trajectory is machine-trackable across PRs.
-#include "common.h"
+#include "gbench_common.h"
 
 #include "fec/fountain.h"
 #include "gf256/gf256.h"
-
-#include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
@@ -36,10 +34,7 @@ constexpr std::size_t kUnitBytes = 120'000;  // paper: 20 x 6000 B
 constexpr std::size_t kSymbolBytes = 6'000;  // the paper's operating point
 
 std::vector<std::uint8_t> unit_data() {
-  std::vector<std::uint8_t> data(kUnitBytes);
-  for (std::size_t i = 0; i < data.size(); ++i)
-    data[i] = static_cast<std::uint8_t>(i * 2654435761u >> 24);
-  return data;
+  return w4k::bench::hashed_bytes(kUnitBytes);
 }
 
 void BM_Encode(benchmark::State& state) {
@@ -86,11 +81,8 @@ void BM_Decode(benchmark::State& state) {
 
 void BM_MulAddRow(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
-  std::vector<std::uint8_t> dst(n), src(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    dst[i] = static_cast<std::uint8_t>(i * 7 + 3);
-    src[i] = static_cast<std::uint8_t>(i * 13 + 1);
-  }
+  auto dst = w4k::bench::affine_bytes(n, 7, 3);
+  const auto src = w4k::bench::affine_bytes(n, 13, 1);
   for (auto _ : state) {
     w4k::gf256::mul_add_row(dst, src, 0xA7);
     benchmark::DoNotOptimize(dst.data());
@@ -102,9 +94,7 @@ void BM_MulAddRow(benchmark::State& state) {
 
 void BM_ScaleRow(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
-  std::vector<std::uint8_t> dst(n);
-  for (std::size_t i = 0; i < n; ++i)
-    dst[i] = static_cast<std::uint8_t>(i * 11 + 5);
+  auto dst = w4k::bench::affine_bytes(n, 11, 5);
   for (auto _ : state) {
     w4k::gf256::scale_row(dst, 0x53);
     benchmark::DoNotOptimize(dst.data());
@@ -178,11 +168,8 @@ void emit_kernel_json(const char* path) {
   using w4k::gf256::Tier;
   const Tier best = w4k::gf256::refresh_dispatch();
 
-  std::vector<std::uint8_t> dst(kSymbolBytes), src(kSymbolBytes);
-  for (std::size_t i = 0; i < kSymbolBytes; ++i) {
-    dst[i] = static_cast<std::uint8_t>(i * 7 + 3);
-    src[i] = static_cast<std::uint8_t>(i * 13 + 1);
-  }
+  auto dst = w4k::bench::affine_bytes(kSymbolBytes, 7, 3);
+  const auto src = w4k::bench::affine_bytes(kSymbolBytes, 13, 1);
   const AbResult mul_add = ab_measure(kSymbolBytes, [&](std::size_t reps) {
     for (std::size_t r = 0; r < reps; ++r) {
       w4k::gf256::mul_add_row(dst, src, 0xA7);
@@ -265,9 +252,6 @@ void emit_kernel_json(const char* path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Telemetry off: this binary times the raw GF(256) kernels and must run
-  // the disabled-path code the figures assume.
-  w4k::bench::BenchMain bm("bench_fig2_raptor_timing", /*telemetry=*/false);
   std::printf(
       "Fig 2: encode/decode time vs symbol size (120 kB unit).\n"
       "paper: U-shape, minimum near 6000 B. here: the expensive-small-"
@@ -276,8 +260,7 @@ int main(int argc, char** argv) {
       "row kernels dispatch on tier \"%s\" (W4K_FORCE_SCALAR=1 pins "
       "scalar).\n\n",
       w4k::gf256::tier_name(w4k::gf256::active_tier()));
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  emit_kernel_json("BENCH_kernels.json");
-  return 0;
+  return w4k::bench::run_gbench(
+      "bench_fig2_raptor_timing", argc, argv,
+      [] { emit_kernel_json("BENCH_kernels.json"); });
 }

@@ -5,12 +5,10 @@
 // cases report bytes/second (per-kernel MB/s) and label the active SIMD
 // tier; BENCH_kernels.json (the machine-readable A/B) is emitted by
 // bench_fig2_raptor_timing.
-#include "common.h"
+#include "gbench_common.h"
 
 #include "common/thread_pool.h"
 #include "gf256/gf256.h"
-
-#include <benchmark/benchmark.h>
 
 namespace {
 
@@ -78,11 +76,8 @@ BENCHMARK(BM_Ssim4K)->Unit(benchmark::kMillisecond);
 // Raw GF(256) row kernel at the paper's 6000 B symbol size; the label
 // names the dispatch tier actually in use.
 void BM_GfMulAddRow6000(benchmark::State& state) {
-  std::vector<std::uint8_t> dst(6000), src(6000);
-  for (std::size_t i = 0; i < dst.size(); ++i) {
-    dst[i] = static_cast<std::uint8_t>(i * 7 + 3);
-    src[i] = static_cast<std::uint8_t>(i * 13 + 1);
-  }
+  auto dst = bench::affine_bytes(6000, 7, 3);
+  const auto src = bench::affine_bytes(6000, 13, 1);
   for (auto _ : state) {
     gf256::mul_add_row(dst, src, 0xA7);
     benchmark::DoNotOptimize(dst.data());
@@ -95,9 +90,7 @@ BENCHMARK(BM_GfMulAddRow6000)->Unit(benchmark::kNanosecond);
 
 // One coding unit's worth of repair symbols, batch-encoded on the pool.
 void BM_FountainEncodeBatch(benchmark::State& state) {
-  std::vector<std::uint8_t> data(120'000);
-  for (std::size_t i = 0; i < data.size(); ++i)
-    data[i] = static_cast<std::uint8_t>(i * 2654435761u >> 24);
+  const auto data = bench::hashed_bytes(120'000);
   const fec::FountainEncoder enc(data, 6000, 42);
   const auto k = static_cast<fec::Esi>(enc.k());
   for (auto _ : state)
@@ -159,15 +152,6 @@ BENCHMARK(BM_MulticastBeamSvd)->Arg(2)->Arg(4)->Arg(8)
 
 }  // namespace
 
-// Custom main instead of BENCHMARK_MAIN(): this binary measures the
-// telemetry-off hot paths, so BenchMain is constructed with telemetry
-// disabled — the manifest still records config and dispatch tier, but no
-// spans are aggregated while the benchmarks run.
 int main(int argc, char** argv) {
-  w4k::bench::BenchMain bm("bench_micro_pipeline", /*telemetry=*/false);
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return w4k::bench::run_gbench("bench_micro_pipeline", argc, argv);
 }

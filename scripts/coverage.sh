@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Line-coverage report for the tier-1 suite.
+#
+# Builds into build-cov/ with coverage instrumentation, runs ctest, and
+# prints a per-file line-coverage summary. Uses whichever toolchain is
+# available — no dependencies beyond the compiler's own coverage tools:
+#
+#   clang + llvm-profdata/llvm-cov  -> source-based coverage (preferred
+#                                      with CC=clang/CXX=clang++)
+#   gcc + gcov                      -> gcov per-file summary
+#
+# Usage:
+#   scripts/coverage.sh [-L LABEL]     # default label: tier1
+#
+# The instrumented build lives in build-cov/ (gitignored) and is
+# incremental across runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+label=tier1
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -L) label="$2"; shift 2 ;;
+    *) echo "coverage.sh: unknown argument $1" >&2; exit 2 ;;
+  esac
+done
+
+jobs="$(nproc)"
+builddir=build-cov
+
+cxx="${CXX:-c++}"
+if "$cxx" --version 2>/dev/null | grep -qi clang; then
+  mode=clang
+  flags="-fprofile-instr-generate -fcoverage-mapping -O0 -g"
+elif command -v gcov >/dev/null 2>&1; then
+  mode=gcov
+  flags="--coverage -O0 -g"
+else
+  echo "coverage.sh: need clang (llvm-cov) or gcc (gcov) on PATH" >&2
+  exit 2
+fi
+echo "coverage.sh: using $mode instrumentation"
+
+cmake -B "$builddir" -S . -DCMAKE_BUILD_TYPE=Debug \
+      -DCMAKE_CXX_FLAGS="$flags" -DCMAKE_EXE_LINKER_FLAGS="$flags"
+cmake --build "$builddir" -j"$jobs"
+
+if [ "$mode" = clang ]; then
+  # One raw profile per test process, merged afterwards.
+  LLVM_PROFILE_FILE="$PWD/$builddir/cov-%p.profraw" \
+    ctest --test-dir "$builddir" -j"$jobs" -L "$label" --output-on-failure
+
+  profdata="${LLVM_PROFDATA:-llvm-profdata}"
+  llvmcov="${LLVM_COV:-llvm-cov}"
+  if ! command -v "$profdata" >/dev/null 2>&1; then
+    echo "coverage.sh: $profdata not found; raw profiles left in $builddir" >&2
+    exit 2
+  fi
+  "$profdata" merge -sparse "$builddir"/cov-*.profraw \
+              -o "$builddir/cov.profdata"
+  # Report over every test binary that wrote a profile, sources only.
+  binaries=""
+  for b in "$builddir"/tests/tests_*; do
+    [ -x "$b" ] && binaries="$binaries -object $b"
+  done
+  # shellcheck disable=SC2086
+  "$llvmcov" report $binaries -instr-profile "$builddir/cov.profdata" \
+             -ignore-filename-regex '(tests|bench|examples)/' \
+             "$builddir"/tests/tests_foundation
+else
+  ctest --test-dir "$builddir" -j"$jobs" -L "$label" --output-on-failure
+  # Aggregate gcov line coverage per source file under src/.
+  find "$builddir" -name '*.gcda' | while read -r gcda; do
+    gcov -n -s "$PWD" "$gcda" 2>/dev/null
+  done | awk '
+    /^File / { f=$2; gsub(/\x27/, "", f) }
+    /^Lines executed/ {
+      split($0, a, ":"); split(a[2], b, "% of ");
+      if (f ~ /^src\//) { pct[f]=b[1]; lines[f]=b[2] }
+    }
+    END {
+      total=0; covered=0;
+      for (f in pct) {
+        printf "%7.2f%%  %6d  %s\n", pct[f], lines[f], f;
+        total+=lines[f]; covered+=lines[f]*pct[f]/100.0;
+      }
+      if (total) printf "%7.2f%%  %6d  TOTAL (src/)\n", 100.0*covered/total, total;
+    }' | sort -k3
+fi

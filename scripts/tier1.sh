@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
 # Tier-1 verification.
 #
-# Stage 1: fast (plain Release) build + the full tier-1 suite.
-# Stage 2: rebuild the chaos fault-injection suite under ASan+UBSan
-#          (W4K_SANITIZE=ON) and run just `ctest -L chaos`, so every
-#          injected fault path — blockage bursts, lost feedback, corrupt
-#          CSI, churn — also executes under sanitizers.
+# Stage 1: fast (plain Release) build + the full tier-1 suite, then the
+#          golden-report regression gate (byte-stable canonical JSON
+#          across thread counts and SIMD dispatch; scripts/golden.sh).
+# Stage 2: rebuild under ASan+UBSan (W4K_SANITIZE=ON) and rerun the
+#          randomized suites there: the chaos fault-injection suite, the
+#          property suites (raised iteration count), and the parser fuzz
+#          smoke runs — so every injected fault path, every generated
+#          property input, and every mutated parser input also executes
+#          under sanitizers.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,7 +18,13 @@ jobs="$(nproc)"
 cmake -B build -S .
 cmake --build build -j"$jobs"
 ctest --test-dir build --output-on-failure -j"$jobs" -L tier1
+ctest --test-dir build --output-on-failure -L golden
 
 cmake -B build-asan -S . -DW4K_SANITIZE=ON
-cmake --build build-asan -j"$jobs" --target tests_chaos
+cmake --build build-asan -j"$jobs" \
+      --target tests_chaos tests_props fuzz_jsonlite fuzz_fault_plan \
+               fuzz_trace_io
 ctest --test-dir build-asan --output-on-failure -j"$jobs" -L chaos
+W4K_PROP_ITERS=200 \
+  ctest --test-dir build-asan --output-on-failure -j"$jobs" -L props
+ctest --test-dir build-asan --output-on-failure -j"$jobs" -L fuzz-smoke

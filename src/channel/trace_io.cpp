@@ -79,6 +79,10 @@ void save_trace(const CsiTrace& trace, const std::string& path) {
 CsiTrace load_trace(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("load_trace: cannot open " + path);
+  return load_trace(is, path);
+}
+
+CsiTrace load_trace(std::istream& is, const std::string& path) {
   char magic[8];
   is.read(magic, sizeof(magic));
   bool v2 = false;

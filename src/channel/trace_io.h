@@ -15,6 +15,7 @@
 
 #include "channel/mobility.h"
 
+#include <iosfwd>
 #include <string>
 
 namespace w4k::channel {
@@ -28,5 +29,9 @@ void save_trace(const CsiTrace& trace, const std::string& path);
 /// truncation, non-finite values, or out-of-order step ids — the message
 /// names the offending record.
 CsiTrace load_trace(const std::string& path);
+
+/// Stream variant — the same loader over any byte source (fuzz harnesses
+/// feed it in-memory buffers). `name` labels error messages.
+CsiTrace load_trace(std::istream& is, const std::string& name);
 
 }  // namespace w4k::channel

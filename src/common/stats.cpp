@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 
 namespace w4k {
 
@@ -19,6 +20,9 @@ double quantile_sorted(std::span<const double> sorted, double q) {
 Summary summarize(std::span<const double> values) {
   Summary s;
   if (values.empty()) return s;
+  for (double v : values)
+    if (std::isnan(v))
+      throw std::invalid_argument("summarize: NaN in input series");
   std::vector<double> v(values.begin(), values.end());
   std::sort(v.begin(), v.end());
   s.min = v.front();
@@ -65,6 +69,8 @@ std::string to_string(const Summary& s) {
 }
 
 void RunningStats::add(double x) {
+  if (std::isnan(x))
+    throw std::invalid_argument("RunningStats::add: NaN sample");
   ++n_;
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(n_);

@@ -23,7 +23,10 @@ struct Summary {
   std::size_t count = 0;
 };
 
-/// Computes the summary of `values`. Empty input yields an all-zero summary.
+/// Computes the summary of `values`. Empty input yields an all-zero
+/// summary. Throws std::invalid_argument on NaN input: NaN breaks the
+/// sort's strict weak ordering, so a poisoned series must fail loudly
+/// instead of yielding garbage quartiles.
 Summary summarize(std::span<const double> values);
 
 /// Linear-interpolated quantile of a *sorted* sequence, q in [0, 1].
@@ -44,6 +47,8 @@ std::string to_string(const Summary& s);
 /// Online accumulator for mean/variance (Welford).
 class RunningStats {
  public:
+  /// Throws std::invalid_argument on NaN (one NaN would silently poison
+  /// every later mean/variance read).
   void add(double x);
   std::size_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }

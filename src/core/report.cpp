@@ -1,6 +1,10 @@
 #include "core/report.h"
 
+#include "verify/invariants.h"
+
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -16,6 +20,48 @@ bool present(const FrameOutcome& f, std::size_t u) {
 }  // namespace
 
 void SessionReport::add(const FrameOutcome& outcome) {
+  if (verify::enabled()) {
+    const auto& f = outcome;
+    verify::check(f.psnr.size() == f.ssim.size() &&
+                      f.decoded_fraction.size() == f.ssim.size(),
+                  "report.ragged-outcome", [&] {
+                    return "ssim/psnr/decoded sizes " +
+                           std::to_string(f.ssim.size()) + "/" +
+                           std::to_string(f.psnr.size()) + "/" +
+                           std::to_string(f.decoded_fraction.size());
+                  });
+    for (std::size_t u = 0; u < f.ssim.size(); ++u) {
+      verify::check(f.ssim[u] >= 0.0 && f.ssim[u] <= 1.0 + 1e-9,
+                    "report.ssim-out-of-range", [&] {
+                      return "user " + std::to_string(u) + " ssim " +
+                             std::to_string(f.ssim[u]);
+                    });
+      if (u < f.psnr.size())
+        verify::check(std::isfinite(f.psnr[u]) && f.psnr[u] >= 0.0,
+                      "report.psnr-out-of-range", [&] {
+                        return "user " + std::to_string(u) + " psnr " +
+                               std::to_string(f.psnr[u]);
+                      });
+      if (u < f.decoded_fraction.size())
+        verify::check(f.decoded_fraction[u] >= 0.0 &&
+                          f.decoded_fraction[u] <= 1.0 + 1e-9,
+                      "report.decoded-fraction-out-of-range", [&] {
+                        return "user " + std::to_string(u) + " decoded " +
+                               std::to_string(f.decoded_fraction[u]);
+                      });
+    }
+    verify::check(frames_.empty() || f.frame_id >= frames_.back().frame_id,
+                  "report.frame-id-regression", [&] {
+                    return "frame_id " + std::to_string(f.frame_id) +
+                           " after " + std::to_string(frames_.back().frame_id);
+                  });
+    verify::check(f.stats.packets_sent <= f.stats.packets_offered,
+                  "report.sent-exceeds-offered", [&] {
+                    return std::to_string(f.stats.packets_sent) + " sent of " +
+                           std::to_string(f.stats.packets_offered) +
+                           " offered";
+                  });
+  }
   frames_.push_back(outcome);
 }
 
@@ -136,6 +182,91 @@ void SessionReport::write_csv_file(const std::string& path) const {
   if (!os)
     throw std::runtime_error("SessionReport: cannot create " + path);
   write_csv(os);
+  if (!os) throw std::runtime_error("SessionReport: write failed");
+}
+
+namespace {
+
+/// %.17g round-trips every double exactly and, unlike operator<<, is
+/// immune to stream-state surprises — the byte-stability the golden gate
+/// depends on.
+std::string jnum(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void jarray(std::ostream& os, const std::vector<double>& v) {
+  os << '[';
+  for (std::size_t i = 0; i < v.size(); ++i)
+    os << (i ? "," : "") << jnum(v[i]);
+  os << ']';
+}
+
+void jarray(std::ostream& os, const std::vector<bool>& v) {
+  os << '[';
+  for (std::size_t i = 0; i < v.size(); ++i)
+    os << (i ? "," : "") << (v[i] ? 1 : 0);
+  os << ']';
+}
+
+void jsummary(std::ostream& os, const Summary& s) {
+  os << "{\"count\":" << s.count << ",\"mean\":" << jnum(s.mean)
+     << ",\"min\":" << jnum(s.min) << ",\"q1\":" << jnum(s.q1)
+     << ",\"median\":" << jnum(s.median) << ",\"q3\":" << jnum(s.q3)
+     << ",\"max\":" << jnum(s.max) << '}';
+}
+
+}  // namespace
+
+void SessionReport::write_json(std::ostream& os) const {
+  os << "{\"frames\":" << frames() << ",\"users\":" << users();
+  os << ",\"ssim\":";
+  jsummary(os, ssim_summary());
+  os << ",\"psnr\":";
+  jsummary(os, psnr_summary());
+  os << ",\"per_user_mean_ssim\":";
+  jarray(os, per_user_mean_ssim());
+  os << ",\"bad_frame_fraction\":" << jnum(bad_frame_fraction());
+  const Totals t = totals();
+  os << ",\"totals\":{\"packets_offered\":" << t.packets_offered
+     << ",\"packets_sent\":" << t.packets_sent
+     << ",\"packets_dropped_queue\":" << t.packets_dropped_queue
+     << ",\"makeup_packets\":" << t.makeup_packets
+     << ",\"airtime\":" << jnum(t.airtime)
+     << ",\"csi_held_frames\":" << t.csi_held_frames
+     << ",\"shed_symbols\":" << t.shed_symbols << '}';
+  os << ",\"per_frame\":[";
+  for (std::size_t i = 0; i < frames_.size(); ++i) {
+    const auto& f = frames_[i];
+    os << (i ? "," : "") << "{\"frame_id\":" << f.frame_id << ",\"ssim\":";
+    jarray(os, f.ssim);
+    os << ",\"psnr\":";
+    jarray(os, f.psnr);
+    os << ",\"decoded_fraction\":";
+    jarray(os, f.decoded_fraction);
+    os << ",\"user_present\":";
+    jarray(os, f.user_present);
+    os << ",\"user_quarantined\":";
+    jarray(os, f.user_quarantined);
+    os << ",\"stats\":{\"packets_offered\":" << f.stats.packets_offered
+       << ",\"packets_sent\":" << f.stats.packets_sent
+       << ",\"packets_dropped_queue\":" << f.stats.packets_dropped_queue
+       << ",\"makeup_packets\":" << f.stats.makeup_packets
+       << ",\"airtime\":" << jnum(f.stats.airtime)
+       << ",\"backlog_packets_after\":" << f.stats.backlog_packets_after
+       << '}';
+    os << ",\"shed_symbols\":" << f.shed_symbols
+       << ",\"csi_held\":" << (f.csi_held ? "true" : "false") << '}';
+  }
+  os << "]}\n";
+}
+
+void SessionReport::write_json_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os)
+    throw std::runtime_error("SessionReport: cannot create " + path);
+  write_json(os);
   if (!os) throw std::runtime_error("SessionReport: write failed");
 }
 

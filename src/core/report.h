@@ -69,6 +69,14 @@ class SessionReport {
   /// Convenience file variant; throws std::runtime_error on I/O failure.
   void write_csv_file(const std::string& path) const;
 
+  /// Canonical JSON: fixed key order, no locale dependence, doubles printed
+  /// with %.17g so the output is byte-identical whenever the computed
+  /// values are. This is the regression-gate format (scripts/golden.sh) —
+  /// any schema change invalidates the blessed files, so extend it only
+  /// with a deliberate re-bless.
+  void write_json(std::ostream& os) const;
+  void write_json_file(const std::string& path) const;
+
  private:
   std::vector<FrameOutcome> frames_;
 };

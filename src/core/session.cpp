@@ -5,6 +5,7 @@
 #include "channel/array.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "verify/invariants.h"
 
 #include <algorithm>
 #include <cmath>
@@ -162,6 +163,18 @@ MulticastSession::Decision MulticastSession::decide(
       cached_groups_ = d.groups;
       cached_exclude_ = exclude;
     }
+  }
+
+  if (verify::enabled()) {
+    // Quarantined/excluded users must never appear in a scheduled group —
+    // a single stale cache entry here would leak traffic to a silent user.
+    for (std::size_t g = 0; g < d.groups.size(); ++g)
+      for (std::size_t u : d.groups[g].members)
+        verify::check(u < exclude.size() && exclude[u] == 0,
+                      "session.excluded-user-scheduled", [&] {
+                        return "group " + std::to_string(g) +
+                               " contains excluded user " + std::to_string(u);
+                      });
   }
 
   if (d.groups.empty()) return d;  // deep outage: nothing schedulable
@@ -463,6 +476,20 @@ FrameOutcome MulticastSession::step(
       }
     }
     assignments = &shed_plan;
+    if (verify::enabled()) {
+      // Shedding must only re-partition the plan: every scheduled symbol is
+      // either kept for transmission or counted as shed, never both/neither.
+      std::size_t scheduled = 0, kept = 0;
+      for (const auto& a : decision->unit_map.assignments)
+        scheduled += a.symbols;
+      for (const auto& a : shed_plan) kept += a.symbols;
+      verify::check(scheduled == kept + out.shed_symbols,
+                    "session.shed-conservation", [&] {
+                      return "scheduled " + std::to_string(scheduled) +
+                             " != kept " + std::to_string(kept) + " + shed " +
+                             std::to_string(out.shed_symbols);
+                    });
+    }
   }
 
   // --- Feedback faults -> engine fault state -----------------------------

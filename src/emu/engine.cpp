@@ -3,6 +3,7 @@
 #include "common/thread_pool.h"
 #include "obs/span.h"
 #include "transport/feedback.h"
+#include "verify/invariants.h"
 
 #include <algorithm>
 #include <cmath>
@@ -102,6 +103,11 @@ FrameTxResult TxEngine::run_frame(
   double new_backlog = 0.0;
   double max_queue_bytes = queue_bytes;  // high-water mark for telemetry
   Mbps last_drain_rate{0.0};
+  // Packet-conservation ledger (verify): every offered packet ends up in
+  // exactly one of sent / dropped_queue / deferred-to-backlog /
+  // abandoned-at-budget.
+  std::size_t deferred_packets = 0;
+  std::size_t abandoned_packets = 0;
 
   // Sends one symbol packet of `group` for unit `ui`. Returns false when
   // the frame budget is exhausted (packet deferred to backlog) and the
@@ -129,7 +135,10 @@ FrameTxResult TxEngine::run_frame(
         bucket_clock[gi] = t;
       }
       bucket.on_send(wire);
-      if (t >= budget) return false;
+      if (t >= budget) {
+        ++abandoned_packets;  // offered, but the frame deadline passed
+        return false;
+      }
     }
 
     // Kernel queue admission at enqueue time t (0 when rate control off).
@@ -152,6 +161,7 @@ FrameTxResult TxEngine::run_frame(
     if (finish > budget) {
       // Misses the frame deadline: rides in the queue into the next frame
       // as stale data (rate control keeps this path essentially unused).
+      ++deferred_packets;
       new_backlog += static_cast<double>(wire);
       queue.push_back(QueueEntry{finish, wire});
       queue_bytes += static_cast<double>(wire);
@@ -349,6 +359,65 @@ FrameTxResult TxEngine::run_frame(
   backlog_rate_ = last_drain_rate;
   res.stats.backlog_packets_after =
       static_cast<std::size_t>(backlog_bytes_ / static_cast<double>(wire));
+
+  // --- Conservation laws at the engine boundary (verify) ------------------
+  if (verify::enabled()) {
+    verify::check(
+        res.stats.packets_offered ==
+            res.stats.packets_sent + res.stats.packets_dropped_queue +
+                deferred_packets + abandoned_packets,
+        "emu.packet-conservation", [&] {
+          return "offered " + std::to_string(res.stats.packets_offered) +
+                 " != sent " + std::to_string(res.stats.packets_sent) +
+                 " + dropped " +
+                 std::to_string(res.stats.packets_dropped_queue) +
+                 " + deferred " + std::to_string(deferred_packets) +
+                 " + abandoned " + std::to_string(abandoned_packets);
+        });
+    verify::check(res.stats.airtime <= budget + 1e-9, "emu.airtime-budget",
+                  [&] {
+                    return "airtime " + std::to_string(res.stats.airtime) +
+                           " s exceeds budget " + std::to_string(budget) +
+                           " s";
+                  });
+    verify::check(backlog_bytes_ >= 0.0, "emu.backlog-nonnegative", [&] {
+      return "backlog " + std::to_string(backlog_bytes_) + " bytes";
+    });
+    // Per-user reception never exceeds what was actually sent to any group
+    // containing that user (received <= sent, per unit).
+    std::vector<std::vector<std::size_t>> avail(
+        n_users, std::vector<std::size_t>(units.size(), 0));
+    for (const auto& [key, count] : sent_by_group) {
+      const auto [gi, ui] = key;
+      for (std::size_t u : groups[gi].members) avail[u][ui] += count;
+    }
+    for (std::size_t u = 0; u < n_users; ++u) {
+      for (std::size_t ui = 0; ui < units.size(); ++ui) {
+        verify::check(res.user_symbols[u][ui] <= avail[u][ui],
+                      "emu.received-exceeds-sent", [&] {
+                        return "user " + std::to_string(u) + " unit " +
+                               std::to_string(ui) + ": received " +
+                               std::to_string(res.user_symbols[u][ui]) +
+                               " > sent " + std::to_string(avail[u][ui]);
+                      });
+        verify::check(!res.user_decoded[u][ui] ||
+                          res.user_symbols[u][ui] >= units[ui].k_symbols,
+                      "emu.decode-below-k", [&] {
+                        return "user " + std::to_string(u) + " unit " +
+                               std::to_string(ui) + " decoded with " +
+                               std::to_string(res.user_symbols[u][ui]) +
+                               " < k " + std::to_string(units[ui].k_symbols);
+                      });
+      }
+    }
+    for (std::size_t gi = 0; gi < groups.size(); ++gi)
+      verify::check(res.measured_rate[gi].value >= 0.0,
+                    "emu.negative-measured-rate", [&] {
+                      return "group " + std::to_string(gi) + ": " +
+                             std::to_string(res.measured_rate[gi].value) +
+                             " Mbps";
+                    });
+  }
 
   // One batched telemetry flush per frame (never per packet).
   if (obs::enabled()) {

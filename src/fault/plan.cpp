@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -195,6 +196,33 @@ FaultPlan parse_fault_plan(std::istream& is) {
       line_err(lineno, "trailing tokens starting at '" + extra + "'");
   }
   return plan;
+}
+
+std::string to_text(const FaultPlan& plan) {
+  std::ostringstream os;
+  const auto num = [](double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return std::string(buf);
+  };
+  for (const auto& f : plan.feedback) {
+    os << "feedback " << f.frame << ' ' << f.user;
+    if (f.delay_frames < 0) os << " lost\n";
+    else os << " delay " << f.delay_frames << '\n';
+  }
+  for (const auto& c : plan.csi)
+    os << "csi " << c.frame << ' ' << (c.corrupt ? "corrupt" : "stale")
+       << '\n';
+  for (const auto& b : plan.blockage)
+    os << "blockage " << b.start_frame << ' ' << b.n_frames << ' ' << b.user
+       << ' ' << num(b.extra_loss_db) << '\n';
+  for (const auto& b : plan.budget)
+    os << "budget " << b.start_frame << ' ' << b.n_frames << ' '
+       << num(b.budget_scale) << '\n';
+  for (const auto& c : plan.churn)
+    os << "churn " << c.frame << ' ' << c.user << ' '
+       << (c.join ? "join" : "leave") << '\n';
+  return os.str();
 }
 
 FaultPlan load_fault_plan(const std::string& path) {

@@ -120,4 +120,10 @@ FaultPlan parse_fault_plan(std::istream& is);
 /// File variant; error messages carry the path and line number.
 FaultPlan load_fault_plan(const std::string& path);
 
+/// Serializes a plan to the text format parse_fault_plan accepts, one
+/// event per line. Doubles are printed with %.17g, so
+/// parse_fault_plan(to_text(plan)) reproduces `plan` exactly — the
+/// property suite round-trips random plans through this pair.
+std::string to_text(const FaultPlan& plan);
+
 }  // namespace w4k::fault

@@ -103,7 +103,12 @@ BandSums plane_sums(const video::Plane& a, const video::Plane& b) {
 double ssim(const video::Plane& reference, const video::Plane& distorted) {
   check_same(reference, distorted);
   const BandSums s = plane_sums(reference, distorted);
-  return s.windows ? s.ssim / static_cast<double>(s.windows) : 1.0;
+  // Anti-correlated windows can push the mean below zero; clamp to the
+  // documented [0, 1] range, consistent with ms_ssim's per-scale clamp
+  // (zero structural similarity is the floor the pipeline reasons about).
+  return s.windows
+             ? std::max(s.ssim / static_cast<double>(s.windows), 0.0)
+             : 1.0;
 }
 
 double ssim(const video::Frame& reference, const video::Frame& distorted) {

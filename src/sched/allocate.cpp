@@ -1,6 +1,7 @@
 #include "sched/allocate.h"
 
 #include "obs/span.h"
+#include "verify/invariants.h"
 
 #include <algorithm>
 #include <array>
@@ -390,6 +391,44 @@ std::vector<bool> support_mask(const AllocProblem& p,
 
 }  // namespace
 
+namespace {
+
+/// Verify-layer invariant: whatever path produced the allocation, its time
+/// plan must stay inside the frame budget with no negative entries, and
+/// the byte plan must be the time plan scaled by the group rate.
+void check_allocation(const AllocProblem& p, const Allocation& a,
+                      const char* who) {
+  if (!verify::enabled()) return;
+  double total = 0.0;
+  for (std::size_t g = 0; g < a.time.size(); ++g) {
+    const double rate_bytes_per_s = p.groups[g].beam.rate.value * 1e6 / 8.0;
+    for (int j = 0; j < video::kNumLayers; ++j) {
+      const auto js = static_cast<std::size_t>(j);
+      const double t = a.time[g][js];
+      verify::check(t >= 0.0, "sched.negative-time", [&] {
+        return std::string(who) + ": time[" + std::to_string(g) + "][" +
+               std::to_string(js) + "] = " + std::to_string(t);
+      });
+      verify::check(
+          std::abs(a.bytes[g][js] - t * rate_bytes_per_s) <=
+              1e-6 * std::max(1.0, std::abs(a.bytes[g][js])),
+          "sched.bytes-time-mismatch", [&] {
+            return std::string(who) + ": bytes[" + std::to_string(g) + "][" +
+                   std::to_string(js) + "] = " +
+                   std::to_string(a.bytes[g][js]) + " but time*rate = " +
+                   std::to_string(t * rate_bytes_per_s);
+          });
+      total += t;
+    }
+  }
+  verify::check(total <= p.time_budget + 1e-9, "sched.budget-exceeded", [&] {
+    return std::string(who) + ": allocated " + std::to_string(total) +
+           " s > budget " + std::to_string(p.time_budget) + " s";
+  });
+}
+
+}  // namespace
+
 Allocation optimize_allocation(const AllocProblem& p,
                                model::QualityModel& quality,
                                const OptimizerConfig& cfg) {
@@ -463,6 +502,7 @@ Allocation optimize_allocation(const AllocProblem& p,
     c_iters.add(static_cast<std::uint64_t>(std::max(0, result.iterations)));
     g_obj.set(result.objective);
   }
+  check_allocation(p, result, "optimize_allocation");
   return result;
 }
 
@@ -538,6 +578,7 @@ Allocation round_robin_allocation(const AllocProblem& p,
       out.bytes[gi][js] = out.time[gi][js] * rate_bytes_per_s;
     }
   }
+  check_allocation(p, out, "round_robin_allocation");
   return out;
 }
 

@@ -1,7 +1,10 @@
 #include "sched/unitmap.h"
 
+#include "verify/invariants.h"
+
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace w4k::sched {
 
@@ -98,6 +101,47 @@ UnitMapResult map_to_units(const std::vector<GroupSpec>& groups,
   for (const auto& b : budget)
     for (double v : b) leftover += v;
   res.leftover_symbols = static_cast<std::size_t>(leftover);
+
+  if (verify::enabled()) {
+    // Conservation: every per-user symbol tally must be exactly the sum of
+    // assignments over the groups that user belongs to, and every assignment
+    // must reference a valid (group, unit) cell with a positive count.
+    std::vector<std::vector<std::size_t>> replay(
+        n_users, std::vector<std::size_t>(units.size(), 0));
+    for (const auto& a : res.assignments) {
+      verify::check(a.group < groups.size() && a.unit_index < units.size(),
+                    "sched.unitmap-bad-assignment", [&] {
+                      return "group " + std::to_string(a.group) + "/unit " +
+                             std::to_string(a.unit_index) + " out of range";
+                    });
+      verify::check(a.symbols > 0, "sched.unitmap-empty-assignment", [&] {
+        return "zero-symbol assignment at group " + std::to_string(a.group) +
+               " unit " + std::to_string(a.unit_index);
+      });
+      if (a.group >= groups.size() || a.unit_index >= units.size()) continue;
+      for (std::size_t u : groups[a.group].members)
+        if (u < n_users) replay[u][a.unit_index] += a.symbols;
+    }
+    for (std::size_t u = 0; u < n_users; ++u)
+      for (std::size_t i = 0; i < units.size(); ++i) {
+        verify::check(replay[u][i] == res.user_symbols[u][i],
+                      "sched.unitmap-symbol-conservation", [&] {
+                        return "user " + std::to_string(u) + " unit " +
+                               std::to_string(i) + ": tallied " +
+                               std::to_string(res.user_symbols[u][i]) +
+                               " but assignments sum to " +
+                               std::to_string(replay[u][i]);
+                      });
+        verify::check(!res.user_decodes[u][i] ||
+                          res.user_symbols[u][i] >= units[i].k_symbols,
+                      "sched.unitmap-decode-below-k", [&] {
+                        return "user " + std::to_string(u) + " unit " +
+                               std::to_string(i) + " marked decodable with " +
+                               std::to_string(res.user_symbols[u][i]) + " < k=" +
+                               std::to_string(units[i].k_symbols);
+                      });
+      }
+  }
   return res;
 }
 

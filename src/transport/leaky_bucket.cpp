@@ -1,10 +1,18 @@
 #include "transport/leaky_bucket.h"
 
+#include "verify/invariants.h"
+
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
 namespace w4k::transport {
+
+namespace {
+// Credit arithmetic goes through seconds<->bytes conversions, so a sender
+// that waited exactly time_until(bytes) may land a rounding error short.
+constexpr double kCreditEps = 1e-3;  // bytes
+}  // namespace
 
 LeakyBucket::LeakyBucket(Mbps fill_rate, std::size_t max_credit_bytes)
     : rate_(fill_rate), cap_(max_credit_bytes),
@@ -17,6 +25,11 @@ void LeakyBucket::advance(Seconds dt) {
   if (dt <= 0.0) return;
   credit_ = std::min(static_cast<double>(cap_),
                      credit_ + rate_.bytes_in(dt));
+  verify::check(credit_ <= static_cast<double>(cap_) + kCreditEps,
+                "transport.bucket-over-capacity", [&] {
+                  return "credit " + std::to_string(credit_) + " > cap " +
+                         std::to_string(cap_);
+                });
 }
 
 bool LeakyBucket::can_send(std::size_t bytes) const {
@@ -25,7 +38,17 @@ bool LeakyBucket::can_send(std::size_t bytes) const {
 
 void LeakyBucket::on_send(std::size_t bytes) {
   assert(can_send(bytes) && "LeakyBucket::on_send without credit");
+  verify::check(credit_ + kCreditEps >= static_cast<double>(bytes),
+                "transport.bucket-send-without-credit", [&] {
+                  return "send of " + std::to_string(bytes) +
+                         " bytes with credit " + std::to_string(credit_);
+                });
   credit_ -= static_cast<double>(bytes);
+  // The level must never go (more than fp-noise) negative; clamp the noise
+  // so it cannot accumulate across millions of sends.
+  verify::check(credit_ >= -kCreditEps, "transport.bucket-negative-level",
+                [&] { return "credit " + std::to_string(credit_); });
+  credit_ = std::max(credit_, 0.0);
 }
 
 Seconds LeakyBucket::time_until(std::size_t bytes) const {

@@ -1,0 +1,71 @@
+#include "verify/invariants.h"
+
+#include "obs/metrics.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace w4k::verify {
+namespace {
+
+Mode mode_from_env() {
+  const char* env = std::getenv("W4K_CHECK_INVARIANTS");
+  if (env == nullptr || *env == '\0') return Mode::kThrow;
+  if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0)
+    return Mode::kOff;
+  if (std::strcmp(env, "report") == 0) return Mode::kReport;
+  return Mode::kThrow;  // "1", "throw", anything else: fail loudly
+}
+
+std::atomic<Mode>& mode_flag() {
+  static std::atomic<Mode> m{mode_from_env()};
+  return m;
+}
+
+std::atomic<std::uint64_t> g_violations{0};
+std::mutex g_last_mutex;
+std::string& last_message() {
+  static std::string msg;  // guarded by g_last_mutex
+  return msg;
+}
+
+}  // namespace
+
+Mode mode() { return mode_flag().load(std::memory_order_relaxed); }
+
+void set_mode(Mode m) { mode_flag().store(m, std::memory_order_relaxed); }
+
+std::uint64_t violation_count() {
+  return g_violations.load(std::memory_order_relaxed);
+}
+
+std::string last_violation() {
+  std::lock_guard<std::mutex> lock(g_last_mutex);
+  return last_message();
+}
+
+void reset_violations() {
+  g_violations.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(g_last_mutex);
+  last_message().clear();
+}
+
+void fail(const char* check, const std::string& detail) {
+  g_violations.fetch_add(1, std::memory_order_relaxed);
+  const std::string msg =
+      std::string("invariant violated [") + check + "]: " + detail;
+  {
+    std::lock_guard<std::mutex> lock(g_last_mutex);
+    last_message() = msg;
+  }
+  // Always visible in the metrics snapshot, whatever the mode: a chaos run
+  // in report mode surfaces violations without dying mid-seed.
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("verify.violations").add(1);
+  reg.counter(std::string("verify.") + check).add(1);
+  if (mode() == Mode::kThrow) throw InvariantViolation(msg);
+}
+
+}  // namespace w4k::verify

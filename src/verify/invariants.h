@@ -1,0 +1,98 @@
+// Runtime invariant checking compiled into the streaming pipeline.
+//
+// The paper's headline numbers rest on a long accounting chain — fountain
+// symbols -> schedule -> leaky bucket -> air -> per-user reception — and a
+// silent bookkeeping bug anywhere in it invalidates every figure the bench
+// harnesses reproduce. The InvariantChecker asserts the conservation laws
+// at stage boundaries while the real pipeline runs (chaos seeds included),
+// instead of only in unit tests against hand-built inputs:
+//
+//   * engine:   packets offered == sent + queue-dropped + deferred-to-
+//               backlog + abandoned-at-budget, per-user received symbols
+//               never exceed symbols sent to any group containing them,
+//               airtime never exceeds the (possibly collapsed) budget;
+//   * bucket:   the leaky-bucket credit level never goes negative and
+//               never exceeds its capacity;
+//   * sched:    the optimizer's time allocation stays inside the frame
+//               budget, and the unit map only assigns symbols to groups it
+//               was given;
+//   * session:  excluded (quarantined / departed) users are never members
+//               of a scheduled group, and shed symbols are conserved
+//               (scheduled == kept + shed);
+//   * report:   frame ids stay monotonic and every quality sample stays in
+//               range.
+//
+// Checks are always compiled in (they are O(users x units) per frame —
+// noise next to an SSIM pass) and controlled at runtime by the
+// W4K_CHECK_INVARIANTS environment variable:
+//
+//   unset / "1" / "throw"  check and throw InvariantViolation (default —
+//                          every test build fails loudly at the stage
+//                          boundary where the accounting first broke)
+//   "report"               check, count, and continue (chaos/production
+//                          style: violations surface through the obs
+//                          MetricsRegistry as verify.violations)
+//   "0" / "off"            disabled
+//
+// Every violation — thrown or not — increments the `verify.violations`
+// counter plus a per-check `verify.<name>` counter in the global
+// MetricsRegistry, so a chaos run's metrics snapshot shows exactly which
+// law broke and how often.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace w4k::verify {
+
+enum class Mode {
+  kOff,     ///< checks skipped entirely
+  kReport,  ///< count violations, keep running
+  kThrow,   ///< count and throw InvariantViolation (default)
+};
+
+/// Thrown on a failed invariant in kThrow mode. The message names the
+/// check and the values that broke it.
+class InvariantViolation : public std::logic_error {
+ public:
+  explicit InvariantViolation(const std::string& msg)
+      : std::logic_error(msg) {}
+};
+
+/// Current mode. First call reads W4K_CHECK_INVARIANTS; subsequent calls
+/// return the cached (or set_mode-overridden) value.
+Mode mode();
+
+/// Overrides the mode (tests; not thread-safe against in-flight checks).
+void set_mode(Mode m);
+
+/// True when checks should run (mode() != kOff).
+inline bool enabled() { return mode() != Mode::kOff; }
+
+/// Total violations recorded since process start (or the last reset).
+/// Counted in every mode except kOff, including violations that threw.
+std::uint64_t violation_count();
+
+/// Message of the most recent violation ("" if none).
+std::string last_violation();
+
+/// Zeroes the violation count and last-violation message (tests).
+void reset_violations();
+
+/// Records a violation of `check` (a short kebab/dot name, e.g.
+/// "emu.packet-conservation") with a human-readable detail string, bumps
+/// the MetricsRegistry counters, and throws in kThrow mode.
+void fail(const char* check, const std::string& detail);
+
+/// The workhorse: no-op when the condition holds or checks are off;
+/// otherwise builds the detail message lazily and reports through fail().
+/// `detail` is a callable returning std::string so the failure path never
+/// taxes the hot loop.
+template <typename DetailFn>
+inline void check(bool condition, const char* name, DetailFn&& detail) {
+  if (condition || !enabled()) return;
+  fail(name, detail());
+}
+
+}  // namespace w4k::verify

@@ -65,6 +65,62 @@ TEST(Args, MalformedBoolThrows) {
   EXPECT_THROW(a.get("flag", false), std::invalid_argument);
 }
 
+TEST(Args, EqualsWithEmptyValueActsAsFlag) {
+  // "--key=" stores an empty value: typed getters fall back to defaults
+  // (no value to parse) and the boolean getter reads presence as true.
+  const Args a = make({"--key="});
+  EXPECT_TRUE(a.has("key"));
+  EXPECT_FALSE(a.value("key").has_value());
+  EXPECT_EQ(a.get("key", std::string("d")), "d");
+  EXPECT_EQ(a.get("key", 9), 9);
+  EXPECT_TRUE(a.get("key", false));
+}
+
+TEST(Args, ValueContainingEqualsSplitsAtFirst) {
+  const Args a = make({"--filter=name=value"});
+  EXPECT_EQ(a.get("filter", std::string{}), "name=value");
+}
+
+TEST(Args, PartiallyNumericValuesThrow) {
+  // std::stoi/stod would accept the numeric prefix; the parser must not.
+  const Args a = make({"--n=1e3", "--d=2.5.6", "--m=3,000"});
+  EXPECT_THROW(a.get("n", 0), std::invalid_argument);
+  EXPECT_THROW(a.get("d", 0.0), std::invalid_argument);
+  EXPECT_THROW(a.get("m", 0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(a.get("n", 0.0), 1000.0);  // fine as a double
+}
+
+TEST(Args, IntegerOverflowThrows) {
+  const Args a = make({"--n=99999999999999999999"});
+  EXPECT_THROW(a.get("n", 0), std::invalid_argument);
+}
+
+TEST(Args, EmptyAndWhitespaceValuesThrow) {
+  const Args a = make({"--n", " ", "--d=\t"});
+  EXPECT_THROW(a.get("n", 0), std::invalid_argument);
+  EXPECT_THROW(a.get("d", 0.0), std::invalid_argument);
+}
+
+TEST(Args, NegativeNumberIsAValueNotAFlag) {
+  // "-5" has no leading "--", so it is the value of the preceding option.
+  const Args a = make({"--offset", "-5", "--gain=-2.5"});
+  EXPECT_EQ(a.get("offset", 0), -5);
+  EXPECT_DOUBLE_EQ(a.get("gain", 0.0), -2.5);
+}
+
+TEST(Args, OptionFollowedByOptionGetsNoValue) {
+  // "--a --b 3": a must not swallow "--b" as its value.
+  const Args a = make({"--a", "--b", "3"});
+  EXPECT_TRUE(a.has("a"));
+  EXPECT_FALSE(a.value("a").has_value());
+  EXPECT_EQ(a.get("b", 0), 3);
+}
+
+TEST(Args, RepeatedOptionLastOneWins) {
+  const Args a = make({"--n=1", "--n=2"});
+  EXPECT_EQ(a.get("n", 0), 2);
+}
+
 TEST(Args, PositionalArguments) {
   const Args a = make({"input.y4m", "--users", "2", "output.y4m"});
   ASSERT_EQ(a.positional().size(), 2u);

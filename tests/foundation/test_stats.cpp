@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <stdexcept>
 #include <vector>
 
 namespace w4k {
@@ -66,6 +68,47 @@ TEST(Stats, SummarizeEmpty) {
   const Summary s = summarize(std::vector<double>{});
   EXPECT_EQ(s.count, 0u);
   EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.q1, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 0.0);
+  EXPECT_DOUBLE_EQ(s.q3, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+}
+
+TEST(Stats, SummarizeSingleSample) {
+  // All five box-plot numbers collapse onto the one sample.
+  const Summary s = summarize(std::vector<double>{3.25});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min, 3.25);
+  EXPECT_DOUBLE_EQ(s.q1, 3.25);
+  EXPECT_DOUBLE_EQ(s.median, 3.25);
+  EXPECT_DOUBLE_EQ(s.q3, 3.25);
+  EXPECT_DOUBLE_EQ(s.max, 3.25);
+  EXPECT_DOUBLE_EQ(s.mean, 3.25);
+}
+
+TEST(Stats, QuantileSingleSample) {
+  const std::vector<double> v{7.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 1.0), 7.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(std::vector<double>{}, 0.5), 0.0);
+}
+
+TEST(Stats, SummarizeRejectsNaN) {
+  // NaN breaks the sort's strict weak ordering; it must fail loudly.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(summarize(std::vector<double>{1.0, nan, 3.0}),
+               std::invalid_argument);
+  EXPECT_THROW(summarize(std::vector<double>{nan}), std::invalid_argument);
+}
+
+TEST(Stats, SummarizeAcceptsInfinity) {
+  // Infinities order fine and show up honestly in min/max.
+  const double inf = std::numeric_limits<double>::infinity();
+  const Summary s = summarize(std::vector<double>{1.0, inf});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, inf);
 }
 
 TEST(Stats, SummarizeDoesNotMutateInput) {
@@ -96,6 +139,25 @@ TEST(Stats, RunningStatsEmpty) {
   RunningStats rs;
   EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
   EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(Stats, RunningStatsSingleSample) {
+  RunningStats rs;
+  rs.add(4.5);
+  EXPECT_EQ(rs.count(), 1u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.stddev(), 0.0);
+}
+
+TEST(Stats, RunningStatsRejectsNaN) {
+  RunningStats rs;
+  rs.add(1.0);
+  EXPECT_THROW(rs.add(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  // The rejected sample must not have corrupted the accumulator.
+  EXPECT_EQ(rs.count(), 1u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 1.0);
 }
 
 }  // namespace

@@ -1,0 +1,150 @@
+// Standalone fuzz driver: runs a LLVMFuzzerTestOneInput target without
+// libFuzzer, so the fuzz smoke tests work in every build (the toolchain
+// image has no clang fuzzer runtime baked in). Configure with
+// -DW4K_FUZZ_LIBFUZZER=ON to link the real libFuzzer instead and drop
+// this main.
+//
+// Usage: fuzz_target [--corpus DIR]... [--iters N] [--seed S]
+//                    [--max-len BYTES] [FILE]...
+//
+// Every corpus file (and explicit FILE) is executed verbatim first —
+// regression mode. Then N random inputs are executed: a seeded mutation
+// of a random corpus entry (byte flips, splices, truncations, duplications)
+// or, when no corpus was given, raw random bytes. Deterministic in --seed.
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+
+Bytes read_file(const std::filesystem::path& p) {
+  std::ifstream is(p, std::ios::binary);
+  return Bytes(std::istreambuf_iterator<char>(is),
+               std::istreambuf_iterator<char>());
+}
+
+Bytes mutate(const Bytes& seed, w4k::Rng& rng, std::size_t max_len) {
+  Bytes out = seed;
+  const int n_mutations = 1 + static_cast<int>(rng.below(8));
+  for (int m = 0; m < n_mutations; ++m) {
+    switch (rng.below(6)) {
+      case 0:  // flip random byte
+        if (!out.empty())
+          out[rng.below(out.size())] ^=
+              static_cast<std::uint8_t>(1 + rng.below(255));
+        break;
+      case 1:  // insert random byte
+        if (out.size() < max_len)
+          out.insert(out.begin() + static_cast<std::ptrdiff_t>(
+                                       rng.below(out.size() + 1)),
+                     static_cast<std::uint8_t>(rng.below(256)));
+        break;
+      case 2:  // delete random byte
+        if (!out.empty())
+          out.erase(out.begin() +
+                    static_cast<std::ptrdiff_t>(rng.below(out.size())));
+        break;
+      case 3:  // truncate
+        if (!out.empty()) out.resize(rng.below(out.size() + 1));
+        break;
+      case 4: {  // duplicate a chunk
+        if (out.empty() || out.size() >= max_len) break;
+        const std::size_t start = rng.below(out.size());
+        const std::size_t len =
+            std::min(out.size() - start, 1 + rng.below(32));
+        Bytes chunk(out.begin() + static_cast<std::ptrdiff_t>(start),
+                    out.begin() + static_cast<std::ptrdiff_t>(start + len));
+        const std::size_t at = rng.below(out.size() + 1);
+        out.insert(out.begin() + static_cast<std::ptrdiff_t>(at),
+                   chunk.begin(), chunk.end());
+        break;
+      }
+      default:  // overwrite with interesting values
+        if (!out.empty()) {
+          static constexpr std::uint8_t kInteresting[] = {
+              0x00, 0xff, 0x7f, 0x80, 0x0a, 0x20, '#', '-', '.', '9'};
+          out[rng.below(out.size())] =
+              kInteresting[rng.below(sizeof(kInteresting))];
+        }
+        break;
+    }
+  }
+  if (out.size() > max_len) out.resize(max_len);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t iters = 10'000;
+  std::uint64_t seed = 1;
+  std::size_t max_len = 1 << 16;
+  std::vector<Bytes> corpus;
+
+  const auto load_dir = [&](const std::string& dir) {
+    std::error_code ec;
+    for (const auto& e :
+         std::filesystem::directory_iterator(dir, ec))
+      if (e.is_regular_file()) corpus.push_back(read_file(e.path()));
+    if (ec) {
+      std::fprintf(stderr, "fuzz driver: cannot read corpus %s: %s\n",
+                   dir.c_str(), ec.message().c_str());
+      return false;
+    }
+    return true;
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "fuzz driver: %s needs a value\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--iters") iters = std::strtoull(next(), nullptr, 0);
+    else if (a == "--seed") seed = std::strtoull(next(), nullptr, 0);
+    else if (a == "--max-len") max_len = std::strtoull(next(), nullptr, 0);
+    else if (a == "--corpus") {
+      if (!load_dir(next())) return 2;
+    } else {
+      corpus.push_back(read_file(a));
+    }
+  }
+
+  // Regression pass: every corpus entry verbatim.
+  for (const auto& entry : corpus)
+    LLVMFuzzerTestOneInput(entry.data(), entry.size());
+
+  // Mutation pass.
+  w4k::Rng rng(seed);
+  Bytes scratch;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    if (!corpus.empty() && rng.chance(0.9)) {
+      scratch = mutate(corpus[rng.below(corpus.size())], rng, max_len);
+    } else {
+      scratch.resize(rng.below(512));
+      for (auto& b : scratch) b = static_cast<std::uint8_t>(rng.below(256));
+    }
+    LLVMFuzzerTestOneInput(scratch.data(), scratch.size());
+  }
+  std::printf("fuzz driver: %llu corpus entries + %llu mutated inputs, ok\n",
+              static_cast<unsigned long long>(corpus.size()),
+              static_cast<unsigned long long>(iters));
+  return 0;
+}

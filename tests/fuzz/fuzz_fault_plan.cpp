@@ -1,0 +1,38 @@
+// Fuzz target: the fault-plan text parser (fault/plan.h). Operators hand
+// this parser hand-written chaos scripts (`w4k_sim --fault-plan`), so it
+// must reject malformed input with an exception, never crash — and any
+// plan it does accept must survive validation and round-trip through the
+// canonical text serializer.
+#include "fault/plan.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  std::istringstream is(text);
+  try {
+    const auto plan = w4k::fault::parse_fault_plan(is);
+    // Accepted plans obey the documented event constraints (user-range
+    // checks off: the parser has no user count)...
+    plan.validate(0);
+    // ...and the text codec is a lossless pair.
+    std::istringstream round(w4k::fault::to_text(plan));
+    const auto again = w4k::fault::parse_fault_plan(round);
+    if (again.feedback.size() != plan.feedback.size() ||
+        again.csi.size() != plan.csi.size() ||
+        again.blockage.size() != plan.blockage.size() ||
+        again.budget.size() != plan.budget.size() ||
+        again.churn.size() != plan.churn.size())
+      __builtin_trap();
+  } catch (const std::runtime_error&) {
+    // Malformed line: the documented rejection path.
+  } catch (const std::invalid_argument&) {
+    // validate() rejected an accepted-but-inconsistent plan; also fine.
+  }
+  return 0;
+}

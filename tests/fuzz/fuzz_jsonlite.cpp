@@ -1,0 +1,28 @@
+// Fuzz target: the jsonlite parser (obs/jsonlite.h). The parser backs the
+// telemetry-manifest validation path, so it sees attacker-shaped input
+// whenever someone points the tools at a corrupt file. Must never crash,
+// hang, or overflow — only return nullopt with an error message.
+#include "obs/jsonlite.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  std::string err;
+  const auto v = w4k::obs::json::parse(text, &err);
+  if (v) {
+    // Exercise the DOM accessors on whatever parsed; find() must be safe
+    // on every value type.
+    (void)v->find("key");
+    if (v->is_object() && !v->obj.empty()) (void)v->find(v->obj[0].first);
+    if (v->is_array() && !v->arr.empty()) (void)v->arr[0].is_number();
+  } else if (err.empty() && !text.empty()) {
+    // A rejection must explain itself (offset-bearing message).
+    __builtin_trap();
+  }
+  return 0;
+}

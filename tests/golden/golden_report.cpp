@@ -1,0 +1,137 @@
+// Golden-report generator: runs three pinned end-to-end scenarios and
+// emits each SessionReport as canonical JSON (SessionReport::write_json).
+// scripts/golden.sh diffs the output against the blessed files in
+// tests/golden/data/ across W4K_THREADS and W4K_FORCE_SCALAR combinations
+// — any byte difference means the streaming pipeline's numbers moved, by
+// a real change or by lost determinism, and either way a human must look.
+//
+// Usage: golden_report <static4|faulted|mobile> [--out FILE]
+//                      [--model-cache PATH]
+#include "channel/mobility.h"
+#include "core/experiment.h"
+#include "core/frame_context.h"
+#include "core/pretrained.h"
+#include "core/report.h"
+#include "core/runner.h"
+#include "core/session.h"
+#include "fault/injector.h"
+#include "fault/plan.h"
+#include "video/synthetic.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace {
+
+constexpr int kW = 256;
+constexpr int kH = 144;
+
+using namespace w4k;
+
+std::vector<core::FrameContext> contexts() {
+  video::VideoSpec spec;
+  spec.width = kW;
+  spec.height = kH;
+  spec.frames = 4;
+  spec.richness = video::Richness::kHigh;
+  spec.seed = 11;
+  return core::make_contexts(video::SyntheticVideo(spec), 3,
+                             core::scaled_symbol_size(kW, kH));
+}
+
+core::MulticastSession session(model::QualityModel& quality) {
+  core::SessionConfig cfg = core::SessionConfig::scaled(kW, kH);
+  return core::MulticastSession(cfg, quality, beamforming::Codebook{});
+}
+
+std::vector<linalg::CVector> static_channels(std::size_t n) {
+  Rng rng(5);
+  channel::PropagationConfig prop;
+  return core::channels_for(prop,
+                            core::place_users_fixed(n, 3.0, 1.047, rng));
+}
+
+core::SessionReport run_static4(model::QualityModel& quality) {
+  auto s = session(quality);
+  const auto ctx = contexts();
+  return core::run_static(s, static_channels(4), ctx, 12);
+}
+
+core::SessionReport run_faulted(model::QualityModel& quality) {
+  constexpr std::size_t kUsers = 3;
+  constexpr int kFrames = 16;
+  auto s = session(quality);
+  const auto ctx = contexts();
+  const fault::FaultInjector injector(
+      fault::FaultPlan::random(/*seed=*/20240801, kFrames, kUsers), kUsers);
+  return core::run_static(s, static_channels(kUsers), ctx, kFrames,
+                          injector);
+}
+
+core::SessionReport run_mobile(model::QualityModel& quality) {
+  auto s = session(quality);
+  const auto ctx = contexts();
+  channel::MovingReceiverConfig mc;
+  mc.n_users = 2;
+  mc.duration = 0.5;  // 5 beacons x 3 frames each
+  mc.seed = 9;
+  return core::run_trace(s, channel::moving_receiver_trace(mc), ctx);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario;
+  std::string out_path;
+  std::string cache = "golden_model.cache";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "golden_report: %s needs a value\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--out") out_path = next();
+    else if (a == "--model-cache") cache = next();
+    else if (scenario.empty()) scenario = a;
+    else {
+      std::fprintf(stderr, "golden_report: unexpected argument %s\n",
+                   a.c_str());
+      return 2;
+    }
+  }
+  if (scenario.empty()) {
+    std::fprintf(stderr,
+                 "usage: golden_report <static4|faulted|mobile> "
+                 "[--out FILE] [--model-cache PATH]\n");
+    return 2;
+  }
+
+  model::QualityModel quality(42);
+  core::PretrainedOptions opts;
+  opts.cache_path = cache;
+  core::ensure_trained(quality, opts);
+
+  core::SessionReport report;
+  if (scenario == "static4") report = run_static4(quality);
+  else if (scenario == "faulted") report = run_faulted(quality);
+  else if (scenario == "mobile") report = run_mobile(quality);
+  else {
+    std::fprintf(stderr, "golden_report: unknown scenario '%s'\n",
+                 scenario.c_str());
+    return 2;
+  }
+
+  if (out_path.empty()) {
+    report.write_json(std::cout);
+  } else {
+    report.write_json_file(out_path);
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Unit tests for the verify-layer invariant checker: modes, counters,
+// metrics reporting, and lazy detail evaluation.
+#include "verify/invariants.h"
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace w4k::verify {
+namespace {
+
+class InvariantsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_ = mode();
+    reset_violations();
+  }
+  void TearDown() override {
+    set_mode(saved_);
+    reset_violations();
+  }
+  Mode saved_ = Mode::kThrow;
+};
+
+TEST_F(InvariantsTest, PassingCheckIsFree) {
+  set_mode(Mode::kThrow);
+  const auto before = violation_count();
+  check(true, "test.never-fires", [] { return std::string("unreached"); });
+  EXPECT_EQ(violation_count(), before);
+}
+
+TEST_F(InvariantsTest, ThrowModeThrowsAndCounts) {
+  set_mode(Mode::kThrow);
+  const auto before = violation_count();
+  EXPECT_THROW(
+      check(false, "test.throw-mode", [] { return std::string("detail"); }),
+      InvariantViolation);
+  EXPECT_EQ(violation_count(), before + 1);
+  EXPECT_NE(last_violation().find("test.throw-mode"), std::string::npos);
+  EXPECT_NE(last_violation().find("detail"), std::string::npos);
+}
+
+TEST_F(InvariantsTest, ReportModeCountsWithoutThrowing) {
+  set_mode(Mode::kReport);
+  const auto before = violation_count();
+  EXPECT_NO_THROW(check(false, "test.report-mode",
+                        [] { return std::string("counted"); }));
+  check(false, "test.report-mode", [] { return std::string("again"); });
+  EXPECT_EQ(violation_count(), before + 2);
+  EXPECT_NE(last_violation().find("again"), std::string::npos);
+}
+
+TEST_F(InvariantsTest, OffModeSkipsDetailLambda) {
+  set_mode(Mode::kOff);
+  EXPECT_FALSE(enabled());
+  bool evaluated = false;
+  check(false, "test.off-mode", [&] {
+    evaluated = true;
+    return std::string("should not run");
+  });
+  EXPECT_FALSE(evaluated);
+  EXPECT_EQ(violation_count(), 0u);
+}
+
+TEST_F(InvariantsTest, ViolationsFlowIntoMetricsRegistry) {
+  set_mode(Mode::kReport);
+  auto& reg = obs::MetricsRegistry::global();
+  auto& total = reg.counter("verify.violations");
+  auto& named = reg.counter("verify.test.metrics-check");
+  const auto total_before = total.value();
+  const auto named_before = named.value();
+  check(false, "test.metrics-check", [] { return std::string("x"); });
+  EXPECT_EQ(total.value(), total_before + 1);
+  EXPECT_EQ(named.value(), named_before + 1);
+}
+
+TEST_F(InvariantsTest, ResetClearsCountAndMessage) {
+  set_mode(Mode::kReport);
+  check(false, "test.reset", [] { return std::string("x"); });
+  ASSERT_GT(violation_count(), 0u);
+  reset_violations();
+  EXPECT_EQ(violation_count(), 0u);
+  EXPECT_TRUE(last_violation().empty());
+}
+
+}  // namespace
+}  // namespace w4k::verify

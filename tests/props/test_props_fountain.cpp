@@ -1,0 +1,99 @@
+// Property suite: fountain encode -> erase -> decode round-trips.
+#include "fec/fountain.h"
+#include "support/generators.h"
+#include "support/proptest.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace w4k {
+namespace {
+
+using proptest::prop_assert;
+
+// Any loss pattern that still leaves k + h symbols (h >= 2) decodes and
+// reproduces the source block exactly. h >= 2 keeps the dense-GF(256)
+// residual failure probability (~1/256^(h+1)) below ~6e-8 per iteration,
+// so the property is deterministic-for-all-practical-seeds while the
+// erasure pattern itself is arbitrary.
+TEST(PropsFountain, RoundTripsUnderArbitraryLossBelowOverhead) {
+  W4K_PROP("fountain.round-trip", [](Rng& rng) {
+    const std::size_t symbol_size = 1 + rng.below(96);
+    const std::size_t data_len = 1 + rng.below(40 * symbol_size);
+    const auto data = testgen::payload(rng, data_len);
+
+    fec::FountainEncoder enc(data, symbol_size, rng.next());
+    const std::size_t k = enc.k();
+    const std::size_t overhead = 2 + rng.below(8);
+    const std::size_t n_sent = k + overhead;
+
+    // Erase an arbitrary subset, keeping at least k + 2 symbols.
+    std::vector<fec::Symbol> sent;
+    sent.reserve(n_sent);
+    for (std::size_t esi = 0; esi < n_sent; ++esi)
+      sent.push_back(enc.encode(static_cast<fec::Esi>(esi)));
+    std::vector<std::size_t> order(n_sent);
+    std::iota(order.begin(), order.end(), 0);
+    for (std::size_t i = n_sent; i > 1; --i)
+      std::swap(order[i - 1], order[rng.below(i)]);
+    const std::size_t n_keep = k + 2 + rng.below(overhead - 1);
+
+    fec::FountainDecoder dec(k, symbol_size, data.size(), enc.block_seed());
+    for (std::size_t i = 0; i < n_keep && !dec.can_decode(); ++i)
+      dec.add_symbol(sent[order[i]]);
+
+    prop_assert(dec.can_decode(),
+                "rank " + std::to_string(dec.rank()) + " after " +
+                    std::to_string(n_keep) + " of " + std::to_string(n_sent) +
+                    " symbols, k=" + std::to_string(k));
+    const auto decoded = dec.decode();
+    prop_assert(decoded.has_value(), "decode() failed with full rank");
+    prop_assert(*decoded == data, "decoded bytes differ from source");
+  });
+}
+
+// Below k symbols the decoder must never claim decodability — the
+// conservation side of the property above.
+TEST(PropsFountain, NeverDecodesBelowK) {
+  W4K_PROP("fountain.no-decode-below-k", [](Rng& rng) {
+    const std::size_t symbol_size = 1 + rng.below(64);
+    const std::size_t data_len = 1 + rng.below(20 * symbol_size);
+    const auto data = testgen::payload(rng, data_len);
+    fec::FountainEncoder enc(data, symbol_size, rng.next());
+    const std::size_t k = enc.k();
+    if (k < 2) return;  // k == 1: any symbol decodes, nothing to check
+
+    fec::FountainDecoder dec(k, symbol_size, data.size(), enc.block_seed());
+    const std::size_t n_feed = rng.below(k);  // strictly fewer than k
+    for (std::size_t esi = 0; esi < n_feed; ++esi)
+      dec.add_symbol(enc.encode(static_cast<fec::Esi>(esi)));
+    prop_assert(!dec.can_decode(), "decodable with rank < k");
+    prop_assert(dec.rank() <= n_feed, "rank exceeds symbols fed");
+    prop_assert(!dec.decode().has_value(), "decode() succeeded below k");
+  });
+}
+
+// Redundant symbols never decrease rank, and duplicates are never counted
+// as innovative.
+TEST(PropsFountain, DuplicateSymbolsAreRedundant) {
+  W4K_PROP("fountain.duplicates-redundant", [](Rng& rng) {
+    const std::size_t symbol_size = 1 + rng.below(48);
+    const auto data = testgen::payload(rng, 1 + rng.below(10 * symbol_size));
+    fec::FountainEncoder enc(data, symbol_size, rng.next());
+    fec::FountainDecoder dec(enc.k(), symbol_size, data.size(),
+                             enc.block_seed());
+    const auto esi = static_cast<fec::Esi>(rng.below(enc.k() + 8));
+    const auto sym = enc.encode(esi);
+    const bool first = dec.add_symbol(sym);
+    const std::size_t rank_after = dec.rank();
+    prop_assert(first == (rank_after == 1), "first add vs rank");
+    prop_assert(!dec.add_symbol(sym), "duplicate counted as innovative");
+    prop_assert(dec.rank() == rank_after, "rank changed on duplicate");
+  });
+}
+
+}  // namespace
+}  // namespace w4k

@@ -1,0 +1,97 @@
+// Property suite: GF(256) field axioms and row-kernel consistency.
+#include "gf256/gf256.h"
+#include "support/proptest.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace w4k {
+namespace {
+
+using proptest::prop_assert;
+using proptest::prop_assert_eq;
+
+std::uint8_t rand_elem(Rng& rng) {
+  return static_cast<std::uint8_t>(rng.below(256));
+}
+
+std::uint8_t rand_nonzero(Rng& rng) {
+  return static_cast<std::uint8_t>(1 + rng.below(255));
+}
+
+TEST(PropsGf256, MultiplicationIsCommutativeAndAssociative) {
+  W4K_PROP("gf256.mul-comm-assoc", [](Rng& rng) {
+    const std::uint8_t a = rand_elem(rng), b = rand_elem(rng),
+                       c = rand_elem(rng);
+    prop_assert_eq(gf256::mul(a, b), gf256::mul(b, a), "commutativity");
+    prop_assert_eq(gf256::mul(gf256::mul(a, b), c),
+                   gf256::mul(a, gf256::mul(b, c)), "associativity");
+  });
+}
+
+TEST(PropsGf256, DistributesOverXorAddition) {
+  W4K_PROP("gf256.distributive", [](Rng& rng) {
+    const std::uint8_t a = rand_elem(rng), b = rand_elem(rng),
+                       c = rand_elem(rng);
+    prop_assert_eq(gf256::mul(a, static_cast<std::uint8_t>(b ^ c)),
+                   static_cast<std::uint8_t>(gf256::mul(a, b) ^
+                                             gf256::mul(a, c)),
+                   "a*(b+c) == a*b + a*c");
+  });
+}
+
+TEST(PropsGf256, IdentityZeroAndInverse) {
+  W4K_PROP("gf256.identity-inverse", [](Rng& rng) {
+    const std::uint8_t a = rand_elem(rng);
+    prop_assert_eq(gf256::mul(a, 1), a, "multiplicative identity");
+    prop_assert_eq(gf256::mul(a, 0), std::uint8_t{0}, "absorbing zero");
+    const std::uint8_t nz = rand_nonzero(rng);
+    prop_assert_eq(gf256::mul(nz, gf256::inv(nz)), std::uint8_t{1},
+                   "a * a^-1 == 1");
+    prop_assert_eq(gf256::div(a, nz), gf256::mul(a, gf256::inv(nz)),
+                   "division is multiplication by inverse");
+  });
+}
+
+TEST(PropsGf256, PowMatchesRepeatedMultiplication) {
+  W4K_PROP("gf256.pow", [](Rng& rng) {
+    const std::uint8_t a = rand_elem(rng);
+    const unsigned p = static_cast<unsigned>(rng.below(16));
+    std::uint8_t expect = 1;
+    for (unsigned i = 0; i < p; ++i) expect = gf256::mul(expect, a);
+    prop_assert_eq(gf256::pow(a, p), expect, "pow vs repeated mul");
+  });
+}
+
+TEST(PropsGf256, RowKernelsMatchScalarDefinition) {
+  // mul_add_row / scale_row (SIMD-dispatched) must agree byte-for-byte
+  // with the scalar field ops at every length, including the unaligned
+  // tails the vector kernels special-case.
+  W4K_PROP("gf256.row-kernels", [](Rng& rng) {
+    const std::size_t n = 1 + rng.below(300);
+    const std::uint8_t coeff = rand_elem(rng);
+    std::vector<std::uint8_t> dst(n), src(n);
+    for (auto& b : dst) b = rand_elem(rng);
+    for (auto& b : src) b = rand_elem(rng);
+
+    std::vector<std::uint8_t> expect = dst;
+    for (std::size_t i = 0; i < n; ++i)
+      expect[i] = static_cast<std::uint8_t>(expect[i] ^
+                                            gf256::mul(coeff, src[i]));
+    std::vector<std::uint8_t> got = dst;
+    gf256::mul_add_row(got, src, coeff);
+    prop_assert(got == expect, "mul_add_row mismatch at len " +
+                                   std::to_string(n));
+
+    expect = dst;
+    for (auto& b : expect) b = gf256::mul(b, coeff);
+    got = dst;
+    gf256::scale_row(got, coeff);
+    prop_assert(got == expect,
+                "scale_row mismatch at len " + std::to_string(n));
+  });
+}
+
+}  // namespace
+}  // namespace w4k

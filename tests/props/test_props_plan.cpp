@@ -1,0 +1,87 @@
+// Property suite: fault-plan generation, validation, and text round-trip.
+#include "fault/plan.h"
+#include "support/generators.h"
+#include "support/proptest.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace w4k::fault {
+namespace {
+
+using proptest::prop_assert;
+
+bool plans_equal(const FaultPlan& a, const FaultPlan& b) {
+  if (a.feedback.size() != b.feedback.size() || a.csi.size() != b.csi.size() ||
+      a.blockage.size() != b.blockage.size() ||
+      a.budget.size() != b.budget.size() || a.churn.size() != b.churn.size())
+    return false;
+  for (std::size_t i = 0; i < a.feedback.size(); ++i)
+    if (a.feedback[i].frame != b.feedback[i].frame ||
+        a.feedback[i].user != b.feedback[i].user ||
+        a.feedback[i].delay_frames != b.feedback[i].delay_frames)
+      return false;
+  for (std::size_t i = 0; i < a.csi.size(); ++i)
+    if (a.csi[i].frame != b.csi[i].frame ||
+        a.csi[i].corrupt != b.csi[i].corrupt)
+      return false;
+  for (std::size_t i = 0; i < a.blockage.size(); ++i)
+    if (a.blockage[i].start_frame != b.blockage[i].start_frame ||
+        a.blockage[i].n_frames != b.blockage[i].n_frames ||
+        a.blockage[i].user != b.blockage[i].user ||
+        a.blockage[i].extra_loss_db != b.blockage[i].extra_loss_db)
+      return false;
+  for (std::size_t i = 0; i < a.budget.size(); ++i)
+    if (a.budget[i].start_frame != b.budget[i].start_frame ||
+        a.budget[i].n_frames != b.budget[i].n_frames ||
+        a.budget[i].budget_scale != b.budget[i].budget_scale)
+      return false;
+  for (std::size_t i = 0; i < a.churn.size(); ++i)
+    if (a.churn[i].frame != b.churn[i].frame ||
+        a.churn[i].user != b.churn[i].user ||
+        a.churn[i].join != b.churn[i].join)
+      return false;
+  return true;
+}
+
+TEST(PropsFaultPlan, RandomPlansAlwaysValidate) {
+  W4K_PROP("plan.random-validates", [](Rng& rng) {
+    const std::uint32_t n_frames = 1 + rng.below(120);
+    const std::size_t n_users = 1 + rng.below(8);
+    const auto plan = testgen::fault_plan(rng, n_frames, n_users);
+    plan.validate(n_users);  // throws on violation
+    // Every event must target the declared frame/user ranges.
+    for (const auto& f : plan.feedback)
+      prop_assert(f.frame < n_frames && f.user < n_users,
+                  "feedback event out of range");
+    for (const auto& c : plan.churn)
+      prop_assert(c.frame <= n_frames && c.user > 0 && c.user < n_users,
+                  "churn event out of range (or churns user 0)");
+  });
+}
+
+TEST(PropsFaultPlan, RandomIsDeterministicInSeed) {
+  W4K_PROP("plan.random-deterministic", [](Rng& rng) {
+    const std::uint64_t seed = rng.next();
+    const std::uint32_t n_frames = 1 + rng.below(60);
+    const std::size_t n_users = 1 + rng.below(6);
+    const auto a = FaultPlan::random(seed, n_frames, n_users);
+    const auto b = FaultPlan::random(seed, n_frames, n_users);
+    prop_assert(plans_equal(a, b), "same seed produced different plans");
+  });
+}
+
+TEST(PropsFaultPlan, TextRoundTripIsExact) {
+  W4K_PROP("plan.text-round-trip", [](Rng& rng) {
+    const auto plan =
+        testgen::fault_plan(rng, 1 + rng.below(100), 1 + rng.below(8));
+    std::istringstream is(to_text(plan));
+    const auto reparsed = parse_fault_plan(is);
+    prop_assert(plans_equal(plan, reparsed),
+                "parse(to_text(plan)) != plan");
+  });
+}
+
+}  // namespace
+}  // namespace w4k::fault

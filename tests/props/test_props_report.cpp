@@ -1,0 +1,145 @@
+// Property suite: SessionReport aggregates equal per-frame sums.
+#include "core/report.h"
+#include "support/proptest.h"
+#include "verify/invariants.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace w4k::core {
+namespace {
+
+using proptest::prop_assert;
+using proptest::prop_assert_near;
+
+FrameOutcome random_outcome(Rng& rng, std::size_t n_users,
+                            std::uint32_t frame_id) {
+  FrameOutcome f;
+  f.frame_id = frame_id;
+  f.ssim.resize(n_users);
+  f.psnr.resize(n_users);
+  f.decoded_fraction.resize(n_users);
+  for (std::size_t u = 0; u < n_users; ++u) {
+    f.ssim[u] = rng.uniform();
+    f.psnr[u] = rng.uniform(0.0, 100.0);
+    f.decoded_fraction[u] = rng.uniform();
+  }
+  f.stats.packets_sent = rng.below(1000);
+  f.stats.packets_dropped_queue = rng.below(100);
+  f.stats.packets_offered =
+      f.stats.packets_sent + f.stats.packets_dropped_queue + rng.below(50);
+  f.stats.makeup_packets = rng.below(40);
+  f.stats.airtime = rng.uniform(0.0, 0.033);
+  f.shed_symbols = rng.below(200);
+  f.csi_held = rng.chance(0.2);
+  if (rng.chance(0.3)) {
+    f.user_present.assign(n_users, true);
+    for (std::size_t u = 0; u < n_users; ++u)
+      if (rng.chance(0.2)) f.user_present[u] = false;
+  }
+  return f;
+}
+
+TEST(PropsReport, TotalsEqualPerFrameSums) {
+  W4K_PROP("report.totals-equal-sums", [](Rng& rng) {
+    const std::size_t n_users = 1 + rng.below(6);
+    const std::size_t n_frames = rng.below(40);
+    SessionReport r;
+    SessionReport::Totals expect;
+    for (std::uint32_t i = 0; i < n_frames; ++i) {
+      const auto f = random_outcome(rng, n_users, i);
+      expect.packets_offered += f.stats.packets_offered;
+      expect.packets_sent += f.stats.packets_sent;
+      expect.packets_dropped_queue += f.stats.packets_dropped_queue;
+      expect.makeup_packets += f.stats.makeup_packets;
+      expect.airtime += f.stats.airtime;
+      expect.csi_held_frames += f.csi_held ? 1 : 0;
+      expect.shed_symbols += f.shed_symbols;
+      r.add(f);
+    }
+    const auto t = r.totals();
+    prop_assert(t.packets_offered == expect.packets_offered &&
+                    t.packets_sent == expect.packets_sent &&
+                    t.packets_dropped_queue == expect.packets_dropped_queue &&
+                    t.makeup_packets == expect.makeup_packets &&
+                    t.csi_held_frames == expect.csi_held_frames &&
+                    t.shed_symbols == expect.shed_symbols,
+                "integer totals diverge from per-frame sums");
+    prop_assert_near(t.airtime, expect.airtime, 1e-9, "airtime total");
+  });
+}
+
+TEST(PropsReport, MeanSsimEqualsFlattenedSampleMean) {
+  W4K_PROP("report.mean-equals-samples", [](Rng& rng) {
+    const std::size_t n_users = 1 + rng.below(5);
+    const std::size_t n_frames = 1 + rng.below(30);
+    SessionReport r;
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (std::uint32_t i = 0; i < n_frames; ++i) {
+      const auto f = random_outcome(rng, n_users, i);
+      for (std::size_t u = 0; u < n_users; ++u)
+        if (f.user_present.empty() || f.user_present[u]) {
+          sum += f.ssim[u];
+          ++count;
+        }
+      r.add(f);
+    }
+    const auto all = r.all_ssim();
+    prop_assert(all.size() == count, "all_ssim drops/adds samples");
+    if (count > 0)
+      prop_assert_near(r.ssim_summary().mean,
+                       sum / static_cast<double>(count), 1e-9,
+                       "summary mean vs sample mean");
+  });
+}
+
+TEST(PropsReport, JsonIsByteStableForEqualReports) {
+  W4K_PROP("report.json-deterministic", [](Rng& rng) {
+    const std::uint64_t seed = rng.next();
+    const auto build = [&] {
+      Rng r2(seed);
+      SessionReport r;
+      const std::size_t n = 1 + r2.below(10);
+      for (std::uint32_t i = 0; i < n; ++i)
+        r.add(random_outcome(r2, 3, i));
+      return r;
+    };
+    std::ostringstream a, b;
+    build().write_json(a);
+    build().write_json(b);
+    prop_assert(a.str() == b.str(), "same inputs, different JSON bytes");
+  });
+}
+
+// The report-side invariant checker rejects malformed outcomes (the
+// conservation laws the pipeline promises).
+TEST(PropsReport, InvariantCheckerRejectsCorruptOutcomes) {
+  W4K_PROP("report.rejects-corrupt", [](Rng& rng) {
+    if (!verify::enabled() || verify::mode() != verify::Mode::kThrow)
+      return;  // only meaningful in throwing builds
+    SessionReport r;
+    auto f = random_outcome(rng, 1 + rng.below(4), 0);
+    switch (rng.below(3)) {
+      case 0: f.ssim[rng.below(f.ssim.size())] = 1.5; break;
+      case 1: f.psnr[rng.below(f.psnr.size())] = -3.0; break;
+      default:
+        f.stats.packets_sent = f.stats.packets_offered + 1;
+        break;
+    }
+    bool threw = false;
+    try {
+      r.add(f);
+    } catch (const verify::InvariantViolation&) {
+      threw = true;
+    }
+    verify::reset_violations();
+    prop_assert(threw, "corrupt outcome accepted");
+  });
+}
+
+}  // namespace
+}  // namespace w4k::core

@@ -1,0 +1,116 @@
+// Property suite: scheduler feasibility — simplex projection and unit
+// mapping never exceed their budgets and conserve symbols.
+#include "sched/allocate.h"
+#include "sched/unitmap.h"
+#include "support/proptest.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace w4k {
+namespace {
+
+using proptest::prop_assert;
+
+TEST(PropsSched, SimplexProjectionIsFeasible) {
+  W4K_PROP("sched.simplex-feasible", [](Rng& rng) {
+    const std::size_t n = 1 + rng.below(24);
+    const double budget = rng.uniform(1e-4, 0.05);
+    std::vector<double> t(n);
+    for (auto& v : t) v = rng.uniform(-0.02, 0.05);
+    sched::project_to_simplex(t, budget);
+    double sum = 0.0;
+    for (double v : t) {
+      prop_assert(v >= 0.0, "negative entry " + std::to_string(v));
+      sum += v;
+    }
+    prop_assert(sum <= budget + 1e-9,
+                "sum " + std::to_string(sum) + " > budget " +
+                    std::to_string(budget));
+  });
+}
+
+TEST(PropsSched, SimplexProjectionIsIdempotent) {
+  W4K_PROP("sched.simplex-idempotent", [](Rng& rng) {
+    const std::size_t n = 1 + rng.below(16);
+    const double budget = rng.uniform(1e-4, 0.05);
+    std::vector<double> t(n);
+    for (auto& v : t) v = rng.uniform(-0.02, 0.05);
+    sched::project_to_simplex(t, budget);
+    std::vector<double> again = t;
+    sched::project_to_simplex(again, budget);
+    for (std::size_t i = 0; i < n; ++i)
+      prop_assert(std::abs(again[i] - t[i]) <= 1e-9,
+                  "projection moved an already-feasible point");
+  });
+}
+
+// Random groups over random layer budgets: the greedy unit mapper must
+// never assign more symbols from a (group, layer) than the byte budget
+// allows, and each member's tally is the sum of its groups' assignments.
+TEST(PropsSched, UnitMapRespectsBudgetsAndConservesSymbols) {
+  W4K_PROP("sched.unitmap-budget", [](Rng& rng) {
+    const std::size_t n_users = 1 + rng.below(5);
+    const std::size_t symbol_size = 64 << rng.below(3);
+    const int width = 16 * static_cast<int>(2 + rng.below(4));
+    const int height = 16 * static_cast<int>(2 + rng.below(4));
+    const auto units = sched::frame_units(width, height, symbol_size,
+                                          1 + rng.below(16));
+
+    // Random group structure: each group a random non-empty user subset.
+    const std::size_t n_groups = 1 + rng.below(4);
+    std::vector<sched::GroupSpec> groups(n_groups);
+    std::vector<sched::LayerArray> bytes(n_groups);
+    for (std::size_t g = 0; g < n_groups; ++g) {
+      for (std::size_t u = 0; u < n_users; ++u)
+        if (rng.chance(0.6)) groups[g].members.push_back(u);
+      if (groups[g].members.empty())
+        groups[g].members.push_back(rng.below(n_users));
+      for (auto& b : bytes[g])
+        b = rng.uniform(0.0, 40.0 * static_cast<double>(symbol_size));
+    }
+
+    const auto res =
+        sched::map_to_units(groups, bytes, units, n_users, symbol_size);
+
+    // Per-(group, layer) symbol spend within the byte budget.
+    std::vector<sched::LayerArray> spent(n_groups, sched::LayerArray{});
+    for (const auto& a : res.assignments) {
+      prop_assert(a.group < n_groups && a.unit_index < units.size(),
+                  "assignment indices out of range");
+      const auto layer =
+          static_cast<std::size_t>(units[a.unit_index].id.layer);
+      spent[a.group][layer] += static_cast<double>(a.symbols);
+    }
+    for (std::size_t g = 0; g < n_groups; ++g)
+      for (std::size_t l = 0; l < spent[g].size(); ++l) {
+        const double budget_symbols =
+            std::floor(bytes[g][l] / static_cast<double>(symbol_size));
+        prop_assert(spent[g][l] <= budget_symbols + 1e-9,
+                    "group " + std::to_string(g) + " layer " +
+                        std::to_string(l) + " spent " +
+                        std::to_string(spent[g][l]) + " of " +
+                        std::to_string(budget_symbols));
+      }
+
+    // Conservation: user tallies equal membership-weighted assignments.
+    for (std::size_t u = 0; u < n_users; ++u)
+      for (std::size_t i = 0; i < units.size(); ++i) {
+        std::size_t expect = 0;
+        for (const auto& a : res.assignments)
+          if (a.unit_index == i && groups[a.group].contains(u))
+            expect += a.symbols;
+        prop_assert(res.user_symbols[u][i] == expect,
+                    "user tally diverges from assignments");
+        prop_assert(res.user_decodes[u][i] ==
+                        (res.user_symbols[u][i] >= units[i].k_symbols),
+                    "decode flag inconsistent with k");
+      }
+  });
+}
+
+}  // namespace
+}  // namespace w4k

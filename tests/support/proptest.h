@@ -1,0 +1,225 @@
+// Minimal property-based testing core for the w4k test suites.
+//
+// A property is a callable `void prop(w4k::Rng& rng)` that draws random
+// inputs from the provided generator and throws (or reports through the
+// PropContext) when the property fails. The runner executes it for a
+// configurable number of iterations, each with a seed derived from a base
+// seed, and on failure prints the exact per-iteration seed so the failing
+// case reproduces deterministically:
+//
+//   W4K_PROP_ITERS=500 ./tests_props          # more iterations
+//   W4K_PROP_SEED=1234 ./tests_props          # different base seed
+//   W4K_PROP_ITER_SEED=0xdeadbeef ./tests_props   # replay ONE iteration
+//
+// The core is header-only and gtest-agnostic: check_property() returns a
+// Result (so the core itself is unit-testable), and the W4K_PROP macro
+// wraps it into a gtest failure. Shrinking is supported for properties
+// expressed over an integer "size" via shrink_size(): the runner greedily
+// retries the failing seed with smaller sizes and reports the smallest
+// size that still fails.
+#pragma once
+
+#include "common/rng.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace w4k::proptest {
+
+struct Options {
+  std::uint64_t base_seed = 0x77346b5471ULL;  // arbitrary fixed default
+  int iterations = 100;
+  /// If set (via W4K_PROP_ITER_SEED), run exactly one iteration with this
+  /// seed — the replay knob printed in failure messages.
+  bool has_replay_seed = false;
+  std::uint64_t replay_seed = 0;
+};
+
+inline std::uint64_t parse_env_u64(const char* name, std::uint64_t fallback,
+                                   bool* found = nullptr) {
+  const char* v = std::getenv(name);
+  if (found) *found = v != nullptr && *v != '\0';
+  if (!v || !*v) return fallback;
+  return std::strtoull(v, nullptr, 0);  // base 0: accepts decimal and 0x
+}
+
+/// Options from the environment: W4K_PROP_ITERS, W4K_PROP_SEED,
+/// W4K_PROP_ITER_SEED. Called once per property so env changes between
+/// gtest shards behave predictably.
+inline Options options_from_env() {
+  Options o;
+  o.iterations = static_cast<int>(
+      parse_env_u64("W4K_PROP_ITERS", static_cast<std::uint64_t>(o.iterations)));
+  if (o.iterations < 1) o.iterations = 1;
+  o.base_seed = parse_env_u64("W4K_PROP_SEED", o.base_seed);
+  o.replay_seed = parse_env_u64("W4K_PROP_ITER_SEED", 0, &o.has_replay_seed);
+  return o;
+}
+
+/// Per-iteration seed derivation: splitmix64-style mix of (base, index) so
+/// neighbouring iterations are statistically independent and any failure
+/// is replayable from the single printed value.
+inline std::uint64_t iteration_seed(std::uint64_t base, int iteration) {
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ULL *
+                               (static_cast<std::uint64_t>(iteration) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+struct Result {
+  bool passed = true;
+  int iterations_run = 0;
+  std::uint64_t failing_seed = 0;  ///< valid when !passed
+  std::string message;             ///< failure description + repro line
+};
+
+/// Exception a property throws to signal "this input violates me".
+class PropertyFailure : public std::runtime_error {
+ public:
+  explicit PropertyFailure(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Assertion helper for use inside properties.
+inline void prop_assert(bool cond, const std::string& detail) {
+  if (!cond) throw PropertyFailure(detail);
+}
+
+template <typename T>
+inline void prop_assert_eq(const T& a, const T& b, const std::string& what) {
+  if (!(a == b)) {
+    std::ostringstream os;
+    os << what << ": " << a << " != " << b;
+    throw PropertyFailure(os.str());
+  }
+}
+
+inline void prop_assert_near(double a, double b, double tol,
+                             const std::string& what) {
+  const double d = a > b ? a - b : b - a;
+  if (!(d <= tol)) {
+    std::ostringstream os;
+    os.precision(17);
+    os << what << ": |" << a << " - " << b << "| = " << d << " > " << tol;
+    throw PropertyFailure(os.str());
+  }
+}
+
+/// Runs `property(rng)` for opts.iterations iterations (or exactly one
+/// replay iteration). Returns a Result instead of asserting so the core
+/// is itself testable; use W4K_PROP for the gtest wrapper.
+inline Result check_property(const std::string& name,
+                             const std::function<void(Rng&)>& property,
+                             const Options& opts = options_from_env()) {
+  Result res;
+  const int iters = opts.has_replay_seed ? 1 : opts.iterations;
+  for (int i = 0; i < iters; ++i) {
+    const std::uint64_t seed = opts.has_replay_seed
+                                   ? opts.replay_seed
+                                   : iteration_seed(opts.base_seed, i);
+    Rng rng(seed);
+    ++res.iterations_run;
+    try {
+      property(rng);
+    } catch (const std::exception& e) {
+      res.passed = false;
+      res.failing_seed = seed;
+      std::ostringstream os;
+      os << "property '" << name << "' failed at iteration " << i << "/"
+         << iters << ": " << e.what() << "\n  reproduce with: W4K_PROP_ITER_SEED="
+         << "0x" << std::hex << seed << std::dec << " (base seed "
+         << opts.base_seed << ")";
+      res.message = os.str();
+      return res;
+    }
+  }
+  return res;
+}
+
+/// Size-aware variant with greedy shrinking: `property(rng, size)` is
+/// first run at sizes drawn in [1, max_size]; on failure the runner
+/// retries the SAME seed at smaller sizes (halving, then linear) and
+/// reports the smallest size that still fails — usually a far more
+/// readable counterexample.
+inline Result check_sized_property(
+    const std::string& name,
+    const std::function<void(Rng&, std::size_t)>& property,
+    std::size_t max_size, const Options& opts = options_from_env()) {
+  Result res;
+  const int iters = opts.has_replay_seed ? 1 : opts.iterations;
+  for (int i = 0; i < iters; ++i) {
+    const std::uint64_t seed = opts.has_replay_seed
+                                   ? opts.replay_seed
+                                   : iteration_seed(opts.base_seed, i);
+    Rng size_rng(seed);
+    std::size_t size =
+        1 + static_cast<std::size_t>(size_rng.below(max_size));
+    ++res.iterations_run;
+    const auto fails_at = [&](std::size_t s, std::string* why) {
+      Rng rng(seed);
+      try {
+        property(rng, s);
+        return false;
+      } catch (const std::exception& e) {
+        if (why) *why = e.what();
+        return true;
+      }
+    };
+    std::string why;
+    if (!fails_at(size, &why)) continue;
+
+    // Greedy shrink: halve while still failing, then step down linearly.
+    std::size_t smallest = size;
+    std::string smallest_why = why;
+    for (std::size_t s = size / 2; s >= 1; s /= 2) {
+      if (fails_at(s, &why)) {
+        smallest = s;
+        smallest_why = why;
+      } else {
+        break;
+      }
+      if (s == 1) break;
+    }
+    while (smallest > 1 && fails_at(smallest - 1, &why)) {
+      --smallest;
+      smallest_why = why;
+    }
+
+    res.passed = false;
+    res.failing_seed = seed;
+    std::ostringstream os;
+    os << "property '" << name << "' failed at iteration " << i << "/"
+       << iters << " (size " << size << ", shrunk to " << smallest
+       << "): " << smallest_why
+       << "\n  reproduce with: W4K_PROP_ITER_SEED=0x" << std::hex << seed
+       << std::dec << " (base seed " << opts.base_seed << ")";
+    res.message = os.str();
+    return res;
+  }
+  return res;
+}
+
+}  // namespace w4k::proptest
+
+/// gtest glue: run a property lambda and report the repro line on failure.
+/// Usage: W4K_PROP("name", [](w4k::Rng& rng) { ... });
+/// Variadic so lambdas containing top-level commas pass through intact.
+#define W4K_PROP(name, ...)                                             \
+  do {                                                                  \
+    const auto w4k_prop_res_ = ::w4k::proptest::check_property(         \
+        (name), (__VA_ARGS__));                                         \
+    if (!w4k_prop_res_.passed) ADD_FAILURE() << w4k_prop_res_.message;  \
+  } while (0)
+
+/// Sized variant: W4K_SIZED_PROP("name", max_size, [](Rng&, size_t) {...})
+#define W4K_SIZED_PROP(name, max_size, ...)                             \
+  do {                                                                  \
+    const auto w4k_prop_res_ = ::w4k::proptest::check_sized_property(   \
+        (name), (__VA_ARGS__), (max_size));                             \
+    if (!w4k_prop_res_.passed) ADD_FAILURE() << w4k_prop_res_.message;  \
+  } while (0)
