@@ -112,4 +112,11 @@ GroupBeam group_beam(Scheme scheme,
   throw std::logic_error("group_beam: unhandled scheme");
 }
 
+GroupBeam group_beam(Scheme scheme,
+                     const std::vector<linalg::CVector>& channels,
+                     const Codebook& codebook, std::uint64_t seed) {
+  Rng rng(seed);
+  return group_beam(scheme, channels, codebook, rng);
+}
+
 }  // namespace w4k::beamforming

@@ -20,6 +20,7 @@
 #include "common/units.h"
 #include "linalg/matrix.h"
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -52,5 +53,14 @@ struct GroupBeam {
 GroupBeam group_beam(Scheme scheme,
                      const std::vector<linalg::CVector>& member_channels,
                      const Codebook& codebook, Rng& rng);
+
+/// Seed-based variant: the SVD power iteration draws from a private
+/// Rng(seed), so the result is a pure function of (scheme, channels,
+/// codebook, seed) — independent of any shared generator's state. This is
+/// what makes per-subset caching and parallel group enumeration safe: two
+/// callers computing the same subset always get bit-identical beams.
+GroupBeam group_beam(Scheme scheme,
+                     const std::vector<linalg::CVector>& member_channels,
+                     const Codebook& codebook, std::uint64_t seed);
 
 }  // namespace w4k::beamforming

@@ -3,6 +3,7 @@
 #include "beamforming/csi.h"
 #include "beamforming/sls.h"
 #include "channel/array.h"
+#include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "verify/invariants.h"
@@ -88,16 +89,18 @@ MulticastSession::MulticastSession(const SessionConfig& cfg,
       quality_(quality),
       codebook_(std::move(codebook)),
       engine_(cfg.engine),
-      rng_(cfg.seed) {
+      rng_(cfg.seed),
+      beam_cache_(cfg.scheme, cfg.seed) {
   cfg_.validate(codebook_.size());
 }
 
 void MulticastSession::reset() {
   frozen_.reset();
   last_measured_.clear();
-  cached_channels_.clear();
-  cached_groups_.clear();
-  cached_exclude_.clear();
+  beam_cache_.clear();
+  prev_alloc_.clear();
+  prev_total_time_ = 0.0;
+  prev_n_users_ = 0;
   engine_.clear_backlog();
   rng_.reseed(cfg_.seed);
   next_frame_id_ = 0;
@@ -108,26 +111,21 @@ void MulticastSession::reset() {
 }
 
 void MulticastSession::ensure_user_state(std::size_t n_users) {
-  if (feedback_silent_streak_.size() != n_users) {
-    feedback_silent_streak_.assign(n_users, 0);
-    lost_frame_streak_.assign(n_users, 0);
-    quarantined_.assign(n_users, 0);
-    held_csi_.clear();
-  }
+  if (feedback_silent_streak_.size() == n_users) return;
+  // Churn: resize in place so surviving user indices keep their quarantine
+  // flag and silence/loss streaks — a user who was blocked before a
+  // neighbor joined is still blocked after. Only index-keyed caches whose
+  // meaning depends on the user count are dropped.
+  feedback_silent_streak_.resize(n_users, 0);
+  lost_frame_streak_.resize(n_users, 0);
+  quarantined_.resize(n_users, 0);
+  held_csi_.clear();
+  prev_alloc_.clear();
+  prev_total_time_ = 0.0;
+  prev_n_users_ = 0;
 }
 
 namespace {
-
-bool same_channels(const std::vector<linalg::CVector>& a,
-                   const std::vector<linalg::CVector>& b) {
-  if (a.size() != b.size()) return false;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    if (a[i].size() != b[i].size()) return false;
-    for (std::size_t n = 0; n < a[i].size(); ++n)
-      if (a[i][n] != b[i][n]) return false;
-  }
-  return true;
-}
 
 bool all_finite(const std::vector<linalg::CVector>& channels) {
   for (const auto& h : channels)
@@ -144,25 +142,22 @@ MulticastSession::Decision MulticastSession::decide(
     const std::vector<std::uint8_t>& exclude) {
   Decision d;
   {
-    // Group beamforming (cached across frames for static CSI; the span
-    // still records so every frame shows the stage, near-zero when cached).
+    // Group beamforming. Every subset's beam derives its RNG from
+    // (cfg_.seed, member bitmask), so the result is a pure function of the
+    // CSI and config — the cache below and the ThreadPool-parallel miss
+    // computation are bit-identical to a serial, uncached enumeration.
     static obs::Stage& st = obs::stage("session.beamform");
     obs::StageSpan span(st);
-    if (!cached_groups_.empty() && exclude == cached_exclude_ &&
-        same_channels(channels, cached_channels_)) {
-      d.groups = cached_groups_;
-    } else {
-      sched::GroupEnumConfig enum_cfg = cfg_.group_enum;
-      enum_cfg.exclude = exclude;
-      d.groups = sched::enumerate_groups(cfg_.scheme, channels, codebook_,
-                                         rng_, enum_cfg);
-      // Scale Table 2 rates to the frame resolution before any byte math.
-      for (auto& g : d.groups)
-        g.beam.rate = Mbps{g.beam.rate.value * cfg_.rate_scale};
-      cached_channels_ = channels;
-      cached_groups_ = d.groups;
-      cached_exclude_ = exclude;
-    }
+    sched::GroupEnumConfig enum_cfg = cfg_.group_enum;
+    enum_cfg.exclude = exclude;
+    ThreadPool* pool = &ThreadPool::shared();
+    d.groups = cfg_.beam_cache
+                   ? beam_cache_.enumerate(channels, codebook_, enum_cfg, pool)
+                   : sched::enumerate_groups(cfg_.scheme, channels, codebook_,
+                                             cfg_.seed, enum_cfg, pool);
+    // Scale Table 2 rates to the frame resolution before any byte math.
+    for (auto& g : d.groups)
+      g.beam.rate = Mbps{g.beam.rate.value * cfg_.rate_scale};
   }
 
   if (verify::enabled()) {
@@ -187,13 +182,51 @@ MulticastSession::Decision MulticastSession::decide(
       cfg_.engine.frame_budget * (1.0 - cfg_.makeup_margin);
   problem.lambda = cfg_.lambda;
 
+  // Remap the previous frame's allocation onto the surviving groups (by
+  // member bitmask) to warm-start the optimizer. Only offered when at least
+  // half of the previous airtime maps onto a still-existing group — past
+  // that the landscape has shifted enough that the cold multi-start is the
+  // better bet. Note: this depends only on the previous *allocation*, never
+  // on the beam-cache flag, so cache on/off stays bit-identical.
+  const auto group_mask = [](const sched::GroupSpec& g) {
+    std::uint32_t mask = 0;
+    for (std::size_t u : g.members) mask |= 1u << u;
+    return mask;
+  };
+  std::vector<double> warm_vec;
+  const std::vector<double>* warm = nullptr;
+  if (cfg_.optimized_schedule && cfg_.warm_start && prev_total_time_ > 0.0 &&
+      prev_n_users_ == channels.size()) {
+    warm_vec.assign(d.groups.size() * video::kNumLayers, 0.0);
+    double covered = 0.0;
+    for (std::size_t g = 0; g < d.groups.size(); ++g) {
+      const auto it = prev_alloc_.find(group_mask(d.groups[g]));
+      if (it == prev_alloc_.end()) continue;
+      for (std::size_t j = 0; j < video::kNumLayers; ++j) {
+        warm_vec[g * video::kNumLayers + j] = it->second[j];
+        covered += it->second[j];
+      }
+    }
+    if (covered >= 0.5 * prev_total_time_) warm = &warm_vec;
+  }
+
   {
     static obs::Stage& st = obs::stage("session.allocate");
     obs::StageSpan span(st);
     d.allocation = cfg_.optimized_schedule
                        ? sched::optimize_allocation(problem, quality_,
-                                                    cfg_.optimizer)
+                                                    cfg_.optimizer, warm)
                        : sched::round_robin_allocation(problem, quality_);
+  }
+
+  // Remember this allocation for the next frame's warm start.
+  prev_alloc_.clear();
+  prev_total_time_ = 0.0;
+  prev_n_users_ = channels.size();
+  for (std::size_t g = 0; g < d.groups.size(); ++g) {
+    const sched::LayerArray& t = d.allocation.time[g];
+    prev_alloc_[group_mask(d.groups[g])] = t;
+    for (double v : t) prev_total_time_ += v;
   }
   {
     static obs::Stage& st = obs::stage("session.unitmap");

@@ -18,10 +18,12 @@
 #include "emu/engine.h"
 #include "fault/injector.h"
 #include "model/quality_model.h"
+#include "sched/beam_cache.h"
 #include "sched/groups.h"
 
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 namespace w4k::core {
@@ -36,6 +38,20 @@ struct SessionConfig {
   beamforming::Scheme scheme = beamforming::Scheme::kOptimizedMulticast;
   bool optimized_schedule = true;  ///< false = round-robin baseline
   bool adapt = true;               ///< false = "No Update"
+  /// Reuse per-subset beams across frames (sched::BeamCache): only subsets
+  /// containing a user whose CSI changed are re-beamformed, in parallel on
+  /// the shared ThreadPool. Because every subset's beam is a pure function
+  /// of (scheme, member channels, codebook, seed), the output is
+  /// bit-identical with the cache on or off — this flag exists for A/B
+  /// benchmarking and for the property suite that asserts exactly that.
+  bool beam_cache = true;
+  /// Warm-start the Eq. 1 optimizer from the previous frame's allocation,
+  /// remapped by member bitmask onto the surviving group set. Falls back to
+  /// the full multi-start whenever the warm candidate is worse than the
+  /// evaluated round-robin init (or too little of the previous allocation
+  /// survived). Independent of `beam_cache`, so toggling the cache cannot
+  /// change the schedule.
+  bool warm_start = true;
   /// dB backed off the measured min-RSS before MCS selection. Mobile runs
   /// use 1-2 dB: the beacon-time CSI is up to 100 ms stale, and selecting
   /// at the exact sensitivity makes every fade a burst of losses.
@@ -153,19 +169,25 @@ class MulticastSession {
   /// between independent runs).
   void reset();
 
- private:
   struct Decision {
     std::vector<sched::GroupSpec> groups;
     sched::Allocation allocation;
     sched::UnitMapResult unit_map;
   };
 
+  /// Runs the per-frame decision pipeline (group beamforming -> Eq. 1 time
+  /// allocation -> Eq. 4 unit mapping) without transmitting. Public so the
+  /// scheduler-scaling bench can time exactly this path; step() calls it
+  /// internally. Mutates the beam cache and warm-start state.
   Decision decide(const std::vector<linalg::CVector>& channels,
                   const FrameContext& ctx,
                   const std::vector<std::uint8_t>& exclude);
 
-  /// (Re)sizes the per-user recovery state, resetting it when the user
-  /// count changes between runs.
+ private:
+  /// (Re)sizes the per-user recovery state when the user count changes.
+  /// State for surviving user indices (quarantine, feedback/loss streaks)
+  /// is preserved — only the resized tail starts fresh; index-keyed caches
+  /// that become meaningless (held CSI, previous allocation) are dropped.
   void ensure_user_state(std::size_t n_users);
 
   SessionConfig cfg_;
@@ -175,13 +197,16 @@ class MulticastSession {
   Rng rng_;
   std::optional<Decision> frozen_;            ///< No-Update cache
   std::vector<Mbps> last_measured_;           ///< per-group rate feedback
-  /// Group-enumeration cache: beamforming depends only on the CSI (and the
-  /// exclusion set), so for static channels the (expensive) per-subset SVD
-  /// is reused across frames while the allocation still re-optimizes per
-  /// frame content.
-  std::vector<linalg::CVector> cached_channels_;
-  std::vector<sched::GroupSpec> cached_groups_;
-  std::vector<std::uint8_t> cached_exclude_;
+  /// Per-subset beam cache (see sched/beam_cache.h): beamforming depends
+  /// only on the member CSI (plus scheme/codebook/seed), so beams are
+  /// reused across frames for every subset whose members' channels are
+  /// unchanged, while the allocation still re-optimizes per frame content.
+  sched::BeamCache beam_cache_;
+  /// Previous frame's optimized time allocation keyed by member bitmask,
+  /// remapped onto the surviving groups to warm-start the optimizer.
+  std::unordered_map<std::uint32_t, sched::LayerArray> prev_alloc_;
+  double prev_total_time_ = 0.0;
+  std::size_t prev_n_users_ = 0;
 
   // --- Fault-recovery state (all deterministic, no rng) -----------------
   std::uint32_t next_frame_id_ = 0;

@@ -11,30 +11,39 @@ DominantSVD dominant_right_singular(const CMatrix& a, Rng& rng,
   DominantSVD out;
   if (a.rows() == 0 || a.cols() == 0) return out;
 
-  // Gram matrix G = A^H A (cols x cols), Hermitian PSD.
+  // Power-iterate on the *smaller* of the two Gram matrices. A^H A
+  // (cols x cols) and A A^H (rows x rows) share their nonzero spectrum,
+  // and the dominant right singular vector is recoverable from the
+  // dominant left one as v1 = A^H u1 / sigma1. The scheduler's stacked
+  // channel matrices are short and wide (<= max_group_size member rows,
+  // one column per antenna), so iterating on the row-side Gram drops the
+  // per-step cost from cols^2 to rows^2.
+  const bool row_side = a.rows() < a.cols();
   const CMatrix ah = a.hermitian();
-  const CMatrix g = ah * a;
+  const CMatrix g = row_side ? a * ah : ah * a;
 
-  CVector v(a.cols());
+  CVector v(g.rows());
   for (std::size_t i = 0; i < v.size(); ++i)
     v[i] = Complex(rng.gaussian(), rng.gaussian());
   if (v.norm() == 0.0) v[0] = 1.0;
   v = v.normalized();
 
   double prev_lambda = 0.0;
+  bool zero_matrix = false;
   for (int it = 0; it < max_iters; ++it) {
-    CVector w = g * v;
+    // One Gram matvec per iteration: w = G v feeds both the Rayleigh
+    // quotient of the current iterate and the next power step.
+    const CVector w = g * v;
+    const double lambda = std::real(dot(v, w));
     const double wn = w.norm();
+    out.iterations = it + 1;
     if (wn == 0.0) {
-      // A is (numerically) zero: any unit vector is a valid v1, sigma = 0.
-      out.right_singular = v;
-      out.singular_value = 0.0;
-      out.iterations = it + 1;
-      return out;
+      // A is (numerically) zero: sigma = 0, any unit vector is a valid v1.
+      zero_matrix = true;
+      prev_lambda = 0.0;
+      break;
     }
     v = w * Complex(1.0 / wn, 0.0);
-    const double lambda = std::real(dot(v, g * v));
-    out.iterations = it + 1;
     if (it > 0 && std::abs(lambda - prev_lambda) <=
                       tol * std::max(1.0, std::abs(lambda))) {
       prev_lambda = lambda;
@@ -42,7 +51,21 @@ DominantSVD dominant_right_singular(const CMatrix& a, Rng& rng,
     }
     prev_lambda = lambda;
   }
-  out.right_singular = v;
+  if (!row_side) {
+    out.right_singular = v;
+  } else {
+    // Map the left singular vector back: A^H u1 has norm sigma1; if that
+    // is zero (zero matrix) fall back to an arbitrary unit vector.
+    const CVector rv = ah * v;
+    const double rn = rv.norm();
+    if (rn > 0.0 && !zero_matrix) {
+      out.right_singular = rv * Complex(1.0 / rn, 0.0);
+    } else {
+      CVector e(a.cols());
+      e[0] = 1.0;
+      out.right_singular = e;
+    }
+  }
   out.singular_value = std::sqrt(std::max(0.0, prev_lambda));
   return out;
 }

@@ -2,7 +2,8 @@
 //
 // The paper's max-sum RSS heuristic (Sec. 2.5) needs only the *dominant*
 // right singular vector of the stacked channel matrix H, which we obtain by
-// power iteration on the Hermitian positive-semidefinite Gram matrix H^H H.
+// power iteration on the smaller of the two Hermitian PSD Gram matrices
+// (H H^H for the short-wide stacks the scheduler builds).
 // For unit tests and ablations we also expose a full Hermitian
 // eigendecomposition via the complex Jacobi method.
 #pragma once
@@ -22,9 +23,11 @@ struct DominantSVD {
 };
 
 /// Computes the dominant right singular vector of A (rows x cols) by power
-/// iteration on A^H A. Deterministic: the starting vector is derived from
-/// `rng`. Converges to |lambda2/lambda1|^k; `tol` bounds the relative change
-/// of the Rayleigh quotient between iterations.
+/// iteration on the smaller of the two Gram matrices (A^H A or A A^H; for
+/// short-wide channel stacks the row-side Gram is far cheaper, and v1 is
+/// recovered as A^H u1 / sigma1). Deterministic: the starting vector is
+/// derived from `rng`. Converges to |lambda2/lambda1|^k; `tol` bounds the
+/// relative change of the Rayleigh quotient between iterations.
 DominantSVD dominant_right_singular(const CMatrix& a, Rng& rng,
                                     int max_iters = 500, double tol = 1e-12);
 

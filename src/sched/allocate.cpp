@@ -135,6 +135,27 @@ std::vector<double> gradient(const AllocProblem& p, model::QualityModel& q,
 }  // namespace
 
 void project_to_simplex(std::vector<double>& t, double budget) {
+  // A NaN-poisoned gradient step must not flow through the sort/accumulate
+  // below (NaN breaks the strict-weak ordering and poisons the pivot
+  // search): report per policy, then sanitize. NaN and -inf carry no
+  // usable demand (0); +inf wants everything it can get (the budget).
+  for (auto& x : t) {
+    if (std::isfinite(x)) continue;
+    const double bad = x;
+    verify::check(false, "sched.simplex-nonfinite", [&] {
+      return "project_to_simplex: non-finite entry " + std::to_string(bad);
+    });
+    x = (bad > 0.0 && std::isfinite(budget) && budget > 0.0) ? budget : 0.0;
+  }
+  if (!(budget > 0.0)) {
+    // {t >= 0, sum t <= budget} with budget <= 0 admits only the origin.
+    verify::check(std::isfinite(budget), "sched.simplex-bad-budget", [&] {
+      return "project_to_simplex: non-finite budget " +
+             std::to_string(budget);
+    });
+    std::fill(t.begin(), t.end(), 0.0);
+    return;
+  }
   for (auto& x : t) x = std::max(0.0, x);
   const double sum = std::accumulate(t.begin(), t.end(), 0.0);
   if (sum <= budget) return;
@@ -373,6 +394,27 @@ RefineResult refine(const AllocProblem& p, model::QualityModel& quality,
   return RefineResult{std::move(t), std::move(best), iters};
 }
 
+/// Packages a refined time vector and its evaluation as an Allocation.
+Allocation to_allocation(const AllocProblem& p, const std::vector<double>& t,
+                         const Eval& e, int iters) {
+  Allocation result;
+  result.iterations = iters;
+  result.objective = e.objective;
+  result.user_bytes = e.user_bytes;
+  result.predicted_ssim = e.ssim;
+  result.time.resize(p.groups.size());
+  result.bytes.resize(p.groups.size());
+  for (std::size_t g = 0; g < p.groups.size(); ++g) {
+    const double rate_bytes_per_s = p.groups[g].beam.rate.value * 1e6 / 8.0;
+    for (int j = 0; j < video::kNumLayers; ++j) {
+      const auto js = static_cast<std::size_t>(j);
+      result.time[g][js] = t[g * video::kNumLayers + js];
+      result.bytes[g][js] = result.time[g][js] * rate_bytes_per_s;
+    }
+  }
+  return result;
+}
+
 /// Coordinates belonging to groups the init actually loaded (all layers).
 std::vector<bool> support_mask(const AllocProblem& p,
                                const std::vector<double>& init) {
@@ -431,7 +473,8 @@ void check_allocation(const AllocProblem& p, const Allocation& a,
 
 Allocation optimize_allocation(const AllocProblem& p,
                                model::QualityModel& quality,
-                               const OptimizerConfig& cfg) {
+                               const OptimizerConfig& cfg,
+                               const std::vector<double>* warm_start) {
   if (p.groups.empty())
     throw std::invalid_argument("optimize_allocation: no usable groups");
   if (p.n_users == 0)
@@ -439,6 +482,93 @@ Allocation optimize_allocation(const AllocProblem& p,
 
   static obs::Stage& st = obs::stage("sched.optimize");
   obs::StageSpan span(st);
+
+  const auto finish = [&](Allocation result) {
+    if (obs::enabled()) {
+      auto& reg = obs::MetricsRegistry::global();
+      static obs::Counter& c_calls = reg.counter("sched.optimize_calls");
+      static obs::Counter& c_groups = reg.counter("sched.groups_evaluated");
+      static obs::Counter& c_iters = reg.counter("sched.iterations");
+      static obs::Gauge& g_obj = reg.gauge("sched.objective");
+      c_calls.add(1);
+      c_groups.add(p.groups.size());
+      c_iters.add(static_cast<std::uint64_t>(std::max(0, result.iterations)));
+      g_obj.set(result.objective);
+    }
+    check_allocation(p, result, "optimize_allocation");
+    return result;
+  };
+
+  // --- Warm path: refine the previous frame's allocation directly. ------
+  // The remapped plan is already a near-feasible near-optimum when the
+  // group set and channels moved only a little (the common mobile case),
+  // so one full-space refine converges in a handful of step-halvings
+  // instead of the multi-start's thousands of exchange iterations. The
+  // evaluated round-robin init serves as the acceptance floor: a warm
+  // result that cannot beat the weakest cold seed means the group set
+  // changed too much, and the multi-start below runs as the fallback.
+  const std::size_t dims = p.groups.size() * video::kNumLayers;
+  if (warm_start != nullptr && warm_start->size() == dims) {
+    std::vector<double> t = *warm_start;
+    bool finite = true;
+    for (double x : t) finite &= std::isfinite(x);
+    if (finite) {
+      project_to_simplex(t, p.time_budget);
+      // A warm start that leaves some group-served user at exactly zero
+      // airtime is not a safe fast path: the quality model's gradient is
+      // nearly flat at zero delivered bytes, so a lone refine can fail to
+      // climb away from starving that user — exactly the shape a user
+      // re-entering after quarantine/blockage produces (their groups were
+      // absent from the previous frame, so the remap left them at zero).
+      // The multi-start's per-user and covering seeds exist for that case.
+      std::vector<std::uint8_t> grouped(p.n_users, 0), served(p.n_users, 0);
+      for (std::size_t g = 0; g < p.groups.size(); ++g) {
+        double tg = 0.0;
+        for (std::size_t j = 0; j < video::kNumLayers; ++j)
+          tg += t[g * video::kNumLayers + j];
+        for (std::size_t u : p.groups[g].members) {
+          grouped[u] = 1;
+          if (tg > 0.0) served[u] = 1;
+        }
+      }
+      bool serves_all = true;
+      for (std::size_t u = 0; u < p.n_users; ++u)
+        serves_all &= grouped[u] == 0 || served[u] != 0;
+      if (!serves_all && obs::enabled()) {
+        static obs::Counter& c_fb_unserved =
+            obs::MetricsRegistry::global().counter(
+                "sched.warm_start.fallbacks");
+        c_fb_unserved.add(1);
+      }
+      if (serves_all &&
+          std::accumulate(t.begin(), t.end(), 0.0) > 0.0) {
+        RefineResult warm = refine(p, quality, cfg, std::move(t), nullptr);
+        const Eval floor = evaluate(p, quality, round_robin_times(p, 1e-3));
+        const bool accept = warm.eval.objective >= floor.objective;
+        if (obs::enabled()) {
+          auto& reg = obs::MetricsRegistry::global();
+          static obs::Counter& c_hit = reg.counter("sched.warm_start.hits");
+          static obs::Counter& c_fb =
+              reg.counter("sched.warm_start.fallbacks");
+          static obs::Counter& c_saved =
+              reg.counter("sched.warm_start.iters_saved");
+          if (accept) {
+            c_hit.add(1);
+            // Saved vs the configured cold budget: 4 starts x 2 refine
+            // phases x max_iterations (an estimate against the iteration
+            // cap, not a measurement of the skipped runs).
+            const int budget = 8 * cfg.max_iterations;
+            c_saved.add(static_cast<std::uint64_t>(
+                std::max(0, budget - warm.iters)));
+          } else {
+            c_fb.add(1);
+          }
+        }
+        if (accept) return finish(to_allocation(p, warm.t, warm.eval,
+                                                warm.iters));
+      }
+    }
+  }
 
   // Multi-start local search. Each start is refined in two phases — first
   // restricted to its own support (so it converges cleanly within its
@@ -471,39 +601,12 @@ Allocation optimize_allocation(const AllocProblem& p,
     const auto& t = phase2.t;
 
     if (!have_result || best.objective > result.objective) {
-      result = Allocation{};
-      result.iterations = phase1.iters + phase2.iters;
-      result.objective = best.objective;
-      result.user_bytes = best.user_bytes;
-      result.predicted_ssim = best.ssim;
-      result.time.resize(p.groups.size());
-      result.bytes.resize(p.groups.size());
-      for (std::size_t g = 0; g < p.groups.size(); ++g) {
-        const double rate_bytes_per_s =
-            p.groups[g].beam.rate.value * 1e6 / 8.0;
-        for (int j = 0; j < video::kNumLayers; ++j) {
-          const auto js = static_cast<std::size_t>(j);
-          result.time[g][js] = t[g * video::kNumLayers + js];
-          result.bytes[g][js] = result.time[g][js] * rate_bytes_per_s;
-        }
-      }
+      result = to_allocation(p, t, best, phase1.iters + phase2.iters);
       have_result = true;
     }
   }
 
-  if (obs::enabled()) {
-    auto& reg = obs::MetricsRegistry::global();
-    static obs::Counter& c_calls = reg.counter("sched.optimize_calls");
-    static obs::Counter& c_groups = reg.counter("sched.groups_evaluated");
-    static obs::Counter& c_iters = reg.counter("sched.iterations");
-    static obs::Gauge& g_obj = reg.gauge("sched.objective");
-    c_calls.add(1);
-    c_groups.add(p.groups.size());
-    c_iters.add(static_cast<std::uint64_t>(std::max(0, result.iterations)));
-    g_obj.set(result.objective);
-  }
-  check_allocation(p, result, "optimize_allocation");
-  return result;
+  return finish(std::move(result));
 }
 
 namespace {
@@ -522,10 +625,14 @@ std::vector<double> round_robin_times(const AllocProblem& p, Seconds slot,
     std::iota(order.begin(), order.end(), 0);
   }
   std::vector<LayerArray> delivered(p.n_users, LayerArray{});
-  Seconds used = 0.0;
+  // Remaining-budget accounting (rather than summing `used` upward): the
+  // final partial slot is exactly the residue, so the slots sum to the
+  // budget minus at most the 1e-12 termination threshold and can never
+  // overrun it — even for budgets that are not a multiple of `slot`.
+  Seconds remaining = p.time_budget;
   std::size_t idx = 0;
-  while (used + 1e-12 < p.time_budget) {
-    const Seconds this_slot = std::min(slot, p.time_budget - used);
+  while (remaining > 1e-12) {
+    const Seconds this_slot = std::min(slot, remaining);
     const std::size_t g = order[idx];
     const auto& group = p.groups[g];
     const double rate_bytes_per_s = group.beam.rate.value * 1e6 / 8.0;
@@ -547,7 +654,7 @@ std::vector<double> round_robin_times(const AllocProblem& p, Seconds slot,
     t[g * video::kNumLayers + ts] += this_slot;
     for (std::size_t u : group.members) delivered[u][ts] += bytes;
 
-    used += this_slot;
+    remaining -= this_slot;
     idx = (idx + 1) % order.size();
   }
   return t;
@@ -560,6 +667,9 @@ Allocation round_robin_allocation(const AllocProblem& p,
                                   Seconds slot) {
   if (p.groups.empty())
     throw std::invalid_argument("round_robin_allocation: no usable groups");
+  if (!(slot > 0.0) || !std::isfinite(slot))
+    throw std::invalid_argument("round_robin_allocation: slot must be a "
+                                "positive finite duration");
   const std::vector<double> t = round_robin_times(p, slot);
 
   Allocation out;

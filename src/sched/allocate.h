@@ -56,18 +56,37 @@ struct OptimizerConfig {
 };
 
 /// Projected-gradient optimizer for Eq. 1.
+///
+/// `warm_start` (optional) is a flattened time vector (g-major,
+/// layer-minor, matching problem.groups) — typically the previous frame's
+/// allocation remapped onto the surviving group set. When provided and
+/// usable (right size, finite, non-empty after projection onto the budget
+/// simplex), the optimizer refines it directly and, if the refined result
+/// at least matches the evaluated round-robin cold init, returns it
+/// without running the multi-start — the scheduler fast path that makes
+/// per-frame re-optimization real-time. Otherwise it falls back to the
+/// full cold multi-start (which also keeps the warm candidate in the
+/// running). Counters: sched.warm_start.{hits,fallbacks,iters_saved}.
 Allocation optimize_allocation(const AllocProblem& problem,
                                model::QualityModel& quality,
-                               const OptimizerConfig& cfg = {});
+                               const OptimizerConfig& cfg = {},
+                               const std::vector<double>* warm_start = nullptr);
 
 /// Round-robin baseline: 1 ms slots rotate over all candidate groups; each
 /// slot's bytes go to the lowest layer that group's members still miss.
+/// The final partial slot is sized to land exactly on the budget: the
+/// summed time plan never exceeds `problem.time_budget` and drops at most
+/// 1e-12 s of it. Throws std::invalid_argument for slot <= 0 or non-finite.
 Allocation round_robin_allocation(const AllocProblem& problem,
                                   model::QualityModel& quality,
                                   Seconds slot = 1e-3);
 
 /// Euclidean projection of `t` onto {t >= 0, sum t <= budget}; exposed for
-/// tests. Operates in place.
+/// tests. Operates in place. Non-finite entries are reported through the
+/// W4K_CHECK_INVARIANTS policy (throw by default) and sanitized so the
+/// projection cannot silently corrupt the allocation: NaN/-inf collapse to
+/// 0, +inf claims the whole budget. A budget <= 0 (or non-finite) zeroes
+/// the vector — the only feasible point.
 void project_to_simplex(std::vector<double>& t, double budget);
 
 }  // namespace w4k::sched

@@ -1,0 +1,91 @@
+#include "sched/beam_cache.h"
+
+#include "obs/metrics.h"
+
+namespace w4k::sched {
+namespace {
+
+bool same_channel(const linalg::CVector& a, const linalg::CVector& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] != b[i]) return false;
+  return true;
+}
+
+}  // namespace
+
+void BeamCache::clear() {
+  beams_.clear();
+  channels_.clear();
+}
+
+std::vector<GroupSpec> BeamCache::enumerate(
+    const std::vector<linalg::CVector>& channels,
+    const beamforming::Codebook& codebook, const GroupEnumConfig& cfg,
+    ThreadPool* pool) {
+  const std::size_t n = channels.size();
+  const std::vector<std::uint32_t> masks =
+      admissible_masks(scheme_, n, cfg);  // throws on n == 0 / n > 16
+
+  // --- Dirty tracking --------------------------------------------------
+  if (channels_.size() != n) {
+    // Churn: member bitmasks now index a different user set, so every
+    // cached beam is meaningless.
+    if (!beams_.empty()) ++stats_.invalidations;
+    beams_.clear();
+  } else {
+    std::uint32_t dirty = 0;
+    for (std::size_t u = 0; u < n; ++u)
+      if (!same_channel(channels[u], channels_[u])) dirty |= 1u << u;
+    if (dirty != 0)
+      std::erase_if(beams_,
+                    [dirty](const auto& kv) { return kv.first & dirty; });
+  }
+  channels_ = channels;
+
+  // --- Compute the misses (deterministic, parallelizable) --------------
+  std::vector<std::uint32_t> miss_masks;
+  for (std::uint32_t mask : masks)
+    if (!beams_.contains(mask)) miss_masks.push_back(mask);
+
+  std::vector<beamforming::GroupBeam> computed(miss_masks.size());
+  const auto compute = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      computed[i] =
+          subset_beam(scheme_, channels, miss_masks[i], codebook, beam_seed_);
+  };
+  if (pool != nullptr && pool->size() > 1 && miss_masks.size() > 1) {
+    pool->parallel_for(0, miss_masks.size(), /*grain=*/8, compute);
+  } else {
+    compute(0, miss_masks.size());
+  }
+  for (std::size_t i = 0; i < miss_masks.size(); ++i)
+    beams_.emplace(miss_masks[i], std::move(computed[i]));
+
+  const std::uint64_t hits = masks.size() - miss_masks.size();
+  stats_.hits += hits;
+  stats_.misses += miss_masks.size();
+  if (obs::enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    static obs::Counter& c_hit = reg.counter("sched.beam_cache.hit");
+    static obs::Counter& c_miss = reg.counter("sched.beam_cache.miss");
+    c_hit.add(hits);
+    c_miss.add(miss_masks.size());
+  }
+
+  // --- Emit in ascending mask order with the rate filters --------------
+  std::vector<GroupSpec> out;
+  for (std::uint32_t mask : masks) {
+    const beamforming::GroupBeam& beam = beams_.at(mask);
+    if (beam.rate.value <= 0.0) continue;  // cannot sustain any MCS
+    if (beam.rate < cfg.rate_threshold) continue;
+    GroupSpec g;
+    for (std::size_t u = 0; u < n; ++u)
+      if (mask & (1u << u)) g.members.push_back(u);
+    g.beam = beam;
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+}  // namespace w4k::sched

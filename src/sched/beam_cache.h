@@ -1,0 +1,69 @@
+// Per-subset beam cache with dirty-set invalidation — the scheduler fast
+// path's first stage (see DESIGN.md Sec. 4e).
+//
+// The paper's scheduler re-enumerates all 2^N user subsets every frame,
+// but between consecutive frames most users' CSI is unchanged (static
+// users, or the 3 video frames sharing one 100 ms beacon), so most
+// subsets' beams are unchanged too. The cache keys each computed
+// beamforming::GroupBeam by its member bitmask and, on every call,
+// recomputes only the subsets that contain a *dirty* user — one whose
+// channel vector differs from the cached copy. Because each subset's beam
+// is a pure function of (scheme, member channels, codebook, beam_seed)
+// (see sched::subset_seed), a cache hit is bit-identical to a fresh
+// computation, and cache misses can be beamformed in parallel on the
+// shared ThreadPool without changing a single bit of output.
+//
+// Filter knobs (rate_threshold / max_group_size / exclude) only gate which
+// subsets are *requested* and which results are *emitted*; cached entries
+// outlive filter changes, so quarantining a user or tightening the
+// threshold never costs a recompute when the filter relaxes again.
+#pragma once
+
+#include "sched/groups.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace w4k::sched {
+
+class BeamCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;          ///< subsets served from cache
+    std::uint64_t misses = 0;        ///< subsets beamformed this lifetime
+    std::uint64_t invalidations = 0; ///< full clears (user-count change)
+  };
+
+  BeamCache(beamforming::Scheme scheme, std::uint64_t beam_seed)
+      : scheme_(scheme), beam_seed_(beam_seed) {}
+
+  /// Enumerates candidate groups exactly like
+  /// enumerate_groups(scheme, channels, codebook, beam_seed, cfg) —
+  /// bit-identical output, asserted by the property suite — but reuses
+  /// cached beams for every subset whose members' channels are unchanged
+  /// since the previous call. `pool` (optional) parallelizes the misses.
+  /// Also bumps the sched.beam_cache.hit/miss counters when telemetry is
+  /// enabled.
+  std::vector<GroupSpec> enumerate(
+      const std::vector<linalg::CVector>& channels,
+      const beamforming::Codebook& codebook, const GroupEnumConfig& cfg,
+      ThreadPool* pool = nullptr);
+
+  /// Drops every cached beam and the remembered channels (session reset).
+  void clear();
+
+  const Stats& stats() const { return stats_; }
+
+  /// Cached subsets currently held (diagnostics / tests).
+  std::size_t size() const { return beams_.size(); }
+
+ private:
+  beamforming::Scheme scheme_;
+  std::uint64_t beam_seed_;
+  std::vector<linalg::CVector> channels_;  ///< channels at last enumerate
+  std::unordered_map<std::uint32_t, beamforming::GroupBeam> beams_;
+  Stats stats_;
+};
+
+}  // namespace w4k::sched

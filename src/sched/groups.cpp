@@ -4,9 +4,108 @@
 #include <stdexcept>
 
 namespace w4k::sched {
+namespace {
+
+/// Filters that decide whether a subset is even beamformed. Shared with
+/// BeamCache so cache-on and cache-off enumerate exactly the same masks.
+struct MaskFilter {
+  std::uint32_t excluded_mask = 0;
+  std::size_t max_group_size = 0;
+  bool multicast = false;
+
+  MaskFilter(beamforming::Scheme scheme, std::size_t n,
+             const GroupEnumConfig& cfg)
+      : max_group_size(cfg.max_group_size),
+        multicast(beamforming::allows_multicast(scheme)) {
+    for (std::size_t u = 0; u < cfg.exclude.size() && u < n; ++u)
+      if (cfg.exclude[u]) excluded_mask |= 1u << u;
+  }
+
+  bool admits(std::uint32_t mask) const {
+    if (mask & excluded_mask) return false;  // quarantined/departed member
+    const auto size = static_cast<std::size_t>(__builtin_popcount(mask));
+    if (size > max_group_size) return false;
+    return multicast || size == 1;
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> admissible_masks(beamforming::Scheme scheme,
+                                            std::size_t n,
+                                            const GroupEnumConfig& cfg) {
+  if (n == 0) throw std::invalid_argument("enumerate_groups: no users");
+  if (n > 16)
+    throw std::invalid_argument("enumerate_groups: subset enumeration "
+                                "limited to 16 users");
+  const MaskFilter filter(scheme, n, cfg);
+  std::vector<std::uint32_t> masks;
+  const std::uint32_t limit = 1u << n;
+  for (std::uint32_t mask = 1; mask < limit; ++mask)
+    if (filter.admits(mask)) masks.push_back(mask);
+  return masks;
+}
 
 bool GroupSpec::contains(std::size_t user) const {
   return std::find(members.begin(), members.end(), user) != members.end();
+}
+
+std::uint64_t subset_seed(std::uint64_t beam_seed, std::uint32_t mask) {
+  // splitmix64 finalizer over (beam_seed, mask): neighbouring masks land in
+  // statistically independent streams, and the value depends on nothing
+  // else — not on enumeration order, filters, or other subsets.
+  std::uint64_t z = beam_seed ^
+                    (0x9e3779b97f4a7c15ULL * (mask + 0x632be59bd9b4e019ULL));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+beamforming::GroupBeam subset_beam(
+    beamforming::Scheme scheme,
+    const std::vector<linalg::CVector>& user_channels, std::uint32_t mask,
+    const beamforming::Codebook& codebook, std::uint64_t beam_seed) {
+  std::vector<linalg::CVector> channels;
+  channels.reserve(static_cast<std::size_t>(__builtin_popcount(mask)));
+  for (std::size_t u = 0; u < user_channels.size(); ++u)
+    if (mask & (1u << u)) channels.push_back(user_channels[u]);
+  return beamforming::group_beam(scheme, channels, codebook,
+                                 subset_seed(beam_seed, mask));
+}
+
+std::vector<GroupSpec> enumerate_groups(
+    beamforming::Scheme scheme,
+    const std::vector<linalg::CVector>& user_channels,
+    const beamforming::Codebook& codebook, std::uint64_t beam_seed,
+    const GroupEnumConfig& cfg, ThreadPool* pool) {
+  const std::size_t n = user_channels.size();
+  const std::vector<std::uint32_t> masks = admissible_masks(scheme, n, cfg);
+
+  // Beamform every admissible subset; each is independent and individually
+  // seeded, so the parallel path is bit-identical to the serial one.
+  std::vector<beamforming::GroupBeam> beams(masks.size());
+  const auto compute = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      beams[i] = subset_beam(scheme, user_channels, masks[i], codebook,
+                             beam_seed);
+  };
+  if (pool != nullptr && pool->size() > 1 && masks.size() > 1) {
+    pool->parallel_for(0, masks.size(), /*grain=*/8, compute);
+  } else {
+    compute(0, masks.size());
+  }
+
+  std::vector<GroupSpec> out;
+  for (std::size_t i = 0; i < masks.size(); ++i) {
+    if (beams[i].rate.value <= 0.0) continue;  // cannot sustain any MCS
+    if (beams[i].rate < cfg.rate_threshold) continue;
+    GroupSpec g;
+    for (std::size_t u = 0; u < n; ++u)
+      if (masks[i] & (1u << u)) g.members.push_back(u);
+    g.beam = std::move(beams[i]);
+    out.push_back(std::move(g));
+  }
+  return out;
 }
 
 std::vector<GroupSpec> enumerate_groups(
@@ -14,38 +113,7 @@ std::vector<GroupSpec> enumerate_groups(
     const std::vector<linalg::CVector>& user_channels,
     const beamforming::Codebook& codebook, Rng& rng,
     const GroupEnumConfig& cfg) {
-  const std::size_t n = user_channels.size();
-  if (n == 0) throw std::invalid_argument("enumerate_groups: no users");
-  if (n > 16)
-    throw std::invalid_argument("enumerate_groups: subset enumeration "
-                                "limited to 16 users");
-
-  std::uint32_t excluded_mask = 0;
-  for (std::size_t u = 0; u < cfg.exclude.size() && u < n; ++u)
-    if (cfg.exclude[u]) excluded_mask |= 1u << u;
-
-  std::vector<GroupSpec> out;
-  const std::uint32_t limit = 1u << n;
-  for (std::uint32_t mask = 1; mask < limit; ++mask) {
-    if (mask & excluded_mask) continue;  // contains a quarantined/gone user
-    const auto size = static_cast<std::size_t>(__builtin_popcount(mask));
-    if (size > cfg.max_group_size) continue;
-    if (!beamforming::allows_multicast(scheme) && size != 1) continue;
-
-    GroupSpec g;
-    std::vector<linalg::CVector> channels;
-    for (std::size_t u = 0; u < n; ++u) {
-      if (mask & (1u << u)) {
-        g.members.push_back(u);
-        channels.push_back(user_channels[u]);
-      }
-    }
-    g.beam = beamforming::group_beam(scheme, channels, codebook, rng);
-    if (g.beam.rate.value <= 0.0) continue;  // cannot sustain any MCS
-    if (g.beam.rate < cfg.rate_threshold) continue;
-    out.push_back(std::move(g));
-  }
-  return out;
+  return enumerate_groups(scheme, user_channels, codebook, rng.next(), cfg);
 }
 
 }  // namespace w4k::sched

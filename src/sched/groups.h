@@ -5,10 +5,20 @@
 // rate falls below a threshold ("we omit the groups whose throughput is
 // below a threshold to speed up computation"). Unicast schemes only admit
 // singleton groups.
+//
+// Every subset's beam is a pure function of (scheme, member channels,
+// codebook, beam_seed): the SVD power iteration for subset `mask` draws
+// from a private Rng seeded by subset_seed(beam_seed, mask), never from a
+// generator shared across subsets. Changing the filter knobs
+// (rate_threshold / max_group_size / exclude) therefore cannot perturb the
+// beams of unrelated surviving subsets, and per-subset caching
+// (sched::BeamCache) and ThreadPool-parallel enumeration are bit-identical
+// to the serial full enumeration.
 #pragma once
 
 #include "beamforming/multicast.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 #include <cstdint>
 #include <vector>
@@ -36,9 +46,43 @@ struct GroupEnumConfig {
   std::vector<std::uint8_t> exclude;
 };
 
+/// Deterministic per-subset RNG seed: a splitmix64-style mix of the
+/// session-level beam seed and the member bitmask. Each subset's beam
+/// derives its randomness from this value alone, independent of what else
+/// is enumerated in the same pass.
+std::uint64_t subset_seed(std::uint64_t beam_seed, std::uint32_t mask);
+
+/// The member bitmasks enumerate_groups would beamform for `n` users
+/// under `cfg`, ascending. Exposed so sched::BeamCache consults exactly
+/// the same admission filter (exclusions, size cap, unicast singletons).
+/// Throws std::invalid_argument for n == 0 or n > 16.
+std::vector<std::uint32_t> admissible_masks(beamforming::Scheme scheme,
+                                            std::size_t n,
+                                            const GroupEnumConfig& cfg);
+
+/// The beam for one member subset (bits of `mask` index into
+/// `user_channels`). Pure function of its arguments; the building block
+/// shared by enumerate_groups and sched::BeamCache.
+beamforming::GroupBeam subset_beam(
+    beamforming::Scheme scheme,
+    const std::vector<linalg::CVector>& user_channels, std::uint32_t mask,
+    const beamforming::Codebook& codebook, std::uint64_t beam_seed);
+
 /// Enumerates candidate groups for the given per-user channels under
 /// `scheme`. Groups are ordered by ascending bitmask of members, which is
-/// the "increasing group id" order the Eq. 4 greedy relies on.
+/// the "increasing group id" order the Eq. 4 greedy relies on. When `pool`
+/// is non-null the per-subset beamforming of the admissible subsets runs
+/// on it; results are bit-identical for any pool size (each subset is
+/// independent and individually seeded).
+std::vector<GroupSpec> enumerate_groups(
+    beamforming::Scheme scheme,
+    const std::vector<linalg::CVector>& user_channels,
+    const beamforming::Codebook& codebook, std::uint64_t beam_seed,
+    const GroupEnumConfig& cfg = {}, ThreadPool* pool = nullptr);
+
+/// Legacy entry point: draws a beam seed from `rng` (one next() call) and
+/// delegates to the seed-based overload above, so existing callers keep
+/// their shape while still getting decoupled per-subset streams.
 std::vector<GroupSpec> enumerate_groups(
     beamforming::Scheme scheme,
     const std::vector<linalg::CVector>& user_channels,

@@ -1,0 +1,196 @@
+// Property suite: per-subset beam determinism — the PR 5 contract.
+//
+// (a) Every subset's beam derives its RNG from (session seed, member
+//     bitmask), so surviving groups' beams are bit-identical under ANY
+//     rate_threshold / max_group_size / exclude combination, and the
+//     BeamCache (with any dirty pattern, serial or pooled) reproduces the
+//     stateless enumeration exactly.
+// (b) At the session level, beam_cache on/off and W4K_THREADS 1/4 produce
+//     byte-identical SessionReport JSON on a mobility trace.
+#include "channel/mobility.h"
+#include "core/pretrained.h"
+#include "core/runner.h"
+#include "sched/beam_cache.h"
+#include "support/proptest.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+namespace w4k {
+namespace {
+
+using proptest::prop_assert;
+
+std::vector<linalg::CVector> random_channels(Rng& rng, std::size_t n) {
+  channel::PropagationConfig prop;
+  std::vector<linalg::CVector> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(channel::make_channel(
+        prop, channel::Position::from_polar(rng.uniform(2.5, 10.0),
+                                            rng.uniform(-0.8, 0.8))));
+  return out;
+}
+
+sched::GroupEnumConfig random_filter(Rng& rng, std::size_t n) {
+  sched::GroupEnumConfig cfg;
+  if (rng.chance(0.5))
+    cfg.rate_threshold = Mbps{rng.uniform(0.0, 1500.0)};
+  if (rng.chance(0.5))
+    cfg.max_group_size = 1 + rng.below(n);
+  if (rng.chance(0.5)) {
+    cfg.exclude.assign(n, 0);
+    for (auto& e : cfg.exclude) e = rng.chance(0.3) ? 1 : 0;
+  }
+  return cfg;
+}
+
+bool same_beam(const beamforming::GroupBeam& a,
+               const beamforming::GroupBeam& b) {
+  if (a.beam.size() != b.beam.size() || a.rate.value != b.rate.value ||
+      a.min_rss.value != b.min_rss.value)
+    return false;
+  for (std::size_t i = 0; i < a.beam.size(); ++i)
+    if (a.beam[i] != b.beam[i]) return false;
+  return true;
+}
+
+void expect_same_groups(const std::vector<sched::GroupSpec>& a,
+                        const std::vector<sched::GroupSpec>& b,
+                        const std::string& what) {
+  prop_assert(a.size() == b.size(),
+              what + ": group count " + std::to_string(a.size()) + " vs " +
+                  std::to_string(b.size()));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    prop_assert(a[i].members == b[i].members, what + ": member mismatch");
+    prop_assert(same_beam(a[i].beam, b[i].beam),
+                what + ": beam bits differ at group " + std::to_string(i));
+  }
+}
+
+// (a) Filter knobs only gate which subsets are emitted; they must never
+// perturb the beam of any subset that survives the filter.
+TEST(PropsBeamCache, FilterKnobsNeverPerturbSurvivingBeams) {
+  W4K_PROP("sched.filter-decoupling", [](Rng& rng) {
+    const std::size_t n = 2 + rng.below(4);  // 2..5 users
+    const auto channels = random_channels(rng, n);
+    const std::uint64_t seed = rng.next();
+    const auto scheme = beamforming::Scheme::kOptimizedMulticast;
+    const auto full = sched::enumerate_groups(scheme, channels,
+                                              beamforming::Codebook{}, seed);
+    const auto cfg = random_filter(rng, n);
+    const auto filtered = sched::enumerate_groups(
+        scheme, channels, beamforming::Codebook{}, seed, cfg);
+    for (const auto& g : filtered) {
+      const sched::GroupSpec* match = nullptr;
+      for (const auto& f : full)
+        if (f.members == g.members) match = &f;
+      prop_assert(match != nullptr, "filtered group missing from full set");
+      prop_assert(same_beam(g.beam, match->beam),
+                  "filter combination perturbed a surviving beam");
+    }
+  });
+}
+
+// (a) The cache, fed any history of channel perturbations and filter
+// changes (serial or on a 3-thread pool), reproduces the stateless
+// enumeration bit-for-bit on every call.
+TEST(PropsBeamCache, CacheBitIdenticalToStatelessUnderChurn) {
+  W4K_PROP("sched.beam-cache-identity", [](Rng& rng) {
+    const std::size_t n = 2 + rng.below(4);
+    const std::uint64_t seed = rng.next();
+    const auto scheme = beamforming::Scheme::kOptimizedMulticast;
+    sched::BeamCache cache(scheme, seed);
+    ThreadPool pool(3);
+    auto channels = random_channels(rng, n);
+    for (int step = 0; step < 4; ++step) {
+      // Perturb a random subset of users (possibly none: the all-hit case).
+      for (std::size_t u = 0; u < n; ++u)
+        if (rng.chance(0.4)) {
+          channel::PropagationConfig prop;
+          channels[u] = channel::make_channel(
+              prop, channel::Position::from_polar(rng.uniform(2.5, 10.0),
+                                                  rng.uniform(-0.8, 0.8)));
+        }
+      const auto cfg = random_filter(rng, n);
+      ThreadPool* p = rng.chance(0.5) ? &pool : nullptr;
+      const auto cached =
+          cache.enumerate(channels, beamforming::Codebook{}, cfg, p);
+      const auto fresh = sched::enumerate_groups(
+          scheme, channels, beamforming::Codebook{}, seed, cfg);
+      expect_same_groups(cached, fresh,
+                         "step " + std::to_string(step));
+    }
+    prop_assert(cache.stats().hits + cache.stats().misses > 0,
+                "cache recorded no traffic");
+  });
+}
+
+// --- (b) Session-level bit-identity on a mobility trace ------------------
+
+class BeamCacheSessionTest : public ::testing::Test {
+ protected:
+  static constexpr int kW = 256;
+  static constexpr int kH = 144;
+
+  static void SetUpTestSuite() {
+    quality_ = new model::QualityModel(42);
+    core::PretrainedOptions opts;
+    opts.cache_path = "session_test_model.cache";
+    core::ensure_trained(*quality_, opts);
+    video::VideoSpec spec;
+    spec.width = kW;
+    spec.height = kH;
+    spec.frames = 3;
+    spec.seed = 11;
+    contexts_ = new std::vector<core::FrameContext>(core::make_contexts(
+        video::SyntheticVideo(spec), 2, core::scaled_symbol_size(kW, kH)));
+  }
+  static void TearDownTestSuite() {
+    delete quality_;
+    delete contexts_;
+    quality_ = nullptr;
+    contexts_ = nullptr;
+  }
+
+  static std::string run_json(bool beam_cache, std::size_t threads) {
+    channel::MovingReceiverConfig mc;
+    mc.n_users = 3;
+    mc.moving = {true, true, false};  // two walkers, one static receiver
+    mc.duration = 0.5;                // 5 beacons -> 15 frames
+    mc.seed = 9;
+    const channel::CsiTrace trace = channel::moving_receiver_trace(mc);
+
+    core::SessionConfig cfg = core::SessionConfig::scaled(kW, kH);
+    cfg.seed = 17;
+    cfg.mcs_margin_db = 1.0;
+    cfg.beam_cache = beam_cache;
+    ThreadPool::reset_shared(threads);
+    core::MulticastSession session(cfg, *quality_, beamforming::Codebook{});
+    const core::SessionReport report =
+        core::run_trace(session, trace, *contexts_);
+    std::ostringstream os;
+    report.write_json(os);
+    return os.str();
+  }
+
+  static model::QualityModel* quality_;
+  static std::vector<core::FrameContext>* contexts_;
+};
+
+model::QualityModel* BeamCacheSessionTest::quality_ = nullptr;
+std::vector<core::FrameContext>* BeamCacheSessionTest::contexts_ = nullptr;
+
+TEST_F(BeamCacheSessionTest, CacheAndThreadsNeverChangeTheReport) {
+  const std::string reference = run_json(/*beam_cache=*/false, /*threads=*/1);
+  EXPECT_EQ(run_json(true, 1), reference) << "beam cache changed the report";
+  EXPECT_EQ(run_json(false, 4), reference) << "threads changed the report";
+  EXPECT_EQ(run_json(true, 4), reference)
+      << "beam cache + threads changed the report";
+  ThreadPool::reset_shared(0);  // restore the W4K_THREADS/default pool
+}
+
+}  // namespace
+}  // namespace w4k

@@ -3,9 +3,12 @@
 #include "channel/propagation.h"
 #include "core/frame_context.h"
 #include "core/pretrained.h"
+#include "verify/invariants.h"
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <numeric>
 
 namespace w4k::sched {
@@ -214,6 +217,131 @@ TEST(ProjectToSimplex, ExactProjectionKnownCase) {
   project_to_simplex(t, 1.0);
   EXPECT_NEAR(t[0], 0.5, 1e-12);
   EXPECT_NEAR(t[1], 0.5, 1e-12);
+}
+
+TEST(ProjectToSimplex, NonPositiveBudgetYieldsZeroVector) {
+  // The only feasible point of {t >= 0, sum t <= b} with b <= 0 is 0.
+  for (double budget : {0.0, -1.0, -1e-300}) {
+    std::vector<double> t{0.5, 0.7, -0.1};
+    project_to_simplex(t, budget);
+    for (double x : t) EXPECT_EQ(x, 0.0) << "budget " << budget;
+  }
+}
+
+TEST(ProjectToSimplex, NonFiniteEntriesThrowUnderDefaultPolicy) {
+  verify::set_mode(verify::Mode::kThrow);
+  std::vector<double> t{std::numeric_limits<double>::quiet_NaN(), 0.5};
+  EXPECT_THROW(project_to_simplex(t, 1.0), verify::InvariantViolation);
+}
+
+TEST(ProjectToSimplex, NonFiniteEntriesSanitizedInReportMode) {
+  verify::set_mode(verify::Mode::kReport);
+  verify::reset_violations();
+  std::vector<double> t{std::numeric_limits<double>::quiet_NaN(), 1.0,
+                        std::numeric_limits<double>::infinity(),
+                        -std::numeric_limits<double>::infinity()};
+  project_to_simplex(t, 1.0);
+  verify::set_mode(verify::Mode::kThrow);
+  EXPECT_EQ(verify::violation_count(), 3u);  // NaN, +inf, -inf
+  double sum = 0.0;
+  for (double x : t) {
+    EXPECT_TRUE(std::isfinite(x));
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_LE(sum, 1.0 + 1e-12);
+  // NaN and -inf collapse to 0; +inf claimed the budget (1.0, same as
+  // t[1]) before projection, so the two split the budget evenly.
+  EXPECT_EQ(t[0], 0.0);
+  EXPECT_EQ(t[3], 0.0);
+  EXPECT_NEAR(t[1], 0.5, 1e-12);
+  EXPECT_NEAR(t[2], 0.5, 1e-12);
+}
+
+TEST(ProjectToSimplex, NonFiniteBudgetZeroesInReportMode) {
+  verify::set_mode(verify::Mode::kReport);
+  verify::reset_violations();
+  std::vector<double> t{0.25, 0.5};
+  project_to_simplex(t, std::numeric_limits<double>::quiet_NaN());
+  verify::set_mode(verify::Mode::kThrow);
+  EXPECT_GE(verify::violation_count(), 1u);
+  for (double x : t) EXPECT_EQ(x, 0.0);
+}
+
+TEST_F(AllocateTest, RoundRobinLandsExactlyOnAwkwardBudgets) {
+  // Regression: the final partial slot must be sized to the remaining
+  // budget, so the summed plan never exceeds it and drops at most 1e-12 s.
+  auto p = problem({{{0}, 40.0}, {{1}, 30.0}, {{0, 1}, 25.0}}, 2);
+  for (double budget : {1.0 / 30.0, 0.0307, 1.0 / 3.0, 0.0100005, 2.5e-4}) {
+    p.time_budget = budget;
+    const Allocation a = round_robin_allocation(p, *quality_);
+    const double total = total_time(a);
+    EXPECT_LE(total, budget * (1.0 + 1e-12)) << "budget " << budget;
+    EXPECT_GE(total, budget - 1e-11) << "budget " << budget;
+  }
+}
+
+TEST_F(AllocateTest, RoundRobinRejectsDegenerateSlots) {
+  auto p = problem({{{0}, 40.0}}, 1);
+  EXPECT_THROW(round_robin_allocation(p, *quality_, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(round_robin_allocation(p, *quality_, -1e-3),
+               std::invalid_argument);
+  EXPECT_THROW(round_robin_allocation(
+                   p, *quality_, std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW(round_robin_allocation(
+                   p, *quality_, std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+}
+
+TEST_F(AllocateTest, WarmStartMatchingPreviousOptimumIsAccepted) {
+  auto p = problem({{{0}, 40.0}, {{1}, 30.0}, {{0, 1}, 25.0}}, 2);
+  const Allocation cold = optimize_allocation(p, *quality_);
+  std::vector<double> warm;
+  for (const auto& row : cold.time)
+    warm.insert(warm.end(), row.begin(), row.end());
+  const Allocation warmed = optimize_allocation(p, *quality_, {}, &warm);
+  // Restarting from the optimum must not lose objective, and converges in
+  // far fewer iterations than the cold multi-start.
+  EXPECT_GE(warmed.objective, cold.objective - 1e-9);
+  EXPECT_LT(warmed.iterations, cold.iterations);
+}
+
+TEST_F(AllocateTest, WarmStartLeavingAUserUnservedFallsBackToMultiStart) {
+  // A warm start with zero airtime on every group containing user 1 (the
+  // post-quarantine re-entry shape) must not be trusted: the optimizer has
+  // to fall back to the multi-start, which serves user 1's base layer.
+  auto p = problem({{{0}, 40.0}, {{1}, 30.0}, {{0, 1}, 25.0}}, 2);
+  std::vector<double> warm(p.groups.size() * video::kNumLayers, 0.0);
+  warm[0] = p.time_budget;  // everything on user 0's singleton
+  const Allocation a = optimize_allocation(p, *quality_, {}, &warm);
+  EXPECT_GT(a.user_bytes[1][0], 0.9 * p.content.layer_bytes[0]);
+}
+
+TEST_F(AllocateTest, UnusableWarmStartsReproduceColdBitIdentically) {
+  // Wrong size, non-finite, or all-clipped warm vectors must be ignored
+  // entirely — the cold multi-start runs and produces the exact cold plan.
+  auto p = problem({{{0}, 40.0}, {{1}, 30.0}, {{0, 1}, 25.0}}, 2);
+  const Allocation cold = optimize_allocation(p, *quality_);
+  const std::vector<std::vector<double>> warms = {
+      {},                             // wrong size: ignored
+      std::vector<double>(12, -1.0),  // projects to the zero vector
+      std::vector<double>(12, std::numeric_limits<double>::quiet_NaN()),
+  };
+  for (const auto& w : warms) {
+    const Allocation a = optimize_allocation(p, *quality_, {}, &w);
+    EXPECT_EQ(a.objective, cold.objective);
+    EXPECT_EQ(a.time, cold.time);
+    EXPECT_EQ(a.iterations, cold.iterations);
+  }
+  // An absurd-but-finite warm start is projected onto the budget and is
+  // only ever accepted if it beats the evaluated round-robin seed, so the
+  // result can never fall below the round-robin baseline.
+  const std::vector<double> absurd(12, 1e9);
+  const Allocation a = optimize_allocation(p, *quality_, {}, &absurd);
+  const Allocation rr = round_robin_allocation(p, *quality_);
+  EXPECT_GE(a.objective, rr.objective - 1e-9);
 }
 
 }  // namespace

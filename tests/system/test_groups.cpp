@@ -1,8 +1,11 @@
 #include "sched/groups.h"
 
 #include "channel/propagation.h"
+#include "common/thread_pool.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdint>
 
 namespace w4k::sched {
 namespace {
@@ -133,6 +136,115 @@ TEST(EnumerateGroups, EightUsersEnumerationCompletes) {
   EXPECT_GT(groups.size(), 120u);  // large subsets split power 8-way and
                                    // some fall below MCS 1; most survive
   EXPECT_LE(groups.size(), 255u);
+}
+
+// --- Per-subset RNG decoupling (the PR 5 bug fix) ------------------------
+
+bool same_beam(const beamforming::GroupBeam& a,
+               const beamforming::GroupBeam& b) {
+  if (a.beam.size() != b.beam.size() || a.rate.value != b.rate.value ||
+      a.min_rss.value != b.min_rss.value)
+    return false;
+  for (std::size_t i = 0; i < a.beam.size(); ++i)
+    if (a.beam[i] != b.beam[i]) return false;
+  return true;
+}
+
+std::uint32_t mask_of(const GroupSpec& g) {
+  std::uint32_t m = 0;
+  for (std::size_t u : g.members) m |= 1u << static_cast<unsigned>(u);
+  return m;
+}
+
+TEST(EnumerateGroups, SeedOverloadIsDeterministic) {
+  const auto users = make_users(4);
+  const auto a = enumerate_groups(beamforming::Scheme::kOptimizedMulticast,
+                                  users, beamforming::Codebook{}, 77);
+  const auto b = enumerate_groups(beamforming::Scheme::kOptimizedMulticast,
+                                  users, beamforming::Codebook{}, 77);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].members, b[i].members);
+    EXPECT_TRUE(same_beam(a[i].beam, b[i].beam));
+  }
+}
+
+TEST(EnumerateGroups, FilterKnobsDoNotPerturbSurvivingBeams) {
+  // The old coupling: one shared Rng threaded through every subset's SVD
+  // power iteration, so excluding a user or tightening the threshold
+  // shifted the RNG stream consumed by every *later* subset. Each subset
+  // now derives its RNG from (seed, member bitmask); surviving groups'
+  // beams must be bit-identical under any filter combination.
+  const auto users = make_users(5);
+  const std::uint64_t seed = 13;
+  const auto full = enumerate_groups(beamforming::Scheme::kOptimizedMulticast,
+                                     users, beamforming::Codebook{}, seed);
+
+  std::vector<GroupEnumConfig> cfgs(4);
+  cfgs[1].max_group_size = 2;
+  cfgs[2].rate_threshold = Mbps{500.0};
+  cfgs[3].exclude = {0, 0, 1, 0, 1};  // drop users 2 and 4
+  cfgs[3].max_group_size = 3;
+
+  for (const auto& cfg : cfgs) {
+    const auto filtered = enumerate_groups(
+        beamforming::Scheme::kOptimizedMulticast, users,
+        beamforming::Codebook{}, seed, cfg);
+    for (const auto& g : filtered) {
+      const GroupSpec* match = nullptr;
+      for (const auto& f : full)
+        if (f.members == g.members) match = &f;
+      ASSERT_NE(match, nullptr);
+      EXPECT_TRUE(same_beam(g.beam, match->beam))
+          << "beam for mask " << mask_of(g) << " perturbed by filter";
+    }
+  }
+}
+
+TEST(EnumerateGroups, ParallelEnumerationBitIdenticalToSerial) {
+  const auto users = make_users(6);
+  const auto serial = enumerate_groups(
+      beamforming::Scheme::kOptimizedMulticast, users,
+      beamforming::Codebook{}, 21, {}, nullptr);
+  ThreadPool pool(4);
+  const auto parallel = enumerate_groups(
+      beamforming::Scheme::kOptimizedMulticast, users,
+      beamforming::Codebook{}, 21, {}, &pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].members, parallel[i].members);
+    EXPECT_TRUE(same_beam(serial[i].beam, parallel[i].beam));
+  }
+}
+
+TEST(EnumerateGroups, LegacyRngOverloadMatchesSeedOverload) {
+  // The Rng& overload draws one value for the whole enumeration and
+  // delegates — so it shares the per-subset decoupling.
+  const auto users = make_users(3);
+  Rng rng(99);
+  Rng probe(99);
+  const std::uint64_t drawn = probe.next();
+  const auto via_rng = enumerate_groups(
+      beamforming::Scheme::kOptimizedMulticast, users,
+      beamforming::Codebook{}, rng);
+  const auto via_seed = enumerate_groups(
+      beamforming::Scheme::kOptimizedMulticast, users,
+      beamforming::Codebook{}, drawn);
+  ASSERT_EQ(via_rng.size(), via_seed.size());
+  for (std::size_t i = 0; i < via_rng.size(); ++i)
+    EXPECT_TRUE(same_beam(via_rng[i].beam, via_seed[i].beam));
+}
+
+TEST(SubsetSeed, MixesMaskAndSeed) {
+  // Distinct masks (and distinct session seeds) must land in distinct RNG
+  // streams; a collision would couple two subsets' power iterations.
+  std::vector<std::uint64_t> seen;
+  for (std::uint32_t mask = 1; mask < 64; ++mask)
+    seen.push_back(subset_seed(7, mask));
+  for (std::size_t i = 0; i < seen.size(); ++i)
+    for (std::size_t j = i + 1; j < seen.size(); ++j)
+      EXPECT_NE(seen[i], seen[j]);
+  EXPECT_NE(subset_seed(7, 3), subset_seed(8, 3));
 }
 
 }  // namespace

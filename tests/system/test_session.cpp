@@ -161,6 +161,50 @@ TEST_F(SessionTest, ResetRestoresDeterminism) {
     EXPECT_DOUBLE_EQ(s1[i], s2[i]);
 }
 
+TEST_F(SessionTest, UserCountChangePreservesSurvivingQuarantineState) {
+  // Drive user 1 into quarantine (decision CSI looks healthy, the true
+  // channel is unreachable, so every attempted frame decodes nothing),
+  // then grow the session by one user. The surviving indices' recovery
+  // state must carry over — a join must not amnesty a blocked user.
+  SessionConfig cfg = SessionConfig::scaled(kW, kH);
+  cfg.quarantine_after = 3;
+  cfg.quarantine_reprobe_period = 100;  // no re-probe inside this test
+  auto session = make_session(cfg);
+
+  const auto decision3 = channels(3);
+  auto true3 = decision3;
+  {
+    channel::PropagationConfig prop;
+    true3[1] = channel::make_channel(
+        prop, channel::Position::from_polar(500.0, 0.0));  // unreachable
+  }
+  FrameOutcome out;
+  for (int f = 0; f < 5; ++f)
+    out = session.step(decision3, true3, contexts_->front());
+  ASSERT_EQ(out.user_quarantined.size(), 3u);
+  EXPECT_TRUE(out.user_quarantined[1]);
+
+  // A 4th user joins; users 0-2 keep their channels (and their state).
+  auto decision4 = decision3;
+  auto true4 = true3;
+  {
+    channel::PropagationConfig prop;
+    const auto extra = channel::make_channel(
+        prop, channel::Position::from_polar(3.0, 0.9));
+    decision4.push_back(extra);
+    true4.push_back(extra);
+  }
+  out = session.step(decision4, true4, contexts_->front());
+  ASSERT_EQ(out.user_quarantined.size(), 4u);
+  EXPECT_TRUE(out.user_quarantined[1]) << "join reset quarantine state";
+  EXPECT_FALSE(out.user_quarantined[3]);
+
+  // Shrinking back keeps the surviving prefix too.
+  out = session.step(decision3, true3, contexts_->front());
+  ASSERT_EQ(out.user_quarantined.size(), 3u);
+  EXPECT_TRUE(out.user_quarantined[1]) << "leave reset quarantine state";
+}
+
 TEST_F(SessionTest, MismatchedChannelVectorsThrow) {
   auto session = make_session();
   EXPECT_THROW(session.step(channels(2), channels(3), contexts_->front()),
