@@ -23,6 +23,8 @@
 //   --no-source-coding   disable the rateless code
 //   --no-adapt           freeze the initial decision (No Update)
 //   --estimated-csi      run ACO estimation instead of perfect CSI
+//   --decide-deadline-ms B  anytime budget for the per-frame decision; 0
+//                        keeps the pure deterministic path [0]
 //   --mobile high|low|env  generate a mobile trace instead of static
 //   --trace PATH         replay a recorded .csitrace file
 //   --record-trace PATH  save the generated trace before streaming
@@ -159,6 +161,10 @@ int main(int argc, char** argv) {
     cfg.engine.source_coding = !args.has("no-source-coding");
     cfg.adapt = !args.has("no-adapt");
     cfg.use_estimated_csi = args.has("estimated-csi");
+    // Anytime decision budget (ms). 0 (default) keeps decide() a pure
+    // function of its inputs; > 0 bounds the per-frame decision wall clock
+    // (see SessionConfig::decide_deadline_ms).
+    cfg.decide_deadline_ms = args.get("decide-deadline-ms", 0.0);
     cfg.seed = seed;
 
     // --- Channel: trace or static placement --------------------------------

@@ -3,7 +3,9 @@
 #
 # Stage 1: fast (plain Release) build + the full tier-1 suite, then the
 #          golden-report regression gate (byte-stable canonical JSON
-#          across thread counts and SIMD dispatch; scripts/golden.sh).
+#          across thread counts and SIMD dispatch; scripts/golden.sh) and
+#          the chaos-scale slice (20 random fault plans against a 32-user
+#          session with the anytime decide deadline on).
 # Stage 2: rebuild under ASan+UBSan (W4K_SANITIZE=ON) and rerun the
 #          randomized suites there: the chaos fault-injection suite, the
 #          property suites (raised iteration count), and the parser fuzz
@@ -19,11 +21,14 @@ cmake -B build -S .
 cmake --build build -j"$jobs"
 ctest --test-dir build --output-on-failure -j"$jobs" -L tier1
 ctest --test-dir build --output-on-failure -L golden
+ctest --test-dir build --output-on-failure -L chaos-scale
 
 cmake -B build-asan -S . -DW4K_SANITIZE=ON
 cmake --build build-asan -j"$jobs" \
-      --target tests_chaos tests_props fuzz_jsonlite fuzz_fault_plan \
-               fuzz_trace_io
+      --target tests_chaos tests_props chaos_scale fuzz_jsonlite \
+               fuzz_fault_plan fuzz_trace_io
+# -L matches labels by regex, so "chaos" selects both the chaos suite and
+# the chaos-scale slice — both rerun under the sanitizers.
 ctest --test-dir build-asan --output-on-failure -j"$jobs" -L chaos
 W4K_PROP_ITERS=200 \
   ctest --test-dir build-asan --output-on-failure -j"$jobs" -L props

@@ -55,6 +55,11 @@ GroupBeam best_codebook_beam(const std::vector<linalg::CVector>& channels,
 
 }  // namespace
 
+GroupBeam evaluate_beam(const linalg::CVector& beam,
+                        const std::vector<linalg::CVector>& member_channels) {
+  return evaluate(beam, member_channels);
+}
+
 bool allows_multicast(Scheme s) {
   return s == Scheme::kOptimizedMulticast || s == Scheme::kPredefinedMulticast;
 }

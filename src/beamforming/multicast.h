@@ -54,6 +54,14 @@ GroupBeam group_beam(Scheme scheme,
                      const std::vector<linalg::CVector>& member_channels,
                      const Codebook& codebook, Rng& rng);
 
+/// Evaluates an externally-derived unit-norm beam against member
+/// channels: per-member RSS, bottleneck RSS, and the Table 2 rate at the
+/// bottleneck. This is exactly the evaluation every scheme path performs
+/// internally; the scheduler's batched beamformer uses it to close the
+/// loop on beams produced by linalg::packed_dominant_right_singular.
+GroupBeam evaluate_beam(const linalg::CVector& beam,
+                        const std::vector<linalg::CVector>& member_channels);
+
 /// Seed-based variant: the SVD power iteration draws from a private
 /// Rng(seed), so the result is a pure function of (scheme, channels,
 /// codebook, seed) — independent of any shared generator's state. This is

@@ -9,6 +9,7 @@
 #include "verify/invariants.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 #include <string>
@@ -51,6 +52,10 @@ void SessionConfig::validate(std::size_t codebook_beams,
         "must be >= 0 dB (got " + std::to_string(sls_noise_db) + ")");
   if (!(lambda >= 0.0))
     bad("lambda", "must be >= 0 (got " + std::to_string(lambda) + ")");
+  if (!(decide_deadline_ms >= 0.0) || !std::isfinite(decide_deadline_ms))
+    bad("decide_deadline_ms",
+        "must be a finite value >= 0 ms (got " +
+            std::to_string(decide_deadline_ms) + ")");
   if (!(stale_csi_backoff_db >= 0.0))
     bad("stale_csi_backoff_db",
         "must be >= 0 dB (got " + std::to_string(stale_csi_backoff_db) + ")");
@@ -141,6 +146,21 @@ MulticastSession::Decision MulticastSession::decide(
     const std::vector<linalg::CVector>& channels, const FrameContext& ctx,
     const std::vector<std::uint8_t>& exclude) {
   Decision d;
+  // Anytime budget: beamforming may defer optional merge candidates past
+  // ~45% of the budget, the allocator returns best-so-far past ~90%, and
+  // the remaining slack absorbs unit mapping. A zero deadline arms
+  // nothing — decide() then never reads the clock, which is what keeps
+  // its output a pure function of the inputs.
+  sched::OptimizerConfig opt_cfg = cfg_.optimizer;
+  std::optional<std::chrono::steady_clock::time_point> beam_deadline;
+  if (cfg_.decide_deadline_ms > 0.0) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto budget = std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double, std::milli>(cfg_.decide_deadline_ms));
+    beam_deadline = t0 + budget * 45 / 100;
+    opt_cfg.deadline = t0 + budget * 90 / 100;
+  }
   {
     // Group beamforming. Every subset's beam derives its RNG from
     // (cfg_.seed, member bitmask), so the result is a pure function of the
@@ -150,6 +170,7 @@ MulticastSession::Decision MulticastSession::decide(
     obs::StageSpan span(st);
     sched::GroupEnumConfig enum_cfg = cfg_.group_enum;
     enum_cfg.exclude = exclude;
+    enum_cfg.deadline = beam_deadline;
     ThreadPool* pool = &ThreadPool::shared();
     d.groups = cfg_.beam_cache
                    ? beam_cache_.enumerate(channels, codebook_, enum_cfg, pool)
@@ -189,8 +210,8 @@ MulticastSession::Decision MulticastSession::decide(
   // better bet. Note: this depends only on the previous *allocation*, never
   // on the beam-cache flag, so cache on/off stays bit-identical.
   const auto group_mask = [](const sched::GroupSpec& g) {
-    std::uint32_t mask = 0;
-    for (std::size_t u : g.members) mask |= 1u << u;
+    sched::GroupMask mask = 0;
+    for (std::size_t u : g.members) mask |= sched::GroupMask{1} << u;
     return mask;
   };
   std::vector<double> warm_vec;
@@ -215,7 +236,7 @@ MulticastSession::Decision MulticastSession::decide(
     obs::StageSpan span(st);
     d.allocation = cfg_.optimized_schedule
                        ? sched::optimize_allocation(problem, quality_,
-                                                    cfg_.optimizer, warm)
+                                                    opt_cfg, warm)
                        : sched::round_robin_allocation(problem, quality_);
   }
 

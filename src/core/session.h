@@ -66,6 +66,16 @@ struct SessionConfig {
   emu::EngineConfig engine;
   sched::GroupEnumConfig group_enum;
   sched::OptimizerConfig optimizer;
+  /// Anytime wall-clock budget for decide(), in milliseconds. 0 (the
+  /// default) disables the deadline entirely: decide() reads no clock and
+  /// its output is a pure function of the inputs (the golden/purity
+  /// determinism contract). When > 0, candidate beamforming stops
+  /// deferring optional merge subsets at ~45% of the budget and the Eq. 1
+  /// optimizer returns its best plan so far at ~90%, so the whole
+  /// decision lands inside the budget while every reachable user stays
+  /// served (singleton beams and the first optimizer start always run to
+  /// completion).
+  double decide_deadline_ms = 0.0;
   emu::LossModel loss;
   /// Scales Table 2 rates to the frame resolution (see rate_scale_for).
   double rate_scale = 1.0;
@@ -204,7 +214,7 @@ class MulticastSession {
   sched::BeamCache beam_cache_;
   /// Previous frame's optimized time allocation keyed by member bitmask,
   /// remapped onto the surviving groups to warm-start the optimizer.
-  std::unordered_map<std::uint32_t, sched::LayerArray> prev_alloc_;
+  std::unordered_map<sched::GroupMask, sched::LayerArray> prev_alloc_;
   double prev_total_time_ = 0.0;
   std::size_t prev_n_users_ = 0;
 

@@ -70,6 +70,87 @@ DominantSVD dominant_right_singular(const CMatrix& a, Rng& rng,
   return out;
 }
 
+DominantSVD packed_dominant_right_singular(const PackedStacks& pack,
+                                           std::size_t p, Rng& rng,
+                                           int max_iters, double tol) {
+  DominantSVD out;
+  const std::size_t m = pack.rows_of(p);
+  const std::size_t cols = pack.cols;
+  if (m == 0 || cols == 0) return out;
+  const Complex* base = pack.rows.data() + pack.offsets[p] * cols;
+
+  if (m >= cols) {
+    // Tall/square stack: the column-side Gram is the cheaper one and the
+    // CMatrix path already handles it; rebuild and delegate.
+    CMatrix a(m, cols);
+    for (std::size_t r = 0; r < m; ++r)
+      for (std::size_t c = 0; c < cols; ++c) a(r, c) = base[r * cols + c];
+    return dominant_right_singular(a, rng, max_iters, tol);
+  }
+
+  // Row-side Gram G = A A^H, accumulated exactly as CMatrix::operator*
+  // does for (a * a.hermitian()): r outer, k ascending with the zero-skip
+  // on a(r, k), c inner — so every G entry sums its terms in the same
+  // floating-point order as the unpacked path.
+  CMatrix g(m, m);
+  for (std::size_t r = 0; r < m; ++r) {
+    const Complex* row_r = base + r * cols;
+    for (std::size_t k = 0; k < cols; ++k) {
+      const Complex a = row_r[k];
+      if (a == Complex{}) continue;
+      for (std::size_t c = 0; c < m; ++c)
+        g(r, c) += a * std::conj(base[c * cols + k]);
+    }
+  }
+
+  CVector v(m);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = Complex(rng.gaussian(), rng.gaussian());
+  if (v.norm() == 0.0) v[0] = 1.0;
+  v = v.normalized();
+
+  double prev_lambda = 0.0;
+  bool zero_matrix = false;
+  for (int it = 0; it < max_iters; ++it) {
+    const CVector w = g * v;
+    const double lambda = std::real(dot(v, w));
+    const double wn = w.norm();
+    out.iterations = it + 1;
+    if (wn == 0.0) {
+      zero_matrix = true;
+      prev_lambda = 0.0;
+      break;
+    }
+    v = w * Complex(1.0 / wn, 0.0);
+    if (it > 0 && std::abs(lambda - prev_lambda) <=
+                      tol * std::max(1.0, std::abs(lambda))) {
+      prev_lambda = lambda;
+      break;
+    }
+    prev_lambda = lambda;
+  }
+
+  // Recovery rv = A^H u1: rv[k] = sum_c conj(a(c, k)) v[c], c ascending —
+  // the same term order as (a.hermitian() * v).
+  CVector rv(cols);
+  for (std::size_t k = 0; k < cols; ++k) {
+    Complex s = 0.0;
+    for (std::size_t c = 0; c < m; ++c)
+      s += std::conj(base[c * cols + k]) * v[c];
+    rv[k] = s;
+  }
+  const double rn = rv.norm();
+  if (rn > 0.0 && !zero_matrix) {
+    out.right_singular = rv * Complex(1.0 / rn, 0.0);
+  } else {
+    CVector e(cols);
+    e[0] = 1.0;
+    out.right_singular = e;
+  }
+  out.singular_value = std::sqrt(std::max(0.0, prev_lambda));
+  return out;
+}
+
 std::vector<EigenPair> hermitian_eigen(const CMatrix& h, int sweeps,
                                        double tol) {
   if (h.rows() != h.cols())

@@ -31,6 +31,36 @@ struct DominantSVD {
 DominantSVD dominant_right_singular(const CMatrix& a, Rng& rng,
                                     int max_iters = 500, double tol = 1e-12);
 
+/// A batch of stacked-channel SVD problems packed row-major into one
+/// contiguous buffer. Problem p owns rows [offsets[p], offsets[p+1]) —
+/// each row is `cols` complex entries — so a batch driver (the
+/// scheduler's group beamformer) can run many small Gram iterations over
+/// pre-normalized channel rows without per-problem matrix allocations or
+/// re-normalization.
+struct PackedStacks {
+  std::vector<Complex> rows;         ///< concatenated rows, row-major
+  std::vector<std::size_t> offsets;  ///< P+1 row-index prefix sums
+  std::size_t cols = 0;              ///< entries (antennas) per row
+
+  std::size_t problems() const {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+  std::size_t rows_of(std::size_t p) const {
+    return offsets[p + 1] - offsets[p];
+  }
+};
+
+/// dominant_right_singular for problem `p` of a packed batch,
+/// bit-identical to calling the CMatrix overload on the same rows: the
+/// row-side Gram is accumulated in the exact order CMatrix::operator*
+/// uses (ascending k, zero-skip on a(r,k)), the power iteration is the
+/// same code, and the recovery matvec matches CMatrix::operator*(CVector)
+/// term for term. Stacks with rows >= cols fall back to the CMatrix path.
+DominantSVD packed_dominant_right_singular(const PackedStacks& pack,
+                                           std::size_t p, Rng& rng,
+                                           int max_iters = 500,
+                                           double tol = 1e-12);
+
 /// One eigenpair of a Hermitian matrix.
 struct EigenPair {
   double value = 0.0;

@@ -1,5 +1,7 @@
 #include "obs/span.h"
 
+#include "obs/metrics.h"
+
 #include <chrono>
 #include <memory>
 #include <mutex>
@@ -91,6 +93,7 @@ void write_chrome_trace(std::ostream& os) {
   std::lock_guard<std::mutex> lk(s.mu);
   os << "{\"traceEvents\":[";
   bool first = true;
+  std::uint64_t last_ns = 0;
   for (const auto& b : s.buffers) {
     for (const TraceEvent& e : b->events) {
       if (!first) os << ",";
@@ -101,7 +104,18 @@ void write_chrome_trace(std::ostream& os) {
          << static_cast<double>(e.start_ns) / 1e3
          << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1e3
          << ",\"pid\":1,\"tid\":" << b->tid << "}";
+      if (e.start_ns + e.dur_ns > last_ns) last_ns = e.start_ns + e.dur_ns;
     }
+  }
+  // Final values of every registry counter as Chrome counter ("C") events
+  // at the end of the timeline, so sched.anytime.*, cache hit/miss and
+  // friends show up alongside the spans in Perfetto.
+  for (const auto& [name, v] : MetricsRegistry::global().counter_values()) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << name << "\",\"cat\":\"w4k\",\"ph\":\"C\",\"ts\":"
+       << static_cast<double>(last_ns) / 1e3
+       << ",\"pid\":1,\"args\":{\"value\":" << v << "}}";
   }
   os << "]}\n";
 }

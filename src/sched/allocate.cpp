@@ -304,6 +304,12 @@ RefineResult refine(const AllocProblem& p, model::QualityModel& quality,
   const int max_iters =
       std::max(cfg.max_iterations, static_cast<int>(2 * dims));
   for (; iters < max_iters && step >= cfg.min_step; ++iters) {
+    // Anytime cutoff: `best` always holds an evaluated feasible plan (the
+    // init's evaluation before the first exchange), so breaking here at
+    // any point returns best-so-far. No deadline means no clock reads.
+    if (cfg.deadline &&
+        std::chrono::steady_clock::now() >= *cfg.deadline)
+      break;
     const std::vector<double> grad = gradient(p, quality, t);
     const std::vector<LayerArray> d = user_bytes_for(p, t);
 
@@ -469,6 +475,58 @@ void check_allocation(const AllocProblem& p, const Allocation& a,
   });
 }
 
+/// Deadline-path safety net: any user who belongs to some candidate group
+/// but whose groups all ended at zero airtime gets a slice — from slack
+/// budget when there is any, otherwise from half of the largest allocated
+/// coordinate. Deterministic (ascending users, lowest-index tie-breaks)
+/// and only ever *adds* coverage, so a plan cut short by the clock still
+/// serves every reachable user. Returns the number of users repaired.
+std::size_t repair_coverage(const AllocProblem& p, std::vector<double>& t) {
+  const auto group_time = [&](std::size_t g) {
+    double tg = 0.0;
+    for (std::size_t j = 0; j < video::kNumLayers; ++j)
+      tg += t[g * video::kNumLayers + j];
+    return tg;
+  };
+  std::size_t repaired = 0;
+  for (std::size_t u = 0; u < p.n_users; ++u) {
+    bool grouped = false, served = false;
+    std::size_t best_g = p.groups.size();
+    double best_rate = -1.0;
+    for (std::size_t g = 0; g < p.groups.size(); ++g) {
+      if (!p.groups[g].contains(u)) continue;
+      grouped = true;
+      if (group_time(g) > 0.0) {
+        served = true;
+        break;
+      }
+      if (p.groups[g].beam.rate.value > best_rate) {
+        best_rate = p.groups[g].beam.rate.value;
+        best_g = g;
+      }
+    }
+    if (!grouped || served || best_g == p.groups.size()) continue;
+    double total = 0.0;
+    for (double x : t) total += x;
+    const double slack = p.time_budget - total;
+    double grant = 0.0;
+    if (slack > 1e-9) {
+      grant = std::min(slack, 0.5e-3);
+    } else {
+      std::size_t donor = t.size();
+      for (std::size_t i = 0; i < t.size(); ++i)
+        if (donor == t.size() || t[i] > t[donor]) donor = i;
+      if (donor == t.size() || t[donor] <= 0.0) continue;
+      grant = 0.5 * t[donor];
+      t[donor] -= grant;
+    }
+    // Base layer first: coverage means the base prefix above anything.
+    t[best_g * video::kNumLayers] += grant;
+    ++repaired;
+  }
+  return repaired;
+}
+
 }  // namespace
 
 Allocation optimize_allocation(const AllocProblem& p,
@@ -497,6 +555,24 @@ Allocation optimize_allocation(const AllocProblem& p,
     }
     check_allocation(p, result, "optimize_allocation");
     return result;
+  };
+
+  // Deadline runs get the coverage safety net before results leave; the
+  // no-deadline path bypasses it entirely (bit-stable output).
+  const auto finalize = [&](std::vector<double> t, Eval e, int iters) {
+    if (cfg.deadline) {
+      const std::size_t repaired = repair_coverage(p, t);
+      if (repaired > 0) {
+        e = evaluate(p, quality, t);
+        if (obs::enabled()) {
+          static obs::Counter& c_repaired =
+              obs::MetricsRegistry::global().counter(
+                  "sched.anytime.repaired_users");
+          c_repaired.add(repaired);
+        }
+      }
+    }
+    return finish(to_allocation(p, t, e, iters));
   };
 
   // --- Warm path: refine the previous frame's allocation directly. ------
@@ -564,8 +640,9 @@ Allocation optimize_allocation(const AllocProblem& p,
             c_fb.add(1);
           }
         }
-        if (accept) return finish(to_allocation(p, warm.t, warm.eval,
-                                                warm.iters));
+        if (accept)
+          return finalize(std::move(warm.t), std::move(warm.eval),
+                          warm.iters);
       }
     }
   }
@@ -577,7 +654,9 @@ Allocation optimize_allocation(const AllocProblem& p,
   // result makes the optimizer dominate the round-robin baseline by
   // construction and prevents a greedy path from wandering off a strong
   // simple solution toward a weak overlapping one.
-  Allocation result;
+  std::vector<double> best_t;
+  Eval best_eval;
+  int total_iters = 0;
   bool have_result = false;
   const std::vector<std::size_t> cover = set_cover_groups(p);
   const std::vector<std::size_t> efficient = efficiency_cover_groups(p);
@@ -587,7 +666,13 @@ Allocation optimize_allocation(const AllocProblem& p,
       round_robin_times(p, 1e-3, &efficient),
       round_robin_times(p, 1e-3, &dedicated),
       round_robin_times(p, 1e-3)};
-  for (const auto& init : inits) {
+  for (std::size_t s = 0; s < inits.size(); ++s) {
+    // The first start always completes (it is what guarantees a feasible,
+    // evaluated plan exists); the deadline only skips the later ones.
+    if (s > 0 && cfg.deadline &&
+        std::chrono::steady_clock::now() >= *cfg.deadline)
+      break;
+    const auto& init = inits[s];
     const std::vector<bool> allowed = support_mask(p, init);
     RefineResult phase1 = refine(p, quality, cfg, init, &allowed);
     RefineResult phase2 =
@@ -597,16 +682,21 @@ Allocation optimize_allocation(const AllocProblem& p,
                  phase1.eval.objective, phase1.iters, phase2.eval.objective,
                  phase2.iters);
 #endif
-    const auto& best = phase2.eval;
-    const auto& t = phase2.t;
-
-    if (!have_result || best.objective > result.objective) {
-      result = to_allocation(p, t, best, phase1.iters + phase2.iters);
+    total_iters += phase1.iters + phase2.iters;
+    if (!have_result || phase2.eval.objective > best_eval.objective) {
+      if (have_result && obs::enabled()) {
+        static obs::Counter& c_improved =
+            obs::MetricsRegistry::global().counter(
+                "sched.anytime.best_plan_improvements");
+        c_improved.add(1);
+      }
+      best_t = std::move(phase2.t);
+      best_eval = std::move(phase2.eval);
       have_result = true;
     }
   }
 
-  return finish(std::move(result));
+  return finalize(std::move(best_t), std::move(best_eval), total_iters);
 }
 
 namespace {

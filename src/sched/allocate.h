@@ -14,6 +14,8 @@
 #include "video/layered.h"
 
 #include <array>
+#include <chrono>
+#include <optional>
 #include <vector>
 
 namespace w4k::sched {
@@ -53,6 +55,13 @@ struct OptimizerConfig {
   double initial_step = 2e-3;  ///< seconds of reallocation per step
   double min_step = 1e-6;
   std::uint64_t seed = 5;
+  /// Anytime cutoff. When set, refinement iterations stop once the clock
+  /// passes it and cold starts after the first are skipped — the result
+  /// is the best plan found so far, coverage-repaired so every
+  /// group-served user keeps positive airtime. When unset (the default)
+  /// the optimizer reads no clock at all, keeping the output a pure
+  /// function of the inputs (golden/purity determinism).
+  std::optional<std::chrono::steady_clock::time_point> deadline;
 };
 
 /// Projected-gradient optimizer for Eq. 1.

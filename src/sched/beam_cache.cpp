@@ -24,8 +24,8 @@ std::vector<GroupSpec> BeamCache::enumerate(
     const beamforming::Codebook& codebook, const GroupEnumConfig& cfg,
     ThreadPool* pool) {
   const std::size_t n = channels.size();
-  const std::vector<std::uint32_t> masks =
-      admissible_masks(scheme_, n, cfg);  // throws on n == 0 / n > 16
+  const CandidatePlan plan =
+      plan_candidates(scheme_, channels, cfg);  // throws on n == 0 / n > 64
 
   // --- Dirty tracking --------------------------------------------------
   if (channels_.size() != n) {
@@ -34,9 +34,9 @@ std::vector<GroupSpec> BeamCache::enumerate(
     if (!beams_.empty()) ++stats_.invalidations;
     beams_.clear();
   } else {
-    std::uint32_t dirty = 0;
+    GroupMask dirty = 0;
     for (std::size_t u = 0; u < n; ++u)
-      if (!same_channel(channels[u], channels_[u])) dirty |= 1u << u;
+      if (!same_channel(channels[u], channels_[u])) dirty |= GroupMask{1} << u;
     if (dirty != 0)
       std::erase_if(beams_,
                     [dirty](const auto& kv) { return kv.first & dirty; });
@@ -44,44 +44,52 @@ std::vector<GroupSpec> BeamCache::enumerate(
   channels_ = channels;
 
   // --- Compute the misses (deterministic, parallelizable) --------------
-  std::vector<std::uint32_t> miss_masks;
-  for (std::uint32_t mask : masks)
-    if (!beams_.contains(mask)) miss_masks.push_back(mask);
-
-  std::vector<beamforming::GroupBeam> computed(miss_masks.size());
-  const auto compute = [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i)
-      computed[i] =
-          subset_beam(scheme_, channels, miss_masks[i], codebook, beam_seed_);
-  };
-  if (pool != nullptr && pool->size() > 1 && miss_masks.size() > 1) {
-    pool->parallel_for(0, miss_masks.size(), /*grain=*/8, compute);
-  } else {
-    compute(0, miss_masks.size());
+  // Walking the plan's priority order keeps all mandatory (singleton)
+  // misses at the front, so the deadline only ever defers merge subsets.
+  std::vector<GroupMask> miss_masks;
+  std::size_t miss_mandatory = 0;
+  for (std::size_t j = 0; j < plan.priority.size(); ++j) {
+    const GroupMask mask = plan.masks[plan.priority[j]];
+    if (beams_.contains(mask)) continue;
+    miss_masks.push_back(mask);
+    if (j < plan.mandatory) ++miss_mandatory;
   }
-  for (std::size_t i = 0; i < miss_masks.size(); ++i)
-    beams_.emplace(miss_masks[i], std::move(computed[i]));
 
-  const std::uint64_t hits = masks.size() - miss_masks.size();
+  BatchResult batch =
+      beamform_priority(scheme_, channels, miss_masks, miss_mandatory,
+                        cfg.deadline, codebook, beam_seed_, pool);
+  std::size_t computed = 0;
+  for (std::size_t i = 0; i < miss_masks.size(); ++i) {
+    if (!batch.done[i]) continue;
+    beams_.emplace(miss_masks[i], std::move(batch.beams[i]));
+    ++computed;
+  }
+
+  const std::uint64_t hits = plan.masks.size() - miss_masks.size();
   stats_.hits += hits;
-  stats_.misses += miss_masks.size();
+  stats_.misses += computed;
   if (obs::enabled()) {
     auto& reg = obs::MetricsRegistry::global();
     static obs::Counter& c_hit = reg.counter("sched.beam_cache.hit");
     static obs::Counter& c_miss = reg.counter("sched.beam_cache.miss");
     c_hit.add(hits);
-    c_miss.add(miss_masks.size());
+    c_miss.add(computed);
   }
+  note_anytime(plan, computed, batch.deferred);
 
   // --- Emit in ascending mask order with the rate filters --------------
+  // A subset deferred past the deadline is simply absent this frame; it
+  // stays a cache miss and becomes a candidate again next frame.
   std::vector<GroupSpec> out;
-  for (std::uint32_t mask : masks) {
-    const beamforming::GroupBeam& beam = beams_.at(mask);
+  for (GroupMask mask : plan.masks) {
+    const auto it = beams_.find(mask);
+    if (it == beams_.end()) continue;
+    const beamforming::GroupBeam& beam = it->second;
     if (beam.rate.value <= 0.0) continue;  // cannot sustain any MCS
     if (beam.rate < cfg.rate_threshold) continue;
     GroupSpec g;
     for (std::size_t u = 0; u < n; ++u)
-      if (mask & (1u << u)) g.members.push_back(u);
+      if (mask & (GroupMask{1} << u)) g.members.push_back(u);
     g.beam = beam;
     out.push_back(std::move(g));
   }

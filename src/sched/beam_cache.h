@@ -42,9 +42,11 @@ class BeamCache {
   /// enumerate_groups(scheme, channels, codebook, beam_seed, cfg) —
   /// bit-identical output, asserted by the property suite — but reuses
   /// cached beams for every subset whose members' channels are unchanged
-  /// since the previous call. `pool` (optional) parallelizes the misses.
-  /// Also bumps the sched.beam_cache.hit/miss counters when telemetry is
-  /// enabled.
+  /// since the previous call. `pool` (optional) parallelizes the misses,
+  /// which are beamformed in the candidate plan's priority order so a
+  /// cfg.deadline defers only the least valuable (and already-uncached)
+  /// merge subsets. Also bumps the sched.beam_cache.hit/miss and
+  /// sched.anytime.* counters when telemetry is enabled.
   std::vector<GroupSpec> enumerate(
       const std::vector<linalg::CVector>& channels,
       const beamforming::Codebook& codebook, const GroupEnumConfig& cfg,
@@ -62,7 +64,7 @@ class BeamCache {
   beamforming::Scheme scheme_;
   std::uint64_t beam_seed_;
   std::vector<linalg::CVector> channels_;  ///< channels at last enumerate
-  std::unordered_map<std::uint32_t, beamforming::GroupBeam> beams_;
+  std::unordered_map<GroupMask, beamforming::GroupBeam> beams_;
   Stats stats_;
 };
 

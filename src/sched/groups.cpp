@@ -1,5 +1,10 @@
 #include "sched/groups.h"
 
+#include "channel/mcs.h"
+#include "linalg/decompose.h"
+#include "obs/metrics.h"
+#include "sched/hierarchy.h"
+
 #include <algorithm>
 #include <stdexcept>
 
@@ -9,7 +14,7 @@ namespace {
 /// Filters that decide whether a subset is even beamformed. Shared with
 /// BeamCache so cache-on and cache-off enumerate exactly the same masks.
 struct MaskFilter {
-  std::uint32_t excluded_mask = 0;
+  GroupMask excluded_mask = 0;
   std::size_t max_group_size = 0;
   bool multicast = false;
 
@@ -18,30 +23,48 @@ struct MaskFilter {
       : max_group_size(cfg.max_group_size),
         multicast(beamforming::allows_multicast(scheme)) {
     for (std::size_t u = 0; u < cfg.exclude.size() && u < n; ++u)
-      if (cfg.exclude[u]) excluded_mask |= 1u << u;
+      if (cfg.exclude[u]) excluded_mask |= GroupMask{1} << u;
   }
 
-  bool admits(std::uint32_t mask) const {
+  bool admits(GroupMask mask) const {
     if (mask & excluded_mask) return false;  // quarantined/departed member
-    const auto size = static_cast<std::size_t>(__builtin_popcount(mask));
+    const auto size = static_cast<std::size_t>(__builtin_popcountll(mask));
     if (size > max_group_size) return false;
     return multicast || size == 1;
   }
 };
 
+std::size_t popcount(GroupMask mask) {
+  return static_cast<std::size_t>(__builtin_popcountll(mask));
+}
+
+/// The rate upper bound behind candidate pruning: a unit-norm beam can
+/// deliver at most ||h_u||^2 mW to member u (Cauchy–Schwarz, and every
+/// scheme's beam is unit norm), so the group's bottleneck rate never
+/// exceeds the Table 2 rate at min over members of ||h_u||^2. Exact with
+/// respect to the emission filter: rate_for_rss is monotone in RSS, so a
+/// candidate pruned here could only ever have been emitted-filtered.
+double rate_upper_bound(GroupMask mask, const std::vector<double>& cap_mw) {
+  double cap = 1e300;
+  for (std::size_t u = 0; u < cap_mw.size(); ++u)
+    if (mask & (GroupMask{1} << u)) cap = std::min(cap, cap_mw[u]);
+  if (cap <= 0.0) return 0.0;  // dead member: no MCS, avoid log(0)
+  return channel::rate_for_rss(Dbm::from_milliwatts(cap)).value;
+}
+
 }  // namespace
 
-std::vector<std::uint32_t> admissible_masks(beamforming::Scheme scheme,
-                                            std::size_t n,
-                                            const GroupEnumConfig& cfg) {
+std::vector<GroupMask> admissible_masks(beamforming::Scheme scheme,
+                                        std::size_t n,
+                                        const GroupEnumConfig& cfg) {
   if (n == 0) throw std::invalid_argument("enumerate_groups: no users");
   if (n > 16)
     throw std::invalid_argument("enumerate_groups: subset enumeration "
                                 "limited to 16 users");
   const MaskFilter filter(scheme, n, cfg);
-  std::vector<std::uint32_t> masks;
-  const std::uint32_t limit = 1u << n;
-  for (std::uint32_t mask = 1; mask < limit; ++mask)
+  std::vector<GroupMask> masks;
+  const GroupMask limit = GroupMask{1} << n;
+  for (GroupMask mask = 1; mask < limit; ++mask)
     if (filter.admits(mask)) masks.push_back(mask);
   return masks;
 }
@@ -50,7 +73,7 @@ bool GroupSpec::contains(std::size_t user) const {
   return std::find(members.begin(), members.end(), user) != members.end();
 }
 
-std::uint64_t subset_seed(std::uint64_t beam_seed, std::uint32_t mask) {
+std::uint64_t subset_seed(std::uint64_t beam_seed, GroupMask mask) {
   // splitmix64 finalizer over (beam_seed, mask): neighbouring masks land in
   // statistically independent streams, and the value depends on nothing
   // else — not on enumeration order, filters, or other subsets.
@@ -61,16 +84,264 @@ std::uint64_t subset_seed(std::uint64_t beam_seed, std::uint32_t mask) {
   return z ^ (z >> 31);
 }
 
+CandidatePlan plan_candidates(beamforming::Scheme scheme,
+                              const std::vector<linalg::CVector>& channels,
+                              const GroupEnumConfig& cfg) {
+  const std::size_t n = channels.size();
+  if (n == 0) throw std::invalid_argument("enumerate_groups: no users");
+  if (n > 64)
+    throw std::invalid_argument(
+        "enumerate_groups: candidate generation limited to 64 users");
+
+  CandidatePlan plan;
+  const MaskFilter filter(scheme, n, cfg);
+  const std::size_t threshold =
+      std::min<std::size_t>(cfg.hierarchical_threshold, 16);
+  const bool hierarchical = n > threshold;
+
+  std::vector<GroupMask> raw;
+  if (!hierarchical) {
+    raw = admissible_masks(scheme, n, cfg);
+  } else if (!filter.multicast) {
+    for (std::size_t u = 0; u < n; ++u) {
+      const GroupMask mask = GroupMask{1} << u;
+      if (filter.admits(mask)) raw.push_back(mask);
+    }
+  } else {
+    std::vector<std::uint8_t> active(n, 1);
+    for (std::size_t u = 0; u < cfg.exclude.size() && u < n; ++u)
+      if (cfg.exclude[u]) active[u] = 0;
+    raw = cluster_candidates(channels, active, cfg);
+    std::erase_if(raw,
+                  [&](GroupMask mask) { return !filter.admits(mask); });
+  }
+  plan.generated = raw.size();
+
+  // Rate-bound pruning: drop candidates the emission filter could never
+  // have kept, before any beamforming is spent on them.
+  std::vector<double> cap_mw(n);
+  for (std::size_t u = 0; u < n; ++u) cap_mw[u] = channels[u].norm_sq();
+  struct Scored {
+    GroupMask mask;
+    double ub;
+  };
+  std::vector<Scored> survivors;
+  survivors.reserve(raw.size());
+  for (GroupMask mask : raw) {
+    const double ub = rate_upper_bound(mask, cap_mw);
+    if (ub <= 0.0 || Mbps{ub} < cfg.rate_threshold) {
+      ++plan.pruned;
+      continue;
+    }
+    survivors.push_back({mask, ub});
+  }
+
+  // The hierarchical generator additionally honors the per-frame
+  // candidate budget: singletons are always kept, merges compete by
+  // bound-rate x size (airtime efficiency). The exhaustive path never
+  // caps — its whole point is the complete lattice.
+  if (hierarchical && survivors.size() > cfg.max_candidates) {
+    std::stable_sort(survivors.begin(), survivors.end(),
+                     [](const Scored& a, const Scored& b) {
+                       const bool sa = popcount(a.mask) == 1;
+                       const bool sb = popcount(b.mask) == 1;
+                       if (sa != sb) return sa;
+                       const double va =
+                           a.ub * static_cast<double>(popcount(a.mask));
+                       const double vb =
+                           b.ub * static_cast<double>(popcount(b.mask));
+                       if (va != vb) return va > vb;
+                       return a.mask < b.mask;
+                     });
+    const std::size_t keep =
+        std::max(cfg.max_candidates,
+                 static_cast<std::size_t>(std::count_if(
+                     survivors.begin(), survivors.end(), [](const Scored& s) {
+                       return popcount(s.mask) == 1;
+                     })));
+    plan.capped = survivors.size() - keep;
+    survivors.resize(keep);
+  }
+
+  std::sort(survivors.begin(), survivors.end(),
+            [](const Scored& a, const Scored& b) { return a.mask < b.mask; });
+  plan.masks.reserve(survivors.size());
+  for (const Scored& s : survivors) plan.masks.push_back(s.mask);
+
+  // Beamforming priority: singletons first (the coverage floor the
+  // deadline must never cut), then merges by descending bound-rate x
+  // size, ties by ascending mask.
+  plan.priority.resize(survivors.size());
+  for (std::size_t i = 0; i < survivors.size(); ++i) plan.priority[i] = i;
+  std::sort(plan.priority.begin(), plan.priority.end(),
+            [&](std::size_t a, std::size_t b) {
+              const bool sa = popcount(survivors[a].mask) == 1;
+              const bool sb = popcount(survivors[b].mask) == 1;
+              if (sa != sb) return sa;
+              const double va = survivors[a].ub *
+                                static_cast<double>(popcount(survivors[a].mask));
+              const double vb = survivors[b].ub *
+                                static_cast<double>(popcount(survivors[b].mask));
+              if (va != vb) return va > vb;
+              return survivors[a].mask < survivors[b].mask;
+            });
+  plan.mandatory = static_cast<std::size_t>(std::count_if(
+      survivors.begin(), survivors.end(),
+      [](const Scored& s) { return popcount(s.mask) == 1; }));
+  return plan;
+}
+
 beamforming::GroupBeam subset_beam(
     beamforming::Scheme scheme,
-    const std::vector<linalg::CVector>& user_channels, std::uint32_t mask,
+    const std::vector<linalg::CVector>& user_channels, GroupMask mask,
     const beamforming::Codebook& codebook, std::uint64_t beam_seed) {
   std::vector<linalg::CVector> channels;
-  channels.reserve(static_cast<std::size_t>(__builtin_popcount(mask)));
+  channels.reserve(popcount(mask));
   for (std::size_t u = 0; u < user_channels.size(); ++u)
-    if (mask & (1u << u)) channels.push_back(user_channels[u]);
+    if (mask & (GroupMask{1} << u)) channels.push_back(user_channels[u]);
   return beamforming::group_beam(scheme, channels, codebook,
                                  subset_seed(beam_seed, mask));
+}
+
+std::vector<beamforming::GroupBeam> beamform_subsets(
+    beamforming::Scheme scheme,
+    const std::vector<linalg::CVector>& user_channels,
+    const std::vector<GroupMask>& masks,
+    const beamforming::Codebook& codebook, std::uint64_t beam_seed,
+    ThreadPool* pool) {
+  const std::size_t n = user_channels.size();
+  std::vector<beamforming::GroupBeam> beams(masks.size());
+
+  // SoA pack for the multi-member kOptimizedMulticast subsets: each user's
+  // channel is normalized once per call (not once per subset) and the
+  // member rows land contiguously, so the Gram iterations stream through
+  // one flat buffer. Everything else (singletons, dead groups, the other
+  // schemes) routes through subset_beam unchanged.
+  linalg::PackedStacks pack;
+  std::vector<std::ptrdiff_t> problem(masks.size(), -1);
+  if (scheme == beamforming::Scheme::kOptimizedMulticast && !masks.empty()) {
+    const std::size_t cols = n > 0 ? user_channels[0].size() : 0;
+    std::vector<linalg::CVector> unit(n);
+    std::vector<std::uint8_t> usable(n, 0);
+    for (std::size_t u = 0; u < n; ++u) {
+      if (user_channels[u].size() != cols) continue;
+      if (user_channels[u].norm() <= 0.0) continue;
+      usable[u] = 1;
+      unit[u] = user_channels[u].normalized();
+    }
+    pack.cols = cols;
+    pack.offsets.push_back(0);
+    for (std::size_t i = 0; i < masks.size(); ++i) {
+      if (popcount(masks[i]) < 2 || cols == 0) continue;
+      std::size_t m_usable = 0;
+      bool mixed = false;
+      for (std::size_t u = 0; u < n; ++u) {
+        if (!(masks[i] & (GroupMask{1} << u))) continue;
+        if (user_channels[u].size() != cols &&
+            user_channels[u].norm() > 0.0)
+          mixed = true;
+        if (usable[u]) ++m_usable;
+      }
+      if (mixed || m_usable == 0) continue;  // scalar fallback path
+      problem[i] = static_cast<std::ptrdiff_t>(pack.problems());
+      for (std::size_t u = 0; u < n; ++u)
+        if ((masks[i] & (GroupMask{1} << u)) && usable[u])
+          pack.rows.insert(pack.rows.end(), unit[u].raw().begin(),
+                           unit[u].raw().end());
+      pack.offsets.push_back(pack.rows.size() / cols);
+    }
+  }
+
+  const auto compute = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (problem[i] >= 0) {
+        Rng rng(subset_seed(beam_seed, masks[i]));
+        const auto svd = linalg::packed_dominant_right_singular(
+            pack, static_cast<std::size_t>(problem[i]), rng);
+        std::vector<linalg::CVector> members;
+        members.reserve(popcount(masks[i]));
+        for (std::size_t u = 0; u < n; ++u)
+          if (masks[i] & (GroupMask{1} << u))
+            members.push_back(user_channels[u]);
+        beams[i] = beamforming::evaluate_beam(svd.right_singular, members);
+      } else {
+        beams[i] = subset_beam(scheme, user_channels, masks[i], codebook,
+                               beam_seed);
+      }
+    }
+  };
+  if (pool != nullptr && pool->size() > 1 && masks.size() > 1) {
+    pool->parallel_for(0, masks.size(), /*grain=*/8, compute);
+  } else {
+    compute(0, masks.size());
+  }
+  return beams;
+}
+
+BatchResult beamform_priority(
+    beamforming::Scheme scheme,
+    const std::vector<linalg::CVector>& user_channels,
+    const std::vector<GroupMask>& masks, std::size_t mandatory,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline,
+    const beamforming::Codebook& codebook, std::uint64_t beam_seed,
+    ThreadPool* pool) {
+  BatchResult res;
+  res.beams.resize(masks.size());
+  res.done.assign(masks.size(), 0);
+
+  const auto run = [&](std::size_t lo, std::size_t hi) {
+    const std::vector<GroupMask> batch(masks.begin() + lo,
+                                       masks.begin() + hi);
+    auto beams = beamform_subsets(scheme, user_channels, batch, codebook,
+                                  beam_seed, pool);
+    for (std::size_t i = 0; i < beams.size(); ++i) {
+      res.beams[lo + i] = std::move(beams[i]);
+      res.done[lo + i] = 1;
+    }
+  };
+
+  // The mandatory prefix (singleton coverage) always completes, deadline
+  // or not — this is what keeps every reachable user servable when the
+  // clock fires on the first pass.
+  std::size_t pos = std::min(mandatory, masks.size());
+  if (pos > 0) run(0, pos);
+
+  if (!deadline) {
+    // No deadline: one big batch, zero clock reads (the determinism
+    // contract — output is a pure function of the inputs).
+    if (pos < masks.size()) run(pos, masks.size());
+    pos = masks.size();
+  } else {
+    constexpr std::size_t kBatch = 16;
+    while (pos < masks.size()) {
+      if (std::chrono::steady_clock::now() >= *deadline) break;
+      const std::size_t hi = std::min(pos + kBatch, masks.size());
+      run(pos, hi);
+      pos = hi;
+    }
+  }
+  res.deferred = masks.size() - pos;
+  return res;
+}
+
+void note_anytime(const CandidatePlan& plan, std::size_t beamformed,
+                  std::size_t deferred) {
+  if (!obs::enabled()) return;
+  auto& reg = obs::MetricsRegistry::global();
+  static obs::Counter& c_generated =
+      reg.counter("sched.anytime.candidates_generated");
+  static obs::Counter& c_pruned = reg.counter("sched.anytime.pruned_by_bound");
+  static obs::Counter& c_capped =
+      reg.counter("sched.anytime.capped_by_budget");
+  static obs::Counter& c_beamformed = reg.counter("sched.anytime.beamformed");
+  static obs::Counter& c_deferred = reg.counter("sched.anytime.deferred");
+  static obs::Counter& c_deadline = reg.counter("sched.anytime.deadline_hits");
+  c_generated.add(plan.generated);
+  c_pruned.add(plan.pruned);
+  c_capped.add(plan.capped);
+  c_beamformed.add(beamformed);
+  c_deferred.add(deferred);
+  if (deferred > 0) c_deadline.add(1);
 }
 
 std::vector<GroupSpec> enumerate_groups(
@@ -79,30 +350,31 @@ std::vector<GroupSpec> enumerate_groups(
     const beamforming::Codebook& codebook, std::uint64_t beam_seed,
     const GroupEnumConfig& cfg, ThreadPool* pool) {
   const std::size_t n = user_channels.size();
-  const std::vector<std::uint32_t> masks = admissible_masks(scheme, n, cfg);
+  const CandidatePlan plan = plan_candidates(scheme, user_channels, cfg);
 
-  // Beamform every admissible subset; each is independent and individually
-  // seeded, so the parallel path is bit-identical to the serial one.
-  std::vector<beamforming::GroupBeam> beams(masks.size());
-  const auto compute = [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i)
-      beams[i] = subset_beam(scheme, user_channels, masks[i], codebook,
-                             beam_seed);
-  };
-  if (pool != nullptr && pool->size() > 1 && masks.size() > 1) {
-    pool->parallel_for(0, masks.size(), /*grain=*/8, compute);
-  } else {
-    compute(0, masks.size());
-  }
+  // Beamform in priority order (so a deadline defers only the least
+  // valuable merges), then emit in ascending mask order as always.
+  std::vector<GroupMask> ordered(plan.priority.size());
+  for (std::size_t j = 0; j < plan.priority.size(); ++j)
+    ordered[j] = plan.masks[plan.priority[j]];
+  BatchResult batch =
+      beamform_priority(scheme, user_channels, ordered, plan.mandatory,
+                        cfg.deadline, codebook, beam_seed, pool);
+  std::vector<beamforming::GroupBeam*> by_index(plan.masks.size(), nullptr);
+  for (std::size_t j = 0; j < plan.priority.size(); ++j)
+    if (batch.done[j]) by_index[plan.priority[j]] = &batch.beams[j];
+  note_anytime(plan, ordered.size() - batch.deferred, batch.deferred);
 
   std::vector<GroupSpec> out;
-  for (std::size_t i = 0; i < masks.size(); ++i) {
-    if (beams[i].rate.value <= 0.0) continue;  // cannot sustain any MCS
-    if (beams[i].rate < cfg.rate_threshold) continue;
+  for (std::size_t i = 0; i < plan.masks.size(); ++i) {
+    beamforming::GroupBeam* beam = by_index[i];
+    if (beam == nullptr) continue;              // deferred past the deadline
+    if (beam->rate.value <= 0.0) continue;      // cannot sustain any MCS
+    if (beam->rate < cfg.rate_threshold) continue;
     GroupSpec g;
     for (std::size_t u = 0; u < n; ++u)
-      if (masks[i] & (1u << u)) g.members.push_back(u);
-    g.beam = std::move(beams[i]);
+      if (plan.masks[i] & (GroupMask{1} << u)) g.members.push_back(u);
+    g.beam = std::move(*beam);
     out.push_back(std::move(g));
   }
   return out;

@@ -1,10 +1,22 @@
-// Multicast group enumeration (Sec. 2.4).
+// Multicast group candidate generation (Sec. 2.4) — the anytime scheduler
+// front end.
 //
-// For N clients the sender enumerates every non-empty user subset, beams
-// to it, maps the bottleneck RSS to a UDP rate, and drops groups whose
-// rate falls below a threshold ("we omit the groups whose throughput is
-// below a threshold to speed up computation"). Unicast schemes only admit
-// singleton groups.
+// For small N the sender enumerates every non-empty user subset, beams to
+// it, maps the bottleneck RSS to a UDP rate, and drops groups whose rate
+// falls below a threshold ("we omit the groups whose throughput is below a
+// threshold to speed up computation"). Past
+// GroupEnumConfig::hierarchical_threshold the exhaustive lattice is
+// replaced by a cluster-tree generator (see sched/hierarchy.h): users are
+// clustered by channel direction and candidates are the singletons plus
+// intra- and cross-cluster merges — hundreds of subsets at N=64 instead of
+// 2^64. Unicast schemes only admit singleton groups at any N.
+//
+// Before any SVD runs, every candidate is screened by a cheap rate upper
+// bound: a unit-norm beam can deliver at most ||h_u||^2 mW to member u
+// (Cauchy–Schwarz), so a group's bottleneck rate never exceeds the Table 2
+// rate at min_u ||h_u||^2. The bound is monotone (supersets only shrink
+// it) and *exact* with respect to the emission filter — a pruned subset
+// could never have been emitted — so pruning changes nothing but the work.
 //
 // Every subset's beam is a pure function of (scheme, member channels,
 // codebook, beam_seed): the SVD power iteration for subset `mask` draws
@@ -12,7 +24,8 @@
 // generator shared across subsets. Changing the filter knobs
 // (rate_threshold / max_group_size / exclude) therefore cannot perturb the
 // beams of unrelated surviving subsets, and per-subset caching
-// (sched::BeamCache) and ThreadPool-parallel enumeration are bit-identical
+// (sched::BeamCache), ThreadPool-parallel enumeration, and the SoA-packed
+// batch path (linalg::packed_dominant_right_singular) are bit-identical
 // to the serial full enumeration.
 #pragma once
 
@@ -20,10 +33,18 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 
+#include <chrono>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 namespace w4k::sched {
+
+/// Member bitmask of a candidate group. 64-bit: the hierarchical generator
+/// serves up to 64 users; the exhaustive lattice keeps its historic
+/// 16-user ceiling. Masks below 2^32 keep the exact subset_seed values the
+/// 32-bit masks produced, so cached-beam determinism survives the widening.
+using GroupMask = std::uint64_t;
 
 struct GroupSpec {
   std::vector<std::size_t> members;   ///< user indices, ascending
@@ -44,29 +65,114 @@ struct GroupEnumConfig {
   /// session uses this to quarantine persistently blocked users and to
   /// drop departed ones without re-indexing anything downstream.
   std::vector<std::uint8_t> exclude;
+
+  // --- Anytime candidate generation (DESIGN.md Sec. 4f) -----------------
+  /// User counts above this switch from the paper's exhaustive subset
+  /// lattice to the cluster-tree candidate generator. The default keeps
+  /// every pre-existing small-N scenario on the exact exhaustive path
+  /// while the lattice is still affordable; values above 16 are clamped
+  /// (the lattice is 2^n).
+  std::size_t hierarchical_threshold = 12;
+  /// Minimum normalized channel correlation |<h_u/|h_u|, h_v/|h_v|>|
+  /// (average linkage between clusters) for two beam clusters to merge.
+  double cluster_correlation = 0.6;
+  /// Agglomeration stops growing a cluster past this many members.
+  std::size_t max_cluster_size = 8;
+  /// Cap on hierarchical candidates per frame. Singletons are always kept
+  /// (they are what guarantees coverage); the merge candidates with the
+  /// best bound-rate x size score fill the remainder.
+  std::size_t max_candidates = 128;
+  /// Wall-clock cutoff for beamforming *optional* (multi-member)
+  /// candidates: the singleton prefix always completes so every reachable
+  /// user stays coverable, and later merge batches are skipped once the
+  /// clock passes the deadline. nullopt = compute every candidate with no
+  /// clock reads — the output is then a pure function of the inputs
+  /// (the golden/purity determinism contract).
+  std::optional<std::chrono::steady_clock::time_point> deadline;
 };
 
 /// Deterministic per-subset RNG seed: a splitmix64-style mix of the
 /// session-level beam seed and the member bitmask. Each subset's beam
 /// derives its randomness from this value alone, independent of what else
 /// is enumerated in the same pass.
-std::uint64_t subset_seed(std::uint64_t beam_seed, std::uint32_t mask);
+std::uint64_t subset_seed(std::uint64_t beam_seed, GroupMask mask);
 
-/// The member bitmasks enumerate_groups would beamform for `n` users
-/// under `cfg`, ascending. Exposed so sched::BeamCache consults exactly
-/// the same admission filter (exclusions, size cap, unicast singletons).
-/// Throws std::invalid_argument for n == 0 or n > 16.
-std::vector<std::uint32_t> admissible_masks(beamforming::Scheme scheme,
-                                            std::size_t n,
-                                            const GroupEnumConfig& cfg);
+/// The member bitmasks of the *exhaustive* lattice for `n` users under
+/// `cfg`, ascending. This is the paper's full enumeration; the anytime
+/// path only consults it below the hierarchical threshold. Throws
+/// std::invalid_argument for n == 0 or n > 16.
+std::vector<GroupMask> admissible_masks(beamforming::Scheme scheme,
+                                        std::size_t n,
+                                        const GroupEnumConfig& cfg);
+
+/// The candidate set decide() will consider this frame, bound-pruned and
+/// ordered for the anytime loop.
+struct CandidatePlan {
+  /// Bound-surviving candidate masks, ascending (the emission order).
+  std::vector<GroupMask> masks;
+  /// Beamforming order: indices into `masks`. Singleton candidates come
+  /// first (base coverage — the mandatory prefix), then merges by
+  /// descending bound-rate x member-count (airtime-efficiency), ties by
+  /// ascending mask.
+  std::vector<std::size_t> priority;
+  std::size_t mandatory = 0;  ///< prefix of `priority` never deadline-cut
+  std::size_t generated = 0;  ///< candidates before bound pruning
+  std::size_t pruned = 0;     ///< dropped by the rate upper bound
+  std::size_t capped = 0;     ///< dropped by the max_candidates budget
+};
+
+/// Builds the candidate plan for `channels` under `cfg`: the exhaustive
+/// lattice up to the hierarchical threshold, the cluster-tree generator
+/// above it (up to 64 users; throws past that). Pure function of its
+/// arguments — no clock, no RNG — so cache-on/off and any thread count see
+/// the same plan.
+CandidatePlan plan_candidates(beamforming::Scheme scheme,
+                              const std::vector<linalg::CVector>& channels,
+                              const GroupEnumConfig& cfg);
 
 /// The beam for one member subset (bits of `mask` index into
 /// `user_channels`). Pure function of its arguments; the building block
 /// shared by enumerate_groups and sched::BeamCache.
 beamforming::GroupBeam subset_beam(
     beamforming::Scheme scheme,
-    const std::vector<linalg::CVector>& user_channels, std::uint32_t mask,
+    const std::vector<linalg::CVector>& user_channels, GroupMask mask,
     const beamforming::Codebook& codebook, std::uint64_t beam_seed);
+
+/// Beamforms every mask in `masks` (optionally on `pool`). Multi-member
+/// kOptimizedMulticast subsets run their Gram power iterations against one
+/// SoA-packed block of pre-normalized channel rows — each user is
+/// normalized once instead of once per subset, and the pack is dispatched
+/// as a single ThreadPool batch. Bit-identical to subset_beam per mask
+/// (asserted by the system tests).
+std::vector<beamforming::GroupBeam> beamform_subsets(
+    beamforming::Scheme scheme,
+    const std::vector<linalg::CVector>& user_channels,
+    const std::vector<GroupMask>& masks,
+    const beamforming::Codebook& codebook, std::uint64_t beam_seed,
+    ThreadPool* pool);
+
+/// Deadline-aware batch driver shared by enumerate_groups and BeamCache:
+/// beamforms `masks` front to back (they must already be in beamforming
+/// priority order). The first `mandatory` entries always run; the rest run
+/// in small batches with a clock check between batches once `deadline` is
+/// set. done[i] == 0 marks a deferred subset.
+struct BatchResult {
+  std::vector<beamforming::GroupBeam> beams;
+  std::vector<std::uint8_t> done;
+  std::size_t deferred = 0;
+};
+BatchResult beamform_priority(
+    beamforming::Scheme scheme,
+    const std::vector<linalg::CVector>& user_channels,
+    const std::vector<GroupMask>& masks, std::size_t mandatory,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline,
+    const beamforming::Codebook& codebook, std::uint64_t beam_seed,
+    ThreadPool* pool);
+
+/// Bumps the sched.anytime.* counters for one enumeration pass (no-op with
+/// telemetry disabled). Shared by the stateless path and the BeamCache.
+void note_anytime(const CandidatePlan& plan, std::size_t beamformed,
+                  std::size_t deferred);
 
 /// Enumerates candidate groups for the given per-user channels under
 /// `scheme`. Groups are ordered by ascending bitmask of members, which is

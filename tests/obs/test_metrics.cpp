@@ -3,11 +3,15 @@
 // null-sink behavior of disabled spans.
 #include "obs/metrics.h"
 
+#include "channel/propagation.h"
 #include "common/thread_pool.h"
+#include "obs/export.h"
 #include "obs/span.h"
+#include "sched/groups.h"
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -110,6 +114,38 @@ TEST_F(ObsMetricsTest, DisabledSpansRecordNothing) {
   { StageSpan span(st); }
   EXPECT_EQ(st.count(), 0u);
   EXPECT_EQ(st.total_ns(), 0u);
+}
+
+TEST_F(ObsMetricsTest, AnytimeSchedulerCountersReachSnapshots) {
+  // The anytime scheduler's telemetry (candidate generation, bound
+  // pruning, deadline behavior) must land in the flat JSON snapshot —
+  // that's what --metrics-out and the Chrome-trace export consume. Drive
+  // one real enumeration pass with telemetry on and look for the names.
+  channel::PropagationConfig prop;
+  std::vector<linalg::CVector> users;
+  for (int i = 0; i < 3; ++i)
+    users.push_back(channel::make_channel(
+        prop, channel::Position::from_polar(4.0, -0.3 + 0.3 * i)));
+  const auto groups = sched::enumerate_groups(
+      beamforming::Scheme::kOptimizedMulticast, users,
+      beamforming::Codebook{}, std::uint64_t{3});
+  ASSERT_FALSE(groups.empty());
+
+  std::ostringstream os;
+  write_json_snapshot(os, MetricsRegistry::global());
+  const std::string json = os.str();
+  std::ostringstream ts;
+  write_chrome_trace(ts);
+  const std::string chrome = ts.str();
+  for (const char* name :
+       {"sched.anytime.candidates_generated", "sched.anytime.beamformed",
+        "sched.anytime.pruned_by_bound", "sched.anytime.deferred",
+        "sched.anytime.deadline_hits"}) {
+    EXPECT_NE(json.find(name), std::string::npos)
+        << name << " missing from the metrics snapshot";
+    EXPECT_NE(chrome.find(name), std::string::npos)
+        << name << " missing from the Chrome trace export";
+  }
 }
 
 TEST_F(ObsMetricsTest, SnapshotsAreSortedByName) {

@@ -95,10 +95,37 @@ TEST(EnumerateGroups, EmptyUsersThrow) {
 }
 
 TEST(EnumerateGroups, TooManyUsersThrow) {
+  // The hierarchical generator serves up to 64 users; 65 still throws.
   Rng rng(8);
   EXPECT_THROW(enumerate_groups(beamforming::Scheme::kOptimizedMulticast,
-                                make_users(17), beamforming::Codebook{}, rng),
+                                make_users(65), beamforming::Codebook{}, rng),
                std::invalid_argument);
+}
+
+TEST(EnumerateGroups, SeventeenUsersUseTheClusterTree) {
+  // Past the hierarchical threshold the exhaustive lattice is replaced by
+  // cluster-tree candidates: every user still gets a singleton (coverage),
+  // masks stay ascending, and the candidate count is far below 2^17.
+  const int n = 17;
+  const auto users = make_users(n, 8.0);
+  const auto groups = enumerate_groups(
+      beamforming::Scheme::kOptimizedMulticast, users,
+      beamforming::Codebook{}, 31);
+  EXPECT_FALSE(groups.empty());
+  EXPECT_LE(groups.size(), 256u);
+  for (int u = 0; u < n; ++u) {
+    bool singleton = false;
+    for (const auto& g : groups)
+      singleton |= g.members == std::vector<std::size_t>{
+                                    static_cast<std::size_t>(u)};
+    EXPECT_TRUE(singleton) << "no singleton for user " << u;
+  }
+  for (std::size_t i = 1; i < groups.size(); ++i) {
+    GroupMask prev = 0, cur = 0;
+    for (std::size_t u : groups[i - 1].members) prev |= GroupMask{1} << u;
+    for (std::size_t u : groups[i].members) cur |= GroupMask{1} << u;
+    EXPECT_LT(prev, cur);
+  }
 }
 
 TEST(EnumerateGroups, GroupRatesReflectBottleneck) {
@@ -245,6 +272,51 @@ TEST(SubsetSeed, MixesMaskAndSeed) {
     for (std::size_t j = i + 1; j < seen.size(); ++j)
       EXPECT_NE(seen[i], seen[j]);
   EXPECT_NE(subset_seed(7, 3), subset_seed(8, 3));
+}
+
+TEST(BeamformSubsets, BatchedPathBitIdenticalToSubsetBeam) {
+  // The SoA-packed batch path (pre-normalized rows + packed Gram power
+  // iteration) must reproduce subset_beam bit for bit on every mask shape:
+  // singletons, merges, and groups containing a dead (zero) channel.
+  auto users = make_users(6);
+  // Zero out user 4's channel to exercise the dead-member path.
+  users[4] = linalg::CVector(users[4].size());
+  const std::uint64_t seed = 55;
+  std::vector<GroupMask> masks;
+  for (GroupMask mask = 1; mask < (GroupMask{1} << users.size()); ++mask)
+    masks.push_back(mask);
+  const auto batched =
+      beamform_subsets(beamforming::Scheme::kOptimizedMulticast, users,
+                       masks, beamforming::Codebook{}, seed, nullptr);
+  ASSERT_EQ(batched.size(), masks.size());
+  for (std::size_t i = 0; i < masks.size(); ++i) {
+    const auto direct =
+        subset_beam(beamforming::Scheme::kOptimizedMulticast, users,
+                    masks[i], beamforming::Codebook{}, seed);
+    EXPECT_TRUE(same_beam(batched[i], direct))
+        << "batched beam differs for mask " << masks[i];
+  }
+}
+
+TEST(PlanCandidates, BoundPruningIsExactOnTheExhaustivePath) {
+  // Everything the bound prunes would have been emission-filtered anyway:
+  // the surviving-group set must match a full enumeration's exactly.
+  channel::PropagationConfig prop;
+  auto users = make_users(4, 6.0);
+  users.push_back(channel::make_channel(
+      prop, channel::Position::from_polar(400.0, 0.2)));  // unreachable
+  GroupEnumConfig cfg;
+  cfg.rate_threshold = Mbps{700.0};
+  const auto plan = plan_candidates(
+      beamforming::Scheme::kOptimizedMulticast, users, cfg);
+  EXPECT_GT(plan.pruned, 0u);  // the far user's subsets never beamform
+  const auto groups = enumerate_groups(
+      beamforming::Scheme::kOptimizedMulticast, users,
+      beamforming::Codebook{}, 5, cfg);
+  for (const auto& g : groups) {
+    EXPECT_FALSE(g.contains(4));
+    EXPECT_GE(g.beam.rate.value, 700.0);
+  }
 }
 
 }  // namespace
