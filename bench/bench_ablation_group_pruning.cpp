@@ -4,6 +4,8 @@
 // delivered quality — quantifying the compute/quality trade.
 #include "common.h"
 
+#include "sched/workspace.h"
+
 #include <chrono>
 
 int main() {
@@ -34,8 +36,10 @@ int main() {
 
     // Count groups the config admits.
     Rng grng(1);
-    const auto groups = sched::enumerate_groups(
-        cfg.scheme, channels, bench::sector_codebook(), grng, cfg.group_enum);
+    sched::SchedWorkspace gws;
+    const auto groups =
+        sched::enumerate_groups(cfg.scheme, channels, bench::sector_codebook(),
+                                grng.next(), cfg.group_enum, nullptr, gws);
 
     const auto t0 = std::chrono::steady_clock::now();
     const auto run = exp.run_static(6);

@@ -9,6 +9,7 @@
 
 #include "common/thread_pool.h"
 #include "gf256/gf256.h"
+#include "sched/workspace.h"
 
 namespace {
 
@@ -118,9 +119,13 @@ void BM_ScheduleOptimizer(benchmark::State& state) {
   channel::PropagationConfig prop;
   const auto users = core::place_users_random(n_users, 8.0, 16.0, 2.09, rng);
   const auto channels = core::channels_for(prop, users);
-  auto groups = sched::enumerate_groups(
+  sched::SchedWorkspace gws;
+  const auto emitted = sched::enumerate_groups(
       beamforming::Scheme::kOptimizedMulticast, channels,
-      beamforming::Codebook{}, rng, {});
+      beamforming::Codebook{}, rng.next(), {}, nullptr, gws);
+  // Owning copy: AllocProblem::groups is a span and the workspace-backed
+  // span would be invalidated by any further enumeration.
+  std::vector<sched::GroupSpec> groups(emitted.begin(), emitted.end());
   const double scale = core::rate_scale_for(bench::kWidth, bench::kHeight);
   for (auto& g : groups) g.beam.rate = Mbps{g.beam.rate.value * scale};
 

@@ -12,6 +12,10 @@
 #          smoke runs — so every injected fault path, every generated
 #          property input, and every mutated parser input also executes
 #          under sanitizers.
+# Stage 3: rebuild with W4K_COUNT_ALLOCS=ON (counted operator new/delete)
+#          and run the zero-allocation frame-path gate: after a 3-frame
+#          warmup the pinned static4 and mobile scenarios must perform
+#          zero heap allocations per step_into (DESIGN.md Sec. 4g).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,3 +37,12 @@ ctest --test-dir build-asan --output-on-failure -j"$jobs" -L chaos
 W4K_PROP_ITERS=200 \
   ctest --test-dir build-asan --output-on-failure -j"$jobs" -L props
 ctest --test-dir build-asan --output-on-failure -j"$jobs" -L fuzz-smoke
+
+cmake -B build-alloc -S . -DW4K_COUNT_ALLOCS=ON
+cmake --build build-alloc -j"$jobs" --target tests_foundation tests_system
+# Run the gate suites directly (no ctest discovery pass for the side
+# build): the arena contract plus the per-frame zero-allocation gate,
+# which skip themselves everywhere except this counting build.
+./build-alloc/tests/tests_foundation --gtest_filter='FrameArena.*'
+./build-alloc/tests/tests_system \
+    --gtest_filter='AllocCount.*:AllocGateTest.*'

@@ -14,22 +14,33 @@ namespace {
 // link) has no direction to steer toward: any beam is equally useless, so
 // use a uniform one and let beam_rss report the link as dead (-300 dBm)
 // instead of throwing on normalization.
-linalg::CVector uniform_beam(std::size_t n) {
-  linalg::CVector beam(std::max<std::size_t>(1, n));
-  const double mag = 1.0 / std::sqrt(static_cast<double>(beam.size()));
-  for (std::size_t i = 0; i < beam.size(); ++i)
-    beam[i] = linalg::Complex(mag, 0.0);
-  return beam;
+void uniform_beam_into(std::size_t n, linalg::CVector& out) {
+  out.resize_zero(std::max<std::size_t>(1, n));
+  const double mag = 1.0 / std::sqrt(static_cast<double>(out.size()));
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = linalg::Complex(mag, 0.0);
 }
 
-linalg::CVector mrt_beam(const linalg::CVector& h) {
-  return h.norm() > 0.0 ? h.conj().normalized() : uniform_beam(h.size());
+/// MRT beam conj(h)/||h|| into a reusable vector. Bit-identical to
+/// h.conj().normalized(): norm(conj(x)) sums the same re^2 + im^2 terms,
+/// and the element-wise complex /= double matches normalized()'s loop.
+void mrt_beam_into(const linalg::CVector& h, linalg::CVector& out) {
+  const double n = h.norm();
+  if (n <= 0.0) {
+    uniform_beam_into(h.size(), out);
+    return;
+  }
+  out.resize_zero(h.size());
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    out[i] = std::conj(h[i]);
+    out[i] /= n;
+  }
 }
 
-GroupBeam evaluate(const linalg::CVector& beam,
-                   const std::vector<linalg::CVector>& channels) {
-  GroupBeam g;
-  g.beam = beam;
+void evaluate_into(const linalg::CVector& beam,
+                   std::span<const linalg::CVector> channels, GroupBeam& g) {
+  g.beam = beam;  // copy-assign: capacity reused
+  g.member_rss.clear();
   g.min_rss = Dbm{1e300};
   for (const auto& h : channels) {
     const Dbm rss = channel::beam_rss(h, beam);
@@ -37,27 +48,34 @@ GroupBeam evaluate(const linalg::CVector& beam,
     g.min_rss = std::min(g.min_rss, rss);
   }
   g.rate = channel::rate_for_rss(g.min_rss);
-  return g;
 }
 
-GroupBeam best_codebook_beam(const std::vector<linalg::CVector>& channels,
-                             const Codebook& codebook) {
+void best_codebook_beam_into(std::span<const linalg::CVector> channels,
+                             const Codebook& codebook, GroupBeam& best) {
   if (codebook.size() == 0)
     throw std::invalid_argument("pre-defined scheme needs a codebook");
-  GroupBeam best;
+  thread_local GroupBeam cand;
   best.min_rss = Dbm{-1e300};
+  best.rate = Mbps{0.0};
   for (std::size_t k = 0; k < codebook.size(); ++k) {
-    GroupBeam cand = evaluate(codebook[k], channels);
-    if (cand.min_rss > best.min_rss) best = std::move(cand);
+    evaluate_into(codebook[k], channels, cand);
+    if (cand.min_rss > best.min_rss) best = cand;
   }
-  return best;
 }
 
 }  // namespace
 
+void evaluate_beam_into(const linalg::CVector& beam,
+                        std::span<const linalg::CVector> member_channels,
+                        GroupBeam& out) {
+  evaluate_into(beam, member_channels, out);
+}
+
 GroupBeam evaluate_beam(const linalg::CVector& beam,
                         const std::vector<linalg::CVector>& member_channels) {
-  return evaluate(beam, member_channels);
+  GroupBeam out;
+  evaluate_into(beam, member_channels, out);
+  return out;
 }
 
 bool allows_multicast(Scheme s) {
@@ -74,9 +92,9 @@ std::string to_string(Scheme s) {
   return "unknown";
 }
 
-GroupBeam group_beam(Scheme scheme,
-                     const std::vector<linalg::CVector>& channels,
-                     const Codebook& codebook, Rng& rng) {
+void group_beam_into(Scheme scheme,
+                     std::span<const linalg::CVector> channels,
+                     const Codebook& codebook, Rng& rng, GroupBeam& out) {
   if (channels.empty())
     throw std::invalid_argument("group_beam: empty group");
   if (!allows_multicast(scheme) && channels.size() != 1)
@@ -86,15 +104,22 @@ GroupBeam group_beam(Scheme scheme,
   switch (scheme) {
     case Scheme::kOptimizedUnicast: {
       // MRT: F = conj(h) / ||h|| maximizes |F . h|.
-      return evaluate(mrt_beam(channels[0]), channels);
+      thread_local linalg::CVector f;
+      mrt_beam_into(channels[0], f);
+      evaluate_into(f, channels, out);
+      return;
     }
     case Scheme::kPredefinedUnicast:
-      return best_codebook_beam(channels, codebook);
     case Scheme::kPredefinedMulticast:
-      return best_codebook_beam(channels, codebook);
+      best_codebook_beam_into(channels, codebook, out);
+      return;
     case Scheme::kOptimizedMulticast: {
-      if (channels.size() == 1)
-        return evaluate(mrt_beam(channels[0]), channels);
+      if (channels.size() == 1) {
+        thread_local linalg::CVector f;
+        mrt_beam_into(channels[0], f);
+        evaluate_into(f, channels, out);
+        return;
+      }
       // Max-sum SVD heuristic for the NP-hard max-min problem: F is the
       // dominant right singular vector of the stacked channel matrix
       // (Sec. 2.5). The rows are *normalized* channels: with raw rows the
@@ -102,26 +127,65 @@ GroupBeam group_beam(Scheme scheme,
       // starves the weak one — the opposite of the max-min intent. On
       // direction-only rows the SVD splits power across the members'
       // subspaces, which tracks min-RSS far better while keeping the
-      // same O(N_t^2 N) cost.
-      std::vector<linalg::CVector> rows;
-      rows.reserve(channels.size());
-      for (const auto& h : channels)
-        if (h.norm() > 0.0) rows.push_back(h.normalized());
-      if (rows.empty()) return evaluate(uniform_beam(channels[0].size()),
-                                        channels);
-      const linalg::CMatrix hmat = linalg::CMatrix::from_rows(rows);
-      const auto svd = linalg::dominant_right_singular(hmat, rng);
-      return evaluate(svd.right_singular, channels);
+      // same O(N_t^2 N) cost. The rows live in a thread-local one-problem
+      // pack and the iteration runs via packed_dominant_right_singular_into
+      // — bit-identical to the historical CMatrix::from_rows path.
+      thread_local linalg::PackedStacks pack;
+      thread_local linalg::DominantSVD svd;
+      pack.rows.clear();
+      pack.offsets.clear();
+      pack.cols = 0;
+      for (const auto& h : channels) {
+        const double n = h.norm();
+        if (n <= 0.0) continue;
+        if (pack.cols == 0) pack.cols = h.size();
+        if (h.size() != pack.cols)
+          throw std::invalid_argument("row size mismatch in set_row");
+        for (std::size_t i = 0; i < h.size(); ++i) {
+          linalg::Complex x = h[i];
+          x /= n;  // the same element-wise divide normalized() performs
+          pack.rows.push_back(x);
+        }
+      }
+      if (pack.rows.empty()) {
+        thread_local linalg::CVector uni;
+        uniform_beam_into(channels[0].size(), uni);
+        evaluate_into(uni, channels, out);
+        return;
+      }
+      pack.offsets.push_back(0);
+      pack.offsets.push_back(pack.rows.size() / pack.cols);
+      linalg::packed_dominant_right_singular_into(pack, 0, rng, svd);
+      evaluate_into(svd.right_singular, channels, out);
+      return;
     }
   }
   throw std::logic_error("group_beam: unhandled scheme");
+}
+
+void group_beam_into(Scheme scheme,
+                     std::span<const linalg::CVector> member_channels,
+                     const Codebook& codebook, std::uint64_t seed,
+                     GroupBeam& out) {
+  Rng rng(seed);
+  group_beam_into(scheme, member_channels, codebook, rng, out);
+}
+
+GroupBeam group_beam(Scheme scheme,
+                     const std::vector<linalg::CVector>& channels,
+                     const Codebook& codebook, Rng& rng) {
+  GroupBeam out;
+  group_beam_into(scheme, channels, codebook, rng, out);
+  return out;
 }
 
 GroupBeam group_beam(Scheme scheme,
                      const std::vector<linalg::CVector>& channels,
                      const Codebook& codebook, std::uint64_t seed) {
   Rng rng(seed);
-  return group_beam(scheme, channels, codebook, rng);
+  GroupBeam out;
+  group_beam_into(scheme, channels, codebook, rng, out);
+  return out;
 }
 
 }  // namespace w4k::beamforming

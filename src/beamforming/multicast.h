@@ -21,6 +21,7 @@
 #include "linalg/matrix.h"
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -70,5 +71,31 @@ GroupBeam evaluate_beam(const linalg::CVector& beam,
 GroupBeam group_beam(Scheme scheme,
                      const std::vector<linalg::CVector>& member_channels,
                      const Codebook& codebook, std::uint64_t seed);
+
+// --- Span-based hot-loop surface (zero-alloc steady state) ----------------
+// The _into variants write into a caller-owned GroupBeam whose internal
+// buffers keep their capacity across calls, and take member channels as a
+// span so the scheduler can point at workspace storage instead of building
+// fresh vectors. Values are bit-identical to the vector-returning versions
+// (which now wrap these).
+
+/// evaluate_beam into a reusable GroupBeam.
+void evaluate_beam_into(const linalg::CVector& beam,
+                        std::span<const linalg::CVector> member_channels,
+                        GroupBeam& out);
+
+/// Seed-based group_beam into a reusable GroupBeam. The optimized schemes
+/// (MRT, packed-SVD multicast) run allocation-free in steady state; the
+/// pre-defined codebook schemes reuse `out` but may still allocate inside
+/// the sector search on first use.
+void group_beam_into(Scheme scheme,
+                     std::span<const linalg::CVector> member_channels,
+                     const Codebook& codebook, std::uint64_t seed,
+                     GroupBeam& out);
+
+/// Rng-based core shared by every overload above.
+void group_beam_into(Scheme scheme,
+                     std::span<const linalg::CVector> member_channels,
+                     const Codebook& codebook, Rng& rng, GroupBeam& out);
 
 }  // namespace w4k::beamforming

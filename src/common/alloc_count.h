@@ -1,0 +1,46 @@
+// Process-wide heap-allocation counting for the zero-allocation frame-path
+// gate (DESIGN.md Sec. 4g).
+//
+// Under `cmake -DW4K_COUNT_ALLOCS=ON` this translation unit overrides the
+// global `operator new`/`operator delete` family with thin malloc/free
+// wrappers that bump relaxed process-wide atomics. The counters are
+// thread-aware by construction: every thread (including ThreadPool
+// workers) increments the same atomics, so a delta of allocations()
+// around a frame step observes hidden allocations made on worker threads
+// too.
+//
+// In a normal build nothing is overridden and counting_available() returns
+// false; the alloc-gate tests use that to skip themselves instead of
+// reporting a vacuous pass as a real one.
+#pragma once
+
+#include <cstdint>
+
+namespace w4k::alloc_count {
+
+/// True when the build overrides operator new/delete (W4K_COUNT_ALLOCS).
+bool counting_available();
+
+/// Number of operator-new calls (all forms, all threads) since process
+/// start. Always 0 when counting is unavailable.
+std::uint64_t allocations();
+
+/// Number of operator-delete calls with a non-null pointer.
+std::uint64_t deallocations();
+
+/// Total bytes requested from operator new (not including allocator
+/// rounding). Always 0 when counting is unavailable.
+std::uint64_t bytes_allocated();
+
+/// Convenience delta probe: records the counters at construction; taken()
+/// returns how many allocations happened since.
+class Scope {
+ public:
+  Scope() : start_(allocations()) {}
+  std::uint64_t taken() const { return allocations() - start_; }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace w4k::alloc_count

@@ -17,8 +17,8 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 namespace w4k {
@@ -44,8 +44,24 @@ class ThreadPool {
   /// are a pure function of (begin, end, grain), so writes into
   /// chunk-indexed slots are deterministic. Blocks until every chunk has
   /// finished. The first exception thrown by any chunk is rethrown here.
+  ///
+  /// The callable is borrowed by reference for the duration of the call
+  /// (it outlives every chunk because parallel_for blocks), so no
+  /// std::function is materialized and dispatching a parallel loop
+  /// performs zero heap allocations in the steady state — the Job
+  /// records the pool hands to workers are recycled from a free list
+  /// (see thread_pool.cpp).
+  template <typename F>
   void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
-                    const std::function<void(std::size_t, std::size_t)>& body);
+                    F&& body) {
+    using Fn = std::remove_reference_t<F>;
+    parallel_for_impl(
+        begin, end, grain,
+        BodyRef{const_cast<void*>(static_cast<const void*>(&body)),
+                [](void* ctx, std::size_t b, std::size_t e) {
+                  (*static_cast<Fn*>(ctx))(b, e);
+                }});
+  }
 
   /// The process-wide shared pool (lazily created on first use).
   static ThreadPool& shared();
@@ -56,6 +72,16 @@ class ThreadPool {
   static void reset_shared(std::size_t threads);
 
  private:
+  /// Type-erased borrowed callable: one context pointer plus one function
+  /// pointer, trivially copyable, never owning.
+  struct BodyRef {
+    void* ctx = nullptr;
+    void (*fn)(void*, std::size_t, std::size_t) = nullptr;
+  };
+
+  void parallel_for_impl(std::size_t begin, std::size_t end,
+                         std::size_t grain, BodyRef body);
+
   struct Impl;
   std::unique_ptr<Impl> impl_;
   std::size_t size_ = 1;

@@ -1,0 +1,65 @@
+#include "core/arena.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace w4k::core {
+
+namespace {
+constexpr std::size_t kMinPageBytes = 4096;
+}
+
+FrameArena::FrameArena(std::size_t initial_bytes) {
+  if (initial_bytes > 0) add_page(initial_bytes);
+}
+
+void FrameArena::reset() {
+  for (Page& p : pages_) p.used = 0;
+  active_ = 0;
+  used_ = 0;
+}
+
+std::size_t FrameArena::capacity() const {
+  std::size_t n = 0;
+  for (const Page& p : pages_) n += p.size;
+  return n;
+}
+
+FrameArena::Page& FrameArena::add_page(std::size_t min_bytes) {
+  // Geometric growth from the last page keeps the page count logarithmic
+  // in the eventual high-water mark, so reset() stays effectively O(1).
+  const std::size_t prev = pages_.empty() ? 0 : pages_.back().size;
+  const std::size_t size = std::max({kMinPageBytes, prev * 2, min_bytes});
+  Page p;
+  p.data = std::make_unique<std::byte[]>(size);
+  p.size = size;
+  pages_.push_back(std::move(p));
+  return pages_.back();
+}
+
+void* FrameArena::allocate(std::size_t bytes, std::size_t align) {
+  if (align == 0) align = 1;
+  for (;;) {
+    if (active_ < pages_.size()) {
+      Page& p = pages_[active_];
+      const auto base = reinterpret_cast<std::uintptr_t>(p.data.get());
+      const std::size_t aligned =
+          (static_cast<std::size_t>(base) + p.used + align - 1) / align *
+              align -
+          static_cast<std::size_t>(base);
+      if (aligned + bytes <= p.size) {
+        void* out = p.data.get() + aligned;
+        p.used = aligned + bytes;
+        used_ += bytes;
+        high_water_ = std::max(high_water_, used_);
+        return out;
+      }
+      // This page is full (or too fragmented for the alignment): move on.
+      ++active_;
+      continue;
+    }
+    add_page(bytes + align);
+  }
+}
+
+}  // namespace w4k::core

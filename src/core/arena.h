@@ -1,0 +1,87 @@
+// Per-frame bump allocator (DESIGN.md Sec. 4g).
+//
+// A FrameArena owns a chain of pages sized once at session start (plus
+// geometric growth during warmup) and hands out trivially-destructible
+// scratch spans with a pointer bump. reset() rewinds every page without
+// releasing memory, so after the first few frames have established the
+// high-water mark the per-frame cost of "allocating" from the arena is a
+// few arithmetic instructions and zero heap traffic — which is what the
+// W4K_COUNT_ALLOCS gate asserts for the whole frame path.
+//
+// The arena is for transient per-frame POD scratch (doubles, flags,
+// LayerArrays, index buffers). State that must outlive the frame — the
+// No-Update Decision cache, capacity-persistent nested containers — lives
+// in the owning workspace objects instead; see the ownership rules in
+// DESIGN.md Sec. 4g.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace w4k::core {
+
+class FrameArena {
+ public:
+  /// `initial_bytes` pre-sizes the first page (0 defers until first use).
+  explicit FrameArena(std::size_t initial_bytes = 0);
+
+  FrameArena(const FrameArena&) = delete;
+  FrameArena& operator=(const FrameArena&) = delete;
+  FrameArena(FrameArena&&) = default;
+  FrameArena& operator=(FrameArena&&) = default;
+
+  /// Rewinds all pages. O(pages), never frees.
+  void reset();
+
+  /// Raw aligned allocation. Grows by adding a page when the active chain
+  /// is exhausted (heap traffic only until the high-water mark settles).
+  void* allocate(std::size_t bytes, std::size_t align);
+
+  /// Uninitialized scratch span of `n` Ts. T must be trivially
+  /// destructible (reset() runs no destructors) and trivially copyable
+  /// (the arena never constructs).
+  template <typename T>
+  std::span<T> alloc_span(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T> &&
+                      std::is_trivially_copyable_v<T>,
+                  "FrameArena holds trivial scratch only");
+    if (n == 0) return {};
+    void* p = allocate(n * sizeof(T), alignof(T));
+    return {static_cast<T*>(p), n};
+  }
+
+  /// Zero-initialized variant (for accumulators).
+  template <typename T>
+  std::span<T> alloc_zeroed(std::size_t n) {
+    std::span<T> s = alloc_span<T>(n);
+    for (auto& v : s) v = T{};
+    return s;
+  }
+
+  /// Bytes handed out since the last reset().
+  std::size_t used() const { return used_; }
+  /// Total bytes owned across all pages.
+  std::size_t capacity() const;
+  /// Largest used() ever observed (sizing diagnostic for BENCH_alloc).
+  std::size_t high_water() const { return high_water_; }
+  std::size_t page_count() const { return pages_.size(); }
+
+ private:
+  struct Page {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  Page& add_page(std::size_t min_bytes);
+
+  std::vector<Page> pages_;
+  std::size_t active_ = 0;      ///< index of the page being bumped
+  std::size_t used_ = 0;        ///< bytes handed out since reset()
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace w4k::core

@@ -48,25 +48,29 @@ std::vector<FrameContext> make_contexts(const video::SyntheticVideo& clip,
   return out;
 }
 
-video::Frame reconstruct_from_units(const FrameContext& ctx,
-                                    const std::vector<bool>& unit_decoded) {
-  video::PartialFrame partial = video::PartialFrame::empty(
-      ctx.encoded.width, ctx.encoded.height);
+void reconstruct_from_units_into(const FrameContext& ctx,
+                                 const std::vector<bool>& unit_decoded,
+                                 video::ReconstructWorkspace& ws,
+                                 video::Frame& out) {
+  ws.begin(ctx.encoded.width, ctx.encoded.height);
   for (std::size_t i = 0; i < ctx.units.size() && i < unit_decoded.size();
        ++i) {
     if (!unit_decoded[i]) continue;
     const sched::UnitSpec& u = ctx.units[i];
-    const auto& src = ctx.encoded
-                          .layers[u.id.layer][static_cast<std::size_t>(u.sublayer_k)];
-    video::Segment seg;
-    seg.offset = u.offset;
-    seg.bytes.assign(src.begin() + static_cast<std::ptrdiff_t>(u.offset),
-                     src.begin() + static_cast<std::ptrdiff_t>(
-                                       u.offset + u.source_bytes));
-    partial.layers[u.id.layer][static_cast<std::size_t>(u.sublayer_k)]
-        .segments.push_back(std::move(seg));
+    const auto& src =
+        ctx.encoded.layers[u.id.layer][static_cast<std::size_t>(u.sublayer_k)];
+    ws.write(u.id.layer, u.sublayer_k, u.offset, src.data() + u.offset,
+             u.source_bytes);
   }
-  return video::reconstruct(partial);
+  ws.finish(out);
+}
+
+video::Frame reconstruct_from_units(const FrameContext& ctx,
+                                    const std::vector<bool>& unit_decoded) {
+  video::ReconstructWorkspace ws;
+  video::Frame out;
+  reconstruct_from_units_into(ctx, unit_decoded, ws, out);
+  return out;
 }
 
 double rate_scale_for(int width, int height) {

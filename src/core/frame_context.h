@@ -46,6 +46,14 @@ std::vector<FrameContext> make_contexts(const video::SyntheticVideo& clip,
 video::Frame reconstruct_from_units(const FrameContext& ctx,
                                     const std::vector<bool>& unit_decoded);
 
+/// Allocation-free variant: splices each decoded unit's byte range straight
+/// from ctx.encoded into the workspace (no PartialFrame / Segment copies)
+/// and decodes into `out`. Bit-identical to reconstruct_from_units().
+void reconstruct_from_units_into(const FrameContext& ctx,
+                                 const std::vector<bool>& unit_decoded,
+                                 video::ReconstructWorkspace& ws,
+                                 video::Frame& out);
+
 /// The rate-scale that maps Table 2 throughputs onto reduced-resolution
 /// frames: rates are multiplied by frame_bytes / bytes-of-a-4K-frame so
 /// the bandwidth-to-content ratio (and hence the whole operating regime)

@@ -47,9 +47,16 @@ std::vector<linalg::CVector> channels_for(
     const channel::PropagationConfig& prop,
     const std::vector<channel::Position>& users) {
   std::vector<linalg::CVector> out;
-  out.reserve(users.size());
-  for (const auto& u : users) out.push_back(channel::make_channel(prop, u));
+  channels_for_into(prop, users, out);
   return out;
+}
+
+void channels_for_into(const channel::PropagationConfig& prop,
+                       const std::vector<channel::Position>& users,
+                       std::vector<linalg::CVector>& out) {
+  out.resize(users.size());
+  for (std::size_t i = 0; i < users.size(); ++i)
+    out[i] = channel::make_channel(prop, users[i]);
 }
 
 SessionReport run_static(MulticastSession& session,
@@ -59,10 +66,13 @@ SessionReport run_static(MulticastSession& session,
   if (contexts.empty())
     throw std::invalid_argument("run_static: no frame contexts");
   SessionReport report;
+  const fault::FrameFaults no_faults;
+  FrameOutcome outcome;
   for (int f = 0; f < n_frames; ++f) {
     const FrameContext& ctx =
         contexts[static_cast<std::size_t>(f) % contexts.size()];
-    report.add(session.step(channels, channels, ctx));
+    session.step_into(channels, channels, ctx, no_faults, outcome);
+    report.add(outcome);
   }
   return report;
 }
@@ -74,17 +84,23 @@ SessionReport run_static(MulticastSession& session,
   if (contexts.empty())
     throw std::invalid_argument("run_static: no frame contexts");
   SessionReport report;
+  FrameOutcome outcome;
+  // Channel-level faults mutate per-frame copies; the placement itself
+  // stays pristine for the frames the burst does not cover. The copies are
+  // hoisted out of the loop: copy-assignment reuses each channel vector's
+  // buffer instead of reallocating every frame.
+  std::vector<linalg::CVector> decision;
+  std::vector<linalg::CVector> truth;
   for (int f = 0; f < n_frames; ++f) {
     const FrameContext& ctx =
         contexts[static_cast<std::size_t>(f) % contexts.size()];
     const auto frame_id = static_cast<std::uint32_t>(f);
     const fault::FrameFaults faults = injector.at(frame_id);
-    // Channel-level faults mutate per-frame copies; the placement itself
-    // stays pristine for the frames the burst does not cover.
-    std::vector<linalg::CVector> decision = channels;
-    std::vector<linalg::CVector> truth = channels;
+    decision = channels;
+    truth = channels;
     injector.apply(frame_id, decision, truth);
-    report.add(session.step(decision, truth, ctx, faults));
+    session.step_into(decision, truth, ctx, faults, outcome);
+    report.add(outcome);
   }
   return report;
 }
@@ -98,6 +114,8 @@ SessionReport run_trace(MulticastSession& session,
   if (trace.steps() == 0)
     throw std::invalid_argument("run_trace: empty trace");
   SessionReport report;
+  const fault::FrameFaults no_faults;
+  FrameOutcome outcome;
   int frame = 0;
   for (std::size_t t = 0; t < trace.steps(); ++t) {
     const auto& truth = trace.snapshots[t];
@@ -105,7 +123,8 @@ SessionReport run_trace(MulticastSession& session,
     for (int k = 0; k < frames_per_snapshot; ++k, ++frame) {
       const FrameContext& ctx =
           contexts[static_cast<std::size_t>(frame) % contexts.size()];
-      report.add(session.step(decision, truth, ctx));
+      session.step_into(decision, truth, ctx, no_faults, outcome);
+      report.add(outcome);
     }
   }
   return report;
@@ -121,17 +140,20 @@ SessionReport run_trace(MulticastSession& session,
   if (trace.steps() == 0)
     throw std::invalid_argument("run_trace: empty trace");
   SessionReport report;
+  FrameOutcome outcome;
+  std::vector<linalg::CVector> decision;
+  std::vector<linalg::CVector> truth;
   std::uint32_t frame = 0;
   for (std::size_t t = 0; t < trace.steps(); ++t) {
     for (int k = 0; k < frames_per_snapshot; ++k, ++frame) {
       const FrameContext& ctx =
           contexts[frame % contexts.size()];
       const fault::FrameFaults faults = injector.at(frame);
-      std::vector<linalg::CVector> truth = trace.snapshots[t];
-      std::vector<linalg::CVector> decision =
-          trace.snapshots[t > 0 ? t - 1 : 0];
+      truth = trace.snapshots[t];
+      decision = trace.snapshots[t > 0 ? t - 1 : 0];
       injector.apply(frame, decision, truth);
-      report.add(session.step(decision, truth, ctx, faults));
+      session.step_into(decision, truth, ctx, faults, outcome);
+      report.add(outcome);
     }
   }
   return report;

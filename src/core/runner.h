@@ -31,6 +31,12 @@ std::vector<linalg::CVector> channels_for(
     const channel::PropagationConfig& prop,
     const std::vector<channel::Position>& users);
 
+/// Same, writing into a caller-owned vector whose per-user channel buffers
+/// are reused across calls (mobility loops regenerating channels per step).
+void channels_for_into(const channel::PropagationConfig& prop,
+                       const std::vector<channel::Position>& users,
+                       std::vector<linalg::CVector>& out);
+
 /// Streams `n_frames` over a static channel, cycling through `contexts`.
 /// Decision CSI equals the true channel (static case: beacons are fresh).
 /// Returns the accumulated per-frame outcomes with all the aggregation

@@ -146,6 +146,13 @@ MulticastSession::Decision MulticastSession::decide(
     const std::vector<linalg::CVector>& channels, const FrameContext& ctx,
     const std::vector<std::uint8_t>& exclude) {
   Decision d;
+  decide_into(channels, ctx, exclude, d);
+  return d;
+}
+
+void MulticastSession::decide_into(
+    const std::vector<linalg::CVector>& channels, const FrameContext& ctx,
+    const std::vector<std::uint8_t>& exclude, Decision& d) {
   // Anytime budget: beamforming may defer optional merge candidates past
   // ~45% of the budget, the allocator returns best-so-far past ~90%, and
   // the remaining slack absorbs unit mapping. A zero deadline arms
@@ -168,14 +175,23 @@ MulticastSession::Decision MulticastSession::decide(
     // computation are bit-identical to a serial, uncached enumeration.
     static obs::Stage& st = obs::stage("session.beamform");
     obs::StageSpan span(st);
-    sched::GroupEnumConfig enum_cfg = cfg_.group_enum;
-    enum_cfg.exclude = exclude;
-    enum_cfg.deadline = beam_deadline;
+    // enum_cfg_ is a member so the exclude vector's capacity survives
+    // across frames; copy-assign never shrinks, so this is allocation-free
+    // once warm.
+    enum_cfg_ = cfg_.group_enum;
+    enum_cfg_.exclude.assign(exclude.begin(), exclude.end());
+    enum_cfg_.deadline = beam_deadline;
     ThreadPool* pool = &ThreadPool::shared();
-    d.groups = cfg_.beam_cache
-                   ? beam_cache_.enumerate(channels, codebook_, enum_cfg, pool)
-                   : sched::enumerate_groups(cfg_.scheme, channels, codebook_,
-                                             cfg_.seed, enum_cfg, pool);
+    const std::span<const sched::GroupSpec> emitted =
+        cfg_.beam_cache
+            ? beam_cache_.enumerate_into(channels, codebook_, enum_cfg_, pool,
+                                         sched_ws_)
+            : sched::enumerate_groups(cfg_.scheme, channels, codebook_,
+                                      cfg_.seed, enum_cfg_, pool, sched_ws_);
+    // Copy out of the workspace pool: assign() with forward iterators
+    // copy-assigns over the reused GroupSpec elements, so their member /
+    // beam buffers keep their capacity across frames.
+    d.groups.assign(emitted.begin(), emitted.end());
     // Scale Table 2 rates to the frame resolution before any byte math.
     for (auto& g : d.groups)
       g.beam.rate = Mbps{g.beam.rate.value * cfg_.rate_scale};
@@ -193,7 +209,16 @@ MulticastSession::Decision MulticastSession::decide(
                       });
   }
 
-  if (d.groups.empty()) return d;  // deep outage: nothing schedulable
+  if (d.groups.empty()) {
+    // Deep outage: nothing schedulable. A reused decision must not leak
+    // the previous frame's plan (a fresh Decision is all-empty here).
+    d.allocation.reset(0, 0);
+    d.unit_map.assignments.clear();
+    d.unit_map.user_symbols.clear();
+    d.unit_map.user_decodes.clear();
+    d.unit_map.leftover_symbols = 0;
+    return;
+  }
 
   sched::AllocProblem problem;
   problem.groups = d.groups;
@@ -214,49 +239,53 @@ MulticastSession::Decision MulticastSession::decide(
     for (std::size_t u : g.members) mask |= sched::GroupMask{1} << u;
     return mask;
   };
-  std::vector<double> warm_vec;
   const std::vector<double>* warm = nullptr;
   if (cfg_.optimized_schedule && cfg_.warm_start && prev_total_time_ > 0.0 &&
       prev_n_users_ == channels.size()) {
-    warm_vec.assign(d.groups.size() * video::kNumLayers, 0.0);
+    warm_vec_.assign(d.groups.size() * video::kNumLayers, 0.0);
     double covered = 0.0;
     for (std::size_t g = 0; g < d.groups.size(); ++g) {
-      const auto it = prev_alloc_.find(group_mask(d.groups[g]));
-      if (it == prev_alloc_.end()) continue;
+      const sched::GroupMask mask = group_mask(d.groups[g]);
+      const auto it = std::lower_bound(
+          prev_alloc_.begin(), prev_alloc_.end(), mask,
+          [](const PrevAlloc& e, sched::GroupMask m) { return e.mask < m; });
+      if (it == prev_alloc_.end() || it->mask != mask) continue;
       for (std::size_t j = 0; j < video::kNumLayers; ++j) {
-        warm_vec[g * video::kNumLayers + j] = it->second[j];
-        covered += it->second[j];
+        warm_vec_[g * video::kNumLayers + j] = it->t[j];
+        covered += it->t[j];
       }
     }
-    if (covered >= 0.5 * prev_total_time_) warm = &warm_vec;
+    if (covered >= 0.5 * prev_total_time_) warm = &warm_vec_;
   }
 
   {
     static obs::Stage& st = obs::stage("session.allocate");
     obs::StageSpan span(st);
-    d.allocation = cfg_.optimized_schedule
-                       ? sched::optimize_allocation(problem, quality_,
-                                                    opt_cfg, warm)
-                       : sched::round_robin_allocation(problem, quality_);
+    if (cfg_.optimized_schedule)
+      sched::optimize_allocation_into(problem, quality_, d.allocation,
+                                      opt_cfg, warm);
+    else
+      sched::round_robin_allocation_into(problem, quality_, d.allocation);
   }
 
-  // Remember this allocation for the next frame's warm start.
+  // Remember this allocation for the next frame's warm start. Groups are
+  // emitted in ascending-mask order, so the rebuilt list stays sorted for
+  // the binary search above.
   prev_alloc_.clear();
   prev_total_time_ = 0.0;
   prev_n_users_ = channels.size();
   for (std::size_t g = 0; g < d.groups.size(); ++g) {
-    const sched::LayerArray& t = d.allocation.time[g];
-    prev_alloc_[group_mask(d.groups[g])] = t;
+    const sched::LayerArray& t = d.allocation.time(g);
+    prev_alloc_.push_back(PrevAlloc{group_mask(d.groups[g]), t});
     for (double v : t) prev_total_time_ += v;
   }
   {
     static obs::Stage& st = obs::stage("session.unitmap");
     obs::StageSpan span(st);
-    d.unit_map = sched::map_to_units(d.groups, d.allocation.bytes, ctx.units,
-                                     channels.size(),
-                                     cfg_.engine.symbol_size);
+    sched::map_to_units_into(d.groups, d.allocation.bytes_rows(), ctx.units,
+                             channels.size(), cfg_.engine.symbol_size,
+                             d.unit_map);
   }
-  return d;
 }
 
 FrameOutcome MulticastSession::step(
@@ -270,6 +299,29 @@ FrameOutcome MulticastSession::step(
     const std::vector<linalg::CVector>& decision_channels,
     const std::vector<linalg::CVector>& true_channels,
     const FrameContext& ctx, const fault::FrameFaults& faults) {
+  FrameOutcome out;
+  step_into(decision_channels, true_channels, ctx, faults, out);
+  return out;
+}
+
+void MulticastSession::step_into(
+    const std::vector<linalg::CVector>& decision_channels,
+    const std::vector<linalg::CVector>& true_channels,
+    const FrameContext& ctx, const fault::FrameFaults& faults,
+    FrameOutcome& out) {
+  // Field-by-field reset (not `out = {}`) so a reused outcome's vectors
+  // keep their capacity.
+  out.ssim.clear();
+  out.psnr.clear();
+  out.decoded_fraction.clear();
+  out.stats = emu::FrameTxStats{};
+  out.optimizer_objective = 0.0;
+  out.frame_id = 0;
+  out.user_present.clear();
+  out.user_quarantined.clear();
+  out.shed_symbols = 0;
+  out.csi_held = false;
+
   if (decision_channels.size() != true_channels.size())
     throw std::invalid_argument("step: channel vector count mismatch");
   const std::size_t n_users = true_channels.size();
@@ -324,24 +376,23 @@ FrameOutcome MulticastSession::step(
       cfg_.quarantine_after > 0 &&
       frame_id % static_cast<std::uint32_t>(cfg_.quarantine_reprobe_period) ==
           0;
-  std::vector<std::uint8_t> exclude(n_users, 0);
+  exclude_.assign(n_users, 0);
   std::size_t n_included = 0;
   std::size_t n_active = 0;
   for (std::size_t u = 0; u < n_users; ++u) {
     const bool act = active(u);
     n_active += act ? 1 : 0;
     const bool inc = act && (quarantined_[u] == 0 || reprobe_frame);
-    exclude[u] = inc ? 0 : 1;
+    exclude_[u] = inc ? 0 : 1;
     n_included += inc ? 1 : 0;
   }
   if (n_included == 0 && n_active > 0) {
     // Every remaining user is quarantined: streaming to nobody serves no
     // one, so treat the frame as a forced re-probe of all of them.
-    for (std::size_t u = 0; u < n_users; ++u) exclude[u] = active(u) ? 0 : 1;
+    for (std::size_t u = 0; u < n_users; ++u) exclude_[u] = active(u) ? 0 : 1;
     n_included = n_active;
   }
 
-  FrameOutcome out;
   out.frame_id = frame_id;
   out.csi_held = csi_held;
   const auto fill_presence = [&] {
@@ -365,7 +416,7 @@ FrameOutcome MulticastSession::step(
     out.psnr.assign(n_users, 0.0);
     out.decoded_fraction.assign(n_users, 0.0);
     fill_presence();
-    return out;
+    return;
   }
 
   // Optionally estimate CSI the way the hardware does (SLS sweep + phase
@@ -390,13 +441,12 @@ FrameOutcome MulticastSession::step(
   }
 
   const Decision* decision = nullptr;
-  Decision fresh;
   if (!cfg_.adapt) {
-    if (!frozen_) frozen_ = decide(*decision_csi, ctx, exclude);
+    if (!frozen_) frozen_ = decide(*decision_csi, ctx, exclude_);
     decision = &*frozen_;
   } else {
-    fresh = decide(*decision_csi, ctx, exclude);
-    decision = &fresh;
+    decide_into(*decision_csi, ctx, exclude_, decision_);
+    decision = &decision_;
   }
 
   // "No Update" freezes the app-level decision (groups, time allocation,
@@ -447,7 +497,7 @@ FrameOutcome MulticastSession::step(
       out.psnr[u] = p;
     }
     fill_presence();
-    return out;
+    return;
   }
 
   // Assemble the per-group transmission parameters against the *current*
@@ -455,15 +505,21 @@ FrameOutcome MulticastSession::step(
   // 1:1 with decision->groups because the assignments reference them; a
   // group whose MCS lookup fails keeps a zero drain rate and the engine
   // drops its packets.
-  std::vector<emu::GroupTx> groups_tx;
-  groups_tx.reserve(decision->groups.size());
+  if (groups_tx_.size() != decision->groups.size())
+    groups_tx_.resize(decision->groups.size());
   {
     static obs::Stage& st = obs::stage("session.mcs");
     obs::StageSpan span(st);
     for (std::size_t g = 0; g < decision->groups.size(); ++g) {
       const auto& spec = decision->groups[g];
-      emu::GroupTx tx;
+      // Per-entry reset of the reused slot: copy-assign / clear reuse the
+      // member vectors' capacity; the fields match a fresh GroupTx.
+      emu::GroupTx& tx = groups_tx_[g];
       tx.members = spec.members;
+      tx.mcs = channel::McsEntry{};
+      tx.drain_rate = Mbps{0.0};
+      tx.bucket_rate = Mbps{0.0};
+      tx.member_loss.clear();
       // Beam actually on the air: the decision's optimized beam, or the
       // firmware-tracked fallback sector in No-Update mode.
       const linalg::CVector& air_beam =
@@ -493,7 +549,6 @@ FrameOutcome MulticastSession::step(
                   : emu::monitor_loss(cfg_.loss, rss, *mcs));
         }
       }
-      groups_tx.push_back(std::move(tx));
     }
   }
 
@@ -514,7 +569,7 @@ FrameOutcome MulticastSession::step(
     Seconds est = 0.0;
     shed_plan.reserve(decision->unit_map.assignments.size());
     for (const auto& a : decision->unit_map.assignments) {
-      const Mbps rate = groups_tx[a.group].drain_rate;
+      const Mbps rate = groups_tx_[a.group].drain_rate;
       const Seconds air =
           rate.value > 0.0
               ? rate.seconds_for(wire * static_cast<double>(a.symbols))
@@ -575,16 +630,14 @@ FrameOutcome MulticastSession::step(
     }
   }
 
-  emu::FrameTxResult tx_result;
   {
     static obs::Stage& st = obs::stage("session.transmit");
     obs::StageSpan span(st);
-    tx_result =
-        engine_.run_frame(ctx.units, *assignments, groups_tx, n_users, rng_,
-                          efs);
+    engine_.run_frame_into(ctx.units, *assignments, groups_tx_, n_users,
+                           rng_, efs, tx_result_);
   }
 
-  if (cfg_.adapt) last_measured_ = tx_result.measured_rate;
+  if (cfg_.adapt) last_measured_ = tx_result_.measured_rate;
 
   // --- Cross-frame recovery bookkeeping ---------------------------------
   std::size_t quarantine_entered = 0;
@@ -601,10 +654,10 @@ FrameOutcome MulticastSession::step(
     else feedback_silent_streak_[u] = 0;
   }
   if (cfg_.quarantine_after > 0) {
-    std::vector<std::uint8_t> attempted(n_users, 0);
-    for (const auto& g : groups_tx) {
+    attempted_.assign(n_users, 0);
+    for (const auto& g : groups_tx_) {
       if (g.drain_rate.value <= 0.0) continue;
-      for (std::size_t u : g.members) attempted[u] = 1;
+      for (std::size_t u : g.members) attempted_[u] = 1;
     }
     for (std::size_t u = 0; u < n_users; ++u) {
       if (!active(u)) {
@@ -612,14 +665,14 @@ FrameOutcome MulticastSession::step(
         continue;
       }
       bool decoded_any = false;
-      for (bool b : tx_result.user_decoded[u]) decoded_any |= b;
+      for (bool b : tx_result_.user_decoded[u]) decoded_any |= b;
       if (decoded_any) {
         lost_frame_streak_[u] = 0;
         if (quarantined_[u]) {
           quarantined_[u] = 0;
           ++quarantine_exited;
         }
-      } else if (attempted[u] && faults.budget_scale >= 0.5 &&
+      } else if (attempted_[u] && faults.budget_scale >= 0.5 &&
                  !ctx.units.empty()) {
         // Only count frames where delivery was genuinely attempted over a
         // healthy budget — a NIC stall must not quarantine the room.
@@ -632,7 +685,7 @@ FrameOutcome MulticastSession::step(
     }
   }
 
-  out.stats = tx_result.stats;
+  out.stats = tx_result_.stats;
   {
     static obs::Stage& st = obs::stage("session.quality");
     obs::StageSpan span(st);
@@ -641,12 +694,12 @@ FrameOutcome MulticastSession::step(
     out.decoded_fraction.assign(n_users, 0.0);
     for (std::size_t u = 0; u < n_users; ++u) {
       if (!active(u)) continue;  // departed: placeholder sample
-      const video::Frame rec =
-          reconstruct_from_units(ctx, tx_result.user_decoded[u]);
-      out.ssim[u] = quality::ssim(ctx.original, rec);
-      out.psnr[u] = quality::psnr(ctx.original, rec);
+      reconstruct_from_units_into(ctx, tx_result_.user_decoded[u], recon_ws_,
+                                  recon_frame_);
+      out.ssim[u] = quality::ssim(ctx.original, recon_frame_);
+      out.psnr[u] = quality::psnr(ctx.original, recon_frame_);
       std::size_t decoded = 0;
-      for (bool b : tx_result.user_decoded[u]) decoded += b ? 1 : 0;
+      for (bool b : tx_result_.user_decoded[u]) decoded += b ? 1 : 0;
       out.decoded_fraction[u] =
           ctx.units.empty() ? 0.0
                             : static_cast<double>(decoded) /
@@ -689,7 +742,6 @@ FrameOutcome MulticastSession::step(
     g_quarantined.set(quarantined);
     g_active.set(static_cast<double>(n_active));
   }
-  return out;
 }
 
 }  // namespace w4k::core

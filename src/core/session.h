@@ -20,10 +20,10 @@
 #include "model/quality_model.h"
 #include "sched/beam_cache.h"
 #include "sched/groups.h"
+#include "sched/workspace.h"
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 namespace w4k::core {
@@ -175,6 +175,17 @@ class MulticastSession {
                     const std::vector<linalg::CVector>& true_channels,
                     const FrameContext& ctx, const fault::FrameFaults& faults);
 
+  /// The frame path proper, writing into a caller-owned outcome whose
+  /// vectors reuse their capacity across frames. Together with the
+  /// session's internal workspaces (scheduler enumeration buffers, engine
+  /// scratch, reconstruction workspace) a steady-state frame performs zero
+  /// heap allocations (the W4K_COUNT_ALLOCS tier-1 gate). Bit-identical to
+  /// step(); both step overloads are thin wrappers over this.
+  void step_into(const std::vector<linalg::CVector>& decision_channels,
+                 const std::vector<linalg::CVector>& true_channels,
+                 const FrameContext& ctx, const fault::FrameFaults& faults,
+                 FrameOutcome& out);
+
   /// Drops cached decisions, backlog, and fault-recovery state (e.g.
   /// between independent runs).
   void reset();
@@ -192,6 +203,14 @@ class MulticastSession {
   Decision decide(const std::vector<linalg::CVector>& channels,
                   const FrameContext& ctx,
                   const std::vector<std::uint8_t>& exclude);
+
+  /// decide() writing into a caller-owned Decision. Reused decisions
+  /// copy-assign the emitted groups / allocation / unit map over the
+  /// previous frame's containers, so the whole decision pipeline reuses
+  /// capacity in steady state. Bit-identical to decide().
+  void decide_into(const std::vector<linalg::CVector>& channels,
+                   const FrameContext& ctx,
+                   const std::vector<std::uint8_t>& exclude, Decision& d);
 
  private:
   /// (Re)sizes the per-user recovery state when the user count changes.
@@ -214,9 +233,31 @@ class MulticastSession {
   sched::BeamCache beam_cache_;
   /// Previous frame's optimized time allocation keyed by member bitmask,
   /// remapped onto the surviving groups to warm-start the optimizer.
-  std::unordered_map<sched::GroupMask, sched::LayerArray> prev_alloc_;
+  /// Sorted ascending by mask (groups are emitted in ascending-mask
+  /// order), looked up by binary search; clear() + push_back reuses the
+  /// buffer across frames.
+  struct PrevAlloc {
+    sched::GroupMask mask = 0;
+    sched::LayerArray t{};
+  };
+  std::vector<PrevAlloc> prev_alloc_;
   double prev_total_time_ = 0.0;
   std::size_t prev_n_users_ = 0;
+
+  // --- Per-frame workspaces (capacity reused across frames) -------------
+  sched::SchedWorkspace sched_ws_;        ///< enumeration buffers
+  /// Per-frame copy of cfg_.group_enum with the frame's exclusions and
+  /// deadline stamped in; a member so its exclude vector's capacity is
+  /// reused instead of reallocated every frame.
+  sched::GroupEnumConfig enum_cfg_;
+  std::vector<double> warm_vec_;          ///< flattened warm-start vector
+  std::vector<std::uint8_t> exclude_;     ///< per-user optimizer exclusion
+  std::vector<emu::GroupTx> groups_tx_;   ///< per-group air parameters
+  emu::FrameTxResult tx_result_;          ///< engine result rows
+  std::vector<std::uint8_t> attempted_;   ///< quarantine bookkeeping
+  video::ReconstructWorkspace recon_ws_;  ///< per-user reconstruction
+  video::Frame recon_frame_;
+  Decision decision_;                     ///< adapt-mode decision storage
 
   // --- Fault-recovery state (all deterministic, no rng) -----------------
   std::uint32_t next_frame_id_ = 0;

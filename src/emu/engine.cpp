@@ -2,33 +2,13 @@
 
 #include "common/thread_pool.h"
 #include "obs/span.h"
-#include "transport/feedback.h"
 #include "verify/invariants.h"
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <stdexcept>
 
 namespace w4k::emu {
-namespace {
-
-/// Per-user reception state for one coding unit.
-struct UnitRx {
-  std::size_t innovative = 0;          ///< source-coding mode
-  bool decoded = false;
-  /// Set when the decode attempt at exactly k symbols hit the residual
-  /// 1/256 rank deficiency; one more symbol almost surely completes it.
-  bool needs_extra = false;
-  std::vector<bool> have_index;        ///< systematic mode (size k)
-};
-
-struct QueueEntry {
-  Seconds drain_finish = 0.0;
-  std::size_t wire = 0;
-};
-
-}  // namespace
 
 TxEngine::TxEngine(const EngineConfig& cfg) : cfg_(cfg) {
   if (cfg.symbol_size == 0)
@@ -42,6 +22,16 @@ FrameTxResult TxEngine::run_frame(
     const std::vector<sched::UnitAssignment>& assignments,
     const std::vector<GroupTx>& groups, std::size_t n_users, Rng& rng,
     const FrameFaultState& faults) {
+  FrameTxResult res;
+  run_frame_into(units, assignments, groups, n_users, rng, faults, res);
+  return res;
+}
+
+void TxEngine::run_frame_into(
+    const std::vector<sched::UnitSpec>& units,
+    const std::vector<sched::UnitAssignment>& assignments,
+    const std::vector<GroupTx>& groups, std::size_t n_users, Rng& rng,
+    const FrameFaultState& faults, FrameTxResult& res) {
   const std::size_t wire = cfg_.header_bytes + cfg_.symbol_size;
   if (!(faults.budget_scale > 0.0 && faults.budget_scale <= 1.0))
     throw std::invalid_argument("run_frame: budget_scale outside (0, 1]");
@@ -52,28 +42,37 @@ FrameTxResult TxEngine::run_frame(
     return u < faults.feedback_lost.size() && faults.feedback_lost[u] != 0;
   };
 
-  FrameTxResult res;
-  res.user_symbols.assign(n_users, std::vector<std::size_t>(units.size(), 0));
-  res.user_decoded.assign(n_users, std::vector<bool>(units.size(), false));
+  // Row-by-row result reset so reused rows keep their capacity.
+  res.blind_makeup_packets = 0;
+  res.stats = FrameTxStats{};
+  if (res.user_symbols.size() != n_users) res.user_symbols.resize(n_users);
+  if (res.user_decoded.size() != n_users) res.user_decoded.resize(n_users);
+  for (auto& row : res.user_symbols) row.assign(units.size(), 0);
+  for (auto& row : res.user_decoded) row.assign(units.size(), false);
   res.measured_rate.assign(groups.size(), Mbps{0.0});
 
-  // Reception state: [user][unit]. Users are independent, so state setup
-  // fans out across the shared pool (each chunk owns disjoint users).
-  std::vector<std::vector<UnitRx>> rx(n_users,
-                                      std::vector<UnitRx>(units.size()));
+  // Reception state: [user][unit]. Assigning an empty-prototype UnitRx over
+  // the reused rows keeps each element's have_index capacity. Users are
+  // independent, so systematic-mode bitmap setup fans out across the shared
+  // pool (each chunk owns disjoint users).
+  if (rx_.size() < n_users) rx_.resize(n_users);
+  for (std::size_t u = 0; u < n_users; ++u)
+    rx_[u].assign(units.size(), UnitRx{});
   if (!cfg_.source_coding) {
     ThreadPool::shared().parallel_for(
         0, n_users, /*grain=*/4, [&](std::size_t b, std::size_t e) {
           for (std::size_t u = b; u < e; ++u)
             for (std::size_t i = 0; i < units.size(); ++i)
-              rx[u][i].have_index.assign(units[i].k_symbols, false);
+              rx_[u][i].have_index.assign(units[i].k_symbols, false);
         });
   }
 
-  // Per-(group,unit) sent counters: ESI sequencing and feedback deficits.
-  std::map<std::pair<std::size_t, std::size_t>, std::size_t> sent_by_group;
+  // Per-(group,unit) sent counters, flat [group * n_units + unit]: ESI
+  // sequencing and feedback deficits. A cell is nonzero iff that group
+  // actually transmitted that unit (sends are the only increments).
+  sent_.assign(groups.size() * units.size(), 0);
   // Sender-global fresh-symbol counter per unit (source-coding mode).
-  std::vector<std::size_t> unit_next_esi(units.size(), 0);
+  unit_next_esi_.assign(units.size(), 0);
 
   // --- Timeline state -----------------------------------------------------
   Seconds t = 0.0;  // sender-side enqueue clock
@@ -89,15 +88,18 @@ FrameTxResult TxEngine::run_frame(
     backlog_bytes_ = 0.0;
   }
 
-  std::deque<QueueEntry> queue;
+  // FIFO over a flat vector: queue_head_ is the pop cursor (entries behind
+  // it are dead but keep the frame's capacity; both reset per frame).
+  queue_.clear();
+  queue_head_ = 0;
   double queue_bytes = backlog_bytes_;
 
-  std::vector<transport::LeakyBucket> buckets;
-  std::vector<Seconds> bucket_clock(groups.size(), 0.0);
-  buckets.reserve(groups.size());
+  buckets_.clear();
+  buckets_.reserve(groups.size());
+  bucket_clock_.assign(groups.size(), 0.0);
   for (const auto& g : groups) {
     const Mbps fill = g.bucket_rate.value > 0.0 ? g.bucket_rate : g.drain_rate;
-    buckets.emplace_back(fill, std::max<std::size_t>(wire, cfg_.bucket_packets * wire));
+    buckets_.emplace_back(fill, std::max<std::size_t>(wire, cfg_.bucket_packets * wire));
   }
 
   double new_backlog = 0.0;
@@ -123,16 +125,16 @@ FrameTxResult TxEngine::run_frame(
     }
 
     if (cfg_.rate_control) {
-      auto& bucket = buckets[gi];
-      if (t > bucket_clock[gi]) {
-        bucket.advance(t - bucket_clock[gi]);
-        bucket_clock[gi] = t;
+      auto& bucket = buckets_[gi];
+      if (t > bucket_clock_[gi]) {
+        bucket.advance(t - bucket_clock_[gi]);
+        bucket_clock_[gi] = t;
       }
       const Seconds wait = bucket.time_until(wire);
       if (wait > 0.0) {
         t += wait;
         bucket.advance(wait);
-        bucket_clock[gi] = t;
+        bucket_clock_[gi] = t;
       }
       bucket.on_send(wire);
       if (t >= budget) {
@@ -143,9 +145,10 @@ FrameTxResult TxEngine::run_frame(
 
     // Kernel queue admission at enqueue time t (0 when rate control off).
     const Seconds enq = cfg_.rate_control ? t : 0.0;
-    while (!queue.empty() && queue.front().drain_finish <= enq) {
-      queue_bytes -= static_cast<double>(queue.front().wire);
-      queue.pop_front();
+    while (queue_head_ < queue_.size() &&
+           queue_[queue_head_].drain_finish <= enq) {
+      queue_bytes -= static_cast<double>(queue_[queue_head_].wire);
+      ++queue_head_;
     }
     if (queue_bytes + static_cast<double>(wire) >
         static_cast<double>(cfg_.queue_capacity_bytes)) {
@@ -163,13 +166,13 @@ FrameTxResult TxEngine::run_frame(
       // as stale data (rate control keeps this path essentially unused).
       ++deferred_packets;
       new_backlog += static_cast<double>(wire);
-      queue.push_back(QueueEntry{finish, wire});
+      queue_.push_back(QueueEntry{finish, wire});
       queue_bytes += static_cast<double>(wire);
       max_queue_bytes = std::max(max_queue_bytes, queue_bytes);
       return !cfg_.rate_control;  // with RC, budget is up - stop offering
     }
     drain_free = finish;
-    queue.push_back(QueueEntry{finish, wire});
+    queue_.push_back(QueueEntry{finish, wire});
     queue_bytes += static_cast<double>(wire);
     max_queue_bytes = std::max(max_queue_bytes, queue_bytes);
 
@@ -177,12 +180,11 @@ FrameTxResult TxEngine::run_frame(
     res.stats.airtime += air;
 
     // Which symbol does this packet carry?
-    const auto key = std::make_pair(gi, ui);
-    const std::size_t seq = sent_by_group[key]++;
+    const std::size_t seq = sent_[gi * units.size() + ui]++;
     std::size_t index = 0;
     bool innovative_symbol = true;
     if (cfg_.source_coding) {
-      index = unit_next_esi[ui]++;
+      index = unit_next_esi_[ui]++;
     } else {
       // Systematic-only: each group cycles its unit's source symbols from
       // the beginning — overlapping groups duplicate prefixes.
@@ -194,7 +196,7 @@ FrameTxResult TxEngine::run_frame(
       const std::size_t u = g.members[m];
       const double loss = m < g.member_loss.size() ? g.member_loss[m] : 0.0;
       if (rng.chance(loss)) continue;
-      UnitRx& state = rx[u][ui];
+      UnitRx& state = rx_[u][ui];
       if (cfg_.source_coding) {
         (void)innovative_symbol;
         ++state.innovative;
@@ -251,36 +253,34 @@ FrameTxResult TxEngine::run_frame(
       if (t >= budget) break;
       if (!cfg_.rate_control) drain_free = std::max(drain_free, t);
 
-      // Gather this round's reports from the live reception state.
-      transport::ReportCollector collector(faults.frame_id, n_users,
-                                           units.size());
+      // Gather this round's reports from the live reception state. Both the
+      // collector's slots and the staging report reuse their capacity.
+      collector_.reset(faults.frame_id, n_users, units.size());
       for (std::size_t u = 0; u < n_users; ++u) {
         if (feedback_lost(u)) continue;
-        transport::ReceptionReport r;
-        r.frame_id = faults.frame_id;
-        r.user = u;
-        r.symbols_received.resize(units.size());
-        r.unit_decoded.resize(units.size());
+        report_.frame_id = faults.frame_id;
+        report_.user = u;
+        report_.symbols_received.resize(units.size());
+        report_.unit_decoded.resize(units.size());
         for (std::size_t ui = 0; ui < units.size(); ++ui) {
-          r.symbols_received[ui] = rx[u][ui].innovative;
-          r.unit_decoded[ui] = rx[u][ui].decoded ? 1 : 0;
+          report_.symbols_received[ui] = rx_[u][ui].innovative;
+          report_.unit_decoded[ui] = rx_[u][ui].decoded ? 1 : 0;
         }
-        collector.accept(std::move(r));
+        collector_.accept(report_);
       }
 
       bool any = false;
       for (std::size_t ui = 0; ui < units.size() && budget_left; ++ui) {
         for (std::size_t gi = 0; gi < groups.size() && budget_left; ++gi) {
-          const auto key = std::make_pair(gi, ui);
-          const auto it = sent_by_group.find(key);
-          if (it == sent_by_group.end()) continue;  // group doesn't own unit
+          if (sent_[gi * units.size() + ui] == 0)
+            continue;  // group doesn't own unit
           // Deficit P: worst member's shortfall toward decoding this unit
           // (a rank-deficient decode at exactly k asks for one extra).
           const std::size_t k = units[ui].k_symbols;
           std::size_t deficit = 0;
           std::size_t blind = 0;
           for (std::size_t u : groups[gi].members) {
-            if (const auto need = collector.deficit(u, ui, k)) {
+            if (const auto need = collector_.deficit(u, ui, k)) {
               deficit = std::max(deficit, *need);
             } else if (round == 0) {
               // No report: conservative worst case, backed off per frame.
@@ -318,8 +318,8 @@ FrameTxResult TxEngine::run_frame(
         0, n_users, /*grain=*/4, [&](std::size_t b, std::size_t e) {
           for (std::size_t u = b; u < e; ++u) {
             for (std::size_t ui = 0; ui < units.size(); ++ui) {
-              res.user_symbols[u][ui] = rx[u][ui].innovative;
-              res.user_decoded[u][ui] = rx[u][ui].decoded;
+              res.user_symbols[u][ui] = rx_[u][ui].innovative;
+              res.user_decoded[u][ui] = rx_[u][ui].decoded;
             }
           }
         });
@@ -385,20 +385,23 @@ FrameTxResult TxEngine::run_frame(
     });
     // Per-user reception never exceeds what was actually sent to any group
     // containing that user (received <= sent, per unit).
-    std::vector<std::vector<std::size_t>> avail(
-        n_users, std::vector<std::size_t>(units.size(), 0));
-    for (const auto& [key, count] : sent_by_group) {
-      const auto [gi, ui] = key;
-      for (std::size_t u : groups[gi].members) avail[u][ui] += count;
-    }
+    avail_.assign(n_users * units.size(), 0);
+    for (std::size_t gi = 0; gi < groups.size(); ++gi)
+      for (std::size_t ui = 0; ui < units.size(); ++ui) {
+        const std::size_t count = sent_[gi * units.size() + ui];
+        if (count == 0) continue;
+        for (std::size_t u : groups[gi].members)
+          avail_[u * units.size() + ui] += count;
+      }
     for (std::size_t u = 0; u < n_users; ++u) {
       for (std::size_t ui = 0; ui < units.size(); ++ui) {
-        verify::check(res.user_symbols[u][ui] <= avail[u][ui],
+        verify::check(res.user_symbols[u][ui] <= avail_[u * units.size() + ui],
                       "emu.received-exceeds-sent", [&] {
                         return "user " + std::to_string(u) + " unit " +
                                std::to_string(ui) + ": received " +
                                std::to_string(res.user_symbols[u][ui]) +
-                               " > sent " + std::to_string(avail[u][ui]);
+                               " > sent " +
+                               std::to_string(avail_[u * units.size() + ui]);
                       });
         verify::check(!res.user_decoded[u][ui] ||
                           res.user_symbols[u][ui] >= units[ui].k_symbols,
@@ -444,7 +447,6 @@ FrameTxResult TxEngine::run_frame(
     g_backlog.set(static_cast<double>(res.stats.backlog_packets_after));
     h_depth.observe(max_queue_bytes / static_cast<double>(wire));
   }
-  return res;
 }
 
 }  // namespace w4k::emu

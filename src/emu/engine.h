@@ -21,11 +21,11 @@
 #include "common/rng.h"
 #include "emu/loss.h"
 #include "sched/unitmap.h"
+#include "transport/feedback.h"
 #include "transport/leaky_bucket.h"
 #include "transport/packet.h"
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 namespace w4k::emu {
@@ -117,14 +117,52 @@ class TxEngine {
                           std::size_t n_users, Rng& rng,
                           const FrameFaultState& faults = {});
 
+  /// Same simulation writing into a caller-owned result. Both the result's
+  /// per-user rows and the engine's internal scratch (reception state,
+  /// packet queue, buckets, feedback collector) reuse their capacity
+  /// across frames, so a steady-state frame performs zero heap
+  /// allocations. Bit-identical to run_frame().
+  void run_frame_into(const std::vector<sched::UnitSpec>& units,
+                      const std::vector<sched::UnitAssignment>& assignments,
+                      const std::vector<GroupTx>& groups, std::size_t n_users,
+                      Rng& rng, const FrameFaultState& faults,
+                      FrameTxResult& res);
+
   /// Stale bytes still queued from previous frames.
   double backlog_bytes() const { return backlog_bytes_; }
   void clear_backlog() { backlog_bytes_ = 0.0; backlog_rate_ = Mbps{0.0}; }
 
  private:
+  /// Per-user reception state for one coding unit.
+  struct UnitRx {
+    std::size_t innovative = 0;          ///< source-coding mode
+    bool decoded = false;
+    /// Set when the decode attempt at exactly k symbols hit the residual
+    /// 1/256 rank deficiency; one more symbol almost surely completes it.
+    bool needs_extra = false;
+    std::vector<bool> have_index;        ///< systematic mode (size k)
+  };
+
+  struct QueueEntry {
+    Seconds drain_finish = 0.0;
+    std::size_t wire = 0;
+  };
+
   EngineConfig cfg_;
   double backlog_bytes_ = 0.0;
   Mbps backlog_rate_{0.0};  ///< drain rate of the stale backlog
+
+  // --- Per-frame scratch (reset by run_frame_into, capacity reused) ------
+  std::vector<std::vector<UnitRx>> rx_;      ///< [user][unit]
+  std::vector<std::size_t> sent_;            ///< [group * n_units + unit]
+  std::vector<std::size_t> unit_next_esi_;   ///< fresh-ESI counter per unit
+  std::vector<QueueEntry> queue_;            ///< FIFO via queue_head_ cursor
+  std::size_t queue_head_ = 0;
+  std::vector<transport::LeakyBucket> buckets_;
+  std::vector<Seconds> bucket_clock_;
+  transport::ReportCollector collector_{0, 0, 0};
+  transport::ReceptionReport report_;        ///< reused report scratch
+  std::vector<std::size_t> avail_;           ///< verify replay, flat [u][i]
 };
 
 }  // namespace w4k::emu

@@ -75,19 +75,18 @@ FountainEncoder::FountainEncoder(std::span<const std::uint8_t> data,
   std::copy(data.begin(), data.end(), padded_.begin());
 }
 
-Symbol FountainEncoder::encode(Esi esi) const {
+void FountainEncoder::encode_into(Esi esi, Symbol& out) const {
   if (obs::enabled()) symbols_encoded().add(1);
-  Symbol s;
-  s.esi = esi;
+  out.esi = esi;
   if (esi < k_) {
     // Systematic symbol: construct straight from the padded block (no
     // zero-fill-then-copy).
     const auto* src =
         padded_.data() + static_cast<std::size_t>(esi) * symbol_size_;
-    s.data.assign(src, src + symbol_size_);
-    return s;
+    out.data.assign(src, src + symbol_size_);
+    return;
   }
-  s.data.assign(symbol_size_, 0);
+  out.data.assign(symbol_size_, 0);
   // Per-thread scratch row: repair encoding is called k times per unit per
   // receiver deficit, and a fresh allocation per call showed up in the
   // Fig. 2 profile.
@@ -97,25 +96,37 @@ Symbol FountainEncoder::encode(Esi esi) const {
   for (std::size_t i = 0; i < k_; ++i) {
     if (coeffs[i] == 0) continue;
     gf256::mul_add_row(
-        s.data,
+        out.data,
         std::span<const std::uint8_t>(padded_.data() + i * symbol_size_,
                                       symbol_size_),
         coeffs[i]);
   }
+}
+
+Symbol FountainEncoder::encode(Esi esi) const {
+  Symbol s;
+  encode_into(esi, s);
   return s;
 }
 
-std::vector<Symbol> FountainEncoder::encode_batch(Esi first,
-                                                  std::size_t count) const {
-  std::vector<Symbol> out(count);
+void FountainEncoder::encode_batch_into(Esi first, std::size_t count,
+                                        std::span<Symbol> out) const {
+  if (out.size() < count)
+    throw std::invalid_argument("encode_batch_into: output span too small");
   // Each slot is written by exactly one chunk, and every symbol depends
   // only on (padded_, block_seed_, esi), so any pool size produces the
   // serial result bit for bit.
   ThreadPool::shared().parallel_for(
       0, count, /*grain=*/1, [&](std::size_t b, std::size_t e) {
         for (std::size_t i = b; i < e; ++i)
-          out[i] = encode(first + static_cast<Esi>(i));
+          encode_into(first + static_cast<Esi>(i), out[i]);
       });
+}
+
+std::vector<Symbol> FountainEncoder::encode_batch(Esi first,
+                                                  std::size_t count) const {
+  std::vector<Symbol> out(count);
+  encode_batch_into(first, count, out);
   return out;
 }
 
@@ -135,14 +146,36 @@ FountainDecoder::FountainDecoder(std::size_t k, std::size_t symbol_size,
     throw std::invalid_argument("FountainDecoder: source_size too large");
 }
 
+void FountainDecoder::reset(std::size_t k, std::size_t symbol_size,
+                            std::size_t source_size,
+                            std::uint64_t block_seed) {
+  if (k == 0 || symbol_size == 0)
+    throw std::invalid_argument("FountainDecoder: k and symbol_size > 0");
+  if (source_size > k * symbol_size)
+    throw std::invalid_argument("FountainDecoder: source_size too large");
+  k_ = k;
+  symbol_size_ = symbol_size;
+  source_size_ = source_size;
+  block_seed_ = block_seed;
+  symbols_seen_ = 0;
+  pivots_filled_ = 0;
+  // resize keeps existing Row objects (and their buffer capacity); only
+  // clear the occupancy flags.
+  rows_.resize(k);
+  for (Row& r : rows_) r.present = false;
+}
+
 bool FountainDecoder::add_symbol(const Symbol& s) {
   ++symbols_seen_;
   if (obs::enabled()) symbols_received().add(1);
   if (s.data.size() != symbol_size_) return false;
   if (can_decode()) return false;
 
-  std::vector<std::uint8_t> coeffs = coefficient_row(block_seed_, s.esi, k_);
-  std::vector<std::uint8_t> data = s.data;
+  scratch_coeffs_.resize(k_);
+  coefficient_row_into(block_seed_, s.esi, scratch_coeffs_);
+  scratch_data_.assign(s.data.begin(), s.data.end());
+  std::vector<std::uint8_t>& coeffs = scratch_coeffs_;
+  std::vector<std::uint8_t>& data = scratch_data_;
 
   // Reduce against the existing echelon basis.
   for (std::size_t p = 0; p < k_; ++p) {
@@ -167,8 +200,10 @@ bool FountainDecoder::add_symbol(const Symbol& s) {
   gf256::scale_row(coeffs, pivot_inv);
   gf256::scale_row(data, pivot_inv);
 
-  rows_[lead].coeffs = std::move(coeffs);
-  rows_[lead].data = std::move(data);
+  // Swap (not move) so the displaced buffers become the next call's
+  // scratch: the buffer set circulates with zero steady-state allocation.
+  rows_[lead].coeffs.swap(scratch_coeffs_);
+  rows_[lead].data.swap(scratch_data_);
   rows_[lead].present = true;
   ++pivots_filled_;
   if (obs::enabled()) {
@@ -178,32 +213,43 @@ bool FountainDecoder::add_symbol(const Symbol& s) {
   return true;
 }
 
-std::optional<std::vector<std::uint8_t>> FountainDecoder::decode() const {
-  if (!can_decode()) return std::nullopt;
+bool FountainDecoder::decode_into(std::vector<std::uint8_t>& out,
+                                  DecodeWorkspace& ws) const {
+  if (!can_decode()) return false;
 
-  // Back substitution over a copy of the echelon rows.
-  std::vector<std::vector<std::uint8_t>> coeffs(k_);
-  std::vector<std::vector<std::uint8_t>> data(k_);
+  // Back substitution over a copy of the echelon rows (the decoder stays
+  // usable afterwards); the copies live in the workspace and keep their
+  // capacity across calls.
+  ws.coeffs.resize(k_);
+  ws.data.resize(k_);
   for (std::size_t p = 0; p < k_; ++p) {
-    coeffs[p] = rows_[p].coeffs;
-    data[p] = rows_[p].data;
+    ws.coeffs[p] = rows_[p].coeffs;
+    ws.data[p] = rows_[p].data;
   }
   for (std::size_t p = k_; p-- > 0;) {
     for (std::size_t r = 0; r < p; ++r) {
-      const std::uint8_t f = coeffs[r][p];
+      const std::uint8_t f = ws.coeffs[r][p];
       if (f == 0) continue;
-      gf256::mul_add_row(coeffs[r], coeffs[p], f);
-      gf256::mul_add_row(data[r], data[p], f);
+      gf256::mul_add_row(ws.coeffs[r], ws.coeffs[p], f);
+      gf256::mul_add_row(ws.data[r], ws.data[p], f);
     }
   }
-  std::vector<std::uint8_t> out(source_size_);
+  out.assign(source_size_, 0);
   for (std::size_t p = 0; p < k_; ++p) {
     const std::size_t offset = p * symbol_size_;
     if (offset >= source_size_) break;
     const std::size_t n = std::min(symbol_size_, source_size_ - offset);
-    std::copy(data[p].begin(), data[p].begin() + static_cast<std::ptrdiff_t>(n),
+    std::copy(ws.data[p].begin(),
+              ws.data[p].begin() + static_cast<std::ptrdiff_t>(n),
               out.begin() + static_cast<std::ptrdiff_t>(offset));
   }
+  return true;
+}
+
+std::optional<std::vector<std::uint8_t>> FountainDecoder::decode() const {
+  DecodeWorkspace ws;
+  std::vector<std::uint8_t> out;
+  if (!decode_into(out, ws)) return std::nullopt;
   return out;
 }
 

@@ -72,10 +72,22 @@ class FountainEncoder {
   /// thread-local), so batches may encode on the shared ThreadPool.
   Symbol encode(Esi esi) const;
 
+  /// Allocation-free variant: writes the symbol into `out`, reusing
+  /// out.data's capacity (steady-state zero heap traffic once the buffer
+  /// has reached symbol_size). Bit-identical to encode().
+  void encode_into(Esi esi, Symbol& out) const;
+
   /// Encodes `count` consecutive symbols starting at `first`, fanned out
   /// across the shared ThreadPool. Bit-identical to calling encode() in a
   /// loop (symbols are independent), for any pool size.
   std::vector<Symbol> encode_batch(Esi first, std::size_t count) const;
+
+  /// Span-based batch encode: fills out[0..count) in place, reusing each
+  /// slot's data capacity. out.size() must be >= count (throws
+  /// std::invalid_argument). The vector-returning encode_batch is a thin
+  /// wrapper over this.
+  void encode_batch_into(Esi first, std::size_t count,
+                         std::span<Symbol> out) const;
 
   /// Convenience: the next symbol in sequence (0, 1, 2, ...).
   Symbol next();
@@ -89,6 +101,15 @@ class FountainEncoder {
   Esi next_esi_ = 0;
 };
 
+/// Reusable Gaussian-elimination scratch for FountainDecoder::decode_into.
+/// One workspace serves any number of decodes (across units and frames):
+/// the nested row copies used by back substitution keep their capacity
+/// between calls, so the steady state allocates nothing.
+struct DecodeWorkspace {
+  std::vector<std::vector<std::uint8_t>> coeffs;
+  std::vector<std::vector<std::uint8_t>> data;
+};
+
 /// Decoder for one source block.
 class FountainDecoder {
  public:
@@ -97,8 +118,18 @@ class FountainDecoder {
   FountainDecoder(std::size_t k, std::size_t symbol_size,
                   std::size_t source_size, std::uint64_t block_seed);
 
+  /// Re-arms the decoder for a new source block without releasing the
+  /// row-echelon storage: rows_ (and each row's coefficient/data buffers)
+  /// keep their capacity, so a decoder cycled across a frame's coding
+  /// units stops allocating once it has seen the largest unit. Same
+  /// argument validation as the constructor.
+  void reset(std::size_t k, std::size_t symbol_size, std::size_t source_size,
+             std::uint64_t block_seed);
+
   /// Feeds one received symbol. Returns true if it increased the rank
   /// (i.e., was innovative), false if it was redundant or malformed.
+  /// Reduction scratch is reused across calls (no steady-state heap
+  /// traffic).
   bool add_symbol(const Symbol& s);
 
   /// Number of innovative symbols absorbed so far (== current rank).
@@ -109,6 +140,13 @@ class FountainDecoder {
   /// Recovers the source block once can_decode(). Returns std::nullopt if
   /// the rank is still deficient.
   std::optional<std::vector<std::uint8_t>> decode() const;
+
+  /// Allocation-free recovery: back-substitutes using the caller-provided
+  /// workspace and writes the source block into `out` (capacity reused).
+  /// Returns false (leaving `out` untouched) while the rank is deficient.
+  /// decode() is a thin wrapper over this with a private workspace.
+  bool decode_into(std::vector<std::uint8_t>& out,
+                   DecodeWorkspace& ws) const;
 
   /// Symbols received (innovative or not); used for loss accounting.
   std::size_t symbols_seen() const { return symbols_seen_; }
@@ -127,6 +165,10 @@ class FountainDecoder {
     bool present = false;
   };
   std::vector<Row> rows_;
+  // add_symbol reduction scratch; swapped into rows_ on an innovative
+  // symbol so the buffers circulate instead of being reallocated.
+  std::vector<std::uint8_t> scratch_coeffs_;
+  std::vector<std::uint8_t> scratch_data_;
 };
 
 }  // namespace w4k::fec

@@ -74,25 +74,42 @@ DominantSVD packed_dominant_right_singular(const PackedStacks& pack,
                                            std::size_t p, Rng& rng,
                                            int max_iters, double tol) {
   DominantSVD out;
+  packed_dominant_right_singular_into(pack, p, rng, out, max_iters, tol);
+  return out;
+}
+
+void packed_dominant_right_singular_into(const PackedStacks& pack,
+                                         std::size_t p, Rng& rng,
+                                         DominantSVD& out,
+                                         int max_iters, double tol) {
+  out.singular_value = 0.0;
+  out.iterations = 0;
   const std::size_t m = pack.rows_of(p);
   const std::size_t cols = pack.cols;
-  if (m == 0 || cols == 0) return out;
+  if (m == 0 || cols == 0) {
+    out.right_singular.resize_zero(0);
+    return;
+  }
   const Complex* base = pack.rows.data() + pack.offsets[p] * cols;
 
   if (m >= cols) {
     // Tall/square stack: the column-side Gram is the cheaper one and the
-    // CMatrix path already handles it; rebuild and delegate.
+    // CMatrix path already handles it; rebuild and delegate. (Allocating,
+    // but the scheduler's stacks are short-wide: group size < antennas.)
     CMatrix a(m, cols);
     for (std::size_t r = 0; r < m; ++r)
       for (std::size_t c = 0; c < cols; ++c) a(r, c) = base[r * cols + c];
-    return dominant_right_singular(a, rng, max_iters, tol);
+    out = dominant_right_singular(a, rng, max_iters, tol);
+    return;
   }
 
   // Row-side Gram G = A A^H, accumulated exactly as CMatrix::operator*
   // does for (a * a.hermitian()): r outer, k ascending with the zero-skip
   // on a(r, k), c inner — so every G entry sums its terms in the same
   // floating-point order as the unpacked path.
-  CMatrix g(m, m);
+  thread_local CMatrix g;
+  thread_local CVector v, w;
+  g.reshape_zero(m, m);
   for (std::size_t r = 0; r < m; ++r) {
     const Complex* row_r = base + r * cols;
     for (std::size_t k = 0; k < cols; ++k) {
@@ -103,16 +120,21 @@ DominantSVD packed_dominant_right_singular(const PackedStacks& pack,
     }
   }
 
-  CVector v(m);
+  v.resize_zero(m);
   for (std::size_t i = 0; i < v.size(); ++i)
     v[i] = Complex(rng.gaussian(), rng.gaussian());
   if (v.norm() == 0.0) v[0] = 1.0;
-  v = v.normalized();
+  {
+    // In-place normalized(): the same element-wise x /= n as the copy
+    // version, so the iterate is bit-identical.
+    const double n0 = v.norm();
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] /= n0;
+  }
 
   double prev_lambda = 0.0;
   bool zero_matrix = false;
   for (int it = 0; it < max_iters; ++it) {
-    const CVector w = g * v;
+    g.multiply_into(v, w);
     const double lambda = std::real(dot(v, w));
     const double wn = w.norm();
     out.iterations = it + 1;
@@ -121,7 +143,9 @@ DominantSVD packed_dominant_right_singular(const PackedStacks& pack,
       prev_lambda = 0.0;
       break;
     }
-    v = w * Complex(1.0 / wn, 0.0);
+    // v = w * Complex(1/wn, 0): same complex multiply as operator*=.
+    const Complex s(1.0 / wn, 0.0);
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] = w[i] * s;
     if (it > 0 && std::abs(lambda - prev_lambda) <=
                       tol * std::max(1.0, std::abs(lambda))) {
       prev_lambda = lambda;
@@ -131,24 +155,23 @@ DominantSVD packed_dominant_right_singular(const PackedStacks& pack,
   }
 
   // Recovery rv = A^H u1: rv[k] = sum_c conj(a(c, k)) v[c], c ascending —
-  // the same term order as (a.hermitian() * v).
-  CVector rv(cols);
+  // the same term order as (a.hermitian() * v). Accumulated straight into
+  // the output vector (capacity reused) and scaled in place.
+  out.right_singular.resize_zero(cols);
   for (std::size_t k = 0; k < cols; ++k) {
     Complex s = 0.0;
     for (std::size_t c = 0; c < m; ++c)
       s += std::conj(base[c * cols + k]) * v[c];
-    rv[k] = s;
+    out.right_singular[k] = s;
   }
-  const double rn = rv.norm();
+  const double rn = out.right_singular.norm();
   if (rn > 0.0 && !zero_matrix) {
-    out.right_singular = rv * Complex(1.0 / rn, 0.0);
+    out.right_singular *= Complex(1.0 / rn, 0.0);
   } else {
-    CVector e(cols);
-    e[0] = 1.0;
-    out.right_singular = e;
+    out.right_singular.resize_zero(cols);
+    out.right_singular[0] = 1.0;
   }
   out.singular_value = std::sqrt(std::max(0.0, prev_lambda));
-  return out;
 }
 
 std::vector<EigenPair> hermitian_eigen(const CMatrix& h, int sweeps,

@@ -61,6 +61,18 @@ DominantSVD packed_dominant_right_singular(const PackedStacks& pack,
                                            int max_iters = 500,
                                            double tol = 1e-12);
 
+/// Allocation-free variant for the short-wide (rows < cols) case: the Gram
+/// matrix, iterates, and recovery vector live in thread-local scratch and
+/// `out.right_singular` reuses its capacity, so the per-frame beamforming
+/// path performs zero heap allocations in steady state. The rows >= cols
+/// fallback still delegates to the (allocating) CMatrix path. Values are
+/// bit-identical to packed_dominant_right_singular.
+void packed_dominant_right_singular_into(const PackedStacks& pack,
+                                         std::size_t p, Rng& rng,
+                                         DominantSVD& out,
+                                         int max_iters = 500,
+                                         double tol = 1e-12);
+
 /// One eigenpair of a Hermitian matrix.
 struct EigenPair {
   double value = 0.0;

@@ -75,6 +75,17 @@ CVector CMatrix::operator*(const CVector& x) const {
   return y;
 }
 
+void CMatrix::multiply_into(const CVector& x, CVector& y) const {
+  if (cols_ != x.size())
+    throw std::invalid_argument("matrix-vector size mismatch");
+  y.resize_zero(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    Complex s = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) s += (*this)(r, c) * x[c];
+    y[r] = s;
+  }
+}
+
 CMatrix CMatrix::operator*(const CMatrix& other) const {
   if (cols_ != other.rows_)
     throw std::invalid_argument("matrix-matrix size mismatch");

@@ -41,6 +41,11 @@ class CVector {
 
   const std::vector<Complex>& raw() const { return data_; }
 
+  /// Re-sizes to n elements, all zero. Capacity is reused (never shrinks),
+  /// so hot-loop callers can cycle a scratch vector through many sizes
+  /// without reallocating.
+  void resize_zero(std::size_t n) { data_.assign(n, Complex{}); }
+
   /// Euclidean norm.
   double norm() const;
   /// Sum of |x_i|^2 (norm squared).
@@ -89,8 +94,19 @@ class CMatrix {
   /// Conjugate transpose.
   CMatrix hermitian() const;
 
+  /// Re-shapes to rows x cols with every entry zero. Capacity is reused
+  /// (never shrinks) — the scratch-matrix analogue of CVector::resize_zero.
+  void reshape_zero(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, Complex{});
+  }
+
   /// Matrix-vector product. Throws std::invalid_argument on size mismatch.
   CVector operator*(const CVector& x) const;
+  /// Matrix-vector product into a caller-provided vector (resized in
+  /// place, capacity reused). Bit-identical to operator*.
+  void multiply_into(const CVector& x, CVector& y) const;
   /// Matrix-matrix product. Throws std::invalid_argument on size mismatch.
   CMatrix operator*(const CMatrix& other) const;
 

@@ -5,12 +5,17 @@
 
 namespace w4k::model {
 
-Vec Features::to_input() const {
-  Vec x;
+void Features::to_input_into(Vec& x) const {
+  x.clear();
   x.reserve(kFeatureCount);
   for (double f : fraction) x.push_back(f);
   for (double s : up_to_layer) x.push_back(s);
   x.push_back(blank);
+}
+
+Vec Features::to_input() const {
+  Vec x;
+  to_input_into(x);
   return x;
 }
 

@@ -29,6 +29,10 @@ struct Features {
 
   /// Flattens to the 9-element network input.
   Vec to_input() const;
+
+  /// Allocation-free variant: writes into `x` (resized to kFeatureCount,
+  /// capacity reused). to_input() wraps this.
+  void to_input_into(Vec& x) const;
 };
 
 inline constexpr std::size_t kFeatureCount = 9;

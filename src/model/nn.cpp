@@ -30,42 +30,45 @@ Dense::Dense(std::size_t in, std::size_t out, bool sig, Rng& rng)
   for (auto& w : w_) w = rng.uniform(-limit, limit);
 }
 
-Vec Dense::forward(const Vec& x) {
+const Vec& Dense::forward_cached(const Vec& x) {
   if (x.size() != in_) throw std::invalid_argument("Dense: input size mismatch");
-  last_x_ = x;
-  Vec y(out_);
+  last_x_ = x;  // copy-assign reuses capacity
+  last_act_.resize(out_);
   for (std::size_t o = 0; o < out_; ++o) {
     double z = b_[o];
     const double* row = w_.data() + o * in_;
-    for (std::size_t i = 0; i < in_; ++i) z += row[i] * x[i];
-    y[o] = sigmoid_ ? sigmoid(z) : z;
+    for (std::size_t i = 0; i < in_; ++i) z += row[i] * last_x_[i];
+    last_act_[o] = sigmoid_ ? sigmoid(z) : z;
   }
-  last_act_ = y;
-  return y;
+  return last_act_;
 }
 
-Vec Dense::backward(const Vec& grad_out) {
+Vec Dense::forward(const Vec& x) { return forward_cached(x); }
+
+const Vec& Dense::backward_cached(const Vec& grad_out) {
   if (grad_out.size() != out_)
     throw std::invalid_argument("Dense: gradient size mismatch");
-  Vec dz(out_);
+  dz_.resize(out_);
   for (std::size_t o = 0; o < out_; ++o) {
     // d sigmoid(z) / dz = s * (1 - s) where s is the cached activation.
-    dz[o] = sigmoid_ ? grad_out[o] * last_act_[o] * (1.0 - last_act_[o])
-                     : grad_out[o];
+    dz_[o] = sigmoid_ ? grad_out[o] * last_act_[o] * (1.0 - last_act_[o])
+                      : grad_out[o];
   }
-  Vec dx(in_, 0.0);
+  dx_.assign(in_, 0.0);
   for (std::size_t o = 0; o < out_; ++o) {
     double* grow = gw_.data() + o * in_;
     const double* wrow = w_.data() + o * in_;
-    const double d = dz[o];
+    const double d = dz_[o];
     gb_[o] += d;
     for (std::size_t i = 0; i < in_; ++i) {
       grow[i] += d * last_x_[i];
-      dx[i] += wrow[i] * d;
+      dx_[i] += wrow[i] * d;
     }
   }
-  return dx;
+  return dx_;
 }
+
+Vec Dense::backward(const Vec& grad_out) { return backward_cached(grad_out); }
 
 void Dense::zero_grad() {
   std::fill(gw_.begin(), gw_.end(), 0.0);
@@ -130,29 +133,40 @@ Network Network::quality_topology(std::size_t in, std::size_t hidden_layers,
   return net;
 }
 
-Vec Network::forward(const Vec& x) {
-  Vec h = x;
-  for (auto& layer : layers_) h = layer.forward(h);
-  return h;
+const Vec& Network::forward_cached(const Vec& x) {
+  if (layers_.empty())
+    throw std::logic_error("Network::forward_cached: no layers");
+  const Vec* h = &x;
+  for (auto& layer : layers_) h = &layer.forward_cached(*h);
+  return *h;
 }
+
+Vec Network::forward(const Vec& x) { return forward_cached(x); }
 
 Vec Network::backward(const Vec& grad_out) {
-  Vec g = grad_out;
+  const Vec* g = &grad_out;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
-    g = it->backward(g);
-  return g;
+    g = &it->backward_cached(*g);
+  return *g;
 }
 
-Vec Network::input_gradient(const Vec& x) {
-  const Vec out = forward(x);
+const Vec& Network::input_gradient_cached(const Vec& x) {
+  const Vec& out = forward_cached(x);
   if (out.size() != 1)
     throw std::logic_error("input_gradient: network must have one output");
   // Seed gradient of 1 on the single output; weight-gradient accumulation
-  // is unwanted here, so clear it afterwards.
-  Vec g = backward(Vec{1.0});
+  // is unwanted here, so clear it afterwards. The seed lives in reusable
+  // per-thread scratch so the gradient path stays allocation-free.
+  thread_local Vec seed;
+  seed.assign(1, 1.0);
+  const Vec* g = &seed;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = &it->backward_cached(*g);
   zero_grad();
-  return g;
+  return *g;
 }
+
+Vec Network::input_gradient(const Vec& x) { return input_gradient_cached(x); }
 
 void Network::zero_grad() {
   for (auto& layer : layers_) layer.zero_grad();

@@ -30,9 +30,18 @@ class Dense {
   /// Forward pass; caches input and pre-activation for backward().
   Vec forward(const Vec& x);
 
+  /// Allocation-free forward: computes into an internal activation buffer
+  /// (reused across calls) and returns a reference to it. The reference is
+  /// valid until the next forward on this layer. forward() wraps this.
+  const Vec& forward_cached(const Vec& x);
+
   /// Backward pass for the most recent forward(). Accumulates weight/bias
   /// gradients internally and returns dL/dx.
   Vec backward(const Vec& grad_out);
+
+  /// Allocation-free backward: dL/dx lands in an internal buffer (reused
+  /// across calls, valid until the next backward on this layer).
+  const Vec& backward_cached(const Vec& grad_out);
 
   /// Zeroes accumulated gradients.
   void zero_grad();
@@ -55,6 +64,8 @@ class Dense {
   Vec mw_, vw_, mb_, vb_;
   // Cached forward state.
   Vec last_x_, last_act_;
+  // Reused backward scratch (dz and dL/dx).
+  Vec dz_, dx_;
 };
 
 /// A stack of Dense layers.
@@ -77,6 +88,13 @@ class Network {
   /// d(output[0]) / d(input): forward + backward with unit seed gradient.
   /// Only valid for single-output networks.
   Vec input_gradient(const Vec& x);
+
+  /// Allocation-free variants for the per-frame optimizer hot loop: the
+  /// returned reference points into the last layer's (respectively first
+  /// layer's) internal buffer and is valid until the next call. Same
+  /// arithmetic, bit-identical results.
+  const Vec& forward_cached(const Vec& x);
+  const Vec& input_gradient_cached(const Vec& x);
 
   void zero_grad();
   void adam_step(double lr, long step, std::size_t batch,

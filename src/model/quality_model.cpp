@@ -18,13 +18,15 @@ double QualityModel::evaluate(const std::vector<Example>& data) {
 }
 
 double QualityModel::predict(const Features& f) {
-  const Vec out = net_.forward(f.to_input());
+  f.to_input_into(input_);
+  const Vec& out = net_.forward_cached(input_);
   return std::clamp(out[0], 0.0, 1.0);
 }
 
 std::array<double, video::kNumLayers> QualityModel::fraction_gradient(
     const Features& f) {
-  const Vec g = net_.input_gradient(f.to_input());
+  f.to_input_into(input_);
+  const Vec& g = net_.input_gradient_cached(input_);
   // The first kNumLayers inputs are the reception fractions (see
   // Features::to_input); the rest are content features, constant during
   // schedule optimization.

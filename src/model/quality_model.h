@@ -44,6 +44,7 @@ class QualityModel {
 
  private:
   Network net_;
+  Vec input_;  ///< reused feature-flattening scratch (predict/gradient)
 };
 
 }  // namespace w4k::model

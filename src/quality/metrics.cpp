@@ -84,7 +84,14 @@ BandSums plane_sums(const video::Plane& a, const video::Plane& b) {
   const std::size_t n_wrows =
       static_cast<std::size_t>((a.height - kWindow) / kStride) + 1;
   const std::size_t n_bands = (n_wrows + kBandRows - 1) / kBandRows;
-  std::vector<BandSums> bands(n_bands);
+  // Per-thread band scratch: ssim runs once per user per frame in the
+  // emulator, and the band vector is the only allocation on that path.
+  // The local reference is load-bearing: thread_local variables are not
+  // captured by lambdas, so without it each pool worker would touch its
+  // own (empty) instance instead of the dispatcher's.
+  thread_local std::vector<BandSums> bands_tls;
+  std::vector<BandSums>& bands = bands_tls;
+  bands.assign(n_bands, BandSums{});
   ThreadPool::shared().parallel_for(
       0, n_wrows, kBandRows, [&](std::size_t wr_begin, std::size_t wr_end) {
         bands[wr_begin / kBandRows] = band_sums(a, b, wr_begin, wr_end);
@@ -185,7 +192,9 @@ double psnr(const video::Plane& reference, const video::Plane& distorted) {
   const std::size_t n = reference.pix.size();
   constexpr std::size_t kGrain = 1 << 16;
   const std::size_t n_bands = (n + kGrain - 1) / kGrain;
-  std::vector<double> partial(n_bands, 0.0);
+  thread_local std::vector<double> partial_tls;
+  std::vector<double>& partial = partial_tls;
+  partial.assign(n_bands, 0.0);
   ThreadPool::shared().parallel_for(
       0, n, kGrain, [&](std::size_t b, std::size_t e) {
         double se = 0.0;

@@ -10,6 +10,14 @@
 #include <numeric>
 #include <stdexcept>
 
+// The optimizer runs on the session's decide() thread (never on the
+// ThreadPool), so its working sets live in thread_local never-shrinking
+// buffers: after a few warmup frames every evaluate/gradient/refine pass
+// reuses capacity and the whole optimization performs zero heap
+// allocations. Concurrent sessions on different threads each get their
+// own scratch. All thread_local state here is used directly in function
+// scope — none of it is referenced from ThreadPool lambdas.
+
 namespace w4k::sched {
 namespace {
 
@@ -36,11 +44,14 @@ using BindingGroups = std::vector<std::array<std::size_t, video::kNumLayers>>;
 /// units, so they are not worthless. effective = (1-k)*max + k*sum.
 inline constexpr double kOverlapValue = 0.25;
 
-std::vector<LayerArray> user_bytes_for(const AllocProblem& p,
-                                       const std::vector<double>& t,
-                                       BindingGroups* binding = nullptr) {
-  std::vector<LayerArray> max_d(p.n_users, LayerArray{});
-  std::vector<LayerArray> sum_d(p.n_users, LayerArray{});
+void user_bytes_for_into(const AllocProblem& p, const std::vector<double>& t,
+                         std::vector<LayerArray>& d,
+                         BindingGroups* binding = nullptr) {
+  thread_local std::vector<LayerArray> max_d_tls, sum_d_tls;
+  std::vector<LayerArray>& max_d = max_d_tls;
+  std::vector<LayerArray>& sum_d = sum_d_tls;
+  max_d.assign(p.n_users, LayerArray{});
+  sum_d.assign(p.n_users, LayerArray{});
   if (binding != nullptr)
     binding->assign(p.n_users, {~std::size_t{0}, ~std::size_t{0},
                                 ~std::size_t{0}, ~std::size_t{0}});
@@ -59,14 +70,13 @@ std::vector<LayerArray> user_bytes_for(const AllocProblem& p,
       }
     }
   }
-  std::vector<LayerArray> d(p.n_users, LayerArray{});
+  d.assign(p.n_users, LayerArray{});
   for (std::size_t u = 0; u < p.n_users; ++u)
     for (int j = 0; j < video::kNumLayers; ++j) {
       const auto js = static_cast<std::size_t>(j);
       d[u][js] = (1.0 - kOverlapValue) * max_d[u][js] +
                  kOverlapValue * sum_d[u][js];
     }
-  return d;
 }
 
 model::Features features_for(const AllocProblem& p, const LayerArray& d) {
@@ -81,10 +91,9 @@ model::Features features_for(const AllocProblem& p, const LayerArray& d) {
   return f;
 }
 
-Eval evaluate(const AllocProblem& p, model::QualityModel& q,
-              const std::vector<double>& t) {
-  Eval e;
-  e.user_bytes = user_bytes_for(p, t);
+void evaluate_into(const AllocProblem& p, model::QualityModel& q,
+                   const std::vector<double>& t, Eval& e) {
+  user_bytes_for_into(p, t, e.user_bytes);
   // Penalize *transmitted* traffic: with max-based effective reception,
   // penalizing received bytes would make redundant transmissions free.
   double traffic = 0.0;
@@ -95,23 +104,27 @@ Eval evaluate(const AllocProblem& p, model::QualityModel& q,
           t[g * video::kNumLayers + static_cast<std::size_t>(j)] *
           rate_bytes_per_s;
   }
+  e.ssim.clear();
   for (std::size_t u = 0; u < p.n_users; ++u)
     e.ssim.push_back(q.predict(features_for(p, e.user_bytes[u])));
   e.objective = std::accumulate(e.ssim.begin(), e.ssim.end(), 0.0) -
                 p.lambda * traffic;
-  return e;
 }
 
-std::vector<double> gradient(const AllocProblem& p, model::QualityModel& q,
-                             const std::vector<double>& t) {
-  BindingGroups binding;
-  const std::vector<LayerArray> d = user_bytes_for(p, t, &binding);
+void gradient_into(const AllocProblem& p, model::QualityModel& q,
+                   const std::vector<double>& t, std::vector<double>& grad) {
+  thread_local BindingGroups binding_tls;
+  thread_local std::vector<LayerArray> d_tls, gfrac_tls;
+  BindingGroups& binding = binding_tls;
+  std::vector<LayerArray>& d = d_tls;
+  std::vector<LayerArray>& gfrac = gfrac_tls;
+  user_bytes_for_into(p, t, d, &binding);
   // Per-user quality gradients w.r.t. reception fraction.
-  std::vector<LayerArray> gfrac(p.n_users);
+  gfrac.assign(p.n_users, LayerArray{});
   for (std::size_t u = 0; u < p.n_users; ++u)
     gfrac[u] = q.fraction_gradient(features_for(p, d[u]));
 
-  std::vector<double> grad(t.size(), 0.0);
+  grad.assign(t.size(), 0.0);
   for (std::size_t g = 0; g < p.groups.size(); ++g) {
     const double rate_bytes_per_s = p.groups[g].beam.rate.value * 1e6 / 8.0;
     for (int j = 0; j < video::kNumLayers; ++j) {
@@ -129,7 +142,6 @@ std::vector<double> gradient(const AllocProblem& p, model::QualityModel& q,
       grad[g * video::kNumLayers + js] = dq * rate_bytes_per_s;
     }
   }
-  return grad;
 }
 
 }  // namespace
@@ -161,7 +173,9 @@ void project_to_simplex(std::vector<double>& t, double budget) {
   if (sum <= budget) return;
   // Euclidean projection onto {x >= 0, sum x = budget} (Held et al.):
   // find tau such that sum max(0, x - tau) = budget.
-  std::vector<double> sorted = t;
+  thread_local std::vector<double> sorted_tls;
+  std::vector<double>& sorted = sorted_tls;
+  sorted = t;
   std::sort(sorted.begin(), sorted.end(), std::greater<>());
   double cumulative = 0.0;
   double tau = 0.0;
@@ -181,15 +195,18 @@ namespace {
 
 /// Defined with round_robin_allocation below; also used as an optimizer
 /// starting point.
-std::vector<double> round_robin_times(
-    const AllocProblem& p, Seconds slot,
-    const std::vector<std::size_t>* subset = nullptr);
+void round_robin_times_into(const AllocProblem& p, Seconds slot,
+                            const std::vector<std::size_t>* subset,
+                            std::vector<double>& t);
 
 /// Greedy set cover: repeatedly the group covering the most uncovered
 /// users (ties by rate). Low-redundancy multicast-leaning start.
-std::vector<std::size_t> set_cover_groups(const AllocProblem& p) {
-  std::vector<bool> covered(p.n_users, false);
-  std::vector<std::size_t> chosen;
+void set_cover_groups_into(const AllocProblem& p,
+                           std::vector<std::size_t>& chosen) {
+  thread_local std::vector<bool> covered_tls;
+  std::vector<bool>& covered = covered_tls;
+  covered.assign(p.n_users, false);
+  chosen.clear();
   std::size_t n_covered = 0;
   while (n_covered < p.n_users) {
     std::size_t best_g = p.groups.size();
@@ -216,14 +233,14 @@ std::vector<std::size_t> set_cover_groups(const AllocProblem& p) {
     }
   }
   if (chosen.empty()) chosen.push_back(0);
-  return chosen;
 }
 
 /// Per-user best dedicated group (fewest members, ties by rate): a
 /// unicast-leaning start. Escapes the local optimum where a weak shared
 /// beam looks unavoidable to the exchange steps.
-std::vector<std::size_t> per_user_groups(const AllocProblem& p) {
-  std::vector<std::size_t> chosen;
+void per_user_groups_into(const AllocProblem& p,
+                          std::vector<std::size_t>& chosen) {
+  chosen.clear();
   for (std::size_t u = 0; u < p.n_users; ++u) {
     std::size_t best_g = p.groups.size();
     std::size_t best_size = ~std::size_t{0};
@@ -241,7 +258,6 @@ std::vector<std::size_t> per_user_groups(const AllocProblem& p) {
     if (best_g != p.groups.size()) chosen.push_back(best_g);
   }
   if (chosen.empty()) chosen.push_back(0);
-  return chosen;
 }
 
 /// Efficiency cover: repeatedly the group maximizing
@@ -249,9 +265,12 @@ std::vector<std::size_t> per_user_groups(const AllocProblem& p) {
 /// makes a shared beam worth it. Seeds genuine multicast pairs/triples the
 /// exchange steps cannot reach from a singleton optimum (crossing the
 /// valley where a shared group is loaded but not yet binding).
-std::vector<std::size_t> efficiency_cover_groups(const AllocProblem& p) {
-  std::vector<bool> covered(p.n_users, false);
-  std::vector<std::size_t> chosen;
+void efficiency_cover_groups_into(const AllocProblem& p,
+                                  std::vector<std::size_t>& chosen) {
+  thread_local std::vector<bool> covered_tls;
+  std::vector<bool>& covered = covered_tls;
+  covered.assign(p.n_users, false);
+  chosen.clear();
   std::size_t n_covered = 0;
   while (n_covered < p.n_users) {
     std::size_t best_g = p.groups.size();
@@ -276,7 +295,6 @@ std::vector<std::size_t> efficiency_cover_groups(const AllocProblem& p) {
     }
   }
   if (chosen.empty()) chosen.push_back(0);
-  return chosen;
 }
 
 /// One local refinement pass (pairwise Frank-Wolfe style exchange): each
@@ -290,28 +308,39 @@ struct RefineResult {
   int iters = 0;
 };
 
-RefineResult refine(const AllocProblem& p, model::QualityModel& quality,
-                    const OptimizerConfig& cfg, std::vector<double> t,
+/// In-place refine: r.t holds the init on entry and the refined plan on
+/// exit; r.eval its evaluation. Value-identical to refining a fresh copy
+/// (the candidate swap below replaces the historical vector move).
+void refine_inplace(const AllocProblem& p, model::QualityModel& quality,
+                    const OptimizerConfig& cfg, RefineResult& r,
                     const std::vector<bool>* allowed) {
+  std::vector<double>& t = r.t;
   const std::size_t dims = p.groups.size() * video::kNumLayers;
-  Eval best = evaluate(p, quality, t);
+  evaluate_into(p, quality, t, r.eval);
   double step = cfg.initial_step;
   int iters = 0;
   double total = 0.0;
   for (double x : t) total += x;
+  thread_local std::vector<double> grad_tls, cand_tls;
+  thread_local std::vector<LayerArray> d_tls;
+  thread_local Eval trial_tls;
+  std::vector<double>& grad = grad_tls;
+  std::vector<double>& cand = cand_tls;
+  std::vector<LayerArray>& d = d_tls;
+  Eval& trial = trial_tls;
   // One exchange touches two coordinates; large group sets need a
   // proportionally larger budget to redistribute across them.
   const int max_iters =
       std::max(cfg.max_iterations, static_cast<int>(2 * dims));
   for (; iters < max_iters && step >= cfg.min_step; ++iters) {
-    // Anytime cutoff: `best` always holds an evaluated feasible plan (the
+    // Anytime cutoff: r.eval always holds an evaluated feasible plan (the
     // init's evaluation before the first exchange), so breaking here at
     // any point returns best-so-far. No deadline means no clock reads.
     if (cfg.deadline &&
         std::chrono::steady_clock::now() >= *cfg.deadline)
       break;
-    const std::vector<double> grad = gradient(p, quality, t);
-    const std::vector<LayerArray> d = user_bytes_for(p, t);
+    gradient_into(p, quality, t, grad);
+    user_bytes_for_into(p, t, d);
 
     // Top gradient coordinates, best first. Trying several before
     // backtracking matters in large group sets: the single argmax can
@@ -372,7 +401,7 @@ RefineResult refine(const AllocProblem& p, model::QualityModel& quality,
     for (std::size_t k = 0; k < kTargets && !improved; ++k) {
       const std::size_t imax = targets[k];
       if (imax == dims) break;
-      std::vector<double> cand = t;
+      cand = t;  // copy-assign: capacity reused
       double cand_total = total;
       if (slack > 1e-9 && grad[imax] > 0.0) {
         const double add = std::min(step, slack);
@@ -386,45 +415,44 @@ RefineResult refine(const AllocProblem& p, model::QualityModel& quality,
         cand[imin] -= move;
         cand[imax] += move;
       }
-      const Eval e = evaluate(p, quality, cand);
-      if (e.objective > best.objective + 1e-12) {
-        t = std::move(cand);
+      evaluate_into(p, quality, cand, trial);
+      if (trial.objective > r.eval.objective + 1e-12) {
+        t.swap(cand);
         total = cand_total;
-        best = e;
+        r.eval = trial;  // copy-assign: capacity reused
         step *= 1.3;
         improved = true;
       }
     }
     if (!improved) step *= 0.5;  // all targets failed at this step size
   }
-  return RefineResult{std::move(t), std::move(best), iters};
+  r.iters = iters;
 }
 
-/// Packages a refined time vector and its evaluation as an Allocation.
-Allocation to_allocation(const AllocProblem& p, const std::vector<double>& t,
-                         const Eval& e, int iters) {
-  Allocation result;
-  result.iterations = iters;
-  result.objective = e.objective;
-  result.user_bytes = e.user_bytes;
-  result.predicted_ssim = e.ssim;
-  result.time.resize(p.groups.size());
-  result.bytes.resize(p.groups.size());
+/// Packages a refined time vector and its evaluation into the caller's
+/// Allocation (store reshaped in place, capacity reused).
+void fill_allocation(const AllocProblem& p, const std::vector<double>& t,
+                     const Eval& e, int iters, Allocation& out) {
+  out.reset(p.groups.size(), p.n_users);
+  out.iterations = iters;
+  out.objective = e.objective;
+  out.predicted_ssim = e.ssim;
   for (std::size_t g = 0; g < p.groups.size(); ++g) {
     const double rate_bytes_per_s = p.groups[g].beam.rate.value * 1e6 / 8.0;
     for (int j = 0; j < video::kNumLayers; ++j) {
       const auto js = static_cast<std::size_t>(j);
-      result.time[g][js] = t[g * video::kNumLayers + js];
-      result.bytes[g][js] = result.time[g][js] * rate_bytes_per_s;
+      out.time(g)[js] = t[g * video::kNumLayers + js];
+      out.bytes(g)[js] = out.time(g)[js] * rate_bytes_per_s;
     }
   }
-  return result;
+  for (std::size_t u = 0; u < e.user_bytes.size(); ++u)
+    out.user_bytes(u) = e.user_bytes[u];
 }
 
 /// Coordinates belonging to groups the init actually loaded (all layers).
-std::vector<bool> support_mask(const AllocProblem& p,
-                               const std::vector<double>& init) {
-  std::vector<bool> allowed(init.size(), false);
+void support_mask_into(const AllocProblem& p, const std::vector<double>& init,
+                       std::vector<bool>& allowed) {
+  allowed.assign(init.size(), false);
   for (std::size_t g = 0; g < p.groups.size(); ++g) {
     bool loaded = false;
     for (int j = 0; j < video::kNumLayers; ++j)
@@ -434,7 +462,6 @@ std::vector<bool> support_mask(const AllocProblem& p,
       for (int j = 0; j < video::kNumLayers; ++j)
         allowed[g * video::kNumLayers + static_cast<std::size_t>(j)] = true;
   }
-  return allowed;
 }
 
 }  // namespace
@@ -448,22 +475,22 @@ void check_allocation(const AllocProblem& p, const Allocation& a,
                       const char* who) {
   if (!verify::enabled()) return;
   double total = 0.0;
-  for (std::size_t g = 0; g < a.time.size(); ++g) {
+  for (std::size_t g = 0; g < a.group_count(); ++g) {
     const double rate_bytes_per_s = p.groups[g].beam.rate.value * 1e6 / 8.0;
     for (int j = 0; j < video::kNumLayers; ++j) {
       const auto js = static_cast<std::size_t>(j);
-      const double t = a.time[g][js];
+      const double t = a.time(g)[js];
       verify::check(t >= 0.0, "sched.negative-time", [&] {
         return std::string(who) + ": time[" + std::to_string(g) + "][" +
                std::to_string(js) + "] = " + std::to_string(t);
       });
       verify::check(
-          std::abs(a.bytes[g][js] - t * rate_bytes_per_s) <=
-              1e-6 * std::max(1.0, std::abs(a.bytes[g][js])),
+          std::abs(a.bytes(g)[js] - t * rate_bytes_per_s) <=
+              1e-6 * std::max(1.0, std::abs(a.bytes(g)[js])),
           "sched.bytes-time-mismatch", [&] {
             return std::string(who) + ": bytes[" + std::to_string(g) + "][" +
                    std::to_string(js) + "] = " +
-                   std::to_string(a.bytes[g][js]) + " but time*rate = " +
+                   std::to_string(a.bytes(g)[js]) + " but time*rate = " +
                    std::to_string(t * rate_bytes_per_s);
           });
       total += t;
@@ -529,10 +556,10 @@ std::size_t repair_coverage(const AllocProblem& p, std::vector<double>& t) {
 
 }  // namespace
 
-Allocation optimize_allocation(const AllocProblem& p,
-                               model::QualityModel& quality,
-                               const OptimizerConfig& cfg,
-                               const std::vector<double>* warm_start) {
+void optimize_allocation_into(const AllocProblem& p,
+                              model::QualityModel& quality, Allocation& out,
+                              const OptimizerConfig& cfg,
+                              const std::vector<double>* warm_start) {
   if (p.groups.empty())
     throw std::invalid_argument("optimize_allocation: no usable groups");
   if (p.n_users == 0)
@@ -541,7 +568,7 @@ Allocation optimize_allocation(const AllocProblem& p,
   static obs::Stage& st = obs::stage("sched.optimize");
   obs::StageSpan span(st);
 
-  const auto finish = [&](Allocation result) {
+  const auto finish = [&](const Allocation& result) {
     if (obs::enabled()) {
       auto& reg = obs::MetricsRegistry::global();
       static obs::Counter& c_calls = reg.counter("sched.optimize_calls");
@@ -554,16 +581,15 @@ Allocation optimize_allocation(const AllocProblem& p,
       g_obj.set(result.objective);
     }
     check_allocation(p, result, "optimize_allocation");
-    return result;
   };
 
   // Deadline runs get the coverage safety net before results leave; the
   // no-deadline path bypasses it entirely (bit-stable output).
-  const auto finalize = [&](std::vector<double> t, Eval e, int iters) {
+  const auto finalize = [&](std::vector<double>& t, Eval& e, int iters) {
     if (cfg.deadline) {
       const std::size_t repaired = repair_coverage(p, t);
       if (repaired > 0) {
-        e = evaluate(p, quality, t);
+        evaluate_into(p, quality, t, e);
         if (obs::enabled()) {
           static obs::Counter& c_repaired =
               obs::MetricsRegistry::global().counter(
@@ -572,7 +598,8 @@ Allocation optimize_allocation(const AllocProblem& p,
         }
       }
     }
-    return finish(to_allocation(p, t, e, iters));
+    fill_allocation(p, t, e, iters, out);
+    finish(out);
   };
 
   // --- Warm path: refine the previous frame's allocation directly. ------
@@ -585,11 +612,13 @@ Allocation optimize_allocation(const AllocProblem& p,
   // changed too much, and the multi-start below runs as the fallback.
   const std::size_t dims = p.groups.size() * video::kNumLayers;
   if (warm_start != nullptr && warm_start->size() == dims) {
-    std::vector<double> t = *warm_start;
+    thread_local RefineResult warm_tls;
+    RefineResult& warm = warm_tls;
+    warm.t = *warm_start;  // copy-assign: capacity reused
     bool finite = true;
-    for (double x : t) finite &= std::isfinite(x);
+    for (double x : warm.t) finite &= std::isfinite(x);
     if (finite) {
-      project_to_simplex(t, p.time_budget);
+      project_to_simplex(warm.t, p.time_budget);
       // A warm start that leaves some group-served user at exactly zero
       // airtime is not a safe fast path: the quality model's gradient is
       // nearly flat at zero delivered bytes, so a lone refine can fail to
@@ -597,11 +626,15 @@ Allocation optimize_allocation(const AllocProblem& p,
       // re-entering after quarantine/blockage produces (their groups were
       // absent from the previous frame, so the remap left them at zero).
       // The multi-start's per-user and covering seeds exist for that case.
-      std::vector<std::uint8_t> grouped(p.n_users, 0), served(p.n_users, 0);
+      thread_local std::vector<std::uint8_t> grouped_tls, served_tls;
+      std::vector<std::uint8_t>& grouped = grouped_tls;
+      std::vector<std::uint8_t>& served = served_tls;
+      grouped.assign(p.n_users, 0);
+      served.assign(p.n_users, 0);
       for (std::size_t g = 0; g < p.groups.size(); ++g) {
         double tg = 0.0;
         for (std::size_t j = 0; j < video::kNumLayers; ++j)
-          tg += t[g * video::kNumLayers + j];
+          tg += warm.t[g * video::kNumLayers + j];
         for (std::size_t u : p.groups[g].members) {
           grouped[u] = 1;
           if (tg > 0.0) served[u] = 1;
@@ -617,9 +650,14 @@ Allocation optimize_allocation(const AllocProblem& p,
         c_fb_unserved.add(1);
       }
       if (serves_all &&
-          std::accumulate(t.begin(), t.end(), 0.0) > 0.0) {
-        RefineResult warm = refine(p, quality, cfg, std::move(t), nullptr);
-        const Eval floor = evaluate(p, quality, round_robin_times(p, 1e-3));
+          std::accumulate(warm.t.begin(), warm.t.end(), 0.0) > 0.0) {
+        refine_inplace(p, quality, cfg, warm, nullptr);
+        thread_local std::vector<double> floor_t_tls;
+        thread_local Eval floor_tls;
+        std::vector<double>& floor_t = floor_t_tls;
+        Eval& floor = floor_tls;
+        round_robin_times_into(p, 1e-3, nullptr, floor_t);
+        evaluate_into(p, quality, floor_t, floor);
         const bool accept = warm.eval.objective >= floor.objective;
         if (obs::enabled()) {
           auto& reg = obs::MetricsRegistry::global();
@@ -640,9 +678,10 @@ Allocation optimize_allocation(const AllocProblem& p,
             c_fb.add(1);
           }
         }
-        if (accept)
-          return finalize(std::move(warm.t), std::move(warm.eval),
-                          warm.iters);
+        if (accept) {
+          finalize(warm.t, warm.eval, warm.iters);
+          return;
+        }
       }
     }
   }
@@ -654,49 +693,73 @@ Allocation optimize_allocation(const AllocProblem& p,
   // result makes the optimizer dominate the round-robin baseline by
   // construction and prevents a greedy path from wandering off a strong
   // simple solution toward a weak overlapping one.
-  std::vector<double> best_t;
-  Eval best_eval;
+  thread_local std::vector<std::size_t> cover_tls, efficient_tls,
+      dedicated_tls;
+  std::vector<std::size_t>& cover = cover_tls;
+  std::vector<std::size_t>& efficient = efficient_tls;
+  std::vector<std::size_t>& dedicated = dedicated_tls;
+  set_cover_groups_into(p, cover);
+  efficiency_cover_groups_into(p, efficient);
+  per_user_groups_into(p, dedicated);
+  thread_local std::array<std::vector<double>, 4> inits_tls;
+  std::array<std::vector<double>, 4>& inits = inits_tls;
+  round_robin_times_into(p, 1e-3, &cover, inits[0]);
+  round_robin_times_into(p, 1e-3, &efficient, inits[1]);
+  round_robin_times_into(p, 1e-3, &dedicated, inits[2]);
+  round_robin_times_into(p, 1e-3, nullptr, inits[3]);
+
+  thread_local std::vector<double> best_t_tls;
+  thread_local Eval best_eval_tls;
+  thread_local RefineResult phase_tls;
+  thread_local std::vector<bool> allowed_tls;
+  std::vector<double>& best_t = best_t_tls;
+  Eval& best_eval = best_eval_tls;
+  RefineResult& phase = phase_tls;
+  std::vector<bool>& allowed = allowed_tls;
   int total_iters = 0;
   bool have_result = false;
-  const std::vector<std::size_t> cover = set_cover_groups(p);
-  const std::vector<std::size_t> efficient = efficiency_cover_groups(p);
-  const std::vector<std::size_t> dedicated = per_user_groups(p);
-  const std::vector<std::vector<double>> inits = {
-      round_robin_times(p, 1e-3, &cover),
-      round_robin_times(p, 1e-3, &efficient),
-      round_robin_times(p, 1e-3, &dedicated),
-      round_robin_times(p, 1e-3)};
   for (std::size_t s = 0; s < inits.size(); ++s) {
     // The first start always completes (it is what guarantees a feasible,
     // evaluated plan exists); the deadline only skips the later ones.
     if (s > 0 && cfg.deadline &&
         std::chrono::steady_clock::now() >= *cfg.deadline)
       break;
-    const auto& init = inits[s];
-    const std::vector<bool> allowed = support_mask(p, init);
-    RefineResult phase1 = refine(p, quality, cfg, init, &allowed);
-    RefineResult phase2 =
-        refine(p, quality, cfg, std::move(phase1.t), nullptr);
+    support_mask_into(p, inits[s], allowed);
+    phase.t = inits[s];  // copy-assign: capacity reused
+    refine_inplace(p, quality, cfg, phase, &allowed);
+    const int phase1_iters = phase.iters;
+#ifdef W4K_OPT_DEBUG
+    const double phase1_obj = phase.eval.objective;
+#endif
+    refine_inplace(p, quality, cfg, phase, nullptr);
 #ifdef W4K_OPT_DEBUG
     std::fprintf(stderr, "start: phase1 obj=%.5f iters=%d phase2 obj=%.5f iters=%d\n",
-                 phase1.eval.objective, phase1.iters, phase2.eval.objective,
-                 phase2.iters);
+                 phase1_obj, phase1_iters, phase.eval.objective, phase.iters);
 #endif
-    total_iters += phase1.iters + phase2.iters;
-    if (!have_result || phase2.eval.objective > best_eval.objective) {
+    total_iters += phase1_iters + phase.iters;
+    if (!have_result || phase.eval.objective > best_eval.objective) {
       if (have_result && obs::enabled()) {
         static obs::Counter& c_improved =
             obs::MetricsRegistry::global().counter(
                 "sched.anytime.best_plan_improvements");
         c_improved.add(1);
       }
-      best_t = std::move(phase2.t);
-      best_eval = std::move(phase2.eval);
+      best_t = phase.t;        // copy-assign: capacity reused
+      best_eval = phase.eval;  // copy-assign: capacity reused
       have_result = true;
     }
   }
 
-  return finalize(std::move(best_t), std::move(best_eval), total_iters);
+  finalize(best_t, best_eval, total_iters);
+}
+
+Allocation optimize_allocation(const AllocProblem& p,
+                               model::QualityModel& quality,
+                               const OptimizerConfig& cfg,
+                               const std::vector<double>* warm_start) {
+  Allocation out;
+  optimize_allocation_into(p, quality, out, cfg, warm_start);
+  return out;
 }
 
 namespace {
@@ -704,17 +767,21 @@ namespace {
 /// Round-robin time vector: 1 ms slots rotate over the groups (all of
 /// them, or an explicit subset); each slot goes to the lowest layer that
 /// group's members still miss.
-std::vector<double> round_robin_times(const AllocProblem& p, Seconds slot,
-                                      const std::vector<std::size_t>* subset) {
-  std::vector<double> t(p.groups.size() * video::kNumLayers, 0.0);
-  std::vector<std::size_t> order;
+void round_robin_times_into(const AllocProblem& p, Seconds slot,
+                            const std::vector<std::size_t>* subset,
+                            std::vector<double>& t) {
+  t.assign(p.groups.size() * video::kNumLayers, 0.0);
+  thread_local std::vector<std::size_t> order_tls;
+  thread_local std::vector<LayerArray> delivered_tls;
+  std::vector<std::size_t>& order = order_tls;
+  std::vector<LayerArray>& delivered = delivered_tls;
   if (subset != nullptr && !subset->empty()) {
-    order = *subset;
+    order = *subset;  // copy-assign: capacity reused
   } else {
     order.resize(p.groups.size());
     std::iota(order.begin(), order.end(), 0);
   }
-  std::vector<LayerArray> delivered(p.n_users, LayerArray{});
+  delivered.assign(p.n_users, LayerArray{});
   // Remaining-budget accounting (rather than summing `used` upward): the
   // final partial slot is exactly the residue, so the slots sum to the
   // budget minus at most the 1e-12 termination threshold and can never
@@ -747,38 +814,33 @@ std::vector<double> round_robin_times(const AllocProblem& p, Seconds slot,
     remaining -= this_slot;
     idx = (idx + 1) % order.size();
   }
-  return t;
 }
 
 }  // namespace
 
-Allocation round_robin_allocation(const AllocProblem& p,
-                                  model::QualityModel& quality,
-                                  Seconds slot) {
+void round_robin_allocation_into(const AllocProblem& p,
+                                 model::QualityModel& quality,
+                                 Allocation& out, Seconds slot) {
   if (p.groups.empty())
     throw std::invalid_argument("round_robin_allocation: no usable groups");
   if (!(slot > 0.0) || !std::isfinite(slot))
     throw std::invalid_argument("round_robin_allocation: slot must be a "
                                 "positive finite duration");
-  const std::vector<double> t = round_robin_times(p, slot);
-
-  Allocation out;
-  const Eval e = evaluate(p, quality, t);
-  out.objective = e.objective;
-  out.user_bytes = e.user_bytes;
-  out.predicted_ssim = e.ssim;
-  out.iterations = 0;
-  out.time.resize(p.groups.size());
-  out.bytes.resize(p.groups.size());
-  for (std::size_t gi = 0; gi < p.groups.size(); ++gi) {
-    const double rate_bytes_per_s = p.groups[gi].beam.rate.value * 1e6 / 8.0;
-    for (int j = 0; j < video::kNumLayers; ++j) {
-      const auto js = static_cast<std::size_t>(j);
-      out.time[gi][js] = t[gi * video::kNumLayers + js];
-      out.bytes[gi][js] = out.time[gi][js] * rate_bytes_per_s;
-    }
-  }
+  thread_local std::vector<double> t_tls;
+  thread_local Eval e_tls;
+  std::vector<double>& t = t_tls;
+  Eval& e = e_tls;
+  round_robin_times_into(p, slot, nullptr, t);
+  evaluate_into(p, quality, t, e);
+  fill_allocation(p, t, e, 0, out);
   check_allocation(p, out, "round_robin_allocation");
+}
+
+Allocation round_robin_allocation(const AllocProblem& p,
+                                  model::QualityModel& quality,
+                                  Seconds slot) {
+  Allocation out;
+  round_robin_allocation_into(p, quality, out, slot);
   return out;
 }
 

@@ -16,6 +16,7 @@
 #include <array>
 #include <chrono>
 #include <optional>
+#include <span>
 #include <vector>
 
 namespace w4k::sched {
@@ -25,29 +26,81 @@ using LayerArray = std::array<double, video::kNumLayers>;
 /// Per-frame inputs shared by all users (multicast streams one video).
 struct FrameContent {
   LayerArray layer_bytes{};     ///< encoded size of each layer
-  LayerArray up_to_layer_ssim{};///< quality-model content features
+  LayerArray up_to_layer_ssim{};///< content features for the quality model
   double blank_ssim = 0.0;
 };
 
 struct AllocProblem {
-  std::vector<GroupSpec> groups;
+  /// Candidate groups. A view, not storage: typically the span a
+  /// SchedWorkspace enumeration returned (a std::vector<GroupSpec>
+  /// converts implicitly). Must outlive every optimizer call that reads
+  /// the problem.
+  std::span<const GroupSpec> groups;
   std::size_t n_users = 0;
   FrameContent content;
   Seconds time_budget = kFrameBudget;
   double lambda = 1e-8;   ///< traffic penalty per byte (tie-break only)
 };
 
-struct Allocation {
-  /// time[g][j]: seconds allotted to group g for layer j.
-  std::vector<LayerArray> time;
-  /// bytes[g][j] = time[g][j] * R_g — what the packet scheduler consumes.
-  std::vector<LayerArray> bytes;
+/// The optimizer's output plan. The three per-(group|user) tables —
+/// time[g][j], bytes[g][j] = time * R_g, and per-user delivered bytes —
+/// share one flat LayerArray store laid out [time rows | bytes rows |
+/// user_bytes rows], accessed through the row methods below. reset()
+/// reshapes the store in place (std::vector::assign), so a caller that
+/// keeps one Allocation across frames reuses its capacity: the steady
+/// state allocates nothing.
+class Allocation {
+ public:
+  /// Reshapes for `n_groups` groups and `n_users` users, zero-filled.
+  void reset(std::size_t n_groups, std::size_t n_users) {
+    n_groups_ = n_groups;
+    n_users_ = n_users;
+    store_.assign(2 * n_groups + n_users, LayerArray{});
+    predicted_ssim.clear();
+    objective = 0.0;
+    iterations = 0;
+  }
+
+  std::size_t group_count() const { return n_groups_; }
+  std::size_t user_count() const { return n_users_; }
+
+  /// time(g)[j]: seconds allotted to group g for layer j.
+  LayerArray& time(std::size_t g) { return store_[g]; }
+  const LayerArray& time(std::size_t g) const { return store_[g]; }
+  /// bytes(g)[j] = time(g)[j] * R_g — what the packet scheduler consumes.
+  LayerArray& bytes(std::size_t g) { return store_[n_groups_ + g]; }
+  const LayerArray& bytes(std::size_t g) const {
+    return store_[n_groups_ + g];
+  }
   /// Per-user delivered bytes per layer (includes cross-group overlap).
-  std::vector<LayerArray> user_bytes;
+  LayerArray& user_bytes(std::size_t u) {
+    return store_[2 * n_groups_ + u];
+  }
+  const LayerArray& user_bytes(std::size_t u) const {
+    return store_[2 * n_groups_ + u];
+  }
+
+  /// Whole-table views for consumers that iterate rows (unit mapping,
+  /// report writers, tests).
+  std::span<const LayerArray> time_rows() const {
+    return {store_.data(), n_groups_};
+  }
+  std::span<const LayerArray> bytes_rows() const {
+    return {store_.data() + n_groups_, n_groups_};
+  }
+  std::span<const LayerArray> user_bytes_rows() const {
+    return {store_.data() + 2 * n_groups_, n_users_};
+  }
+
   /// Per-user quality predicted by the model at this allocation.
   std::vector<double> predicted_ssim;
   double objective = 0.0;
   int iterations = 0;
+
+ private:
+  std::vector<LayerArray> store_;  ///< [time G | bytes G | user_bytes U]
+  std::size_t n_groups_ = 0;
+  std::size_t n_users_ = 0;
 };
 
 struct OptimizerConfig {
@@ -64,7 +117,8 @@ struct OptimizerConfig {
   std::optional<std::chrono::steady_clock::time_point> deadline;
 };
 
-/// Projected-gradient optimizer for Eq. 1.
+/// Projected-gradient optimizer for Eq. 1, writing into a caller-owned
+/// Allocation (its store and predicted_ssim reuse their capacity).
 ///
 /// `warm_start` (optional) is a flattened time vector (g-major,
 /// layer-minor, matching problem.groups) — typically the previous frame's
@@ -73,9 +127,17 @@ struct OptimizerConfig {
 /// simplex), the optimizer refines it directly and, if the refined result
 /// at least matches the evaluated round-robin cold init, returns it
 /// without running the multi-start — the scheduler fast path that makes
-/// per-frame re-optimization real-time. Otherwise it falls back to the
-/// full cold multi-start (which also keeps the warm candidate in the
-/// running). Counters: sched.warm_start.{hits,fallbacks,iters_saved}.
+/// per-frame re-optimization real-time. On that warm path all working
+/// state lives in thread-local scratch: zero heap allocations in steady
+/// state. Otherwise it falls back to the full cold multi-start (which
+/// also keeps the warm candidate in the running).
+/// Counters: sched.warm_start.{hits,fallbacks,iters_saved}.
+void optimize_allocation_into(
+    const AllocProblem& problem, model::QualityModel& quality,
+    Allocation& out, const OptimizerConfig& cfg = {},
+    const std::vector<double>* warm_start = nullptr);
+
+/// Value-returning convenience wrapper over optimize_allocation_into.
 Allocation optimize_allocation(const AllocProblem& problem,
                                model::QualityModel& quality,
                                const OptimizerConfig& cfg = {},
@@ -86,6 +148,11 @@ Allocation optimize_allocation(const AllocProblem& problem,
 /// The final partial slot is sized to land exactly on the budget: the
 /// summed time plan never exceeds `problem.time_budget` and drops at most
 /// 1e-12 s of it. Throws std::invalid_argument for slot <= 0 or non-finite.
+void round_robin_allocation_into(const AllocProblem& problem,
+                                 model::QualityModel& quality,
+                                 Allocation& out, Seconds slot = 1e-3);
+
+/// Value-returning convenience wrapper over round_robin_allocation_into.
 Allocation round_robin_allocation(const AllocProblem& problem,
                                   model::QualityModel& quality,
                                   Seconds slot = 1e-3);

@@ -17,12 +17,18 @@
 // subsets are *requested* and which results are *emitted*; cached entries
 // outlive filter changes, so quarantining a user or tightening the
 // threshold never costs a recompute when the filter relaxes again.
+//
+// Storage is a flat vector of entries sorted by mask. Invalidation flips a
+// valid flag instead of erasing, and recomputed beams are copy-assigned
+// into their old slots, so in steady state (stable user count and
+// candidate plan) the cache performs zero heap allocations per frame —
+// including the mobile scenario's every-3-frames beacon recompute.
 #pragma once
 
 #include "sched/groups.h"
 
 #include <cstdint>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 namespace w4k::sched {
@@ -47,6 +53,18 @@ class BeamCache {
   /// cfg.deadline defers only the least valuable (and already-uncached)
   /// merge subsets. Also bumps the sched.beam_cache.hit/miss and
   /// sched.anytime.* counters when telemetry is enabled.
+  ///
+  /// The returned span points into ws.groups and stays valid until the
+  /// next enumeration on the same workspace.
+  std::span<const GroupSpec> enumerate_into(
+      const std::vector<linalg::CVector>& channels,
+      const beamforming::Codebook& codebook, const GroupEnumConfig& cfg,
+      ThreadPool* pool, SchedWorkspace& ws);
+
+  /// Allocating forwarder kept for source compatibility; builds a private
+  /// workspace per call and copies the emitted groups out.
+  [[deprecated("use enumerate_into with a SchedWorkspace; this forwarder "
+               "allocates a fresh workspace and result vector every call")]]
   std::vector<GroupSpec> enumerate(
       const std::vector<linalg::CVector>& channels,
       const beamforming::Codebook& codebook, const GroupEnumConfig& cfg,
@@ -58,13 +76,25 @@ class BeamCache {
   const Stats& stats() const { return stats_; }
 
   /// Cached subsets currently held (diagnostics / tests).
-  std::size_t size() const { return beams_.size(); }
+  std::size_t size() const;
 
  private:
+  /// One cached subset. Invalidated entries keep their slot (and their
+  /// beam's buffer capacity) so a later recompute of the same mask is a
+  /// pure copy-assign.
+  struct Entry {
+    GroupMask mask = 0;
+    beamforming::GroupBeam beam;
+    bool valid = false;
+  };
+
+  /// Returns the entry for `mask` or nullptr (entries_ is mask-sorted).
+  Entry* find(GroupMask mask);
+
   beamforming::Scheme scheme_;
   std::uint64_t beam_seed_;
   std::vector<linalg::CVector> channels_;  ///< channels at last enumerate
-  std::unordered_map<GroupMask, beamforming::GroupBeam> beams_;
+  std::vector<Entry> entries_;             ///< sorted by mask
   Stats stats_;
 };
 

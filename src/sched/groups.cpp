@@ -4,6 +4,7 @@
 #include "linalg/decompose.h"
 #include "obs/metrics.h"
 #include "sched/hierarchy.h"
+#include "sched/workspace.h"
 
 #include <algorithm>
 #include <stdexcept>
@@ -52,6 +53,20 @@ double rate_upper_bound(GroupMask mask, const std::vector<double>& cap_mw) {
   return channel::rate_for_rss(Dbm::from_milliwatts(cap)).value;
 }
 
+/// Copies the mask's member channels into a never-shrinking pool and
+/// returns the live prefix as a span. Copy-assignment reuses each slot's
+/// capacity, so after warmup the gather is allocation-free.
+std::span<const linalg::CVector> gather_members(
+    const std::vector<linalg::CVector>& user_channels, GroupMask mask,
+    std::vector<linalg::CVector>& gather) {
+  const std::size_t m = popcount(mask);
+  if (gather.size() < m) gather.resize(m);
+  std::size_t k = 0;
+  for (std::size_t u = 0; u < user_channels.size(); ++u)
+    if (mask & (GroupMask{1} << u)) gather[k++] = user_channels[u];
+  return {gather.data(), m};
+}
+
 }  // namespace
 
 std::vector<GroupMask> admissible_masks(beamforming::Scheme scheme,
@@ -84,34 +99,47 @@ std::uint64_t subset_seed(std::uint64_t beam_seed, GroupMask mask) {
   return z ^ (z >> 31);
 }
 
-CandidatePlan plan_candidates(beamforming::Scheme scheme,
-                              const std::vector<linalg::CVector>& channels,
-                              const GroupEnumConfig& cfg) {
+void plan_candidates_into(beamforming::Scheme scheme,
+                          const std::vector<linalg::CVector>& channels,
+                          const GroupEnumConfig& cfg, SchedWorkspace& ws) {
   const std::size_t n = channels.size();
   if (n == 0) throw std::invalid_argument("enumerate_groups: no users");
   if (n > 64)
     throw std::invalid_argument(
         "enumerate_groups: candidate generation limited to 64 users");
 
-  CandidatePlan plan;
+  CandidatePlan& plan = ws.plan;
+  plan.masks.clear();
+  plan.priority.clear();
+  plan.mandatory = 0;
+  plan.generated = 0;
+  plan.pruned = 0;
+  plan.capped = 0;
+
   const MaskFilter filter(scheme, n, cfg);
   const std::size_t threshold =
       std::min<std::size_t>(cfg.hierarchical_threshold, 16);
   const bool hierarchical = n > threshold;
 
-  std::vector<GroupMask> raw;
+  std::vector<GroupMask>& raw = ws.raw;
+  raw.clear();
   if (!hierarchical) {
-    raw = admissible_masks(scheme, n, cfg);
+    // The exhaustive lattice, filtered in place (n <= threshold <= 16).
+    const GroupMask limit = GroupMask{1} << n;
+    for (GroupMask mask = 1; mask < limit; ++mask)
+      if (filter.admits(mask)) raw.push_back(mask);
   } else if (!filter.multicast) {
     for (std::size_t u = 0; u < n; ++u) {
       const GroupMask mask = GroupMask{1} << u;
       if (filter.admits(mask)) raw.push_back(mask);
     }
   } else {
-    std::vector<std::uint8_t> active(n, 1);
+    // The cluster-tree generator still allocates internally; it runs only
+    // past the hierarchical threshold, outside the small-N zero-alloc gate.
+    ws.active.assign(n, 1);
     for (std::size_t u = 0; u < cfg.exclude.size() && u < n; ++u)
-      if (cfg.exclude[u]) active[u] = 0;
-    raw = cluster_candidates(channels, active, cfg);
+      if (cfg.exclude[u]) ws.active[u] = 0;
+    raw = cluster_candidates(channels, ws.active, cfg);
     std::erase_if(raw,
                   [&](GroupMask mask) { return !filter.admits(mask); });
   }
@@ -119,16 +147,13 @@ CandidatePlan plan_candidates(beamforming::Scheme scheme,
 
   // Rate-bound pruning: drop candidates the emission filter could never
   // have kept, before any beamforming is spent on them.
-  std::vector<double> cap_mw(n);
-  for (std::size_t u = 0; u < n; ++u) cap_mw[u] = channels[u].norm_sq();
-  struct Scored {
-    GroupMask mask;
-    double ub;
-  };
-  std::vector<Scored> survivors;
+  ws.cap_mw.assign(n, 0.0);
+  for (std::size_t u = 0; u < n; ++u) ws.cap_mw[u] = channels[u].norm_sq();
+  std::vector<ScoredCandidate>& survivors = ws.scored;
+  survivors.clear();
   survivors.reserve(raw.size());
   for (GroupMask mask : raw) {
-    const double ub = rate_upper_bound(mask, cap_mw);
+    const double ub = rate_upper_bound(mask, ws.cap_mw);
     if (ub <= 0.0 || Mbps{ub} < cfg.rate_threshold) {
       ++plan.pruned;
       continue;
@@ -142,7 +167,7 @@ CandidatePlan plan_candidates(beamforming::Scheme scheme,
   // caps — its whole point is the complete lattice.
   if (hierarchical && survivors.size() > cfg.max_candidates) {
     std::stable_sort(survivors.begin(), survivors.end(),
-                     [](const Scored& a, const Scored& b) {
+                     [](const ScoredCandidate& a, const ScoredCandidate& b) {
                        const bool sa = popcount(a.mask) == 1;
                        const bool sb = popcount(b.mask) == 1;
                        if (sa != sb) return sa;
@@ -156,7 +181,8 @@ CandidatePlan plan_candidates(beamforming::Scheme scheme,
     const std::size_t keep =
         std::max(cfg.max_candidates,
                  static_cast<std::size_t>(std::count_if(
-                     survivors.begin(), survivors.end(), [](const Scored& s) {
+                     survivors.begin(), survivors.end(),
+                     [](const ScoredCandidate& s) {
                        return popcount(s.mask) == 1;
                      })));
     plan.capped = survivors.size() - keep;
@@ -164,9 +190,11 @@ CandidatePlan plan_candidates(beamforming::Scheme scheme,
   }
 
   std::sort(survivors.begin(), survivors.end(),
-            [](const Scored& a, const Scored& b) { return a.mask < b.mask; });
+            [](const ScoredCandidate& a, const ScoredCandidate& b) {
+              return a.mask < b.mask;
+            });
   plan.masks.reserve(survivors.size());
-  for (const Scored& s : survivors) plan.masks.push_back(s.mask);
+  for (const ScoredCandidate& s : survivors) plan.masks.push_back(s.mask);
 
   // Beamforming priority: singletons first (the coverage floor the
   // deadline must never cut), then merges by descending bound-rate x
@@ -187,8 +215,15 @@ CandidatePlan plan_candidates(beamforming::Scheme scheme,
             });
   plan.mandatory = static_cast<std::size_t>(std::count_if(
       survivors.begin(), survivors.end(),
-      [](const Scored& s) { return popcount(s.mask) == 1; }));
-  return plan;
+      [](const ScoredCandidate& s) { return popcount(s.mask) == 1; }));
+}
+
+CandidatePlan plan_candidates(beamforming::Scheme scheme,
+                              const std::vector<linalg::CVector>& channels,
+                              const GroupEnumConfig& cfg) {
+  SchedWorkspace ws;
+  plan_candidates_into(scheme, channels, cfg, ws);
+  return std::move(ws.plan);
 }
 
 beamforming::GroupBeam subset_beam(
@@ -203,31 +238,41 @@ beamforming::GroupBeam subset_beam(
                                  subset_seed(beam_seed, mask));
 }
 
-std::vector<beamforming::GroupBeam> beamform_subsets(
-    beamforming::Scheme scheme,
-    const std::vector<linalg::CVector>& user_channels,
-    const std::vector<GroupMask>& masks,
-    const beamforming::Codebook& codebook, std::uint64_t beam_seed,
-    ThreadPool* pool) {
+void beamform_subsets(beamforming::Scheme scheme,
+                      const std::vector<linalg::CVector>& user_channels,
+                      std::span<const GroupMask> masks,
+                      const beamforming::Codebook& codebook,
+                      std::uint64_t beam_seed, ThreadPool* pool,
+                      SchedWorkspace& ws,
+                      std::span<beamforming::GroupBeam> out) {
   const std::size_t n = user_channels.size();
-  std::vector<beamforming::GroupBeam> beams(masks.size());
+  if (out.size() < masks.size())
+    throw std::invalid_argument("beamform_subsets: output span too small");
 
   // SoA pack for the multi-member kOptimizedMulticast subsets: each user's
   // channel is normalized once per call (not once per subset) and the
   // member rows land contiguously, so the Gram iterations stream through
   // one flat buffer. Everything else (singletons, dead groups, the other
-  // schemes) routes through subset_beam unchanged.
-  linalg::PackedStacks pack;
-  std::vector<std::ptrdiff_t> problem(masks.size(), -1);
+  // schemes) routes through group_beam_into unchanged. All pack and index
+  // buffers belong to the workspace and keep their capacity across frames.
+  linalg::PackedStacks& pack = ws.pack;
+  pack.rows.clear();
+  pack.offsets.clear();
+  pack.cols = 0;
+  ws.problem.assign(masks.size(), -1);
   if (scheme == beamforming::Scheme::kOptimizedMulticast && !masks.empty()) {
     const std::size_t cols = n > 0 ? user_channels[0].size() : 0;
-    std::vector<linalg::CVector> unit(n);
-    std::vector<std::uint8_t> usable(n, 0);
+    if (ws.unit.size() < n) ws.unit.resize(n);  // slot pool: never shrinks
+    ws.usable.assign(n, 0);
     for (std::size_t u = 0; u < n; ++u) {
       if (user_channels[u].size() != cols) continue;
       if (user_channels[u].norm() <= 0.0) continue;
-      usable[u] = 1;
-      unit[u] = user_channels[u].normalized();
+      ws.usable[u] = 1;
+      // normalized() without the temporary: copy-assign into the slot
+      // (capacity reused), then the same element-wise divide.
+      ws.unit[u] = user_channels[u];
+      const double nn = user_channels[u].norm();
+      for (std::size_t i = 0; i < ws.unit[u].size(); ++i) ws.unit[u][i] /= nn;
     }
     pack.cols = cols;
     pack.offsets.push_back(0);
@@ -240,33 +285,40 @@ std::vector<beamforming::GroupBeam> beamform_subsets(
         if (user_channels[u].size() != cols &&
             user_channels[u].norm() > 0.0)
           mixed = true;
-        if (usable[u]) ++m_usable;
+        if (ws.usable[u]) ++m_usable;
       }
       if (mixed || m_usable == 0) continue;  // scalar fallback path
-      problem[i] = static_cast<std::ptrdiff_t>(pack.problems());
+      ws.problem[i] = static_cast<std::ptrdiff_t>(pack.problems());
       for (std::size_t u = 0; u < n; ++u)
-        if ((masks[i] & (GroupMask{1} << u)) && usable[u])
-          pack.rows.insert(pack.rows.end(), unit[u].raw().begin(),
-                           unit[u].raw().end());
+        if ((masks[i] & (GroupMask{1} << u)) && ws.usable[u])
+          pack.rows.insert(pack.rows.end(), ws.unit[u].raw().begin(),
+                           ws.unit[u].raw().end());
       pack.offsets.push_back(pack.rows.size() / cols);
     }
   }
 
   const auto compute = [&](std::size_t lo, std::size_t hi) {
+    // Per-worker scratch, declared *inside* the worker-executed body so
+    // each pool thread owns its own instance (thread_local variables are
+    // not captured by lambdas; declaring them outside and touching them
+    // here would dereference the worker's empty copy).
+    thread_local std::vector<linalg::CVector> gather_tls;
+    thread_local linalg::DominantSVD svd_tls;
     for (std::size_t i = lo; i < hi; ++i) {
-      if (problem[i] >= 0) {
+      if (ws.problem[i] >= 0) {
         Rng rng(subset_seed(beam_seed, masks[i]));
-        const auto svd = linalg::packed_dominant_right_singular(
-            pack, static_cast<std::size_t>(problem[i]), rng);
-        std::vector<linalg::CVector> members;
-        members.reserve(popcount(masks[i]));
-        for (std::size_t u = 0; u < n; ++u)
-          if (masks[i] & (GroupMask{1} << u))
-            members.push_back(user_channels[u]);
-        beams[i] = beamforming::evaluate_beam(svd.right_singular, members);
+        linalg::packed_dominant_right_singular_into(
+            pack, static_cast<std::size_t>(ws.problem[i]), rng, svd_tls);
+        const auto members =
+            gather_members(user_channels, masks[i], gather_tls);
+        beamforming::evaluate_beam_into(svd_tls.right_singular, members,
+                                        out[i]);
       } else {
-        beams[i] = subset_beam(scheme, user_channels, masks[i], codebook,
-                               beam_seed);
+        const auto members =
+            gather_members(user_channels, masks[i], gather_tls);
+        beamforming::group_beam_into(scheme, members, codebook,
+                                     subset_seed(beam_seed, masks[i]),
+                                     out[i]);
       }
     }
   };
@@ -275,29 +327,39 @@ std::vector<beamforming::GroupBeam> beamform_subsets(
   } else {
     compute(0, masks.size());
   }
+}
+
+std::vector<beamforming::GroupBeam> beamform_subsets(
+    beamforming::Scheme scheme,
+    const std::vector<linalg::CVector>& user_channels,
+    const std::vector<GroupMask>& masks,
+    const beamforming::Codebook& codebook, std::uint64_t beam_seed,
+    ThreadPool* pool) {
+  SchedWorkspace ws;
+  std::vector<beamforming::GroupBeam> beams(masks.size());
+  beamform_subsets(scheme, user_channels, masks, codebook, beam_seed, pool,
+                   ws, beams);
   return beams;
 }
 
-BatchResult beamform_priority(
+void beamform_priority_into(
     beamforming::Scheme scheme,
     const std::vector<linalg::CVector>& user_channels,
-    const std::vector<GroupMask>& masks, std::size_t mandatory,
+    std::span<const GroupMask> masks, std::size_t mandatory,
     const std::optional<std::chrono::steady_clock::time_point>& deadline,
     const beamforming::Codebook& codebook, std::uint64_t beam_seed,
-    ThreadPool* pool) {
-  BatchResult res;
-  res.beams.resize(masks.size());
-  res.done.assign(masks.size(), 0);
+    ThreadPool* pool, SchedWorkspace& ws) {
+  if (ws.beams.size() < masks.size())
+    ws.beams.resize(masks.size());  // beam pool: never shrinks
+  ws.done.assign(masks.size(), 0);
+  ws.deferred = 0;
 
   const auto run = [&](std::size_t lo, std::size_t hi) {
-    const std::vector<GroupMask> batch(masks.begin() + lo,
-                                       masks.begin() + hi);
-    auto beams = beamform_subsets(scheme, user_channels, batch, codebook,
-                                  beam_seed, pool);
-    for (std::size_t i = 0; i < beams.size(); ++i) {
-      res.beams[lo + i] = std::move(beams[i]);
-      res.done[lo + i] = 1;
-    }
+    beamform_subsets(scheme, user_channels, masks.subspan(lo, hi - lo),
+                     codebook, beam_seed, pool, ws,
+                     std::span<beamforming::GroupBeam>(ws.beams.data() + lo,
+                                                       hi - lo));
+    for (std::size_t i = lo; i < hi; ++i) ws.done[i] = 1;
   };
 
   // The mandatory prefix (singleton coverage) always completes, deadline
@@ -320,7 +382,25 @@ BatchResult beamform_priority(
       pos = hi;
     }
   }
-  res.deferred = masks.size() - pos;
+  ws.deferred = masks.size() - pos;
+}
+
+BatchResult beamform_priority(
+    beamforming::Scheme scheme,
+    const std::vector<linalg::CVector>& user_channels,
+    const std::vector<GroupMask>& masks, std::size_t mandatory,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline,
+    const beamforming::Codebook& codebook, std::uint64_t beam_seed,
+    ThreadPool* pool) {
+  SchedWorkspace ws;
+  beamform_priority_into(scheme, user_channels, masks, mandatory, deadline,
+                         codebook, beam_seed, pool, ws);
+  BatchResult res;
+  res.beams.resize(masks.size());
+  for (std::size_t i = 0; i < masks.size(); ++i)
+    res.beams[i] = std::move(ws.beams[i]);
+  res.done.assign(ws.done.begin(), ws.done.begin() + masks.size());
+  res.deferred = ws.deferred;
   return res;
 }
 
@@ -344,40 +424,52 @@ void note_anytime(const CandidatePlan& plan, std::size_t beamformed,
   if (deferred > 0) c_deadline.add(1);
 }
 
+std::span<const GroupSpec> enumerate_groups(
+    beamforming::Scheme scheme,
+    const std::vector<linalg::CVector>& user_channels,
+    const beamforming::Codebook& codebook, std::uint64_t beam_seed,
+    const GroupEnumConfig& cfg, ThreadPool* pool, SchedWorkspace& ws) {
+  const std::size_t n = user_channels.size();
+  plan_candidates_into(scheme, user_channels, cfg, ws);
+  const CandidatePlan& plan = ws.plan;
+
+  // Beamform in priority order (so a deadline defers only the least
+  // valuable merges), then emit in ascending mask order as always.
+  ws.ordered.clear();
+  for (std::size_t j = 0; j < plan.priority.size(); ++j)
+    ws.ordered.push_back(plan.masks[plan.priority[j]]);
+  beamform_priority_into(scheme, user_channels, ws.ordered, plan.mandatory,
+                         cfg.deadline, codebook, beam_seed, pool, ws);
+  ws.by_index.assign(plan.masks.size(), nullptr);
+  for (std::size_t j = 0; j < plan.priority.size(); ++j)
+    if (ws.done[j]) ws.by_index[plan.priority[j]] = &ws.beams[j];
+  note_anytime(plan, ws.ordered.size() - ws.deferred, ws.deferred);
+
+  ws.group_count = 0;
+  for (std::size_t i = 0; i < plan.masks.size(); ++i) {
+    const beamforming::GroupBeam* beam = ws.by_index[i];
+    if (beam == nullptr) continue;              // deferred past the deadline
+    if (beam->rate.value <= 0.0) continue;      // cannot sustain any MCS
+    if (beam->rate < cfg.rate_threshold) continue;
+    if (ws.group_count == ws.groups.size()) ws.groups.emplace_back();
+    GroupSpec& g = ws.groups[ws.group_count++];  // pool slot: capacity reused
+    g.members.clear();
+    for (std::size_t u = 0; u < n; ++u)
+      if (plan.masks[i] & (GroupMask{1} << u)) g.members.push_back(u);
+    g.beam = *beam;
+  }
+  return ws.emitted();
+}
+
 std::vector<GroupSpec> enumerate_groups(
     beamforming::Scheme scheme,
     const std::vector<linalg::CVector>& user_channels,
     const beamforming::Codebook& codebook, std::uint64_t beam_seed,
     const GroupEnumConfig& cfg, ThreadPool* pool) {
-  const std::size_t n = user_channels.size();
-  const CandidatePlan plan = plan_candidates(scheme, user_channels, cfg);
-
-  // Beamform in priority order (so a deadline defers only the least
-  // valuable merges), then emit in ascending mask order as always.
-  std::vector<GroupMask> ordered(plan.priority.size());
-  for (std::size_t j = 0; j < plan.priority.size(); ++j)
-    ordered[j] = plan.masks[plan.priority[j]];
-  BatchResult batch =
-      beamform_priority(scheme, user_channels, ordered, plan.mandatory,
-                        cfg.deadline, codebook, beam_seed, pool);
-  std::vector<beamforming::GroupBeam*> by_index(plan.masks.size(), nullptr);
-  for (std::size_t j = 0; j < plan.priority.size(); ++j)
-    if (batch.done[j]) by_index[plan.priority[j]] = &batch.beams[j];
-  note_anytime(plan, ordered.size() - batch.deferred, batch.deferred);
-
-  std::vector<GroupSpec> out;
-  for (std::size_t i = 0; i < plan.masks.size(); ++i) {
-    beamforming::GroupBeam* beam = by_index[i];
-    if (beam == nullptr) continue;              // deferred past the deadline
-    if (beam->rate.value <= 0.0) continue;      // cannot sustain any MCS
-    if (beam->rate < cfg.rate_threshold) continue;
-    GroupSpec g;
-    for (std::size_t u = 0; u < n; ++u)
-      if (plan.masks[i] & (GroupMask{1} << u)) g.members.push_back(u);
-    g.beam = std::move(*beam);
-    out.push_back(std::move(g));
-  }
-  return out;
+  SchedWorkspace ws;
+  const auto emitted = enumerate_groups(scheme, user_channels, codebook,
+                                        beam_seed, cfg, pool, ws);
+  return {emitted.begin(), emitted.end()};
 }
 
 std::vector<GroupSpec> enumerate_groups(
@@ -385,7 +477,10 @@ std::vector<GroupSpec> enumerate_groups(
     const std::vector<linalg::CVector>& user_channels,
     const beamforming::Codebook& codebook, Rng& rng,
     const GroupEnumConfig& cfg) {
-  return enumerate_groups(scheme, user_channels, codebook, rng.next(), cfg);
+  SchedWorkspace ws;
+  const auto emitted = enumerate_groups(scheme, user_channels, codebook,
+                                        rng.next(), cfg, nullptr, ws);
+  return {emitted.begin(), emitted.end()};
 }
 
 }  // namespace w4k::sched

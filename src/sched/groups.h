@@ -36,9 +36,12 @@
 #include <chrono>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 namespace w4k::sched {
+
+struct SchedWorkspace;  // sched/workspace.h — reusable enumeration buffers
 
 /// Member bitmask of a candidate group. 64-bit: the hierarchical generator
 /// serves up to 64 users; the exhaustive lattice keeps its historic
@@ -143,7 +146,22 @@ beamforming::GroupBeam subset_beam(
 /// SoA-packed block of pre-normalized channel rows — each user is
 /// normalized once instead of once per subset, and the pack is dispatched
 /// as a single ThreadPool batch. Bit-identical to subset_beam per mask
-/// (asserted by the system tests).
+/// (asserted by the system tests). The pack, the per-user normalized rows,
+/// and all index scratch live in `ws` and keep their capacity across
+/// frames; results are written into `out` (out.size() >= masks.size()),
+/// whose GroupBeams likewise reuse their buffers.
+void beamform_subsets(beamforming::Scheme scheme,
+                      const std::vector<linalg::CVector>& user_channels,
+                      std::span<const GroupMask> masks,
+                      const beamforming::Codebook& codebook,
+                      std::uint64_t beam_seed, ThreadPool* pool,
+                      SchedWorkspace& ws,
+                      std::span<beamforming::GroupBeam> out);
+
+/// Allocating forwarder kept for source compatibility; builds a private
+/// workspace per call.
+[[deprecated("use the SchedWorkspace overload; this forwarder allocates a "
+             "fresh workspace and result vector every call")]]
 std::vector<beamforming::GroupBeam> beamform_subsets(
     beamforming::Scheme scheme,
     const std::vector<linalg::CVector>& user_channels,
@@ -169,6 +187,23 @@ BatchResult beamform_priority(
     const beamforming::Codebook& codebook, std::uint64_t beam_seed,
     ThreadPool* pool);
 
+/// Workspace form of beamform_priority: results land in ws.beams /
+/// ws.done / ws.deferred (never-shrinking), and each batch is handed to
+/// beamform_subsets as a subspan — no per-batch mask copies.
+void beamform_priority_into(
+    beamforming::Scheme scheme,
+    const std::vector<linalg::CVector>& user_channels,
+    std::span<const GroupMask> masks, std::size_t mandatory,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline,
+    const beamforming::Codebook& codebook, std::uint64_t beam_seed,
+    ThreadPool* pool, SchedWorkspace& ws);
+
+/// plan_candidates into ws.plan, reusing its vectors and the workspace's
+/// pruning scratch. Same values as plan_candidates for the same inputs.
+void plan_candidates_into(beamforming::Scheme scheme,
+                          const std::vector<linalg::CVector>& channels,
+                          const GroupEnumConfig& cfg, SchedWorkspace& ws);
+
 /// Bumps the sched.anytime.* counters for one enumeration pass (no-op with
 /// telemetry disabled). Shared by the stateless path and the BeamCache.
 void note_anytime(const CandidatePlan& plan, std::size_t beamformed,
@@ -180,6 +215,21 @@ void note_anytime(const CandidatePlan& plan, std::size_t beamformed,
 /// is non-null the per-subset beamforming of the admissible subsets runs
 /// on it; results are bit-identical for any pool size (each subset is
 /// independent and individually seeded).
+///
+/// The returned span points into ws.groups (a never-shrinking pool) and
+/// stays valid until the next enumeration on the same workspace. In
+/// steady state — stable user count and candidate plan — the whole call
+/// performs zero heap allocations.
+std::span<const GroupSpec> enumerate_groups(
+    beamforming::Scheme scheme,
+    const std::vector<linalg::CVector>& user_channels,
+    const beamforming::Codebook& codebook, std::uint64_t beam_seed,
+    const GroupEnumConfig& cfg, ThreadPool* pool, SchedWorkspace& ws);
+
+/// Allocating forwarder kept for source compatibility; builds a private
+/// workspace per call and copies the emitted groups out.
+[[deprecated("use the SchedWorkspace overload; this forwarder allocates a "
+             "fresh workspace and result vector every call")]]
 std::vector<GroupSpec> enumerate_groups(
     beamforming::Scheme scheme,
     const std::vector<linalg::CVector>& user_channels,
@@ -189,6 +239,8 @@ std::vector<GroupSpec> enumerate_groups(
 /// Legacy entry point: draws a beam seed from `rng` (one next() call) and
 /// delegates to the seed-based overload above, so existing callers keep
 /// their shape while still getting decoupled per-subset streams.
+[[deprecated("use the SchedWorkspace overload; this forwarder allocates a "
+             "fresh workspace and result vector every call")]]
 std::vector<GroupSpec> enumerate_groups(
     beamforming::Scheme scheme,
     const std::vector<linalg::CVector>& user_channels,

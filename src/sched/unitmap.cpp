@@ -36,15 +36,29 @@ std::vector<UnitSpec> frame_units(int width, int height,
   return units;
 }
 
-UnitMapResult map_to_units(const std::vector<GroupSpec>& groups,
-                           const std::vector<LayerArray>& group_layer_bytes,
+UnitMapResult map_to_units(std::span<const GroupSpec> groups,
+                           std::span<const LayerArray> group_layer_bytes,
                            const std::vector<UnitSpec>& units,
                            std::size_t n_users, std::size_t symbol_size) {
+  UnitMapResult res;
+  map_to_units_into(groups, group_layer_bytes, units, n_users, symbol_size,
+                    res);
+  return res;
+}
+
+void map_to_units_into(std::span<const GroupSpec> groups,
+                       std::span<const LayerArray> group_layer_bytes,
+                       const std::vector<UnitSpec>& units,
+                       std::size_t n_users, std::size_t symbol_size,
+                       UnitMapResult& res) {
   if (groups.size() != group_layer_bytes.size())
     throw std::invalid_argument("map_to_units: groups/bytes size mismatch");
 
-  // Whole-symbol budgets per (group, layer).
-  std::vector<LayerArray> budget(groups.size());
+  // Whole-symbol budgets per (group, layer). Thread-local scratch: the
+  // greedy runs on the session's decide thread, never on the pool.
+  thread_local std::vector<LayerArray> budget_tls;
+  std::vector<LayerArray>& budget = budget_tls;
+  budget.assign(groups.size(), LayerArray{});
   for (std::size_t g = 0; g < groups.size(); ++g)
     for (int j = 0; j < video::kNumLayers; ++j) {
       const auto js = static_cast<std::size_t>(j);
@@ -52,9 +66,14 @@ UnitMapResult map_to_units(const std::vector<GroupSpec>& groups,
                                  static_cast<double>(symbol_size));
     }
 
-  UnitMapResult res;
-  res.user_symbols.assign(n_users, std::vector<std::size_t>(units.size(), 0));
-  res.user_decodes.assign(n_users, std::vector<bool>(units.size(), false));
+  res.assignments.clear();
+  res.leftover_symbols = 0;
+  // Row-by-row reset (rather than assign with a freshly constructed row
+  // prototype) so each reused row keeps its capacity.
+  if (res.user_symbols.size() != n_users) res.user_symbols.resize(n_users);
+  if (res.user_decodes.size() != n_users) res.user_decodes.resize(n_users);
+  for (auto& row : res.user_symbols) row.assign(units.size(), 0);
+  for (auto& row : res.user_decodes) row.assign(units.size(), false);
 
   // Units are already ordered layer-asc then unit-asc by construction.
   for (std::size_t i = 0; i < units.size(); ++i) {
@@ -106,8 +125,10 @@ UnitMapResult map_to_units(const std::vector<GroupSpec>& groups,
     // Conservation: every per-user symbol tally must be exactly the sum of
     // assignments over the groups that user belongs to, and every assignment
     // must reference a valid (group, unit) cell with a positive count.
-    std::vector<std::vector<std::size_t>> replay(
-        n_users, std::vector<std::size_t>(units.size(), 0));
+    thread_local std::vector<std::vector<std::size_t>> replay_tls;
+    std::vector<std::vector<std::size_t>>& replay = replay_tls;
+    if (replay.size() < n_users) replay.resize(n_users);
+    for (std::size_t u = 0; u < n_users; ++u) replay[u].assign(units.size(), 0);
     for (const auto& a : res.assignments) {
       verify::check(a.group < groups.size() && a.unit_index < units.size(),
                     "sched.unitmap-bad-assignment", [&] {
@@ -142,7 +163,6 @@ UnitMapResult map_to_units(const std::vector<GroupSpec>& groups,
                       });
       }
   }
-  return res;
 }
 
 std::size_t decoded_bytes_objective(const UnitMapResult& result,

@@ -17,6 +17,7 @@
 #include "sched/groups.h"
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace w4k::sched {
@@ -58,12 +59,23 @@ struct UnitMapResult {
 };
 
 /// Runs the Eq. 4 greedy. `group_layer_bytes[g][j]` is the optimizer's
-/// S(G, j); budgets are rounded down to whole symbols.
-UnitMapResult map_to_units(const std::vector<GroupSpec>& groups,
-                           const std::vector<LayerArray>& group_layer_bytes,
+/// S(G, j) — typically Allocation::bytes_rows(); budgets are rounded down
+/// to whole symbols. Both spans accept a std::vector implicitly.
+UnitMapResult map_to_units(std::span<const GroupSpec> groups,
+                           std::span<const LayerArray> group_layer_bytes,
                            const std::vector<UnitSpec>& units,
                            std::size_t n_users,
                            std::size_t symbol_size = fec::kDefaultSymbolSize);
+
+/// Same greedy writing into a caller-owned result whose per-user rows
+/// reuse their capacity across frames — the per-frame hot-loop variant
+/// (zero heap allocations in steady state). Bit-identical output to
+/// map_to_units().
+void map_to_units_into(std::span<const GroupSpec> groups,
+                       std::span<const LayerArray> group_layer_bytes,
+                       const std::vector<UnitSpec>& units,
+                       std::size_t n_users, std::size_t symbol_size,
+                       UnitMapResult& res);
 
 /// Reference solver for Eq. 4: exhaustively searches symbol assignments
 /// and returns the maximum total decoded bytes across users (the

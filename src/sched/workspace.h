@@ -1,0 +1,68 @@
+// Per-session scheduler workspace (DESIGN.md Sec. 4g).
+//
+// Every buffer the per-frame enumeration path touches lives here and only
+// ever grows: candidate plans, the SoA channel pack fed to the batched
+// Gram iteration, beam/done scratch for the deadline batcher, and the
+// GroupSpec output pool that enumerate_groups_into returns a span over.
+// After a few warmup frames every vector has reached its steady-state
+// capacity and the whole enumerate -> beamform -> emit pipeline performs
+// zero heap allocations (asserted by the W4K_COUNT_ALLOCS tier-1 gate).
+//
+// Ownership rule: the workspace belongs to the session (or bench/test
+// driver) that owns the frame loop, one per concurrent decide() caller —
+// it is NOT thread-safe and must not be shared across sessions. Spans
+// returned by the _into functions point into the workspace and are
+// invalidated by the next call that takes the same workspace.
+#pragma once
+
+#include "linalg/decompose.h"
+#include "sched/groups.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace w4k::sched {
+
+/// A bound-pruning survivor: candidate mask plus its rate upper bound
+/// (plan_candidates_into scratch, kept here so its buffer persists).
+struct ScoredCandidate {
+  GroupMask mask = 0;
+  double ub = 0.0;
+};
+
+struct SchedWorkspace {
+  // --- plan_candidates_into ---------------------------------------------
+  CandidatePlan plan;                  ///< the current frame's plan
+  std::vector<GroupMask> raw;          ///< pre-pruning candidate masks
+  std::vector<double> cap_mw;          ///< per-user ||h_u||^2 bound input
+  std::vector<ScoredCandidate> scored; ///< bound-pruning survivors
+  std::vector<std::uint8_t> active;    ///< hierarchical generator's mask
+
+  // --- beamform_subsets_into --------------------------------------------
+  linalg::PackedStacks pack;           ///< SoA rows for the Gram batch
+  std::vector<std::ptrdiff_t> problem; ///< mask index -> pack problem (-1)
+  std::vector<linalg::CVector> unit;   ///< per-user normalized channels;
+                                       ///< never shrunk (inner capacity)
+  std::vector<std::uint8_t> usable;    ///< unit[u] valid this call
+
+  // --- beamform_priority_into -------------------------------------------
+  std::vector<GroupMask> ordered;      ///< masks in beamforming order
+  std::vector<beamforming::GroupBeam> beams;  ///< result pool, never shrunk
+  std::vector<std::uint8_t> done;      ///< beams[i] computed this call
+  std::size_t deferred = 0;            ///< masks cut by the deadline
+
+  // --- enumerate paths ---------------------------------------------------
+  std::vector<GroupMask> miss_masks;   ///< BeamCache: uncached masks
+  std::vector<const beamforming::GroupBeam*> by_index;  ///< emit lookup
+  std::vector<GroupSpec> groups;       ///< emitted-group pool, never shrunk
+  std::size_t group_count = 0;         ///< live prefix of `groups`
+
+  /// The groups emitted by the last enumerate_groups_into /
+  /// BeamCache::enumerate_into call on this workspace.
+  std::span<const GroupSpec> emitted() const {
+    return {groups.data(), group_count};
+  }
+};
+
+}  // namespace w4k::sched

@@ -107,30 +107,41 @@ std::optional<ReceptionReport> parse_report(const std::uint8_t* data,
 }
 
 ReportCollector::ReportCollector(std::uint32_t frame_id, std::size_t n_users,
-                                 std::size_t n_units)
-    : frame_id_(frame_id), n_units_(n_units), slots_(n_users) {}
+                                 std::size_t n_units) {
+  reset(frame_id, n_users, n_units);
+}
+
+void ReportCollector::reset(std::uint32_t frame_id, std::size_t n_users,
+                            std::size_t n_units) {
+  frame_id_ = frame_id;
+  n_units_ = n_units;
+  if (slots_.size() != n_users) slots_.resize(n_users);
+  present_.assign(n_users, 0);
+  reported_ = 0;
+}
 
 bool ReportCollector::accept(const ReceptionReport& r) {
   if (r.frame_id != frame_id_) return false;
   if (r.user >= slots_.size()) return false;
-  if (slots_[r.user]) return false;  // duplicate: first report wins
+  if (present_[r.user]) return false;  // duplicate: first report wins
   if (r.symbols_received.size() != n_units_) return false;
   if (!r.unit_decoded.empty() && r.unit_decoded.size() != n_units_)
     return false;
-  slots_[r.user] = r;
+  slots_[r.user] = r;  // copy-assign: the reused slot's capacity survives
+  present_[r.user] = 1;
   ++reported_;
   return true;
 }
 
 const ReceptionReport* ReportCollector::report(std::size_t user) const {
-  if (user >= slots_.size() || !slots_[user]) return nullptr;
-  return &*slots_[user];
+  if (user >= slots_.size() || present_[user] == 0) return nullptr;
+  return &slots_[user];
 }
 
 std::vector<std::size_t> ReportCollector::missing_users() const {
   std::vector<std::size_t> out;
   for (std::size_t u = 0; u < slots_.size(); ++u)
-    if (!slots_[u]) out.push_back(u);
+    if (present_[u] == 0) out.push_back(u);
   return out;
 }
 

@@ -48,6 +48,12 @@ class ReportCollector {
   ReportCollector(std::uint32_t frame_id, std::size_t n_users,
                   std::size_t n_units);
 
+  /// Re-arms the collector for a new frame. Slot storage is reused: a
+  /// collector embedded in the per-frame engine performs zero heap
+  /// allocations once its slots have reached their steady-state sizes.
+  void reset(std::uint32_t frame_id, std::size_t n_users,
+             std::size_t n_units);
+
   /// Accepts one report. Returns false (and ignores it) when it targets a
   /// different frame, an out-of-range user, repeats a user already heard
   /// from, or its per-unit vectors are not exactly n_units long.
@@ -68,9 +74,13 @@ class ReportCollector {
                                      std::size_t k_symbols) const;
 
  private:
-  std::uint32_t frame_id_;
-  std::size_t n_units_;
-  std::vector<std::optional<ReceptionReport>> slots_;
+  std::uint32_t frame_id_ = 0;
+  std::size_t n_units_ = 0;
+  /// Slot storage stays allocated across reset(); `present_` tracks which
+  /// slots hold this frame's report (copy-assigning a report into a reused
+  /// slot recycles its vectors' capacity).
+  std::vector<ReceptionReport> slots_;
+  std::vector<std::uint8_t> present_;
   std::size_t reported_ = 0;
 };
 

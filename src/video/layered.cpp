@@ -112,14 +112,18 @@ struct PlaneDecoder {
   Plane& plane;
   const std::array<std::vector<std::vector<std::uint8_t>>, kNumLayers>& bufs;
   const std::array<std::array<std::size_t, 4>, kNumLayers>& base;
+  // Caller-provided mean-plane scratch (every element is written before it
+  // is read, so resize without zeroing is enough).
+  std::vector<int>& m4;
+  std::vector<int>& m2;
 
   void run() const {
     const int w8 = plane.width / 8;
     const int h8 = plane.height / 8;
     const int w4 = w8 * 2;
     const int w2 = w8 * 4;
-    std::vector<int> m4(static_cast<std::size_t>(w4) * (h8 * 2));
-    std::vector<int> m2(static_cast<std::size_t>(w2) * (h8 * 4));
+    m4.resize(static_cast<std::size_t>(w4) * (h8 * 2));
+    m2.resize(static_cast<std::size_t>(w2) * (h8 * 4));
 
     for (int by = 0; by < h8 * 2; ++by) {
       for (int bx = 0; bx < w4; ++bx) {
@@ -256,32 +260,69 @@ EncodedFrame encode(const Frame& frame) {
   return out;
 }
 
-Frame reconstruct(const PartialFrame& partial) {
-  check_dims(partial.width, partial.height);
-  // Assemble full-size buffers with the "no information" default.
-  // 128 decodes as mid-gray for layer 0 and as a zero difference for 1-3.
-  std::array<std::vector<std::vector<std::uint8_t>>, kNumLayers> bufs;
+void ReconstructWorkspace::begin(int width, int height) {
+  check_dims(width, height);
+  width_ = width;
+  height_ = height;
+  // Reset to the "no information" default: 128 decodes as mid-gray for
+  // layer 0 and as a zero difference for layers 1-3. assign() reuses each
+  // buffer's capacity.
   for (int l = 0; l < kNumLayers; ++l) {
-    const std::size_t sz = sublayer_bytes(l, partial.width, partial.height);
-    bufs[l].assign(static_cast<std::size_t>(sublayer_count(l)),
-                   std::vector<std::uint8_t>(sz, 128));
+    const std::size_t sz = sublayer_bytes(l, width, height);
+    bufs_[l].resize(static_cast<std::size_t>(sublayer_count(l)));
+    for (auto& sub : bufs_[l]) sub.assign(sz, 128);
+  }
+}
+
+void ReconstructWorkspace::write(int layer, int k, std::size_t offset,
+                                 const std::uint8_t* data, std::size_t n) {
+  auto& buf = bufs_[layer][static_cast<std::size_t>(k)];
+  if (offset > buf.size()) return;  // malformed; ignore
+  n = std::min(n, buf.size() - offset);
+  std::copy(data, data + n,
+            buf.begin() + static_cast<std::ptrdiff_t>(offset));
+}
+
+namespace {
+
+/// In-place plane (re)size; element values are left unspecified, which is
+/// fine for the decoder (it writes every pixel).
+void resize_plane(Plane& p, int w, int h) {
+  p.width = w;
+  p.height = h;
+  p.pix.resize(static_cast<std::size_t>(w) * static_cast<std::size_t>(h));
+}
+
+}  // namespace
+
+void ReconstructWorkspace::finish(Frame& out) {
+  resize_plane(out.y, width_, height_);
+  resize_plane(out.u, width_ / 2, height_ / 2);
+  resize_plane(out.v, width_ / 2, height_ / 2);
+  const PlaneBases bases = plane_bases(width_, height_);
+  PlaneDecoder{out.y, bufs_, bases.y, m4_, m2_}.run();
+  PlaneDecoder{out.u, bufs_, bases.u, m4_, m2_}.run();
+  PlaneDecoder{out.v, bufs_, bases.v, m4_, m2_}.run();
+}
+
+void reconstruct_into(const PartialFrame& partial, ReconstructWorkspace& ws,
+                      Frame& out) {
+  ws.begin(partial.width, partial.height);
+  for (int l = 0; l < kNumLayers; ++l) {
     for (int k = 0; k < sublayer_count(l); ++k) {
       for (const Segment& seg :
            partial.layers[l][static_cast<std::size_t>(k)].segments) {
-        if (seg.offset > sz) continue;  // malformed; ignore
-        const std::size_t n = std::min(seg.bytes.size(), sz - seg.offset);
-        std::copy(seg.bytes.begin(),
-                  seg.bytes.begin() + static_cast<std::ptrdiff_t>(n),
-                  bufs[l][static_cast<std::size_t>(k)].begin() +
-                      static_cast<std::ptrdiff_t>(seg.offset));
+        ws.write(l, k, seg.offset, seg.bytes.data(), seg.bytes.size());
       }
     }
   }
-  Frame out(partial.width, partial.height);
-  const PlaneBases bases = plane_bases(partial.width, partial.height);
-  PlaneDecoder{out.y, bufs, bases.y}.run();
-  PlaneDecoder{out.u, bufs, bases.u}.run();
-  PlaneDecoder{out.v, bufs, bases.v}.run();
+  ws.finish(out);
+}
+
+Frame reconstruct(const PartialFrame& partial) {
+  ReconstructWorkspace ws;
+  Frame out;
+  reconstruct_into(partial, ws, out);
   return out;
 }
 

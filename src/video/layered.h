@@ -89,10 +89,45 @@ struct PartialFrame {
 /// Throws std::invalid_argument if dimensions are not multiples of 16.
 EncodedFrame encode(const Frame& frame);
 
+/// Reusable scratch for the progressive decoder: owns the 13 assembled
+/// sublayer buffers plus the intermediate mean planes, all of which keep
+/// their capacity across frames. Usage per reconstruction:
+///   ws.begin(w, h);                 // buffers reset to "no information"
+///   ws.write(l, k, offset, p, n);   // splice received byte ranges in
+///   ws.finish(frame);               // decode into a reusable Frame
+/// One workspace serves any number of frames of any (bounded) size; the
+/// steady state performs zero heap allocations.
+class ReconstructWorkspace {
+ public:
+  /// Resets every sublayer buffer to the default byte 128 (mid-gray for
+  /// layer 0, zero difference for layers 1-3) at the given dimensions.
+  void begin(int width, int height);
+
+  /// Copies `n` bytes into sublayer (layer, k) at byte `offset`, clipped
+  /// to the buffer like reconstruct() clips malformed Segments.
+  void write(int layer, int k, std::size_t offset, const std::uint8_t* data,
+             std::size_t n);
+
+  /// Decodes the assembled buffers into `out` (planes resized in place,
+  /// capacity reused). Must follow a begin().
+  void finish(Frame& out);
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::array<std::vector<std::vector<std::uint8_t>>, kNumLayers> bufs_;
+  std::vector<int> m4_, m2_;  // decoder mean-plane scratch
+};
+
 /// Reconstructs a frame from whatever arrived. Missing layer-0 blocks
 /// render as mid-gray (the blank frame); missing difference bytes fall
 /// back to the coarser layer.
 Frame reconstruct(const PartialFrame& partial);
+
+/// Allocation-free variant: assembles `partial` into the workspace and
+/// decodes into `out`. Bit-identical to reconstruct().
+void reconstruct_into(const PartialFrame& partial, ReconstructWorkspace& ws,
+                      Frame& out);
 
 /// Convenience: decode from a complete EncodedFrame.
 Frame reconstruct_full(const EncodedFrame& enc);

@@ -1,0 +1,118 @@
+// FrameArena contract: bump allocation with alignment, reset() that
+// rewinds without freeing, geometric page growth until the high-water mark
+// settles, and — the property the W4K_COUNT_ALLOCS gate leans on — zero
+// heap traffic for any allocation pattern that fits the warmed-up pages.
+#include "core/arena.h"
+
+#include "common/alloc_count.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+namespace w4k::core {
+namespace {
+
+TEST(FrameArena, StartsEmptyAndDefersTheFirstPage) {
+  FrameArena arena;
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_EQ(arena.capacity(), 0u);
+  EXPECT_EQ(arena.page_count(), 0u);
+  EXPECT_EQ(arena.high_water(), 0u);
+}
+
+TEST(FrameArena, InitialBytesPresizesTheFirstPage) {
+  FrameArena arena(1 << 16);
+  EXPECT_GE(arena.capacity(), std::size_t{1} << 16);
+  EXPECT_EQ(arena.page_count(), 1u);
+  EXPECT_EQ(arena.used(), 0u);
+}
+
+TEST(FrameArena, AllocSpanIsUsableAndCounted) {
+  FrameArena arena;
+  auto s = arena.alloc_span<double>(100);
+  ASSERT_EQ(s.size(), 100u);
+  for (std::size_t i = 0; i < s.size(); ++i) s[i] = double(i);
+  for (std::size_t i = 0; i < s.size(); ++i) EXPECT_EQ(s[i], double(i));
+  EXPECT_EQ(arena.used(), 100 * sizeof(double));
+  EXPECT_EQ(arena.high_water(), arena.used());
+}
+
+TEST(FrameArena, ZeroSizeSpanIsEmptyAndFree) {
+  FrameArena arena;
+  EXPECT_TRUE(arena.alloc_span<int>(0).empty());
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_EQ(arena.page_count(), 0u);
+}
+
+TEST(FrameArena, AllocZeroedZeroes) {
+  FrameArena arena;
+  auto a = arena.alloc_span<std::uint8_t>(256);
+  std::memset(a.data(), 0xAB, a.size());
+  arena.reset();
+  auto z = arena.alloc_zeroed<std::uint8_t>(256);
+  for (std::uint8_t v : z) EXPECT_EQ(v, 0u);
+}
+
+TEST(FrameArena, RespectsAlignment) {
+  FrameArena arena;
+  arena.alloc_span<char>(1);  // misalign the bump cursor
+  for (std::size_t align : {2, 4, 8, 16, 64}) {
+    void* p = arena.allocate(3, align);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+        << "alignment " << align;
+    arena.alloc_span<char>(1);
+  }
+}
+
+TEST(FrameArena, ResetRewindsWithoutFreeing) {
+  FrameArena arena;
+  auto first = arena.alloc_span<double>(512);
+  const std::size_t cap = arena.capacity();
+  const std::size_t pages = arena.page_count();
+  arena.reset();
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_EQ(arena.capacity(), cap);
+  EXPECT_EQ(arena.page_count(), pages);
+  // The rewound arena hands back the same memory.
+  auto second = arena.alloc_span<double>(512);
+  EXPECT_EQ(second.data(), first.data());
+}
+
+TEST(FrameArena, GrowsAcrossPagesAndKeepsOldSpansValid) {
+  FrameArena arena(4096);
+  auto a = arena.alloc_span<std::uint8_t>(3000);
+  std::memset(a.data(), 1, a.size());
+  // Exceed the first page: a new one must appear, and `a` must survive.
+  auto b = arena.alloc_span<std::uint8_t>(3000);
+  std::memset(b.data(), 2, b.size());
+  EXPECT_GE(arena.page_count(), 2u);
+  for (std::uint8_t v : a) ASSERT_EQ(v, 1u);
+  for (std::uint8_t v : b) ASSERT_EQ(v, 2u);
+  EXPECT_EQ(arena.high_water(), 6000u);
+}
+
+TEST(FrameArena, SteadyStateAddsNoPagesAndNoHeapTraffic) {
+  FrameArena arena;
+  const auto frame = [&arena] {
+    arena.reset();
+    arena.alloc_span<double>(700);
+    arena.allocate(96, 64);
+    arena.alloc_zeroed<std::uint32_t>(1200);
+  };
+  frame();  // warmup establishes the high-water mark
+  const std::size_t pages = arena.page_count();
+  const std::size_t cap = arena.capacity();
+  const alloc_count::Scope scope;
+  for (int i = 0; i < 16; ++i) frame();
+  EXPECT_EQ(arena.page_count(), pages);
+  EXPECT_EQ(arena.capacity(), cap);
+  if (alloc_count::counting_available()) {
+    EXPECT_EQ(scope.taken(), 0u)
+        << "warmed-up arena reached the heap in steady state";
+  }
+}
+
+}  // namespace
+}  // namespace w4k::core

@@ -8,6 +8,7 @@
 #include "obs/export.h"
 #include "obs/span.h"
 #include "sched/groups.h"
+#include "sched/workspace.h"
 
 #include <gtest/gtest.h>
 
@@ -126,9 +127,10 @@ TEST_F(ObsMetricsTest, AnytimeSchedulerCountersReachSnapshots) {
   for (int i = 0; i < 3; ++i)
     users.push_back(channel::make_channel(
         prop, channel::Position::from_polar(4.0, -0.3 + 0.3 * i)));
+  sched::SchedWorkspace ws;
   const auto groups = sched::enumerate_groups(
       beamforming::Scheme::kOptimizedMulticast, users,
-      beamforming::Codebook{}, std::uint64_t{3});
+      beamforming::Codebook{}, std::uint64_t{3}, {}, nullptr, ws);
   ASSERT_FALSE(groups.empty());
 
   std::ostringstream os;

@@ -175,9 +175,10 @@ TEST_F(TraceExportTest, EventsAreWellNestedPerThread) {
       while (!stack.empty() &&
              e.ts >= stack.back()->ts + stack.back()->dur)
         stack.pop_back();
-      if (!stack.empty())
+      if (!stack.empty()) {
         EXPECT_LE(e.ts + e.dur, stack.back()->ts + stack.back()->dur + 1e-6)
             << e.name << " overlaps " << stack.back()->name;
+      }
       stack.push_back(&e);
     }
   }

@@ -14,6 +14,7 @@
 #include "core/pretrained.h"
 #include "core/runner.h"
 #include "sched/beam_cache.h"
+#include "sched/workspace.h"
 #include "support/proptest.h"
 
 #include <gtest/gtest.h>
@@ -47,8 +48,8 @@ bool same_beam(const beamforming::GroupBeam& a,
   return true;
 }
 
-void expect_same_groups(const std::vector<sched::GroupSpec>& a,
-                        const std::vector<sched::GroupSpec>& b,
+void expect_same_groups(std::span<const sched::GroupSpec> a,
+                        std::span<const sched::GroupSpec> b,
                         const std::string& what) {
   prop_assert(a.size() == b.size(),
               what + ": group count " + std::to_string(a.size()) + " vs " +
@@ -80,13 +81,18 @@ TEST(PropsAnytime, HierarchicalEnumerationPureAcrossCacheAndPool) {
                                                   rng.uniform(-0.8, 0.8)));
         }
       const sched::GroupEnumConfig cfg;  // threshold 12 -> hierarchical
-      const auto serial = sched::enumerate_groups(
-          scheme, channels, beamforming::Codebook{}, seed, cfg, nullptr);
-      const auto pooled = sched::enumerate_groups(
-          scheme, channels, beamforming::Codebook{}, seed, cfg, &pool);
-      const auto cached =
-          cache.enumerate(channels, beamforming::Codebook{}, cfg,
-                          rng.chance(0.5) ? &pool : nullptr);
+      // Three separate workspaces: each span stays valid until the next
+      // enumeration on its own workspace, so all three can be compared.
+      sched::SchedWorkspace ws_serial, ws_pooled, ws_cached;
+      const auto serial =
+          sched::enumerate_groups(scheme, channels, beamforming::Codebook{},
+                                  seed, cfg, nullptr, ws_serial);
+      const auto pooled =
+          sched::enumerate_groups(scheme, channels, beamforming::Codebook{},
+                                  seed, cfg, &pool, ws_pooled);
+      const auto cached = cache.enumerate_into(
+          channels, beamforming::Codebook{}, cfg,
+          rng.chance(0.5) ? &pool : nullptr, ws_cached);
       expect_same_groups(serial, pooled,
                          "pooled, step " + std::to_string(step));
       expect_same_groups(serial, cached,
@@ -148,7 +154,7 @@ TEST_F(AnytimeSessionTest, DeadlineBoundedDecideAlwaysServesEveryUser) {
 
     prop_assert(!d.groups.empty(), "deadline produced an empty plan");
     double total_time = 0.0;
-    for (const auto& layers : d.allocation.time)
+    for (const auto& layers : d.allocation.time_rows())
       for (double t : layers) {
         prop_assert(t >= 0.0, "negative airtime");
         total_time += t;
@@ -161,7 +167,7 @@ TEST_F(AnytimeSessionTest, DeadlineBoundedDecideAlwaysServesEveryUser) {
       prop_assert(grouped, "user " + std::to_string(u) +
                                " in no group under deadline");
       double served = 0.0;
-      for (double b : d.allocation.user_bytes[u]) served += b;
+      for (double b : d.allocation.user_bytes(u)) served += b;
       prop_assert(served > 0.0, "user " + std::to_string(u) +
                                     " got zero airtime under deadline");
     }

@@ -1,0 +1,152 @@
+// Property suite: the zero-allocation frame path is an implementation
+// detail, not a behavior change.
+//
+// The workspace-reusing surface (step_into / decide_into, one FrameOutcome
+// and one set of session workspaces reused across every frame) must produce
+// a byte-identical SessionReport to the allocating wrappers (step / decide
+// constructing fresh objects per call), for any placement, across
+// W4K_THREADS 1 and 4, and with the decide deadline off (single-batch
+// enumeration, zero clock reads) and on (batched enumeration with clock
+// checks between batches; the bound is generous so no candidate is ever
+// cut and the output stays deterministic).
+#include "common/thread_pool.h"
+#include "core/pretrained.h"
+#include "core/runner.h"
+#include "support/proptest.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace w4k {
+namespace {
+
+using proptest::prop_assert;
+
+class ArenaEquivalenceTest : public ::testing::Test {
+ protected:
+  static constexpr int kW = 256;
+  static constexpr int kH = 144;
+
+  static void SetUpTestSuite() {
+    quality_ = new model::QualityModel(42);
+    core::PretrainedOptions opts;
+    opts.cache_path = "session_test_model.cache";
+    core::ensure_trained(*quality_, opts);
+    video::VideoSpec spec;
+    spec.width = kW;
+    spec.height = kH;
+    spec.frames = 3;
+    spec.seed = 11;
+    contexts_ = new std::vector<core::FrameContext>(core::make_contexts(
+        video::SyntheticVideo(spec), 2, core::scaled_symbol_size(kW, kH)));
+  }
+  static void TearDownTestSuite() {
+    delete quality_;
+    delete contexts_;
+    quality_ = nullptr;
+    contexts_ = nullptr;
+  }
+
+  static model::QualityModel* quality_;
+  static std::vector<core::FrameContext>* contexts_;
+};
+
+model::QualityModel* ArenaEquivalenceTest::quality_ = nullptr;
+std::vector<core::FrameContext>* ArenaEquivalenceTest::contexts_ = nullptr;
+
+constexpr int kFrames = 4;
+
+core::SessionConfig make_config(std::uint64_t seed, double deadline_ms) {
+  core::SessionConfig cfg = core::SessionConfig::scaled(256, 144);
+  cfg.seed = seed;
+  cfg.decide_deadline_ms = deadline_ms;
+  return cfg;
+}
+
+// Reuse path: run_static drives step_into with one hoisted FrameOutcome,
+// so every session workspace and scratch buffer is recycled across frames.
+std::string run_reused(model::QualityModel& quality,
+                       const std::vector<core::FrameContext>& contexts,
+                       const std::vector<linalg::CVector>& channels,
+                       const core::SessionConfig& cfg) {
+  core::MulticastSession session(cfg, quality, beamforming::Codebook{});
+  const core::SessionReport report =
+      core::run_static(session, channels, contexts, kFrames);
+  std::ostringstream os;
+  report.write_json(os);
+  return os.str();
+}
+
+// Allocating path: the compat wrappers construct a fresh FrameOutcome (and
+// a fresh Decision inside decide()) on every call.
+std::string run_fresh(model::QualityModel& quality,
+                      const std::vector<core::FrameContext>& contexts,
+                      const std::vector<linalg::CVector>& channels,
+                      const core::SessionConfig& cfg) {
+  core::MulticastSession session(cfg, quality, beamforming::Codebook{});
+  core::SessionReport report;
+  for (int f = 0; f < kFrames; ++f) {
+    const core::FrameContext& ctx =
+        contexts[static_cast<std::size_t>(f) % contexts.size()];
+    const core::FrameOutcome out = session.step(channels, channels, ctx);
+    report.add(out);
+  }
+  std::ostringstream os;
+  report.write_json(os);
+  return os.str();
+}
+
+TEST_F(ArenaEquivalenceTest, ReusedAndFreshPathsByteIdentical) {
+  // Each iteration runs eight full sessions (2 deadlines x 2 thread counts
+  // x 2 API styles), so scale the iteration count down by 10x from the
+  // W4K_PROP_ITERS baseline — the env knob still raises it proportionally.
+  proptest::Options opts = proptest::options_from_env();
+  if (!opts.has_replay_seed)
+    opts.iterations = std::max(3, opts.iterations / 10);
+  const auto res = proptest::check_property(
+      "core.arena.report-equivalence",
+      [](Rng& rng) {
+        const std::size_t n = 2 + rng.below(4);  // 2..5 users
+        const std::uint64_t seed = rng.next();
+        channel::PropagationConfig prop;
+        const auto channels = core::channels_for(
+            prop,
+            core::place_users_fixed(n, rng.uniform(2.5, 5.0), 1.047, rng));
+        // 0 = deadline off; 10 s = deadline machinery on but never
+        // cutting, which keeps the batched path deterministic.
+        for (double deadline_ms : {0.0, 10'000.0}) {
+          const core::SessionConfig cfg = make_config(seed, deadline_ms);
+          ThreadPool::reset_shared(1);
+          const std::string reused_1t =
+              run_reused(*quality_, *contexts_, channels, cfg);
+          const std::string fresh_1t =
+              run_fresh(*quality_, *contexts_, channels, cfg);
+          ThreadPool::reset_shared(4);
+          const std::string reused_4t =
+              run_reused(*quality_, *contexts_, channels, cfg);
+          const std::string fresh_4t =
+              run_fresh(*quality_, *contexts_, channels, cfg);
+          ThreadPool::reset_shared(0);
+          const std::string what =
+              deadline_ms > 0.0 ? " (deadline on)" : " (deadline off)";
+          prop_assert(reused_1t == fresh_1t,
+                      "workspace path diverged from the allocating "
+                      "wrappers at 1 thread" + what);
+          prop_assert(reused_4t == fresh_4t,
+                      "workspace path diverged from the allocating "
+                      "wrappers at 4 threads" + what);
+          prop_assert(reused_1t == reused_4t,
+                      "thread count changed the workspace-path report" +
+                          what);
+        }
+      },
+      opts);
+  if (!res.passed) ADD_FAILURE() << res.message;
+}
+
+}  // namespace
+}  // namespace w4k

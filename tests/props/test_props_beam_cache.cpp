@@ -7,6 +7,13 @@
 //     stateless enumeration exactly.
 // (b) At the session level, beam_cache on/off and W4K_THREADS 1/4 produce
 //     byte-identical SessionReport JSON on a mobility trace.
+//
+// The suite deliberately drives the deprecated allocating overloads (and
+// BeamCache::enumerate): they are the compat surface whose bit-identity to
+// the SchedWorkspace path these properties pin down.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
 #include "channel/mobility.h"
 #include "core/pretrained.h"
 #include "core/runner.h"

@@ -1,0 +1,136 @@
+// The zero-allocation frame-path gate (DESIGN.md Sec. 4g).
+//
+// Under `cmake -DW4K_COUNT_ALLOCS=ON` the global operator new/delete are
+// counted (all threads, including ThreadPool workers). These tests pin the
+// tentpole contract: after a 3-frame warmup has sized every workspace and
+// arena page, MulticastSession::step_into performs ZERO heap allocations
+// per frame — on the pinned static 4-user placement and on a mobility
+// trace whose channels churn every beacon. In a normal build the counters
+// are inert, so the gate skips instead of reporting a vacuous pass.
+#include "common/alloc_count.h"
+
+#include "channel/mobility.h"
+#include "core/pretrained.h"
+#include "core/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace w4k::core {
+namespace {
+
+constexpr int kW = 256;
+constexpr int kH = 144;
+constexpr int kWarmupFrames = 3;
+
+class AllocGateTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    quality_ = new model::QualityModel(42);
+    PretrainedOptions opts;
+    opts.cache_path = "session_test_model.cache";
+    ensure_trained(*quality_, opts);
+
+    video::VideoSpec spec;
+    spec.width = kW;
+    spec.height = kH;
+    spec.frames = 4;
+    spec.richness = video::Richness::kHigh;
+    spec.seed = 11;
+    contexts_ = new std::vector<FrameContext>(make_contexts(
+        video::SyntheticVideo(spec), 3, scaled_symbol_size(kW, kH)));
+  }
+  static void TearDownTestSuite() {
+    delete quality_;
+    delete contexts_;
+    quality_ = nullptr;
+    contexts_ = nullptr;
+  }
+
+  static model::QualityModel* quality_;
+  static std::vector<FrameContext>* contexts_;
+};
+
+model::QualityModel* AllocGateTest::quality_ = nullptr;
+std::vector<FrameContext>* AllocGateTest::contexts_ = nullptr;
+
+// Sanity check of the instrument itself: a deliberate heap allocation
+// inside a Scope must trip the counter. Without this, a broken counter
+// (say, an operator-new override that never got linked) would make every
+// zero-allocation assertion below pass vacuously.
+TEST(AllocCount, GateTripsOnDeliberateAllocation) {
+  if (!alloc_count::counting_available())
+    GTEST_SKIP() << "W4K_COUNT_ALLOCS is off in this build";
+  const alloc_count::Scope scope;
+  auto* p = new std::vector<double>(1024, 0.5);
+  EXPECT_GT(scope.taken(), 0u) << "operator-new override not counting";
+  const std::uint64_t before_delete = alloc_count::deallocations();
+  delete p;
+  EXPECT_GT(alloc_count::deallocations(), before_delete);
+}
+
+// Static 4-user scenario: pinned placement (the Fig. 4a testbed geometry),
+// fresh CSI every frame. After warmup, every step must be allocation-free.
+TEST_F(AllocGateTest, StaticFourUsersZeroAllocsPerFrameAfterWarmup) {
+  if (!alloc_count::counting_available())
+    GTEST_SKIP() << "W4K_COUNT_ALLOCS is off in this build";
+
+  Rng rng(5);
+  channel::PropagationConfig prop;
+  const auto channels =
+      channels_for(prop, place_users_fixed(4, 3.0, 1.047, rng));
+  MulticastSession session(SessionConfig::scaled(kW, kH), *quality_,
+                           beamforming::Codebook{});
+  const fault::FrameFaults no_faults;
+  FrameOutcome outcome;
+  for (int f = 0; f < 12; ++f) {
+    const FrameContext& ctx =
+        (*contexts_)[static_cast<std::size_t>(f) % contexts_->size()];
+    const alloc_count::Scope scope;
+    session.step_into(channels, channels, ctx, no_faults, outcome);
+    if (f >= kWarmupFrames) {
+      EXPECT_EQ(scope.taken(), 0u)
+          << "frame " << f << " of the static4 scenario hit the heap";
+    }
+  }
+}
+
+// Mobility scenario: two walkers, CSI changing every beacon — the decide()
+// path re-enumerates groups and re-optimizes each frame, and the engine
+// sees different loss patterns. Still zero heap traffic after warmup.
+TEST_F(AllocGateTest, MobileTraceZeroAllocsPerFrameAfterWarmup) {
+  if (!alloc_count::counting_available())
+    GTEST_SKIP() << "W4K_COUNT_ALLOCS is off in this build";
+
+  channel::MovingReceiverConfig mc;
+  mc.n_users = 2;
+  mc.duration = 0.5;  // 5 beacons -> 15 frames at 3 frames/beacon
+  mc.seed = 9;
+  const channel::CsiTrace trace = channel::moving_receiver_trace(mc);
+  ASSERT_GT(trace.steps(), 1u);
+
+  MulticastSession session(SessionConfig::scaled(kW, kH), *quality_,
+                           beamforming::Codebook{});
+  const fault::FrameFaults no_faults;
+  FrameOutcome outcome;
+  int frame = 0;
+  for (std::size_t t = 0; t < trace.steps(); ++t) {
+    // One-beacon CSI staleness, exactly like run_trace.
+    const auto& truth = trace.snapshots[t];
+    const auto& decision = trace.snapshots[t > 0 ? t - 1 : 0];
+    for (int k = 0; k < 3; ++k, ++frame) {
+      const FrameContext& ctx =
+          (*contexts_)[static_cast<std::size_t>(frame) % contexts_->size()];
+      const alloc_count::Scope scope;
+      session.step_into(decision, truth, ctx, no_faults, outcome);
+      if (frame >= kWarmupFrames) {
+        EXPECT_EQ(scope.taken(), 0u)
+            << "frame " << frame << " of the mobile scenario hit the heap";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace w4k::core

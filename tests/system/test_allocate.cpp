@@ -40,18 +40,26 @@ class AllocateTest : public ::testing::Test {
     ctx_ = nullptr;
   }
 
+  /// AllocProblem::groups is a non-owning span, so the test problem
+  /// carries its own group storage. Safe to return/move by value: moving
+  /// the vector keeps its heap buffer, so the span stays valid.
+  struct TestProblem : AllocProblem {
+    std::vector<GroupSpec> storage;
+  };
+
   /// Builds a problem with groups at the given (members, Mbps) specs.
-  static AllocProblem problem(
+  static TestProblem problem(
       std::vector<std::pair<std::vector<std::size_t>, double>> groups,
       std::size_t n_users) {
-    AllocProblem p;
+    TestProblem p;
     for (auto& [members, rate] : groups) {
       GroupSpec g;
       g.members = members;
       g.beam.rate = Mbps{rate};
       g.beam.min_rss = Dbm{-50.0};
-      p.groups.push_back(std::move(g));
+      p.storage.push_back(std::move(g));
     }
+    p.groups = p.storage;
     p.n_users = n_users;
     p.content = ctx_->content;
     return p;
@@ -59,7 +67,7 @@ class AllocateTest : public ::testing::Test {
 
   static double total_time(const Allocation& a) {
     double t = 0.0;
-    for (const auto& row : a.time)
+    for (const auto& row : a.time_rows())
       for (double x : row) t += x;
     return t;
   }
@@ -75,7 +83,7 @@ TEST_F(AllocateTest, RespectsTimeBudget) {
   auto p = problem({{{0}, 40.0}, {{1}, 40.0}, {{0, 1}, 40.0}}, 2);
   const Allocation a = optimize_allocation(p, *quality_);
   EXPECT_LE(total_time(a), p.time_budget + 1e-9);
-  for (const auto& row : a.time)
+  for (const auto& row : a.time_rows())
     for (double x : row) EXPECT_GE(x, 0.0);
 }
 
@@ -85,7 +93,7 @@ TEST_F(AllocateTest, PrefersSharedGroupWhenRatesEqual) {
   auto p = problem({{{0}, 40.0}, {{1}, 40.0}, {{0, 1}, 40.0}}, 2);
   const Allocation a = optimize_allocation(p, *quality_);
   double shared = 0.0;
-  for (double x : a.time[2]) shared += x;
+  for (double x : a.time(2)) shared += x;
   EXPECT_GT(shared, 0.9 * total_time(a));
 }
 
@@ -95,10 +103,10 @@ TEST_F(AllocateTest, FillsLowerLayersFirst) {
   // Lower layers should be complete before upper layers get anything
   // substantial (capacity 40 Mbps can fill L0..L2 and part of L3).
   for (int l = 0; l < 3; ++l)
-    EXPECT_GE(a.user_bytes[0][static_cast<std::size_t>(l)],
+    EXPECT_GE(a.user_bytes(0)[static_cast<std::size_t>(l)],
               0.95 * p.content.layer_bytes[static_cast<std::size_t>(l)])
         << "layer " << l;
-  EXPECT_LT(a.user_bytes[0][3], p.content.layer_bytes[3]);
+  EXPECT_LT(a.user_bytes(0)[3], p.content.layer_bytes[3]);
 }
 
 TEST_F(AllocateTest, AvoidsGrossOverAllocation) {
@@ -107,7 +115,7 @@ TEST_F(AllocateTest, AvoidsGrossOverAllocation) {
   // No layer should receive more than ~a symbol or two beyond its cap.
   for (int l = 0; l < video::kNumLayers; ++l) {
     const auto ls = static_cast<std::size_t>(l);
-    EXPECT_LT(a.user_bytes[0][ls], p.content.layer_bytes[ls] * 1.1 + 2000.0)
+    EXPECT_LT(a.user_bytes(0)[ls], p.content.layer_bytes[ls] * 1.1 + 2000.0)
         << "layer " << l;
   }
 }
@@ -125,12 +133,12 @@ TEST_F(AllocateTest, AsymmetricRatesFavorBottleneckViaSingletons) {
   // the base layer to the weak user via some group containing it.
   auto p = problem({{{0}, 40.0}, {{1}, 8.0}, {{0, 1}, 8.0}}, 2);
   const Allocation a = optimize_allocation(p, *quality_);
-  EXPECT_GT(a.user_bytes[1][0], 0.9 * p.content.layer_bytes[0]);
+  EXPECT_GT(a.user_bytes(1)[0], 0.9 * p.content.layer_bytes[0]);
   // And the strong user should end with more total bytes.
-  const double s0 = std::accumulate(a.user_bytes[0].begin(),
-                                    a.user_bytes[0].end(), 0.0);
-  const double s1 = std::accumulate(a.user_bytes[1].begin(),
-                                    a.user_bytes[1].end(), 0.0);
+  const double s0 = std::accumulate(a.user_bytes(0).begin(),
+                                    a.user_bytes(0).end(), 0.0);
+  const double s1 = std::accumulate(a.user_bytes(1).begin(),
+                                    a.user_bytes(1).end(), 0.0);
   EXPECT_GT(s0, s1);
 }
 
@@ -148,7 +156,7 @@ TEST_F(AllocateTest, BytesConsistentWithTimeAndRate) {
   const Allocation a = optimize_allocation(p, *quality_);
   for (int l = 0; l < video::kNumLayers; ++l) {
     const auto ls = static_cast<std::size_t>(l);
-    EXPECT_NEAR(a.bytes[0][ls], a.time[0][ls] * 37.0 * 1e6 / 8.0, 1e-6);
+    EXPECT_NEAR(a.bytes(0)[ls], a.time(0)[ls] * 37.0 * 1e6 / 8.0, 1e-6);
   }
 }
 
@@ -159,7 +167,7 @@ TEST_F(AllocateTest, RoundRobinUsesFullBudgetCyclically) {
   // Round robin splits time equally across the three groups.
   for (std::size_t g = 0; g < 3; ++g) {
     double t = 0.0;
-    for (double x : a.time[g]) t += x;
+    for (double x : a.time(g)) t += x;
     EXPECT_NEAR(t, p.time_budget / 3.0, 1e-3);
   }
 }
@@ -299,7 +307,7 @@ TEST_F(AllocateTest, WarmStartMatchingPreviousOptimumIsAccepted) {
   auto p = problem({{{0}, 40.0}, {{1}, 30.0}, {{0, 1}, 25.0}}, 2);
   const Allocation cold = optimize_allocation(p, *quality_);
   std::vector<double> warm;
-  for (const auto& row : cold.time)
+  for (const auto& row : cold.time_rows())
     warm.insert(warm.end(), row.begin(), row.end());
   const Allocation warmed = optimize_allocation(p, *quality_, {}, &warm);
   // Restarting from the optimum must not lose objective, and converges in
@@ -316,7 +324,7 @@ TEST_F(AllocateTest, WarmStartLeavingAUserUnservedFallsBackToMultiStart) {
   std::vector<double> warm(p.groups.size() * video::kNumLayers, 0.0);
   warm[0] = p.time_budget;  // everything on user 0's singleton
   const Allocation a = optimize_allocation(p, *quality_, {}, &warm);
-  EXPECT_GT(a.user_bytes[1][0], 0.9 * p.content.layer_bytes[0]);
+  EXPECT_GT(a.user_bytes(1)[0], 0.9 * p.content.layer_bytes[0]);
 }
 
 TEST_F(AllocateTest, UnusableWarmStartsReproduceColdBitIdentically) {
@@ -332,7 +340,9 @@ TEST_F(AllocateTest, UnusableWarmStartsReproduceColdBitIdentically) {
   for (const auto& w : warms) {
     const Allocation a = optimize_allocation(p, *quality_, {}, &w);
     EXPECT_EQ(a.objective, cold.objective);
-    EXPECT_EQ(a.time, cold.time);
+    ASSERT_EQ(a.group_count(), cold.group_count());
+    for (std::size_t g = 0; g < a.group_count(); ++g)
+      EXPECT_EQ(a.time(g), cold.time(g)) << "group " << g;
     EXPECT_EQ(a.iterations, cold.iterations);
   }
   // An absurd-but-finite warm start is projected onto the budget and is

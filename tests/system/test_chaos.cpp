@@ -79,9 +79,12 @@ class ChaosTest : public ::testing::Test {
       ASSERT_EQ(f.ssim.size(), kUsers);
       ASSERT_EQ(f.psnr.size(), kUsers);
       ASSERT_EQ(f.decoded_fraction.size(), kUsers);
-      if (!f.user_present.empty()) ASSERT_EQ(f.user_present.size(), kUsers);
-      if (!f.user_quarantined.empty())
+      if (!f.user_present.empty()) {
+        ASSERT_EQ(f.user_present.size(), kUsers);
+      }
+      if (!f.user_quarantined.empty()) {
         ASSERT_EQ(f.user_quarantined.size(), kUsers);
+      }
       for (std::size_t u = 0; u < kUsers; ++u) {
         EXPECT_TRUE(std::isfinite(f.ssim[u]));
         EXPECT_GE(f.ssim[u], 0.0);
