@@ -35,6 +35,22 @@
 //   --fault-plan P       inject faults while streaming: a fault-plan file
 //                        (see fault/plan.h for the format) or random:SEED
 //                        for a seeded random plan covering the whole run
+//                        (multi-AP runs draw AP outages, handoff-beacon
+//                        losses, and relay churn too)
+//   --aps N              access points serving the room [1]; N > 1 runs
+//                        the multi-AP static path: per-user attachment,
+//                        mid-session handoff, AP-partitioned groups
+//   --geometry FILE      AP geometry file (see channel/multi_ap.h format);
+//                        sets the AP count, which must match --aps when
+//                        both are given. Without it, --aps N uses the
+//                        deterministic default wall layout
+//   --relay on|off       peer relay of base-layer symbols from LoS users
+//                        to quarantined peers over a D2D side link [off]
+//   --quarantine-after N frames of zero decodes before a user is
+//                        quarantined; 0 disables quarantine [6]. --relay on
+//                        with one AP and 0 here is rejected at validation
+//   --manifest PATH      write a run-manifest JSON (config echo including
+//                        aps/geometry/relay, environment, stage timings)
 //   --csv PATH           write the per-frame report as CSV
 //   --trace-out PATH     write a Chrome trace_event JSON of the per-stage
 //                        spans (open in Perfetto / chrome://tracing)
@@ -42,18 +58,22 @@
 //                        gauges, histograms and stage timers
 //   --seed N             master seed [1]
 #include "channel/array.h"
+#include "channel/multi_ap.h"
 #include "channel/trace_io.h"
 #include "common/args.h"
+#include "common/thread_pool.h"
 #include "core/pretrained.h"
 #include "core/report.h"
 #include "core/runner.h"
 #include "fault/plan.h"
 #include "obs/export.h"
+#include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "video/io.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <stdexcept>
 
@@ -70,10 +90,14 @@ beamforming::Scheme parse_scheme(const std::string& s) {
 }
 
 /// Resolves --fault-plan: a file path, or "random:SEED" for a seeded plan
-/// sized to the run. Returns an empty plan when the flag is absent.
+/// sized to the run. Returns an empty plan when the flag is absent. Multi-AP
+/// runs (n_aps > 1) extend random plans with AP outages, handoff-beacon
+/// losses, and (with relay on) relay churn; with one AP the generated plan
+/// is bit-identical to the pre-multi-AP generator.
 fault::FaultPlan resolve_fault_plan(const std::string& arg,
                                     std::uint32_t n_frames,
-                                    std::size_t n_users) {
+                                    std::size_t n_users, std::size_t n_aps,
+                                    bool relay_on) {
   if (arg.empty()) return {};
   if (arg.rfind("random:", 0) == 0) {
     std::uint64_t fseed = 0;
@@ -88,9 +112,20 @@ fault::FaultPlan resolve_fault_plan(const std::string& arg,
       throw std::invalid_argument("--fault-plan: '" + seed_str +
                                   "' is not a valid seed (expected "
                                   "random:<unsigned integer>)");
-    return fault::FaultPlan::random(fseed, n_frames, n_users);
+    fault::RandomPlanConfig rcfg;
+    if (n_aps > 1) {
+      rcfg.n_aps = n_aps;
+      rcfg.ap_outages = 2;
+      rcfg.handoff_beacon_losses = 2;
+    }
+    if (relay_on) rcfg.relay_churns = 2;
+    return fault::FaultPlan::random(fseed, n_frames, n_users, rcfg);
   }
-  return fault::load_fault_plan(arg);
+  fault::FaultPlan plan = fault::load_fault_plan(arg);
+  // Range-check file plans against the actual run shape (user and AP
+  // indices) instead of failing deep inside a frame.
+  plan.validate(n_users, n_aps);
+  return plan;
 }
 
 std::vector<core::FrameContext> load_contexts(const Args& args, int width,
@@ -134,6 +169,29 @@ int main(int argc, char** argv) {
     const auto n_users = static_cast<std::size_t>(args.get("users", 3));
     const auto seed = static_cast<std::uint64_t>(args.get("seed", 1));
 
+    // --- Multi-AP geometry and relay flags ---------------------------------
+    const bool aps_given = args.has("aps");
+    const auto aps_arg = static_cast<std::size_t>(args.get("aps", 1));
+    const std::string geometry_path = args.get("geometry", std::string{});
+    const std::string relay_arg = args.get("relay", std::string("off"));
+    if (relay_arg != "on" && relay_arg != "off")
+      throw std::invalid_argument("--relay: expected on|off, got '" +
+                                  relay_arg + "'");
+    const bool relay_on = relay_arg == "on";
+    channel::MultiApGeometry geometry;
+    if (!geometry_path.empty()) {
+      geometry = channel::load_geometry(geometry_path);
+      if (aps_given && aps_arg != geometry.n_aps())
+        throw std::invalid_argument(
+            "--aps " + std::to_string(aps_arg) + " contradicts --geometry " +
+            geometry_path + " (" + std::to_string(geometry.n_aps()) + " APs)");
+      std::printf("geometry: %s (%zu APs)\n", geometry_path.c_str(),
+                  geometry.n_aps());
+    } else {
+      geometry.aps = channel::default_ap_layout(aps_arg, geometry.prop.room);
+    }
+    const std::size_t n_aps = geometry.n_aps();
+
     // --- Content -----------------------------------------------------------
     const auto contexts = load_contexts(args, width, height);
     const int ctx_w = contexts.front().original.width();
@@ -166,6 +224,13 @@ int main(int argc, char** argv) {
     // (see SessionConfig::decide_deadline_ms).
     cfg.decide_deadline_ms = args.get("decide-deadline-ms", 0.0);
     cfg.seed = seed;
+    cfg.quarantine_after = args.get("quarantine-after", cfg.quarantine_after);
+    cfg.handoff.n_aps = n_aps;
+    cfg.handoff.enabled = n_aps > 1;
+    cfg.relay.enabled = relay_on;
+    // --relay on with one AP and quarantine disabled fails right here, in
+    // SessionConfig::validate (via the session constructor below): there
+    // would never be a relay target.
 
     // --- Channel: trace or static placement --------------------------------
     const std::string trace_path = args.get("trace", std::string{});
@@ -186,13 +251,18 @@ int main(int argc, char** argv) {
             std::uint32_t run_frames) {
           std::printf(
               "fault plan: %zu feedback, %zu csi, %zu blockage, %zu budget, "
-              "%zu churn events over %u frames\n",
+              "%zu churn, %zu ap-outage, %zu handoff-beacon, %zu relay-churn "
+              "events over %u frames\n",
               plan.feedback.size(), plan.csi.size(), plan.blockage.size(),
-              plan.budget.size(), plan.churn.size(), run_frames);
-          return fault::FaultInjector(plan, run_users);
+              plan.budget.size(), plan.churn.size(), plan.ap_outage.size(),
+              plan.handoff_beacon.size(), plan.relay_churn.size(), run_frames);
+          return fault::FaultInjector(plan, run_users, n_aps);
         };
 
     core::SessionReport report;
+    if (n_aps > 1 && (!trace_path.empty() || !mobile.empty()))
+      throw std::invalid_argument(
+          "--aps: multi-AP runs are static-only (drop --trace/--mobile)");
     if (!trace_path.empty() || !mobile.empty()) {
       channel::CsiTrace trace;
       if (!trace_path.empty()) {
@@ -231,8 +301,8 @@ int main(int argc, char** argv) {
       }
       if (!fault_arg.empty()) {
         const auto run_frames = static_cast<std::uint32_t>(trace.steps() * 3);
-        const auto plan =
-            resolve_fault_plan(fault_arg, run_frames, trace.users());
+        const auto plan = resolve_fault_plan(fault_arg, run_frames,
+                                             trace.users(), 1, relay_on);
         report = core::run_trace(
             session, trace, contexts,
             stream_with_faults(plan, trace.users(), run_frames));
@@ -257,16 +327,31 @@ int main(int argc, char** argv) {
                     u.azimuth() * 57.2958);
       std::printf("\n");
       const int n_frames = args.get("frames", 60);
-      const auto channels = core::channels_for(prop, users);
-      if (!fault_arg.empty()) {
+      if (n_aps > 1) {
+        // Multi-AP static path: per-AP channel stacks, AP-level faults,
+        // attachment/handoff inside the session.
+        geometry.prop = prop;
+        const auto stacks = channel::ap_channel_stacks(geometry, users);
+        const auto azimuths = channel::ap_user_azimuths(geometry, users);
         const auto plan = resolve_fault_plan(
-            fault_arg, static_cast<std::uint32_t>(n_frames), users.size());
+            fault_arg, static_cast<std::uint32_t>(n_frames), users.size(),
+            n_aps, relay_on);
+        report = core::run_static_multi_ap(
+            session, stacks, contexts, n_frames,
+            stream_with_faults(plan, users.size(),
+                               static_cast<std::uint32_t>(n_frames)),
+            azimuths);
+      } else if (!fault_arg.empty()) {
+        const auto plan = resolve_fault_plan(
+            fault_arg, static_cast<std::uint32_t>(n_frames), users.size(), 1,
+            relay_on);
         report = core::run_static(
-            session, channels, contexts, n_frames,
+            session, core::channels_for(prop, users), contexts, n_frames,
             stream_with_faults(plan, users.size(),
                                static_cast<std::uint32_t>(n_frames)));
       } else {
-        report = core::run_static(session, channels, contexts, n_frames);
+        report = core::run_static(session, core::channels_for(prop, users),
+                                  contexts, n_frames);
       }
     }
 
@@ -289,6 +374,31 @@ int main(int argc, char** argv) {
       std::ofstream out(metrics_out);
       obs::write_json_snapshot(out, obs::MetricsRegistry::global());
       std::printf("metrics snapshot written to %s\n", metrics_out.c_str());
+    }
+
+    const std::string manifest_out = args.get("manifest", std::string{});
+    if (!manifest_out.empty()) {
+      obs::Manifest manifest("w4k_sim");
+      manifest.set("users", static_cast<int>(n_users));
+      manifest.set("aps", static_cast<int>(n_aps));
+      manifest.set("geometry", geometry_path.empty() ? "default-layout"
+                                                     : geometry_path);
+      manifest.set("relay", relay_on);
+      manifest.set("scheme", args.get("scheme", std::string("opt-multicast")));
+      manifest.set("schedule",
+                   cfg.optimized_schedule ? "optimized" : "roundrobin");
+      manifest.set("frames", static_cast<std::int64_t>(report.frames()));
+      manifest.set("quarantine_after", cfg.quarantine_after);
+      manifest.set("fault_plan", fault_arg.empty() ? "none" : fault_arg);
+      manifest.set("seed", static_cast<std::int64_t>(seed));
+      manifest.set_env("pool_threads",
+                       static_cast<std::int64_t>(ThreadPool::shared().size()));
+      const char* threads_env = std::getenv("W4K_THREADS");
+      manifest.set_env("W4K_THREADS", threads_env ? threads_env : "");
+      const char* scalar_env = std::getenv("W4K_FORCE_SCALAR");
+      manifest.set_env("W4K_FORCE_SCALAR", scalar_env ? scalar_env : "");
+      if (manifest.write_file(manifest_out))
+        std::printf("run manifest written to %s\n", manifest_out.c_str());
     }
 
     // Every option has been queried by now: anything left is a typo.

@@ -3,9 +3,12 @@
 #
 # Stage 1: fast (plain Release) build + the full tier-1 suite, then the
 #          golden-report regression gate (byte-stable canonical JSON
-#          across thread counts and SIMD dispatch; scripts/golden.sh) and
+#          across thread counts and SIMD dispatch; scripts/golden.sh),
 #          the chaos-scale slice (20 random fault plans against a 32-user
-#          session with the anytime decide deadline on).
+#          session with the anytime decide deadline on), and the
+#          chaos-multiap slice (20 random multi-AP plans — AP outages,
+#          handoff-beacon losses, relay churn — against 2-AP sessions
+#          with handoff and peer relay on).
 # Stage 2: rebuild under ASan+UBSan (W4K_SANITIZE=ON) and rerun the
 #          randomized suites there: the chaos fault-injection suite, the
 #          property suites (raised iteration count), and the parser fuzz
@@ -13,9 +16,10 @@
 #          property input, and every mutated parser input also executes
 #          under sanitizers.
 # Stage 3: rebuild with W4K_COUNT_ALLOCS=ON (counted operator new/delete)
-#          and run the zero-allocation frame-path gate: after a 3-frame
-#          warmup the pinned static4 and mobile scenarios must perform
-#          zero heap allocations per step_into (DESIGN.md Sec. 4g).
+#          and run the zero-allocation frame-path gate: after warmup the
+#          pinned static4 and mobile scenarios (step_into) and a faulted
+#          2-AP handoff+relay scenario (step_multi_into) must perform
+#          zero heap allocations per frame (DESIGN.md Sec. 4g).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,13 +30,14 @@ cmake --build build -j"$jobs"
 ctest --test-dir build --output-on-failure -j"$jobs" -L tier1
 ctest --test-dir build --output-on-failure -L golden
 ctest --test-dir build --output-on-failure -L chaos-scale
+ctest --test-dir build --output-on-failure -L chaos-multiap
 
 cmake -B build-asan -S . -DW4K_SANITIZE=ON
 cmake --build build-asan -j"$jobs" \
-      --target tests_chaos tests_props chaos_scale fuzz_jsonlite \
-               fuzz_fault_plan fuzz_trace_io
-# -L matches labels by regex, so "chaos" selects both the chaos suite and
-# the chaos-scale slice — both rerun under the sanitizers.
+      --target tests_chaos tests_props chaos_scale chaos_multiap \
+               fuzz_jsonlite fuzz_fault_plan fuzz_trace_io
+# -L matches labels by regex, so "chaos" selects the chaos suite plus the
+# chaos-scale and chaos-multiap slices — all rerun under the sanitizers.
 ctest --test-dir build-asan --output-on-failure -j"$jobs" -L chaos
 W4K_PROP_ITERS=200 \
   ctest --test-dir build-asan --output-on-failure -j"$jobs" -L props

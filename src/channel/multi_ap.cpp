@@ -1,0 +1,151 @@
+#include "channel/multi_ap.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace w4k::channel {
+
+void MultiApGeometry::validate() const {
+  if (aps.empty())
+    throw std::invalid_argument("MultiApGeometry: need at least one AP");
+  if (aps.size() > kMaxAps)
+    throw std::invalid_argument(
+        "MultiApGeometry: " + std::to_string(aps.size()) +
+        " APs exceeds the cap of " + std::to_string(kMaxAps));
+  for (std::size_t a = 0; a < aps.size(); ++a) {
+    if (!std::isfinite(aps[a].pos.x) || !std::isfinite(aps[a].pos.y) ||
+        !std::isfinite(aps[a].boresight_rad))
+      throw std::invalid_argument("MultiApGeometry: ap[" +
+                                  std::to_string(a) + "] pose is not finite");
+  }
+}
+
+Position to_ap_frame(const ApPose& ap, Position world) {
+  const double dx = world.x - ap.pos.x;
+  const double dy = world.y - ap.pos.y;
+  const double c = std::cos(ap.boresight_rad);
+  const double s = std::sin(ap.boresight_rad);
+  // Rotate by -boresight so the AP's boresight lands on the local +x axis.
+  return Position{c * dx + s * dy, -s * dx + c * dy};
+}
+
+double azimuth_from_ap(const ApPose& ap, Position world) {
+  return to_ap_frame(ap, world).azimuth();
+}
+
+std::vector<ApPose> default_ap_layout(std::size_t n, const Room& room) {
+  if (n == 0 || n > kMaxAps)
+    throw std::invalid_argument("default_ap_layout: n must be in [1, " +
+                                std::to_string(kMaxAps) + "]");
+  constexpr double kPi = 3.14159265358979323846;
+  std::vector<ApPose> aps;
+  aps.reserve(n);
+  // Legacy pose first so a 1-AP geometry is exactly the single-AP model.
+  aps.push_back(ApPose{Position{0.0, 0.0}, 0.0});
+  if (n > 1) aps.push_back(ApPose{Position{room.length, 0.0}, kPi});
+  if (n > 2)
+    aps.push_back(ApPose{Position{room.length / 2, room.width / 2}, -kPi / 2});
+  if (n > 3)
+    aps.push_back(ApPose{Position{room.length / 2, -room.width / 2}, kPi / 2});
+  for (std::size_t k = 4; k < n; ++k) {
+    const double y = (k % 2 ? -1.0 : 1.0) * room.width / 4;
+    if (k % 4 < 2) aps.push_back(ApPose{Position{0.0, y}, 0.0});
+    else aps.push_back(ApPose{Position{room.length, y}, kPi});
+  }
+  return aps;
+}
+
+linalg::CVector ap_channel(const PropagationConfig& cfg, const ApPose& ap,
+                           Position user, double los_extra_loss_db) {
+  return make_channel(cfg, to_ap_frame(ap, user), los_extra_loss_db);
+}
+
+std::vector<std::vector<linalg::CVector>> ap_channel_stacks(
+    const MultiApGeometry& geo, const std::vector<Position>& users) {
+  geo.validate();
+  std::vector<std::vector<linalg::CVector>> stacks(geo.aps.size());
+  for (std::size_t a = 0; a < geo.aps.size(); ++a) {
+    stacks[a].reserve(users.size());
+    for (const auto& u : users)
+      stacks[a].push_back(ap_channel(geo.prop, geo.aps[a], u));
+  }
+  return stacks;
+}
+
+std::vector<std::vector<double>> ap_user_azimuths(
+    const MultiApGeometry& geo, const std::vector<Position>& users) {
+  geo.validate();
+  std::vector<std::vector<double>> az(geo.aps.size());
+  for (std::size_t a = 0; a < geo.aps.size(); ++a) {
+    az[a].reserve(users.size());
+    for (const auto& u : users)
+      az[a].push_back(azimuth_from_ap(geo.aps[a], u));
+  }
+  return az;
+}
+
+MultiApGeometry parse_geometry(std::istream& is,
+                               const PropagationConfig& prop) {
+  MultiApGeometry geo;
+  geo.prop = prop;
+  bool saw_room = false;
+  std::string line;
+  int lineno = 0;
+  const auto err = [&](const std::string& msg) -> void {
+    throw std::runtime_error("geometry:" + std::to_string(lineno) + ": " +
+                             msg);
+  };
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind)) continue;
+    if (kind == "room") {
+      if (saw_room) err("duplicate room line");
+      saw_room = true;
+      double length = 0.0, width = 0.0;
+      if (!(ls >> length >> width)) err("expected room <length_m> <width_m>");
+      if (!(length > 0.0) || !(width > 0.0) || !std::isfinite(length) ||
+          !std::isfinite(width))
+        err("room dimensions must be finite and > 0");
+      geo.prop.room.length = length;
+      geo.prop.room.width = width;
+    } else if (kind == "ap") {
+      double x = 0.0, y = 0.0, boresight_deg = 0.0;
+      if (!(ls >> x >> y >> boresight_deg))
+        err("expected ap <x_m> <y_m> <boresight_deg>");
+      if (!std::isfinite(x) || !std::isfinite(y) ||
+          !std::isfinite(boresight_deg))
+        err("ap pose must be finite");
+      constexpr double kRad = 3.14159265358979323846 / 180.0;
+      geo.aps.push_back(ApPose{Position{x, y}, boresight_deg * kRad});
+      if (geo.aps.size() > kMaxAps)
+        err("more than " + std::to_string(kMaxAps) + " APs");
+    } else {
+      err("unknown item '" + kind + "'");
+    }
+    std::string extra;
+    if (ls >> extra) err("trailing tokens starting at '" + extra + "'");
+  }
+  if (geo.aps.empty())
+    throw std::runtime_error("geometry: no 'ap' lines (need at least one)");
+  geo.validate();
+  return geo;
+}
+
+MultiApGeometry load_geometry(const std::string& path,
+                              const PropagationConfig& prop) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_geometry: cannot open " + path);
+  try {
+    return parse_geometry(is, prop);
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+}  // namespace w4k::channel

@@ -27,6 +27,8 @@ FrameContext make_frame_context(video::Frame frame,
     ctx.content.layer_bytes[u.id.layer] +=
         static_cast<double>(u.k_symbols * symbol_size);
   ctx.content.blank_ssim = f.blank;
+  ctx.blank_psnr = quality::psnr(
+      frame, video::Frame::blank(frame.width(), frame.height()));
   if (previous != nullptr)
     ctx.prev_frame_ssim = quality::ssim(frame, *previous);
   ctx.original = std::move(frame);

@@ -25,6 +25,10 @@ struct FrameContext {
   /// SSIM between this frame and the previous one in the clip (1.0 for the
   /// first frame); used by the ABR baselines' freeze model.
   double prev_frame_ssim = 1.0;
+  /// PSNR of this frame against the blank (mid-gray) reference — pairs
+  /// with content.blank_ssim so a deep-outage frame (nothing schedulable)
+  /// can be scored without rebuilding the blank frame on the hot path.
+  double blank_psnr = 0.0;
 };
 
 /// Builds the context for one frame. `previous` (may be null) enables the

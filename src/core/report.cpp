@@ -128,6 +128,9 @@ SessionReport::Totals SessionReport::totals() const {
     t.airtime += f.stats.airtime;
     t.csi_held_frames += f.csi_held ? 1 : 0;
     t.shed_symbols += f.shed_symbols;
+    t.handoffs += f.handoffs;
+    t.relay_packets += f.stats.relay_packets;
+    t.relayed_symbols += f.relayed_symbols;
   }
   return t;
 }
@@ -150,6 +153,9 @@ std::string SessionReport::summary_text() const {
   if (t.csi_held_frames > 0 || t.shed_symbols > 0)
     os << "degraded: " << t.csi_held_frames << " frames on held CSI, "
        << t.shed_symbols << " enhancement symbols shed\n";
+  if (t.handoffs > 0 || t.relay_packets > 0)
+    os << "multi-AP: " << t.handoffs << " handoffs, " << t.relay_packets
+       << " relay packets (" << t.relayed_symbols << " symbols delivered)\n";
   return os.str();
 }
 
@@ -210,6 +216,13 @@ void jarray(std::ostream& os, const std::vector<bool>& v) {
   os << ']';
 }
 
+void jarray(std::ostream& os, const std::vector<std::uint8_t>& v) {
+  os << '[';
+  for (std::size_t i = 0; i < v.size(); ++i)
+    os << (i ? "," : "") << static_cast<unsigned>(v[i]);
+  os << ']';
+}
+
 void jsummary(std::ostream& os, const Summary& s) {
   os << "{\"count\":" << s.count << ",\"mean\":" << jnum(s.mean)
      << ",\"min\":" << jnum(s.min) << ",\"q1\":" << jnum(s.q1)
@@ -235,7 +248,15 @@ void SessionReport::write_json(std::ostream& os) const {
      << ",\"makeup_packets\":" << t.makeup_packets
      << ",\"airtime\":" << jnum(t.airtime)
      << ",\"csi_held_frames\":" << t.csi_held_frames
-     << ",\"shed_symbols\":" << t.shed_symbols << '}';
+     << ",\"shed_symbols\":" << t.shed_symbols;
+  // Feature-gated keys: emitted only when multi-AP / relay machinery
+  // actually fired, so legacy (single-AP, relay-off) goldens stay
+  // byte-identical without a re-bless.
+  if (t.handoffs > 0) os << ",\"handoffs\":" << t.handoffs;
+  if (t.relay_packets > 0 || t.relayed_symbols > 0)
+    os << ",\"relay_packets\":" << t.relay_packets
+       << ",\"relayed_symbols\":" << t.relayed_symbols;
+  os << '}';
   os << ",\"per_frame\":[";
   for (std::size_t i = 0; i < frames_.size(); ++i) {
     const auto& f = frames_[i];
@@ -254,10 +275,21 @@ void SessionReport::write_json(std::ostream& os) const {
        << ",\"packets_dropped_queue\":" << f.stats.packets_dropped_queue
        << ",\"makeup_packets\":" << f.stats.makeup_packets
        << ",\"airtime\":" << jnum(f.stats.airtime)
-       << ",\"backlog_packets_after\":" << f.stats.backlog_packets_after
-       << '}';
+       << ",\"backlog_packets_after\":" << f.stats.backlog_packets_after;
+    if (f.stats.relay_packets > 0)
+      os << ",\"relay_packets\":" << f.stats.relay_packets
+         << ",\"relay_airtime\":" << jnum(f.stats.relay_airtime);
+    os << '}';
     os << ",\"shed_symbols\":" << f.shed_symbols
-       << ",\"csi_held\":" << (f.csi_held ? "true" : "false") << '}';
+       << ",\"csi_held\":" << (f.csi_held ? "true" : "false");
+    if (!f.user_ap.empty()) {
+      os << ",\"user_ap\":";
+      jarray(os, f.user_ap);
+    }
+    if (f.handoffs > 0) os << ",\"handoffs\":" << f.handoffs;
+    if (f.relayed_symbols > 0)
+      os << ",\"relayed_symbols\":" << f.relayed_symbols;
+    os << '}';
   }
   os << "]}\n";
 }

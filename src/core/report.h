@@ -57,6 +57,11 @@ class SessionReport {
     /// Fault/degradation visibility (all zero on a fault-free run).
     std::size_t csi_held_frames = 0;   ///< frames decided on held CSI
     std::size_t shed_symbols = 0;      ///< enhancement symbols shed
+    /// Multi-AP / relay visibility (all zero on single-AP, relay-off
+    /// runs — and then omitted from the JSON so legacy goldens hold).
+    std::size_t handoffs = 0;          ///< committed AP switches
+    std::size_t relay_packets = 0;     ///< D2D relay transmissions
+    std::size_t relayed_symbols = 0;   ///< symbols delivered via relay
   };
   Totals totals() const;
 
@@ -73,7 +78,9 @@ class SessionReport {
   /// with %.17g so the output is byte-identical whenever the computed
   /// values are. This is the regression-gate format (scripts/golden.sh) —
   /// any schema change invalidates the blessed files, so extend it only
-  /// with a deliberate re-bless.
+  /// with a deliberate re-bless, or (for feature-gated data like the
+  /// multi-AP / relay fields) emit the new keys only when the feature
+  /// produced nonzero values, so legacy runs stay byte-identical.
   void write_json(std::ostream& os) const;
   void write_json_file(const std::string& path) const;
 

@@ -130,6 +130,35 @@ SessionReport run_trace(MulticastSession& session,
   return report;
 }
 
+SessionReport run_static_multi_ap(
+    MulticastSession& session,
+    const std::vector<std::vector<linalg::CVector>>& stacks,
+    const std::vector<FrameContext>& contexts, int n_frames,
+    const fault::FaultInjector& injector,
+    const std::vector<std::vector<double>>& azimuths) {
+  if (contexts.empty())
+    throw std::invalid_argument("run_static_multi_ap: no frame contexts");
+  if (stacks.empty())
+    throw std::invalid_argument("run_static_multi_ap: no AP stacks");
+  SessionReport report;
+  FrameOutcome outcome;
+  // Per-frame faulted copies, hoisted so the nested buffers are reused.
+  std::vector<std::vector<linalg::CVector>> decision;
+  std::vector<std::vector<linalg::CVector>> truth;
+  for (int f = 0; f < n_frames; ++f) {
+    const FrameContext& ctx =
+        contexts[static_cast<std::size_t>(f) % contexts.size()];
+    const auto frame_id = static_cast<std::uint32_t>(f);
+    const fault::FrameFaults faults = injector.at(frame_id);
+    decision = stacks;
+    truth = stacks;
+    injector.apply_aps(frame_id, decision, truth, azimuths);
+    session.step_multi_into(decision, truth, ctx, faults, outcome);
+    report.add(outcome);
+  }
+  return report;
+}
+
 SessionReport run_trace(MulticastSession& session,
                         const channel::CsiTrace& trace,
                         const std::vector<FrameContext>& contexts,

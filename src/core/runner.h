@@ -71,4 +71,19 @@ SessionReport run_trace(MulticastSession& session,
                         const fault::FaultInjector& injector,
                         int frames_per_snapshot = 3);
 
+/// Multi-AP static loop: per-frame copies of the per-AP channel stacks
+/// ([ap][user], channel::ap_channel_stacks) take the injector's channel-
+/// level and AP-level faults (blockage with AP scoping, total and sector
+/// outages) via apply_aps, then stream through session.step_multi_into.
+/// `azimuths[a][u]` (channel::ap_user_azimuths) feeds the sector-outage
+/// geometry; pass {} to degrade sector outages to total ones. With one AP
+/// stack and a plan with no AP-level faults this is bit-identical to the
+/// single-AP run_static overload.
+SessionReport run_static_multi_ap(
+    MulticastSession& session,
+    const std::vector<std::vector<linalg::CVector>>& stacks,
+    const std::vector<FrameContext>& contexts, int n_frames,
+    const fault::FaultInjector& injector,
+    const std::vector<std::vector<double>>& azimuths = {});
+
 }  // namespace w4k::core

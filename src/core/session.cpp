@@ -3,6 +3,7 @@
 #include "beamforming/csi.h"
 #include "beamforming/sls.h"
 #include "channel/array.h"
+#include "channel/multi_ap.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -73,6 +74,37 @@ void SessionConfig::validate(std::size_t codebook_beams,
     bad("quarantine_reprobe_period",
         "must be >= 1 (got " + std::to_string(quarantine_reprobe_period) +
             ")");
+  if (handoff.n_aps < 1 || handoff.n_aps > channel::kMaxAps)
+    bad("handoff.n_aps",
+        "must be in [1, " + std::to_string(channel::kMaxAps) + "] (got " +
+            std::to_string(handoff.n_aps) + ")");
+  if (!(handoff.hysteresis_db >= 0.0))
+    bad("handoff.hysteresis_db",
+        "must be >= 0 dB (got " + std::to_string(handoff.hysteresis_db) + ")");
+  if (!std::isfinite(handoff.degrade_floor_dbm))
+    bad("handoff.degrade_floor_dbm", "must be finite");
+  if (handoff.degrade_after < 1)
+    bad("handoff.degrade_after",
+        "must be >= 1 (got " + std::to_string(handoff.degrade_after) + ")");
+  if (handoff.probe_frames < 1)
+    bad("handoff.probe_frames",
+        "must be >= 1 (got " + std::to_string(handoff.probe_frames) + ")");
+  if (handoff.min_dwell_frames < 1)
+    bad("handoff.min_dwell_frames",
+        "must be >= 1 (got " + std::to_string(handoff.min_dwell_frames) + ")");
+  if (handoff.backoff_cap < 0 || handoff.backoff_cap > 20)
+    bad("handoff.backoff_cap",
+        "must be in [0, 20] (got " + std::to_string(handoff.backoff_cap) + ")");
+  if (!(relay.loss >= 0.0 && relay.loss < 1.0))
+    bad("relay.loss",
+        "must be in [0, 1) (got " + std::to_string(relay.loss) + ")");
+  if (!std::isfinite(relay.min_relayer_rss_dbm))
+    bad("relay.min_relayer_rss_dbm", "must be finite");
+  if (relay.enabled && handoff.n_aps <= 1 && quarantine_after == 0)
+    bad("relay.enabled",
+        "peer relay targets quarantined users: with a single AP and "
+        "quarantine_after == 0 there is never a relay target (enable "
+        "quarantine or add APs)");
   loss.validate();  // throws "LossModel.<field>: ..." on bad parameters
   if (use_estimated_csi && codebook_beams != kUnknown &&
       codebook_beams < channel::kDefaultApAntennas)
@@ -113,6 +145,18 @@ void MulticastSession::reset() {
   feedback_silent_streak_.clear();
   lost_frame_streak_.clear();
   quarantined_.clear();
+  serving_ap_.clear();
+  attach_state_.clear();
+  weak_streak_.clear();
+  probe_target_.clear();
+  probe_countdown_.clear();
+  dwell_until_.clear();
+  handoff_streak_.clear();
+  last_handoff_frame_.clear();
+  partition_.clear();
+  relays_.clear();
+  group_pool_.clear();
+  tx_pool_.clear();
 }
 
 void MulticastSession::ensure_user_state(std::size_t n_users) {
@@ -124,6 +168,14 @@ void MulticastSession::ensure_user_state(std::size_t n_users) {
   feedback_silent_streak_.resize(n_users, 0);
   lost_frame_streak_.resize(n_users, 0);
   quarantined_.resize(n_users, 0);
+  serving_ap_.resize(n_users, kUnattached);
+  attach_state_.resize(n_users, ApAttachState::kAttached);
+  weak_streak_.resize(n_users, 0);
+  probe_target_.resize(n_users, 0);
+  probe_countdown_.resize(n_users, 0);
+  dwell_until_.resize(n_users, 0);
+  handoff_streak_.resize(n_users, 0);
+  last_handoff_frame_.resize(n_users, kNeverHandedOff);
   held_csi_.clear();
   prev_alloc_.clear();
   prev_total_time_ = 0.0;
@@ -131,6 +183,31 @@ void MulticastSession::ensure_user_state(std::size_t n_users) {
 }
 
 namespace {
+
+/// Resize a vector of buffer-owning elements without churning the heap:
+/// shrinking moves the victims into `pool` (their buffers survive),
+/// growing pulls them back, so a group-count swing costs nothing once
+/// both shapes have been seen. Plain resize would destroy + re-allocate.
+template <class T>
+void resize_recycled(std::vector<T>& v, std::size_t n, std::vector<T>& pool) {
+  while (v.size() > n) {
+    pool.push_back(std::move(v.back()));
+    v.pop_back();
+  }
+  while (v.size() < n) {
+    if (pool.empty()) {
+      v.emplace_back();
+    } else {
+      v.push_back(std::move(pool.back()));
+      pool.pop_back();
+    }
+  }
+  // Pay for the worst future shrink (parking every element) now, at
+  // growth time: growth to a new high-water allocates anyway, so a later
+  // shrink-to-zero stays heap-free.
+  if (pool.capacity() < v.size() + pool.size())
+    pool.reserve(v.size() + pool.size());
+}
 
 bool all_finite(const std::vector<linalg::CVector>& channels) {
   for (const auto& h : channels)
@@ -180,6 +257,11 @@ void MulticastSession::decide_into(
     // once warm.
     enum_cfg_ = cfg_.group_enum;
     enum_cfg_.exclude.assign(exclude.begin(), exclude.end());
+    // Multi-AP sessions own the partition: step_multi_into stamps each
+    // user's serving AP into partition_ so groups never span APs. Empty on
+    // the single-AP path — and then the enumerator is bit-identical to the
+    // pre-partition code.
+    enum_cfg_.partition.assign(partition_.begin(), partition_.end());
     enum_cfg_.deadline = beam_deadline;
     ThreadPool* pool = &ThreadPool::shared();
     const std::span<const sched::GroupSpec> emitted =
@@ -188,10 +270,12 @@ void MulticastSession::decide_into(
                                          sched_ws_)
             : sched::enumerate_groups(cfg_.scheme, channels, codebook_,
                                       cfg_.seed, enum_cfg_, pool, sched_ws_);
-    // Copy out of the workspace pool: assign() with forward iterators
-    // copy-assigns over the reused GroupSpec elements, so their member /
-    // beam buffers keep their capacity across frames.
-    d.groups.assign(emitted.begin(), emitted.end());
+    // Copy out of the workspace pool through the recycling resize:
+    // copy-assignment over reused GroupSpec elements keeps their member /
+    // beam buffers' capacity across frames, and shrunk elements survive
+    // in group_pool_ for the next reprobe-frame growth.
+    resize_recycled(d.groups, emitted.size(), group_pool_);
+    for (std::size_t g = 0; g < emitted.size(); ++g) d.groups[g] = emitted[g];
     // Scale Table 2 rates to the frame resolution before any byte math.
     for (auto& g : d.groups)
       g.beam.rate = Mbps{g.beam.rate.value * cfg_.rate_scale};
@@ -207,6 +291,23 @@ void MulticastSession::decide_into(
                         return "group " + std::to_string(g) +
                                " contains excluded user " + std::to_string(u);
                       });
+    // Groups must never span APs: one radio serves one beam, and a member
+    // attached elsewhere would hear nothing while dragging the group MCS.
+    if (!partition_.empty()) {
+      for (std::size_t g = 0; g < d.groups.size(); ++g) {
+        const auto& members = d.groups[g].members;
+        for (std::size_t u : members)
+          verify::check(
+              u < partition_.size() &&
+                  partition_[u] == partition_[members.front()],
+              "session.group-spans-aps", [&] {
+                return "group " + std::to_string(g) + " mixes AP " +
+                       std::to_string(partition_[members.front()]) +
+                       " and AP " + std::to_string(partition_[u]) +
+                       " (user " + std::to_string(u) + ")";
+              });
+      }
+    }
   }
 
   if (d.groups.empty()) {
@@ -214,8 +315,11 @@ void MulticastSession::decide_into(
     // the previous frame's plan (a fresh Decision is all-empty here).
     d.allocation.reset(0, 0);
     d.unit_map.assignments.clear();
-    d.unit_map.user_symbols.clear();
-    d.unit_map.user_decodes.clear();
+    // Row-wise clear: emptying each row (rather than dropping the outer
+    // vectors) keeps the row buffers, so the first schedulable frame after
+    // an outage re-fills them without touching the heap.
+    for (auto& row : d.unit_map.user_symbols) row.clear();
+    for (auto& row : d.unit_map.user_decodes) row.clear();
     d.unit_map.leftover_symbols = 0;
     return;
   }
@@ -321,6 +425,9 @@ void MulticastSession::step_into(
   out.user_quarantined.clear();
   out.shed_symbols = 0;
   out.csi_held = false;
+  out.user_ap.clear();
+  out.handoffs = 0;
+  out.relayed_symbols = 0;
 
   if (decision_channels.size() != true_channels.size())
     throw std::invalid_argument("step: channel vector count mismatch");
@@ -333,6 +440,7 @@ void MulticastSession::step_into(
   };
   check_mask(faults.feedback_lost.size(), "feedback_lost");
   check_mask(faults.user_active.size(), "user_active");
+  check_mask(faults.relay_down.size(), "relay_down");
   if (!(faults.budget_scale > 0.0 && faults.budget_scale <= 1.0))
     throw std::invalid_argument("step: faults.budget_scale outside (0, 1]");
   ensure_user_state(n_users);
@@ -484,10 +592,11 @@ void MulticastSession::step_into(
     // Outage frame: receivers render the blank frame.
     static obs::Stage& st = obs::stage("session.quality");
     obs::StageSpan span(st);
-    const video::Frame blank =
-        video::Frame::blank(ctx.original.width(), ctx.original.height());
-    const double s = quality::ssim(ctx.original, blank);
-    const double p = quality::psnr(ctx.original, blank);
+    // Both references were computed once at context-build time (the SSIM
+    // doubles as a quality-model feature), so a long outage stays
+    // allocation-free.
+    const double s = ctx.content.blank_ssim;
+    const double p = ctx.blank_psnr;
     out.ssim.assign(n_users, 0.0);
     out.psnr.assign(n_users, 0.0);
     out.decoded_fraction.assign(n_users, 0.0);
@@ -505,8 +614,7 @@ void MulticastSession::step_into(
   // 1:1 with decision->groups because the assignments reference them; a
   // group whose MCS lookup fails keeps a zero drain rate and the engine
   // drops its packets.
-  if (groups_tx_.size() != decision->groups.size())
-    groups_tx_.resize(decision->groups.size());
+  resize_recycled(groups_tx_, decision->groups.size(), tx_pool_);
   {
     static obs::Stage& st = obs::stage("session.mcs");
     obs::StageSpan span(st);
@@ -630,11 +738,15 @@ void MulticastSession::step_into(
     }
   }
 
+  // --- Peer relay: LoS users forward base-layer symbols to quarantined
+  // peers, charged against the same frame budget (DESIGN.md Sec. 4h) ------
+  plan_relays(*decision_base, n_users, mcs_margin_db, faults);
+
   {
     static obs::Stage& st = obs::stage("session.transmit");
     obs::StageSpan span(st);
     engine_.run_frame_into(ctx.units, *assignments, groups_tx_, n_users,
-                           rng_, efs, tx_result_);
+                           rng_, efs, relays_, tx_result_);
   }
 
   if (cfg_.adapt) last_measured_ = tx_result_.measured_rate;
@@ -666,13 +778,21 @@ void MulticastSession::step_into(
       }
       bool decoded_any = false;
       for (bool b : tx_result_.user_decoded[u]) decoded_any |= b;
-      if (decoded_any) {
+      // A relay target's decodes came over the D2D side link, not its own
+      // AP ray — they prove the relay worked, not that the direct link
+      // recovered, so they must not release the quarantine (that would
+      // ping-pong the user between quarantine and dragging every group).
+      // Release still happens on re-probe frames, where the target is
+      // scheduled directly and never relayed to.
+      bool relayed_to = false;
+      for (const auto& rl : relays_) relayed_to |= rl.target == u;
+      if (decoded_any && !relayed_to) {
         lost_frame_streak_[u] = 0;
         if (quarantined_[u]) {
           quarantined_[u] = 0;
           ++quarantine_exited;
         }
-      } else if (attempted_[u] && faults.budget_scale >= 0.5 &&
+      } else if (!decoded_any && attempted_[u] && faults.budget_scale >= 0.5 &&
                  !ctx.units.empty()) {
         // Only count frames where delivery was genuinely attempted over a
         // healthy budget — a NIC stall must not quarantine the room.
@@ -686,6 +806,7 @@ void MulticastSession::step_into(
   }
 
   out.stats = tx_result_.stats;
+  out.relayed_symbols = tx_result_.relayed_symbols;
   {
     static obs::Stage& st = obs::stage("session.quality");
     obs::StageSpan span(st);
@@ -721,6 +842,10 @@ void MulticastSession::step_into(
     static obs::Counter& c_q_probe = reg.counter("session.quarantine_reprobes");
     static obs::Gauge& g_quarantined = reg.gauge("session.quarantined_users");
     static obs::Gauge& g_active = reg.gauge("session.active_users");
+    static obs::Counter& c_relay_links = reg.counter("session.relay_links");
+    static obs::Counter& c_relayed = reg.counter("session.relayed_symbols");
+    c_relay_links.add(relays_.size());
+    c_relayed.add(out.relayed_symbols);
     if (csi_held) c_held.add(1);
     if (out.shed_symbols > 0) {
       c_shed.add(out.shed_symbols);
@@ -741,6 +866,238 @@ void MulticastSession::step_into(
     for (auto v : quarantined_) quarantined += v ? 1.0 : 0.0;
     g_quarantined.set(quarantined);
     g_active.set(static_cast<double>(n_active));
+  }
+}
+
+void MulticastSession::plan_relays(
+    const std::vector<linalg::CVector>& decision_channels, std::size_t n_users,
+    double mcs_margin_db, const fault::FrameFaults& faults) {
+  relays_.clear();
+  // Relaying needs the rateless code: a systematic-mode relayer could only
+  // repeat the exact indices it holds, which the engine's duplication math
+  // already covers.
+  if (!cfg_.relay.enabled || !cfg_.engine.source_coding) return;
+  const auto down = [&](std::size_t u) {
+    return u < faults.relay_down.size() && faults.relay_down[u] != 0;
+  };
+  const auto active = [&](std::size_t u) {
+    return faults.user_active.empty() || faults.user_active[u] != 0;
+  };
+  const auto rss_mw = [&](std::size_t u) {
+    const double mw = decision_channels[u].norm_sq();
+    return std::isfinite(mw) ? mw : 0.0;
+  };
+  for (std::size_t t = 0; t < n_users; ++t) {
+    // Targets: quarantined users sitting out this frame (on re-probe
+    // frames they are scheduled directly instead — exclude_[t] == 0).
+    if (!active(t) || quarantined_[t] == 0 || exclude_[t] == 0) continue;
+    // Quality-aware relayer pick: the strongest-RSS scheduled peer. Its own
+    // AP link bounds the D2D budget we charge, so a marginal user never
+    // burns airtime relaying.
+    std::size_t best = n_users;
+    double best_mw = 0.0;
+    for (std::size_t r = 0; r < n_users; ++r) {
+      if (r == t || !active(r) || exclude_[r] != 0 || down(r)) continue;
+      const double mw = rss_mw(r);
+      if (mw > best_mw) {
+        best_mw = mw;
+        best = r;
+      }
+    }
+    if (best == n_users || best_mw <= 0.0) continue;
+    const Dbm rss = Dbm::from_milliwatts(best_mw);
+    if (rss.value < cfg_.relay.min_relayer_rss_dbm) continue;
+    const auto mcs = channel::select_mcs(rss - mcs_margin_db);
+    if (!mcs) continue;
+    relays_.push_back(
+        emu::RelayLink{best, t, Mbps{mcs->udp_throughput.value * cfg_.rate_scale},
+                       cfg_.relay.loss});
+  }
+}
+
+std::size_t MulticastSession::advance_attachments(
+    std::size_t n_users, std::size_t n_aps, const std::vector<double>& rss_mw,
+    std::uint32_t frame_id, bool beacon_ok) {
+  const auto mw = [&](std::size_t a, std::size_t u) {
+    return rss_mw[a * n_users + u];
+  };
+  const auto dbm = [](double m) {
+    return m > 0.0 ? 10.0 * std::log10(m) : -400.0;
+  };
+  std::size_t handoffs = 0;
+  const auto& hc = cfg_.handoff;
+  for (std::size_t u = 0; u < n_users; ++u) {
+    if (serving_ap_[u] == kUnattached) {
+      // Initial AP selection: strongest beacon wins (ties to the lowest
+      // id). This runs even with handoff disabled — a multi-AP user always
+      // needs an attachment, it just never changes afterwards.
+      std::size_t best = 0;
+      for (std::size_t a = 1; a < n_aps; ++a)
+        if (mw(a, u) > mw(best, u)) best = a;
+      serving_ap_[u] = static_cast<std::uint8_t>(best);
+      attach_state_[u] = ApAttachState::kAttached;
+      weak_streak_[u] = 0;
+      continue;
+    }
+    if (!hc.enabled) continue;
+    if (serving_ap_[u] >= n_aps) serving_ap_[u] = 0;  // shrunk geometry
+    const std::size_t serving = serving_ap_[u];
+    const double serving_dbm = dbm(mw(serving, u));
+    const bool weak = serving_dbm < hc.degrade_floor_dbm;
+    switch (attach_state_[u]) {
+      case ApAttachState::kAttached:
+        if (weak) {
+          if (++weak_streak_[u] >= hc.degrade_after)
+            attach_state_[u] = ApAttachState::kDegraded;
+        } else {
+          weak_streak_[u] = 0;
+        }
+        break;
+      case ApAttachState::kDegraded: {
+        if (!weak) {
+          attach_state_[u] = ApAttachState::kAttached;
+          weak_streak_[u] = 0;
+          break;
+        }
+        // A probe starts only off a healthy beacon, past the dwell window,
+        // and with an alternate clearing the full hysteresis bar.
+        if (!beacon_ok || frame_id < dwell_until_[u]) break;
+        std::size_t alt = serving;
+        double alt_mw = 0.0;
+        for (std::size_t a = 0; a < n_aps; ++a) {
+          if (a == serving) continue;
+          if (mw(a, u) > alt_mw) {
+            alt_mw = mw(a, u);
+            alt = a;
+          }
+        }
+        if (alt != serving && dbm(alt_mw) >= serving_dbm + hc.hysteresis_db) {
+          attach_state_[u] = ApAttachState::kProbing;
+          probe_target_[u] = static_cast<std::uint8_t>(alt);
+          probe_countdown_[u] = hc.probe_frames;
+        }
+        break;
+      }
+      case ApAttachState::kProbing: {
+        // Make-before-break: the user keeps streaming from the old AP
+        // while the alternate trains. A lost beacon pauses the probe clock
+        // rather than committing on stale information.
+        if (!beacon_ok) break;
+        if (probe_target_[u] >= n_aps) {  // shrunk geometry mid-probe
+          attach_state_[u] = ApAttachState::kDegraded;
+          break;
+        }
+        const double tgt_dbm = dbm(mw(probe_target_[u], u));
+        if (tgt_dbm < serving_dbm + 0.5 * hc.hysteresis_db) {
+          // Target fell below half the bar mid-probe: abort, no flap.
+          attach_state_[u] =
+              weak ? ApAttachState::kDegraded : ApAttachState::kAttached;
+          break;
+        }
+        if (--probe_countdown_[u] <= 0)
+          attach_state_[u] = ApAttachState::kHandingOff;
+        break;
+      }
+      case ApAttachState::kHandingOff: {
+        // FST-style switch committed at the frame boundary. Quarantine,
+        // feedback streaks, and warm-start state all survive untouched.
+        serving_ap_[u] = probe_target_[u];
+        attach_state_[u] = ApAttachState::kAttached;
+        weak_streak_[u] = 0;
+        ++handoffs;
+        // Capped exponential dwell: back-to-back handoffs double the
+        // cooldown so a user on an AP coverage boundary cannot ping-pong.
+        const std::uint32_t base =
+            static_cast<std::uint32_t>(hc.min_dwell_frames);
+        if (last_handoff_frame_[u] != kNeverHandedOff &&
+            frame_id - last_handoff_frame_[u] < 4 * base)
+          handoff_streak_[u] = std::min(handoff_streak_[u] + 1, hc.backoff_cap);
+        else
+          handoff_streak_[u] = 0;
+        dwell_until_[u] =
+            frame_id + (base << static_cast<unsigned>(handoff_streak_[u]));
+        last_handoff_frame_[u] = frame_id;
+        break;
+      }
+    }
+  }
+  return handoffs;
+}
+
+void MulticastSession::step_multi_into(
+    const std::vector<std::vector<linalg::CVector>>& decision_stacks,
+    const std::vector<std::vector<linalg::CVector>>& true_stacks,
+    const FrameContext& ctx, const fault::FrameFaults& faults,
+    FrameOutcome& out) {
+  const std::size_t n_aps = true_stacks.size();
+  if (n_aps == 0 || decision_stacks.size() != n_aps)
+    throw std::invalid_argument("step_multi: AP stack count mismatch");
+  if (n_aps != cfg_.handoff.n_aps)
+    throw std::invalid_argument("step_multi: got " + std::to_string(n_aps) +
+                                " AP stacks but cfg.handoff.n_aps = " +
+                                std::to_string(cfg_.handoff.n_aps));
+  const std::size_t n_users = true_stacks[0].size();
+  for (std::size_t a = 0; a < n_aps; ++a)
+    if (decision_stacks[a].size() != n_users ||
+        true_stacks[a].size() != n_users)
+      throw std::invalid_argument("step_multi: per-AP user count mismatch");
+
+  if (n_aps == 1) {
+    // One AP: exactly the legacy path (no partition, no attachment
+    // machinery) — bit-identical to step_into by construction.
+    partition_.clear();
+    step_into(decision_stacks[0], true_stacks[0], ctx, faults, out);
+    return;
+  }
+
+  ensure_user_state(n_users);
+
+  // Best-case beacon RSS per (ap, user) — the same beacon-time signal the
+  // degradation ladder runs on; non-finite (corrupt-beacon) entries count
+  // as unreachable, so a poisoned beacon can never look attractive.
+  ap_rss_mw_.assign(n_aps * n_users, 0.0);
+  for (std::size_t a = 0; a < n_aps; ++a)
+    for (std::size_t u = 0; u < n_users; ++u) {
+      const double mw = decision_stacks[a][u].norm_sq();
+      if (std::isfinite(mw)) ap_rss_mw_[a * n_users + u] = mw;
+    }
+
+  // Handoff beacons share the fate of CSI beacons: either fault freezes
+  // the attachment machine for the frame (streaming continues on the
+  // serving AP — that is what make-before-break buys).
+  const bool beacon_ok = !faults.handoff_beacon_lost && !faults.csi_stale;
+  const std::size_t handoffs = advance_attachments(
+      n_users, n_aps, ap_rss_mw_, next_frame_id_, beacon_ok);
+
+  // Serving-AP view of the room: the rest of the frame path (CSI hold,
+  // ladder, scheduler, engine) sees each user through their serving ray
+  // only, and the partition keeps the enumerator from grouping across APs.
+  if (eff_decision_.size() != n_users) eff_decision_.resize(n_users);
+  if (eff_truth_.size() != n_users) eff_truth_.resize(n_users);
+  partition_.assign(n_users, 0);
+  for (std::size_t u = 0; u < n_users; ++u) {
+    const std::size_t a = serving_ap_[u];
+    eff_decision_[u] = decision_stacks[a][u];
+    eff_truth_[u] = true_stacks[a][u];
+    partition_[u] = serving_ap_[u];
+  }
+
+  step_into(eff_decision_, eff_truth_, ctx, faults, out);
+  partition_.clear();
+
+  out.user_ap.assign(n_users, 0);
+  for (std::size_t u = 0; u < n_users; ++u) out.user_ap[u] = serving_ap_[u];
+  out.handoffs = handoffs;
+
+  if (obs::enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    static obs::Counter& c_ho = reg.counter("session.handoffs");
+    static obs::Counter& c_probe = reg.counter("session.handoff_probes");
+    if (handoffs > 0) c_ho.add(handoffs);
+    std::uint64_t probing = 0;
+    for (std::size_t u = 0; u < n_users; ++u)
+      probing += attach_state_[u] == ApAttachState::kProbing ? 1 : 0;
+    c_probe.add(probing);
   }
 }
 

@@ -108,6 +108,49 @@ struct SessionConfig {
   /// optimizer for one frame and are released if anything decodes.
   int quarantine_reprobe_period = 8;
 
+  // --- Multi-AP handoff + peer relay (DESIGN.md Sec. 4h) ----------------
+  /// Per-user AP attachment and mid-session handoff. With `enabled` false
+  /// the knobs below are never read: a multi-AP run still picks each
+  /// user's initial AP but nobody ever moves, and the SessionReport is
+  /// byte-identical for any knob values (the property suite pins this).
+  struct HandoffConfig {
+    /// APs this session streams across. step_multi_into requires its
+    /// channel stacks to match; 1 (the default) is the legacy single-AP
+    /// session.
+    std::size_t n_aps = 1;
+    bool enabled = false;
+    /// An alternate AP must beat the serving AP by this much (dB) before a
+    /// probe starts, and must still hold half of it for the probe to
+    /// commit — the classic flap damper.
+    double hysteresis_db = 3.0;
+    /// Serving best-case RSS below this (dBm) counts as a weak frame.
+    double degrade_floor_dbm = -66.0;
+    /// Consecutive weak frames before attached -> degraded.
+    int degrade_after = 3;
+    /// Make-before-break probe length (frames): the user keeps streaming
+    /// from the old AP while the alternate trains.
+    int probe_frames = 2;
+    /// Base dwell after a handoff before the next probe may start.
+    int min_dwell_frames = 8;
+    /// Cap on dwell doublings for back-to-back handoffs (flapping links).
+    int backoff_cap = 3;
+  };
+  HandoffConfig handoff;
+
+  /// Peer relay: a line-of-sight user re-encodes decoded base-layer units
+  /// and forwards fresh fountain symbols to a quarantined peer over a D2D
+  /// side link, charged against the same Eq. 1 airtime budget. Only
+  /// meaningful with quarantine (targets are quarantined users) — enabling
+  /// it with a single AP and quarantine off fails validate().
+  struct RelayConfig {
+    bool enabled = false;
+    /// Minimum relayer best-case RSS (dBm): only LoS-grade users relay.
+    double min_relayer_rss_dbm = -58.0;
+    /// Per-symbol delivery loss on the D2D side link.
+    double loss = 0.05;
+  };
+  RelayConfig relay;
+
   /// Sentinel for validate() arguments that are not known yet.
   static constexpr std::size_t kUnknown = static_cast<std::size_t>(-1);
 
@@ -142,6 +185,12 @@ struct FrameOutcome {
   std::size_t shed_symbols = 0;
   /// Decision ran on held beamweights (missed/corrupt CSI beacon).
   bool csi_held = false;
+  /// Serving AP per user (multi-AP sessions only). Empty = single AP.
+  std::vector<std::uint8_t> user_ap;
+  /// Handoffs committed this frame (multi-AP sessions only).
+  std::size_t handoffs = 0;
+  /// Base-layer symbols delivered to quarantined peers over D2D relay.
+  std::size_t relayed_symbols = 0;
 };
 
 class MulticastSession {
@@ -186,6 +235,23 @@ class MulticastSession {
                  const FrameContext& ctx, const fault::FrameFaults& faults,
                  FrameOutcome& out);
 
+  /// Multi-AP variant: `decision_stacks` / `true_stacks` are per-AP channel
+  /// stacks indexed [ap][user] (channel::ap_channel_stacks). Each user is
+  /// served by exactly one AP per frame; the per-user ApAttachment state
+  /// machine (attached -> degraded -> probing-alternate -> handing-off ->
+  /// attached) moves users between APs when cfg.handoff.enabled, driven by
+  /// the same beacon-time CSI the degradation ladder uses, with hysteresis
+  /// plus capped dwell backoff against flapping. Handoff is make-before-
+  /// break: the user keeps streaming from the old AP through the probe, and
+  /// quarantine / feedback-streak / warm-start state survives the switch
+  /// untouched. Groups never span APs (the enumerator enforces partition
+  /// purity). With one AP stack this is bit-identical to step_into.
+  void step_multi_into(
+      const std::vector<std::vector<linalg::CVector>>& decision_stacks,
+      const std::vector<std::vector<linalg::CVector>>& true_stacks,
+      const FrameContext& ctx, const fault::FrameFaults& faults,
+      FrameOutcome& out);
+
   /// Drops cached decisions, backlog, and fault-recovery state (e.g.
   /// between independent runs).
   void reset();
@@ -218,6 +284,21 @@ class MulticastSession {
   /// is preserved — only the resized tail starts fresh; index-keyed caches
   /// that become meaningless (held CSI, previous allocation) are dropped.
   void ensure_user_state(std::size_t n_users);
+
+  /// Computes this frame's peer-relay plan into relays_ (empty unless
+  /// cfg_.relay.enabled): for each active quarantined non-reprobing user,
+  /// the best-RSS eligible line-of-sight peer gets one relay slot at the
+  /// MCS its own link sustains. Deterministic, no rng.
+  void plan_relays(const std::vector<linalg::CVector>& decision_channels,
+                   std::size_t n_users, double mcs_margin_db,
+                   const fault::FrameFaults& faults);
+
+  /// Advances the per-user ApAttachment state machines one frame and
+  /// returns the number of handoffs committed. `rss_mw[a * n_users + u]`
+  /// is user u's best-case beacon RSS from AP a in milliwatts.
+  std::size_t advance_attachments(std::size_t n_users, std::size_t n_aps,
+                                  const std::vector<double>& rss_mw,
+                                  std::uint32_t frame_id, bool beacon_ok);
 
   SessionConfig cfg_;
   model::QualityModel& quality_;
@@ -253,6 +334,14 @@ class MulticastSession {
   std::vector<double> warm_vec_;          ///< flattened warm-start vector
   std::vector<std::uint8_t> exclude_;     ///< per-user optimizer exclusion
   std::vector<emu::GroupTx> groups_tx_;   ///< per-group air parameters
+  /// Recycling pools for the two group-count-sized vectors whose elements
+  /// own buffers (GroupSpec members/beam, GroupTx members/member_loss).
+  /// A reprobe frame swings the group count up and down; plain resize
+  /// would free the shrunk elements' buffers and re-allocate them on the
+  /// next growth. Shrinking parks victims here instead; growth pulls them
+  /// back, so the swing is heap-free once both shapes have been seen.
+  std::vector<sched::GroupSpec> group_pool_;
+  std::vector<emu::GroupTx> tx_pool_;
   emu::FrameTxResult tx_result_;          ///< engine result rows
   std::vector<std::uint8_t> attempted_;   ///< quarantine bookkeeping
   video::ReconstructWorkspace recon_ws_;  ///< per-user reconstruction
@@ -269,6 +358,33 @@ class MulticastSession {
   /// Consecutive attempted frames each user decoded nothing.
   std::vector<int> lost_frame_streak_;
   std::vector<std::uint8_t> quarantined_;
+
+  // --- Multi-AP attachment + relay state (deterministic, no rng) --------
+  enum class ApAttachState : std::uint8_t {
+    kAttached = 0,
+    kDegraded = 1,
+    kProbing = 2,
+    kHandingOff = 3,
+  };
+  static constexpr std::uint8_t kUnattached = 0xff;
+  static constexpr std::uint32_t kNeverHandedOff =
+      static_cast<std::uint32_t>(-1);
+  std::vector<std::uint8_t> serving_ap_;      ///< kUnattached before frame 0
+  std::vector<ApAttachState> attach_state_;
+  std::vector<int> weak_streak_;              ///< consecutive weak frames
+  std::vector<std::uint8_t> probe_target_;    ///< alternate under probe
+  std::vector<int> probe_countdown_;
+  std::vector<std::uint32_t> dwell_until_;    ///< no probes before this frame
+  std::vector<int> handoff_streak_;           ///< back-to-back handoffs
+  std::vector<std::uint32_t> last_handoff_frame_;
+  /// Serving-AP channels assembled per frame from the per-AP stacks.
+  std::vector<linalg::CVector> eff_decision_;
+  std::vector<linalg::CVector> eff_truth_;
+  std::vector<double> ap_rss_mw_;             ///< flat [ap * n_users + u]
+  /// Per-user serving AP handed to the group enumerator (groups must not
+  /// span APs). Empty on the single-AP path — bit-identical legacy output.
+  std::vector<std::uint8_t> partition_;
+  std::vector<emu::RelayLink> relays_;        ///< this frame's relay plan
 };
 
 }  // namespace w4k::core

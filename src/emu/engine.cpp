@@ -32,6 +32,17 @@ void TxEngine::run_frame_into(
     const std::vector<sched::UnitAssignment>& assignments,
     const std::vector<GroupTx>& groups, std::size_t n_users, Rng& rng,
     const FrameFaultState& faults, FrameTxResult& res) {
+  static const std::vector<RelayLink> kNoRelays;
+  run_frame_into(units, assignments, groups, n_users, rng, faults, kNoRelays,
+                 res);
+}
+
+void TxEngine::run_frame_into(
+    const std::vector<sched::UnitSpec>& units,
+    const std::vector<sched::UnitAssignment>& assignments,
+    const std::vector<GroupTx>& groups, std::size_t n_users, Rng& rng,
+    const FrameFaultState& faults, const std::vector<RelayLink>& relays,
+    FrameTxResult& res) {
   const std::size_t wire = cfg_.header_bytes + cfg_.symbol_size;
   if (!(faults.budget_scale > 0.0 && faults.budget_scale <= 1.0))
     throw std::invalid_argument("run_frame: budget_scale outside (0, 1]");
@@ -44,6 +55,7 @@ void TxEngine::run_frame_into(
 
   // Row-by-row result reset so reused rows keep their capacity.
   res.blind_makeup_packets = 0;
+  res.relayed_symbols = 0;
   res.stats = FrameTxStats{};
   if (res.user_symbols.size() != n_users) res.user_symbols.resize(n_users);
   if (res.user_decoded.size() != n_users) res.user_decoded.resize(n_users);
@@ -71,6 +83,7 @@ void TxEngine::run_frame_into(
   // sequencing and feedback deficits. A cell is nonzero iff that group
   // actually transmitted that unit (sends are the only increments).
   sent_.assign(groups.size() * units.size(), 0);
+  relay_sent_.clear();  // refilled by the relay phase when links exist
   // Sender-global fresh-symbol counter per unit (source-coding mode).
   unit_next_esi_.assign(units.size(), 0);
 
@@ -308,6 +321,60 @@ void TxEngine::run_frame_into(
     }
   }
 
+  // --- Peer-relay slots (base layer only) ---------------------------------
+  // After the sender's own makeup rounds, each relay link forwards its
+  // target's remaining base-layer deficit as freshly re-encoded fountain
+  // symbols over the D2D side link. The slot occupies the same 60 GHz
+  // medium, so every relay packet extends the shared airtime clock and the
+  // loop stops the moment the Eq. 1 budget is exhausted — relayed + direct
+  // can never exceed it. Skipped entirely in systematic mode: a relayer
+  // can only generate fresh symbols by re-encoding a decoded unit.
+  std::size_t relay_offered = 0;
+  if (!relays.empty() && cfg_.source_coding) {
+    static obs::Stage& st = obs::stage("emu.relay");
+    obs::StageSpan span(st);
+    relay_sent_.assign(n_users * units.size(), 0);
+    for (const auto& rl : relays) {
+      if (rl.relayer >= n_users || rl.target >= n_users ||
+          rl.relayer == rl.target)
+        throw std::invalid_argument("run_frame: bad relay link");
+      if (rl.rate.value <= 0.0) continue;
+      const Seconds air = rl.rate.seconds_for(static_cast<double>(wire));
+      for (std::size_t ui = 0; ui < units.size(); ++ui) {
+        if (units[ui].id.layer != 0) continue;        // base layer only
+        if (!rx_[rl.relayer][ui].decoded) continue;   // nothing to re-encode
+        UnitRx& tgt = rx_[rl.target][ui];
+        if (tgt.decoded) continue;
+        const std::size_t k = units[ui].k_symbols;
+        const std::size_t need =
+            tgt.innovative >= k ? 1 : k - tgt.innovative;
+        for (std::size_t s = 0; s < need; ++s) {
+          if (drain_free + air > budget) break;  // budget exhausted
+          drain_free += air;
+          ++relay_offered;
+          ++res.stats.packets_offered;
+          ++res.stats.packets_sent;
+          ++res.stats.relay_packets;
+          ++relay_sent_[rl.target * units.size() + ui];
+          res.stats.airtime += air;
+          res.stats.relay_airtime += air;
+          if (rng.chance(rl.loss)) continue;  // lost on the side link
+          ++tgt.innovative;
+          ++res.relayed_symbols;
+          if (!tgt.decoded && tgt.innovative >= k) {
+            if (tgt.innovative == k) {
+              if (rng.chance(1.0 / 256.0)) tgt.needs_extra = true;
+              else tgt.decoded = true;
+            } else {
+              tgt.decoded = true;
+            }
+          }
+        }
+        if (drain_free + air > budget) break;
+      }
+    }
+  }
+
   // --- Decode + measurement ----------------------------------------------
   // Per-user evaluation is embarrassingly parallel (reads only that user's
   // reception state, writes only that user's result rows).
@@ -383,8 +450,22 @@ void TxEngine::run_frame_into(
     verify::check(backlog_bytes_ >= 0.0, "emu.backlog-nonnegative", [&] {
       return "backlog " + std::to_string(backlog_bytes_) + " bytes";
     });
+    // A relay target is by contract quarantined out of this frame's
+    // schedule: it must not also be a member of any transmitting group.
+    for (const auto& rl : relays) {
+      for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+        bool member = false;
+        for (std::size_t u : groups[gi].members)
+          if (u == rl.target) member = true;
+        verify::check(!member, "emu.relay-target-grouped", [&] {
+          return "relay target " + std::to_string(rl.target) +
+                 " is a member of scheduled group " + std::to_string(gi);
+        });
+      }
+    }
     // Per-user reception never exceeds what was actually sent to any group
-    // containing that user (received <= sent, per unit).
+    // containing that user (received <= sent, per unit) — plus, for relay
+    // targets, what their relayer forwarded.
     avail_.assign(n_users * units.size(), 0);
     for (std::size_t gi = 0; gi < groups.size(); ++gi)
       for (std::size_t ui = 0; ui < units.size(); ++ui) {
@@ -393,6 +474,7 @@ void TxEngine::run_frame_into(
         for (std::size_t u : groups[gi].members)
           avail_[u * units.size() + ui] += count;
       }
+    for (std::size_t i = 0; i < relay_sent_.size(); ++i) avail_[i] += relay_sent_[i];
     for (std::size_t u = 0; u < n_users; ++u) {
       for (std::size_t ui = 0; ui < units.size(); ++ui) {
         verify::check(res.user_symbols[u][ui] <= avail_[u * units.size() + ui],
@@ -432,6 +514,8 @@ void TxEngine::run_frame_into(
     static obs::Counter& c_makeup = reg.counter("emu.makeup_packets");
     static obs::Counter& c_deficit = reg.counter("emu.makeup_deficit_symbols");
     static obs::Counter& c_blind = reg.counter("emu.blind_makeup_packets");
+    static obs::Counter& c_relay = reg.counter("emu.relay_packets");
+    static obs::Counter& c_relayed = reg.counter("emu.relayed_symbols");
     static obs::Counter& c_collapsed = reg.counter("emu.budget_collapsed_frames");
     static obs::Gauge& g_backlog = reg.gauge("emu.backlog_packets");
     static obs::Histogram& h_depth = reg.histogram(
@@ -443,6 +527,8 @@ void TxEngine::run_frame_into(
     c_makeup.add(res.stats.makeup_packets);
     c_deficit.add(makeup_deficit);
     c_blind.add(res.blind_makeup_packets);
+    c_relay.add(relay_offered);
+    c_relayed.add(res.relayed_symbols);
     if (faults.budget_scale < 1.0) c_collapsed.add(1);
     g_backlog.set(static_cast<double>(res.stats.backlog_packets_after));
     h_depth.observe(max_queue_bytes / static_cast<double>(wire));

@@ -64,7 +64,9 @@ struct FrameTxStats {
   std::size_t packets_sent = 0;      ///< actually transmitted over the air
   std::size_t packets_dropped_queue = 0;
   std::size_t makeup_packets = 0;
-  Seconds airtime = 0.0;
+  std::size_t relay_packets = 0;     ///< D2D peer-relay transmissions
+  Seconds airtime = 0.0;             ///< includes relay slots (shared medium)
+  Seconds relay_airtime = 0.0;       ///< the relay share of `airtime`
   std::size_t backlog_packets_after = 0;
 };
 
@@ -79,7 +81,25 @@ struct FrameTxResult {
   std::vector<Mbps> measured_rate;
   /// Makeup symbols sent blind for users whose feedback never arrived.
   std::size_t blind_makeup_packets = 0;
+  /// Innovative symbols that actually reached a relay target (<= the
+  /// relay_packets that were transmitted; the side link loses the rest).
+  std::size_t relayed_symbols = 0;
   FrameTxStats stats;
+};
+
+/// One peer-relay slot for this frame (Sec. "Quality-aware relaying"
+/// lineage): a line-of-sight user that decoded a base-layer unit re-encodes
+/// it and forwards fresh fountain symbols to one quarantined target over a
+/// D2D side link. The slot shares the room's 60 GHz medium, so its airtime
+/// is charged against the same Eq. 1 frame budget as the AP's own
+/// transmissions. Only base-layer units are relayed, only in source-coding
+/// mode (re-encoding needs the rateless code), and relayed symbols feed the
+/// target's existing innovative-symbol decoder — no second decode path.
+struct RelayLink {
+  std::size_t relayer = 0;
+  std::size_t target = 0;
+  Mbps rate{0.0};     ///< D2D air rate the relay slot drains at
+  double loss = 0.0;  ///< per-symbol delivery loss on the side link
 };
 
 /// Per-frame fault state handed to run_frame by the hardened session: a
@@ -128,6 +148,17 @@ class TxEngine {
                       Rng& rng, const FrameFaultState& faults,
                       FrameTxResult& res);
 
+  /// Relay-aware variant: after the makeup rounds, each RelayLink forwards
+  /// the target's base-layer deficit (re-encoded by the relayer) within
+  /// whatever frame budget remains. With `relays` empty this is
+  /// bit-identical to the overload above — same RNG stream, same output.
+  void run_frame_into(const std::vector<sched::UnitSpec>& units,
+                      const std::vector<sched::UnitAssignment>& assignments,
+                      const std::vector<GroupTx>& groups, std::size_t n_users,
+                      Rng& rng, const FrameFaultState& faults,
+                      const std::vector<RelayLink>& relays,
+                      FrameTxResult& res);
+
   /// Stale bytes still queued from previous frames.
   double backlog_bytes() const { return backlog_bytes_; }
   void clear_backlog() { backlog_bytes_ = 0.0; backlog_rate_ = Mbps{0.0}; }
@@ -163,6 +194,7 @@ class TxEngine {
   transport::ReportCollector collector_{0, 0, 0};
   transport::ReceptionReport report_;        ///< reused report scratch
   std::vector<std::size_t> avail_;           ///< verify replay, flat [u][i]
+  std::vector<std::size_t> relay_sent_;      ///< verify ledger, flat [u][i]
 };
 
 }  // namespace w4k::emu

@@ -8,18 +8,24 @@ namespace w4k::fault {
 
 bool FrameFaults::any() const {
   if (csi_stale || csi_corrupt || budget_scale < 1.0) return true;
+  if (handoff_beacon_lost) return true;
   for (auto v : feedback_lost)
     if (v) return true;
   for (double db : blockage_db)
     if (db > 0.0) return true;
   for (auto v : user_active)
     if (!v) return true;
+  for (auto v : ap_down)
+    if (v) return true;
+  for (auto v : relay_down)
+    if (v) return true;
   return false;
 }
 
-FaultInjector::FaultInjector(FaultPlan plan, std::size_t n_users)
-    : plan_(std::move(plan)), n_users_(n_users) {
-  plan_.validate(n_users_);
+FaultInjector::FaultInjector(FaultPlan plan, std::size_t n_users,
+                             std::size_t n_aps)
+    : plan_(std::move(plan)), n_users_(n_users), n_aps_(n_aps) {
+  plan_.validate(n_users_, n_aps_);
   // Churn replays by scanning the list in order, so put it in frame order
   // here (stable: same-frame events keep file order, later entry wins).
   std::stable_sort(plan_.churn.begin(), plan_.churn.end(),
@@ -35,8 +41,44 @@ double FaultInjector::blockage_at(std::uint32_t frame,
   double db = 0.0;
   for (const auto& b : plan_.blockage) {
     if (b.user != user) continue;
+    if (b.ap > 0) continue;  // pinned to a non-primary AP's ray
     if (frame >= b.start_frame && frame < b.start_frame + b.n_frames)
       db += b.extra_loss_db;
+  }
+  return db;
+}
+
+double FaultInjector::ray_loss_at(
+    std::uint32_t frame, std::size_t ap, std::size_t user,
+    const std::vector<std::vector<double>>& azimuth, bool* silenced) const {
+  *silenced = false;
+  double db = 0.0;
+  for (const auto& b : plan_.blockage) {
+    if (b.user != user) continue;
+    if (b.ap >= 0 && static_cast<std::size_t>(b.ap) != ap) continue;
+    if (frame >= b.start_frame && frame < b.start_frame + b.n_frames)
+      db += b.extra_loss_db;
+  }
+  for (const auto& o : plan_.ap_outage) {
+    if (o.ap != ap) continue;
+    if (frame < o.start_frame || frame >= o.start_frame + o.n_frames)
+      continue;
+    if (o.total) {
+      *silenced = true;
+      continue;
+    }
+    // Sector outage: silenced iff the user's AP-local azimuth falls in the
+    // failed sector. No azimuth table -> conservative total fallback.
+    if (ap >= azimuth.size() || user >= azimuth[ap].size()) {
+      *silenced = true;
+      continue;
+    }
+    constexpr double kDeg = 180.0 / 3.14159265358979323846;
+    double delta = azimuth[ap][user] * kDeg - o.sector_center_deg;
+    delta = std::fmod(delta, 360.0);
+    if (delta > 180.0) delta -= 360.0;
+    if (delta < -180.0) delta += 360.0;
+    if (std::abs(delta) <= o.sector_width_deg / 2.0) *silenced = true;
   }
   return db;
 }
@@ -71,6 +113,24 @@ FrameFaults FaultInjector::at(std::uint32_t frame) const {
     if (c.frame <= frame && c.user < n_users_)
       f.user_active[c.user] = c.join ? 1 : 0;
   }
+  for (const auto& h : plan_.handoff_beacon)
+    if (h.frame == frame) f.handoff_beacon_lost = true;
+  if (!plan_.ap_outage.empty() || n_aps_ > 1) {
+    f.ap_down.assign(n_aps_, 0);
+    for (const auto& o : plan_.ap_outage) {
+      if (!o.total || o.ap >= n_aps_) continue;
+      if (frame >= o.start_frame && frame < o.start_frame + o.n_frames)
+        f.ap_down[o.ap] = 1;
+    }
+  }
+  if (!plan_.relay_churn.empty()) {
+    f.relay_down.assign(n_users_, 0);
+    for (const auto& r : plan_.relay_churn) {
+      if (r.user >= n_users_) continue;
+      if (frame >= r.start_frame && frame < r.start_frame + r.n_frames)
+        f.relay_down[r.user] = 1;
+    }
+  }
   return f;
 }
 
@@ -98,6 +158,46 @@ void FaultInjector::apply(std::uint32_t frame,
     for (auto& h : decision)
       for (std::size_t n = 0; n < h.size(); ++n)
         h[n] = linalg::Complex(nan, nan);
+  }
+}
+
+void FaultInjector::apply_aps(
+    std::uint32_t frame, std::vector<std::vector<linalg::CVector>>& decision,
+    std::vector<std::vector<linalg::CVector>>& truth,
+    const std::vector<std::vector<double>>& ap_user_azimuth) const {
+  const auto fault_ray = [&](linalg::CVector& h, std::uint32_t at_frame,
+                             std::size_t ap, std::size_t user) {
+    bool silenced = false;
+    const double db = ray_loss_at(at_frame, ap, user, ap_user_azimuth,
+                                  &silenced);
+    if (silenced) {
+      for (std::size_t n = 0; n < h.size(); ++n) h[n] = linalg::Complex(0, 0);
+      return;
+    }
+    if (db <= 0.0) return;
+    const double amp = std::pow(10.0, -db / 20.0);
+    for (std::size_t n = 0; n < h.size(); ++n) h[n] *= amp;
+  };
+  for (std::size_t a = 0; a < truth.size() && a < n_aps_; ++a)
+    for (std::size_t u = 0; u < truth[a].size() && u < n_users_; ++u)
+      fault_ray(truth[a][u], frame, a, u);
+  // Same staleness convention as apply(): the sender acts on last beacon's
+  // picture, so the decision stacks see the previous frame's faults.
+  const std::uint32_t prev = frame > 0 ? frame - 1 : frame;
+  if (frame > 0)
+    for (std::size_t a = 0; a < decision.size() && a < n_aps_; ++a)
+      for (std::size_t u = 0; u < decision[a].size() && u < n_users_; ++u)
+        fault_ray(decision[a][u], prev, a, u);
+
+  bool corrupt = false;
+  for (const auto& c : plan_.csi)
+    if (c.frame == frame && c.corrupt) corrupt = true;
+  if (corrupt) {
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    for (auto& stack : decision)
+      for (auto& h : stack)
+        for (std::size_t n = 0; n < h.size(); ++n)
+          h[n] = linalg::Complex(nan, nan);
   }
 }
 

@@ -23,17 +23,28 @@ struct FrameFaults {
   std::vector<std::uint8_t> feedback_delayed;  ///< arrives next beacon(s)
   std::vector<double> blockage_db;             ///< extra true-channel loss
   std::vector<std::uint8_t> user_active;       ///< churn state
+  /// Cross-AP assist beacon lost: the session must not probe alternates or
+  /// commit a handoff on this frame.
+  bool handoff_beacon_lost = false;
+  /// Per-AP *total*-outage flags, sized n_aps (empty when n_aps == 1 and
+  /// the plan has no outages). Sector outages are geometric — they only
+  /// manifest through apply_aps(), which knows each user's azimuth.
+  std::vector<std::uint8_t> ap_down;
+  /// Per-user relay-unavailability flags (relay churn), sized n_users.
+  std::vector<std::uint8_t> relay_down;
 
   bool any() const;
 };
 
 class FaultInjector {
  public:
-  /// Validates the plan against `n_users` (throws std::invalid_argument).
-  FaultInjector(FaultPlan plan, std::size_t n_users);
+  /// Validates the plan against `n_users` x `n_aps` (throws
+  /// std::invalid_argument). Single-AP callers omit `n_aps`.
+  FaultInjector(FaultPlan plan, std::size_t n_users, std::size_t n_aps = 1);
 
   const FaultPlan& plan() const { return plan_; }
   std::size_t n_users() const { return n_users_; }
+  std::size_t n_aps() const { return n_aps_; }
 
   /// The resolved fault state for `frame`.
   FrameFaults at(std::uint32_t frame) const;
@@ -46,11 +57,29 @@ class FaultInjector {
   void apply(std::uint32_t frame, std::vector<linalg::CVector>& decision,
              std::vector<linalg::CVector>& truth) const;
 
+  /// Multi-AP variant of apply(): `decision`/`truth` are per-AP channel
+  /// stacks indexed [ap][user]. Blockage bursts attenuate the rays they
+  /// name (every AP's ray when the burst has no `ap`), AP outages silence
+  /// the affected rays outright — totally, or only for users whose AP-local
+  /// azimuth (radians, from `ap_user_azimuth[ap][user]`) falls inside the
+  /// failed sector. Without an azimuth table a sector outage degrades to a
+  /// total one (conservative). The same one-beacon staleness convention as
+  /// apply() holds: `truth` sees faults active now, `decision` sees the
+  /// previous frame's, and a corrupt beacon NaN-poisons every decision ray.
+  void apply_aps(
+      std::uint32_t frame, std::vector<std::vector<linalg::CVector>>& decision,
+      std::vector<std::vector<linalg::CVector>>& truth,
+      const std::vector<std::vector<double>>& ap_user_azimuth = {}) const;
+
  private:
   double blockage_at(std::uint32_t frame, std::size_t user) const;
+  double ray_loss_at(std::uint32_t frame, std::size_t ap, std::size_t user,
+                     const std::vector<std::vector<double>>& azimuth,
+                     bool* silenced) const;
 
   FaultPlan plan_;
   std::size_t n_users_;
+  std::size_t n_aps_;
 };
 
 }  // namespace w4k::fault

@@ -20,12 +20,17 @@ std::string idx(const char* name, std::size_t i) {
 
 }  // namespace
 
-void FaultPlan::validate(std::size_t n_users) const {
+void FaultPlan::validate(std::size_t n_users, std::size_t n_aps) const {
   const auto check_user = [&](const std::string& field, std::size_t user) {
     if (n_users > 0 && user >= n_users)
       bad(field + ".user",
           "user " + std::to_string(user) + " out of range (" +
               std::to_string(n_users) + " users)");
+  };
+  const auto check_ap = [&](const std::string& field, std::size_t ap) {
+    if (n_aps > 0 && ap >= n_aps)
+      bad(field + ".ap", "ap " + std::to_string(ap) + " out of range (" +
+                             std::to_string(n_aps) + " aps)");
   };
   for (std::size_t i = 0; i < feedback.size(); ++i) {
     check_user(idx("feedback", i), feedback[i].user);
@@ -42,6 +47,9 @@ void FaultPlan::validate(std::size_t n_users) const {
       bad(idx("blockage", i) + ".extra_loss_db",
           "must be finite and >= 0 dB (got " +
               std::to_string(blockage[i].extra_loss_db) + ")");
+    if (blockage[i].ap >= 0)
+      check_ap(idx("blockage", i),
+               static_cast<std::size_t>(blockage[i].ap));
   }
   for (std::size_t i = 0; i < budget.size(); ++i) {
     if (budget[i].n_frames == 0)
@@ -53,6 +61,26 @@ void FaultPlan::validate(std::size_t n_users) const {
   }
   for (std::size_t i = 0; i < churn.size(); ++i)
     check_user(idx("churn", i), churn[i].user);
+  for (std::size_t i = 0; i < ap_outage.size(); ++i) {
+    check_ap(idx("ap_outage", i), ap_outage[i].ap);
+    if (ap_outage[i].n_frames == 0)
+      bad(idx("ap_outage", i) + ".n_frames", "must be > 0");
+    if (!ap_outage[i].total) {
+      if (!std::isfinite(ap_outage[i].sector_center_deg))
+        bad(idx("ap_outage", i) + ".sector_center_deg", "must be finite");
+      if (!std::isfinite(ap_outage[i].sector_width_deg) ||
+          !(ap_outage[i].sector_width_deg > 0.0 &&
+            ap_outage[i].sector_width_deg <= 360.0))
+        bad(idx("ap_outage", i) + ".sector_width_deg",
+            "must be in (0, 360] degrees (got " +
+                std::to_string(ap_outage[i].sector_width_deg) + ")");
+    }
+  }
+  for (std::size_t i = 0; i < relay_churn.size(); ++i) {
+    check_user(idx("relay_churn", i), relay_churn[i].user);
+    if (relay_churn[i].n_frames == 0)
+      bad(idx("relay_churn", i) + ".n_frames", "must be > 0");
+  }
 }
 
 FaultPlan FaultPlan::random(std::uint64_t seed, std::uint32_t n_frames,
@@ -107,7 +135,31 @@ FaultPlan FaultPlan::random(std::uint64_t seed, std::uint32_t n_frames,
     plan.churn.push_back(ChurnEvent{leave, u, /*join=*/false});
     if (back < n_frames) plan.churn.push_back(ChurnEvent{back, u, /*join=*/true});
   }
-  plan.validate(n_users);
+  // The multi-AP fault classes are drawn strictly after everything above
+  // and default to 0 events, so a default-config call consumes exactly the
+  // same RNG stream it always did (the `faulted` golden depends on that).
+  for (int i = 0; i < cfg.ap_outages && cfg.n_aps > 0; ++i) {
+    ApOutage o;
+    o.start_frame = frame();
+    o.n_frames = burst_len();
+    o.ap = static_cast<std::size_t>(rng.below(cfg.n_aps));
+    o.total = !rng.chance(0.35);
+    if (!o.total) {
+      o.sector_center_deg = rng.uniform(-90.0, 90.0);
+      o.sector_width_deg = rng.uniform(30.0, 120.0);
+    }
+    plan.ap_outage.push_back(o);
+  }
+  for (int i = 0; i < cfg.handoff_beacon_losses; ++i)
+    plan.handoff_beacon.push_back(HandoffBeaconLoss{frame()});
+  for (int i = 0; i < cfg.relay_churns; ++i) {
+    RelayChurn r;
+    r.start_frame = frame();
+    r.n_frames = burst_len();
+    r.user = user();
+    plan.relay_churn.push_back(r);
+  }
+  plan.validate(n_users, cfg.n_aps);
   return plan;
 }
 
@@ -168,7 +220,47 @@ FaultPlan parse_fault_plan(std::istream& is) {
       if (b.n_frames == 0) line_err(lineno, "blockage n_frames must be > 0");
       if (!std::isfinite(b.extra_loss_db) || b.extra_loss_db < 0.0)
         line_err(lineno, "blockage extra_db must be finite and >= 0");
+      std::string ap_kw;
+      if (ls >> ap_kw) {
+        if (ap_kw != "ap")
+          line_err(lineno, "expected 'ap <ap>' after extra_db, got '" +
+                               ap_kw + "'");
+        want(b.ap, "<ap> after 'ap'");
+        if (b.ap < 0) line_err(lineno, "blockage ap must be >= 0");
+      }
       plan.blockage.push_back(b);
+    } else if (kind == "ap_outage") {
+      ApOutage o;
+      std::string mode;
+      want(o.start_frame, "<start_frame>");
+      want(o.n_frames, "<n_frames>");
+      want(o.ap, "<ap>");
+      want(mode, "total|sector");
+      if (o.n_frames == 0) line_err(lineno, "ap_outage n_frames must be > 0");
+      if (mode == "sector") {
+        o.total = false;
+        want(o.sector_center_deg, "<center_deg> after 'sector'");
+        want(o.sector_width_deg, "<width_deg> after 'sector'");
+        if (!std::isfinite(o.sector_center_deg))
+          line_err(lineno, "ap_outage sector center must be finite");
+        if (!std::isfinite(o.sector_width_deg) ||
+            !(o.sector_width_deg > 0.0 && o.sector_width_deg <= 360.0))
+          line_err(lineno, "ap_outage sector width must be in (0, 360]");
+      } else if (mode != "total") {
+        line_err(lineno, "ap_outage mode must be 'total' or 'sector'");
+      }
+      plan.ap_outage.push_back(o);
+    } else if (kind == "handoff_beacon") {
+      HandoffBeaconLoss h;
+      want(h.frame, "<frame>");
+      plan.handoff_beacon.push_back(h);
+    } else if (kind == "relay_churn") {
+      RelayChurn r;
+      want(r.start_frame, "<start_frame>");
+      want(r.n_frames, "<n_frames>");
+      want(r.user, "<user>");
+      if (r.n_frames == 0) line_err(lineno, "relay_churn n_frames must be > 0");
+      plan.relay_churn.push_back(r);
     } else if (kind == "budget") {
       BudgetCollapse b;
       want(b.start_frame, "<start_frame>");
@@ -213,15 +305,31 @@ std::string to_text(const FaultPlan& plan) {
   for (const auto& c : plan.csi)
     os << "csi " << c.frame << ' ' << (c.corrupt ? "corrupt" : "stale")
        << '\n';
-  for (const auto& b : plan.blockage)
+  for (const auto& b : plan.blockage) {
     os << "blockage " << b.start_frame << ' ' << b.n_frames << ' ' << b.user
-       << ' ' << num(b.extra_loss_db) << '\n';
+       << ' ' << num(b.extra_loss_db);
+    if (b.ap >= 0) os << " ap " << b.ap;
+    os << '\n';
+  }
   for (const auto& b : plan.budget)
     os << "budget " << b.start_frame << ' ' << b.n_frames << ' '
        << num(b.budget_scale) << '\n';
   for (const auto& c : plan.churn)
     os << "churn " << c.frame << ' ' << c.user << ' '
        << (c.join ? "join" : "leave") << '\n';
+  for (const auto& o : plan.ap_outage) {
+    os << "ap_outage " << o.start_frame << ' ' << o.n_frames << ' ' << o.ap;
+    if (o.total)
+      os << " total\n";
+    else
+      os << " sector " << num(o.sector_center_deg) << ' '
+         << num(o.sector_width_deg) << '\n';
+  }
+  for (const auto& h : plan.handoff_beacon)
+    os << "handoff_beacon " << h.frame << '\n';
+  for (const auto& r : plan.relay_churn)
+    os << "relay_churn " << r.start_frame << ' ' << r.n_frames << ' '
+       << r.user << '\n';
   return os.str();
 }
 

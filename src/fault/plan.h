@@ -41,12 +41,42 @@ struct CsiFault {
 
 /// Extra attenuation on one user's true channel for a run of frames (a
 /// person stepping into the LoS path), invisible to the beacon-time CSI
-/// until the next beacon.
+/// until the next beacon. In multi-AP runs a blocker near the user shadows
+/// every AP's ray by default (`ap` < 0); `ap` >= 0 pins the burst to a
+/// single AP-user ray (blocker near that AP), which is what makes handoff
+/// a recovery path.
 struct BlockageBurst {
   std::uint32_t start_frame = 0;
   std::uint32_t n_frames = 1;
   std::size_t user = 0;
   double extra_loss_db = 18.0;  ///< human torso at 60 GHz
+  int ap = -1;                  ///< -1: every AP's ray; >= 0: only that AP
+};
+
+/// One access point goes dark for a run of frames — totally (power or
+/// backhaul loss) or over one azimuth sector (a sector-level PA failure):
+/// only users whose AP-local azimuth falls inside the sector lose the ray.
+struct ApOutage {
+  std::uint32_t start_frame = 0;
+  std::uint32_t n_frames = 1;
+  std::size_t ap = 0;
+  bool total = true;
+  double sector_center_deg = 0.0;  ///< AP-local azimuth, used when !total
+  double sector_width_deg = 90.0;  ///< used when !total, in (0, 360]
+};
+
+/// The cross-AP assist beacon for one frame never arrives: the session
+/// must not evaluate alternate APs (probe or hand off) on that frame.
+struct HandoffBeaconLoss {
+  std::uint32_t frame = 0;
+};
+
+/// One user is unavailable as a relay for a run of frames (D2D link down,
+/// battery saver, app backgrounded) while still receiving normally.
+struct RelayChurn {
+  std::uint32_t start_frame = 0;
+  std::uint32_t n_frames = 1;
+  std::size_t user = 0;
 };
 
 /// The transmit budget collapses to `budget_scale` of the frame interval
@@ -77,6 +107,13 @@ struct RandomPlanConfig {
   double min_blockage_db = 8.0;
   double max_blockage_db = 25.0;
   double min_budget_scale = 0.05;
+  // Multi-AP / relay fault classes. All default to 0 events so plans drawn
+  // with a default config are bit-identical to what pre-multi-AP builds
+  // produced from the same seed (the `faulted` golden pins one).
+  int ap_outages = 0;
+  int handoff_beacon_losses = 0;
+  int relay_churns = 0;
+  std::size_t n_aps = 1;  ///< AP index range for generated outages
 };
 
 struct FaultPlan {
@@ -85,17 +122,22 @@ struct FaultPlan {
   std::vector<BlockageBurst> blockage;
   std::vector<BudgetCollapse> budget;
   std::vector<ChurnEvent> churn;
+  std::vector<ApOutage> ap_outage;
+  std::vector<HandoffBeaconLoss> handoff_beacon;
+  std::vector<RelayChurn> relay_churn;
 
   bool empty() const {
     return feedback.empty() && csi.empty() && blockage.empty() &&
-           budget.empty() && churn.empty();
+           budget.empty() && churn.empty() && ap_outage.empty() &&
+           handoff_beacon.empty() && relay_churn.empty();
   }
 
   /// Throws std::invalid_argument naming the offending event
   /// ("FaultPlan.blockage[2].extra_loss_db: ...") on out-of-range users,
   /// non-finite attenuations, zero-length bursts, or budget scales outside
-  /// (0, 1]. `n_users` may be 0 to skip the user-range checks.
-  void validate(std::size_t n_users = 0) const;
+  /// (0, 1]. `n_users` may be 0 to skip the user-range checks; `n_aps` may
+  /// be 0 to skip the AP-range checks (single-AP callers never pass it).
+  void validate(std::size_t n_users = 0, std::size_t n_aps = 0) const;
 
   /// Seeded random plan over `n_frames` x `n_users`: same seed, same plan,
   /// forever. Never churns out every user at once.
@@ -109,9 +151,13 @@ struct FaultPlan {
 ///   feedback <frame> <user> lost
 ///   feedback <frame> <user> delay <frames>
 ///   csi <frame> stale|corrupt
-///   blockage <start_frame> <n_frames> <user> <extra_db>
+///   blockage <start_frame> <n_frames> <user> <extra_db> [ap <ap>]
 ///   budget <start_frame> <n_frames> <scale>
 ///   churn <frame> <user> join|leave
+///   ap_outage <start_frame> <n_frames> <ap> total
+///   ap_outage <start_frame> <n_frames> <ap> sector <center_deg> <width_deg>
+///   handoff_beacon <frame>
+///   relay_churn <start_frame> <n_frames> <user>
 ///
 /// Throws std::runtime_error naming the offending line
 /// ("fault-plan:7: budget scale must be in (0, 1]").

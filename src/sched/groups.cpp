@@ -18,6 +18,12 @@ struct MaskFilter {
   GroupMask excluded_mask = 0;
   std::size_t max_group_size = 0;
   bool multicast = false;
+  bool partitioned = false;
+  // Per-partition member masks + each user's partition id (fixed-size
+  // arrays: this filter is rebuilt per enumeration inside the
+  // zero-allocation frame path).
+  GroupMask part_mask[16] = {};
+  std::uint8_t part_id[64] = {};
 
   MaskFilter(beamforming::Scheme scheme, std::size_t n,
              const GroupEnumConfig& cfg)
@@ -25,13 +31,32 @@ struct MaskFilter {
         multicast(beamforming::allows_multicast(scheme)) {
     for (std::size_t u = 0; u < cfg.exclude.size() && u < n; ++u)
       if (cfg.exclude[u]) excluded_mask |= GroupMask{1} << u;
+    if (!cfg.partition.empty()) {
+      partitioned = true;
+      for (std::size_t u = 0; u < n && u < 64; ++u) {
+        const std::uint8_t p =
+            u < cfg.partition.size() ? cfg.partition[u] : 0;
+        if (p >= 16)
+          throw std::invalid_argument(
+              "enumerate_groups: partition id must be < 16");
+        part_id[u] = p;
+        part_mask[p] |= GroupMask{1} << u;
+      }
+    }
   }
 
   bool admits(GroupMask mask) const {
     if (mask & excluded_mask) return false;  // quarantined/departed member
     const auto size = static_cast<std::size_t>(__builtin_popcountll(mask));
     if (size > max_group_size) return false;
-    return multicast || size == 1;
+    if (!multicast && size != 1) return false;
+    if (partitioned && mask) {
+      // One beam, one array: every member must share the lowest member's
+      // serving AP.
+      const unsigned lo = static_cast<unsigned>(__builtin_ctzll(mask));
+      if (mask & ~part_mask[part_id[lo]]) return false;
+    }
+    return true;
   }
 };
 
@@ -351,6 +376,11 @@ void beamform_priority_into(
     ThreadPool* pool, SchedWorkspace& ws) {
   if (ws.beams.size() < masks.size())
     ws.beams.resize(masks.size());  // beam pool: never shrinks
+  // Slots are indexed by miss-list position, so a fault that reshuffles
+  // the miss order can land a large group in a slot that last held a
+  // singleton. Reserving every slot to the group-size bound (the user
+  // count) up front keeps that reshuffle off the heap.
+  for (auto& b : ws.beams) b.member_rss.reserve(user_channels.size());
   ws.done.assign(masks.size(), 0);
   ws.deferred = 0;
 

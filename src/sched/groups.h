@@ -68,6 +68,12 @@ struct GroupEnumConfig {
   /// session uses this to quarantine persistently blocked users and to
   /// drop departed ones without re-indexing anything downstream.
   std::vector<std::uint8_t> exclude;
+  /// partition[u] = the transmitter (AP) serving user u. Non-empty: every
+  /// emitted group must be partition-pure — a multicast beam is formed by
+  /// one physical array, so a group can never span APs. Empty = all users
+  /// share one transmitter (the single-AP behaviour, bit-identical to the
+  /// pre-partition enumeration). Values must be < 16.
+  std::vector<std::uint8_t> partition;
 
   // --- Anytime candidate generation (DESIGN.md Sec. 4f) -----------------
   /// User counts above this switch from the paper's exhaustive subset

@@ -46,6 +46,7 @@ UnitMapResult map_to_units(std::span<const GroupSpec> groups,
   return res;
 }
 
+
 void map_to_units_into(std::span<const GroupSpec> groups,
                        std::span<const LayerArray> group_layer_bytes,
                        const std::vector<UnitSpec>& units,

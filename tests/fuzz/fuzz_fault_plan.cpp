@@ -27,7 +27,10 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
         again.csi.size() != plan.csi.size() ||
         again.blockage.size() != plan.blockage.size() ||
         again.budget.size() != plan.budget.size() ||
-        again.churn.size() != plan.churn.size())
+        again.churn.size() != plan.churn.size() ||
+        again.ap_outage.size() != plan.ap_outage.size() ||
+        again.handoff_beacon.size() != plan.handoff_beacon.size() ||
+        again.relay_churn.size() != plan.relay_churn.size())
       __builtin_trap();
   } catch (const std::runtime_error&) {
     // Malformed line: the documented rejection path.

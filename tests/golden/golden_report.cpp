@@ -5,9 +5,10 @@
 // — any byte difference means the streaming pipeline's numbers moved, by
 // a real change or by lost determinism, and either way a human must look.
 //
-// Usage: golden_report <static4|faulted|mobile> [--out FILE]
+// Usage: golden_report <static4|faulted|mobile|multiap|relay> [--out FILE]
 //                      [--model-cache PATH]
 #include "channel/mobility.h"
+#include "channel/multi_ap.h"
 #include "core/experiment.h"
 #include "core/frame_context.h"
 #include "core/pretrained.h"
@@ -72,6 +73,76 @@ core::SessionReport run_faulted(model::QualityModel& quality) {
                           injector);
 }
 
+// Two APs on opposite walls, four users, a pinned AP-outage + handoff-
+// beacon-loss plan: exercises attachment, partition-pure grouping, sector
+// faults, and mid-session handoff. Pinned like everything else — any byte
+// change means the multi-AP numbers moved.
+core::SessionReport run_multiap(model::QualityModel& quality) {
+  constexpr std::size_t kUsers = 4;
+  constexpr int kFrames = 16;
+  core::SessionConfig cfg = core::SessionConfig::scaled(kW, kH);
+  cfg.handoff.n_aps = 2;
+  cfg.handoff.enabled = true;
+  cfg.handoff.min_dwell_frames = 4;
+  core::MulticastSession s(cfg, quality, beamforming::Codebook{});
+  const auto ctx = contexts();
+  Rng rng(5);
+  channel::PropagationConfig prop;
+  const auto users = core::place_users_fixed(kUsers, 3.0, 1.047, rng);
+  channel::MultiApGeometry geo;
+  geo.prop = prop;
+  geo.aps = channel::default_ap_layout(2, prop.room);
+  fault::RandomPlanConfig rcfg;
+  rcfg.n_aps = 2;
+  rcfg.handoff_beacon_losses = 1;
+  fault::FaultPlan plan =
+      fault::FaultPlan::random(/*seed=*/20250801, kFrames, kUsers, rcfg);
+  // On top of the pinned random draws, one long total outage of AP 0 —
+  // long enough to walk every attached user through degraded → probing →
+  // handing-off → attached-to-AP-1, so the golden pins a committed switch.
+  // (Random ap_outages stay 0 here: a random outage of the alternate AP
+  // would abort every probe, which is chaos-test material, not a golden.)
+  fault::ApOutage outage;
+  outage.start_frame = 4;
+  outage.n_frames = 8;
+  outage.ap = 0;
+  outage.total = true;
+  plan.ap_outage.push_back(outage);
+  const fault::FaultInjector injector(plan, kUsers, 2);
+  return core::run_static_multi_ap(s, channel::ap_channel_stacks(geo, users),
+                                   ctx, kFrames, injector,
+                                   channel::ap_user_azimuths(geo, users));
+}
+
+// Single AP, persistent blockage drives one user into quarantine, then the
+// LoS peers relay base-layer symbols to it: pins the relay airtime
+// accounting and the relayed-symbol decode path.
+core::SessionReport run_relay(model::QualityModel& quality) {
+  constexpr std::size_t kUsers = 4;
+  constexpr int kFrames = 20;
+  core::SessionConfig cfg = core::SessionConfig::scaled(kW, kH);
+  cfg.relay.enabled = true;
+  cfg.quarantine_after = 3;
+  cfg.quarantine_reprobe_period = 4;
+  core::MulticastSession s(cfg, quality, beamforming::Codebook{});
+  const auto ctx = contexts();
+  fault::FaultPlan plan;
+  fault::BlockageBurst burst;
+  burst.start_frame = 2;
+  burst.n_frames = 18;
+  burst.user = 3;
+  burst.extra_loss_db = 30.0;
+  plan.blockage.push_back(burst);
+  // Miss every beacon during the burst: decisions run on pre-burst held
+  // CSI, so the blocked user keeps being scheduled at full MCS and decodes
+  // nothing — the streak that drives quarantine, and from there the peers
+  // start relaying base-layer symbols to it.
+  for (std::uint32_t f = 2; f < 20; ++f)
+    plan.csi.push_back({f, /*corrupt=*/false});
+  const fault::FaultInjector injector(plan, kUsers);
+  return core::run_static(s, static_channels(kUsers), ctx, kFrames, injector);
+}
+
 core::SessionReport run_mobile(model::QualityModel& quality) {
   auto s = session(quality);
   const auto ctx = contexts();
@@ -108,7 +179,7 @@ int main(int argc, char** argv) {
   }
   if (scenario.empty()) {
     std::fprintf(stderr,
-                 "usage: golden_report <static4|faulted|mobile> "
+                 "usage: golden_report <static4|faulted|mobile|multiap|relay> "
                  "[--out FILE] [--model-cache PATH]\n");
     return 2;
   }
@@ -122,6 +193,8 @@ int main(int argc, char** argv) {
   if (scenario == "static4") report = run_static4(quality);
   else if (scenario == "faulted") report = run_faulted(quality);
   else if (scenario == "mobile") report = run_mobile(quality);
+  else if (scenario == "multiap") report = run_multiap(quality);
+  else if (scenario == "relay") report = run_relay(quality);
   else {
     std::fprintf(stderr, "golden_report: unknown scenario '%s'\n",
                  scenario.c_str());

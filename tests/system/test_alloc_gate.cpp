@@ -10,8 +10,11 @@
 #include "common/alloc_count.h"
 
 #include "channel/mobility.h"
+#include "channel/multi_ap.h"
 #include "core/pretrained.h"
 #include "core/runner.h"
+#include "fault/injector.h"
+#include "fault/plan.h"
 
 #include <gtest/gtest.h>
 
@@ -130,6 +133,92 @@ TEST_F(AllocGateTest, MobileTraceZeroAllocsPerFrameAfterWarmup) {
       }
     }
   }
+}
+
+// Multi-AP + relay scenario: 2-AP stacks through step_multi_into, with a
+// fault plan that lights up every new subsystem inside the warmup window
+// and the measured window — a persistent unseen blockage quarantines user
+// 3 (peer relay starts forwarding base-layer symbols by frame ~4), then a
+// total AP-0 outage walks every user through the attachment ladder to a
+// committed handoff mid-measurement. The attachment vectors, the per-AP
+// RSS table, the effective-channel views, the relay link list, and the
+// engine's relay ledger are all sized during warmup; after that, frames
+// with active relaying AND an in-flight handoff must still be
+// allocation-free.
+TEST_F(AllocGateTest, MultiApRelayZeroAllocsPerFrameAfterWarmup) {
+  if (!alloc_count::counting_available())
+    GTEST_SKIP() << "W4K_COUNT_ALLOCS is off in this build";
+
+  constexpr std::size_t kUsers = 4;
+  constexpr int kFrames = 20;
+  // Warmup covers the first relay-active frames (quarantine engages at
+  // frame ~3), which size the relay ledger; the handoff beginning at
+  // frame ~10 must then stay heap-free.
+  constexpr int kMultiWarmup = 6;
+
+  Rng rng(5);
+  channel::PropagationConfig prop;
+  channel::MultiApGeometry geo;
+  geo.prop = prop;
+  geo.aps = channel::default_ap_layout(2, prop.room);
+  const auto users = place_users_fixed(kUsers, 3.0, 1.047, rng);
+  const auto stacks = channel::ap_channel_stacks(geo, users);
+  const auto azimuths = channel::ap_user_azimuths(geo, users);
+
+  fault::FaultPlan plan;
+  fault::BlockageBurst burst;
+  burst.start_frame = 1;
+  burst.n_frames = kFrames;
+  burst.user = 3;
+  burst.extra_loss_db = 35.0;
+  plan.blockage.push_back(burst);
+  for (std::uint32_t f = 1; f <= 8; ++f)
+    plan.csi.push_back({f, /*corrupt=*/false});
+  fault::ApOutage outage;
+  outage.start_frame = 9;
+  outage.n_frames = 8;
+  outage.ap = 0;
+  outage.total = true;
+  plan.ap_outage.push_back(outage);
+  const fault::FaultInjector injector(plan, kUsers, 2);
+
+  SessionConfig cfg = SessionConfig::scaled(kW, kH);
+  cfg.handoff.n_aps = 2;
+  cfg.handoff.enabled = true;
+  cfg.handoff.min_dwell_frames = 4;
+  cfg.relay.enabled = true;
+  cfg.quarantine_after = 2;
+  cfg.quarantine_reprobe_period = 4;
+  MulticastSession session(cfg, *quality_, beamforming::Codebook{});
+
+  FrameOutcome outcome;
+  std::vector<std::vector<linalg::CVector>> decision;
+  std::vector<std::vector<linalg::CVector>> truth;
+  std::size_t relay_frames = 0;
+  std::size_t handoffs = 0;
+  for (int f = 0; f < kFrames; ++f) {
+    const FrameContext& ctx =
+        (*contexts_)[static_cast<std::size_t>(f) % contexts_->size()];
+    // The driver's per-frame work (fault resolution, stack copies) is
+    // outside the gate: the contract covers the session step itself.
+    const auto frame_id = static_cast<std::uint32_t>(f);
+    const fault::FrameFaults faults = injector.at(frame_id);
+    decision = stacks;
+    truth = stacks;
+    injector.apply_aps(frame_id, decision, truth, azimuths);
+    const alloc_count::Scope scope;
+    session.step_multi_into(decision, truth, ctx, faults, outcome);
+    if (f >= kMultiWarmup) {
+      EXPECT_EQ(scope.taken(), 0u)
+          << "frame " << f << " of the multi-AP relay scenario hit the heap";
+    }
+    if (outcome.relayed_symbols > 0) ++relay_frames;
+    handoffs += outcome.handoffs;
+  }
+  // The gate is only meaningful if the scenario actually exercised both
+  // new paths.
+  EXPECT_GT(relay_frames, 0u) << "relay never engaged; gate is vacuous";
+  EXPECT_GT(handoffs, 0u) << "no handoff committed; gate is vacuous";
 }
 
 }  // namespace

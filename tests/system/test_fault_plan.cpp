@@ -45,6 +45,33 @@ TEST(FaultPlanParse, AllEventKindsAndComments) {
   EXPECT_FALSE(plan.empty());
 }
 
+TEST(FaultPlanParse, MultiApEventKinds) {
+  std::istringstream is(
+      "blockage 2 4 1 18.5 ap 1   # only AP 1's ray is shadowed\n"
+      "ap_outage 3 6 0 total\n"
+      "ap_outage 2 4 1 sector -45 90\n"
+      "handoff_beacon 7\n"
+      "relay_churn 5 3 2\n");
+  const FaultPlan plan = parse_fault_plan(is);
+  ASSERT_EQ(plan.blockage.size(), 1u);
+  EXPECT_EQ(plan.blockage[0].ap, 1);
+  ASSERT_EQ(plan.ap_outage.size(), 2u);
+  EXPECT_EQ(plan.ap_outage[0].start_frame, 3u);
+  EXPECT_EQ(plan.ap_outage[0].n_frames, 6u);
+  EXPECT_EQ(plan.ap_outage[0].ap, 0u);
+  EXPECT_TRUE(plan.ap_outage[0].total);
+  EXPECT_FALSE(plan.ap_outage[1].total);
+  EXPECT_DOUBLE_EQ(plan.ap_outage[1].sector_center_deg, -45.0);
+  EXPECT_DOUBLE_EQ(plan.ap_outage[1].sector_width_deg, 90.0);
+  ASSERT_EQ(plan.handoff_beacon.size(), 1u);
+  EXPECT_EQ(plan.handoff_beacon[0].frame, 7u);
+  ASSERT_EQ(plan.relay_churn.size(), 1u);
+  EXPECT_EQ(plan.relay_churn[0].start_frame, 5u);
+  EXPECT_EQ(plan.relay_churn[0].n_frames, 3u);
+  EXPECT_EQ(plan.relay_churn[0].user, 2u);
+  EXPECT_FALSE(plan.empty());
+}
+
 TEST(FaultPlanParse, ErrorsNameTheLine) {
   const auto expect_error = [](const char* text, const char* needle) {
     std::istringstream is(text);
@@ -65,6 +92,43 @@ TEST(FaultPlanParse, ErrorsNameTheLine) {
   expect_error("churn 1 0 vanish\n", "join");
   expect_error("csi 5 stale extra\n", "trailing tokens");
   expect_error("feedback 3\n", "expected");
+  expect_error("blockage 0 1 0 10 ap -1\n", "ap must be >= 0");
+  expect_error("blockage 0 1 0 10 at 1\n", "expected 'ap <ap>'");
+  expect_error("ap_outage 0 0 0 total\n", "n_frames must be > 0");
+  expect_error("ap_outage 0 1 0 dark\n", "'total' or 'sector'");
+  expect_error("ap_outage 0 1 0 sector 0 0\n", "width must be in (0, 360]");
+  expect_error("ap_outage 0 1 0 sector 0 400\n", "width must be in (0, 360]");
+  expect_error("ap_outage 0 1 0 sector nan 90\n", "expected <center_deg>");
+  expect_error("relay_churn 0 0 1\n", "n_frames must be > 0");
+  expect_error("handoff_beacon 3 extra\n", "trailing tokens");
+}
+
+TEST(FaultPlanParse, ToTextRoundTripsEveryKind) {
+  std::istringstream is(
+      "feedback 3 1 lost\n"
+      "feedback 4 0 delay 2\n"
+      "csi 5 stale\n"
+      "blockage 2 4 1 18.5 ap 1\n"
+      "blockage 6 2 0 30\n"
+      "budget 7 2 0.25\n"
+      "churn 1 2 leave\n"
+      "ap_outage 3 6 0 total\n"
+      "ap_outage 2 4 1 sector -45 90.5\n"
+      "handoff_beacon 7\n"
+      "relay_churn 5 3 2\n");
+  const FaultPlan plan = parse_fault_plan(is);
+  const std::string text = to_text(plan);
+  std::istringstream again(text);
+  const FaultPlan plan2 = parse_fault_plan(again);
+  EXPECT_EQ(to_text(plan2), text);
+  ASSERT_EQ(plan2.ap_outage.size(), 2u);
+  EXPECT_TRUE(plan2.ap_outage[0].total);
+  EXPECT_DOUBLE_EQ(plan2.ap_outage[1].sector_width_deg, 90.5);
+  ASSERT_EQ(plan2.blockage.size(), 2u);
+  EXPECT_EQ(plan2.blockage[0].ap, 1);
+  EXPECT_EQ(plan2.blockage[1].ap, -1);
+  ASSERT_EQ(plan2.handoff_beacon.size(), 1u);
+  ASSERT_EQ(plan2.relay_churn.size(), 1u);
 }
 
 TEST(FaultPlanParse, LoadFromMissingFileThrowsWithPath) {
@@ -111,6 +175,50 @@ TEST(FaultPlanValidate, RejectsBadScalesAndNaN) {
   EXPECT_NO_THROW(plan.validate());
 }
 
+TEST(FaultPlanValidate, RejectsOutOfRangeAps) {
+  FaultPlan plan;
+  plan.ap_outage.push_back({0, 2, 3, true});
+  EXPECT_NO_THROW(plan.validate(0, 0));  // ap range unknown: skipped
+  EXPECT_NO_THROW(plan.validate(0, 4));
+  try {
+    plan.validate(0, 2);
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("FaultPlan.ap_outage[0].ap"),
+              std::string::npos)
+        << e.what();
+  }
+  plan.ap_outage.clear();
+  plan.blockage.push_back({0, 1, 0, 10.0, /*ap=*/5});
+  EXPECT_THROW(plan.validate(1, 2), std::invalid_argument);
+  plan.blockage[0].ap = -1;  // "every AP" needs no range check
+  EXPECT_NO_THROW(plan.validate(1, 2));
+}
+
+TEST(FaultPlanValidate, RejectsBadSectorsAndRelayChurn) {
+  FaultPlan plan;
+  plan.ap_outage.push_back(
+      {0, 2, 0, /*total=*/false, /*center=*/0.0, /*width=*/0.0});
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.ap_outage[0].sector_width_deg = 361.0;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.ap_outage[0].sector_width_deg = 90.0;
+  plan.ap_outage[0].sector_center_deg = std::nan("");
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.ap_outage[0].sector_center_deg = 0.0;
+  EXPECT_NO_THROW(plan.validate());
+  plan.ap_outage[0].n_frames = 0;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.ap_outage.clear();
+
+  plan.relay_churn.push_back({0, 0, 1});
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.relay_churn[0].n_frames = 2;
+  EXPECT_NO_THROW(plan.validate(4));
+  plan.relay_churn[0].user = 9;
+  EXPECT_THROW(plan.validate(4), std::invalid_argument);
+}
+
 // --- Seeded generation ---------------------------------------------------
 
 TEST(FaultPlanRandom, DeterministicPerSeed) {
@@ -133,6 +241,40 @@ TEST(FaultPlanRandom, GeneratedPlansAlwaysValidate) {
   for (std::uint64_t seed = 0; seed < 100; ++seed) {
     const FaultPlan plan = FaultPlan::random(seed, 16, 3);
     EXPECT_NO_THROW(plan.validate(3)) << "seed " << seed;
+  }
+}
+
+TEST(FaultPlanRandom, DefaultConfigEmitsNoMultiApEvents) {
+  // Backward-compat: a default RandomPlanConfig must generate exactly the
+  // plans it did before the multi-AP kinds existed — no new event types,
+  // and bit-identical text per seed across calls.
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const FaultPlan plan = FaultPlan::random(seed, 32, 4);
+    EXPECT_TRUE(plan.ap_outage.empty()) << "seed " << seed;
+    EXPECT_TRUE(plan.handoff_beacon.empty()) << "seed " << seed;
+    EXPECT_TRUE(plan.relay_churn.empty()) << "seed " << seed;
+    for (const auto& b : plan.blockage)
+      EXPECT_EQ(b.ap, -1) << "seed " << seed;
+    EXPECT_EQ(to_text(plan), to_text(FaultPlan::random(seed, 32, 4)));
+  }
+}
+
+TEST(FaultPlanRandom, MultiApKnobsGenerateValidatingPlans) {
+  RandomPlanConfig cfg;
+  cfg.ap_outages = 2;
+  cfg.handoff_beacon_losses = 2;
+  cfg.relay_churns = 2;
+  cfg.n_aps = 3;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const FaultPlan plan = FaultPlan::random(seed, 24, 4, cfg);
+    EXPECT_EQ(plan.ap_outage.size(), 2u) << "seed " << seed;
+    EXPECT_EQ(plan.handoff_beacon.size(), 2u) << "seed " << seed;
+    EXPECT_EQ(plan.relay_churn.size(), 2u) << "seed " << seed;
+    EXPECT_NO_THROW(plan.validate(4, 3)) << "seed " << seed;
+    for (const auto& o : plan.ap_outage)
+      EXPECT_LT(o.ap, 3u) << "seed " << seed;
+    // Deterministic per seed, including the new kinds.
+    EXPECT_EQ(to_text(plan), to_text(FaultPlan::random(seed, 24, 4, cfg)));
   }
 }
 
