@@ -1,0 +1,163 @@
+// Sharded scenario-sweep campaign CLI (DESIGN.md Sec. 4i).
+//
+// Subcommands:
+//   run       execute a campaign: spawn workers, merge shards, write
+//             summary.json / cells.jsonl / timing.json / manifest.json;
+//             with --baseline, gate the result statistically against a
+//             blessed summary (exit 1 on gate failure)
+//   worker    internal: stream cells [--begin, --end) into one shard
+//   compare   gate one summary.json against another
+//   describe  print the generated ScenarioSpec of one cell
+//   selftest  end-to-end check: byte-stability across worker counts and
+//             W4K_THREADS, gate pass on clean config, gate failure on an
+//             injected stale-CSI-backoff regression
+//
+// Examples:
+//   w4k_campaign run --seed 7 --cells 500 --workers 4 --out /tmp/camp
+//       --model-cache build/campaign_model.cache
+//       --baseline tests/golden/data/campaign_smoke.json
+//   w4k_campaign describe --seed 7 --cell 42
+#include "campaign/runner.h"
+#include "campaign/scenario.h"
+#include "campaign/shard.h"
+#include "campaign/stats_gate.h"
+#include "common/args.h"
+
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <string>
+
+using namespace w4k;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: w4k_campaign <run|worker|compare|describe|selftest> [options]\n"
+      "  run      --seed N --cells N --workers N --out DIR\n"
+      "           [--model-cache PATH] [--baseline SUMMARY.json]\n"
+      "           [--stale-csi-backoff DB]\n"
+      "  worker   --seed N --cells N --begin N --end N --out SHARD.jsonl\n"
+      "           [--model-cache PATH] [--stale-csi-backoff DB]\n"
+      "  compare  --current SUMMARY.json --baseline SUMMARY.json\n"
+      "  describe --seed N --cell N\n"
+      "  selftest --out DIR [--cells N] [--workers N] [--model-cache PATH]\n");
+  return 2;
+}
+
+int reject_typos(const Args& args) {
+  for (const std::string& name : args.unqueried()) {
+    std::fprintf(stderr, "w4k_campaign: unknown option --%s\n", name.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+campaign::CampaignOptions common_options(const Args& args) {
+  campaign::CampaignOptions opts;
+  opts.campaign_seed =
+      static_cast<std::uint64_t>(args.get("seed", 1));
+  opts.n_cells = static_cast<std::uint64_t>(args.get("cells", 500));
+  opts.n_workers = args.get("workers", 4);
+  opts.out_dir = args.get("out", std::string{});
+  opts.model_cache = args.get("model-cache", std::string{});
+  opts.stale_csi_backoff_db = args.get("stale-csi-backoff", -1.0);
+  return opts;
+}
+
+int cmd_run(const Args& args, const std::string& self_exe) {
+  campaign::CampaignOptions opts = common_options(args);
+  const std::string baseline = args.get("baseline", std::string{});
+  if (const int rc = reject_typos(args)) return rc;
+  if (opts.out_dir.empty()) {
+    std::fprintf(stderr, "w4k_campaign run: --out is required\n");
+    return 2;
+  }
+  const campaign::CampaignResult result =
+      campaign::run_campaign(opts, self_exe);
+  std::printf(
+      "campaign: %llu cells, %llu ok, %llu failed "
+      "(%d retried, %d crashed) in %.1f s -> %s\n",
+      static_cast<unsigned long long>(result.summary.cells),
+      static_cast<unsigned long long>(result.summary.ok),
+      static_cast<unsigned long long>(result.summary.failed),
+      result.cells_retried, result.cells_crashed, result.wall_ms / 1000.0,
+      opts.out_dir.c_str());
+  if (baseline.empty()) return 0;
+  const campaign::GateReport gate =
+      campaign::compare(result.summary, campaign::load_summary(baseline));
+  campaign::print_gate_report(std::cout, gate);
+  return gate.pass ? 0 : 1;
+}
+
+int cmd_worker(const Args& args) {
+  campaign::CampaignOptions opts = common_options(args);
+  const auto begin = static_cast<std::uint64_t>(args.get("begin", 0));
+  const auto end = static_cast<std::uint64_t>(args.get("end", 0));
+  if (const int rc = reject_typos(args)) return rc;
+  if (opts.out_dir.empty() || end <= begin) {
+    std::fprintf(stderr,
+                 "w4k_campaign worker: need --out and --begin < --end\n");
+    return 2;
+  }
+  return campaign::run_worker(opts, begin, end, opts.out_dir);
+}
+
+int cmd_compare(const Args& args) {
+  const std::string current = args.get("current", std::string{});
+  const std::string baseline = args.get("baseline", std::string{});
+  if (const int rc = reject_typos(args)) return rc;
+  if (current.empty() || baseline.empty()) {
+    std::fprintf(stderr,
+                 "w4k_campaign compare: need --current and --baseline\n");
+    return 2;
+  }
+  const campaign::GateReport gate = campaign::compare(
+      campaign::load_summary(current), campaign::load_summary(baseline));
+  campaign::print_gate_report(std::cout, gate);
+  return gate.pass ? 0 : 1;
+}
+
+int cmd_describe(const Args& args) {
+  const auto seed = static_cast<std::uint64_t>(args.get("seed", 1));
+  const auto cell = static_cast<std::uint64_t>(args.get("cell", 0));
+  if (const int rc = reject_typos(args)) return rc;
+  std::fputs(campaign::ScenarioGen::cell(seed, cell).to_text().c_str(),
+             stdout);
+  return 0;
+}
+
+int cmd_selftest(const Args& args, const std::string& self_exe) {
+  campaign::CampaignOptions opts = common_options(args);
+  opts.n_cells = static_cast<std::uint64_t>(args.get("cells", 120));
+  if (const int rc = reject_typos(args)) return rc;
+  if (opts.out_dir.empty()) {
+    std::fprintf(stderr, "w4k_campaign selftest: --out is required\n");
+    return 2;
+  }
+  return campaign::run_selftest(opts, self_exe);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  // Args skips its argv[0]; handing it argv+1 makes the subcommand that
+  // slot, so option parsing starts right after it.
+  const Args args(argc - 1, argv + 1);
+  try {
+    if (cmd == "run") return cmd_run(args, campaign::self_executable(argv[0]));
+    if (cmd == "worker") return cmd_worker(args);
+    if (cmd == "compare") return cmd_compare(args);
+    if (cmd == "describe") return cmd_describe(args);
+    if (cmd == "selftest")
+      return cmd_selftest(args, campaign::self_executable(argv[0]));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "w4k_campaign %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+  return usage();
+}

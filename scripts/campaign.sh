@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Campaign smoke run + statistical quality-regression gate.
+#
+# Executes a sharded scenario-sweep campaign (fixed seed 7; cell count from
+# W4K_CAMPAIGN_CELLS, default 500, sharded across W4K_CAMPAIGN_WORKERS
+# worker processes, default 4) and gates the merged per-cell metric
+# distributions against the blessed baseline in
+# tests/golden/data/campaign_smoke.json with the Mann-Whitney U gate
+# (alpha 1e-4 + minimum-effect floor; see src/campaign/stats_gate.h).
+#
+# Unlike the golden gate this is a *population* comparison, so the blessed
+# file only needs re-blessing when the distributions genuinely move — a
+# changed cell count changes the sample, not the verdict, as long as the
+# underlying behavior is the same. The summary itself is byte-stable for a
+# fixed (seed, cells) across worker counts and W4K_THREADS; `w4k_campaign
+# selftest` pins that separately.
+#
+# Usage:
+#   scripts/campaign.sh [--binary PATH] [--bless]
+#
+#   --binary PATH  w4k_campaign executable
+#                  (default: build/examples/w4k_campaign)
+#   --bless        overwrite the blessed baseline with this run's summary.
+#                  Do this only for an intentional behavior change, and
+#                  explain the change in the same commit.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+binary=build/examples/w4k_campaign
+bless=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --binary) binary="$2"; shift 2 ;;
+    --bless)  bless=1; shift ;;
+    *) echo "campaign.sh: unknown argument $1" >&2; exit 2 ;;
+  esac
+done
+
+if [ ! -x "$binary" ]; then
+  echo "campaign.sh: $binary not found (build the w4k_campaign target)" >&2
+  exit 2
+fi
+
+cells="${W4K_CAMPAIGN_CELLS:-500}"
+workers="${W4K_CAMPAIGN_WORKERS:-4}"
+blessed=tests/golden/data/campaign_smoke.json
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+"$binary" run --seed 7 --cells "$cells" --workers "$workers" \
+    --out "$workdir/run" --model-cache "$workdir/model.cache"
+
+summary="$workdir/run/summary.json"
+if [ "$bless" = 1 ]; then
+  mkdir -p "$(dirname "$blessed")"
+  cp "$summary" "$blessed"
+  echo "campaign.sh: blessed $blessed ($cells cells)"
+elif [ ! -f "$blessed" ]; then
+  echo "campaign.sh: missing $blessed (run with --bless to create)" >&2
+  exit 1
+else
+  "$binary" compare --current "$summary" --baseline "$blessed"
+  echo "campaign.sh: gate ok ($cells cells vs $blessed)"
+fi

@@ -5,10 +5,14 @@
 #          golden-report regression gate (byte-stable canonical JSON
 #          across thread counts and SIMD dispatch; scripts/golden.sh),
 #          the chaos-scale slice (20 random fault plans against a 32-user
-#          session with the anytime decide deadline on), and the
+#          session with the anytime decide deadline on), the
 #          chaos-multiap slice (20 random multi-AP plans — AP outages,
 #          handoff-beacon losses, relay churn — against 2-AP sessions
-#          with handoff and peer relay on).
+#          with handoff and peer relay on), and the campaign stage: the
+#          sharded scenario-sweep engine's selftest (byte-stable merge
+#          across worker counts, injected-regression detection) plus the
+#          smoke campaign gated statistically against its blessed
+#          baseline (scripts/campaign.sh; W4K_CAMPAIGN_CELLS scales it).
 # Stage 2: rebuild under ASan+UBSan (W4K_SANITIZE=ON) and rerun the
 #          randomized suites there: the chaos fault-injection suite, the
 #          property suites (raised iteration count), and the parser fuzz
@@ -31,6 +35,7 @@ ctest --test-dir build --output-on-failure -j"$jobs" -L tier1
 ctest --test-dir build --output-on-failure -L golden
 ctest --test-dir build --output-on-failure -L chaos-scale
 ctest --test-dir build --output-on-failure -L chaos-multiap
+ctest --test-dir build --output-on-failure -L campaign
 
 cmake -B build-asan -S . -DW4K_SANITIZE=ON
 cmake --build build-asan -j"$jobs" \

@@ -1,0 +1,99 @@
+// Campaign shard format: one JSONL row per executed cell, written
+// incrementally by each worker process so a crashed worker loses at most
+// the cell it was executing, and a canonical merged summary aggregating
+// the per-cell metric distributions.
+//
+// Determinism contract: a row's canonical fields (cell, kind, status,
+// metrics) depend only on (campaign_seed, cell_index); `wall_ms` is the
+// one wall-clock field and is excluded from the merged summary, so the
+// summary is byte-stable across worker counts, W4K_THREADS, and reruns.
+#pragma once
+
+#include "campaign/scenario.h"
+#include "core/report.h"
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace w4k::campaign {
+
+/// The per-cell scalar metrics the campaign aggregates into population
+/// distributions. Fixed order — it is the schema of both the shard rows
+/// and the blessed baseline.
+inline constexpr std::size_t kNumMetrics = 10;
+extern const std::array<const char*, kNumMetrics> kMetricNames;
+
+struct CellMetrics {
+  std::array<double, kNumMetrics> v{};
+
+  double ssim_mean() const { return v[0]; }
+  double ssim_p5() const { return v[1]; }
+  double psnr_mean() const { return v[2]; }
+  double delivery_mean() const { return v[3]; }
+  double base_delivery() const { return v[4]; }
+  double bad_frame_fraction() const { return v[5]; }
+};
+
+/// Extracts the metric vector from a finished cell report. Throws
+/// std::runtime_error naming the metric if any value comes out non-finite
+/// (a total-outage cell must still aggregate NaN-free; the report-merge
+/// tests pin that SessionReport's aggregates uphold this).
+CellMetrics metrics_from_report(const core::SessionReport& report);
+
+/// One shard row.
+struct CellRow {
+  enum class Status : std::uint8_t { kOk = 0, kFailed = 1, kCrashed = 2 };
+
+  std::uint64_t cell = 0;
+  CellKind kind = CellKind::kStatic;
+  Status status = Status::kOk;
+  CellMetrics metrics;   ///< valid only when status == kOk
+  double wall_ms = 0.0;  ///< wall clock; excluded from the merged summary
+  std::string error;     ///< exception text when status == kFailed
+};
+
+const char* to_string(CellRow::Status s);
+
+/// Renders one row as a single JSONL line (no trailing newline). Doubles
+/// print with %.17g; `error` is JSON-escaped.
+std::string to_jsonl(const CellRow& row);
+
+/// Parses one JSONL line. Returns false (with a message in `err`) on
+/// malformed input — a torn final line from a crashed worker is expected
+/// and skipped by the merge step.
+bool parse_row(const std::string& line, CellRow* out, std::string* err);
+
+/// Reads every well-formed row of a shard file (missing file = empty).
+std::vector<CellRow> read_shard(const std::string& path);
+
+/// The merged, canonical campaign summary: per-metric distributions over
+/// all ok cells, cell indices sorted ascending.
+struct CampaignSummary {
+  std::uint64_t campaign_seed = 0;
+  std::uint64_t cells = 0;   ///< cells requested
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;  ///< failed + crashed
+  /// metrics[m] = ascending-sorted per-cell values of kMetricNames[m].
+  std::array<std::vector<double>, kNumMetrics> metrics;
+};
+
+/// Builds the summary from merged rows (one row per cell expected; the
+/// caller deduplicates). Rows with status != ok contribute to `failed`.
+CampaignSummary summarize_rows(std::uint64_t campaign_seed,
+                               std::uint64_t n_cells,
+                               const std::vector<CellRow>& rows);
+
+/// Canonical JSON: fixed key order, %.17g doubles, sorted value arrays —
+/// byte-identical whenever the campaign's numbers are. This is the format
+/// blessed into tests/golden/data/ and consumed by the statistical gate.
+void write_summary(std::ostream& os, const CampaignSummary& s);
+void write_summary_file(const std::string& path, const CampaignSummary& s);
+
+/// Loads a summary (blessed baseline or a fresh run). Throws
+/// std::runtime_error naming the path on parse/schema errors.
+CampaignSummary load_summary(const std::string& path);
+
+}  // namespace w4k::campaign

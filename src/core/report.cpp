@@ -87,6 +87,25 @@ std::vector<double> SessionReport::all_psnr() const {
   return all;
 }
 
+std::vector<double> SessionReport::all_decoded_fraction() const {
+  std::vector<double> all;
+  for (const auto& f : frames_)
+    for (std::size_t u = 0; u < f.decoded_fraction.size(); ++u)
+      if (present(f, u)) all.push_back(f.decoded_fraction[u]);
+  return all;
+}
+
+void SessionReport::merge(const SessionReport& other) {
+  // frame_id must stay monotone across the splice even though both
+  // segments numbered from 0; rebase the appended segment past our tail.
+  std::uint32_t next_id = frames_.empty() ? 0 : frames_.back().frame_id + 1;
+  for (const FrameOutcome& f : other.frames_) {
+    FrameOutcome renumbered = f;
+    renumbered.frame_id = next_id++;
+    add(renumbered);
+  }
+}
+
 Summary SessionReport::ssim_summary() const { return summarize(all_ssim()); }
 
 Summary SessionReport::psnr_summary() const { return summarize(all_psnr()); }

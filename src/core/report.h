@@ -29,12 +29,20 @@ class SessionReport {
   const std::vector<FrameOutcome>& frame_outcomes() const { return frames_; }
   const FrameOutcome& frame(std::size_t i) const { return frames_.at(i); }
 
+  /// Appends every frame of `other` after this report's frames, renumbering
+  /// the appended frame_ids to continue monotonically from this report's
+  /// last id (segments recorded independently both start at 0). All
+  /// aggregates then cover the union; users() remains the per-segment
+  /// maximum, with short frames treated as before (missing samples).
+  void merge(const SessionReport& other);
+
   /// All per-(frame, user) samples flattened in streaming order — the
   /// shape the plotting benches consume. Samples for users absent from a
   /// frame (churn; FrameOutcome::user_present) are placeholders and are
   /// skipped, here and in every aggregate below.
   std::vector<double> all_ssim() const;
   std::vector<double> all_psnr() const;
+  std::vector<double> all_decoded_fraction() const;
 
   /// Quality aggregated over all (frame, user) samples.
   Summary ssim_summary() const;

@@ -1,0 +1,219 @@
+// Shared core of the chaos drivers (tests/system/test_chaos.cpp,
+// tests/tools/chaos_scale.cpp, tests/tools/chaos_multiap.cpp): seed-count
+// scaling via W4K_CHAOS_SEEDS, the report invariants every chaos run must
+// satisfy, the multi-AP outcome-shape checks, and the bitwise report
+// identity used by the determinism assertions.
+//
+// All checks collect human-readable violation strings instead of asserting
+// directly, so the same code serves both the gtest suite (EXPECT the list
+// is empty) and the standalone tier-1 binaries (print the list, exit
+// nonzero). Header-only; include from test code only.
+#pragma once
+
+#include "core/frame_context.h"
+#include "core/pretrained.h"
+#include "core/report.h"
+#include "video/synthetic.h"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace w4k::chaos {
+
+/// Number of random seeds a chaos sweep iterates: `def` unless the
+/// W4K_CHAOS_SEEDS environment variable names a positive count (the
+/// acceptance sweeps raise it to 50+).
+inline std::uint64_t seed_count(std::uint64_t def) {
+  if (const char* env = std::getenv("W4K_CHAOS_SEEDS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::uint64_t>(v);
+  }
+  return def;
+}
+
+using Violations = std::vector<std::string>;
+
+inline void addf(Violations& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out.emplace_back(buf);
+}
+
+/// The invariants every chaos run must satisfy, whatever the fault plan
+/// did: expected frame count, monotonically numbered frames, well-formed
+/// per-user vectors (sizes, ranges, finiteness) including across churn,
+/// sane transport stats, and aggregates that digest mixed-presence frames
+/// without producing non-finite values.
+inline Violations check_report_invariants(const core::SessionReport& report,
+                                          std::size_t expected_frames,
+                                          std::size_t expected_users) {
+  Violations v;
+  if (report.frames() != expected_frames) {
+    addf(v, "frame count %zu, expected %zu", report.frames(),
+         expected_frames);
+    return v;  // everything below indexes by expected frame count
+  }
+  for (std::size_t i = 0; i < report.frames(); ++i) {
+    const core::FrameOutcome& f = report.frame(i);
+    if (f.frame_id != static_cast<std::uint32_t>(i))
+      addf(v, "frame %zu: id %u not monotonic", i, f.frame_id);
+    if (f.ssim.size() != expected_users || f.psnr.size() != expected_users ||
+        f.decoded_fraction.size() != expected_users) {
+      addf(v, "frame %zu: per-user sizes ssim=%zu psnr=%zu decoded=%zu, "
+              "expected %zu",
+           i, f.ssim.size(), f.psnr.size(), f.decoded_fraction.size(),
+           expected_users);
+      continue;  // avoid cascading out-of-bounds reads below
+    }
+    if (!f.user_present.empty() && f.user_present.size() != expected_users)
+      addf(v, "frame %zu: user_present size %zu", i, f.user_present.size());
+    if (!f.user_quarantined.empty() &&
+        f.user_quarantined.size() != expected_users)
+      addf(v, "frame %zu: user_quarantined size %zu", i,
+           f.user_quarantined.size());
+    for (std::size_t u = 0; u < expected_users; ++u) {
+      if (!(std::isfinite(f.ssim[u]) && f.ssim[u] >= 0.0 && f.ssim[u] <= 1.0))
+        addf(v, "frame %zu user %zu: ssim %f", i, u, f.ssim[u]);
+      if (!std::isfinite(f.psnr[u]))
+        addf(v, "frame %zu user %zu: non-finite psnr", i, u);
+      if (!(f.decoded_fraction[u] >= 0.0 && f.decoded_fraction[u] <= 1.0))
+        addf(v, "frame %zu user %zu: decoded fraction %f", i, u,
+             f.decoded_fraction[u]);
+    }
+    if (f.stats.packets_sent < f.stats.makeup_packets)
+      addf(v, "frame %zu: makeup %zu exceeds sent %zu", i,
+           f.stats.makeup_packets, f.stats.packets_sent);
+    if (!(std::isfinite(f.stats.airtime) && f.stats.airtime >= 0.0))
+      addf(v, "frame %zu: airtime %f", i, f.stats.airtime);
+  }
+  const std::vector<double> per_user = report.per_user_mean_ssim();
+  if (per_user.size() != expected_users)
+    addf(v, "per-user aggregate size %zu, expected %zu", per_user.size(),
+         expected_users);
+  for (std::size_t u = 0; u < per_user.size(); ++u)
+    if (!std::isfinite(per_user[u]))
+      addf(v, "user %zu: non-finite mean ssim", u);
+  (void)report.summary_text();  // must not throw on any chaos outcome
+  return v;
+}
+
+/// Multi-AP outcome shape on top of the base invariants: every frame
+/// carries a valid serving-AP index per user, relay accounting never
+/// delivers more symbols than relay packets sent, and relay airtime stays
+/// a share of the charged total.
+inline Violations check_multi_ap_shape(const core::SessionReport& report,
+                                       std::size_t expected_users,
+                                       std::size_t n_aps) {
+  Violations v;
+  for (std::size_t i = 0; i < report.frames(); ++i) {
+    const core::FrameOutcome& f = report.frame(i);
+    if (f.user_ap.size() != expected_users) {
+      addf(v, "frame %zu: user_ap size %zu, expected %zu", i,
+           f.user_ap.size(), expected_users);
+      continue;
+    }
+    for (std::size_t u = 0; u < f.user_ap.size(); ++u)
+      if (f.user_ap[u] >= n_aps)
+        addf(v, "frame %zu user %zu: serving AP %u of %zu", i, u,
+             f.user_ap[u], n_aps);
+    if (f.relayed_symbols > f.stats.relay_packets)
+      addf(v, "frame %zu: %zu relayed symbols from %zu relay packets", i,
+           f.relayed_symbols, f.stats.relay_packets);
+    if (!(f.stats.relay_airtime >= 0.0 &&
+          f.stats.relay_airtime <= f.stats.airtime + 1e-12))
+      addf(v, "frame %zu: relay airtime %f of %f", i, f.stats.relay_airtime,
+           f.stats.airtime);
+  }
+  return v;
+}
+
+/// Bitwise report identity — determinism is the contract, so every field
+/// compares with ==, never with a tolerance. Returns one violation per
+/// differing field.
+inline Violations diff_reports(const core::SessionReport& a,
+                               const core::SessionReport& b) {
+  Violations v;
+  if (a.frames() != b.frames()) {
+    addf(v, "frame counts %zu vs %zu", a.frames(), b.frames());
+    return v;
+  }
+  for (std::size_t i = 0; i < a.frames(); ++i) {
+    const core::FrameOutcome& fa = a.frame(i);
+    const core::FrameOutcome& fb = b.frame(i);
+    if (fa.frame_id != fb.frame_id)
+      addf(v, "frame %zu: ids %u vs %u", i, fa.frame_id, fb.frame_id);
+    if (fa.ssim.size() != fb.ssim.size()) {
+      addf(v, "frame %zu: user counts %zu vs %zu", i, fa.ssim.size(),
+           fb.ssim.size());
+      continue;
+    }
+    for (std::size_t u = 0; u < fa.ssim.size(); ++u) {
+      if (fa.ssim[u] != fb.ssim[u])
+        addf(v, "frame %zu user %zu: ssim %.17g vs %.17g", i, u, fa.ssim[u],
+             fb.ssim[u]);
+      if (u < fa.psnr.size() && u < fb.psnr.size() &&
+          fa.psnr[u] != fb.psnr[u])
+        addf(v, "frame %zu user %zu: psnr differs", i, u);
+      if (u < fa.decoded_fraction.size() &&
+          u < fb.decoded_fraction.size() &&
+          fa.decoded_fraction[u] != fb.decoded_fraction[u])
+        addf(v, "frame %zu user %zu: decoded fraction differs", i, u);
+    }
+    if (fa.user_present != fb.user_present)
+      addf(v, "frame %zu: user_present differs", i);
+    if (fa.user_quarantined != fb.user_quarantined)
+      addf(v, "frame %zu: user_quarantined differs", i);
+    if (fa.user_ap != fb.user_ap)
+      addf(v, "frame %zu: user_ap differs", i);
+    if (fa.shed_symbols != fb.shed_symbols)
+      addf(v, "frame %zu: shed_symbols %zu vs %zu", i, fa.shed_symbols,
+           fb.shed_symbols);
+    if (fa.csi_held != fb.csi_held) addf(v, "frame %zu: csi_held differs", i);
+    if (fa.handoffs != fb.handoffs)
+      addf(v, "frame %zu: handoffs differ", i);
+    if (fa.relayed_symbols != fb.relayed_symbols)
+      addf(v, "frame %zu: relayed_symbols differ", i);
+    if (fa.optimizer_objective != fb.optimizer_objective)
+      addf(v, "frame %zu: optimizer objective %.17g vs %.17g", i,
+           fa.optimizer_objective, fb.optimizer_objective);
+    if (fa.stats.packets_offered != fb.stats.packets_offered ||
+        fa.stats.packets_sent != fb.stats.packets_sent ||
+        fa.stats.packets_dropped_queue != fb.stats.packets_dropped_queue ||
+        fa.stats.makeup_packets != fb.stats.makeup_packets ||
+        fa.stats.relay_packets != fb.stats.relay_packets)
+      addf(v, "frame %zu: packet stats differ", i);
+    if (fa.stats.airtime != fb.stats.airtime ||
+        fa.stats.relay_airtime != fb.stats.relay_airtime)
+      addf(v, "frame %zu: airtime differs", i);
+  }
+  return v;
+}
+
+/// The model + contexts every chaos driver streams with: the shared
+/// "session_test_model.cache" quality model and a 256x144 high-richness
+/// clip (seed 11) split into 2-packet coding units.
+inline void ensure_chaos_model(model::QualityModel& quality) {
+  core::PretrainedOptions opts;
+  opts.cache_path = "session_test_model.cache";
+  core::ensure_trained(quality, opts);
+}
+
+inline std::vector<core::FrameContext> chaos_contexts(int width = 256,
+                                                      int height = 144) {
+  video::VideoSpec spec;
+  spec.width = width;
+  spec.height = height;
+  spec.frames = 3;
+  spec.seed = 11;
+  return core::make_contexts(video::SyntheticVideo(spec), 2,
+                             core::scaled_symbol_size(width, height));
+}
+
+}  // namespace w4k::chaos

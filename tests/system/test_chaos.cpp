@@ -11,13 +11,19 @@
 //   * identical seeds produce bit-identical SessionReports;
 //   * a fault-free FaultPlan reproduces the plain (no-injector) run
 //     bit-identically — the fault path costs nothing when unused.
-#include "core/pretrained.h"
+//
+// The generic invariant and bit-identity checks live in the shared chaos
+// harness (tests/support/chaos_harness.h), which the standalone tier-1
+// drivers chaos_scale and chaos_multiap reuse; this suite layers the
+// targeted degradation-ladder scenarios on top.
 #include "core/runner.h"
 #include "fault/plan.h"
+#include "support/chaos_harness.h"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
 
 namespace w4k::core {
 namespace {
@@ -31,16 +37,8 @@ class ChaosTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     quality_ = new model::QualityModel(42);
-    PretrainedOptions opts;
-    opts.cache_path = "session_test_model.cache";
-    ensure_trained(*quality_, opts);
-    video::VideoSpec spec;
-    spec.width = kW;
-    spec.height = kH;
-    spec.frames = 3;
-    spec.seed = 11;
-    contexts_ = new std::vector<FrameContext>(make_contexts(
-        video::SyntheticVideo(spec), 2, scaled_symbol_size(kW, kH)));
+    chaos::ensure_chaos_model(*quality_);
+    contexts_ = new std::vector<FrameContext>(chaos::chaos_contexts(kW, kH));
   }
   static void TearDownTestSuite() {
     delete quality_;
@@ -70,66 +68,25 @@ class ChaosTest : public ::testing::Test {
                       injector);
   }
 
-  /// The invariants every chaos run must satisfy, whatever the plan did.
-  static void check_invariants(const SessionReport& report, int n_frames) {
-    ASSERT_EQ(report.frames(), static_cast<std::size_t>(n_frames));
-    for (std::size_t i = 0; i < report.frames(); ++i) {
-      const FrameOutcome& f = report.frame(i);
-      EXPECT_EQ(f.frame_id, static_cast<std::uint32_t>(i)) << "frame " << i;
-      ASSERT_EQ(f.ssim.size(), kUsers);
-      ASSERT_EQ(f.psnr.size(), kUsers);
-      ASSERT_EQ(f.decoded_fraction.size(), kUsers);
-      if (!f.user_present.empty()) {
-        ASSERT_EQ(f.user_present.size(), kUsers);
-      }
-      if (!f.user_quarantined.empty()) {
-        ASSERT_EQ(f.user_quarantined.size(), kUsers);
-      }
-      for (std::size_t u = 0; u < kUsers; ++u) {
-        EXPECT_TRUE(std::isfinite(f.ssim[u]));
-        EXPECT_GE(f.ssim[u], 0.0);
-        EXPECT_LE(f.ssim[u], 1.0);
-        EXPECT_TRUE(std::isfinite(f.psnr[u]));
-        EXPECT_GE(f.decoded_fraction[u], 0.0);
-        EXPECT_LE(f.decoded_fraction[u], 1.0);
-      }
-      EXPECT_GE(f.stats.packets_sent, f.stats.makeup_packets);
-      EXPECT_TRUE(std::isfinite(f.stats.airtime));
-      EXPECT_GE(f.stats.airtime, 0.0);
-    }
-    // The aggregates must digest the mixed-presence frames without blowing
-    // up either.
-    const auto per_user = report.per_user_mean_ssim();
-    ASSERT_EQ(per_user.size(), kUsers);
-    for (double s : per_user) EXPECT_TRUE(std::isfinite(s));
-    (void)report.summary_text();
+  static std::string joined(const chaos::Violations& violations) {
+    std::ostringstream os;
+    for (const std::string& what : violations) os << what << '\n';
+    return os.str();
   }
 
+  /// The invariants every chaos run must satisfy, whatever the plan did
+  /// (shared with the standalone drivers via the chaos harness).
+  static void check_invariants(const SessionReport& report, int n_frames) {
+    const chaos::Violations v = chaos::check_report_invariants(
+        report, static_cast<std::size_t>(n_frames), kUsers);
+    EXPECT_TRUE(v.empty()) << joined(v);
+  }
+
+  /// Bitwise equality, not tolerance: determinism is the contract.
   static void expect_identical(const SessionReport& a,
                                const SessionReport& b) {
-    ASSERT_EQ(a.frames(), b.frames());
-    for (std::size_t i = 0; i < a.frames(); ++i) {
-      const FrameOutcome& fa = a.frame(i);
-      const FrameOutcome& fb = b.frame(i);
-      EXPECT_EQ(fa.frame_id, fb.frame_id);
-      ASSERT_EQ(fa.ssim.size(), fb.ssim.size());
-      for (std::size_t u = 0; u < fa.ssim.size(); ++u) {
-        // Bitwise equality, not tolerance: determinism is the contract.
-        EXPECT_EQ(fa.ssim[u], fb.ssim[u]) << "frame " << i << " user " << u;
-        EXPECT_EQ(fa.psnr[u], fb.psnr[u]);
-        EXPECT_EQ(fa.decoded_fraction[u], fb.decoded_fraction[u]);
-      }
-      EXPECT_EQ(fa.user_present, fb.user_present);
-      EXPECT_EQ(fa.user_quarantined, fb.user_quarantined);
-      EXPECT_EQ(fa.shed_symbols, fb.shed_symbols);
-      EXPECT_EQ(fa.csi_held, fb.csi_held);
-      EXPECT_EQ(fa.optimizer_objective, fb.optimizer_objective);
-      EXPECT_EQ(fa.stats.packets_offered, fb.stats.packets_offered);
-      EXPECT_EQ(fa.stats.packets_sent, fb.stats.packets_sent);
-      EXPECT_EQ(fa.stats.packets_dropped_queue, fb.stats.packets_dropped_queue);
-      EXPECT_EQ(fa.stats.makeup_packets, fb.stats.makeup_packets);
-      EXPECT_EQ(fa.stats.airtime, fb.stats.airtime);
-    }
+    const chaos::Violations v = chaos::diff_reports(a, b);
+    EXPECT_TRUE(v.empty()) << joined(v);
   }
 
   static model::QualityModel* quality_;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 namespace w4k::core {
@@ -129,6 +130,116 @@ TEST(SessionReport, CsvFileErrorsThrow) {
   r.add(frame({0.9}, {40}));
   EXPECT_THROW(r.write_csv_file("/nonexistent/dir/report.csv"),
                std::runtime_error);
+}
+
+// --- merge() and the aggregation edge cases the campaign engine leans on
+
+TEST(SessionReportMerge, RenumbersFrameIdsMonotonically) {
+  const auto numbered = [](FrameOutcome f, std::uint32_t id) {
+    f.frame_id = id;
+    return f;
+  };
+  SessionReport a;
+  a.add(numbered(frame({0.9}, {40.0}), 0));
+  a.add(numbered(frame({0.8}, {35.0}), 1));
+  SessionReport b;  // recorded independently, so its ids also start at 0
+  b.add(numbered(frame({0.7}, {30.0}), 0));
+  b.add(numbered(frame({0.6}, {25.0}), 1));
+  a.merge(b);
+  ASSERT_EQ(a.frames(), 4u);
+  for (std::size_t i = 0; i < a.frames(); ++i)
+    EXPECT_EQ(a.frame(i).frame_id, static_cast<std::uint32_t>(i));
+  EXPECT_DOUBLE_EQ(a.ssim_summary().mean, (0.9 + 0.8 + 0.7 + 0.6) / 4.0);
+  EXPECT_EQ(a.totals().packets_sent, 400u);
+}
+
+TEST(SessionReportMerge, EmptyEitherSideBehaves) {
+  SessionReport empty;
+  SessionReport r;
+  r.add(frame({0.9}, {40.0}));
+
+  SessionReport into_empty;
+  into_empty.merge(r);
+  EXPECT_EQ(into_empty.frames(), 1u);
+  EXPECT_DOUBLE_EQ(into_empty.frame(0).ssim[0], 0.9);
+
+  r.merge(empty);  // merging a zero-frame report is a no-op
+  EXPECT_EQ(r.frames(), 1u);
+  EXPECT_EQ(r.ssim_summary().count, 1u);
+}
+
+TEST(SessionReportMerge, DifferingUserCountsAcrossSegments) {
+  SessionReport a;
+  a.add(frame({0.9, 0.8}, {40.0, 35.0}));
+  SessionReport b;
+  b.add(frame({0.7, 0.6, 0.5}, {30.0, 25.0, 20.0}));
+  a.merge(b);
+  EXPECT_EQ(a.users(), 3u);  // max over all merged frames
+  EXPECT_EQ(a.all_ssim().size(), 5u);
+  const auto per_user = a.per_user_mean_ssim();
+  ASSERT_EQ(per_user.size(), 3u);
+  // User 2 only exists in the second segment: its mean covers one sample.
+  EXPECT_DOUBLE_EQ(per_user[2], 0.5);
+}
+
+TEST(SessionReportMerge, AbsentAndQuarantinedUsersSurviveMerge) {
+  FrameOutcome churned = frame({0.9, 0.0}, {40.0, 0.0});
+  churned.user_present = {true, false};
+  FrameOutcome quarantined = frame({0.8, 0.1}, {35.0, 5.0});
+  quarantined.user_quarantined = {false, true};
+
+  SessionReport a;
+  a.add(churned);
+  SessionReport b;
+  b.add(quarantined);
+  a.merge(b);
+
+  // The absent placeholder sample is skipped, the quarantined (but
+  // present) user's sample is counted.
+  EXPECT_EQ(a.all_ssim().size(), 3u);
+  EXPECT_EQ(a.all_decoded_fraction().size(), 3u);
+  ASSERT_EQ(a.frame(1).user_quarantined.size(), 2u);
+  EXPECT_TRUE(a.frame(1).user_quarantined[1]);
+  const auto per_user = a.per_user_mean_ssim();
+  ASSERT_EQ(per_user.size(), 2u);
+  EXPECT_DOUBLE_EQ(per_user[1], 0.1);  // only the present sample counts
+}
+
+TEST(SessionReport, AllDecodedFractionSkipsAbsentUsers) {
+  FrameOutcome f = frame({0.9, 0.5}, {40.0, 20.0});
+  f.decoded_fraction = {1.0, 0.25};
+  f.user_present = {true, false};
+  SessionReport r;
+  r.add(f);
+  const auto decoded = r.all_decoded_fraction();
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_DOUBLE_EQ(decoded[0], 1.0);
+}
+
+// A total-outage cell (nothing decodes all session) must still produce
+// finite aggregates — the campaign merge step hard-fails on NaN, so this
+// is the contract it leans on.
+TEST(SessionReport, TotalOutageAggregatesAreNaNFree) {
+  SessionReport r;
+  for (int i = 0; i < 3; ++i) {
+    FrameOutcome f = frame({0.31, 0.31}, {9.5, 9.5});  // blank-frame quality
+    f.decoded_fraction = {0.0, 0.0};
+    f.frame_id = static_cast<std::uint32_t>(i);
+    f.stats.packets_sent = 0;
+    f.stats.packets_offered = 0;
+    f.stats.makeup_packets = 0;
+    f.stats.airtime = 0.0;
+    r.add(f);
+  }
+  const Summary ssim = r.ssim_summary();
+  EXPECT_TRUE(std::isfinite(ssim.mean));
+  EXPECT_TRUE(std::isfinite(r.psnr_summary().mean));
+  EXPECT_DOUBLE_EQ(r.bad_frame_fraction(), 1.0);
+  for (double d : r.all_decoded_fraction()) EXPECT_DOUBLE_EQ(d, 0.0);
+  for (double s : r.per_user_mean_ssim()) EXPECT_TRUE(std::isfinite(s));
+  const auto t = r.totals();
+  EXPECT_EQ(t.packets_sent, 0u);
+  EXPECT_TRUE(std::isfinite(t.airtime));
 }
 
 }  // namespace

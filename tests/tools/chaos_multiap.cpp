@@ -1,27 +1,27 @@
 // chaos_multiap — the multi-AP / relay chaos slice.
 //
-// 20 seeded random fault plans mixing AP outages (total + sector),
+// Seeded random fault plans (20 by default, W4K_CHAOS_SEEDS to raise — the
+// acceptance sweep uses 50) mixing AP outages (total + sector),
 // handoff-beacon losses, and relay churn with the legacy fault families
 // (feedback loss, CSI misses, blockage, budget collapse, user churn)
 // against 2-AP, 8-user sessions with mid-session handoff and D2D peer
 // relay enabled. The InvariantChecker runs in its default kThrow mode, so
 // any broken conservation law (airtime budget including relay slots,
 // cross-AP grouping, scheduled-while-excluded) surfaces as a throw and
-// fails the run. On top of that this binary asserts the multi-AP outcome
-// shape: valid serving-AP indices, relay accounting that never delivers
-// more symbols than packets sent, and relay airtime that stays a share of
-// the charged total. Standalone (no gtest), mirroring chaos_scale; the
-// "chaos-multiap" ctest label contains "chaos" so the ASan stage of
-// scripts/tier1.sh reruns it sanitized.
+// fails the run. On top of that the shared chaos harness asserts the base
+// report invariants plus the multi-AP outcome shape: valid serving-AP
+// indices, relay accounting that never delivers more symbols than packets
+// sent, and relay airtime that stays a share of the charged total.
+// Standalone (no gtest), mirroring chaos_scale; the "chaos-multiap" ctest
+// label contains "chaos" so the ASan stage of scripts/tier1.sh reruns it
+// sanitized.
 #include "channel/multi_ap.h"
-#include "core/pretrained.h"
 #include "core/runner.h"
 #include "fault/injector.h"
 #include "fault/plan.h"
+#include "support/chaos_harness.h"
 
-#include <cmath>
 #include <cstdio>
-#include <cstdlib>
 
 namespace {
 
@@ -32,76 +32,22 @@ constexpr int kH = 144;
 constexpr std::size_t kUsers = 8;
 constexpr std::size_t kAps = 2;
 constexpr int kFrames = 12;
-// CI runs the default 20-seed slice; W4K_CHAOS_SEEDS raises it (the
-// acceptance sweep uses 50).
-constexpr std::uint64_t kSeedsDefault = 20;
 
-int failures = 0;
-
-#define CHECK(cond, ...)                                        \
-  do {                                                          \
-    if (!(cond)) {                                              \
-      std::fprintf(stderr, "chaos_multiap FAIL: " __VA_ARGS__); \
-      std::fprintf(stderr, " [%s]\n", #cond);                   \
-      ++failures;                                               \
-    }                                                           \
-  } while (0)
-
-void check_frames(const core::SessionReport& report, std::uint64_t seed) {
-  CHECK(report.frames() == static_cast<std::size_t>(kFrames),
-        "seed %llu: frame count %zu", (unsigned long long)seed,
-        report.frames());
-  for (std::size_t i = 0; i < report.frames(); ++i) {
-    const core::FrameOutcome& f = report.frame(i);
-    CHECK(f.frame_id == static_cast<std::uint32_t>(i),
-          "seed %llu frame %zu: id %u", (unsigned long long)seed, i,
-          f.frame_id);
-    CHECK(f.user_ap.size() == kUsers,
-          "seed %llu frame %zu: user_ap size %zu", (unsigned long long)seed,
-          i, f.user_ap.size());
-    for (std::size_t u = 0; u < f.user_ap.size(); ++u)
-      CHECK(f.user_ap[u] < kAps, "seed %llu frame %zu user %zu: ap %u",
-            (unsigned long long)seed, i, u, f.user_ap[u]);
-    CHECK(f.ssim.size() == kUsers && f.decoded_fraction.size() == kUsers,
-          "seed %llu frame %zu: per-user vector sizes",
-          (unsigned long long)seed, i);
-    for (double s : f.ssim)
-      CHECK(std::isfinite(s) && s >= 0.0 && s <= 1.0,
-            "seed %llu frame %zu: ssim %f", (unsigned long long)seed, i, s);
-    CHECK(f.relayed_symbols <= f.stats.relay_packets,
-          "seed %llu frame %zu: %zu symbols from %zu relay packets",
-          (unsigned long long)seed, i, f.relayed_symbols,
-          f.stats.relay_packets);
-    CHECK(std::isfinite(f.stats.airtime) && f.stats.airtime >= 0.0,
-          "seed %llu frame %zu: airtime", (unsigned long long)seed, i);
-    CHECK(f.stats.relay_airtime >= 0.0 &&
-              f.stats.relay_airtime <= f.stats.airtime + 1e-12,
-          "seed %llu frame %zu: relay airtime %f of %f",
-          (unsigned long long)seed, i, f.stats.relay_airtime,
-          f.stats.airtime);
-  }
+int report_violations(const chaos::Violations& violations,
+                      std::uint64_t seed) {
+  for (const std::string& what : violations)
+    std::fprintf(stderr, "chaos_multiap FAIL: seed %llu: %s\n",
+                 (unsigned long long)seed, what.c_str());
+  return static_cast<int>(violations.size());
 }
 
 }  // namespace
 
 int main() {
-  std::uint64_t n_seeds = kSeedsDefault;
-  if (const char* env = std::getenv("W4K_CHAOS_SEEDS")) {
-    const long v = std::atol(env);
-    if (v > 0) n_seeds = static_cast<std::uint64_t>(v);
-  }
+  const std::uint64_t n_seeds = chaos::seed_count(20);
   model::QualityModel quality(42);
-  core::PretrainedOptions opts;
-  opts.cache_path = "session_test_model.cache";
-  core::ensure_trained(quality, opts);
-
-  video::VideoSpec spec;
-  spec.width = kW;
-  spec.height = kH;
-  spec.frames = 3;
-  spec.seed = 11;
-  const auto contexts = core::make_contexts(
-      video::SyntheticVideo(spec), 2, core::scaled_symbol_size(kW, kH));
+  chaos::ensure_chaos_model(quality);
+  const auto contexts = chaos::chaos_contexts(kW, kH);
 
   Rng place_rng(5);
   channel::PropagationConfig prop;
@@ -112,6 +58,7 @@ int main() {
   const auto stacks = channel::ap_channel_stacks(geo, users);
   const auto azimuths = channel::ap_user_azimuths(geo, users);
 
+  int failures = 0;
   for (std::uint64_t seed = 0; seed < n_seeds; ++seed) {
     fault::RandomPlanConfig rcfg;
     rcfg.n_aps = kAps;
@@ -133,7 +80,10 @@ int main() {
       const fault::FaultInjector injector(plan, kUsers, kAps);
       const core::SessionReport report = core::run_static_multi_ap(
           session, stacks, contexts, kFrames, injector, azimuths);
-      check_frames(report, seed);
+      failures += report_violations(
+          chaos::check_report_invariants(report, kFrames, kUsers), seed);
+      failures += report_violations(
+          chaos::check_multi_ap_shape(report, kUsers, kAps), seed);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "chaos_multiap FAIL: seed %llu threw: %s\n",
                    (unsigned long long)seed, e.what());

@@ -1,19 +1,19 @@
 // chaos_scale — the chaos suite's N=32 slice, deadline on.
 //
-// 20 seeded random fault plans against a 32-user session running the full
-// anytime scheduler (cluster-tree candidates, rate-bound pruning, batched
-// beamforming, decide_deadline_ms cutoff). Mirrors the core chaos
-// invariants from tests/system/test_chaos.cpp: no crash/throw, monotonic
-// frame ids, well-formed per-user outputs, finite aggregates. Determinism
-// is deliberately NOT asserted here — the deadline makes decide()
+// Seeded random fault plans (20 by default, W4K_CHAOS_SEEDS to raise)
+// against a 32-user session running the full anytime scheduler
+// (cluster-tree candidates, rate-bound pruning, batched beamforming,
+// decide_deadline_ms cutoff). The invariants come from the shared chaos
+// harness (tests/support/chaos_harness.h): no crash/throw, monotonic frame
+// ids, well-formed per-user outputs, finite aggregates. Determinism is
+// deliberately NOT asserted here — the deadline makes decide()
 // clock-dependent by design; the purity suites cover the deadline-off
 // path. Standalone binary (no gtest) so scripts/tier1.sh can run it as one
 // fast stage; exits non-zero on the first violated invariant.
-#include "core/pretrained.h"
 #include "core/runner.h"
 #include "fault/plan.h"
+#include "support/chaos_harness.h"
 
-#include <cmath>
 #include <cstdio>
 
 namespace {
@@ -24,80 +24,30 @@ constexpr int kW = 256;
 constexpr int kH = 144;
 constexpr std::size_t kUsers = 32;
 constexpr int kFrames = 5;
-constexpr std::uint64_t kSeeds = 20;
 
-int failures = 0;
-
-#define CHECK(cond, ...)                                        \
-  do {                                                          \
-    if (!(cond)) {                                              \
-      std::fprintf(stderr, "chaos_scale FAIL: " __VA_ARGS__);   \
-      std::fprintf(stderr, " [%s]\n", #cond);                   \
-      ++failures;                                               \
-    }                                                           \
-  } while (0)
-
-void check_invariants(const core::SessionReport& report,
+int report_violations(const chaos::Violations& violations,
                       std::uint64_t seed) {
-  CHECK(report.frames() == static_cast<std::size_t>(kFrames),
-        "seed %llu: frame count %zu", (unsigned long long)seed,
-        report.frames());
-  for (std::size_t i = 0; i < report.frames(); ++i) {
-    const core::FrameOutcome& f = report.frame(i);
-    CHECK(f.frame_id == static_cast<std::uint32_t>(i),
-          "seed %llu frame %zu: id %u", (unsigned long long)seed, i,
-          f.frame_id);
-    CHECK(f.ssim.size() == kUsers && f.psnr.size() == kUsers &&
-              f.decoded_fraction.size() == kUsers,
-          "seed %llu frame %zu: per-user vector sizes",
-          (unsigned long long)seed, i);
-    if (f.ssim.size() != kUsers) return;  // avoid cascading OOB below
-    for (std::size_t u = 0; u < kUsers; ++u) {
-      CHECK(std::isfinite(f.ssim[u]) && f.ssim[u] >= 0.0 && f.ssim[u] <= 1.0,
-            "seed %llu frame %zu user %zu: ssim %f",
-            (unsigned long long)seed, i, u, f.ssim[u]);
-      CHECK(std::isfinite(f.psnr[u]), "seed %llu frame %zu user %zu: psnr",
-            (unsigned long long)seed, i, u);
-      CHECK(f.decoded_fraction[u] >= 0.0 && f.decoded_fraction[u] <= 1.0,
-            "seed %llu frame %zu user %zu: decoded fraction",
-            (unsigned long long)seed, i, u);
-    }
-    CHECK(f.stats.packets_sent >= f.stats.makeup_packets,
-          "seed %llu frame %zu: makeup exceeds sent",
-          (unsigned long long)seed, i);
-    CHECK(std::isfinite(f.stats.airtime) && f.stats.airtime >= 0.0,
-          "seed %llu frame %zu: airtime", (unsigned long long)seed, i);
-  }
-  const auto per_user = report.per_user_mean_ssim();
-  CHECK(per_user.size() == kUsers, "seed %llu: aggregate size",
-        (unsigned long long)seed);
-  for (double s : per_user)
-    CHECK(std::isfinite(s), "seed %llu: non-finite mean ssim",
-          (unsigned long long)seed);
+  for (const std::string& what : violations)
+    std::fprintf(stderr, "chaos_scale FAIL: seed %llu: %s\n",
+                 (unsigned long long)seed, what.c_str());
+  return static_cast<int>(violations.size());
 }
 
 }  // namespace
 
 int main() {
+  const std::uint64_t n_seeds = chaos::seed_count(20);
   model::QualityModel quality(42);
-  core::PretrainedOptions opts;
-  opts.cache_path = "session_test_model.cache";
-  core::ensure_trained(quality, opts);
-
-  video::VideoSpec spec;
-  spec.width = kW;
-  spec.height = kH;
-  spec.frames = 3;
-  spec.seed = 11;
-  const auto contexts = core::make_contexts(
-      video::SyntheticVideo(spec), 2, core::scaled_symbol_size(kW, kH));
+  chaos::ensure_chaos_model(quality);
+  const auto contexts = chaos::chaos_contexts(kW, kH);
 
   Rng place_rng(5);
   channel::PropagationConfig prop;
   const auto channels = core::channels_for(
       prop, core::place_users_fixed(kUsers, 4.0, 1.0, place_rng));
 
-  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+  int failures = 0;
+  for (std::uint64_t seed = 0; seed < n_seeds; ++seed) {
     const fault::FaultPlan plan = fault::FaultPlan::random(
         seed, static_cast<std::uint32_t>(kFrames), kUsers);
     core::SessionConfig cfg = core::SessionConfig::scaled(kW, kH);
@@ -109,7 +59,8 @@ int main() {
       const fault::FaultInjector injector(plan, kUsers);
       const core::SessionReport report =
           core::run_static(session, channels, contexts, kFrames, injector);
-      check_invariants(report, seed);
+      failures += report_violations(
+          chaos::check_report_invariants(report, kFrames, kUsers), seed);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "chaos_scale FAIL: seed %llu threw: %s\n",
                    (unsigned long long)seed, e.what());
@@ -124,6 +75,6 @@ int main() {
   }
   std::printf("chaos_scale: %llu seeds x %d frames at N=%zu (deadline 20 ms)"
               ": all invariants held\n",
-              (unsigned long long)kSeeds, kFrames, kUsers);
+              (unsigned long long)n_seeds, kFrames, kUsers);
   return 0;
 }
