@@ -1,0 +1,189 @@
+// w4kd fan-out capacity: >= 10k emulated subscribers on one machine
+// (DESIGN.md Sec. 4j).
+//
+// Runs the serving daemon fully in-process — sharded workers on
+// SO_REUSEPORT loopback sockets, refcounted buffer pool, sendmmsg
+// batches — against W4K_SERVE_SUBS virtual subscribers multiplexed over
+// a handful of client sockets (the daemon keys subscriptions on 64-bit
+// sub ids, so socket count, not subscriber count, is what the fd limit
+// sees). The bench drives the publish cadence itself: publish a frame,
+// wait for every worker to drain its backlog, drain the client sockets,
+// repeat. Reports subscriber count reached, fan-out packet rate, and the
+// delivered fraction, written to BENCH_serve.json for cross-commit
+// comparison.
+//
+// Exit code gates the ISSUE acceptance shape: the daemon must carry
+// >= 10k subscribers (unless scaled down via W4K_SERVE_SUBS) with a
+// delivered fraction >= 0.90.
+#include "common.h"
+
+#include "serve/client.h"
+#include "serve/daemon.h"
+
+#include <poll.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace w4k;
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v && *v ? std::atoi(v) : fallback;
+}
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchMain bm("bench_serve", /*telemetry=*/true);
+  bench::print_header(
+      "w4kd serving capacity: 10k-subscriber loopback fan-out",
+      "one shared symbol write per frame fans out to every subscriber "
+      "via refcounted slots + sendmmsg");
+
+  const int subs = env_int("W4K_SERVE_SUBS", 10000);
+  const int sockets = env_int("W4K_SERVE_SOCKETS", 16);
+  const int frames = env_int("W4K_SERVE_FRAMES", 30);
+  const int workers = env_int("W4K_SERVE_WORKERS", 2);
+
+  serve::DaemonConfig cfg;
+  cfg.status = false;
+  cfg.workers = static_cast<std::size_t>(workers);
+  cfg.pool_slots = 128;
+  cfg.source.symbol_bytes = 1200;
+  cfg.source.layers = {{0, 0, 8, 2}};  // 2 coded symbols per frame
+  cfg.worker.max_subscribers = static_cast<std::size_t>(subs) + 64;
+  cfg.worker.heartbeat_timeout_s = 60.0;  // liveness is not under test
+  serve::Daemon daemon(cfg);
+  daemon.start();
+
+  bm.set("subscribers", static_cast<std::int64_t>(subs));
+  bm.set("sockets", static_cast<std::int64_t>(sockets));
+  bm.set("frames", static_cast<std::int64_t>(frames));
+  bm.set("workers", static_cast<std::int64_t>(workers));
+  bm.set("symbol_bytes",
+         static_cast<std::int64_t>(cfg.source.symbol_bytes));
+
+  // Subscribe in rounds: ctrl datagrams can be dropped when thousands
+  // arrive faster than the worker drains them, and subscribe is
+  // idempotent, so blast-and-retry converges.
+  std::vector<std::unique_ptr<serve::Client>> clients;
+  std::uint64_t next_id = 1;
+  for (int i = 0; i < sockets; ++i) {
+    serve::Client::Options o;
+    o.port = daemon.port();
+    o.n_subs = static_cast<std::size_t>(subs / sockets +
+                                        (i < subs % sockets ? 1 : 0));
+    o.first_sub_id = next_id;
+    next_id += o.n_subs;
+    o.rcvbuf_bytes = 8 << 20;
+    clients.push_back(std::make_unique<serve::Client>(o));
+  }
+  const double sub_t0 = now_s();
+  int rounds = 0;
+  while (daemon.subscribers() < static_cast<std::size_t>(subs) &&
+         now_s() - sub_t0 < 30.0) {
+    for (auto& c : clients) c->subscribe_all();
+    ++rounds;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  const std::size_t reached = daemon.subscribers();
+  std::printf("subscribed %zu/%d subscribers over %d sockets "
+              "(%d rounds, %.2f s)\n",
+              reached, subs, sockets, rounds, now_s() - sub_t0);
+
+  // Fan-out: publish, wait for the workers to finish the frame, drain the
+  // client side so receive buffers never overflow between frames.
+  const std::size_t sym = daemon.config().source.layers[0].symbols;
+  auto drain_all = [&] {
+    for (auto& c : clients) c->drain();
+  };
+  const double t0 = now_s();
+  int published = 0;
+  for (int f = 0; f < frames; ++f) {
+    if (!daemon.publish_one()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      --f;  // ring entry still in flight: retry the same frame
+      continue;
+    }
+    ++published;
+    bool busy = true;
+    while (busy) {
+      busy = false;
+      for (std::size_t w = 0; w < daemon.n_workers(); ++w)
+        busy = busy || daemon.worker(w).backlog() > 0;
+      if (busy) std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    drain_all();
+  }
+  const double elapsed = now_s() - t0;
+  drain_all();
+  daemon.stop();
+  drain_all();
+
+  std::uint64_t received = 0, parse_errors = 0;
+  for (const auto& c : clients) {
+    received += c->total_packets();
+    parse_errors += c->parse_errors();
+  }
+  std::uint64_t sent = 0;
+  for (std::size_t w = 0; w < daemon.n_workers(); ++w)
+    sent += daemon.worker(w).packets_sent();
+  const double expected = static_cast<double>(reached) *
+                          static_cast<double>(sym) *
+                          static_cast<double>(published);
+  const double delivered =
+      expected > 0.0 ? static_cast<double>(received) / expected : 0.0;
+  const double pkts_per_s =
+      elapsed > 0.0 ? static_cast<double>(sent) / elapsed : 0.0;
+  const double fps =
+      elapsed > 0.0 ? static_cast<double>(published) / elapsed : 0.0;
+
+  std::printf("frames %d  elapsed %.2f s  (%.1f frames/s)\n", published,
+              elapsed, fps);
+  std::printf("sent %llu packets (%.2f Mpkt/s, %.1f MB/s)  received %llu  "
+              "delivered %.4f  parse_errors %llu\n",
+              static_cast<unsigned long long>(sent), pkts_per_s / 1e6,
+              pkts_per_s * static_cast<double>(daemon.pool().slot_bytes()) /
+                  1e6,
+              static_cast<unsigned long long>(received), delivered,
+              static_cast<unsigned long long>(parse_errors));
+
+  std::ofstream os("BENCH_serve.json");
+  os << "{\n"
+     << "  \"subscribers_target\": " << subs << ",\n"
+     << "  \"subscribers_reached\": " << reached << ",\n"
+     << "  \"sockets\": " << sockets << ",\n"
+     << "  \"workers\": " << workers << ",\n"
+     << "  \"symbol_bytes\": " << cfg.source.symbol_bytes << ",\n"
+     << "  \"symbols_per_frame\": " << sym << ",\n"
+     << "  \"frames\": " << published << ",\n"
+     << "  \"elapsed_s\": " << elapsed << ",\n"
+     << "  \"frames_per_s\": " << fps << ",\n"
+     << "  \"packets_sent\": " << sent << ",\n"
+     << "  \"packets_received\": " << received << ",\n"
+     << "  \"packets_per_s\": " << pkts_per_s << ",\n"
+     << "  \"delivered_fraction\": " << delivered << ",\n"
+     << "  \"parse_errors\": " << parse_errors << "\n"
+     << "}\n";
+  os.close();
+  std::printf("written: BENCH_serve.json\n");
+
+  const bool ok = reached >= static_cast<std::size_t>(subs) &&
+                  delivered >= 0.90 && parse_errors == 0;
+  std::printf("capacity gate: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -12,7 +12,9 @@
 #          sharded scenario-sweep engine's selftest (byte-stable merge
 #          across worker counts, injected-regression detection) plus the
 #          smoke campaign gated statistically against its blessed
-#          baseline (scripts/campaign.sh; W4K_CAMPAIGN_CELLS scales it).
+#          baseline (scripts/campaign.sh; W4K_CAMPAIGN_CELLS scales it),
+#          and the serve stage: the serving-daemon suite plus the
+#          process-level w4kd/w4k_loadgen smoke (scripts/serve_smoke.sh).
 # Stage 2: rebuild under ASan+UBSan (W4K_SANITIZE=ON) and rerun the
 #          randomized suites there: the chaos fault-injection suite, the
 #          property suites (raised iteration count), and the parser fuzz
@@ -36,23 +38,35 @@ ctest --test-dir build --output-on-failure -L golden
 ctest --test-dir build --output-on-failure -L chaos-scale
 ctest --test-dir build --output-on-failure -L chaos-multiap
 ctest --test-dir build --output-on-failure -L campaign
+# Serving-daemon stage: the serve suite as one binary (wire/pool/worker/
+# daemon/kill-half tests) plus the process-level serve_smoke run
+# (w4kd + w4k_loadgen over loopback, /status, clean shutdown).
+ctest --test-dir build --output-on-failure -L serve
 
 cmake -B build-asan -S . -DW4K_SANITIZE=ON
 cmake --build build-asan -j"$jobs" \
       --target tests_chaos tests_props chaos_scale chaos_multiap \
-               fuzz_jsonlite fuzz_fault_plan fuzz_trace_io
+               fuzz_jsonlite fuzz_fault_plan fuzz_trace_io \
+               tests_serve w4kd w4k_loadgen
 # -L matches labels by regex, so "chaos" selects the chaos suite plus the
 # chaos-scale and chaos-multiap slices — all rerun under the sanitizers.
 ctest --test-dir build-asan --output-on-failure -j"$jobs" -L chaos
 W4K_PROP_ITERS=200 \
   ctest --test-dir build-asan --output-on-failure -j"$jobs" -L props
 ctest --test-dir build-asan --output-on-failure -j"$jobs" -L fuzz-smoke
+# The serving daemon's epoll workers, refcounted pool, and UDP parsers
+# rerun under the sanitizers too (threaded kill-half test included).
+ctest --test-dir build-asan --output-on-failure -L serve
 
 cmake -B build-alloc -S . -DW4K_COUNT_ALLOCS=ON
-cmake --build build-alloc -j"$jobs" --target tests_foundation tests_system
+cmake --build build-alloc -j"$jobs" \
+      --target tests_foundation tests_system tests_serve
 # Run the gate suites directly (no ctest discovery pass for the side
 # build): the arena contract plus the per-frame zero-allocation gate,
 # which skip themselves everywhere except this counting build.
 ./build-alloc/tests/tests_foundation --gtest_filter='FrameArena.*'
 ./build-alloc/tests/tests_system \
     --gtest_filter='AllocCount.*:AllocGateTest.*'
+# The daemon's steady-state fan-out (encode -> publish -> sendmmsg ->
+# release) must also be allocation-free per frame (DESIGN.md Sec. 4j).
+./build-alloc/tests/tests_serve --gtest_filter='ServeAllocGate.*'

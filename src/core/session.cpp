@@ -960,8 +960,10 @@ std::size_t MulticastSession::advance_attachments(
           break;
         }
         // A probe starts only off a healthy beacon, past the dwell window,
-        // and with an alternate clearing the full hysteresis bar.
-        if (!beacon_ok || frame_id < dwell_until_[u]) break;
+        // and with an alternate clearing the full hysteresis bar. Serial
+        // comparison: dwell_until_ may sit across the u32 frame-id wrap.
+        if (!beacon_ok || transport::seq_less(frame_id, dwell_until_[u]))
+          break;
         std::size_t alt = serving;
         double alt_mw = 0.0;
         for (std::size_t a = 0; a < n_aps; ++a) {
@@ -1010,7 +1012,8 @@ std::size_t MulticastSession::advance_attachments(
         const std::uint32_t base =
             static_cast<std::uint32_t>(hc.min_dwell_frames);
         if (last_handoff_frame_[u] != kNeverHandedOff &&
-            frame_id - last_handoff_frame_[u] < 4 * base)
+            transport::seq_distance(last_handoff_frame_[u], frame_id) <
+                4 * base)
           handoff_streak_[u] = std::min(handoff_streak_[u] + 1, hc.backoff_cap);
         else
           handoff_streak_[u] = 0;

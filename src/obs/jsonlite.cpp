@@ -1,6 +1,8 @@
 #include "obs/jsonlite.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 namespace w4k::obs::json {
@@ -135,6 +137,58 @@ struct Parser {
     }
   }
 
+  // Validates and copies one raw UTF-8 sequence starting at text[pos]
+  // (lead byte >= 0x80). Enforces the shortest-form encoding and rejects
+  // surrogate code points and truncated sequences.
+  bool consume_utf8(std::string& out) {
+    const auto lead = static_cast<unsigned char>(text[pos]);
+    std::size_t n_cont;
+    unsigned char lo = 0x80, hi = 0xBF;  // bounds for the first continuation
+    if (lead >= 0xC2 && lead <= 0xDF) {
+      n_cont = 1;
+    } else if (lead >= 0xE0 && lead <= 0xEF) {
+      n_cont = 2;
+      if (lead == 0xE0) lo = 0xA0;        // overlong
+      if (lead == 0xED) hi = 0x9F;        // surrogates
+    } else if (lead >= 0xF0 && lead <= 0xF4) {
+      n_cont = 3;
+      if (lead == 0xF0) lo = 0x90;        // overlong
+      if (lead == 0xF4) hi = 0x8F;        // > U+10FFFF
+    } else {
+      return fail("invalid UTF-8 byte in string");
+    }
+    if (pos + 1 + n_cont > text.size())
+      return fail("truncated UTF-8 sequence in string");
+    for (std::size_t i = 1; i <= n_cont; ++i) {
+      const auto b = static_cast<unsigned char>(text[pos + i]);
+      const unsigned char min = i == 1 ? lo : 0x80;
+      const unsigned char max = i == 1 ? hi : 0xBF;
+      if (b < min || b > max)
+        return fail("malformed UTF-8 sequence in string");
+    }
+    out.append(text.substr(pos, 1 + n_cont));
+    pos += 1 + n_cont;
+    return true;
+  }
+
+  // Reads the four hex digits of a \uXXXX escape into `code`.
+  bool read_hex4(unsigned& code) {
+    if (pos + 4 > text.size()) return fail("bad \\u escape");
+    code = 0;
+    for (int i = 0; i < 4; ++i) {
+      char h = text[pos++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f')
+        code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F')
+        code |= static_cast<unsigned>(h - 'A' + 10);
+      else
+        return fail("bad \\u escape");
+    }
+    return true;
+  }
+
   bool parse_string(std::string& out) {
     if (!consume('"')) return false;
     out.clear();
@@ -143,6 +197,15 @@ struct Parser {
       if (c == '"') return true;
       if (static_cast<unsigned char>(c) < 0x20)
         return fail("raw control character in string");
+      if (static_cast<unsigned char>(c) >= 0x80) {
+        // Raw multi-byte UTF-8: validate the sequence instead of passing
+        // arbitrary bytes through. A /status response truncated inside a
+        // multi-byte character (or any stray 0x80..0xFF byte) must be
+        // rejected, not silently embedded in the DOM.
+        --pos;  // back onto the lead byte
+        if (!consume_utf8(out)) return false;
+        continue;
+      }
       if (c != '\\') {
         out += c;
         continue;
@@ -159,28 +222,36 @@ struct Parser {
         case 'r': out += '\r'; break;
         case 't': out += '\t'; break;
         case 'u': {
-          if (pos + 4 > text.size()) return fail("bad \\u escape");
           unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            char h = text[pos++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f')
-              code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F')
-              code |= static_cast<unsigned>(h - 'A' + 10);
-            else
-              return fail("bad \\u escape");
+          if (!read_hex4(code)) return false;
+          // Surrogates must come as a high/low \u pair encoding one astral
+          // code point; anything unpaired is rejected (they used to
+          // collapse silently to '?', which let a /status consumer read
+          // corrupted text as if it were valid).
+          if (code >= 0xDC00 && code <= 0xDFFF)
+            return fail("unpaired low surrogate");
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos + 2 > text.size() || text[pos] != '\\' ||
+                text[pos + 1] != 'u')
+              return fail("unpaired high surrogate");
+            pos += 2;
+            unsigned low = 0;
+            if (!read_hex4(low)) return false;
+            if (low < 0xDC00 || low > 0xDFFF)
+              return fail("unpaired high surrogate");
+            const unsigned cp =
+                0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+            break;
           }
-          // UTF-8 encode the BMP code point (surrogate pairs collapse to
-          // '?'; telemetry output is ASCII so this never triggers there).
           if (code < 0x80) {
             out += static_cast<char>(code);
           } else if (code < 0x800) {
             out += static_cast<char>(0xC0 | (code >> 6));
             out += static_cast<char>(0x80 | (code & 0x3F));
-          } else if (code >= 0xD800 && code <= 0xDFFF) {
-            out += '?';
           } else {
             out += static_cast<char>(0xE0 | (code >> 12));
             out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
@@ -217,8 +288,16 @@ struct Parser {
       if (digits() == 0) return fail("bad number");
     }
     out.type = Value::Type::kNumber;
+    errno = 0;
     out.number = std::strtod(std::string(text.substr(start, pos - start)).c_str(),
                              nullptr);
+    // Grammar-valid numbers can still overflow the double range (e.g.
+    // "1e999999" from a corrupt /status response). JSON has no infinity
+    // and the exporters never emit one, so a strict validator rejects the
+    // overflow instead of materializing inf in the DOM. Underflow to
+    // zero/denormal (ERANGE with a tiny result) stays accepted.
+    if (errno == ERANGE && std::isinf(out.number))
+      return fail("number out of range");
     return true;
   }
 };

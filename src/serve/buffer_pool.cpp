@@ -1,0 +1,58 @@
+#include "serve/buffer_pool.h"
+
+#include "verify/invariants.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace w4k::serve {
+
+BufferPool::BufferPool(std::size_t slot_bytes, std::size_t n_slots)
+    : slot_bytes_(slot_bytes),
+      data_(slot_bytes * n_slots),
+      refs_(n_slots) {
+  if (slot_bytes == 0 || n_slots == 0)
+    throw std::invalid_argument("BufferPool: zero slot_bytes or n_slots");
+  if (n_slots >= kNoSlot)
+    throw std::invalid_argument("BufferPool: too many slots");
+  free_.reserve(n_slots);
+  // LIFO freelist: the most recently released slot is the warmest.
+  for (std::size_t i = n_slots; i > 0; --i)
+    free_.push_back(static_cast<std::uint32_t>(i - 1));
+}
+
+std::uint32_t BufferPool::acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_.empty()) return kNoSlot;
+  const std::uint32_t idx = free_.back();
+  free_.pop_back();
+  refs_[idx].store(1, std::memory_order_release);
+  return idx;
+}
+
+void BufferPool::add_refs(std::uint32_t slot, std::uint32_t n) {
+  const std::uint32_t prev =
+      refs_[slot].fetch_add(n, std::memory_order_acq_rel);
+  verify::check(prev != 0, "serve.pool-revive", [&] {
+    return "add_refs on free slot " + std::to_string(slot);
+  });
+}
+
+void BufferPool::release(std::uint32_t slot) {
+  const std::uint32_t prev =
+      refs_[slot].fetch_sub(1, std::memory_order_acq_rel);
+  verify::check(prev != 0, "serve.pool-double-release", [&] {
+    return "release of free slot " + std::to_string(slot);
+  });
+  if (prev == 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(slot);
+  }
+}
+
+std::size_t BufferPool::free_slots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_.size();
+}
+
+}  // namespace w4k::serve

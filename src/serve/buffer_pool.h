@@ -1,0 +1,86 @@
+// Refcounted preallocated symbol-slot pool for the serving daemon.
+//
+// The publisher writes each symbol record (header + fountain payload)
+// exactly once into a slot, hands one reference per worker, and every
+// worker fans the slot out to all of its subscribers with scatter/gather
+// sends — the packet bytes are never copied per subscriber. When the last
+// worker releases its reference the slot returns to the freelist. All
+// storage is one contiguous allocation made at construction, so the
+// steady state (acquire / add_refs / release cycling) touches the heap
+// exactly zero times — the property the W4K_COUNT_ALLOCS daemon gate
+// (ServeAllocGate) pins.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace w4k::serve {
+
+class BufferPool {
+ public:
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  /// `slot_bytes`: capacity of one symbol record (header + max payload).
+  /// `n_slots`: total slots; sized for pool depth = publish ring depth x
+  /// symbols per frame plus in-flight worker backlog.
+  BufferPool(std::size_t slot_bytes, std::size_t n_slots);
+
+  /// Pops a free slot with refcount 1 (the caller's reference); kNoSlot
+  /// when exhausted (the publisher counts that as a dropped frame rather
+  /// than blocking the source).
+  std::uint32_t acquire();
+
+  /// Adds `n` references (publisher, before handing the slot to workers).
+  void add_refs(std::uint32_t slot, std::uint32_t n);
+
+  /// Drops one reference; the last release returns the slot to the
+  /// freelist. Releasing a free slot is an invariant violation.
+  void release(std::uint32_t slot);
+
+  std::span<std::uint8_t> slot(std::uint32_t idx) {
+    return {data_.data() + idx * slot_bytes_, slot_bytes_};
+  }
+  std::span<const std::uint8_t> slot(std::uint32_t idx) const {
+    return {data_.data() + idx * slot_bytes_, slot_bytes_};
+  }
+
+  std::size_t slot_bytes() const { return slot_bytes_; }
+  std::size_t size() const { return refs_.size(); }
+  std::size_t free_slots() const;
+  std::uint32_t refs(std::uint32_t slot) const {
+    return refs_[slot].load(std::memory_order_acquire);
+  }
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+ private:
+  std::size_t slot_bytes_;
+  std::vector<std::uint8_t> data_;               // n_slots * slot_bytes
+  std::vector<std::atomic<std::uint32_t>> refs_;  // 0 = free
+  mutable std::mutex mu_;                        // guards free_ only
+  std::vector<std::uint32_t> free_;
+};
+
+/// Max symbols one published frame may carry (fixed so FrameDesc needs no
+/// heap storage and the worker's progress bookkeeping is a plain index).
+inline constexpr std::size_t kMaxFrameSymbols = 64;
+
+/// One published frame: the slot indices and record lengths of its
+/// symbols. Lives in the publisher's fixed ring; workers hold a pointer
+/// while the frame is in their backlog and decrement `workers_pending`
+/// when done, which is what lets the publisher reuse the ring entry.
+struct FrameDesc {
+  std::uint32_t frame_id = 0;
+  std::uint32_t n_symbols = 0;
+  std::array<std::uint32_t, kMaxFrameSymbols> slots{};
+  std::array<std::uint32_t, kMaxFrameSymbols> bytes{};
+  std::atomic<std::uint32_t> workers_pending{0};
+};
+
+}  // namespace w4k::serve

@@ -1,0 +1,106 @@
+#include "serve/client.h"
+
+#include "transport/packet.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <stdexcept>
+
+namespace w4k::serve {
+
+Client::Client(const Options& opts)
+    : opts_(opts), stats_(opts.n_subs), rxbuf_(64 * 1024) {
+  fd_ = socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) throw std::runtime_error("Client: socket failed");
+  if (opts_.rcvbuf_bytes > 0) {
+    const int val = static_cast<int>(opts_.rcvbuf_bytes);
+    setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &val, sizeof val);
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
+    close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("Client: bad host " + opts_.host);
+  }
+  // connect() fixes the 4-tuple: the kernel's SO_REUSEPORT hash pins this
+  // socket (and all its virtual subscribers) to one daemon worker.
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("Client: connect failed");
+  }
+  const int flags = fcntl(fd_, F_GETFL, 0);
+  fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+}
+
+Client::~Client() { kill(); }
+
+void Client::send_ctrl(wire::CtrlType type, std::uint64_t sub_id) {
+  if (fd_ < 0) return;
+  std::uint8_t buf[wire::kCtrlBytes];
+  wire::CtrlMsg m;
+  m.type = type;
+  m.sub_id = sub_id;
+  wire::serialize_ctrl(m, buf);
+  [[maybe_unused]] ssize_t r = send(fd_, buf, sizeof buf, 0);
+}
+
+void Client::subscribe_all() {
+  for (std::size_t i = 0; i < opts_.n_subs; ++i)
+    send_ctrl(wire::CtrlType::kSubscribe, opts_.first_sub_id + i);
+}
+
+void Client::heartbeat_all() {
+  for (std::size_t i = 0; i < opts_.n_subs; ++i)
+    send_ctrl(wire::CtrlType::kHeartbeat, opts_.first_sub_id + i);
+}
+
+void Client::unsubscribe_all() {
+  for (std::size_t i = 0; i < opts_.n_subs; ++i)
+    send_ctrl(wire::CtrlType::kUnsubscribe, opts_.first_sub_id + i);
+}
+
+std::size_t Client::drain() {
+  if (fd_ < 0) return 0;
+  std::size_t n = 0;
+  while (true) {
+    const ssize_t r = recv(fd_, rxbuf_.data(), rxbuf_.size(), MSG_DONTWAIT);
+    if (r < 0) break;  // EAGAIN: drained
+    const auto pkt = wire::parse_data(rxbuf_.data(),
+                                      static_cast<std::size_t>(r));
+    if (!pkt) {
+      ++parse_errors_;
+      continue;
+    }
+    const std::uint64_t rel = pkt->sub_id - opts_.first_sub_id;
+    if (rel >= stats_.size()) {
+      ++parse_errors_;  // someone else's subscriber id
+      continue;
+    }
+    stats_[rel].packets += 1;
+    stats_[rel].bytes += static_cast<std::uint64_t>(r);
+    ++total_packets_;
+    if (!saw_frame_ ||
+        transport::seq_less(last_frame_, pkt->header.frame_id))
+      last_frame_ = pkt->header.frame_id;
+    saw_frame_ = true;
+    if (on_packet) on_packet(*pkt);
+    ++n;
+  }
+  return n;
+}
+
+void Client::kill() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace w4k::serve

@@ -33,7 +33,13 @@ void LeakyBucket::advance(Seconds dt) {
 }
 
 bool LeakyBucket::can_send(std::size_t bytes) const {
-  return credit_ >= static_cast<double>(bytes);
+  // Tolerate the rounding slack: a sender that advance()s by exactly
+  // time_until(bytes) accrues credit through a bytes->seconds->bytes
+  // round-trip and can land kCreditEps short of `bytes`. Without the
+  // tolerance that sender fails can_send (and trips on_send's assert)
+  // purely on fp noise; on_send already clamps the matching sub-epsilon
+  // negative level back to zero.
+  return credit_ + kCreditEps >= static_cast<double>(bytes);
 }
 
 void LeakyBucket::on_send(std::size_t bytes) {

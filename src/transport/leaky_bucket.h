@@ -22,7 +22,10 @@ class LeakyBucket {
   /// Advances time, accruing credit (clamped at the cap).
   void advance(Seconds dt);
 
-  /// Whether a packet of `bytes` may be sent now.
+  /// Whether a packet of `bytes` may be sent now. Tolerant of the
+  /// credit-arithmetic rounding slack: waiting exactly time_until(bytes)
+  /// always satisfies can_send(bytes), even when the seconds<->bytes
+  /// round-trip leaves the credit a few ulps short.
   bool can_send(std::size_t bytes) const;
 
   /// Deducts a sent packet. Call only when can_send() is true (asserted).

@@ -1,0 +1,109 @@
+// jsonlite strictness regressions found by the /status fuzz pass: the
+// parser backs validation of every telemetry product (snapshot, trace,
+// manifests, campaign shards, the w4kd /status response), so a value it
+// admits must be representable — no infinities, no unpaired surrogates,
+// no malformed UTF-8 smuggled through as raw bytes.
+#include "obs/jsonlite.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace w4k::obs::json {
+namespace {
+
+std::optional<Value> ok(const std::string& text) {
+  std::string err;
+  auto v = parse(text, &err);
+  EXPECT_TRUE(v.has_value()) << "rejected: " << err << " for: " << text;
+  return v;
+}
+
+void rejected(const std::string& text) {
+  std::string err;
+  const auto v = parse(text, &err);
+  EXPECT_FALSE(v.has_value()) << "accepted: " << text;
+  if (!v) EXPECT_FALSE(err.empty()) << "rejection without a message";
+}
+
+TEST(Jsonlite, OverflowingNumbersAreRejected) {
+  // Grammar-valid but outside the double range: the exporters never emit
+  // infinities, so the validator must not materialize one.
+  rejected("[1e999999]");
+  rejected("[-1e999999]");
+  rejected("{\"g\":1.8e308999}");
+}
+
+TEST(Jsonlite, BoundaryNumbersStillParse) {
+  auto v = ok("[1.7976931348623157e308, -1.7976931348623157e308, 5e-324]");
+  ASSERT_TRUE(v && v->is_array());
+  EXPECT_DOUBLE_EQ(v->arr[0].number, 1.7976931348623157e308);
+  EXPECT_DOUBLE_EQ(v->arr[1].number, -1.7976931348623157e308);
+  // Denormal underflow is representable and stays accepted.
+  EXPECT_GT(v->arr[2].number, 0.0);
+}
+
+TEST(Jsonlite, UnderflowToZeroIsAccepted) {
+  auto v = ok("[1e-999999, -1e-999999]");
+  ASSERT_TRUE(v && v->is_array());
+  EXPECT_DOUBLE_EQ(v->arr[0].number, 0.0);
+}
+
+TEST(Jsonlite, SurrogatePairsDecodeToAstralCodePoints) {
+  auto v = ok("\"\\ud83d\\ude00\"");  // U+1F600
+  ASSERT_TRUE(v && v->is_string());
+  EXPECT_EQ(v->str, "\xf0\x9f\x98\x80");
+}
+
+TEST(Jsonlite, UnpairedSurrogatesAreRejected) {
+  rejected("\"\\ud800\"");          // lone high
+  rejected("\"\\udc00\"");          // lone low
+  rejected("\"\\ud800x\"");         // high followed by non-escape
+  rejected("\"\\ud800\\n\"");       // high followed by other escape
+  rejected("\"\\udc00\\ud800\"");   // swapped pair
+  rejected("\"\\ud800\\ud800\"");   // high-high
+}
+
+TEST(Jsonlite, ValidUtf8PassesThrough) {
+  auto v = ok("\"caf\xc3\xa9 \xe2\x82\xac \xf0\x9f\x9a\x80\"");
+  ASSERT_TRUE(v && v->is_string());
+  EXPECT_EQ(v->str, "caf\xc3\xa9 \xe2\x82\xac \xf0\x9f\x9a\x80");
+}
+
+TEST(Jsonlite, MalformedUtf8IsRejected) {
+  rejected("\"caf\xc3\"");              // truncated 2-byte sequence
+  rejected("\"\xe2\x82\"");             // truncated 3-byte sequence
+  rejected("\"\xf0\x9f\x9a\"");         // truncated 4-byte sequence
+  rejected("\"\x80\"");                 // bare continuation byte
+  rejected("\"\xc0\xaf\"");             // overlong '/'
+  rejected("\"\xe0\x80\x80\"");         // overlong NUL
+  rejected("\"\xed\xa0\x80\"");         // raw surrogate U+D800
+  rejected("\"\xf4\x90\x80\x80\"");     // > U+10FFFF
+  rejected("\"\xff\"");                 // not UTF-8 at all
+}
+
+TEST(Jsonlite, DepthCapStillEnforced) {
+  std::string deep(120, '[');
+  deep += std::string(120, ']');
+  ok(deep);
+  std::string too_deep(200, '[');
+  too_deep += "1";
+  too_deep += std::string(200, ']');
+  rejected(too_deep);
+}
+
+TEST(Jsonlite, StatusResponseShapeParses) {
+  auto v = ok(
+      "{\"daemon\":\"w4kd\",\"workers\":2,"
+      "\"metrics\":{\"counters\":{\"serve.w0.packets_sent\":51234},"
+      "\"gauges\":{\"serve.w0.subscribers\":16.0}}}");
+  ASSERT_TRUE(v);
+  const Value* m = v->find("metrics");
+  ASSERT_NE(m, nullptr);
+  const Value* c = m->find("counters");
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(c->obj[0].second.number, 51234.0);
+}
+
+}  // namespace
+}  // namespace w4k::obs::json

@@ -1,0 +1,89 @@
+// Property suite: leaky-bucket credit arithmetic (src/transport).
+//
+// The contract under test is the one the transmission engine and the
+// w4kd serving workers both rely on: a sender that waits exactly
+// time_until(bytes) may then send — advance(time_until(b)) must always
+// land enough credit for can_send(b), despite the seconds<->bytes
+// round-trip's floating-point rounding (the kCreditEps slack the file
+// header of leaky_bucket.cpp warns about). Run at 10k iterations by
+// default (W4K_PROP_ITERS raises it further, never lowers it below 10k)
+// per the serve-daemon acceptance gate.
+#include "transport/leaky_bucket.h"
+
+#include "support/proptest.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+namespace w4k::transport {
+namespace {
+
+using proptest::prop_assert;
+
+proptest::Options bucket_options() {
+  proptest::Options o = proptest::options_from_env();
+  if (!o.has_replay_seed) o.iterations = std::max(o.iterations, 10'000);
+  return o;
+}
+
+#define W4K_BUCKET_PROP(name, ...)                                       \
+  do {                                                                   \
+    const auto res_ = ::w4k::proptest::check_property((name), (__VA_ARGS__), \
+                                                      bucket_options()); \
+    if (!res_.passed) ADD_FAILURE() << res_.message;                     \
+  } while (0)
+
+TEST(PropsLeakyBucket, WaitThenSendAlwaysAllowed) {
+  W4K_BUCKET_PROP("bucket.wait-then-send", [](Rng& rng) {
+    // Rates from trickle to multi-gigabit, caps from one packet to deep.
+    const Mbps rate{rng.uniform(0.05, 4000.0)};
+    const std::size_t wire = 64 + rng.below(8961);  // 64 B .. ~9 KB
+    const std::size_t cap = wire * (1 + rng.below(20));
+    LeakyBucket bucket(rate, cap);
+
+    const int sends = 1 + static_cast<int>(rng.below(24));
+    for (int s = 0; s < sends; ++s) {
+      // Occasionally jitter time forward (partial refills between sends).
+      if (rng.below(3) == 0) bucket.advance(rng.uniform(0.0, 1e-3));
+      const std::size_t bytes = std::min(cap, wire);
+      const Seconds wait = bucket.time_until(bytes);
+      prop_assert(wait >= 0.0, "time_until must be non-negative");
+      if (wait > 0.0) bucket.advance(wait);
+      prop_assert(bucket.can_send(bytes),
+                  "advance(time_until(b)) must satisfy can_send(b): wait=" +
+                      std::to_string(wait) +
+                      " credit=" + std::to_string(bucket.credit_bytes()) +
+                      " bytes=" + std::to_string(bytes));
+      bucket.on_send(bytes);
+      prop_assert(bucket.credit_bytes() >= 0.0,
+                  "credit must never go negative");
+      prop_assert(bucket.credit_bytes() <= static_cast<double>(cap),
+                  "credit must never exceed the cap");
+    }
+  });
+}
+
+TEST(PropsLeakyBucket, TimeUntilZeroImpliesSendable) {
+  W4K_BUCKET_PROP("bucket.zero-wait-sendable", [](Rng& rng) {
+    const Mbps rate{rng.uniform(0.05, 4000.0)};
+    const std::size_t wire = 64 + rng.below(8961);
+    const std::size_t cap = wire * (1 + rng.below(20));
+    LeakyBucket bucket(rate, cap);
+    // Random walk of advances and sends; at every point time_until == 0
+    // must agree with can_send.
+    for (int step = 0; step < 16; ++step) {
+      bucket.advance(rng.uniform(0.0, 2e-4));
+      const std::size_t bytes = std::min(cap, wire);
+      if (bucket.time_until(bytes) == 0.0) {
+        prop_assert(bucket.can_send(bytes),
+                    "time_until()==0 but can_send() false");
+        if (rng.below(2) == 0) bucket.on_send(bytes);
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace w4k::transport

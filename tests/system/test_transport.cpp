@@ -143,5 +143,65 @@ TEST(Packet, WireSizeUsesPayloadOrSymbolSize) {
   EXPECT_EQ(p.wire_size(6000), Packet::kHeaderBytes + 100);
 }
 
+// --- Serial-number arithmetic for the wrapping sequence fields -----------
+//
+// frame_id (u32) and group_id (u16) both wrap on a long-lived sender;
+// ordering via plain `<` inverts at the boundary. These regression tests
+// pin the RFC 1982 semantics at the exact wrap points.
+
+TEST(SeqArith, U32OrderingAcrossWrap) {
+  const std::uint32_t max = 0xffffffffu;
+  EXPECT_TRUE(seq_less<std::uint32_t>(max, 0u));       // 0 is newer
+  EXPECT_FALSE(seq_less<std::uint32_t>(0u, max));
+  EXPECT_TRUE(seq_less<std::uint32_t>(max - 1, max));
+  EXPECT_TRUE(seq_less<std::uint32_t>(max, 5u));
+  EXPECT_FALSE(seq_less<std::uint32_t>(5u, max));
+  EXPECT_FALSE(seq_less<std::uint32_t>(7u, 7u));
+  EXPECT_TRUE(seq_less_eq<std::uint32_t>(7u, 7u));
+  // Plain `<` gets every one of the cross-wrap cases above backwards.
+  EXPECT_LT(0u, max);
+}
+
+TEST(SeqArith, U16OrderingAcrossWrap) {
+  const std::uint16_t max = 0xffff;
+  EXPECT_TRUE(seq_less<std::uint16_t>(max, std::uint16_t{0}));
+  EXPECT_FALSE(seq_less<std::uint16_t>(std::uint16_t{0}, max));
+  EXPECT_TRUE(
+      seq_less<std::uint16_t>(std::uint16_t{0xfff0}, std::uint16_t{0x0010}));
+}
+
+TEST(SeqArith, HalfRangeIsUnordered) {
+  // Exactly 2^(N-1) apart is ambiguous by construction: neither precedes.
+  EXPECT_FALSE(seq_less<std::uint32_t>(0u, 0x80000000u));
+  EXPECT_FALSE(seq_less<std::uint32_t>(0x80000000u, 0u));
+  EXPECT_FALSE(
+      seq_less<std::uint16_t>(std::uint16_t{0}, std::uint16_t{0x8000}));
+}
+
+TEST(SeqArith, DistanceWrapsForward) {
+  EXPECT_EQ(seq_distance<std::uint32_t>(0xfffffffeu, 3u), 5u);
+  EXPECT_EQ(seq_distance<std::uint32_t>(3u, 3u), 0u);
+  EXPECT_EQ(seq_distance<std::uint16_t>(std::uint16_t{0xfffe},
+                                        std::uint16_t{1}),
+            std::uint16_t{3});
+}
+
+TEST(SeqArith, ReportCollectorFrameMatchIsWrapSafe) {
+  // The feedback dedupe path compares frame ids by equality only, which
+  // needs no serial arithmetic — pin that a collector armed at the wrap
+  // boundary accepts exactly its own frame id and nothing adjacent.
+  ReportCollector c(0xffffffffu, 2, 1);
+  ReceptionReport r;
+  r.frame_id = 0xffffffffu;
+  r.user = 0;
+  r.symbols_received = {4};
+  EXPECT_TRUE(c.accept(r));
+  r.frame_id = 0;  // next frame after the wrap: a different frame
+  r.user = 1;
+  EXPECT_FALSE(c.accept(r));
+  c.reset(0, 2, 1);
+  EXPECT_TRUE(c.accept(r));
+}
+
 }  // namespace
 }  // namespace w4k::transport
